@@ -1,0 +1,345 @@
+//! Classical (Arenas–Bertossi–Chomicki) repairs and consistent answers.
+//!
+//! The baseline semantics the operational approach is compared against
+//! (§2 of Calautti–Libkin–Pieris, PODS 2018): a *repair* of an inconsistent
+//! database `D` w.r.t. constraints `Σ` is a consistent database `D′` over
+//! `dom(D)` and the constants of `Σ` whose symmetric difference
+//! `Δ(D, D′) = (D − D′) ∪ (D′ − D)` is ⊆-minimal; *consistent answers* are
+//! the tuples in `⋂ { Q(D′) | D′ ∈ [[D]]^ABC_Σ }`.
+//!
+//! Two enumeration strategies are provided:
+//!
+//! * [`subset_repairs`] — for the denial fragment (EGDs and DCs only),
+//!   where every repair is a maximal consistent *subset* of `D`; repairs
+//!   are enumerated by branching over the facts of violated body images
+//!   (the conflict-hypergraph view) and pruning non-maximal results;
+//! * [`abc_repairs_bruteforce`] — for arbitrary constraint sets (TGDs may
+//!   force insertions from the base `B(D, Σ)`); enumerates consistent
+//!   subsets of the base and keeps the Δ-minimal ones. Exponential in
+//!   `|B(D, Σ)|`, guarded by an explicit limit — the reference oracle for
+//!   small instances.
+//!
+//! Proposition 4 of the paper — every ABC repair is an operational repair
+//! w.r.t. the uniform generator `M^u_Σ` — is validated in the integration
+//! test-suite using this crate as the oracle.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ocqa_data::{Constant, Database, Fact};
+use ocqa_num::Rat;
+use ocqa_logic::{ConstraintSet, Query, Violation, ViolationSet};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Errors from repair enumeration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AbcError {
+    /// [`subset_repairs`] was called with a constraint set containing TGDs.
+    NotDenialFragment,
+    /// The brute-force base exceeded the configured limit.
+    BaseTooLarge {
+        /// Facts in the base.
+        base_size: usize,
+        /// Configured limit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for AbcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AbcError::NotDenialFragment => {
+                write!(f, "subset repairs require EGDs/DCs only (no TGDs)")
+            }
+            AbcError::BaseTooLarge { base_size, limit } => {
+                write!(f, "base has {base_size} facts, limit {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AbcError {}
+
+/// The conflict hyperedges of `db` under a denial-fragment `Σ`: the body
+/// images of all violations. A repair must exclude at least one fact of
+/// every hyperedge and be maximal with that property.
+pub fn conflict_hyperedges(db: &Database, sigma: &ConstraintSet) -> Vec<BTreeSet<Fact>> {
+    let violations = ViolationSet::compute(sigma, db);
+    let mut edges: BTreeSet<BTreeSet<Fact>> = BTreeSet::new();
+    for v in violations.iter() {
+        edges.insert(v.body_image(sigma).into_iter().collect());
+    }
+    edges.into_iter().collect()
+}
+
+/// Enumerates the ABC repairs for EGD/DC-only constraint sets: the maximal
+/// consistent subsets of `db`.
+pub fn subset_repairs(db: &Database, sigma: &ConstraintSet) -> Result<Vec<Database>, AbcError> {
+    if !sigma.is_denial_fragment() {
+        return Err(AbcError::NotDenialFragment);
+    }
+    let mut results: BTreeSet<BTreeSet<Fact>> = BTreeSet::new();
+    let mut seen: BTreeSet<BTreeSet<Fact>> = BTreeSet::new();
+    branch(db.clone(), sigma, &mut seen, &mut results);
+    // Keep only ⊆-maximal consistent subsets.
+    let maximal: Vec<BTreeSet<Fact>> = results
+        .iter()
+        .filter(|r| {
+            !results
+                .iter()
+                .any(|other| *other != **r && r.is_subset(other))
+        })
+        .cloned()
+        .collect();
+    Ok(maximal
+        .into_iter()
+        .map(|facts| {
+            Database::from_facts(db.schema().clone(), facts).expect("subset of valid database")
+        })
+        .collect())
+}
+
+fn branch(
+    db: Database,
+    sigma: &ConstraintSet,
+    seen: &mut BTreeSet<BTreeSet<Fact>>,
+    results: &mut BTreeSet<BTreeSet<Fact>>,
+) {
+    let key = db.canonical_facts();
+    if !seen.insert(key.clone()) {
+        return;
+    }
+    let violations = ViolationSet::compute(sigma, &db);
+    let Some(first) = pick_violation(&violations) else {
+        results.insert(key);
+        return;
+    };
+    for fact in first.body_image(sigma) {
+        let mut next = db.clone();
+        next.remove(&fact);
+        branch(next, sigma, seen, results);
+    }
+}
+
+fn pick_violation(violations: &ViolationSet) -> Option<&Violation> {
+    violations.iter().next()
+}
+
+/// Enumerates ABC repairs for arbitrary constraint sets by brute force over
+/// the subsets of the base `B(D, Σ)` with at most `limit` facts: collects
+/// consistent candidates and keeps those with ⊆-minimal symmetric
+/// difference from `db`.
+pub fn abc_repairs_bruteforce(
+    db: &Database,
+    sigma: &ConstraintSet,
+    base_facts: &[Fact],
+    limit: usize,
+) -> Result<Vec<Database>, AbcError> {
+    let n = base_facts.len();
+    if n > limit || n > 26 {
+        return Err(AbcError::BaseTooLarge {
+            base_size: n,
+            limit: limit.min(26),
+        });
+    }
+    let original: BTreeSet<Fact> = db.canonical_facts();
+    let mut candidates: Vec<(BTreeSet<Fact>, BTreeSet<Fact>)> = Vec::new(); // (facts, Δ)
+    for mask in 0u64..(1 << n) {
+        let facts: BTreeSet<Fact> = (0..n)
+            .filter(|i| mask & (1 << i) != 0)
+            .map(|i| base_facts[i].clone())
+            .collect();
+        let candidate =
+            Database::from_facts(db.schema().clone(), facts.iter().cloned()).expect("base facts");
+        if !sigma.satisfied_by(&candidate) {
+            continue;
+        }
+        let delta: BTreeSet<Fact> = facts
+            .symmetric_difference(&original)
+            .cloned()
+            .collect();
+        candidates.push((facts, delta));
+    }
+    let minimal: Vec<BTreeSet<Fact>> = candidates
+        .iter()
+        .filter(|(_, delta)| {
+            !candidates
+                .iter()
+                .any(|(_, other)| other != delta && other.is_subset(delta))
+        })
+        .map(|(facts, _)| facts.clone())
+        .collect();
+    Ok(minimal
+        .into_iter()
+        .map(|facts| Database::from_facts(db.schema().clone(), facts).expect("base facts"))
+        .collect())
+}
+
+/// Whether `candidate` is an ABC repair of `db` (checked against a repair
+/// list produced by one of the enumerators).
+pub fn is_repair(repairs: &[Database], candidate: &Database) -> bool {
+    repairs.iter().any(|r| r.same_facts(candidate))
+}
+
+/// The consistent answers `⋂ { Q(D′) | D′ repair }` (empty when there are
+/// no repairs, by the usual convention the intersection over an empty
+/// family of answer sets is empty here rather than "all tuples").
+pub fn certain_answers(repairs: &[Database], query: &Query) -> BTreeSet<Vec<Constant>> {
+    let mut iter = repairs.iter();
+    let Some(first) = iter.next() else {
+        return BTreeSet::new();
+    };
+    let mut acc = query.answers(first);
+    for r in iter {
+        let next = query.answers(r);
+        acc.retain(|t| next.contains(t));
+        if acc.is_empty() {
+            break;
+        }
+    }
+    acc
+}
+
+/// The "equally likely repairs" measure suggested in §6 (following Greco &
+/// Molinaro): the fraction of repairs in which the tuple is an answer.
+pub fn repair_fraction(repairs: &[Database], query: &Query, tuple: &[Constant]) -> Rat {
+    if repairs.is_empty() {
+        return Rat::zero();
+    }
+    let hits = repairs.iter().filter(|r| query.holds(*r, tuple)).count();
+    Rat::ratio(hits as i64, repairs.len() as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocqa_logic::parser;
+
+    fn setup(facts: &str, constraints: &str) -> (Database, ConstraintSet) {
+        let facts = parser::parse_facts(facts).unwrap();
+        let sigma = parser::parse_constraints(constraints).unwrap();
+        let schema = parser::infer_schema(&facts, &sigma).unwrap();
+        (Database::from_facts(schema, facts).unwrap(), sigma)
+    }
+
+    #[test]
+    fn key_conflict_has_two_subset_repairs() {
+        let (db, sigma) = setup("R(a,b). R(a,c).", "R(x,y), R(x,z) -> y = z.");
+        let repairs = subset_repairs(&db, &sigma).unwrap();
+        // ABC repairs keep exactly one of the conflicting facts; the empty
+        // set is consistent but not maximal.
+        assert_eq!(repairs.len(), 2);
+        for r in &repairs {
+            assert_eq!(r.len(), 1);
+            assert!(sigma.satisfied_by(r));
+        }
+    }
+
+    #[test]
+    fn preference_example_has_four_repairs() {
+        let (db, sigma) = setup(
+            "Pref(a,b). Pref(a,c). Pref(a,d). Pref(b,a). Pref(b,d). Pref(c,a).",
+            "Pref(x,y), Pref(y,x) -> false.",
+        );
+        let repairs = subset_repairs(&db, &sigma).unwrap();
+        assert_eq!(repairs.len(), 4, "one choice per symmetric conflict");
+        for r in &repairs {
+            assert_eq!(r.len(), 4, "two facts removed from six");
+        }
+    }
+
+    #[test]
+    fn subset_repairs_reject_tgds() {
+        let (db, sigma) = setup("T(a,b).", "T(x,y) -> R(x,y).");
+        assert_eq!(
+            subset_repairs(&db, &sigma).unwrap_err(),
+            AbcError::NotDenialFragment
+        );
+    }
+
+    #[test]
+    fn overlapping_conflicts() {
+        // R(a,b) conflicts with both R(a,c) and R(a,d) (same key).
+        let (db, sigma) = setup("R(a,b). R(a,c). R(a,d).", "R(x,y), R(x,z) -> y = z.");
+        let repairs = subset_repairs(&db, &sigma).unwrap();
+        assert_eq!(repairs.len(), 3, "keep exactly one of three: {repairs:?}");
+    }
+
+    #[test]
+    fn consistent_database_is_its_own_repair() {
+        let (db, sigma) = setup("R(a,b).", "R(x,y), R(x,z) -> y = z.");
+        let repairs = subset_repairs(&db, &sigma).unwrap();
+        assert_eq!(repairs.len(), 1);
+        assert!(repairs[0].same_facts(&db));
+    }
+
+    #[test]
+    fn certain_answers_intersect() {
+        let (db, sigma) = setup("R(a,b). R(a,c). S(q).", "R(x,y), R(x,z) -> y = z.");
+        let repairs = subset_repairs(&db, &sigma).unwrap();
+        let qs = parser::parse_query("(x) <- S(x)").unwrap();
+        let ans = certain_answers(&repairs, &qs);
+        assert_eq!(ans.len(), 1, "S(q) survives in every repair");
+        let qr = parser::parse_query("(y) <- exists x: R(x,y)").unwrap();
+        assert!(certain_answers(&repairs, &qr).is_empty());
+        // Boolean query: ∃x,y R(x,y) is certain (some R fact survives).
+        let qb = parser::parse_query("() <- exists x, y: R(x,y)").unwrap();
+        assert_eq!(certain_answers(&repairs, &qb).len(), 1);
+    }
+
+    #[test]
+    fn repair_fraction_counts_repairs() {
+        let (db, sigma) = setup("R(a,b). R(a,c).", "R(x,y), R(x,z) -> y = z.");
+        let repairs = subset_repairs(&db, &sigma).unwrap();
+        let q = parser::parse_query("(y) <- exists x: R(x,y)").unwrap();
+        assert_eq!(
+            repair_fraction(&repairs, &q, &[Constant::named("b")]),
+            Rat::ratio(1, 2)
+        );
+        assert_eq!(
+            repair_fraction(&repairs, &q, &[Constant::named("zzz")]),
+            Rat::zero()
+        );
+    }
+
+    #[test]
+    fn bruteforce_matches_subset_enumeration_on_denial() {
+        let (db, sigma) = setup("R(a,b). R(a,c). R(d,e).", "R(x,y), R(x,z) -> y = z.");
+        let base_facts: Vec<Fact> = db.facts().collect();
+        let brute = abc_repairs_bruteforce(&db, &sigma, &base_facts, 12).unwrap();
+        let subset = subset_repairs(&db, &sigma).unwrap();
+        assert_eq!(brute.len(), subset.len());
+        for r in &subset {
+            assert!(is_repair(&brute, r));
+        }
+    }
+
+    #[test]
+    fn bruteforce_with_tgd_inserts_from_base() {
+        // D = {T(a)}, Σ = {T(x) → R(x)}: the ABC repairs are {T(a), R(a)}
+        // (insert) and {} — wait, Δ({T,R}) = {R(a)} and Δ({}) = {T(a)};
+        // neither is a subset of the other, so both are repairs.
+        let facts = parser::parse_facts("T(a).").unwrap();
+        let sigma = parser::parse_constraints("T(x) -> R(x).").unwrap();
+        let schema = parser::infer_schema(&facts, &sigma).unwrap();
+        let db = Database::from_facts(schema, facts).unwrap();
+        let base = vec![Fact::parts("T", &["a"]), Fact::parts("R", &["a"])];
+        let repairs = abc_repairs_bruteforce(&db, &sigma, &base, 12).unwrap();
+        assert_eq!(repairs.len(), 2);
+        let sizes: BTreeSet<usize> = repairs.iter().map(|r| r.len()).collect();
+        assert_eq!(sizes, BTreeSet::from([0, 2]));
+    }
+
+    #[test]
+    fn bruteforce_guards_base_size() {
+        let (db, sigma) = setup("R(a,b).", "R(x,y), R(x,z) -> y = z.");
+        let base: Vec<Fact> = (0..30)
+            .map(|i| Fact::parts("R", &["a", Box::leak(format!("c{i}").into_boxed_str())]))
+            .collect();
+        assert!(matches!(
+            abc_repairs_bruteforce(&db, &sigma, &base, 12),
+            Err(AbcError::BaseTooLarge { .. })
+        ));
+    }
+}

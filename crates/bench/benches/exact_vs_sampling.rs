@@ -1,0 +1,51 @@
+//! E6: exact OCQA exploration (exponential, Theorem 5) vs the polynomial
+//! `Sample` walk (Theorem 9), as the number of conflicts grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ocqa_bench::key_ctx;
+use ocqa_core::{explore, sample, UniformGenerator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_exact(c: &mut Criterion) {
+    let mut g = c.benchmark_group("exact_exploration");
+    g.sample_size(10);
+    for groups in [1usize, 2, 3, 4] {
+        let ctx = key_ctx(5, groups, 2, 17);
+        let gen = UniformGenerator::new();
+        g.bench_with_input(BenchmarkId::new("conflicts", groups), &groups, |bench, _| {
+            bench.iter(|| {
+                black_box(
+                    explore::repair_distribution(
+                        &ctx,
+                        &gen,
+                        &explore::ExploreOptions {
+                            max_states: 10_000_000,
+                            record_chain: false,
+                        },
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sample_walk");
+    g.sample_size(10);
+    for groups in [1usize, 2, 4, 8] {
+        let ctx = key_ctx(5, groups, 2, 17);
+        let gen = UniformGenerator::new();
+        g.bench_with_input(BenchmarkId::new("conflicts", groups), &groups, |bench, _| {
+            let mut rng = StdRng::seed_from_u64(3);
+            bench.iter(|| black_box(sample::sample_walk(&ctx, &gen, &mut rng).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_exact, bench_sampling);
+criterion_main!(benches);

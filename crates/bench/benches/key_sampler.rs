@@ -1,0 +1,49 @@
+//! E11: the §5 key-repair fast path vs the generic Markov walk.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ocqa_bench::key_workload;
+use ocqa_core::keyrepair::{GroupPolicy, KeyConfig, KeyRepairSampler};
+use ocqa_core::{sample, RepairContext, UniformGenerator};
+use ocqa_data::Symbol;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_generic_walk(c: &mut Criterion) {
+    let mut g = c.benchmark_group("generic_walk");
+    g.sample_size(10);
+    for groups in [5usize, 10, 20] {
+        let w = key_workload(20, groups, 2, 21);
+        let ctx = RepairContext::new(w.db.clone(), w.sigma.clone());
+        let gen = UniformGenerator::deletions_only();
+        g.bench_with_input(BenchmarkId::new("groups", groups), &groups, |bench, _| {
+            let mut rng = StdRng::seed_from_u64(1);
+            bench.iter(|| black_box(sample::sample_walk(&ctx, &gen, &mut rng).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fast_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("key_fast_path");
+    for groups in [5usize, 10, 20, 100] {
+        let w = key_workload(20, groups, 2, 21);
+        let sampler = KeyRepairSampler::new(
+            &w.db,
+            &KeyConfig {
+                relation: Symbol::intern("R"),
+                key_len: 1,
+            },
+            &GroupPolicy::KeepAtMostOneUniform,
+        )
+        .unwrap();
+        g.bench_with_input(BenchmarkId::new("groups", groups), &groups, |bench, _| {
+            let mut rng = StdRng::seed_from_u64(1);
+            bench.iter(|| black_box(sampler.sample_deletions(&mut rng)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_generic_walk, bench_fast_path);
+criterion_main!(benches);

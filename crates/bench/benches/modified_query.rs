@@ -1,0 +1,39 @@
+//! E7: the §5 "initial experiments" — the rewritten query
+//! `Q[R ↦ R − R_del]` should cost about the same as `Q` itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ocqa_bench::key_workload;
+use ocqa_data::Fact;
+use ocqa_logic::{parser, DeletionOverlay};
+use std::collections::HashSet;
+use std::hint::black_box;
+
+fn bench_modified_query(c: &mut Criterion) {
+    let mut g = c.benchmark_group("modified_query");
+    g.sample_size(20);
+    for n in [1_000usize, 10_000] {
+        for del_pct in [1usize, 10] {
+            let w = key_workload(n, 0, 2, 99);
+            let q = parser::parse_query("(x) <- exists y: R(x, y)").unwrap();
+            let deleted: HashSet<Fact> = w
+                .db
+                .facts()
+                .enumerate()
+                .filter(|(i, _)| i % 100 < del_pct)
+                .map(|(_, f)| f)
+                .collect();
+            let id = format!("{n}_tuples_{del_pct}pct");
+            g.bench_with_input(BenchmarkId::new("original", &id), &n, |bench, _| {
+                bench.iter(|| black_box(q.answers(&w.db)))
+            });
+            g.bench_with_input(BenchmarkId::new("rewritten", &id), &n, |bench, _| {
+                let overlay = DeletionOverlay::new(&w.db, &deleted);
+                bench.iter(|| black_box(q.answers(&overlay)))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_modified_query);
+criterion_main!(benches);

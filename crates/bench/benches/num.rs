@@ -1,0 +1,47 @@
+//! Micro-benchmarks for the exact-arithmetic substrate: the cost model
+//! behind DESIGN.md's "exact probabilities" decision.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ocqa_num::{Rat, UBig};
+use std::hint::black_box;
+
+fn bench_ubig(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ubig");
+    for bits in [64usize, 256, 1024] {
+        let a = UBig::one().shl_bits(bits) + UBig::from(12345u64);
+        let b = UBig::one().shl_bits(bits / 2) + UBig::from(987u64);
+        g.bench_with_input(BenchmarkId::new("mul", bits), &bits, |bench, _| {
+            bench.iter(|| black_box(&a).mul_ref(black_box(&b)))
+        });
+        g.bench_with_input(BenchmarkId::new("div_rem", bits), &bits, |bench, _| {
+            bench.iter(|| black_box(&a).div_rem(black_box(&b)))
+        });
+        g.bench_with_input(BenchmarkId::new("gcd", bits), &bits, |bench, _| {
+            bench.iter(|| black_box(&a).gcd(black_box(&b)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_rat(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rat");
+    // The shape that dominates exploration: accumulating path products of
+    // small fractions.
+    g.bench_function("path_product_depth_30", |bench| {
+        bench.iter(|| {
+            let mut acc = Rat::one();
+            for i in 1..=30i64 {
+                acc = acc * Rat::ratio(i, i + 2);
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("mass_sum_100_terms", |bench| {
+        let terms: Vec<Rat> = (1..=100i64).map(|i| Rat::ratio(1, i * 3 + 1)).collect();
+        bench.iter(|| terms.iter().sum::<Rat>())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ubig, bench_rat);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Violation-detection scaling: `V(D, Σ)` on growing databases — the inner
+//! loop of every repairing step.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ocqa_bench::key_workload;
+use ocqa_logic::ViolationSet;
+use std::hint::black_box;
+
+fn bench_violations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("violations");
+    g.sample_size(20);
+    for n in [1_000usize, 10_000, 100_000] {
+        let w = key_workload(n, n / 100, 2, 13);
+        g.bench_with_input(BenchmarkId::new("key_constraint", n), &n, |bench, _| {
+            bench.iter(|| black_box(ViolationSet::compute(&w.sigma, &w.db)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_satisfaction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("satisfaction_check");
+    g.sample_size(20);
+    for n in [1_000usize, 10_000] {
+        // Consistent instance: early-exit-free full check.
+        let w = key_workload(n, 0, 2, 13);
+        g.bench_with_input(BenchmarkId::new("consistent", n), &n, |bench, _| {
+            bench.iter(|| black_box(w.sigma.satisfied_by(&w.db)))
+        });
+        // Inconsistent: short-circuits at the first violation.
+        let wv = key_workload(n, 5, 2, 13);
+        g.bench_with_input(BenchmarkId::new("inconsistent", n), &n, |bench, _| {
+            bench.iter(|| black_box(wv.sigma.satisfied_by(&wv.db)))
+        });
+    }
+    g.finish();
+}
+
+/// Ablation for the incremental maintenance of `V(D, Σ)`: one fact flips
+/// vs a full recomputation (the repairing-step inner loop).
+fn bench_incremental(c: &mut Criterion) {
+    use ocqa_data::{Constant, Fact};
+    use ocqa_logic::incremental;
+    let mut g = c.benchmark_group("incremental_violations");
+    g.sample_size(20);
+    for n in [1_000usize, 10_000] {
+        let w = key_workload(n, n / 100, 2, 13);
+        let base_violations = ViolationSet::compute(&w.sigma, &w.db);
+        let new_fact = Fact::new("R", vec![Constant::int(0), Constant::int(999_999)]);
+        g.bench_with_input(BenchmarkId::new("delta_insert", n), &n, |bench, _| {
+            bench.iter_batched(
+                || w.db.clone(),
+                |mut db| {
+                    db.insert(&new_fact).unwrap();
+                    black_box(incremental::update_violations(
+                        &w.sigma,
+                        &db,
+                        &base_violations,
+                        std::slice::from_ref(&new_fact),
+                        &[],
+                    ))
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+        g.bench_with_input(BenchmarkId::new("full_recompute", n), &n, |bench, _| {
+            bench.iter_batched(
+                || {
+                    let mut db = w.db.clone();
+                    db.insert(&new_fact).unwrap();
+                    db
+                },
+                |db| black_box(ViolationSet::compute(&w.sigma, &db)),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_violations, bench_satisfaction, bench_incremental);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Shared setup helpers for the benchmark suite and the `experiments`
+//! harness.
+
+use ocqa_core::RepairContext;
+use ocqa_data::Database;
+use ocqa_logic::parser;
+use ocqa_workload::{KeyConflictSpec, KeyConflictWorkload};
+use std::sync::Arc;
+
+/// Builds a repair context from fact/constraint source text.
+pub fn ctx_from_text(facts: &str, constraints: &str) -> Arc<RepairContext> {
+    let facts = parser::parse_facts(facts).unwrap();
+    let sigma = parser::parse_constraints(constraints).unwrap();
+    let schema = parser::infer_schema(&facts, &sigma).unwrap();
+    let db = Database::from_facts(schema, facts).unwrap();
+    RepairContext::new(db, sigma)
+}
+
+/// The paper's §3 preference instance.
+pub fn paper_preference_ctx() -> Arc<RepairContext> {
+    ctx_from_text(
+        "Pref(a,b). Pref(a,c). Pref(a,d). Pref(b,a). Pref(b,d). Pref(c,a).",
+        "Pref(x,y), Pref(y,x) -> false.",
+    )
+}
+
+/// A key-conflict context with `groups` conflicting pairs and `clean`
+/// clean tuples.
+pub fn key_ctx(clean: usize, groups: usize, group_size: usize, seed: u64) -> Arc<RepairContext> {
+    let w = KeyConflictWorkload::generate(&KeyConflictSpec {
+        clean_tuples: clean,
+        conflict_groups: groups,
+        group_size,
+        value_domain: 1_000,
+        seed,
+    });
+    RepairContext::new(w.db, w.sigma)
+}
+
+/// The key-conflict workload itself (when the raw database is needed).
+pub fn key_workload(
+    clean: usize,
+    groups: usize,
+    group_size: usize,
+    seed: u64,
+) -> KeyConflictWorkload {
+    KeyConflictWorkload::generate(&KeyConflictSpec {
+        clean_tuples: clean,
+        conflict_groups: groups,
+        group_size,
+        value_domain: 1_000,
+        seed,
+    })
+}
+
+/// Wall-clock helper: runs `f` and returns (result, seconds).
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = std::time::Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}

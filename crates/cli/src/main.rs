@@ -1,0 +1,247 @@
+//! `ocqa` — command-line driver for operational consistent query answering.
+//!
+//! ```text
+//! USAGE:
+//!   ocqa check    --facts FILE --constraints FILE
+//!   ocqa repairs  --facts FILE --constraints FILE [--generator NAME] [--max-states N]
+//!   ocqa answer   --facts FILE --constraints FILE --query TEXT
+//!                 [--generator NAME] [--exact | --eps E --delta D] [--seed N]
+//!
+//! GENERATORS: uniform (default) | uniform-deletions | preference
+//! ```
+
+use ocqa_core::{
+    answer, explain, explore, sample, ChainGenerator, PreferenceGenerator, RepairContext,
+    RepairState, UniformGenerator,
+};
+use ocqa_data::Database;
+use ocqa_logic::{parser, ViolationSet};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+struct Args {
+    command: String,
+    options: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut argv = std::env::args().skip(1);
+    let command = argv.next().ok_or_else(usage)?;
+    let mut options = HashMap::new();
+    let mut flags = Vec::new();
+    while let Some(arg) = argv.next() {
+        let Some(name) = arg.strip_prefix("--") else {
+            return Err(format!("unexpected argument {arg:?}\n{}", usage()));
+        };
+        match name {
+            "exact" | "help" => flags.push(name.to_string()),
+            _ => {
+                let value = argv
+                    .next()
+                    .ok_or_else(|| format!("--{name} requires a value"))?;
+                options.insert(name.to_string(), value);
+            }
+        }
+    }
+    Ok(Args {
+        command,
+        options,
+        flags,
+    })
+}
+
+fn usage() -> String {
+    "usage: ocqa <check|repairs|answer|trace> --facts FILE --constraints FILE \
+     [--query TEXT] [--generator uniform|uniform-deletions|preference] \
+     [--exact | --eps E --delta D] [--seed N] [--max-states N]"
+        .to_string()
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    if args.flags.iter().any(|f| f == "help") || args.command == "help" {
+        println!("{}", usage());
+        return Ok(());
+    }
+    let ctx = load_context(&args)?;
+    match args.command.as_str() {
+        "check" => check(&ctx),
+        "repairs" => repairs(&ctx, &args),
+        "answer" => answer_cmd(&ctx, &args),
+        "trace" => trace_cmd(&ctx, &args),
+        other => Err(format!("unknown command {other:?}\n{}", usage())),
+    }
+}
+
+/// Samples one repairing sequence and prints the annotated trace.
+fn trace_cmd(ctx: &Arc<RepairContext>, args: &Args) -> Result<(), String> {
+    let gen = generator(args)?;
+    let seed: u64 = args
+        .options
+        .get("seed")
+        .map(|s| s.parse().map_err(|_| "--seed expects a number"))
+        .transpose()?
+        .unwrap_or(0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let trace = explain::trace_walk(ctx, gen.as_ref(), &mut rng).map_err(|e| e.to_string())?;
+    println!("{trace}");
+    Ok(())
+}
+
+fn load_context(args: &Args) -> Result<Arc<RepairContext>, String> {
+    let facts_path = args
+        .options
+        .get("facts")
+        .ok_or("--facts FILE is required")?;
+    let constraints_path = args
+        .options
+        .get("constraints")
+        .ok_or("--constraints FILE is required")?;
+    let facts_src =
+        std::fs::read_to_string(facts_path).map_err(|e| format!("{facts_path}: {e}"))?;
+    let constraints_src = std::fs::read_to_string(constraints_path)
+        .map_err(|e| format!("{constraints_path}: {e}"))?;
+    let facts = parser::parse_facts(&facts_src).map_err(|e| format!("{facts_path}: {e}"))?;
+    let sigma = parser::parse_constraints(&constraints_src)
+        .map_err(|e| format!("{constraints_path}: {e}"))?;
+    let schema = parser::infer_schema(&facts, &sigma).map_err(|e| e.to_string())?;
+    let db = Database::from_facts(schema, facts).map_err(|e| e.to_string())?;
+    Ok(RepairContext::new(db, sigma))
+}
+
+fn generator(args: &Args) -> Result<Box<dyn ChainGenerator>, String> {
+    match args
+        .options
+        .get("generator")
+        .map(String::as_str)
+        .unwrap_or("uniform")
+    {
+        "uniform" => Ok(Box::new(UniformGenerator::new())),
+        "uniform-deletions" => Ok(Box::new(UniformGenerator::deletions_only())),
+        "preference" => Ok(Box::new(PreferenceGenerator::new())),
+        other => Err(format!("unknown generator {other:?}")),
+    }
+}
+
+fn explore_options(args: &Args) -> Result<explore::ExploreOptions, String> {
+    let mut opts = explore::ExploreOptions::default();
+    if let Some(n) = args.options.get("max-states") {
+        opts.max_states = n.parse().map_err(|_| "--max-states expects a number")?;
+    }
+    Ok(opts)
+}
+
+fn check(ctx: &Arc<RepairContext>) -> Result<(), String> {
+    let violations = ViolationSet::compute(ctx.sigma(), ctx.d0());
+    println!(
+        "database: {} facts over schema {}",
+        ctx.d0().len(),
+        ctx.d0().schema()
+    );
+    println!("constraints:\n{}", ctx.sigma());
+    if violations.is_empty() {
+        println!("consistent: no violations.");
+    } else {
+        println!("{} violations:", violations.len());
+        for v in violations.iter() {
+            let image: Vec<String> = v
+                .body_image(ctx.sigma())
+                .iter()
+                .map(|f| f.to_string())
+                .collect();
+            println!("  {v}  via {{{}}}", image.join(", "));
+        }
+        let state = RepairState::initial(ctx.clone());
+        println!("justified operations at ε:");
+        for op in state.extensions() {
+            println!("  {op}");
+        }
+    }
+    Ok(())
+}
+
+fn repairs(ctx: &Arc<RepairContext>, args: &Args) -> Result<(), String> {
+    let gen = generator(args)?;
+    let dist = explore::repair_distribution(ctx, gen.as_ref(), &explore_options(args)?)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "{} operational repairs under {} ({} sequences, failing mass {}):",
+        dist.repairs().len(),
+        gen.name(),
+        dist.absorbing_sequences(),
+        dist.failing_mass()
+    );
+    for info in dist.repairs() {
+        println!(
+            "  p = {} ≈ {:.6}  {}",
+            info.probability,
+            info.probability.to_f64(),
+            info.db
+        );
+    }
+    Ok(())
+}
+
+fn answer_cmd(ctx: &Arc<RepairContext>, args: &Args) -> Result<(), String> {
+    let query_src = args.options.get("query").ok_or("--query TEXT is required")?;
+    let query = parser::parse_query(query_src).map_err(|e| e.to_string())?;
+    let gen = generator(args)?;
+    if args.flags.iter().any(|f| f == "exact") {
+        let dist = explore::repair_distribution(ctx, gen.as_ref(), &explore_options(args)?)
+            .map_err(|e| e.to_string())?;
+        println!("exact operational consistent answers:");
+        for (tuple, p) in answer::operational_answers(&dist, &query) {
+            println!("  {} → {} ≈ {:.6}", fmt_tuple(&tuple), p, p.to_f64());
+        }
+    } else {
+        let eps: f64 = args
+            .options
+            .get("eps")
+            .map(|s| s.parse().map_err(|_| "--eps expects a number"))
+            .transpose()?
+            .unwrap_or(0.1);
+        let delta: f64 = args
+            .options
+            .get("delta")
+            .map(|s| s.parse().map_err(|_| "--delta expects a number"))
+            .transpose()?
+            .unwrap_or(0.1);
+        let seed: u64 = args
+            .options
+            .get("seed")
+            .map(|s| s.parse().map_err(|_| "--seed expects a number"))
+            .transpose()?
+            .unwrap_or(0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (answers, n) =
+            sample::estimate_answers(ctx, gen.as_ref(), &query, eps, delta, &mut rng)
+                .map_err(|e| e.to_string())?;
+        println!(
+            "approximate answers (ε = {eps}, δ = {delta}, {n} walks, generator {}):",
+            gen.name()
+        );
+        for (tuple, p) in answers {
+            println!("  {} → ≈ {p:.4}", fmt_tuple(&tuple));
+        }
+    }
+    Ok(())
+}
+
+fn fmt_tuple(tuple: &[ocqa_data::Constant]) -> String {
+    let parts: Vec<String> = tuple.iter().map(|c| c.to_string()).collect();
+    format!("({})", parts.join(", "))
+}

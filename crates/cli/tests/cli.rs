@@ -1,0 +1,139 @@
+//! End-to-end tests of the `ocqa` command-line driver.
+
+use std::io::Write;
+use std::process::Command;
+
+fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("ocqa-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("{}-{name}", std::process::id()));
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(contents.as_bytes()).unwrap();
+    path
+}
+
+fn ocqa(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_ocqa"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+fn preference_files() -> (std::path::PathBuf, std::path::PathBuf) {
+    let facts = write_temp(
+        "pref.facts",
+        "Pref(a,b). Pref(a,c). Pref(a,d). Pref(b,a). Pref(b,d). Pref(c,a).",
+    );
+    let rules = write_temp("pref.rules", "Pref(x,y), Pref(y,x) -> false.");
+    (facts, rules)
+}
+
+#[test]
+fn check_reports_violations_and_operations() {
+    let (facts, rules) = preference_files();
+    let (stdout, stderr, ok) = ocqa(&[
+        "check",
+        "--facts",
+        facts.to_str().unwrap(),
+        "--constraints",
+        rules.to_str().unwrap(),
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("6 facts"));
+    assert!(stdout.contains("4 violations"));
+    assert!(stdout.contains("justified operations"));
+    assert!(stdout.contains("-{Pref(a,b)}"));
+}
+
+#[test]
+fn repairs_with_preference_generator_match_example6() {
+    let (facts, rules) = preference_files();
+    let (stdout, stderr, ok) = ocqa(&[
+        "repairs",
+        "--facts",
+        facts.to_str().unwrap(),
+        "--constraints",
+        rules.to_str().unwrap(),
+        "--generator",
+        "preference",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("4 operational repairs"));
+    for frac in ["7/54", "38/135", "5/36", "9/20"] {
+        assert!(stdout.contains(frac), "missing {frac} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn exact_answer_reports_45_percent() {
+    let (facts, rules) = preference_files();
+    let (stdout, stderr, ok) = ocqa(&[
+        "answer",
+        "--facts",
+        facts.to_str().unwrap(),
+        "--constraints",
+        rules.to_str().unwrap(),
+        "--query",
+        "(x) <- forall y: (Pref(x,y) | x = y)",
+        "--generator",
+        "preference",
+        "--exact",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("9/20"), "stdout:\n{stdout}");
+    assert!(stdout.contains("(a)"));
+}
+
+#[test]
+fn approximate_answer_runs_with_seed() {
+    let (facts, rules) = preference_files();
+    let (stdout, stderr, ok) = ocqa(&[
+        "answer",
+        "--facts",
+        facts.to_str().unwrap(),
+        "--constraints",
+        rules.to_str().unwrap(),
+        "--query",
+        "(x) <- forall y: (Pref(x,y) | x = y)",
+        "--generator",
+        "uniform-deletions",
+        "--eps",
+        "0.1",
+        "--delta",
+        "0.1",
+        "--seed",
+        "7",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("150 walks"), "stdout:\n{stdout}");
+}
+
+#[test]
+fn missing_arguments_fail_cleanly() {
+    let (_, stderr, ok) = ocqa(&["check"]);
+    assert!(!ok);
+    assert!(stderr.contains("--facts"));
+    let (_, stderr, ok) = ocqa(&["bogus-command", "--facts", "x", "--constraints", "y"]);
+    assert!(!ok);
+    assert!(stderr.contains("x: ") || stderr.contains("unknown command"));
+}
+
+#[test]
+fn parse_errors_carry_position() {
+    let facts = write_temp("bad.facts", "Pref(a b).");
+    let rules = write_temp("ok.rules", "Pref(x,y), Pref(y,x) -> false.");
+    let (_, stderr, ok) = ocqa(&[
+        "check",
+        "--facts",
+        facts.to_str().unwrap(),
+        "--constraints",
+        rules.to_str().unwrap(),
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("parse error"), "stderr: {stderr}");
+}

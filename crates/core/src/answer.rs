@@ -1,0 +1,295 @@
+//! Operational consistent query answering (Definition 7, Theorem 5).
+//!
+//! Given the exact repair distribution `[[D]]_{MΣ}` produced by
+//! [`crate::explore`], this module computes
+//!
+//! ```text
+//!              Σ { p | (D′, p) ∈ [[D]]_{MΣ}, t̄ ∈ Q(D′) }
+//! CP(t̄)  =  ─────────────────────────────────────────────
+//!              Σ { p | (D′, p) ∈ [[D]]_{MΣ} }
+//! ```
+//!
+//! — the conditional probability that `t̄` is an answer given that a
+//! repair was produced — and the operational consistent answers
+//! `OCA_{MΣ}(D, Q)`. Computing these exactly is `FP^#P`-complete in data
+//! complexity (Theorem 5); this module is the exact reference
+//! implementation that the approximation scheme of [`crate::sample`] is
+//! validated against.
+
+use crate::explore::RepairDistribution;
+use ocqa_data::Constant;
+use ocqa_num::Rat;
+use ocqa_logic::Query;
+use std::collections::BTreeMap;
+
+/// The conditional probability `CP(t̄)` of Definition 7. Returns 0 when no
+/// operational repair exists (zero denominator), matching the paper's
+/// convention.
+pub fn conditional_probability(
+    dist: &RepairDistribution,
+    query: &Query,
+    tuple: &[Constant],
+) -> Rat {
+    let denom = dist.success_mass();
+    if denom.is_zero() {
+        return Rat::zero();
+    }
+    let mut num = Rat::zero();
+    for info in dist.repairs() {
+        if query.holds(&info.db, tuple) {
+            num += &info.probability;
+        }
+    }
+    num.div_ref(&denom)
+}
+
+/// All tuples with `CP(t̄) > 0`, with their conditional probabilities,
+/// in canonical tuple order.
+///
+/// Definition 7 formally ranges over every tuple in `dom(B(D,Σ))^{|x̄|}`;
+/// all tuples *not* listed here have `CP = 0`, so the returned map is the
+/// finite support of `OCA_{MΣ}(D, Q)`.
+pub fn operational_answers(
+    dist: &RepairDistribution,
+    query: &Query,
+) -> Vec<(Vec<Constant>, Rat)> {
+    let denom = dist.success_mass();
+    if denom.is_zero() {
+        return Vec::new();
+    }
+    let mut acc: BTreeMap<Vec<Constant>, Rat> = BTreeMap::new();
+    for info in dist.repairs() {
+        for tuple in query.answers(&info.db) {
+            *acc.entry(tuple).or_insert_with(Rat::zero) += &info.probability;
+        }
+    }
+    acc.into_iter()
+        .map(|(t, p)| (t, p.div_ref(&denom)))
+        .collect()
+}
+
+/// The tuples with `CP(t̄) = 1` — answers certain under the operational
+/// semantics (true in *every* operational repair).
+pub fn certain_answers(dist: &RepairDistribution, query: &Query) -> Vec<Vec<Constant>> {
+    operational_answers(dist, query)
+        .into_iter()
+        .filter(|(_, p)| p.is_one())
+        .map(|(t, _)| t)
+        .collect()
+}
+
+/// The expected answer cardinality `E[|Q(D′)|]` over the (conditional)
+/// repair distribution — the natural lift of scalar `COUNT` aggregation to
+/// operational repairs (§6, "More Expressive Languages").
+pub fn expected_count(dist: &RepairDistribution, query: &Query) -> Rat {
+    let denom = dist.success_mass();
+    if denom.is_zero() {
+        return Rat::zero();
+    }
+    let mut acc = Rat::zero();
+    for info in dist.repairs() {
+        let count = Rat::integer(query.answers(&info.db).len() as i64);
+        acc += &count.mul_ref(&info.probability);
+    }
+    acc.div_ref(&denom)
+}
+
+/// The full distribution of the answer cardinality `|Q(D′)|`: pairs
+/// `(count, probability)` sorted by count. Strictly more informative than
+/// [`expected_count`] (e.g. range aggregates à la Arenas et al. read off
+/// its support's min/max).
+pub fn count_distribution(dist: &RepairDistribution, query: &Query) -> Vec<(usize, Rat)> {
+    let denom = dist.success_mass();
+    if denom.is_zero() {
+        return Vec::new();
+    }
+    let mut acc: BTreeMap<usize, Rat> = BTreeMap::new();
+    for info in dist.repairs() {
+        let count = query.answers(&info.db).len();
+        *acc.entry(count).or_insert_with(Rat::zero) += &info.probability;
+    }
+    acc.into_iter()
+        .map(|(c, p)| (c, p.div_ref(&denom)))
+        .collect()
+}
+
+/// The "equally likely repairs" semantics of §6 (following Greco &
+/// Molinaro) applied to *operational* repairs: the fraction of repairs —
+/// ignoring their chain probabilities — in which the tuple is an answer.
+pub fn uniform_repair_fraction(
+    dist: &RepairDistribution,
+    query: &Query,
+    tuple: &[Constant],
+) -> Rat {
+    let n = dist.repairs().len();
+    if n == 0 {
+        return Rat::zero();
+    }
+    let hits = dist
+        .repairs()
+        .iter()
+        .filter(|info| query.holds(&info.db, tuple))
+        .count();
+    Rat::ratio(hits as i64, n as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::{repair_distribution, ExploreOptions};
+    use crate::{PreferenceGenerator, RepairContext, UniformGenerator};
+    use ocqa_data::Database;
+    use ocqa_logic::parser;
+    use std::sync::Arc;
+
+    fn make_ctx(facts: &str, constraints: &str) -> Arc<RepairContext> {
+        let facts = parser::parse_facts(facts).unwrap();
+        let sigma = parser::parse_constraints(constraints).unwrap();
+        let schema = parser::infer_schema(&facts, &sigma).unwrap();
+        let db = Database::from_facts(schema, facts).unwrap();
+        RepairContext::new(db, sigma)
+    }
+
+    /// Example 7: OCA = {(a, 0.45)} for the most-preferred-product query.
+    #[test]
+    fn example7_operational_answers() {
+        let ctx = make_ctx(
+            "Pref(a,b). Pref(a,c). Pref(a,d). Pref(b,a). Pref(b,d). Pref(c,a).",
+            "Pref(x,y), Pref(y,x) -> false.",
+        );
+        let dist =
+            repair_distribution(&ctx, &PreferenceGenerator::new(), &ExploreOptions::default())
+                .unwrap();
+        let q = parser::parse_query("(x) <- forall y: (Pref(x,y) | x = y)").unwrap();
+        let oca = operational_answers(&dist, &q);
+        assert_eq!(oca.len(), 1);
+        let (tuple, p) = &oca[0];
+        assert_eq!(tuple, &vec![Constant::named("a")]);
+        assert_eq!(*p, Rat::ratio(9, 20));
+        assert_eq!(p.to_f64(), 0.45);
+        // Point query agrees.
+        assert_eq!(
+            conditional_probability(&dist, &q, &[Constant::named("a")]),
+            Rat::ratio(9, 20)
+        );
+        assert_eq!(
+            conditional_probability(&dist, &q, &[Constant::named("b")]),
+            Rat::zero()
+        );
+        // No certain answers (matching the empty ABC consistent answers).
+        assert!(certain_answers(&dist, &q).is_empty());
+    }
+
+    #[test]
+    fn conditional_probability_normalizes_by_success_mass() {
+        // Failing-sequence setting: D = {R(a), S(a)},
+        // Σ = {R(x) → T(x); T(x) → ⊥}. Under the uniform generator the
+        // chain has +T(a) (failing, 1/2) and −R(a) (success, 1/2). The
+        // query S(x) holds in the single repair, so CP = (1/2)/(1/2) = 1.
+        let ctx = make_ctx("R(a). S(a).", "R(x) -> T(x). T(x) -> false.");
+        let dist =
+            repair_distribution(&ctx, &UniformGenerator::new(), &ExploreOptions::default())
+                .unwrap();
+        assert_eq!(dist.success_mass(), Rat::ratio(1, 2));
+        let q = parser::parse_query("(x) <- S(x)").unwrap();
+        assert_eq!(
+            conditional_probability(&dist, &q, &[Constant::named("a")]),
+            Rat::one()
+        );
+        let oca = operational_answers(&dist, &q);
+        assert_eq!(oca.len(), 1);
+        assert!(oca[0].1.is_one());
+    }
+
+    #[test]
+    fn no_repairs_means_probability_zero() {
+        // Σ = {R(x) → T(x); T(x) → ⊥} with only insertion-capable chain:
+        // force failure by making deletions impossible via a generator that
+        // puts all mass on insertions. Simpler: a constraint set where
+        // every complete sequence fails is impossible with justified
+        // deletions available, so emulate via an empty-support distribution:
+        // D consistent? Then denominator is 1… instead test the explicit
+        // zero-denominator convention with a handcrafted distribution.
+        let ctx = make_ctx("R(a).", "R(x) -> T(x). T(x) -> false.");
+        let dist =
+            repair_distribution(&ctx, &UniformGenerator::new(), &ExploreOptions::default())
+                .unwrap();
+        // This distribution does have one repair (∅); probe a tuple that is
+        // in no repair.
+        let q = parser::parse_query("(x) <- R(x)").unwrap();
+        assert_eq!(
+            conditional_probability(&dist, &q, &[Constant::named("a")]),
+            Rat::zero()
+        );
+        assert!(operational_answers(&dist, &q).is_empty());
+    }
+
+    #[test]
+    fn expected_count_and_distribution() {
+        // Three uniform repairs of {R(a,b), R(a,c)}: {b}, {c}, {} — the
+        // projection query has 1, 1, 0 answers.
+        let ctx = make_ctx("R(a,b). R(a,c).", "R(x,y), R(x,z) -> y = z.");
+        let dist =
+            repair_distribution(&ctx, &UniformGenerator::new(), &ExploreOptions::default())
+                .unwrap();
+        let q = parser::parse_query("(y) <- exists x: R(x,y)").unwrap();
+        assert_eq!(expected_count(&dist, &q), Rat::ratio(2, 3));
+        let cd = count_distribution(&dist, &q);
+        assert_eq!(
+            cd,
+            vec![(0, Rat::ratio(1, 3)), (1, Rat::ratio(2, 3))]
+        );
+        // Mean of the count distribution equals expected_count.
+        let mean: Rat = cd
+            .iter()
+            .map(|(c, p)| Rat::integer(*c as i64).mul_ref(p))
+            .sum();
+        assert_eq!(mean, expected_count(&dist, &q));
+    }
+
+    #[test]
+    fn uniform_repair_fraction_ignores_chain_probabilities() {
+        // Preference example: (a) answers the query in 1 of 4 repairs, so
+        // the equally-likely measure is 1/4 even though the chain assigns
+        // that repair probability 9/20.
+        let ctx = make_ctx(
+            "Pref(a,b). Pref(a,c). Pref(a,d). Pref(b,a). Pref(b,d). Pref(c,a).",
+            "Pref(x,y), Pref(y,x) -> false.",
+        );
+        let dist =
+            repair_distribution(&ctx, &PreferenceGenerator::new(), &ExploreOptions::default())
+                .unwrap();
+        let q = parser::parse_query("(x) <- forall y: (Pref(x,y) | x = y)").unwrap();
+        assert_eq!(
+            uniform_repair_fraction(&dist, &q, &[Constant::named("a")]),
+            Rat::ratio(1, 4)
+        );
+        assert_eq!(
+            conditional_probability(&dist, &q, &[Constant::named("a")]),
+            Rat::ratio(9, 20)
+        );
+    }
+
+    #[test]
+    fn certain_answers_on_shared_facts() {
+        // R(a,b) conflicts with R(a,c); S(q) is untouched, so S-answers are
+        // certain while R-answers split.
+        let ctx = make_ctx("R(a,b). R(a,c). S(q).", "R(x,y), R(x,z) -> y = z.");
+        let dist =
+            repair_distribution(&ctx, &UniformGenerator::new(), &ExploreOptions::default())
+                .unwrap();
+        let qs = parser::parse_query("(x) <- S(x)").unwrap();
+        assert_eq!(
+            certain_answers(&dist, &qs),
+            vec![vec![Constant::named("q")]]
+        );
+        let qr = parser::parse_query("(y) <- exists x: R(x, y)").unwrap();
+        let oca = operational_answers(&dist, &qr);
+        // b and c each appear in exactly one of three uniform repairs.
+        assert_eq!(oca.len(), 2);
+        for (_, p) in &oca {
+            assert_eq!(*p, Rat::ratio(1, 3));
+        }
+        assert!(certain_answers(&dist, &qr).is_empty());
+    }
+}

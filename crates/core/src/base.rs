@@ -1,0 +1,151 @@
+//! The base `B(D, Σ)`.
+
+use ocqa_data::{Constant, Database, Fact, Schema, Symbol};
+use ocqa_logic::ConstraintSet;
+use std::sync::Arc;
+
+/// The base `B(D, Σ)`: all facts `R(c₁,…,cₙ)` with `R/n` in the schema and
+/// every `cᵢ` drawn from `dom(D) ∪ consts(Σ)`.
+///
+/// The base is the universe that `(D, Σ)`-operations draw from
+/// (Definition 1). It is exponential in relation arity, so it is never
+/// materialized: [`BaseDomain`] stores the constant pool and answers
+/// membership queries and candidate-extension enumeration lazily.
+///
+/// The constant pool is fixed from the *original* database `D`, not from
+/// intermediate repair states — operations along a repairing sequence all
+/// act on `P(B(D, Σ))`.
+#[derive(Clone, Debug)]
+pub struct BaseDomain {
+    schema: Arc<Schema>,
+    constants: Vec<Constant>, // sorted, deduplicated
+}
+
+impl BaseDomain {
+    /// Builds `B(D, Σ)`'s domain: `dom(D)` plus the constants of `Σ`.
+    pub fn new(d0: &Database, sigma: &ConstraintSet) -> BaseDomain {
+        let mut constants: Vec<Constant> = d0.active_domain().collect();
+        constants.extend(sigma.constants());
+        constants.sort();
+        constants.dedup();
+        BaseDomain {
+            schema: d0.schema().clone(),
+            constants,
+        }
+    }
+
+    /// The schema facts are drawn over.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// The constant pool `dom(D) ∪ consts(Σ)`, sorted.
+    pub fn constants(&self) -> &[Constant] {
+        &self.constants
+    }
+
+    /// Whether `fact ∈ B(D, Σ)`.
+    pub fn contains(&self, fact: &Fact) -> bool {
+        self.schema.arity(fact.pred()) == Some(fact.arity())
+            && fact
+                .args()
+                .iter()
+                .all(|c| self.constants.binary_search(c).is_ok())
+    }
+
+    /// Number of facts in `B(D, Σ)` (may be astronomically large; `u128`
+    /// saturating).
+    pub fn size(&self) -> u128 {
+        let k = self.constants.len() as u128;
+        self.schema
+            .relations()
+            .map(|(_, arity)| k.checked_pow(arity as u32).unwrap_or(u128::MAX))
+            .fold(0u128, |acc, n| acc.saturating_add(n))
+    }
+
+    /// Enumerates all assignments of `n` existential positions over the
+    /// constant pool, calling `visit` with each tuple. Used to extend TGD
+    /// violation homomorphisms when generating insertion candidates
+    /// (Proposition 1). `visit` returns `false` to stop.
+    pub fn for_each_tuple(&self, n: usize, visit: &mut dyn FnMut(&[Constant]) -> bool) {
+        let mut tuple = Vec::with_capacity(n);
+        self.rec_tuples(n, &mut tuple, visit);
+    }
+
+    fn rec_tuples(
+        &self,
+        n: usize,
+        tuple: &mut Vec<Constant>,
+        visit: &mut dyn FnMut(&[Constant]) -> bool,
+    ) -> bool {
+        if tuple.len() == n {
+            return visit(tuple);
+        }
+        for &c in &self.constants {
+            tuple.push(c);
+            let keep_going = self.rec_tuples(n, tuple, visit);
+            tuple.pop();
+            if !keep_going {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// All facts of relation `pred` in the base (use with care: `k^arity`).
+    pub fn relation_facts(&self, pred: Symbol) -> Vec<Fact> {
+        let Some(arity) = self.schema.arity(pred) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        self.for_each_tuple(arity, &mut |tuple| {
+            out.push(Fact::new(pred, tuple.to_vec()));
+            true
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocqa_logic::parser;
+
+    #[test]
+    fn base_includes_constraint_constants() {
+        let facts = parser::parse_facts("R(a,b).").unwrap();
+        let sigma = parser::parse_constraints("R(x,y) -> exists z: S(z,'k').").unwrap();
+        let schema = parser::infer_schema(&facts, &sigma).unwrap();
+        let db = Database::from_facts(schema, facts).unwrap();
+        let base = BaseDomain::new(&db, &sigma);
+        assert_eq!(base.constants().len(), 3); // a, b, k
+        assert!(base.contains(&Fact::parts("S", &["k", "a"])));
+        assert!(!base.contains(&Fact::parts("S", &["z", "a"])), "z is not a constant");
+        assert!(!base.contains(&Fact::parts("T", &["a", "b"])), "unknown relation");
+        // |B| = 3² + 3² = 18 for R/2 and S/2.
+        assert_eq!(base.size(), 18);
+    }
+
+    #[test]
+    fn tuple_enumeration_counts() {
+        let facts = parser::parse_facts("R(a,b).").unwrap();
+        let sigma = ocqa_logic::ConstraintSet::empty();
+        let schema = parser::infer_schema(&facts, &sigma).unwrap();
+        let db = Database::from_facts(schema, facts).unwrap();
+        let base = BaseDomain::new(&db, &sigma);
+        let mut n = 0;
+        base.for_each_tuple(2, &mut |_| {
+            n += 1;
+            true
+        });
+        assert_eq!(n, 4);
+        // Early stop.
+        let mut seen = 0;
+        base.for_each_tuple(2, &mut |_| {
+            seen += 1;
+            seen < 2
+        });
+        assert_eq!(seen, 2);
+        assert_eq!(base.relation_facts(Symbol::intern("R")).len(), 4);
+    }
+}

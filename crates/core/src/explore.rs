@@ -1,0 +1,466 @@
+//! Exact exploration of repairing Markov chains.
+//!
+//! Enumerates the full tree of repairing sequences with non-zero
+//! probability under a [`ChainGenerator`], accumulating the hitting
+//! distribution (Proposition 3 guarantees it exists for tree chains: every
+//! path reaches an absorbing state in finitely many steps) and grouping
+//! successful sequences by the repair they produce (Definition 6). The
+//! result is the exact semantics `[[D]]_{MΣ}` plus the mass of failing
+//! sequences — everything needed to compute `CP(t̄)` (Definition 7).
+//!
+//! Worst-case cost is exponential in the number of violations (Theorem 5:
+//! exact OCQA is `FP^#P`-complete), so exploration carries an explicit
+//! sequence budget; beyond it, use [`crate::sample`].
+
+use crate::markov::SparseChain;
+use crate::{ChainGenerator, GeneratorError, RepairContext, RepairState};
+use ocqa_data::{Database, Fact};
+use ocqa_num::Rat;
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+
+/// Limits and switches for exploration.
+#[derive(Clone, Debug)]
+pub struct ExploreOptions {
+    /// Maximum number of sequence states to visit before giving up.
+    pub max_states: usize,
+    /// Also record the explicit chain (states and edges) for cross-checks
+    /// against [`crate::markov`]. Memory-heavy; test-sized inputs only.
+    pub record_chain: bool,
+}
+
+impl Default for ExploreOptions {
+    fn default() -> Self {
+        ExploreOptions {
+            max_states: 1_000_000,
+            record_chain: false,
+        }
+    }
+}
+
+/// Why exploration stopped without a result.
+#[derive(Debug)]
+pub enum ExploreError {
+    /// The state budget was exhausted (the chain is too large — sample
+    /// instead).
+    BudgetExceeded {
+        /// The configured budget.
+        max_states: usize,
+    },
+    /// The generator failed to produce a distribution.
+    Generator(GeneratorError),
+}
+
+impl fmt::Display for ExploreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExploreError::BudgetExceeded { max_states } => {
+                write!(f, "exploration exceeded {max_states} states")
+            }
+            ExploreError::Generator(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExploreError {}
+
+impl From<GeneratorError> for ExploreError {
+    fn from(e: GeneratorError) -> Self {
+        ExploreError::Generator(e)
+    }
+}
+
+/// One operational repair with its probability and supporting sequences.
+#[derive(Clone, Debug)]
+pub struct RepairInfo {
+    /// The repaired (consistent) instance.
+    pub db: Database,
+    /// Its probability under the hitting distribution (sum over all
+    /// successful sequences producing this instance).
+    pub probability: Rat,
+    /// Number of distinct successful sequences producing it.
+    pub sequences: usize,
+}
+
+/// The exact semantics `[[D]]_{MΣ}` of an inconsistent database plus
+/// failing-sequence bookkeeping.
+#[derive(Clone, Debug)]
+pub struct RepairDistribution {
+    repairs: Vec<RepairInfo>,
+    failing_mass: Rat,
+    states_visited: usize,
+    absorbing_sequences: usize,
+    max_depth: usize,
+}
+
+impl RepairDistribution {
+    /// Assembles a distribution from externally computed parts (used by
+    /// [`crate::localize`], which composes per-component explorations).
+    pub fn from_parts(
+        mut repairs: Vec<RepairInfo>,
+        failing_mass: Rat,
+        states_visited: usize,
+        absorbing_sequences: usize,
+        max_depth: usize,
+    ) -> RepairDistribution {
+        repairs.sort_by_key(|a| a.db.canonical_facts());
+        RepairDistribution {
+            repairs,
+            failing_mass,
+            states_visited,
+            absorbing_sequences,
+            max_depth,
+        }
+    }
+
+    /// The operational repairs with their probabilities, in canonical
+    /// (fact-set) order.
+    pub fn repairs(&self) -> &[RepairInfo] {
+        &self.repairs
+    }
+
+    /// Total probability of successful sequences
+    /// (`Σ_{(D′,p) ∈ [[D]]} p`, the denominator of `CP`).
+    pub fn success_mass(&self) -> Rat {
+        self.repairs.iter().map(|r| &r.probability).sum()
+    }
+
+    /// Total probability of failing complete sequences.
+    pub fn failing_mass(&self) -> &Rat {
+        &self.failing_mass
+    }
+
+    /// Number of sequence states visited during exploration.
+    pub fn states_visited(&self) -> usize {
+        self.states_visited
+    }
+
+    /// Number of complete (absorbing) sequences found.
+    pub fn absorbing_sequences(&self) -> usize {
+        self.absorbing_sequences
+    }
+
+    /// Length of the longest repairing sequence.
+    pub fn max_depth(&self) -> usize {
+        self.max_depth
+    }
+
+    /// Probability of a specific repair (0 when the instance is not an
+    /// operational repair).
+    pub fn probability_of(&self, db: &Database) -> Rat {
+        self.repairs
+            .iter()
+            .find(|r| r.db.same_facts(db))
+            .map(|r| r.probability.clone())
+            .unwrap_or_else(Rat::zero)
+    }
+}
+
+/// A recorded exploration: the distribution plus (optionally) the explicit
+/// chain for Proposition 3 cross-checks.
+pub struct Exploration {
+    /// The repair distribution.
+    pub distribution: RepairDistribution,
+    /// The explicit chain, if requested.
+    pub chain: Option<SparseChain>,
+    /// For every chain state, the repair (canonical fact set) if the state
+    /// is a *successful* absorbing sequence.
+    pub absorbing_repairs: Vec<(usize, Option<BTreeSet<Fact>>)>,
+}
+
+/// Explores the full repairing Markov chain of `ctx` under `gen`.
+pub fn explore(
+    ctx: &Arc<RepairContext>,
+    gen: &dyn ChainGenerator,
+    options: &ExploreOptions,
+) -> Result<Exploration, ExploreError> {
+    let mut repairs: BTreeMap<BTreeSet<Fact>, RepairInfo> = BTreeMap::new();
+    let mut failing_mass = Rat::zero();
+    let mut states_visited = 0usize;
+    let mut absorbing_sequences = 0usize;
+    let mut max_depth = 0usize;
+
+    // Chain recording.
+    let mut chain_edges: Vec<(usize, usize, Rat)> = Vec::new();
+    let mut absorbing_repairs: Vec<(usize, Option<BTreeSet<Fact>>)> = Vec::new();
+    let mut next_id = 0usize;
+
+    // DFS over the sequence tree.
+    struct Frame {
+        state: RepairState,
+        prob: Rat,
+        id: usize,
+    }
+    let root = Frame {
+        state: RepairState::initial(ctx.clone()),
+        prob: Rat::one(),
+        id: next_id,
+    };
+    next_id += 1;
+    let mut stack = vec![root];
+
+    while let Some(frame) = stack.pop() {
+        states_visited += 1;
+        if states_visited > options.max_states {
+            return Err(ExploreError::BudgetExceeded {
+                max_states: options.max_states,
+            });
+        }
+        max_depth = max_depth.max(frame.state.depth());
+        let exts = frame.state.extensions();
+        if exts.is_empty() {
+            absorbing_sequences += 1;
+            if frame.state.is_consistent() {
+                let key = frame.state.db().canonical_facts();
+                if options.record_chain {
+                    absorbing_repairs.push((frame.id, Some(key.clone())));
+                }
+                match repairs.get_mut(&key) {
+                    Some(info) => {
+                        info.probability += &frame.prob;
+                        info.sequences += 1;
+                    }
+                    None => {
+                        repairs.insert(
+                            key,
+                            RepairInfo {
+                                db: frame.state.db().clone(),
+                                probability: frame.prob,
+                                sequences: 1,
+                            },
+                        );
+                    }
+                }
+            } else {
+                failing_mass += &frame.prob;
+                if options.record_chain {
+                    absorbing_repairs.push((frame.id, None));
+                }
+            }
+            continue;
+        }
+        let weights = gen.validated(&frame.state, &exts)?;
+        for (op, w) in exts.iter().zip(weights) {
+            if w.is_zero() {
+                continue;
+            }
+            let child = Frame {
+                state: frame.state.apply(op),
+                prob: frame.prob.mul_ref(&w),
+                id: next_id,
+            };
+            if options.record_chain {
+                chain_edges.push((frame.id, child.id, w));
+            }
+            next_id += 1;
+            stack.push(child);
+        }
+    }
+
+    let chain = if options.record_chain {
+        let mut m = SparseChain::new(next_id, 0);
+        let interior: BTreeSet<usize> = chain_edges.iter().map(|(f, _, _)| *f).collect();
+        for (f, t, p) in chain_edges {
+            m.add_edge(f, t, p);
+        }
+        for s in 0..next_id {
+            if !interior.contains(&s) {
+                m.set_absorbing(s);
+            }
+        }
+        Some(m)
+    } else {
+        None
+    };
+
+    Ok(Exploration {
+        distribution: RepairDistribution {
+            repairs: repairs.into_values().collect(),
+            failing_mass,
+            states_visited,
+            absorbing_sequences,
+            max_depth,
+        },
+        chain,
+        absorbing_repairs,
+    })
+}
+
+/// Convenience wrapper returning only the distribution.
+pub fn repair_distribution(
+    ctx: &Arc<RepairContext>,
+    gen: &dyn ChainGenerator,
+    options: &ExploreOptions,
+) -> Result<RepairDistribution, ExploreError> {
+    explore(ctx, gen, options).map(|e| e.distribution)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PreferenceGenerator, UniformGenerator};
+    use ocqa_logic::parser;
+
+    fn r(n: i64, d: i64) -> Rat {
+        Rat::ratio(n, d)
+    }
+
+    pub(crate) fn make_ctx(facts: &str, constraints: &str) -> Arc<RepairContext> {
+        let facts = parser::parse_facts(facts).unwrap();
+        let sigma = parser::parse_constraints(constraints).unwrap();
+        let schema = parser::infer_schema(&facts, &sigma).unwrap();
+        let db = Database::from_facts(schema, facts).unwrap();
+        RepairContext::new(db, sigma)
+    }
+
+    fn pref_ctx() -> Arc<RepairContext> {
+        make_ctx(
+            "Pref(a,b). Pref(a,c). Pref(a,d). Pref(b,a). Pref(b,d). Pref(c,a).",
+            "Pref(x,y), Pref(y,x) -> false.",
+        )
+    }
+
+    #[test]
+    fn example6_repair_distribution() {
+        let ctx = pref_ctx();
+        let dist =
+            repair_distribution(&ctx, &PreferenceGenerator::new(), &ExploreOptions::default())
+                .unwrap();
+        assert_eq!(dist.repairs().len(), 4);
+        assert!(dist.failing_mass().is_zero());
+        assert!(dist.success_mass().is_one());
+
+        let prob_of = |removed: [(&str, &str); 2]| -> Rat {
+            let mut db = ctx.d0().clone();
+            for (a, b) in removed {
+                db.remove(&Fact::parts("Pref", &[a, b]));
+            }
+            dist.probability_of(&db)
+        };
+        assert_eq!(prob_of([("a", "b"), ("a", "c")]), r(7, 54));
+        assert_eq!(prob_of([("a", "b"), ("c", "a")]), r(38, 135));
+        assert_eq!(prob_of([("b", "a"), ("a", "c")]), r(5, 36));
+        assert_eq!(prob_of([("b", "a"), ("c", "a")]), r(9, 20));
+    }
+
+    #[test]
+    fn example6_each_repair_from_two_sequences() {
+        let ctx = pref_ctx();
+        let dist =
+            repair_distribution(&ctx, &PreferenceGenerator::new(), &ExploreOptions::default())
+                .unwrap();
+        for info in dist.repairs() {
+            assert_eq!(info.sequences, 2, "two orders per deletion pair");
+            assert!(
+                ctx.sigma().satisfied_by(&info.db),
+                "every operational repair is consistent"
+            );
+        }
+        // 1 root + 4 interior + 8 leaves.
+        assert_eq!(dist.states_visited(), 13);
+        assert_eq!(dist.absorbing_sequences(), 8);
+        assert_eq!(dist.max_depth(), 2);
+    }
+
+    #[test]
+    fn recorded_chain_hitting_distribution_agrees() {
+        // Proposition 3 cross-check: the DFS path products must equal the
+        // fundamental-matrix hitting distribution of the recorded chain.
+        let ctx = pref_ctx();
+        let expl = explore(
+            &ctx,
+            &PreferenceGenerator::new(),
+            &ExploreOptions {
+                record_chain: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let chain = expl.chain.unwrap();
+        chain.validate().unwrap();
+        let hit = chain.hitting_distribution().unwrap();
+        // Sum absorbed mass per repair and compare.
+        let mut by_repair: BTreeMap<BTreeSet<Fact>, Rat> = BTreeMap::new();
+        for (state, repair) in &expl.absorbing_repairs {
+            if let Some(facts) = repair {
+                *by_repair.entry(facts.clone()).or_insert_with(Rat::zero) += &hit[*state];
+            }
+        }
+        assert_eq!(by_repair.len(), expl.distribution.repairs().len());
+        for info in expl.distribution.repairs() {
+            assert_eq!(by_repair[&info.db.canonical_facts()], info.probability);
+        }
+    }
+
+    #[test]
+    fn uniform_generator_covers_more_repairs() {
+        // Under M^u_Σ pair-deletions get probability too: repairs that
+        // remove both atoms of a conflict appear (they are not ABC repairs,
+        // but they are operational ones).
+        let ctx = make_ctx("R(a,b). R(a,c).", "R(x,y), R(x,z) -> y = z.");
+        let dist =
+            repair_distribution(&ctx, &UniformGenerator::new(), &ExploreOptions::default())
+                .unwrap();
+        // Repairs: {R(a,b)}, {R(a,c)}, {} — with probabilities 1/3 each.
+        assert_eq!(dist.repairs().len(), 3);
+        for info in dist.repairs() {
+            assert_eq!(info.probability, r(1, 3));
+        }
+        assert!(dist.success_mass().is_one());
+    }
+
+    #[test]
+    fn failing_mass_accounted() {
+        // §3's failing-sequence example: D = {R(a)},
+        // Σ = {R(x) → T(x); T(x) → ⊥}. Uniform chain: +T(a) (failing) and
+        // −R(a) (success), each 1/2.
+        let ctx = make_ctx("R(a).", "R(x) -> T(x). T(x) -> false.");
+        let dist =
+            repair_distribution(&ctx, &UniformGenerator::new(), &ExploreOptions::default())
+                .unwrap();
+        assert_eq!(*dist.failing_mass(), r(1, 2));
+        assert_eq!(dist.success_mass(), r(1, 2));
+        assert_eq!(dist.repairs().len(), 1);
+        assert!(dist.repairs()[0].db.is_empty());
+    }
+
+    #[test]
+    fn probability_of_unknown_instance_is_zero() {
+        let ctx = make_ctx("R(a,b). R(a,c).", "R(x,y), R(x,z) -> y = z.");
+        let dist =
+            repair_distribution(&ctx, &UniformGenerator::new(), &ExploreOptions::default())
+                .unwrap();
+        // The original inconsistent instance is never a repair.
+        assert_eq!(dist.probability_of(ctx.d0()), Rat::zero());
+    }
+
+    #[test]
+    fn consistent_input_yields_identity_repair() {
+        let ctx = make_ctx("R(a,b). S(x).", "R(x,y), R(x,z) -> y = z.");
+        let dist =
+            repair_distribution(&ctx, &UniformGenerator::new(), &ExploreOptions::default())
+                .unwrap();
+        assert_eq!(dist.repairs().len(), 1);
+        assert!(dist.repairs()[0].db.same_facts(ctx.d0()));
+        assert!(dist.repairs()[0].probability.is_one());
+        assert_eq!(dist.max_depth(), 0);
+        assert_eq!(dist.absorbing_sequences(), 1);
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        let ctx = pref_ctx();
+        let err = repair_distribution(
+            &ctx,
+            &PreferenceGenerator::new(),
+            &ExploreOptions {
+                max_states: 5,
+                record_chain: false,
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, ExploreError::BudgetExceeded { max_states: 5 }));
+    }
+}

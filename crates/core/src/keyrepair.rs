@@ -1,0 +1,424 @@
+//! The practical approximation scheme of §5 for key violations.
+//!
+//! For the common case — primary-key constraints repaired by deletions —
+//! the paper sketches an implementation that bypasses the generic Markov
+//! walk entirely: group the tuples of `R` violating a key, randomly keep at
+//! most one tuple per group, collect the rest in `R_del`, and evaluate the
+//! query with `R` replaced by `R − R_del` (no materialization), tallying
+//! answers over `n = ⌈ln(2/δ)/(2ε²)⌉` rounds in a temporary table.
+//!
+//! This module implements that scheme directly on top of
+//! [`DeletionOverlay`] (the in-engine analogue of the SQL rewriting), with
+//! pluggable per-group survivor policies:
+//!
+//! * [`GroupPolicy::KeepOneUniform`] — one survivor, uniformly (the ABC
+//!   subset-repair distribution per group);
+//! * [`GroupPolicy::KeepAtMostOneUniform`] — uniform over survivors *and*
+//!   the delete-all outcome (the paper's "at most one");
+//! * [`GroupPolicy::Trust`] — the Example 5 trust model on conflict pairs.
+//!
+//! Because groups are repaired independently, the induced repair
+//! distribution is the product of per-group outcome distributions —
+//! exposed exactly by [`KeyRepairSampler::exact_distribution`] for
+//! validation against the sampler and the generic engine.
+
+use crate::generators::trust_pair_outcomes;
+use ocqa_data::{Constant, Database, Fact, Symbol};
+use ocqa_num::Rat;
+use ocqa_logic::{DeletionOverlay, Query};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::{BTreeMap, HashSet};
+use std::fmt;
+
+/// A key declaration: the first `key_len` columns of `relation` form a key.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KeyConfig {
+    /// The relation carrying the key.
+    pub relation: Symbol,
+    /// Number of leading key columns.
+    pub key_len: usize,
+}
+
+/// Per-group survivor policy.
+#[derive(Clone, Debug)]
+pub enum GroupPolicy {
+    /// Keep exactly one tuple per violating group, uniformly at random.
+    KeepOneUniform,
+    /// Keep one tuple (uniformly) or none — each of the `g + 1` outcomes
+    /// equally likely.
+    KeepAtMostOneUniform,
+    /// Example 5's trust model; requires all violating groups to be pairs.
+    /// Facts default to the given trust when absent from the map.
+    Trust {
+        /// Per-fact trust levels in `(0, 1]`.
+        trust: BTreeMap<Fact, Rat>,
+        /// Default trust for unlisted facts.
+        default_trust: Rat,
+    },
+}
+
+/// Error raised when a policy cannot handle the group structure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyRepairError(pub String);
+
+impl fmt::Display for KeyRepairError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "key repair error: {}", self.0)
+    }
+}
+
+impl std::error::Error for KeyRepairError {}
+
+/// Groups the tuples of `cfg.relation` by key value and returns the groups
+/// with at least two tuples (the violating ones), canonically ordered.
+pub fn violating_groups(db: &Database, cfg: &KeyConfig) -> Vec<Vec<Fact>> {
+    let Some(rel) = db.relation(cfg.relation) else {
+        return Vec::new();
+    };
+    assert!(
+        cfg.key_len < rel.arity(),
+        "key must leave at least one dependent column"
+    );
+    let mut groups: BTreeMap<Vec<Constant>, Vec<Fact>> = BTreeMap::new();
+    for row in rel.iter() {
+        let key: Vec<Constant> = row[..cfg.key_len].to_vec();
+        groups
+            .entry(key)
+            .or_default()
+            .push(Fact::new(cfg.relation, row.to_vec()));
+    }
+    groups
+        .into_values()
+        .filter(|g| g.len() > 1)
+        .map(|mut g| {
+            g.sort();
+            g
+        })
+        .collect()
+}
+
+/// The group-wise repair sampler implementing the §5 scheme.
+pub struct KeyRepairSampler<'a> {
+    db: &'a Database,
+    groups: Vec<Vec<Fact>>,
+    /// Per group: the list of outcomes, each a set of deletions with its
+    /// probability. Outcome `i < g` keeps tuple `i`; the optional last
+    /// outcome deletes the whole group.
+    outcomes: Vec<Vec<(Vec<Fact>, Rat)>>,
+}
+
+impl fmt::Debug for KeyRepairSampler<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "KeyRepairSampler(groups={}, outcomes={})",
+            self.groups.len(),
+            self.outcomes.iter().map(|o| o.len()).sum::<usize>()
+        )
+    }
+}
+
+impl<'a> KeyRepairSampler<'a> {
+    /// Builds the sampler for `db` under the given key and policy.
+    pub fn new(
+        db: &'a Database,
+        cfg: &KeyConfig,
+        policy: &GroupPolicy,
+    ) -> Result<KeyRepairSampler<'a>, KeyRepairError> {
+        let groups = violating_groups(db, cfg);
+        let mut outcomes = Vec::with_capacity(groups.len());
+        for group in &groups {
+            outcomes.push(group_outcomes(group, policy)?);
+        }
+        Ok(KeyRepairSampler {
+            db,
+            groups,
+            outcomes,
+        })
+    }
+
+    /// The violating groups.
+    pub fn groups(&self) -> &[Vec<Fact>] {
+        &self.groups
+    }
+
+    /// Draws one repair, returned as the deletion set `R_del`.
+    pub fn sample_deletions(&self, rng: &mut StdRng) -> HashSet<Fact> {
+        let mut deleted = HashSet::new();
+        for group_outcomes in &self.outcomes {
+            let r: f64 = rng.random();
+            let mut acc = 0.0;
+            let mut chosen = group_outcomes.len() - 1;
+            for (i, (_, p)) in group_outcomes.iter().enumerate() {
+                acc += p.to_f64();
+                if r < acc {
+                    chosen = i;
+                    break;
+                }
+            }
+            deleted.extend(group_outcomes[chosen].0.iter().cloned());
+        }
+        deleted
+    }
+
+    /// The exact induced repair distribution: the product of per-group
+    /// outcome distributions. Exponential in the number of groups — for
+    /// validation on small instances.
+    pub fn exact_distribution(&self) -> Vec<(HashSet<Fact>, Rat)> {
+        let mut acc: Vec<(HashSet<Fact>, Rat)> = vec![(HashSet::new(), Rat::one())];
+        for group_outcomes in &self.outcomes {
+            let mut next = Vec::with_capacity(acc.len() * group_outcomes.len());
+            for (dels, p) in &acc {
+                for (outcome_dels, q) in group_outcomes {
+                    let mut d = dels.clone();
+                    d.extend(outcome_dels.iter().cloned());
+                    next.push((d, p.mul_ref(q)));
+                }
+            }
+            acc = next;
+        }
+        acc
+    }
+
+    /// The full §5 pipeline: `n = ⌈ln(2/δ)/(2ε²)⌉` rounds of (sample
+    /// `R_del`, evaluate `Q[R ↦ R − R_del]` through a [`DeletionOverlay`],
+    /// append to the tally), then per-tuple frequencies.
+    pub fn estimate_answers(
+        &self,
+        query: &Query,
+        eps: f64,
+        delta: f64,
+        rng: &mut StdRng,
+    ) -> (Vec<(Vec<Constant>, f64)>, u64) {
+        let n = crate::sample::sample_size(eps, delta);
+        let mut tally: BTreeMap<Vec<Constant>, u64> = BTreeMap::new();
+        for _ in 0..n {
+            let deleted = self.sample_deletions(rng);
+            let view = DeletionOverlay::new(self.db, &deleted);
+            for tuple in query.answers(&view) {
+                *tally.entry(tuple).or_insert(0) += 1;
+            }
+        }
+        (
+            tally
+                .into_iter()
+                .map(|(t, k)| (t, k as f64 / n as f64))
+                .collect(),
+            n,
+        )
+    }
+}
+
+/// Outcome distribution for one violating group under a policy.
+fn group_outcomes(
+    group: &[Fact],
+    policy: &GroupPolicy,
+) -> Result<Vec<(Vec<Fact>, Rat)>, KeyRepairError> {
+    let g = group.len() as i64;
+    match policy {
+        GroupPolicy::KeepOneUniform => Ok((0..group.len())
+            .map(|keep| (drop_all_but(group, Some(keep)), Rat::ratio(1, g)))
+            .collect()),
+        GroupPolicy::KeepAtMostOneUniform => {
+            let share = Rat::ratio(1, g + 1);
+            let mut out: Vec<(Vec<Fact>, Rat)> = (0..group.len())
+                .map(|keep| (drop_all_but(group, Some(keep)), share.clone()))
+                .collect();
+            out.push((drop_all_but(group, None), share));
+            Ok(out)
+        }
+        GroupPolicy::Trust {
+            trust,
+            default_trust,
+        } => {
+            if group.len() != 2 {
+                return Err(KeyRepairError(format!(
+                    "trust policy requires conflict pairs; group of {} found",
+                    group.len()
+                )));
+            }
+            let tr = |f: &Fact| trust.get(f).cloned().unwrap_or_else(|| default_trust.clone());
+            let (remove_a, remove_b, remove_both) =
+                trust_pair_outcomes(&tr(&group[0]), &tr(&group[1]));
+            Ok(vec![
+                // Keep group[0] ⇔ remove β = group[1].
+                (vec![group[1].clone()], remove_b),
+                // Keep group[1] ⇔ remove α = group[0].
+                (vec![group[0].clone()], remove_a),
+                (group.to_vec(), remove_both),
+            ])
+        }
+    }
+}
+
+fn drop_all_but(group: &[Fact], keep: Option<usize>) -> Vec<Fact> {
+    group
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| Some(*i) != keep)
+        .map(|(_, f)| f.clone())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocqa_logic::parser;
+    use rand::SeedableRng;
+
+    fn db(facts: &str) -> Database {
+        let facts = parser::parse_facts(facts).unwrap();
+        let schema = parser::infer_schema(&facts, &ocqa_logic::ConstraintSet::empty()).unwrap();
+        Database::from_facts(schema, facts).unwrap()
+    }
+
+    fn cfg() -> KeyConfig {
+        KeyConfig {
+            relation: Symbol::intern("R"),
+            key_len: 1,
+        }
+    }
+
+    #[test]
+    fn groups_found_and_sorted() {
+        let db = db("R(a,1). R(a,2). R(b,1). R(c,1). R(c,2). R(c,3).");
+        let groups = violating_groups(&db, &cfg());
+        assert_eq!(groups.len(), 2, "b's group is a singleton");
+        assert_eq!(groups[0].len(), 2);
+        assert_eq!(groups[1].len(), 3);
+    }
+
+    #[test]
+    fn exact_distribution_keep_one() {
+        let db = db("R(a,1). R(a,2). R(b,7). R(b,8).");
+        let sampler = KeyRepairSampler::new(&db, &cfg(), &GroupPolicy::KeepOneUniform).unwrap();
+        let dist = sampler.exact_distribution();
+        // 2 × 2 = 4 repairs, each probability 1/4, each deleting 2 facts.
+        assert_eq!(dist.len(), 4);
+        let total: Rat = dist.iter().map(|(_, p)| p).sum();
+        assert!(total.is_one());
+        for (dels, p) in &dist {
+            assert_eq!(*p, Rat::ratio(1, 4));
+            assert_eq!(dels.len(), 2);
+        }
+    }
+
+    #[test]
+    fn exact_distribution_trust_pairs() {
+        let db = db("R(a,1). R(a,2).");
+        let sampler = KeyRepairSampler::new(
+            &db,
+            &cfg(),
+            &GroupPolicy::Trust {
+                trust: BTreeMap::new(),
+                default_trust: Rat::ratio(1, 2),
+            },
+        )
+        .unwrap();
+        let dist = sampler.exact_distribution();
+        assert_eq!(dist.len(), 3);
+        let by_len: BTreeMap<usize, Rat> = dist
+            .iter()
+            .map(|(d, p)| (d.len(), p.clone()))
+            .fold(BTreeMap::new(), |mut m, (k, p)| {
+                *m.entry(k).or_insert_with(Rat::zero) += &p;
+                m
+            });
+        // Example 5: each single removal 3/8, both 1/4.
+        assert_eq!(by_len[&1], Rat::ratio(3, 4));
+        assert_eq!(by_len[&2], Rat::ratio(1, 4));
+    }
+
+    #[test]
+    fn trust_policy_rejects_large_groups() {
+        let db = db("R(a,1). R(a,2). R(a,3).");
+        let err = KeyRepairSampler::new(
+            &db,
+            &cfg(),
+            &GroupPolicy::Trust {
+                trust: BTreeMap::new(),
+                default_trust: Rat::ratio(1, 2),
+            },
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("pairs"));
+    }
+
+    #[test]
+    fn keep_at_most_one_includes_delete_all_outcome() {
+        let db = db("R(a,1). R(a,2). R(a,3).");
+        let sampler =
+            KeyRepairSampler::new(&db, &cfg(), &GroupPolicy::KeepAtMostOneUniform).unwrap();
+        let dist = sampler.exact_distribution();
+        // g + 1 = 4 outcomes, each 1/4; one of them deletes all three.
+        assert_eq!(dist.len(), 4);
+        for (_, p) in &dist {
+            assert_eq!(*p, Rat::ratio(1, 4));
+        }
+        assert!(dist.iter().any(|(d, _)| d.len() == 3), "delete-all outcome");
+        let total: Rat = dist.iter().map(|(_, p)| p).sum();
+        assert!(total.is_one());
+    }
+
+    #[test]
+    fn no_violations_no_outcomes() {
+        let db = db("R(a,1). R(b,2).");
+        let sampler =
+            KeyRepairSampler::new(&db, &cfg(), &GroupPolicy::KeepOneUniform).unwrap();
+        assert!(sampler.groups().is_empty());
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(sampler.sample_deletions(&mut rng).is_empty());
+        let dist = sampler.exact_distribution();
+        assert_eq!(dist.len(), 1);
+        assert!(dist[0].0.is_empty());
+        assert!(dist[0].1.is_one());
+    }
+
+    #[test]
+    fn sampled_deletions_leave_keys_consistent() {
+        let db = db("R(a,1). R(a,2). R(b,1). R(c,1). R(c,2). R(c,3).");
+        let sampler = KeyRepairSampler::new(&db, &cfg(), &GroupPolicy::KeepOneUniform).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let sigma = parser::parse_constraints("R(x,y), R(x,z) -> y = z.").unwrap();
+        for _ in 0..50 {
+            let dels = sampler.sample_deletions(&mut rng);
+            let mut repaired = db.clone();
+            for f in &dels {
+                assert!(repaired.remove(f));
+            }
+            assert!(sigma.satisfied_by(&repaired));
+            // Exactly one survivor per violating group.
+            assert_eq!(repaired.relation(Symbol::intern("R")).unwrap().len(), 3);
+        }
+    }
+
+    #[test]
+    fn estimate_answers_certain_tuple_has_frequency_one() {
+        let db = db("R(a,1). R(a,2). R(b,7).");
+        let sampler = KeyRepairSampler::new(&db, &cfg(), &GroupPolicy::KeepOneUniform).unwrap();
+        let q = parser::parse_query("(x) <- exists y: R(x, y)").unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let (answers, n) = sampler.estimate_answers(&q, 0.1, 0.1, &mut rng);
+        assert_eq!(n, 150);
+        let freq: BTreeMap<String, f64> = answers
+            .iter()
+            .map(|(t, p)| (format!("{}", t[0]), *p))
+            .collect();
+        // Both keys survive in every repair under keep-one.
+        assert_eq!(freq["a"], 1.0);
+        assert_eq!(freq["b"], 1.0);
+    }
+
+    #[test]
+    fn estimate_answers_split_tuple_near_half() {
+        let db = db("R(a,1). R(a,2).");
+        let sampler = KeyRepairSampler::new(&db, &cfg(), &GroupPolicy::KeepOneUniform).unwrap();
+        let q = parser::parse_query("(y) <- R('a', y)").unwrap();
+        let mut rng = StdRng::seed_from_u64(13);
+        let (answers, _) = sampler.estimate_answers(&q, 0.05, 0.02, &mut rng);
+        for (_, p) in &answers {
+            assert!((p - 0.5).abs() <= 0.05, "freq {p} should be ≈ 0.5");
+        }
+    }
+}

@@ -1,0 +1,411 @@
+//! Generic finite Markov chains over exact rationals.
+//!
+//! The repairing Markov chains of the paper are tree-shaped, so their
+//! hitting distribution is just a sum of root-to-leaf path products — which
+//! is what [`crate::explore`] computes. This module provides the *generic*
+//! machinery (§3, "The Basics on Markov Chains"): sparse transition
+//! matrices, absorbing states, step distributions `Pⁿ(s₀)`, and the
+//! absorption probabilities of an arbitrary absorbing chain computed by
+//! exact Gaussian elimination on the fundamental system `(I − Q) X = R`.
+//! The test-suite uses it to cross-check the tree exploration
+//! (Proposition 3: the hitting distribution of a repairing chain exists).
+
+use ocqa_num::Rat;
+use std::fmt;
+
+/// A finite Markov chain with sparse transitions and exact rational
+/// probabilities.
+///
+/// ```
+/// use ocqa_core::markov::SparseChain;
+/// use ocqa_num::Rat;
+///
+/// // 0 → 1 w.p. 1/3, 0 → 2 w.p. 2/3; 1 and 2 absorbing.
+/// let mut m = SparseChain::new(3, 0);
+/// m.add_edge(0, 1, Rat::ratio(1, 3));
+/// m.add_edge(0, 2, Rat::ratio(2, 3));
+/// m.set_absorbing(1);
+/// m.set_absorbing(2);
+/// let hit = m.hitting_distribution().unwrap();
+/// assert_eq!(hit[1], Rat::ratio(1, 3));
+/// assert_eq!(hit[2], Rat::ratio(2, 3));
+/// ```
+#[derive(Clone, Debug)]
+pub struct SparseChain {
+    start: usize,
+    transitions: Vec<Vec<(usize, Rat)>>,
+}
+
+/// Error raised by chain analyses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChainError {
+    /// Some state's outgoing probabilities do not sum to 1.
+    NotStochastic {
+        /// Offending state.
+        state: usize,
+        /// Stringified sum.
+        sum: String,
+    },
+    /// The chain has transient states from which no absorbing state is
+    /// reachable (absorption probabilities would not sum to 1).
+    NotAbsorbing,
+}
+
+impl fmt::Display for ChainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChainError::NotStochastic { state, sum } => {
+                write!(f, "state {state} has outgoing mass {sum} ≠ 1")
+            }
+            ChainError::NotAbsorbing => {
+                write!(f, "chain has transient states that never reach absorption")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChainError {}
+
+impl SparseChain {
+    /// Creates a chain with `n` states and the given start state; states
+    /// begin with no outgoing edges (add them, or mark absorbing).
+    pub fn new(n: usize, start: usize) -> SparseChain {
+        assert!(start < n, "start state out of range");
+        SparseChain {
+            start,
+            transitions: vec![Vec::new(); n],
+        }
+    }
+
+    /// The number of states.
+    pub fn len(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// Whether the chain has no states.
+    pub fn is_empty(&self) -> bool {
+        self.transitions.is_empty()
+    }
+
+    /// The start state.
+    pub fn start(&self) -> usize {
+        self.start
+    }
+
+    /// Adds the edge `from → to` with probability `p` (accumulating if the
+    /// edge exists).
+    pub fn add_edge(&mut self, from: usize, to: usize, p: Rat) {
+        if p.is_zero() {
+            return;
+        }
+        let edges = &mut self.transitions[from];
+        match edges.iter_mut().find(|(t, _)| *t == to) {
+            Some((_, q)) => *q += &p,
+            None => edges.push((to, p)),
+        }
+    }
+
+    /// Marks `state` absorbing: a self-loop with probability 1.
+    ///
+    /// # Panics
+    /// Panics if the state already has outgoing edges.
+    pub fn set_absorbing(&mut self, state: usize) {
+        assert!(
+            self.transitions[state].is_empty(),
+            "absorbing state must have no other outgoing edges"
+        );
+        self.transitions[state].push((state, Rat::one()));
+    }
+
+    /// Whether `state` is absorbing (`P(s, s) = 1`).
+    pub fn is_absorbing(&self, state: usize) -> bool {
+        matches!(&self.transitions[state][..], [(t, p)] if *t == state && p.is_one())
+    }
+
+    /// Checks that every state's outgoing probabilities sum to 1.
+    pub fn validate(&self) -> Result<(), ChainError> {
+        for (s, edges) in self.transitions.iter().enumerate() {
+            let sum: Rat = edges.iter().map(|(_, p)| p).sum();
+            if !sum.is_one() {
+                return Err(ChainError::NotStochastic {
+                    state: s,
+                    sum: sum.to_string(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The distribution `Pⁿ(s₀)` after `steps` steps from the start state.
+    pub fn distribution_after(&self, steps: usize) -> Vec<Rat> {
+        let mut dist = vec![Rat::zero(); self.len()];
+        dist[self.start] = Rat::one();
+        for _ in 0..steps {
+            let mut next = vec![Rat::zero(); self.len()];
+            for (s, mass) in dist.iter().enumerate() {
+                if mass.is_zero() {
+                    continue;
+                }
+                for (t, p) in &self.transitions[s] {
+                    next[*t] += &mass.mul_ref(p);
+                }
+            }
+            dist = next;
+        }
+        dist
+    }
+
+    /// States reachable from the start with positive probability.
+    pub fn reachable(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.len()];
+        let mut stack = vec![self.start];
+        seen[self.start] = true;
+        while let Some(s) = stack.pop() {
+            for (t, p) in &self.transitions[s] {
+                if !p.is_zero() && !seen[*t] {
+                    seen[*t] = true;
+                    stack.push(*t);
+                }
+            }
+        }
+        seen
+    }
+
+    /// The reachable absorbing states `ras(M)`.
+    pub fn reachable_absorbing(&self) -> Vec<usize> {
+        let reach = self.reachable();
+        (0..self.len())
+            .filter(|&s| reach[s] && self.is_absorbing(s))
+            .collect()
+    }
+
+    /// The hitting distribution: for every state, the limit probability
+    /// `lim_{n→∞} Pⁿ(s₀)[s]` — zero on transient states, the absorption
+    /// probability on absorbing ones. Computed exactly by solving
+    /// `(I − Q) X = R` (fundamental matrix method) with rational Gaussian
+    /// elimination.
+    pub fn hitting_distribution(&self) -> Result<Vec<Rat>, ChainError> {
+        self.validate()?;
+        let n = self.len();
+        let absorbing: Vec<usize> = (0..n).filter(|&s| self.is_absorbing(s)).collect();
+        if self.is_absorbing(self.start) {
+            let mut out = vec![Rat::zero(); n];
+            out[self.start] = Rat::one();
+            return Ok(out);
+        }
+        let transient: Vec<usize> = (0..n).filter(|&s| !self.is_absorbing(s)).collect();
+        let t_index: Vec<Option<usize>> = {
+            let mut idx = vec![None; n];
+            for (i, &s) in transient.iter().enumerate() {
+                idx[s] = Some(i);
+            }
+            idx
+        };
+        let a_index: Vec<Option<usize>> = {
+            let mut idx = vec![None; n];
+            for (i, &s) in absorbing.iter().enumerate() {
+                idx[s] = Some(i);
+            }
+            idx
+        };
+        let (nt, na) = (transient.len(), absorbing.len());
+        // Augmented system: rows = transient states, columns = nt
+        // coefficients of (I − Q) then na right-hand sides (R columns).
+        let mut m: Vec<Vec<Rat>> = vec![vec![Rat::zero(); nt + na]; nt];
+        for (i, &s) in transient.iter().enumerate() {
+            m[i][i] = Rat::one();
+            for (t, p) in &self.transitions[s] {
+                if let Some(j) = t_index[*t] {
+                    m[i][j] -= p;
+                } else if let Some(a) = a_index[*t] {
+                    m[i][nt + a] += p;
+                }
+            }
+        }
+        // Gaussian elimination with partial (first non-zero) pivoting.
+        for col in 0..nt {
+            let pivot = (col..nt)
+                .find(|&r| !m[r][col].is_zero())
+                .ok_or(ChainError::NotAbsorbing)?;
+            m.swap(col, pivot);
+            let inv = m[col][col].recip();
+            for x in m[col][col..].iter_mut() {
+                *x = x.mul_ref(&inv);
+            }
+            for r in 0..nt {
+                if r != col && !m[r][col].is_zero() {
+                    let factor = m[r][col].clone();
+                    for c in col..nt + na {
+                        let delta = factor.mul_ref(&m[col][c]);
+                        m[r][c] -= &delta;
+                    }
+                }
+            }
+        }
+        let start_row = t_index[self.start].expect("start is transient here");
+        let mut out = vec![Rat::zero(); n];
+        let mut total = Rat::zero();
+        for (a, &s) in absorbing.iter().enumerate() {
+            let p = m[start_row][nt + a].clone();
+            total += &p;
+            out[s] = p;
+        }
+        if !total.is_one() {
+            return Err(ChainError::NotAbsorbing);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i64, d: i64) -> Rat {
+        Rat::ratio(n, d)
+    }
+
+    /// The Markov chain figure from §3 of the paper: a root, four interior
+    /// single-deletion states, and eight absorbing leaves.
+    fn paper_figure_chain() -> SparseChain {
+        // 0 = ε; 1 = −(a,b); 2 = −(b,a); 3 = −(a,c); 4 = −(c,a);
+        // 5..=12 = leaves in the paper's left-to-right order.
+        let mut m = SparseChain::new(13, 0);
+        m.add_edge(0, 1, r(2, 9));
+        m.add_edge(0, 2, r(3, 9));
+        m.add_edge(0, 3, r(1, 9));
+        m.add_edge(0, 4, r(3, 9));
+        m.add_edge(1, 5, r(1, 3)); // −(a,b),−(a,c)
+        m.add_edge(1, 6, r(2, 3)); // −(a,b),−(c,a)
+        m.add_edge(2, 7, r(1, 4)); // −(b,a),−(a,c)
+        m.add_edge(2, 8, r(3, 4)); // −(b,a),−(c,a)
+        m.add_edge(3, 9, r(2, 4)); // −(a,c),−(a,b)
+        m.add_edge(3, 10, r(2, 4)); // −(a,c),−(b,a)
+        m.add_edge(4, 11, r(2, 5)); // −(c,a),−(a,b)
+        m.add_edge(4, 12, r(3, 5)); // −(c,a),−(b,a)
+        for leaf in 5..=12 {
+            m.set_absorbing(leaf);
+        }
+        m
+    }
+
+    #[test]
+    fn validate_catches_bad_mass() {
+        let mut m = SparseChain::new(2, 0);
+        m.add_edge(0, 1, r(1, 2));
+        m.set_absorbing(1);
+        assert!(matches!(
+            m.validate(),
+            Err(ChainError::NotStochastic { state: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn figure_chain_hitting_distribution_matches_example6() {
+        let m = paper_figure_chain();
+        m.validate().unwrap();
+        let hit = m.hitting_distribution().unwrap();
+        // Example 6 sums sequence probabilities per repair:
+        // D − {(a,b),(a,c)} = leaves 5 and 9: 2/9·1/3 + 1/9·2/4 = 7/54.
+        let p1 = &hit[5] + &hit[9];
+        assert_eq!(p1, r(7, 54));
+        // D − {(b,a),(c,a)} = leaves 8 and 12: 3/9·3/4 + 3/9·3/5 = 9/20.
+        let p4 = &hit[8] + &hit[12];
+        assert_eq!(p4, r(9, 20));
+        // All leaves absorb the full mass.
+        let total: Rat = hit.iter().sum();
+        assert!(total.is_one());
+        // Transient states have zero limit mass.
+        for s in 0..=4 {
+            assert!(hit[s].is_zero());
+        }
+    }
+
+    #[test]
+    fn distribution_after_converges_to_hitting() {
+        let m = paper_figure_chain();
+        let hit = m.hitting_distribution().unwrap();
+        // The tree has depth 2, so P²(s₀) already equals the limit
+        // (Proposition 3: tree chains admit a hitting distribution).
+        assert_eq!(m.distribution_after(2), hit);
+        assert_eq!(m.distribution_after(5), hit);
+        // After one step, mass still sits on interior states.
+        let one = m.distribution_after(1);
+        assert_eq!(one[1], r(2, 9));
+        assert_eq!(one[5], Rat::zero());
+    }
+
+    #[test]
+    fn non_tree_absorbing_chain() {
+        // 0 → {0 w.p. 1/2, 1 w.p. 1/4, 2 w.p. 1/4}: geometric self-loop —
+        // absorption probabilities are 1/2 / 1/2 each.
+        let mut m = SparseChain::new(3, 0);
+        m.add_edge(0, 0, r(1, 2));
+        m.add_edge(0, 1, r(1, 4));
+        m.add_edge(0, 2, r(1, 4));
+        m.set_absorbing(1);
+        m.set_absorbing(2);
+        let hit = m.hitting_distribution().unwrap();
+        assert_eq!(hit[1], r(1, 2));
+        assert_eq!(hit[2], r(1, 2));
+    }
+
+    #[test]
+    fn two_transient_states_chain() {
+        // 0 → 1 w.p. 1/3, 0 → A w.p. 2/3; 1 → 0 w.p. 1/2, 1 → B w.p. 1/2.
+        // P(absorb B) = 1/3·1/2 / (1 − 1/3·1/2) = 1/5... solve exactly:
+        // x0 = 1/3·x1, x1 = 1/2·x0 + 1/2 ⇒ x0 = 1/3(1/2 x0 + 1/2)
+        // ⇒ x0(1 − 1/6) = 1/6 ⇒ x0 = 1/5.
+        let mut m = SparseChain::new(4, 0);
+        m.add_edge(0, 1, r(1, 3));
+        m.add_edge(0, 2, r(2, 3)); // A
+        m.add_edge(1, 0, r(1, 2));
+        m.add_edge(1, 3, r(1, 2)); // B
+        m.set_absorbing(2);
+        m.set_absorbing(3);
+        let hit = m.hitting_distribution().unwrap();
+        assert_eq!(hit[3], r(1, 5));
+        assert_eq!(hit[2], r(4, 5));
+    }
+
+    #[test]
+    fn distribution_after_zero_steps_is_point_mass() {
+        let m = paper_figure_chain();
+        let d0 = m.distribution_after(0);
+        assert!(d0[0].is_one());
+        assert!(d0[1..].iter().all(|p| p.is_zero()));
+        // One step moves all mass off the root.
+        let d1 = m.distribution_after(1);
+        assert!(d1[0].is_zero());
+        let total: Rat = d1.iter().sum();
+        assert!(total.is_one());
+    }
+
+    #[test]
+    fn chain_without_absorption_rejected() {
+        // Two states cycling forever.
+        let mut m = SparseChain::new(2, 0);
+        m.add_edge(0, 1, Rat::one());
+        m.add_edge(1, 0, Rat::one());
+        assert_eq!(m.hitting_distribution(), Err(ChainError::NotAbsorbing));
+    }
+
+    #[test]
+    fn absorbing_start() {
+        let mut m = SparseChain::new(2, 0);
+        m.set_absorbing(0);
+        m.set_absorbing(1);
+        let hit = m.hitting_distribution().unwrap();
+        assert!(hit[0].is_one());
+        assert!(hit[1].is_zero());
+    }
+
+    #[test]
+    fn reachable_absorbing_filters_unreachable() {
+        let mut m = SparseChain::new(3, 0);
+        m.add_edge(0, 1, Rat::one());
+        m.set_absorbing(1);
+        m.set_absorbing(2); // unreachable
+        assert_eq!(m.reachable_absorbing(), vec![1]);
+    }
+}

@@ -1,0 +1,200 @@
+//! Operations `+F` and `−F` (Definition 1).
+
+use ocqa_data::Fact;
+use std::fmt;
+
+/// A non-empty, canonically-sorted set of facts — the payload `F` of an
+/// operation.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FactSet(Box<[Fact]>);
+
+impl FactSet {
+    /// Builds a set from facts, sorting and deduplicating.
+    ///
+    /// # Panics
+    /// Panics if `facts` is empty — operations always touch at least one
+    /// fact.
+    pub fn new(facts: impl Into<Vec<Fact>>) -> FactSet {
+        let mut v = facts.into();
+        assert!(!v.is_empty(), "empty fact set in operation");
+        v.sort();
+        v.dedup();
+        FactSet(v.into_boxed_slice())
+    }
+
+    /// The facts, sorted.
+    pub fn facts(&self) -> &[Fact] {
+        &self.0
+    }
+
+    /// Number of facts.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Always false (fact sets are non-empty by construction); provided for
+    /// API symmetry.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether `fact` is in the set.
+    pub fn contains(&self, fact: &Fact) -> bool {
+        self.0.binary_search(fact).is_ok()
+    }
+
+    /// Whether the two sets share a fact.
+    pub fn intersects_slice(&self, other: &[Fact]) -> bool {
+        other.iter().any(|f| self.contains(f))
+    }
+
+    /// All non-empty proper subsets (used to verify Definition 3's
+    /// minimality conditions; fact sets in operations are bounded by the
+    /// constraint size, so this stays tiny).
+    pub fn proper_subsets(&self) -> Vec<Vec<Fact>> {
+        let n = self.0.len();
+        let mut out = Vec::new();
+        for mask in 1..((1usize << n) - 1) {
+            out.push(
+                (0..n)
+                    .filter(|i| mask & (1 << i) != 0)
+                    .map(|i| self.0[i].clone())
+                    .collect(),
+            );
+        }
+        out
+    }
+}
+
+impl FromIterator<Fact> for FactSet {
+    fn from_iter<T: IntoIterator<Item = Fact>>(iter: T) -> Self {
+        FactSet::new(iter.into_iter().collect::<Vec<_>>())
+    }
+}
+
+impl fmt::Display for FactSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("{")?;
+        for (i, fact) in self.0.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{fact}")?;
+        }
+        f.write_str("}")
+    }
+}
+
+impl fmt::Debug for FactSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FactSet{self}")
+    }
+}
+
+/// A `(D, Σ)`-operation: add (`+F`) or remove (`−F`) a set of facts from
+/// the base `B(D, Σ)` (Definition 1).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Operation {
+    /// `+F` — insert every fact of `F`.
+    Insert(FactSet),
+    /// `−F` — delete every fact of `F`.
+    Delete(FactSet),
+}
+
+impl Operation {
+    /// Builds `+F` from facts.
+    pub fn insert(facts: impl Into<Vec<Fact>>) -> Operation {
+        Operation::Insert(FactSet::new(facts))
+    }
+
+    /// Builds `−F` from facts.
+    pub fn delete(facts: impl Into<Vec<Fact>>) -> Operation {
+        Operation::Delete(FactSet::new(facts))
+    }
+
+    /// The fact payload `F`.
+    pub fn fact_set(&self) -> &FactSet {
+        match self {
+            Operation::Insert(f) | Operation::Delete(f) => f,
+        }
+    }
+
+    /// Whether this is an insertion.
+    pub fn is_insert(&self) -> bool {
+        matches!(self, Operation::Insert(_))
+    }
+
+    /// Whether this is a deletion.
+    pub fn is_delete(&self) -> bool {
+        matches!(self, Operation::Delete(_))
+    }
+}
+
+impl fmt::Display for Operation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operation::Insert(s) => write!(f, "+{s}"),
+            Operation::Delete(s) => write!(f, "-{s}"),
+        }
+    }
+}
+
+impl fmt::Debug for Operation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Op({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_sorting_and_dedup() {
+        let s = FactSet::new(vec![
+            Fact::parts("R", &["b"]),
+            Fact::parts("R", &["a"]),
+            Fact::parts("R", &["b"]),
+        ]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.to_string(), "{R(a), R(b)}");
+        assert!(s.contains(&Fact::parts("R", &["a"])));
+        assert!(!s.contains(&Fact::parts("R", &["c"])));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty fact set")]
+    fn empty_rejected() {
+        FactSet::new(Vec::<Fact>::new());
+    }
+
+    #[test]
+    fn proper_subsets_enumeration() {
+        let s = FactSet::new(vec![
+            Fact::parts("R", &["a"]),
+            Fact::parts("R", &["b"]),
+            Fact::parts("R", &["c"]),
+        ]);
+        let subs = s.proper_subsets();
+        // 2³ − 2 = 6 non-empty proper subsets.
+        assert_eq!(subs.len(), 6);
+        assert!(subs.iter().all(|g| !g.is_empty() && g.len() < 3));
+        // Singleton has none.
+        assert!(FactSet::new(vec![Fact::parts("R", &["a"])])
+            .proper_subsets()
+            .is_empty());
+    }
+
+    #[test]
+    fn operation_display_and_order() {
+        let plus = Operation::insert(vec![Fact::parts("S", &["a", "b", "c"])]);
+        let minus = Operation::delete(vec![Fact::parts("R", &["a", "b"]), Fact::parts("R", &["a", "c"])]);
+        assert_eq!(plus.to_string(), "+{S(a,b,c)}");
+        assert_eq!(minus.to_string(), "-{R(a,b), R(a,c)}");
+        assert!(plus.is_insert() && !plus.is_delete());
+        // Operations order deterministically (Insert < Delete per enum order).
+        let mut v = vec![minus.clone(), plus.clone()];
+        v.sort();
+        assert_eq!(v, vec![plus, minus]);
+    }
+}

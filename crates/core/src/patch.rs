@@ -1,0 +1,255 @@
+//! Virtual application of operations.
+
+use crate::Operation;
+use ocqa_data::{Constant, Database, Fact, Symbol};
+use ocqa_logic::FactSource;
+use std::collections::BTreeSet;
+
+/// A [`FactSource`] presenting `(base ∪ add) − del` without copying the
+/// database.
+///
+/// The justified-operation checks of Definition 3 and the req2 point
+/// re-checks evaluate candidate operations against `op(D′)` for many
+/// candidate `op`s per step; patching virtually keeps each check O(op size)
+/// instead of O(database size).
+pub struct PatchSource<'a> {
+    base: &'a Database,
+    add: BTreeSet<Fact>,
+    del: BTreeSet<Fact>,
+}
+
+impl<'a> PatchSource<'a> {
+    /// A view of `base` with nothing patched.
+    pub fn identity(base: &'a Database) -> PatchSource<'a> {
+        PatchSource {
+            base,
+            add: BTreeSet::new(),
+            del: BTreeSet::new(),
+        }
+    }
+
+    /// A view of `op(base)`.
+    pub fn apply(base: &'a Database, op: &Operation) -> PatchSource<'a> {
+        let mut p = PatchSource::identity(base);
+        p.patch(op);
+        p
+    }
+
+    /// A view of `base` with the given facts added and removed.
+    pub fn with(
+        base: &'a Database,
+        add: impl IntoIterator<Item = Fact>,
+        del: impl IntoIterator<Item = Fact>,
+    ) -> PatchSource<'a> {
+        PatchSource {
+            base,
+            add: add.into_iter().collect(),
+            del: del.into_iter().collect(),
+        }
+    }
+
+    /// Applies a further operation to the view.
+    pub fn patch(&mut self, op: &Operation) {
+        match op {
+            Operation::Insert(fs) => {
+                for f in fs.facts() {
+                    self.del.remove(f);
+                    if !self.base.contains(f) {
+                        self.add.insert(f.clone());
+                    }
+                }
+            }
+            Operation::Delete(fs) => {
+                for f in fs.facts() {
+                    self.add.remove(f);
+                    if self.base.contains(f) {
+                        self.del.insert(f.clone());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Materializes the view into a fresh database.
+    pub fn materialize(&self) -> Database {
+        let mut db = self.base.clone();
+        for f in &self.del {
+            db.remove(f);
+        }
+        for f in &self.add {
+            db.insert(f).expect("added fact fits base schema");
+        }
+        db
+    }
+}
+
+impl FactSource for PatchSource<'_> {
+    fn arity(&self, pred: Symbol) -> Option<usize> {
+        self.base.schema().arity(pred)
+    }
+
+    fn has_fact(&self, fact: &Fact) -> bool {
+        if self.del.contains(fact) {
+            return false;
+        }
+        self.add.contains(fact) || self.base.contains(fact)
+    }
+
+    fn for_each_match(
+        &self,
+        pred: Symbol,
+        pattern: &[Option<Constant>],
+        visit: &mut dyn FnMut(&[Constant]),
+    ) {
+        if let Some(rel) = self.base.relation(pred) {
+            for row in rel.select(pattern) {
+                if self.del.is_empty() || !self.del.contains(&Fact::new(pred, row.to_vec())) {
+                    visit(row);
+                }
+            }
+        }
+        for f in &self.add {
+            if f.pred() == pred
+                && f.args()
+                    .iter()
+                    .zip(pattern.iter())
+                    .all(|(c, p)| p.is_none_or(|p| p == *c))
+            {
+                visit(f.args());
+            }
+        }
+    }
+
+    fn for_each_domain_constant(&self, visit: &mut dyn FnMut(Constant)) {
+        // Domain of the patched instance: base domain plus added constants.
+        // Constants whose last occurrence was deleted are filtered lazily.
+        let mut emitted: BTreeSet<Constant> = BTreeSet::new();
+        for c in self.base.active_domain() {
+            emitted.insert(c);
+        }
+        for f in &self.add {
+            for c in f.args() {
+                emitted.insert(*c);
+            }
+        }
+        if !self.del.is_empty() {
+            // Remove constants that no longer occur anywhere.
+            let mut live: BTreeSet<Constant> = BTreeSet::new();
+            for (pred, _) in self.base.schema().relations() {
+                self.for_each_match(
+                    pred,
+                    &vec![None; self.base.schema().arity(pred).unwrap()],
+                    &mut |row| {
+                        live.extend(row.iter().copied());
+                    },
+                );
+            }
+            emitted.retain(|c| live.contains(c));
+        }
+        for c in emitted {
+            visit(c);
+        }
+    }
+
+    fn relation_len(&self, pred: Symbol) -> usize {
+        let mut n = 0;
+        if let Some(arity) = self.base.schema().arity(pred) {
+            self.for_each_match(pred, &vec![None; arity], &mut |_| n += 1);
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocqa_data::Schema;
+
+    fn db() -> Database {
+        let schema = Schema::from_relations(&[("R", 2)]);
+        let mut db = Database::new(schema);
+        db.insert(&Fact::parts("R", &["a", "b"])).unwrap();
+        db.insert(&Fact::parts("R", &["a", "c"])).unwrap();
+        db
+    }
+
+    #[test]
+    fn patch_views_insert_and_delete() {
+        let base = db();
+        let op_del = Operation::delete(vec![Fact::parts("R", &["a", "b"])]);
+        let op_ins = Operation::insert(vec![Fact::parts("R", &["x", "y"])]);
+        let mut view = PatchSource::apply(&base, &op_del);
+        view.patch(&op_ins);
+        assert!(!view.has_fact(&Fact::parts("R", &["a", "b"])));
+        assert!(view.has_fact(&Fact::parts("R", &["a", "c"])));
+        assert!(view.has_fact(&Fact::parts("R", &["x", "y"])));
+        assert_eq!(view.relation_len(Symbol::intern("R")), 2);
+        // Base untouched.
+        assert!(base.contains(&Fact::parts("R", &["a", "b"])));
+    }
+
+    #[test]
+    fn materialize_matches_view() {
+        let base = db();
+        let view = PatchSource::with(
+            &base,
+            [Fact::parts("R", &["q", "q"])],
+            [Fact::parts("R", &["a", "c"])],
+        );
+        let mat = view.materialize();
+        assert_eq!(mat.len(), 2);
+        assert!(mat.contains(&Fact::parts("R", &["a", "b"])));
+        assert!(mat.contains(&Fact::parts("R", &["q", "q"])));
+        assert!(!mat.contains(&Fact::parts("R", &["a", "c"])));
+    }
+
+    #[test]
+    fn match_includes_added_and_excludes_deleted() {
+        let base = db();
+        let view = PatchSource::with(
+            &base,
+            [Fact::parts("R", &["a", "z"])],
+            [Fact::parts("R", &["a", "b"])],
+        );
+        let mut rows = Vec::new();
+        view.for_each_match(
+            Symbol::intern("R"),
+            &[Some(Constant::named("a")), None],
+            &mut |row| rows.push(row[1]),
+        );
+        rows.sort();
+        assert_eq!(rows, vec![Constant::named("c"), Constant::named("z")]);
+    }
+
+    #[test]
+    fn domain_reflects_patches() {
+        let base = db();
+        // Delete R(a,c): c should leave the domain; add R(q,q): q enters.
+        let view = PatchSource::with(
+            &base,
+            [Fact::parts("R", &["q", "q"])],
+            [Fact::parts("R", &["a", "c"])],
+        );
+        let mut dom = Vec::new();
+        view.for_each_domain_constant(&mut |c| dom.push(c));
+        dom.sort();
+        assert_eq!(
+            dom,
+            vec![
+                Constant::named("a"),
+                Constant::named("b"),
+                Constant::named("q")
+            ]
+        );
+    }
+
+    #[test]
+    fn insert_then_delete_cancels_in_view() {
+        let base = db();
+        let mut view = PatchSource::identity(&base);
+        view.patch(&Operation::insert(vec![Fact::parts("R", &["n", "n"])]));
+        view.patch(&Operation::delete(vec![Fact::parts("R", &["n", "n"])]));
+        assert!(!view.has_fact(&Fact::parts("R", &["n", "n"])));
+        assert_eq!(view.relation_len(Symbol::intern("R")), 2);
+    }
+}

@@ -1,0 +1,537 @@
+//! The `Sample` algorithm and additive-error approximation (§5, Thm. 9).
+//!
+//! `Sample` performs one random walk down the repairing Markov chain:
+//! starting from `ε`, it repeatedly draws the next operation according to
+//! the generator's transition probabilities until the sequence is complete,
+//! then reports whether the query holds on the resulting instance
+//! (Proposition 10: the walk hits each absorbing state with exactly its
+//! hitting-distribution probability, because the chain is a tree).
+//!
+//! Averaging `n = ⌈ln(2/δ) / (2ε²)⌉` walks gives, by Hoeffding's
+//! inequality, an estimate within additive error `ε` of `CP(t̄)` with
+//! probability at least `1 − δ` — **when the generator is non-failing**
+//! (e.g. any deletion-only generator, Proposition 8). For failing chains
+//! the plain mean estimates the *numerator* of `CP` only; this module
+//! tracks failed walks explicitly so callers can detect the situation (the
+//! paper leaves the failing case open, §6 "Approximation for Insertions
+//! and Deletions").
+
+use crate::{ChainGenerator, GeneratorError, RepairContext, RepairState};
+use ocqa_data::{Constant, Database};
+use ocqa_num::{IBig, Rat};
+use ocqa_logic::Query;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Number of walks needed for additive error `eps` at confidence
+/// `1 − delta`: `⌈ln(2/δ) / (2ε²)⌉`. For `ε = δ = 0.1` this is 150, the
+/// figure quoted in §5.
+///
+/// ```
+/// assert_eq!(ocqa_core::sample::sample_size(0.1, 0.1), 150);
+/// ```
+pub fn sample_size(eps: f64, delta: f64) -> u64 {
+    assert!(eps > 0.0 && eps < 1.0, "eps must lie in (0,1)");
+    assert!(delta > 0.0 && delta < 1.0, "delta must lie in (0,1)");
+    ((2.0f64 / delta).ln() / (2.0 * eps * eps)).ceil() as u64
+}
+
+/// Errors during sampling.
+#[derive(Debug)]
+pub enum SampleError {
+    /// The generator failed to produce a distribution at some state.
+    Generator(GeneratorError),
+}
+
+impl fmt::Display for SampleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SampleError::Generator(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SampleError {}
+
+impl From<GeneratorError> for SampleError {
+    fn from(e: GeneratorError) -> Self {
+        SampleError::Generator(e)
+    }
+}
+
+/// The endpoint of one random walk.
+#[derive(Debug)]
+pub enum WalkOutcome {
+    /// The walk reached a successful complete sequence; the instance is an
+    /// operational repair.
+    Repair(Database),
+    /// The walk reached a failing complete sequence (possible only for
+    /// failing generators).
+    Failed(Database),
+}
+
+/// Runs one `Sample` walk: draws operations per the generator until the
+/// sequence is complete.
+pub fn sample_walk(
+    ctx: &Arc<RepairContext>,
+    gen: &dyn ChainGenerator,
+    rng: &mut StdRng,
+) -> Result<WalkOutcome, SampleError> {
+    let mut state = RepairState::initial(ctx.clone());
+    loop {
+        let exts = state.extensions();
+        if exts.is_empty() {
+            return Ok(if state.is_consistent() {
+                WalkOutcome::Repair(state.db().clone())
+            } else {
+                WalkOutcome::Failed(state.db().clone())
+            });
+        }
+        let weights = gen.validated(&state, &exts)?;
+        let idx = draw_index(&weights, rng);
+        state = state.apply(&exts[idx]);
+    }
+}
+
+/// Draws an index with probability proportional to the (exact) weights.
+/// The random threshold is `r / 2⁶⁴` for a uniform `u64 r`, compared
+/// against exact cumulative sums — no floating-point bias.
+fn draw_index(weights: &[Rat], rng: &mut StdRng) -> usize {
+    let r = rng.next_u64();
+    let threshold = Rat::new(
+        IBig::from(r),
+        IBig::from(ocqa_num::UBig::one().shl_bits(64)),
+    );
+    let mut acc = Rat::zero();
+    for (i, w) in weights.iter().enumerate() {
+        acc += w;
+        if threshold < acc {
+            return i;
+        }
+    }
+    // Only reachable through rounding of a sub-1 total; pick the last
+    // positive weight.
+    weights
+        .iter()
+        .rposition(|w| w.is_positive())
+        .expect("at least one positive weight")
+}
+
+/// An additive-error estimate of `CP(t̄)`.
+#[derive(Debug, Clone)]
+pub struct Estimate {
+    /// The estimated probability (hit ratio).
+    pub value: f64,
+    /// Number of walks performed.
+    pub samples: u64,
+    /// Walks whose repair satisfied the query.
+    pub hits: u64,
+    /// Walks that ended in a failing sequence (0 for non-failing
+    /// generators; if positive, `value` estimates the numerator of `CP`
+    /// rather than the conditional probability).
+    pub failed_walks: u64,
+    /// The additive error bound requested.
+    pub epsilon: f64,
+    /// The confidence parameter requested.
+    pub delta: f64,
+}
+
+/// Estimates `CP(t̄)` for one tuple with additive error `eps` at confidence
+/// `1 − delta` (Theorem 9).
+pub fn estimate_tuple_probability(
+    ctx: &Arc<RepairContext>,
+    gen: &dyn ChainGenerator,
+    query: &Query,
+    tuple: &[Constant],
+    eps: f64,
+    delta: f64,
+    rng: &mut StdRng,
+) -> Result<Estimate, SampleError> {
+    let n = sample_size(eps, delta);
+    let mut hits = 0u64;
+    let mut failed = 0u64;
+    for _ in 0..n {
+        match sample_walk(ctx, gen, rng)? {
+            WalkOutcome::Repair(db) => {
+                if query.holds(&db, tuple) {
+                    hits += 1;
+                }
+            }
+            WalkOutcome::Failed(_) => failed += 1,
+        }
+    }
+    Ok(Estimate {
+        value: hits as f64 / n as f64,
+        samples: n,
+        hits,
+        failed_walks: failed,
+        epsilon: eps,
+        delta,
+    })
+}
+
+/// The §5 "temporary table" scheme: runs `n` walks, evaluates the whole
+/// query on every sampled repair, and returns the per-tuple frequencies —
+/// estimates of `CP` for *all* tuples simultaneously.
+pub fn estimate_answers(
+    ctx: &Arc<RepairContext>,
+    gen: &dyn ChainGenerator,
+    query: &Query,
+    eps: f64,
+    delta: f64,
+    rng: &mut StdRng,
+) -> Result<(Vec<(Vec<Constant>, f64)>, u64), SampleError> {
+    let n = sample_size(eps, delta);
+    let mut tally: BTreeMap<Vec<Constant>, u64> = BTreeMap::new();
+    for _ in 0..n {
+        if let WalkOutcome::Repair(db) = sample_walk(ctx, gen, rng)? {
+            for tuple in query.answers(&db) {
+                *tally.entry(tuple).or_insert(0) += 1;
+            }
+        }
+    }
+    Ok((
+        tally
+            .into_iter()
+            .map(|(t, k)| (t, k as f64 / n as f64))
+            .collect(),
+        n,
+    ))
+}
+
+/// Estimates the *conditional* probability for possibly-failing chains by
+/// the ratio estimator `hits / successes` (§6 "Approximation for
+/// Insertions and Deletions" — the paper leaves guaranteed approximation
+/// of this ratio open; this is the natural plug-in estimator, exposed with
+/// its diagnostics so callers can judge the denominator's sample support).
+///
+/// For non-failing generators it coincides with
+/// [`estimate_tuple_probability`]. Returns `None` when no walk succeeded
+/// (the denominator cannot be estimated at all).
+pub fn estimate_conditional(
+    ctx: &Arc<RepairContext>,
+    gen: &dyn ChainGenerator,
+    query: &Query,
+    tuple: &[Constant],
+    eps: f64,
+    delta: f64,
+    rng: &mut StdRng,
+) -> Result<Option<Estimate>, SampleError> {
+    let n = sample_size(eps, delta);
+    let mut hits = 0u64;
+    let mut failed = 0u64;
+    for _ in 0..n {
+        match sample_walk(ctx, gen, rng)? {
+            WalkOutcome::Repair(db) => {
+                if query.holds(&db, tuple) {
+                    hits += 1;
+                }
+            }
+            WalkOutcome::Failed(_) => failed += 1,
+        }
+    }
+    let successes = n - failed;
+    if successes == 0 {
+        return Ok(None);
+    }
+    Ok(Some(Estimate {
+        value: hits as f64 / successes as f64,
+        samples: n,
+        hits,
+        failed_walks: failed,
+        epsilon: eps,
+        delta,
+    }))
+}
+
+/// Estimates the expected answer cardinality `E[|Q(D′)|]` by averaging the
+/// answer-set size over sampled repairs (the Monte-Carlo counterpart of
+/// [`crate::answer::expected_count`]).
+pub fn estimate_expected_count(
+    ctx: &Arc<RepairContext>,
+    gen: &dyn ChainGenerator,
+    query: &Query,
+    eps: f64,
+    delta: f64,
+    rng: &mut StdRng,
+) -> Result<(f64, u64), SampleError> {
+    let n = sample_size(eps, delta);
+    let mut total = 0u64;
+    for _ in 0..n {
+        if let WalkOutcome::Repair(db) = sample_walk(ctx, gen, rng)? {
+            total += query.answers(&db).len() as u64;
+        }
+    }
+    Ok((total as f64 / n as f64, n))
+}
+
+/// Multi-threaded version of [`estimate_tuple_probability`]: walks are
+/// split across `threads` workers, each with an independent RNG derived
+/// from `seed`.
+pub fn estimate_tuple_probability_parallel(
+    ctx: &Arc<RepairContext>,
+    gen: &dyn ChainGenerator,
+    query: &Query,
+    tuple: &[Constant],
+    eps: f64,
+    delta: f64,
+    threads: usize,
+    seed: u64,
+) -> Result<Estimate, SampleError> {
+    assert!(threads > 0);
+    let n = sample_size(eps, delta);
+    let per = n / threads as u64;
+    let extra = n % threads as u64;
+    let (tx, rx) = crossbeam::channel::unbounded();
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let tx = tx.clone();
+            let ctx = ctx.clone();
+            let quota = per + if (t as u64) < extra { 1 } else { 0 };
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed.wrapping_add(t as u64 * 0x9E37_79B9));
+                let mut hits = 0u64;
+                let mut failed = 0u64;
+                let mut err: Option<SampleError> = None;
+                for _ in 0..quota {
+                    match sample_walk(&ctx, gen, &mut rng) {
+                        Ok(WalkOutcome::Repair(db)) => {
+                            if query.holds(&db, tuple) {
+                                hits += 1;
+                            }
+                        }
+                        Ok(WalkOutcome::Failed(_)) => failed += 1,
+                        Err(e) => {
+                            err = Some(e);
+                            break;
+                        }
+                    }
+                }
+                let _ = tx.send(match err {
+                    None => Ok((hits, failed)),
+                    Some(e) => Err(e),
+                });
+            });
+        }
+        drop(tx);
+        let mut hits = 0u64;
+        let mut failed = 0u64;
+        for msg in rx {
+            let (h, f) = msg?;
+            hits += h;
+            failed += f;
+        }
+        Ok(Estimate {
+            value: hits as f64 / n as f64,
+            samples: n,
+            hits,
+            failed_walks: failed,
+            epsilon: eps,
+            delta,
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::answer::conditional_probability;
+    use crate::explore::{repair_distribution, ExploreOptions};
+    use crate::{PreferenceGenerator, UniformGenerator};
+    use ocqa_logic::parser;
+
+    fn make_ctx(facts: &str, constraints: &str) -> Arc<RepairContext> {
+        let facts = parser::parse_facts(facts).unwrap();
+        let sigma = parser::parse_constraints(constraints).unwrap();
+        let schema = parser::infer_schema(&facts, &sigma).unwrap();
+        let db = Database::from_facts(schema, facts).unwrap();
+        RepairContext::new(db, sigma)
+    }
+
+    #[test]
+    fn sample_size_matches_paper() {
+        // §5: "for ε = δ = 0.1, for example, it is 150".
+        assert_eq!(sample_size(0.1, 0.1), 150);
+        assert_eq!(sample_size(0.05, 0.1), 600);
+        // Tighter δ only grows logarithmically.
+        assert!(sample_size(0.1, 0.01) < 4 * sample_size(0.1, 0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "eps must lie in (0,1)")]
+    fn sample_size_validates_eps() {
+        sample_size(0.0, 0.1);
+    }
+
+    #[test]
+    fn draw_index_respects_point_mass() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let w = vec![Rat::zero(), Rat::one(), Rat::zero()];
+        for _ in 0..50 {
+            assert_eq!(draw_index(&w, &mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn walks_always_terminate_in_repairs_for_keys() {
+        let ctx = make_ctx(
+            "R(a,b). R(a,c). R(b,b). R(b,c).",
+            "R(x,y), R(x,z) -> y = z.",
+        );
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..50 {
+            match sample_walk(&ctx, &UniformGenerator::new(), &mut rng).unwrap() {
+                WalkOutcome::Repair(db) => assert!(ctx.sigma().satisfied_by(&db)),
+                WalkOutcome::Failed(_) => {
+                    panic!("deletion-fixable key violations cannot fail (Prop. 8)")
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn example7_estimate_close_to_exact() {
+        let ctx = make_ctx(
+            "Pref(a,b). Pref(a,c). Pref(a,d). Pref(b,a). Pref(b,d). Pref(c,a).",
+            "Pref(x,y), Pref(y,x) -> false.",
+        );
+        let gen = PreferenceGenerator::new();
+        let q = parser::parse_query("(x) <- forall y: (Pref(x,y) | x = y)").unwrap();
+        let exact = conditional_probability(
+            &repair_distribution(&ctx, &gen, &ExploreOptions::default()).unwrap(),
+            &q,
+            &[Constant::named("a")],
+        )
+        .to_f64();
+        let mut rng = StdRng::seed_from_u64(1);
+        // ε = 0.05, δ = 0.02 ⇒ n = 922 walks; additive error ≤ 0.05 with
+        // probability ≥ 0.98 (and this seed is deterministic).
+        let est = estimate_tuple_probability(
+            &ctx,
+            &gen,
+            &q,
+            &[Constant::named("a")],
+            0.05,
+            0.02,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(est.failed_walks, 0);
+        assert!(
+            (est.value - exact).abs() <= 0.05,
+            "estimate {} vs exact {exact}",
+            est.value
+        );
+    }
+
+    #[test]
+    fn estimate_answers_tallies_all_tuples() {
+        let ctx = make_ctx("R(a,b). R(a,c). S(q).", "R(x,y), R(x,z) -> y = z.");
+        let q = parser::parse_query("(x) <- S(x)").unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let (answers, n) =
+            estimate_answers(&ctx, &UniformGenerator::new(), &q, 0.1, 0.1, &mut rng).unwrap();
+        assert_eq!(n, 150);
+        // S(q) survives every repair: frequency 1.
+        assert_eq!(answers.len(), 1);
+        assert_eq!(answers[0].0, vec![Constant::named("q")]);
+        assert!((answers[0].1 - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn parallel_estimate_matches_semantics() {
+        let ctx = make_ctx("R(a,b). R(a,c).", "R(x,y), R(x,z) -> y = z.");
+        let gen = UniformGenerator::new();
+        let q = parser::parse_query("(y) <- exists x: R(x,y)").unwrap();
+        // Exact CP(b) = 1/3 (three uniform repairs; b survives in one).
+        let est = estimate_tuple_probability_parallel(
+            &ctx,
+            &gen,
+            &q,
+            &[Constant::named("b")],
+            0.05,
+            0.02,
+            4,
+            99,
+        )
+        .unwrap();
+        assert_eq!(est.samples, sample_size(0.05, 0.02));
+        assert!((est.value - 1.0 / 3.0).abs() <= 0.05, "value {}", est.value);
+    }
+
+    #[test]
+    fn conditional_ratio_estimator_on_failing_chain() {
+        // D = {R(a), S(a)}, Σ = {R(x) → T(x); T(x) → ⊥}: half the walks
+        // fail; S(a) survives the single repair, so the conditional
+        // probability is 1 — the ratio estimator recovers it while the
+        // plain estimator reports ≈ 1/2 (the numerator).
+        let ctx = make_ctx("R(a). S(a).", "R(x) -> T(x). T(x) -> false.");
+        let gen = UniformGenerator::new();
+        let q = parser::parse_query("(x) <- S(x)").unwrap();
+        let mut rng = StdRng::seed_from_u64(21);
+        let plain = estimate_tuple_probability(
+            &ctx,
+            &gen,
+            &q,
+            &[Constant::named("a")],
+            0.1,
+            0.05,
+            &mut rng,
+        )
+        .unwrap();
+        assert!((plain.value - 0.5).abs() < 0.15, "numerator ≈ 1/2");
+        let mut rng = StdRng::seed_from_u64(22);
+        let ratio = estimate_conditional(
+            &ctx,
+            &gen,
+            &q,
+            &[Constant::named("a")],
+            0.1,
+            0.05,
+            &mut rng,
+        )
+        .unwrap()
+        .expect("some walk succeeds");
+        assert_eq!(ratio.value, 1.0, "every successful repair satisfies S(a)");
+        assert!(ratio.failed_walks > 0);
+    }
+
+    #[test]
+    fn expected_count_estimator_close_to_exact() {
+        let ctx = make_ctx("R(a,b). R(a,c).", "R(x,y), R(x,z) -> y = z.");
+        let gen = UniformGenerator::new();
+        let q = parser::parse_query("(y) <- exists x: R(x,y)").unwrap();
+        let exact = crate::answer::expected_count(
+            &repair_distribution(&ctx, &gen, &ExploreOptions::default()).unwrap(),
+            &q,
+        )
+        .to_f64();
+        let mut rng = StdRng::seed_from_u64(23);
+        let (est, _) =
+            estimate_expected_count(&ctx, &gen, &q, 0.05, 0.02, &mut rng).unwrap();
+        assert!((est - exact).abs() <= 0.1, "estimate {est} vs exact {exact}");
+    }
+
+    #[test]
+    fn failing_walks_are_reported() {
+        let ctx = make_ctx("R(a).", "R(x) -> T(x). T(x) -> false.");
+        let q = parser::parse_query("(x) <- R(x)").unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let est = estimate_tuple_probability(
+            &ctx,
+            &UniformGenerator::new(),
+            &q,
+            &[Constant::named("a")],
+            0.1,
+            0.1,
+            &mut rng,
+        )
+        .unwrap();
+        // Roughly half the walks take the failing +T(a) branch.
+        assert!(est.failed_walks > 0);
+        assert_eq!(est.hits, 0, "R(a) survives no repair");
+    }
+}

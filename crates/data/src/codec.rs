@@ -1,0 +1,387 @@
+//! Binary snapshot format for databases.
+//!
+//! Repair experiments want to persist inconsistent instances, repairs and
+//! sampled worlds without re-parsing text. The format is a small, versioned
+//! length-prefixed encoding:
+//!
+//! ```text
+//! "OCQA" | u16 version | varint #relations
+//!   per relation: varint name-len | name bytes | varint arity
+//!                 varint #rows | rows (arity constants each)
+//! constant: 0x00 i64-LE           (integer)
+//!           0x01 varint len bytes (interned name, UTF-8)
+//! ```
+//!
+//! Varints are LEB128. Decoding validates the magic, version, UTF-8 and
+//! schema (arities) and rejects trailing bytes, so a truncated or corrupt
+//! snapshot never produces a half-loaded database.
+
+use crate::{Constant, Database, Fact, Schema, SchemaError, Symbol};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+
+const MAGIC: &[u8; 4] = b"OCQA";
+const VERSION: u16 = 1;
+
+/// Errors raised while decoding a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The input does not start with the `OCQA` magic.
+    BadMagic,
+    /// The snapshot version is newer than this library understands.
+    UnsupportedVersion(u16),
+    /// The input ended mid-structure.
+    UnexpectedEof,
+    /// A varint exceeded 64 bits.
+    VarintOverflow,
+    /// A name was not valid UTF-8.
+    InvalidUtf8,
+    /// An unknown constant tag byte.
+    BadTag(u8),
+    /// The decoded facts conflicted with the decoded schema.
+    Schema(SchemaError),
+    /// Extra bytes followed a well-formed snapshot.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::BadMagic => write!(f, "not an OCQA snapshot (bad magic)"),
+            CodecError::UnsupportedVersion(v) => write!(f, "unsupported snapshot version {v}"),
+            CodecError::UnexpectedEof => write!(f, "snapshot truncated"),
+            CodecError::VarintOverflow => write!(f, "varint overflow"),
+            CodecError::InvalidUtf8 => write!(f, "invalid UTF-8 in name"),
+            CodecError::BadTag(t) => write!(f, "unknown constant tag {t:#x}"),
+            CodecError::Schema(e) => write!(f, "schema error: {e}"),
+            CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after snapshot"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl From<SchemaError> for CodecError {
+    fn from(e: SchemaError) -> Self {
+        CodecError::Schema(e)
+    }
+}
+
+fn put_varint(buf: &mut BytesMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+fn get_varint(buf: &mut Bytes) -> Result<u64, CodecError> {
+    let mut out = 0u64;
+    let mut shift = 0u32;
+    loop {
+        if !buf.has_remaining() {
+            return Err(CodecError::UnexpectedEof);
+        }
+        let byte = buf.get_u8();
+        if shift >= 64 || (shift == 63 && byte > 1) {
+            return Err(CodecError::VarintOverflow);
+        }
+        out |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(out);
+        }
+        shift += 7;
+    }
+}
+
+fn put_name(buf: &mut BytesMut, name: &str) {
+    put_varint(buf, name.len() as u64);
+    buf.put_slice(name.as_bytes());
+}
+
+fn get_name(buf: &mut Bytes) -> Result<String, CodecError> {
+    let len = get_varint(buf)? as usize;
+    if buf.remaining() < len {
+        return Err(CodecError::UnexpectedEof);
+    }
+    let raw = buf.copy_to_bytes(len);
+    String::from_utf8(raw.to_vec()).map_err(|_| CodecError::InvalidUtf8)
+}
+
+fn put_constant(buf: &mut BytesMut, c: Constant) {
+    match c {
+        Constant::Int(v) => {
+            buf.put_u8(0x00);
+            buf.put_i64_le(v);
+        }
+        Constant::Sym(s) => {
+            buf.put_u8(0x01);
+            put_name(buf, s.as_str());
+        }
+    }
+}
+
+fn get_constant(buf: &mut Bytes) -> Result<Constant, CodecError> {
+    if !buf.has_remaining() {
+        return Err(CodecError::UnexpectedEof);
+    }
+    match buf.get_u8() {
+        0x00 => {
+            if buf.remaining() < 8 {
+                return Err(CodecError::UnexpectedEof);
+            }
+            Ok(Constant::Int(buf.get_i64_le()))
+        }
+        0x01 => Ok(Constant::named(&get_name(buf)?)),
+        tag => Err(CodecError::BadTag(tag)),
+    }
+}
+
+/// Serializes a database (schema + all facts) into a snapshot.
+pub fn encode_database(db: &Database) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64 + db.len() * 16);
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(VERSION);
+    let relations: Vec<(Symbol, usize)> = db.schema().relations().collect();
+    put_varint(&mut buf, relations.len() as u64);
+    for (rel, arity) in relations {
+        put_name(&mut buf, rel.as_str());
+        put_varint(&mut buf, arity as u64);
+        let store = db.relation(rel).expect("declared relation exists");
+        put_varint(&mut buf, store.len() as u64);
+        for row in store.iter() {
+            for &c in row {
+                put_constant(&mut buf, c);
+            }
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes a snapshot produced by [`encode_database`].
+pub fn decode_database(input: &[u8]) -> Result<Database, CodecError> {
+    let mut buf = Bytes::copy_from_slice(input);
+    if buf.remaining() < 4 || &buf.copy_to_bytes(4)[..] != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    if buf.remaining() < 2 {
+        return Err(CodecError::UnexpectedEof);
+    }
+    let version = buf.get_u16_le();
+    if version != VERSION {
+        return Err(CodecError::UnsupportedVersion(version));
+    }
+    let nrel = get_varint(&mut buf)? as usize;
+    let mut builder = Schema::builder();
+    // Rows are decoded eagerly but inserted only after the schema is
+    // sealed, so arity validation applies to every fact.
+    let mut rows: Vec<(Symbol, usize, Vec<Vec<Constant>>)> = Vec::with_capacity(nrel);
+    for _ in 0..nrel {
+        let name = get_name(&mut buf)?;
+        let arity = get_varint(&mut buf)? as usize;
+        builder = builder.relation(&name, arity);
+        let count = get_varint(&mut buf)?;
+        let mut rel_rows = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let mut row = Vec::with_capacity(arity);
+            for _ in 0..arity {
+                row.push(get_constant(&mut buf)?);
+            }
+            rel_rows.push(row);
+        }
+        rows.push((Symbol::intern(&name), arity, rel_rows));
+    }
+    if buf.has_remaining() {
+        return Err(CodecError::TrailingBytes(buf.remaining()));
+    }
+    let schema = builder.build()?;
+    let mut db = Database::new(schema);
+    for (rel, _arity, rel_rows) in rows {
+        for row in rel_rows {
+            db.insert(&Fact::new(rel, row))?;
+        }
+    }
+    Ok(db)
+}
+
+/// Serializes a bare fact list (for deletion sets, answer materializations
+/// and similar artifacts that carry no schema).
+pub fn encode_facts(facts: &[Fact]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16 + facts.len() * 16);
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(VERSION);
+    put_varint(&mut buf, facts.len() as u64);
+    for f in facts {
+        put_name(&mut buf, f.pred().as_str());
+        put_varint(&mut buf, f.arity() as u64);
+        for &c in f.args() {
+            put_constant(&mut buf, c);
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes a fact list produced by [`encode_facts`].
+pub fn decode_facts(input: &[u8]) -> Result<Vec<Fact>, CodecError> {
+    let mut buf = Bytes::copy_from_slice(input);
+    if buf.remaining() < 4 || &buf.copy_to_bytes(4)[..] != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    if buf.remaining() < 2 {
+        return Err(CodecError::UnexpectedEof);
+    }
+    let version = buf.get_u16_le();
+    if version != VERSION {
+        return Err(CodecError::UnsupportedVersion(version));
+    }
+    let count = get_varint(&mut buf)? as usize;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let name = get_name(&mut buf)?;
+        let arity = get_varint(&mut buf)? as usize;
+        let mut args = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            args.push(get_constant(&mut buf)?);
+        }
+        out.push(Fact::new(Symbol::intern(&name), args));
+    }
+    if buf.has_remaining() {
+        return Err(CodecError::TrailingBytes(buf.remaining()));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_db() -> Database {
+        let schema = Schema::from_relations(&[("R", 2), ("S", 1)]);
+        let mut db = Database::new(schema);
+        db.insert(&Fact::new(
+            "R",
+            vec![Constant::named("alpha"), Constant::int(-7)],
+        ))
+        .unwrap();
+        db.insert(&Fact::new("R", vec![Constant::int(1), Constant::int(2)]))
+            .unwrap();
+        db.insert(&Fact::new("S", vec![Constant::named("日本語")]))
+            .unwrap();
+        db
+    }
+
+    #[test]
+    fn database_roundtrip() {
+        let db = sample_db();
+        let bytes = encode_database(&db);
+        let decoded = decode_database(&bytes).unwrap();
+        assert!(db.same_facts(&decoded));
+        assert_eq!(db.schema().as_ref(), decoded.schema().as_ref());
+    }
+
+    #[test]
+    fn empty_database_roundtrip() {
+        let db = Database::new(Schema::from_relations(&[("R", 3)]));
+        let decoded = decode_database(&encode_database(&db)).unwrap();
+        assert!(decoded.is_empty());
+        assert_eq!(decoded.schema().arity(Symbol::intern("R")), Some(3));
+    }
+
+    #[test]
+    fn fact_list_roundtrip() {
+        let facts = vec![
+            Fact::parts("Pref", &["a", "b"]),
+            Fact::new("R", vec![Constant::int(i64::MIN), Constant::int(i64::MAX)]),
+        ];
+        let decoded = decode_facts(&encode_facts(&facts)).unwrap();
+        assert_eq!(facts, decoded);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert_eq!(decode_database(b"NOPE").unwrap_err(), CodecError::BadMagic);
+        assert_eq!(decode_facts(b"").unwrap_err(), CodecError::BadMagic);
+    }
+
+    #[test]
+    fn unsupported_version_rejected() {
+        let mut bytes = encode_database(&sample_db()).to_vec();
+        bytes[4] = 0xFF;
+        bytes[5] = 0xFF;
+        assert_eq!(
+            decode_database(&bytes).unwrap_err(),
+            CodecError::UnsupportedVersion(0xFFFF)
+        );
+    }
+
+    #[test]
+    fn truncations_rejected_everywhere() {
+        let bytes = encode_database(&sample_db());
+        for cut in 1..bytes.len() {
+            let err = decode_database(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    CodecError::BadMagic
+                        | CodecError::UnexpectedEof
+                        | CodecError::TrailingBytes(_)
+                ),
+                "cut at {cut}: unexpected {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = encode_database(&sample_db()).to_vec();
+        bytes.push(0x99);
+        assert_eq!(
+            decode_database(&bytes).unwrap_err(),
+            CodecError::TrailingBytes(1)
+        );
+    }
+
+    #[test]
+    fn bad_constant_tag_rejected() {
+        let facts = vec![Fact::parts("R", &["a"])];
+        let mut bytes = encode_facts(&facts).to_vec();
+        // Locate the tag byte of the single constant: after magic(4) +
+        // version(2) + count(1) + namelen(1) + "R"(1) + arity(1).
+        bytes[10] = 0x7E;
+        assert_eq!(decode_facts(&bytes).unwrap_err(), CodecError::BadTag(0x7E));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_database_roundtrip(rows in prop::collection::vec((0i64..100, -50i64..50), 0..60)) {
+            let schema = Schema::from_relations(&[("E", 2)]);
+            let mut db = Database::new(schema);
+            for (a, b) in rows {
+                db.insert(&Fact::new("E", vec![Constant::int(a), Constant::int(b)])).unwrap();
+            }
+            let decoded = decode_database(&encode_database(&db)).unwrap();
+            prop_assert!(db.same_facts(&decoded));
+        }
+
+        #[test]
+        fn prop_varint_roundtrip(v: u64) {
+            let mut buf = BytesMut::new();
+            put_varint(&mut buf, v);
+            let mut bytes = buf.freeze();
+            prop_assert_eq!(get_varint(&mut bytes).unwrap(), v);
+            prop_assert!(!bytes.has_remaining());
+        }
+
+        #[test]
+        fn prop_fact_names_roundtrip(name in "[a-zA-Z][a-zA-Z0-9_]{0,12}") {
+            let facts = vec![Fact::parts(&name, &[&name])];
+            let decoded = decode_facts(&encode_facts(&facts)).unwrap();
+            prop_assert_eq!(facts, decoded);
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Ground facts.
+
+use crate::{Constant, Symbol};
+use std::fmt;
+
+/// A fact `R(c₁, …, cₙ)`: a predicate applied to constants.
+///
+/// Facts are small immutable values ordered first by predicate name and
+/// then lexicographically by arguments, giving every database a canonical
+/// listing (used to key operational repairs by their instance).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fact {
+    pred: Symbol,
+    args: Box<[Constant]>,
+}
+
+impl Fact {
+    /// Builds a fact from a predicate symbol and arguments.
+    pub fn new(pred: impl Into<Symbol>, args: impl Into<Vec<Constant>>) -> Fact {
+        Fact {
+            pred: pred.into(),
+            args: args.into().into_boxed_slice(),
+        }
+    }
+
+    /// Convenience constructor from string-ish parts:
+    /// `Fact::parts("Pref", &["a", "b"])`.
+    pub fn parts(pred: &str, args: &[&str]) -> Fact {
+        Fact::new(
+            Symbol::intern(pred),
+            args.iter().map(|a| Constant::named(a)).collect::<Vec<_>>(),
+        )
+    }
+
+    /// The predicate symbol.
+    pub fn pred(&self) -> Symbol {
+        self.pred
+    }
+
+    /// The argument tuple.
+    pub fn args(&self) -> &[Constant] {
+        &self.args
+    }
+
+    /// The arity of the fact.
+    pub fn arity(&self) -> usize {
+        self.args.len()
+    }
+}
+
+impl fmt::Display for Fact {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.pred)?;
+        for (i, a) in self.args.iter().enumerate() {
+            if i > 0 {
+                f.write_str(",")?;
+            }
+            write!(f, "{a}")?;
+        }
+        f.write_str(")")
+    }
+}
+
+impl fmt::Debug for Fact {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Fact({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_roundtrip() {
+        let f = Fact::parts("Pref", &["a", "b"]);
+        assert_eq!(f.to_string(), "Pref(a,b)");
+        assert_eq!(f.pred().as_str(), "Pref");
+        assert_eq!(f.arity(), 2);
+    }
+
+    #[test]
+    fn mixed_constants() {
+        let f = Fact::new("R", vec![Constant::int(1), Constant::named("x")]);
+        assert_eq!(f.to_string(), "R(1,x)");
+    }
+
+    #[test]
+    fn equality_structural() {
+        assert_eq!(Fact::parts("R", &["a"]), Fact::parts("R", &["a"]));
+        assert_ne!(Fact::parts("R", &["a"]), Fact::parts("R", &["b"]));
+        assert_ne!(Fact::parts("R", &["a"]), Fact::parts("S", &["a"]));
+    }
+
+    #[test]
+    fn canonical_order() {
+        let mut v = vec![
+            Fact::parts("S", &["a"]),
+            Fact::parts("R", &["b"]),
+            Fact::parts("R", &["a"]),
+        ];
+        v.sort();
+        assert_eq!(
+            v.iter().map(|f| f.to_string()).collect::<Vec<_>>(),
+            ["R(a)", "R(b)", "S(a)"]
+        );
+    }
+}

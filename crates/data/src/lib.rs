@@ -1,0 +1,39 @@
+//! Relational storage engine for operational consistent query answering.
+//!
+//! The PODS 2018 operational-CQA framework constantly re-evaluates
+//! constraint bodies against evolving databases: every step of a repairing
+//! sequence enumerates violations (homomorphisms from constraint bodies into
+//! the current instance), and the `Sample` walk of §5 repeats this thousands
+//! of times. This crate provides the storage layer those loops run on:
+//!
+//! * [`Symbol`] — a global string interner, so predicate and constant names
+//!   are word-sized copyable handles;
+//! * [`Constant`] — typed database constants (interned strings or integers);
+//! * [`Fact`] — a ground atom `R(c₁,…,cₙ)`;
+//! * [`Schema`] — relation declarations with arities;
+//! * [`RelationStore`] — one relation's tuples with per-column posting-list
+//!   indexes, incrementally maintained under inserts and deletes;
+//! * [`Database`] — a schema-validated set of facts with an active-domain
+//!   tracker (`dom(D)` of the paper, maintained by reference counting).
+//!
+//! Databases are value types: cloning snapshots the full state, which the
+//! repairing-sequence machinery uses for the paper's *global justification*
+//! re-checks (Definition 4, condition 3).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+mod database;
+mod fact;
+mod relation;
+mod schema;
+mod symbol;
+mod value;
+
+pub use database::Database;
+pub use fact::Fact;
+pub use relation::RelationStore;
+pub use schema::{Schema, SchemaBuilder, SchemaError};
+pub use symbol::Symbol;
+pub use value::Constant;

@@ -1,0 +1,224 @@
+//! Relational schemas.
+
+use crate::{Fact, Symbol};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A relational schema **S**: a finite set of relation symbols with
+/// associated arities (§2 of the paper).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Schema {
+    arities: BTreeMap<Symbol, usize>,
+}
+
+/// Error raised when facts or declarations do not fit a [`Schema`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemaError {
+    /// The predicate is not declared in the schema.
+    UnknownRelation(Symbol),
+    /// The fact's arity differs from the declared arity.
+    ArityMismatch {
+        /// Predicate involved.
+        relation: Symbol,
+        /// Arity declared in the schema.
+        declared: usize,
+        /// Arity actually used.
+        used: usize,
+    },
+    /// A relation was declared twice with different arities.
+    ConflictingDeclaration(Symbol),
+    /// Relations must have arity at least one (facts are `R/n` with `n > 0`).
+    ZeroArity(Symbol),
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaError::UnknownRelation(r) => write!(f, "unknown relation {r}"),
+            SchemaError::ArityMismatch {
+                relation,
+                declared,
+                used,
+            } => write!(
+                f,
+                "arity mismatch for {relation}: declared {declared}, used {used}"
+            ),
+            SchemaError::ConflictingDeclaration(r) => {
+                write!(f, "conflicting arity declarations for {r}")
+            }
+            SchemaError::ZeroArity(r) => write!(f, "relation {r} declared with arity 0"),
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+impl Schema {
+    /// Starts building a schema.
+    pub fn builder() -> SchemaBuilder {
+        SchemaBuilder {
+            arities: BTreeMap::new(),
+            error: None,
+        }
+    }
+
+    /// Builds a schema directly from `(name, arity)` pairs.
+    ///
+    /// # Panics
+    /// Panics on conflicting or zero-arity declarations; use
+    /// [`Schema::builder`] for fallible construction.
+    pub fn from_relations(rels: &[(&str, usize)]) -> Arc<Schema> {
+        let mut b = Schema::builder();
+        for (name, arity) in rels {
+            b = b.relation(name, *arity);
+        }
+        b.build().expect("invalid schema declaration")
+    }
+
+    /// The declared arity of `rel`, if present.
+    pub fn arity(&self, rel: Symbol) -> Option<usize> {
+        self.arities.get(&rel).copied()
+    }
+
+    /// Whether `rel` is declared.
+    pub fn contains(&self, rel: Symbol) -> bool {
+        self.arities.contains_key(&rel)
+    }
+
+    /// Iterates over `(relation, arity)` pairs in name order.
+    pub fn relations(&self) -> impl Iterator<Item = (Symbol, usize)> + '_ {
+        self.arities.iter().map(|(&r, &a)| (r, a))
+    }
+
+    /// Number of declared relations.
+    pub fn len(&self) -> usize {
+        self.arities.len()
+    }
+
+    /// Whether the schema declares no relations.
+    pub fn is_empty(&self) -> bool {
+        self.arities.is_empty()
+    }
+
+    /// Validates a fact against the schema.
+    pub fn validate(&self, fact: &Fact) -> Result<(), SchemaError> {
+        match self.arity(fact.pred()) {
+            None => Err(SchemaError::UnknownRelation(fact.pred())),
+            Some(a) if a != fact.arity() => Err(SchemaError::ArityMismatch {
+                relation: fact.pred(),
+                declared: a,
+                used: fact.arity(),
+            }),
+            Some(_) => Ok(()),
+        }
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (r, a) in self.relations() {
+            if !first {
+                f.write_str(", ")?;
+            }
+            write!(f, "{r}/{a}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+/// Incremental, fallible [`Schema`] construction.
+pub struct SchemaBuilder {
+    arities: BTreeMap<Symbol, usize>,
+    error: Option<SchemaError>,
+}
+
+impl SchemaBuilder {
+    /// Declares relation `name` with the given arity.
+    pub fn relation(mut self, name: &str, arity: usize) -> Self {
+        if self.error.is_some() {
+            return self;
+        }
+        let sym = Symbol::intern(name);
+        if arity == 0 {
+            self.error = Some(SchemaError::ZeroArity(sym));
+            return self;
+        }
+        match self.arities.get(&sym) {
+            Some(&a) if a != arity => {
+                self.error = Some(SchemaError::ConflictingDeclaration(sym));
+            }
+            _ => {
+                self.arities.insert(sym, arity);
+            }
+        }
+        self
+    }
+
+    /// Finishes construction.
+    pub fn build(self) -> Result<Arc<Schema>, SchemaError> {
+        match self.error {
+            Some(e) => Err(e),
+            None => Ok(Arc::new(Schema {
+                arities: self.arities,
+            })),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_lookup() {
+        let s = Schema::from_relations(&[("R", 2), ("S", 3)]);
+        assert_eq!(s.arity(Symbol::intern("R")), Some(2));
+        assert_eq!(s.arity(Symbol::intern("S")), Some(3));
+        assert_eq!(s.arity(Symbol::intern("T")), None);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.to_string(), "R/2, S/3");
+    }
+
+    #[test]
+    fn validate_facts() {
+        let s = Schema::from_relations(&[("R", 2)]);
+        assert!(s.validate(&Fact::parts("R", &["a", "b"])).is_ok());
+        assert_eq!(
+            s.validate(&Fact::parts("R", &["a"])),
+            Err(SchemaError::ArityMismatch {
+                relation: Symbol::intern("R"),
+                declared: 2,
+                used: 1
+            })
+        );
+        assert_eq!(
+            s.validate(&Fact::parts("T", &["a"])),
+            Err(SchemaError::UnknownRelation(Symbol::intern("T")))
+        );
+    }
+
+    #[test]
+    fn conflicting_declaration_rejected() {
+        let err = Schema::builder()
+            .relation("R", 2)
+            .relation("R", 3)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, SchemaError::ConflictingDeclaration(Symbol::intern("R")));
+        // Redeclaring with the same arity is fine.
+        assert!(Schema::builder()
+            .relation("R", 2)
+            .relation("R", 2)
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn zero_arity_rejected() {
+        let err = Schema::builder().relation("R", 0).build().unwrap_err();
+        assert_eq!(err, SchemaError::ZeroArity(Symbol::intern("R")));
+    }
+}

@@ -1,0 +1,146 @@
+//! Global string interning.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::OnceLock;
+
+/// An interned string: a word-sized, copyable handle to a process-global
+/// string table.
+///
+/// Predicate names and string constants are interned once and compared by
+/// id everywhere, which keeps facts small and hash/equality checks on the
+/// hot homomorphism-enumeration path O(1). `Ord` compares the *resolved
+/// strings* so that canonical orderings (sorted fact lists, deterministic
+/// display) do not depend on interning order.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Symbol(u32);
+
+struct Interner {
+    by_name: HashMap<&'static str, u32>,
+    names: Vec<&'static str>,
+}
+
+fn interner() -> &'static RwLock<Interner> {
+    static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        RwLock::new(Interner {
+            by_name: HashMap::new(),
+            names: Vec::new(),
+        })
+    })
+}
+
+impl Symbol {
+    /// Interns `name`, returning its global handle. Interning the same
+    /// string twice yields the same handle.
+    pub fn intern(name: &str) -> Symbol {
+        let table = interner();
+        if let Some(&id) = table.read().by_name.get(name) {
+            return Symbol(id);
+        }
+        let mut w = table.write();
+        if let Some(&id) = w.by_name.get(name) {
+            return Symbol(id);
+        }
+        // Leak the string: interned names live for the process lifetime,
+        // which is what makes `as_str` zero-cost.
+        let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        let id = w.names.len() as u32;
+        w.names.push(leaked);
+        w.by_name.insert(leaked, id);
+        Symbol(id)
+    }
+
+    /// The interned string.
+    pub fn as_str(self) -> &'static str {
+        interner().read().names[self.0 as usize]
+    }
+
+    /// The raw id (stable within a process run only).
+    pub fn id(self) -> u32 {
+        self.0
+    }
+}
+
+impl PartialOrd for Symbol {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Symbol {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        if self.0 == other.0 {
+            std::cmp::Ordering::Equal
+        } else {
+            self.as_str().cmp(other.as_str())
+        }
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Symbol({:?})", self.as_str())
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Self {
+        Symbol::intern(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = Symbol::intern("hello");
+        let b = Symbol::intern("hello");
+        assert_eq!(a, b);
+        assert_eq!(a.id(), b.id());
+        assert_eq!(a.as_str(), "hello");
+    }
+
+    #[test]
+    fn distinct_strings_distinct_symbols() {
+        assert_ne!(Symbol::intern("R"), Symbol::intern("S"));
+    }
+
+    #[test]
+    fn ordering_follows_strings() {
+        let b = Symbol::intern("zzz_sym_b");
+        let a = Symbol::intern("aaa_sym_a");
+        // Interned in reverse lexicographic order, but Ord follows strings.
+        assert!(a < b);
+    }
+
+    #[test]
+    fn concurrent_interning() {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    (0..100)
+                        .map(|j| Symbol::intern(&format!("concurrent_{}", j % 50)).id())
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let all: Vec<Vec<u32>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        // Same string always resolves to the same id across threads.
+        for w in &all {
+            assert_eq!(w, &all[0]);
+            for (j, &id) in w.iter().enumerate() {
+                assert_eq!(Symbol(id).as_str(), format!("concurrent_{}", j % 50));
+            }
+        }
+    }
+}

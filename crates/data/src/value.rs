@@ -1,0 +1,104 @@
+//! Database constants.
+
+use crate::Symbol;
+use std::fmt;
+
+/// A database constant: an element of the countably infinite domain **C**
+/// of the paper, realized as either an interned name or a machine integer.
+///
+/// Integers exist so workload generators can produce large domains without
+/// interning overhead; the semantics never distinguishes the two kinds.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Constant {
+    /// An integer constant.
+    Int(i64),
+    /// A named (interned string) constant.
+    Sym(Symbol),
+}
+
+impl Constant {
+    /// Interns `name` as a named constant.
+    pub fn named(name: &str) -> Constant {
+        Constant::Sym(Symbol::intern(name))
+    }
+
+    /// An integer constant.
+    pub fn int(v: i64) -> Constant {
+        Constant::Int(v)
+    }
+}
+
+impl fmt::Display for Constant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Constant::Int(v) => write!(f, "{v}"),
+            Constant::Sym(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl fmt::Debug for Constant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Constant::Int(v) => write!(f, "Const({v})"),
+            Constant::Sym(s) => write!(f, "Const({})", s.as_str()),
+        }
+    }
+}
+
+impl From<i64> for Constant {
+    fn from(v: i64) -> Self {
+        Constant::Int(v)
+    }
+}
+
+impl From<&str> for Constant {
+    fn from(s: &str) -> Self {
+        Constant::named(s)
+    }
+}
+
+impl From<Symbol> for Constant {
+    fn from(s: Symbol) -> Self {
+        Constant::Sym(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(Constant::named("a").to_string(), "a");
+        assert_eq!(Constant::int(42).to_string(), "42");
+    }
+
+    #[test]
+    fn equality_and_kinds() {
+        assert_eq!(Constant::named("a"), Constant::named("a"));
+        assert_ne!(Constant::named("1"), Constant::int(1));
+        assert_ne!(Constant::named("a"), Constant::named("b"));
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut v = vec![
+            Constant::named("b"),
+            Constant::int(2),
+            Constant::named("a"),
+            Constant::int(1),
+        ];
+        v.sort();
+        // Ints sort before symbols (enum order); within kinds, natural order.
+        assert_eq!(
+            v,
+            vec![
+                Constant::int(1),
+                Constant::int(2),
+                Constant::named("a"),
+                Constant::named("b"),
+            ]
+        );
+    }
+}

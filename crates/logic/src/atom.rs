@@ -1,0 +1,203 @@
+//! Atoms over a schema.
+
+use crate::{Bindings, Term, Var};
+use ocqa_data::{Constant, Fact, Symbol};
+use std::fmt;
+
+/// An atom `R(t₁, …, tₙ)` whose arguments are terms (variables or
+/// constants). A [`Fact`] is exactly a variable-free atom.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Atom {
+    pred: Symbol,
+    args: Box<[Term]>,
+}
+
+impl Atom {
+    /// Builds an atom from a predicate and terms.
+    pub fn new(pred: impl Into<Symbol>, args: impl Into<Vec<Term>>) -> Atom {
+        Atom {
+            pred: pred.into(),
+            args: args.into().into_boxed_slice(),
+        }
+    }
+
+    /// Convenience constructor with all-variable arguments:
+    /// `Atom::vars("R", &["x", "y"])`.
+    pub fn vars(pred: &str, vars: &[&str]) -> Atom {
+        Atom::new(
+            Symbol::intern(pred),
+            vars.iter().map(|v| Term::var(v)).collect::<Vec<_>>(),
+        )
+    }
+
+    /// The predicate symbol.
+    pub fn pred(&self) -> Symbol {
+        self.pred
+    }
+
+    /// The argument terms.
+    pub fn args(&self) -> &[Term] {
+        &self.args
+    }
+
+    /// The arity.
+    pub fn arity(&self) -> usize {
+        self.args.len()
+    }
+
+    /// Appends the variables of this atom (with duplicates) to `out`.
+    pub fn collect_vars(&self, out: &mut Vec<Var>) {
+        for t in self.args.iter() {
+            if let Term::Var(v) = t {
+                out.push(*v);
+            }
+        }
+    }
+
+    /// The distinct variables of this atom, in first-occurrence order.
+    pub fn variables(&self) -> Vec<Var> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        let mut seen = Vec::new();
+        out.retain(|v| {
+            if seen.contains(v) {
+                false
+            } else {
+                seen.push(*v);
+                true
+            }
+        });
+        out
+    }
+
+    /// The constants occurring in this atom.
+    pub fn constants(&self) -> impl Iterator<Item = Constant> + '_ {
+        self.args.iter().filter_map(|t| t.as_const())
+    }
+
+    /// Applies `h` to the atom; returns the resulting fact if every
+    /// variable is bound, `None` otherwise.
+    pub fn apply(&self, h: &Bindings) -> Option<Fact> {
+        let mut args = Vec::with_capacity(self.args.len());
+        for t in self.args.iter() {
+            args.push(h.resolve(*t)?);
+        }
+        Some(Fact::new(self.pred, args))
+    }
+
+    /// The binding pattern of this atom under a partial assignment:
+    /// `Some(c)` for constants and bound variables, `None` for unbound ones.
+    pub fn pattern(&self, h: &Bindings) -> Vec<Option<Constant>> {
+        self.args.iter().map(|t| h.resolve(*t)).collect()
+    }
+
+    /// Number of argument positions already determined under `h`.
+    pub fn bound_count(&self, h: &Bindings) -> usize {
+        self.args.iter().filter(|t| h.resolve(**t).is_some()).count()
+    }
+
+    /// Extends `h` so that this atom maps onto the given tuple; returns
+    /// `false` (possibly leaving `h` partially extended) if impossible.
+    /// Callers pass a scratch clone.
+    pub fn unify_tuple(&self, row: &[Constant], h: &mut Bindings) -> bool {
+        debug_assert_eq!(row.len(), self.args.len());
+        for (t, c) in self.args.iter().zip(row.iter()) {
+            match t {
+                Term::Const(k) => {
+                    if k != c {
+                        return false;
+                    }
+                }
+                Term::Var(v) => {
+                    if !h.bind(*v, *c) {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.pred)?;
+        for (i, t) in self.args.iter().enumerate() {
+            if i > 0 {
+                f.write_str(",")?;
+            }
+            write!(f, "{t}")?;
+        }
+        f.write_str(")")
+    }
+}
+
+impl fmt::Debug for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Atom({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variables_dedup_in_order() {
+        let a = Atom::new(
+            "R",
+            vec![Term::var("x"), Term::var("y"), Term::var("x"), Term::constant("c")],
+        );
+        assert_eq!(a.variables(), vec![Var::named("x"), Var::named("y")]);
+        assert_eq!(a.constants().collect::<Vec<_>>(), vec![Constant::named("c")]);
+    }
+
+    #[test]
+    fn apply_full_and_partial() {
+        let a = Atom::vars("R", &["x", "y"]);
+        let mut h = Bindings::new();
+        h.bind(Var::named("x"), Constant::named("a"));
+        assert_eq!(a.apply(&h), None);
+        h.bind(Var::named("y"), Constant::named("b"));
+        assert_eq!(a.apply(&h), Some(Fact::parts("R", &["a", "b"])));
+    }
+
+    #[test]
+    fn pattern_under_partial_binding() {
+        let a = Atom::new("R", vec![Term::var("x"), Term::constant("k"), Term::var("y")]);
+        let mut h = Bindings::new();
+        h.bind(Var::named("y"), Constant::named("b"));
+        assert_eq!(
+            a.pattern(&h),
+            vec![None, Some(Constant::named("k")), Some(Constant::named("b"))]
+        );
+        assert_eq!(a.bound_count(&h), 2);
+    }
+
+    #[test]
+    fn unify_tuple_respects_repeats_and_constants() {
+        let a = Atom::new("R", vec![Term::var("x"), Term::var("x"), Term::constant("k")]);
+        let mut h = Bindings::new();
+        assert!(a.unify_tuple(
+            &[Constant::named("a"), Constant::named("a"), Constant::named("k")],
+            &mut h
+        ));
+        assert_eq!(h.get(Var::named("x")), Some(Constant::named("a")));
+        let mut h2 = Bindings::new();
+        assert!(!a.unify_tuple(
+            &[Constant::named("a"), Constant::named("b"), Constant::named("k")],
+            &mut h2
+        ));
+        let mut h3 = Bindings::new();
+        assert!(!a.unify_tuple(
+            &[Constant::named("a"), Constant::named("a"), Constant::named("z")],
+            &mut h3
+        ));
+    }
+
+    #[test]
+    fn display() {
+        let a = Atom::new("R", vec![Term::var("x"), Term::constant("a"), Term::int(3)]);
+        assert_eq!(a.to_string(), "R(x,'a',3)");
+    }
+}

@@ -1,0 +1,470 @@
+//! Database constraints: TGDs, EGDs and denial constraints.
+
+use crate::{hom, Atom, Bindings, FactSource, Var};
+use ocqa_data::Constant;
+use std::fmt;
+
+/// A database constraint over a schema (§2 of the paper). All three kinds
+/// share the shape `∀x̄ (ϕ(x̄) → ψ(x̄))` where `ϕ` — the *body* — is a
+/// non-empty conjunction of atoms:
+///
+/// * **TGD** `ϕ(x̄,ȳ) → ∃z̄ ψ(x̄,z̄)` — tuple-generating dependency
+///   (inclusion dependencies, foreign-key shapes);
+/// * **EGD** `ϕ(x̄) → xᵢ = xⱼ` — equality-generating dependency (keys,
+///   functional dependencies);
+/// * **DC** `¬ϕ(x̄)`, i.e. `ϕ(x̄) → ⊥` — denial constraint.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum Constraint {
+    /// Tuple-generating dependency.
+    Tgd {
+        /// Body atoms `ϕ(x̄, ȳ)`.
+        body: Vec<Atom>,
+        /// The existentially quantified head variables `z̄`.
+        exist_vars: Vec<Var>,
+        /// Head atoms `ψ(x̄, z̄)`.
+        head: Vec<Atom>,
+    },
+    /// Equality-generating dependency.
+    Egd {
+        /// Body atoms `ϕ(x̄)`.
+        body: Vec<Atom>,
+        /// Left variable of the equality.
+        left: Var,
+        /// Right variable of the equality.
+        right: Var,
+    },
+    /// Denial constraint.
+    Dc {
+        /// Body atoms `ϕ(x̄)`; the constraint asserts no homomorphism from
+        /// the body into the database exists.
+        body: Vec<Atom>,
+    },
+}
+
+/// Error raised for ill-formed constraints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConstraintError(pub String);
+
+impl fmt::Display for ConstraintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ill-formed constraint: {}", self.0)
+    }
+}
+
+impl std::error::Error for ConstraintError {}
+
+impl Constraint {
+    /// Builds a key constraint on the first `key_len` columns of `pred`:
+    /// e.g. `key("R", 1, 2)` is `R(x,y), R(x,z) → y = z` generalized to all
+    /// non-key positions via one EGD per non-key column.
+    ///
+    /// Returns one EGD per non-key position.
+    pub fn key(pred: &str, key_len: usize, arity: usize) -> Vec<Constraint> {
+        assert!(key_len < arity, "key must leave at least one dependent column");
+        let var = |prefix: &str, i: usize| Term::Var(Var::named(&format!("{prefix}{i}")));
+        use crate::Term;
+        let mut out = Vec::new();
+        for dep in key_len..arity {
+            let mk = |tag: &str| -> Atom {
+                let args: Vec<Term> = (0..arity)
+                    .map(|i| {
+                        if i < key_len {
+                            var("k", i)
+                        } else {
+                            Term::Var(Var::named(&format!("{tag}{i}")))
+                        }
+                    })
+                    .collect();
+                Atom::new(pred, args)
+            };
+            out.push(Constraint::Egd {
+                body: vec![mk("u"), mk("v")],
+                left: Var::named(&format!("u{dep}")),
+                right: Var::named(&format!("v{dep}")),
+            });
+        }
+        out
+    }
+
+    /// The body atoms `ϕ`.
+    pub fn body(&self) -> &[Atom] {
+        match self {
+            Constraint::Tgd { body, .. }
+            | Constraint::Egd { body, .. }
+            | Constraint::Dc { body } => body,
+        }
+    }
+
+    /// Distinct body variables in first-occurrence order — the domain of a
+    /// violation homomorphism (Definition 2).
+    pub fn body_variables(&self) -> Vec<Var> {
+        let mut all = Vec::new();
+        for a in self.body() {
+            a.collect_vars(&mut all);
+        }
+        let mut seen = Vec::new();
+        all.retain(|v| {
+            if seen.contains(v) {
+                false
+            } else {
+                seen.push(*v);
+                true
+            }
+        });
+        all
+    }
+
+    /// All constants mentioned in the constraint (body and head) — these
+    /// join `dom(D)` in the base `B(D, Σ)`.
+    pub fn constants(&self) -> Vec<Constant> {
+        let mut out: Vec<Constant> = self.body().iter().flat_map(|a| a.constants()).collect();
+        if let Constraint::Tgd { head, .. } = self {
+            out.extend(head.iter().flat_map(|a| a.constants()));
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Checks well-formedness: non-empty body; EGD equality variables occur
+    /// in the body; TGD head non-empty, its variables covered by body or
+    /// existential variables, and existential variables disjoint from body
+    /// variables.
+    pub fn validate(&self) -> Result<(), ConstraintError> {
+        if self.body().is_empty() {
+            return Err(ConstraintError("empty body".into()));
+        }
+        let body_vars = self.body_variables();
+        match self {
+            Constraint::Dc { .. } => Ok(()),
+            Constraint::Egd { left, right, .. } => {
+                for v in [left, right] {
+                    if !body_vars.contains(v) {
+                        return Err(ConstraintError(format!(
+                            "equality variable {v} does not occur in the body"
+                        )));
+                    }
+                }
+                Ok(())
+            }
+            Constraint::Tgd {
+                exist_vars, head, ..
+            } => {
+                if head.is_empty() {
+                    return Err(ConstraintError("empty TGD head".into()));
+                }
+                for z in exist_vars {
+                    if body_vars.contains(z) {
+                        return Err(ConstraintError(format!(
+                            "existential variable {z} also occurs in the body"
+                        )));
+                    }
+                }
+                let mut head_vars = Vec::new();
+                for a in head {
+                    a.collect_vars(&mut head_vars);
+                }
+                for v in &head_vars {
+                    if !body_vars.contains(v) && !exist_vars.contains(v) {
+                        return Err(ConstraintError(format!(
+                            "head variable {v} neither universal nor existential"
+                        )));
+                    }
+                }
+                for z in exist_vars {
+                    if !head_vars.contains(z) {
+                        return Err(ConstraintError(format!(
+                            "existential variable {z} unused in the head"
+                        )));
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Whether the constraint's conclusion holds in `source` under a body
+    /// homomorphism `h` (the right-hand sides of the §2 satisfaction
+    /// conditions):
+    ///
+    /// * TGD — some extension of `h` maps the head into `source`;
+    /// * EGD — `h(left) = h(right)`;
+    /// * DC  — never (a body match is already a violation).
+    pub fn head_holds<S: FactSource + ?Sized>(&self, source: &S, h: &Bindings) -> bool {
+        match self {
+            Constraint::Tgd { head, .. } => hom::exists_hom(head, source, h),
+            Constraint::Egd { left, right, .. } => {
+                h.get(*left).expect("EGD body binds left variable")
+                    == h.get(*right).expect("EGD body binds right variable")
+            }
+            Constraint::Dc { .. } => false,
+        }
+    }
+
+    /// Whether `(self, h)` is a violation in `source`: `h` maps the body
+    /// into `source` and the conclusion fails (Definition 2).
+    pub fn is_violated_by<S: FactSource + ?Sized>(&self, source: &S, h: &Bindings) -> bool {
+        for atom in self.body() {
+            match atom.apply(h) {
+                Some(fact) if source.has_fact(&fact) => {}
+                _ => return false,
+            }
+        }
+        !self.head_holds(source, h)
+    }
+
+    /// Whether `source` satisfies this constraint.
+    pub fn satisfied_by<S: FactSource + ?Sized>(&self, source: &S) -> bool {
+        // Satisfied iff no body homomorphism fails the head check.
+        hom::for_each_hom(self.body(), source, &Bindings::new(), &mut |h| {
+            self.head_holds(source, h)
+        })
+    }
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let write_atoms = |f: &mut fmt::Formatter<'_>, atoms: &[Atom]| -> fmt::Result {
+            for (i, a) in atoms.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{a}")?;
+            }
+            Ok(())
+        };
+        write_atoms(f, self.body())?;
+        match self {
+            Constraint::Dc { .. } => f.write_str(" -> #false"),
+            Constraint::Egd { left, right, .. } => write!(f, " -> {left} = {right}"),
+            Constraint::Tgd {
+                exist_vars, head, ..
+            } => {
+                f.write_str(" -> ")?;
+                if !exist_vars.is_empty() {
+                    f.write_str("exists ")?;
+                    for (i, z) in exist_vars.iter().enumerate() {
+                        if i > 0 {
+                            f.write_str(",")?;
+                        }
+                        write!(f, "{z}")?;
+                    }
+                    f.write_str(": ")?;
+                }
+                write_atoms(f, head)
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Constraint({self})")
+    }
+}
+
+/// A finite set `Σ` of constraints, indexed by position.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ConstraintSet {
+    constraints: Vec<Constraint>,
+}
+
+impl ConstraintSet {
+    /// Builds a set, validating every member.
+    pub fn new(constraints: Vec<Constraint>) -> Result<ConstraintSet, ConstraintError> {
+        for c in &constraints {
+            c.validate()?;
+        }
+        Ok(ConstraintSet { constraints })
+    }
+
+    /// The empty constraint set.
+    pub fn empty() -> ConstraintSet {
+        ConstraintSet {
+            constraints: Vec::new(),
+        }
+    }
+
+    /// The constraints in declaration order.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// The constraint at `idx`.
+    pub fn get(&self, idx: usize) -> &Constraint {
+        &self.constraints[idx]
+    }
+
+    /// Number of constraints.
+    pub fn len(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.constraints.is_empty()
+    }
+
+    /// Whether `source ⊨ Σ`.
+    pub fn satisfied_by<S: FactSource + ?Sized>(&self, source: &S) -> bool {
+        self.constraints.iter().all(|c| c.satisfied_by(source))
+    }
+
+    /// All constants mentioned by constraints in the set.
+    pub fn constants(&self) -> Vec<Constant> {
+        let mut out: Vec<Constant> = self
+            .constraints
+            .iter()
+            .flat_map(|c| c.constants())
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Whether every constraint is an EGD or DC (no TGDs). Deletion-only
+    /// repairing suffices for such sets (cf. Proposition 8 discussion).
+    pub fn is_denial_fragment(&self) -> bool {
+        self.constraints
+            .iter()
+            .all(|c| !matches!(c, Constraint::Tgd { .. }))
+    }
+}
+
+impl fmt::Display for ConstraintSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for c in &self.constraints {
+            writeln!(f, "{c}.")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Term;
+    use ocqa_data::{Database, Fact, Schema};
+
+    fn example1_db() -> Database {
+        // D = {R(a,b), R(a,c), T(a,b)} from Example 1.
+        let schema = Schema::from_relations(&[("R", 2), ("S", 3), ("T", 2)]);
+        let mut db = Database::new(schema);
+        db.insert(&Fact::parts("R", &["a", "b"])).unwrap();
+        db.insert(&Fact::parts("R", &["a", "c"])).unwrap();
+        db.insert(&Fact::parts("T", &["a", "b"])).unwrap();
+        db
+    }
+
+    fn sigma() -> (Constraint, Constraint) {
+        // σ = R(x,y) → ∃z S(x,y,z);  η = R(x,y), R(x,z) → y = z.
+        let sigma = Constraint::Tgd {
+            body: vec![Atom::vars("R", &["x", "y"])],
+            exist_vars: vec![Var::named("z")],
+            head: vec![Atom::vars("S", &["x", "y", "z"])],
+        };
+        let eta = Constraint::Egd {
+            body: vec![Atom::vars("R", &["x", "y"]), Atom::vars("R", &["x", "z"])],
+            left: Var::named("y"),
+            right: Var::named("z"),
+        };
+        (sigma, eta)
+    }
+
+    #[test]
+    fn validation_catches_malformed() {
+        assert!(Constraint::Dc { body: vec![] }.validate().is_err());
+        let bad_egd = Constraint::Egd {
+            body: vec![Atom::vars("R", &["x", "y"])],
+            left: Var::named("x"),
+            right: Var::named("w"),
+        };
+        assert!(bad_egd.validate().is_err());
+        let bad_tgd = Constraint::Tgd {
+            body: vec![Atom::vars("R", &["x", "y"])],
+            exist_vars: vec![Var::named("x")], // clashes with body
+            head: vec![Atom::vars("S", &["x", "y", "x"])],
+        };
+        assert!(bad_tgd.validate().is_err());
+        let unused_exist = Constraint::Tgd {
+            body: vec![Atom::vars("R", &["x", "y"])],
+            exist_vars: vec![Var::named("z")],
+            head: vec![Atom::vars("S", &["x", "y", "y"])],
+        };
+        assert!(unused_exist.validate().is_err());
+        let (sigma, eta) = sigma();
+        assert!(sigma.validate().is_ok());
+        assert!(eta.validate().is_ok());
+    }
+
+    #[test]
+    fn satisfaction_example1() {
+        let db = example1_db();
+        let (sigma, eta) = sigma();
+        assert!(!sigma.satisfied_by(&db), "no S facts: every R tuple violates σ");
+        assert!(!eta.satisfied_by(&db), "R(a,b), R(a,c) violates the key");
+        // After removing R(a,c), η holds but σ still fails.
+        let mut db2 = db.clone();
+        db2.remove(&Fact::parts("R", &["a", "c"]));
+        assert!(!sigma.satisfied_by(&db2));
+        assert!(eta.satisfied_by(&db2));
+        // Adding a witness S(a,b,c) fixes σ for R(a,b).
+        db2.insert(&Fact::parts("S", &["a", "b", "c"])).unwrap();
+        assert!(sigma.satisfied_by(&db2));
+    }
+
+    #[test]
+    fn dc_satisfaction() {
+        let db = example1_db();
+        let dc = Constraint::Dc {
+            body: vec![Atom::vars("R", &["x", "y"]), Atom::vars("R", &["y", "w"])],
+        };
+        // No chain a→b→? exists (b has no outgoing edge), so the DC holds.
+        assert!(dc.satisfied_by(&db));
+        let dc2 = Constraint::Dc {
+            body: vec![Atom::vars("R", &["x", "y"]), Atom::vars("T", &["x", "y"])],
+        };
+        assert!(!dc2.satisfied_by(&db), "R(a,b) and T(a,b) both present");
+    }
+
+    #[test]
+    fn key_helper_generates_egds() {
+        let ks = Constraint::key("R", 1, 3);
+        assert_eq!(ks.len(), 2);
+        for k in &ks {
+            assert!(k.validate().is_ok());
+        }
+        let schema = Schema::from_relations(&[("R", 3)]);
+        let mut db = Database::new(schema);
+        db.insert(&Fact::parts("R", &["a", "b", "c"])).unwrap();
+        db.insert(&Fact::parts("R", &["a", "b", "d"])).unwrap();
+        let set = ConstraintSet::new(ks).unwrap();
+        assert!(!set.satisfied_by(&db));
+        db.remove(&Fact::parts("R", &["a", "b", "d"]));
+        assert!(set.satisfied_by(&db));
+    }
+
+    #[test]
+    fn constants_collected_from_both_sides() {
+        let c = Constraint::Tgd {
+            body: vec![Atom::new("R", vec![Term::var("x"), Term::constant("k1")])],
+            exist_vars: vec![],
+            head: vec![Atom::new("S", vec![Term::var("x"), Term::constant("k2")])],
+        };
+        assert_eq!(
+            c.constants(),
+            vec![Constant::named("k1"), Constant::named("k2")]
+        );
+    }
+
+    #[test]
+    fn display_forms() {
+        let (sigma, eta) = sigma();
+        assert_eq!(sigma.to_string(), "R(x,y) -> exists z: S(x,y,z)");
+        assert_eq!(eta.to_string(), "R(x,y), R(x,z) -> y = z");
+        let dc = Constraint::Dc {
+            body: vec![Atom::vars("Pref", &["x", "y"]), Atom::vars("Pref", &["y", "x"])],
+        };
+        assert_eq!(dc.to_string(), "Pref(x,y), Pref(y,x) -> #false");
+    }
+}

@@ -1,0 +1,44 @@
+//! Constraints, violations, homomorphisms and first-order queries.
+//!
+//! This crate is the logical layer of the operational-CQA stack (§2–3 of
+//! Calautti–Libkin–Pieris, PODS 2018):
+//!
+//! * [`Term`], [`Var`], [`Atom`] — the syntax shared by constraints and
+//!   queries;
+//! * [`Bindings`] — canonical variable assignments (the homomorphisms `h`
+//!   of the paper);
+//! * [`hom`] — a backtracking homomorphism-enumeration engine driven by the
+//!   posting-list indexes of `ocqa-data`;
+//! * [`Constraint`] / [`ConstraintSet`] — tuple-generating dependencies,
+//!   equality-generating dependencies and denial constraints, with
+//!   satisfaction defined via homomorphisms exactly as in §2;
+//! * [`Violation`] — the pairs `(κ, h)` of Definition 2, with `V(D, Σ)`
+//!   computation and point re-checks (needed for the paper's req2);
+//! * [`Query`] / [`Formula`] — first-order queries with active-domain
+//!   semantics and a conjunctive-query fast path;
+//! * [`parser`] — a plain-text syntax for facts, constraints and queries;
+//! * [`FactSource`] and [`DeletionOverlay`] — an abstraction over "a
+//!   database possibly minus a deletion set", used by the §5 practical
+//!   scheme (`Q[R ↦ R − R_del]`) without materializing the difference.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod atom;
+mod constraint;
+pub mod hom;
+pub mod incremental;
+pub mod parser;
+mod query;
+mod source;
+mod subst;
+mod term;
+mod violation;
+
+pub use atom::Atom;
+pub use constraint::{Constraint, ConstraintError, ConstraintSet};
+pub use query::{Formula, Query};
+pub use source::{DeletionOverlay, FactSource};
+pub use subst::Bindings;
+pub use term::{Term, Var};
+pub use violation::{Violation, ViolationSet};

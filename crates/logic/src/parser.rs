@@ -1,0 +1,765 @@
+//! Plain-text syntax for facts, constraints, queries and formulas.
+//!
+//! The surface syntax keeps the paper's rule-based conventions:
+//!
+//! ```text
+//! # facts (bare identifiers and integers are constants here)
+//! Pref(a, b). Pref(a, c). R(1, x).
+//!
+//! # constraints — body atoms, "->", then a head
+//! R(x, y), R(x, z) -> y = z.            # EGD (key)
+//! Pref(x, y), Pref(y, x) -> #false.     # denial constraint
+//! R(x, y) -> exists z: S(z, x).         # TGD (inclusion dependency)
+//! T(x, y) -> R(x, y).                   # full TGD
+//!
+//! # queries — head tuple, "<-", an FO formula; in formulas and
+//! # constraints bare identifiers are VARIABLES and constants are quoted
+//! (x) <- forall y: (Pref(x, y) | x = y)
+//! () <- exists x: Pref(x, 'a')
+//! ```
+//!
+//! Comments run from `#` or `%` to end of line. Statements end with `.`.
+
+use crate::{Atom, Constraint, ConstraintError, ConstraintSet, Formula, Query, Term, Var};
+use ocqa_data::{Constant, Fact, Schema, SchemaError, Symbol};
+use std::fmt;
+use std::sync::Arc;
+
+/// A parse failure with position information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// Human-readable message.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Str(String),
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Arrow,     // ->
+    LeftArrow, // <-
+    Eq,
+    Neq,
+    And,
+    Or,
+    Not,
+    Colon,
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+struct Spanned {
+    tok: Tok,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src,
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn error(&self, msg: impl Into<String>) -> ParseError {
+        ParseError {
+            line: self.line,
+            col: self.col,
+            msg: msg.into(),
+        }
+    }
+
+    fn bump(&mut self, c: char) {
+        self.pos += c.len_utf8();
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn tokenize(mut self) -> Result<Vec<Spanned>, ParseError> {
+        let mut out = Vec::new();
+        while let Some(c) = self.peek() {
+            if c.is_whitespace() {
+                self.bump(c);
+                continue;
+            }
+            if c == '#' || c == '%' {
+                while let Some(c) = self.peek() {
+                    self.bump(c);
+                    if c == '\n' {
+                        break;
+                    }
+                }
+                continue;
+            }
+            let (line, col) = (self.line, self.col);
+            let tok = match c {
+                '(' => {
+                    self.bump(c);
+                    Tok::LParen
+                }
+                ')' => {
+                    self.bump(c);
+                    Tok::RParen
+                }
+                ',' => {
+                    self.bump(c);
+                    Tok::Comma
+                }
+                '.' => {
+                    self.bump(c);
+                    Tok::Dot
+                }
+                ':' => {
+                    self.bump(c);
+                    Tok::Colon
+                }
+                '&' => {
+                    self.bump(c);
+                    Tok::And
+                }
+                '|' => {
+                    self.bump(c);
+                    Tok::Or
+                }
+                '=' => {
+                    self.bump(c);
+                    Tok::Eq
+                }
+                '!' => {
+                    self.bump(c);
+                    if self.peek() == Some('=') {
+                        self.bump('=');
+                        Tok::Neq
+                    } else {
+                        Tok::Not
+                    }
+                }
+                '-' => {
+                    self.bump(c);
+                    match self.peek() {
+                        Some('>') => {
+                            self.bump('>');
+                            Tok::Arrow
+                        }
+                        Some(d) if d.is_ascii_digit() => {
+                            let n = self.lex_int()?;
+                            Tok::Int(-n)
+                        }
+                        _ => return Err(self.error("expected '>' or digit after '-'")),
+                    }
+                }
+                '<' => {
+                    self.bump(c);
+                    if self.peek() == Some('-') {
+                        self.bump('-');
+                        Tok::LeftArrow
+                    } else {
+                        return Err(self.error("expected '-' after '<'"));
+                    }
+                }
+                '\'' | '"' => {
+                    let quote = c;
+                    self.bump(c);
+                    let mut s = String::new();
+                    loop {
+                        match self.peek() {
+                            None => return Err(self.error("unterminated string literal")),
+                            Some(d) if d == quote => {
+                                self.bump(d);
+                                break;
+                            }
+                            Some(d) => {
+                                s.push(d);
+                                self.bump(d);
+                            }
+                        }
+                    }
+                    Tok::Str(s)
+                }
+                d if d.is_ascii_digit() => Tok::Int(self.lex_int()?),
+                a if a.is_alphabetic() || a == '_' => {
+                    let mut s = String::new();
+                    while let Some(d) = self.peek() {
+                        if d.is_alphanumeric() || d == '_' {
+                            s.push(d);
+                            self.bump(d);
+                        } else {
+                            break;
+                        }
+                    }
+                    Tok::Ident(s)
+                }
+                other => return Err(self.error(format!("unexpected character {other:?}"))),
+            };
+            out.push(Spanned { tok, line, col });
+        }
+        Ok(out)
+    }
+
+    fn lex_int(&mut self) -> Result<i64, ParseError> {
+        let mut s = String::new();
+        while let Some(d) = self.peek() {
+            if d.is_ascii_digit() {
+                s.push(d);
+                self.bump(d);
+            } else {
+                break;
+            }
+        }
+        s.parse()
+            .map_err(|_| self.error(format!("integer literal {s} out of range")))
+    }
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(src: &str) -> Result<Parser, ParseError> {
+        Ok(Parser {
+            toks: Lexer::new(src).tokenize()?,
+            pos: 0,
+        })
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|s| &s.tok)
+    }
+
+    fn error_here(&self, msg: impl Into<String>) -> ParseError {
+        match self.toks.get(self.pos.min(self.toks.len().saturating_sub(1))) {
+            Some(s) if self.pos < self.toks.len() => ParseError {
+                line: s.line,
+                col: s.col,
+                msg: msg.into(),
+            },
+            Some(s) => ParseError {
+                line: s.line,
+                col: s.col + 1,
+                msg: format!("{} (at end of input)", msg.into()),
+            },
+            None => ParseError {
+                line: 1,
+                col: 1,
+                msg: format!("{} (empty input)", msg.into()),
+            },
+        }
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|s| s.tok.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, want: &Tok) -> bool {
+        if self.peek() == Some(want) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, want: Tok, what: &str) -> Result<(), ParseError> {
+        if self.eat(&want) {
+            Ok(())
+        } else {
+            Err(self.error_here(format!("expected {what}")))
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    /// term in rule/formula context: bare ident = variable, literal = constant.
+    fn term(&mut self) -> Result<Term, ParseError> {
+        match self.next() {
+            Some(Tok::Ident(name)) => Ok(Term::Var(Var::named(&name))),
+            Some(Tok::Int(v)) => Ok(Term::Const(Constant::int(v))),
+            Some(Tok::Str(s)) => Ok(Term::Const(Constant::named(&s))),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.error_here("expected a term"))
+            }
+        }
+    }
+
+    fn atom(&mut self) -> Result<Atom, ParseError> {
+        let pred = match self.next() {
+            Some(Tok::Ident(name)) => Symbol::intern(&name),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                return Err(self.error_here("expected a predicate name"));
+            }
+        };
+        self.expect(Tok::LParen, "'(' after predicate name")?;
+        let mut args = Vec::new();
+        if !self.eat(&Tok::RParen) {
+            loop {
+                args.push(self.term()?);
+                if self.eat(&Tok::RParen) {
+                    break;
+                }
+                self.expect(Tok::Comma, "',' or ')' in argument list")?;
+            }
+        }
+        Ok(Atom::new(pred, args))
+    }
+
+    fn atom_list(&mut self) -> Result<Vec<Atom>, ParseError> {
+        let mut atoms = vec![self.atom()?];
+        while self.eat(&Tok::Comma) {
+            atoms.push(self.atom()?);
+        }
+        Ok(atoms)
+    }
+
+    fn var_list(&mut self) -> Result<Vec<Var>, ParseError> {
+        let mut vars = Vec::new();
+        loop {
+            match self.next() {
+                Some(Tok::Ident(name)) => vars.push(Var::named(&name)),
+                _ => {
+                    self.pos = self.pos.saturating_sub(1);
+                    return Err(self.error_here("expected a variable name"));
+                }
+            }
+            if !self.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        Ok(vars)
+    }
+
+    fn constraint(&mut self) -> Result<Constraint, ParseError> {
+        let body = self.atom_list()?;
+        self.expect(Tok::Arrow, "'->' after constraint body")?;
+        // DC: "#false" lexes as a comment, so accept the ident `false`
+        // (and `bottom`) as the head.
+        if let Some(Tok::Ident(name)) = self.peek() {
+            if name == "false" || name == "bottom" {
+                self.next();
+                return Ok(Constraint::Dc { body });
+            }
+            if name == "exists" {
+                self.next();
+                let exist_vars = self.var_list()?;
+                self.expect(Tok::Colon, "':' after existential variables")?;
+                let head = self.atom_list()?;
+                return Ok(Constraint::Tgd {
+                    body,
+                    exist_vars,
+                    head,
+                });
+            }
+        }
+        // Either an EGD (x = y) or a TGD head without existentials. An EGD
+        // head is Ident '=' Ident.
+        let save = self.pos;
+        if let (Some(Tok::Ident(l)), Some(Tok::Eq), Some(Tok::Ident(r))) = (
+            self.toks.get(self.pos).map(|s| &s.tok),
+            self.toks.get(self.pos + 1).map(|s| &s.tok),
+            self.toks.get(self.pos + 2).map(|s| &s.tok),
+        ) {
+            let (l, r) = (Var::named(l), Var::named(r));
+            self.pos += 3;
+            return Ok(Constraint::Egd {
+                body,
+                left: l,
+                right: r,
+            });
+        }
+        self.pos = save;
+        let head = self.atom_list()?;
+        Ok(Constraint::Tgd {
+            body,
+            exist_vars: vec![],
+            head,
+        })
+    }
+
+    // Formula grammar: or-expr with standard precedence ! > & > |.
+    fn formula(&mut self) -> Result<Formula, ParseError> {
+        let mut parts = vec![self.and_expr()?];
+        while self.eat(&Tok::Or) {
+            parts.push(self.and_expr()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().unwrap()
+        } else {
+            Formula::Or(parts)
+        })
+    }
+
+    fn and_expr(&mut self) -> Result<Formula, ParseError> {
+        let mut parts = vec![self.unary_expr()?];
+        while self.eat(&Tok::And) {
+            parts.push(self.unary_expr()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().unwrap()
+        } else {
+            Formula::And(parts)
+        })
+    }
+
+    fn unary_expr(&mut self) -> Result<Formula, ParseError> {
+        if self.eat(&Tok::Not) {
+            return Ok(Formula::Not(Box::new(self.unary_expr()?)));
+        }
+        if let Some(Tok::Ident(name)) = self.peek() {
+            match name.as_str() {
+                "exists" | "forall" => {
+                    let is_exists = name == "exists";
+                    self.next();
+                    let vars = self.var_list()?;
+                    self.expect(Tok::Colon, "':' after quantified variables")?;
+                    let inner = Box::new(self.unary_expr()?);
+                    return Ok(if is_exists {
+                        Formula::Exists(vars, inner)
+                    } else {
+                        Formula::Forall(vars, inner)
+                    });
+                }
+                "true" => {
+                    self.next();
+                    return Ok(Formula::And(vec![]));
+                }
+                "false" => {
+                    self.next();
+                    return Ok(Formula::Or(vec![]));
+                }
+                _ => {}
+            }
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Formula, ParseError> {
+        if self.eat(&Tok::LParen) {
+            let f = self.formula()?;
+            self.expect(Tok::RParen, "')'")?;
+            return Ok(f);
+        }
+        // Atom or (in)equality. Disambiguate: Ident '(' → atom.
+        if let (Some(Tok::Ident(_)), Some(Tok::LParen)) = (
+            self.toks.get(self.pos).map(|s| &s.tok),
+            self.toks.get(self.pos + 1).map(|s| &s.tok),
+        ) {
+            return Ok(Formula::Atom(self.atom()?));
+        }
+        let l = self.term()?;
+        if self.eat(&Tok::Eq) {
+            let r = self.term()?;
+            Ok(Formula::Eq(l, r))
+        } else if self.eat(&Tok::Neq) {
+            let r = self.term()?;
+            Ok(Formula::Not(Box::new(Formula::Eq(l, r))))
+        } else {
+            Err(self.error_here("expected '=' or '!=' after term"))
+        }
+    }
+
+    /// A fact: predicate over constants only; bare identifiers are
+    /// constants in fact context.
+    fn fact(&mut self) -> Result<Fact, ParseError> {
+        let atom = self.atom()?;
+        let mut args = Vec::with_capacity(atom.arity());
+        for t in atom.args() {
+            match t {
+                Term::Const(c) => args.push(*c),
+                Term::Var(v) => args.push(Constant::Sym(v.name())),
+            }
+        }
+        Ok(Fact::new(atom.pred(), args))
+    }
+}
+
+/// Parses a whitespace/`.`-separated list of facts.
+pub fn parse_facts(src: &str) -> Result<Vec<Fact>, ParseError> {
+    let mut p = Parser::new(src)?;
+    let mut out = Vec::new();
+    while !p.at_end() {
+        out.push(p.fact()?);
+        if !p.eat(&Tok::Dot) && !p.at_end() {
+            return Err(p.error_here("expected '.' after fact"));
+        }
+    }
+    Ok(out)
+}
+
+/// Parses a `.`-separated list of constraints into a validated set.
+///
+/// ```
+/// use ocqa_logic::{parser, Constraint};
+///
+/// let set = parser::parse_constraints(
+///     "R(x,y), R(x,z) -> y = z. Pref(x,y), Pref(y,x) -> false.",
+/// ).unwrap();
+/// assert_eq!(set.len(), 2);
+/// assert!(matches!(set.get(0), Constraint::Egd { .. }));
+/// assert!(matches!(set.get(1), Constraint::Dc { .. }));
+/// ```
+pub fn parse_constraints(src: &str) -> Result<ConstraintSet, ParseError> {
+    let mut p = Parser::new(src)?;
+    let mut out = Vec::new();
+    while !p.at_end() {
+        out.push(p.constraint()?);
+        if !p.eat(&Tok::Dot) && !p.at_end() {
+            return Err(p.error_here("expected '.' after constraint"));
+        }
+    }
+    ConstraintSet::new(out).map_err(|ConstraintError(msg)| ParseError {
+        line: 1,
+        col: 1,
+        msg,
+    })
+}
+
+/// Parses a query `"(x, y) <- formula"`, or a bare formula (whose free
+/// variables, in first occurrence order, become the head).
+pub fn parse_query(src: &str) -> Result<Query, ParseError> {
+    let mut p = Parser::new(src)?;
+    let explicit_head = {
+        // Lookahead: '(' [vars] ')' '<-'.
+        let save = p.pos;
+        if p.eat(&Tok::LParen) {
+            let head: Option<Vec<Var>> = if p.eat(&Tok::RParen) {
+                Some(vec![])
+            } else {
+                match p.var_list() {
+                    Ok(vars) if p.eat(&Tok::RParen) => Some(vars),
+                    _ => None,
+                }
+            };
+            match head {
+                Some(h) if p.eat(&Tok::LeftArrow) => Some(h),
+                _ => {
+                    p.pos = save;
+                    None
+                }
+            }
+        } else {
+            None
+        }
+    };
+    let formula = p.formula()?;
+    if !p.at_end() {
+        return Err(p.error_here("trailing input after query"));
+    }
+    let head = match explicit_head {
+        Some(h) => h,
+        None => formula.free_variables(),
+    };
+    Query::new(head, formula).map_err(|msg| ParseError {
+        line: 1,
+        col: 1,
+        msg,
+    })
+}
+
+/// Parses a bare formula.
+pub fn parse_formula(src: &str) -> Result<Formula, ParseError> {
+    let mut p = Parser::new(src)?;
+    let f = p.formula()?;
+    if !p.at_end() {
+        return Err(p.error_here("trailing input after formula"));
+    }
+    Ok(f)
+}
+
+/// Infers a schema from facts and constraint atoms (every predicate gets
+/// the arity of its first occurrence; conflicts are errors).
+pub fn infer_schema(
+    facts: &[Fact],
+    sigma: &ConstraintSet,
+) -> Result<Arc<Schema>, SchemaError> {
+    let mut b = Schema::builder();
+    let mut seen: Vec<(Symbol, usize)> = Vec::new();
+    let add = |pred: Symbol, arity: usize, seen: &mut Vec<(Symbol, usize)>| {
+        if !seen.iter().any(|&(p, a)| p == pred && a == arity) {
+            seen.push((pred, arity));
+        }
+    };
+    for f in facts {
+        add(f.pred(), f.arity(), &mut seen);
+    }
+    for c in sigma.constraints() {
+        for a in c.body() {
+            add(a.pred(), a.arity(), &mut seen);
+        }
+        if let Constraint::Tgd { head, .. } = c {
+            for a in head {
+                add(a.pred(), a.arity(), &mut seen);
+            }
+        }
+    }
+    for (pred, arity) in seen {
+        b = b.relation(pred.as_str(), arity);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocqa_data::Database;
+
+    #[test]
+    fn parse_facts_bare_identifiers_are_constants() {
+        let facts = parse_facts("Pref(a, b). Pref(a, c). R(1, 'two').").unwrap();
+        assert_eq!(facts.len(), 3);
+        assert_eq!(facts[0], Fact::parts("Pref", &["a", "b"]));
+        assert_eq!(
+            facts[2],
+            Fact::new("R", vec![Constant::int(1), Constant::named("two")])
+        );
+    }
+
+    #[test]
+    fn parse_constraint_kinds() {
+        let set = parse_constraints(
+            "R(x,y), R(x,z) -> y = z.\n\
+             Pref(x,y), Pref(y,x) -> false.\n\
+             R(x,y) -> exists z: S(z,x).\n\
+             T(x,y) -> R(x,y).",
+        )
+        .unwrap();
+        assert_eq!(set.len(), 4);
+        assert!(matches!(set.get(0), Constraint::Egd { .. }));
+        assert!(matches!(set.get(1), Constraint::Dc { .. }));
+        assert!(matches!(
+            set.get(2),
+            Constraint::Tgd { exist_vars, .. } if exist_vars.len() == 1
+        ));
+        assert!(matches!(
+            set.get(3),
+            Constraint::Tgd { exist_vars, .. } if exist_vars.is_empty()
+        ));
+    }
+
+    #[test]
+    fn constraint_display_reparses() {
+        let src = "R(x,y), R(x,z) -> y = z. R(x,y) -> exists w: S(w,x,'k').";
+        let set = parse_constraints(src).unwrap();
+        let printed = set.to_string().replace("#false", "false");
+        let reparsed = parse_constraints(&printed).unwrap();
+        assert_eq!(set, reparsed);
+    }
+
+    #[test]
+    fn parse_query_example7() {
+        let q = parse_query("(x) <- forall y: (Pref(x,y) | x = y)").unwrap();
+        assert_eq!(q.arity(), 1);
+        assert_eq!(q.head()[0], Var::named("x"));
+        // Evaluate on a consistent preference instance.
+        let schema = Schema::from_relations(&[("Pref", 2)]);
+        let mut db = Database::new(schema);
+        for (a, b) in [("a", "b"), ("a", "c")] {
+            db.insert(&Fact::parts("Pref", &[a, b])).unwrap();
+        }
+        let ans = q.answers(&db);
+        assert_eq!(ans.len(), 1);
+        assert!(ans.contains(&vec![Constant::named("a")]));
+    }
+
+    #[test]
+    fn implicit_head_uses_free_variables() {
+        let q = parse_query("exists y: (Pref(x, y) & Pref(y, z))").unwrap();
+        // Free vars: x (from first conjunct), z.
+        assert_eq!(q.head(), &[Var::named("x"), Var::named("z")]);
+        // Quantifiers bind tightly: without parentheses the second
+        // conjunct's y is free.
+        let q2 = parse_query("exists y: Pref(x, y) & Pref(y, z)").unwrap();
+        assert_eq!(q2.head(), &[Var::named("x"), Var::named("y"), Var::named("z")]);
+    }
+
+    #[test]
+    fn operators_precedence_and_literals() {
+        let f = parse_formula("!P(x) & Q(x) | R(x)").unwrap();
+        // Parses as ((!P & Q) | R).
+        assert!(matches!(f, Formula::Or(ref v) if v.len() == 2));
+        assert!(parse_formula("true & false").is_ok());
+        let ne = parse_formula("x != 'a'").unwrap();
+        assert!(matches!(ne, Formula::Not(_)));
+    }
+
+    #[test]
+    fn error_positions() {
+        let err = parse_facts("Pref(a b)").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.col >= 8, "column near the offending token: {err}");
+        let err = parse_constraints("R(x) -> ").unwrap_err();
+        assert!(err.to_string().contains("expected"));
+        // Unterminated string.
+        assert!(parse_facts("R('abc").is_err());
+    }
+
+    #[test]
+    fn malformed_constraints_rejected_by_validation() {
+        // EGD variable not in body.
+        assert!(parse_constraints("R(x,y) -> y = w.").is_err());
+        // Existential clashing with body variable.
+        assert!(parse_constraints("R(x,y) -> exists x: S(x,y).").is_err());
+    }
+
+    #[test]
+    fn infer_schema_from_mixed_sources() {
+        let facts = parse_facts("R(a,b).").unwrap();
+        let sigma = parse_constraints("R(x,y) -> exists z: S(z,x).").unwrap();
+        let schema = infer_schema(&facts, &sigma).unwrap();
+        assert_eq!(schema.arity(Symbol::intern("R")), Some(2));
+        assert_eq!(schema.arity(Symbol::intern("S")), Some(2));
+        // Conflicting arity use.
+        let facts2 = parse_facts("R(a,b). R(a).").unwrap();
+        assert!(infer_schema(&facts2, &ConstraintSet::empty()).is_err());
+    }
+
+    #[test]
+    fn comments_and_whitespace() {
+        let facts = parse_facts(
+            "# leading comment\nPref(a, b). % trailing comment\n  Pref(b, c).",
+        )
+        .unwrap();
+        assert_eq!(facts.len(), 2);
+    }
+}

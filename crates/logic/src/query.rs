@@ -1,0 +1,535 @@
+//! First-order queries with active-domain semantics.
+
+use crate::{hom, Atom, Bindings, FactSource, Term, Var};
+use ocqa_data::Constant;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A first-order formula over atoms, equality, boolean connectives and
+/// quantifiers.
+///
+/// Quantifiers range over the **active domain** of the instance being
+/// queried (the `Q(D) = {c̄ ∈ dom(D)^|x̄| : D ⊨ ϕ(c̄)}` semantics of §2).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum Formula {
+    /// An atom `R(t̄)`.
+    Atom(Atom),
+    /// Equality `t₁ = t₂`.
+    Eq(Term, Term),
+    /// Negation.
+    Not(Box<Formula>),
+    /// Conjunction (empty = true).
+    And(Vec<Formula>),
+    /// Disjunction (empty = false).
+    Or(Vec<Formula>),
+    /// Existential quantification.
+    Exists(Vec<Var>, Box<Formula>),
+    /// Universal quantification.
+    Forall(Vec<Var>, Box<Formula>),
+}
+
+impl Formula {
+    /// The free variables, in first-occurrence order.
+    pub fn free_variables(&self) -> Vec<Var> {
+        let mut out = Vec::new();
+        let mut bound = Vec::new();
+        self.collect_free(&mut bound, &mut out);
+        out
+    }
+
+    fn collect_free(&self, bound: &mut Vec<Var>, out: &mut Vec<Var>) {
+        match self {
+            Formula::Atom(a) => {
+                for v in a.variables() {
+                    if !bound.contains(&v) && !out.contains(&v) {
+                        out.push(v);
+                    }
+                }
+            }
+            Formula::Eq(l, r) => {
+                for t in [l, r] {
+                    if let Term::Var(v) = t {
+                        if !bound.contains(v) && !out.contains(v) {
+                            out.push(*v);
+                        }
+                    }
+                }
+            }
+            Formula::Not(f) => f.collect_free(bound, out),
+            Formula::And(fs) | Formula::Or(fs) => {
+                for f in fs {
+                    f.collect_free(bound, out);
+                }
+            }
+            Formula::Exists(vs, f) | Formula::Forall(vs, f) => {
+                let n = bound.len();
+                bound.extend(vs.iter().copied());
+                f.collect_free(bound, out);
+                bound.truncate(n);
+            }
+        }
+    }
+
+    /// Evaluates the formula under `env`, which must bind every free
+    /// variable. Quantifiers range over the active domain of `source`.
+    pub fn eval<S: FactSource + ?Sized>(&self, source: &S, env: &Env) -> bool {
+        match self {
+            Formula::Atom(a) => {
+                let mut args = Vec::with_capacity(a.arity());
+                for t in a.args() {
+                    args.push(env.resolve(*t).expect("unbound variable in atom"));
+                }
+                source.has_fact(&ocqa_data::Fact::new(a.pred(), args))
+            }
+            Formula::Eq(l, r) => {
+                env.resolve(*l).expect("unbound variable in equality")
+                    == env.resolve(*r).expect("unbound variable in equality")
+            }
+            Formula::Not(f) => !f.eval(source, env),
+            Formula::And(fs) => fs.iter().all(|f| f.eval(source, env)),
+            Formula::Or(fs) => fs.iter().any(|f| f.eval(source, env)),
+            Formula::Exists(vs, f) => quantify(source, env, vs, f, true),
+            Formula::Forall(vs, f) => !quantify(source, env, vs, f, false),
+        }
+    }
+
+    /// If the formula is a conjunctive query — nested `Exists`/`And` over
+    /// atoms only — returns its flattened atom list.
+    pub fn as_conjunctive(&self) -> Option<Vec<Atom>> {
+        let mut atoms = Vec::new();
+        if self.collect_cq_atoms(&mut atoms) {
+            Some(atoms)
+        } else {
+            None
+        }
+    }
+
+    fn collect_cq_atoms(&self, out: &mut Vec<Atom>) -> bool {
+        match self {
+            Formula::Atom(a) => {
+                out.push(a.clone());
+                true
+            }
+            Formula::And(fs) => fs.iter().all(|f| f.collect_cq_atoms(out)),
+            Formula::Exists(_, f) => f.collect_cq_atoms(out),
+            _ => false,
+        }
+    }
+}
+
+/// Searches for a witness (`want_witness = true`, existential) or a
+/// counterexample (`false`, universal) assignment of `vs` over the active
+/// domain. Returns whether one was found.
+fn quantify<S: FactSource + ?Sized>(
+    source: &S,
+    env: &Env,
+    vs: &[Var],
+    f: &Formula,
+    want_witness: bool,
+) -> bool {
+    let mut domain = Vec::new();
+    source.for_each_domain_constant(&mut |c| domain.push(c));
+    let mut env = env.clone();
+    fn rec<S: FactSource + ?Sized>(
+        source: &S,
+        env: &mut Env,
+        vs: &[Var],
+        domain: &[Constant],
+        f: &Formula,
+        want_witness: bool,
+    ) -> bool {
+        match vs.split_first() {
+            None => f.eval(source, env) == want_witness,
+            Some((v, rest)) => domain.iter().any(|&c| {
+                env.push(*v, c);
+                let found = rec(source, env, rest, domain, f, want_witness);
+                env.pop();
+                found
+            }),
+        }
+    }
+    rec(source, &mut env, vs, &domain, f, want_witness)
+}
+
+/// An evaluation environment: a stack of variable bindings where inner
+/// (later) bindings shadow outer ones, so quantifier nesting and shadowing
+/// behave like standard FO scoping.
+#[derive(Clone, Debug, Default)]
+pub struct Env(Vec<(Var, Constant)>);
+
+impl Env {
+    /// Empty environment.
+    pub fn new() -> Env {
+        Env(Vec::new())
+    }
+
+    /// Environment binding `vars[i] ↦ tuple[i]`.
+    pub fn from_tuple(vars: &[Var], tuple: &[Constant]) -> Env {
+        assert_eq!(vars.len(), tuple.len(), "tuple arity mismatch");
+        Env(vars.iter().copied().zip(tuple.iter().copied()).collect())
+    }
+
+    /// Pushes a binding (shadowing any previous binding of `v`).
+    pub fn push(&mut self, v: Var, c: Constant) {
+        self.0.push((v, c));
+    }
+
+    /// Pops the most recent binding.
+    pub fn pop(&mut self) {
+        self.0.pop();
+    }
+
+    /// Innermost binding of `v`.
+    pub fn lookup(&self, v: Var) -> Option<Constant> {
+        self.0.iter().rev().find(|(w, _)| *w == v).map(|(_, c)| *c)
+    }
+
+    /// Resolves a term.
+    pub fn resolve(&self, t: Term) -> Option<Constant> {
+        match t {
+            Term::Const(c) => Some(c),
+            Term::Var(v) => self.lookup(v),
+        }
+    }
+}
+
+/// A first-order query `Q(x̄) = {x̄ | ϕ}`.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Query {
+    head: Vec<Var>,
+    formula: Formula,
+}
+
+impl Query {
+    /// Builds a query; every free variable of `formula` must appear in
+    /// `head` (head variables that do not occur in the formula are allowed
+    /// and range over the active domain).
+    pub fn new(head: Vec<Var>, formula: Formula) -> Result<Query, String> {
+        for v in formula.free_variables() {
+            if !head.contains(&v) {
+                return Err(format!("free variable {v} not in query head"));
+            }
+        }
+        Ok(Query { head, formula })
+    }
+
+    /// The head (answer) variables `x̄`.
+    pub fn head(&self) -> &[Var] {
+        &self.head
+    }
+
+    /// The query formula.
+    pub fn formula(&self) -> &Formula {
+        &self.formula
+    }
+
+    /// Arity of answers.
+    pub fn arity(&self) -> usize {
+        self.head.len()
+    }
+
+    /// Whether the query is boolean (no head variables).
+    pub fn is_boolean(&self) -> bool {
+        self.head.is_empty()
+    }
+
+    /// Whether `tuple ∈ Q(source)`. This is the membership check used by
+    /// operational CQA: sampled repairs are probed per candidate tuple.
+    ///
+    /// Mirroring §2, answers are drawn from the active domain: a tuple
+    /// using constants outside `dom(source)` is never an answer.
+    pub fn holds<S: FactSource + ?Sized>(&self, source: &S, tuple: &[Constant]) -> bool {
+        assert_eq!(tuple.len(), self.head.len(), "answer arity mismatch");
+        if !tuple.iter().all(|c| {
+            let mut found = false;
+            source.for_each_domain_constant(&mut |d| found |= d == *c);
+            found
+        }) {
+            return false;
+        }
+        let env = Env::from_tuple(&self.head, tuple);
+        self.formula.eval(source, &env)
+    }
+
+    /// Computes `Q(source)` — all answers over the active domain. Uses the
+    /// homomorphism engine when the formula is a conjunctive query, and
+    /// active-domain enumeration otherwise.
+    pub fn answers<S: FactSource + ?Sized>(&self, source: &S) -> BTreeSet<Vec<Constant>> {
+        if let Some(atoms) = self.formula.as_conjunctive() {
+            // Fast path: project body homomorphisms onto the head. Head
+            // variables not occurring in the formula still need domain
+            // enumeration; fall through in that rare shape.
+            let atom_vars: Vec<Var> = atoms.iter().flat_map(|a| a.variables()).collect();
+            if self.head.iter().all(|v| atom_vars.contains(v)) {
+                let mut out = BTreeSet::new();
+                hom::for_each_hom(&atoms, source, &Bindings::new(), &mut |h| {
+                    let tuple: Vec<Constant> = self
+                        .head
+                        .iter()
+                        .map(|v| h.get(*v).expect("head variable bound by body"))
+                        .collect();
+                    out.insert(tuple);
+                    true
+                });
+                return out;
+            }
+        }
+        // General case: enumerate dom(source)^{|head|}.
+        let mut domain = Vec::new();
+        source.for_each_domain_constant(&mut |c| domain.push(c));
+        domain.sort();
+        let mut out = BTreeSet::new();
+        let mut tuple = Vec::with_capacity(self.head.len());
+        self.enumerate(source, &domain, &mut tuple, &mut out);
+        out
+    }
+
+    fn enumerate<S: FactSource + ?Sized>(
+        &self,
+        source: &S,
+        domain: &[Constant],
+        tuple: &mut Vec<Constant>,
+        out: &mut BTreeSet<Vec<Constant>>,
+    ) {
+        if tuple.len() == self.head.len() {
+            let env = Env::from_tuple(&self.head, tuple);
+            if self.formula.eval(source, &env) {
+                out.insert(tuple.clone());
+            }
+            return;
+        }
+        for &c in domain {
+            tuple.push(c);
+            self.enumerate(source, domain, tuple, out);
+            tuple.pop();
+        }
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("(")?;
+        for (i, v) in self.head.iter().enumerate() {
+            if i > 0 {
+                f.write_str(",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ") <- {}", self.formula)
+    }
+}
+
+impl fmt::Debug for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Query({self})")
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::Atom(a) => write!(f, "{a}"),
+            Formula::Eq(l, r) => write!(f, "{l} = {r}"),
+            Formula::Not(inner) => write!(f, "!({inner})"),
+            Formula::And(fs) => {
+                if fs.is_empty() {
+                    return f.write_str("true");
+                }
+                f.write_str("(")?;
+                for (i, g) in fs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(" & ")?;
+                    }
+                    write!(f, "{g}")?;
+                }
+                f.write_str(")")
+            }
+            Formula::Or(fs) => {
+                if fs.is_empty() {
+                    return f.write_str("false");
+                }
+                f.write_str("(")?;
+                for (i, g) in fs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(" | ")?;
+                    }
+                    write!(f, "{g}")?;
+                }
+                f.write_str(")")
+            }
+            Formula::Exists(vs, inner) | Formula::Forall(vs, inner) => {
+                let kw = if matches!(self, Formula::Exists(..)) {
+                    "exists"
+                } else {
+                    "forall"
+                };
+                write!(f, "{kw} ")?;
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, ": ({inner})")
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Formula({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocqa_data::{Database, Fact, Schema};
+
+    /// The preference database of §3 ("Repairing Sequences in Action").
+    fn pref_db() -> Database {
+        let schema = Schema::from_relations(&[("Pref", 2)]);
+        let mut db = Database::new(schema);
+        for (a, b) in [("a", "b"), ("a", "c"), ("a", "d"), ("b", "a"), ("b", "d"), ("c", "a")] {
+            db.insert(&Fact::parts("Pref", &[a, b])).unwrap();
+        }
+        db
+    }
+
+    fn v(n: &str) -> Var {
+        Var::named(n)
+    }
+
+    /// Example 7's query: Q(x) = ∀y (Pref(x,y) ∨ x = y).
+    fn most_preferred() -> Query {
+        Query::new(
+            vec![v("x")],
+            Formula::Forall(
+                vec![v("y")],
+                Box::new(Formula::Or(vec![
+                    Formula::Atom(Atom::vars("Pref", &["x", "y"])),
+                    Formula::Eq(Term::var("x"), Term::var("y")),
+                ])),
+            ),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn example7_on_raw_inconsistent_db() {
+        // On the raw inconsistent database `a` happens to beat everything —
+        // which is exactly why CQA evaluates over *repairs*, where removing
+        // Pref(a,·) facts can destroy this answer.
+        let q = most_preferred();
+        let ans = q.answers(&pref_db());
+        assert_eq!(ans, BTreeSet::from([vec![Constant::named("a")]]));
+    }
+
+    #[test]
+    fn example7_on_repair() {
+        // On the repair {Pref(a,b), Pref(a,c), Pref(a,d), Pref(b,d)}, `a`
+        // is the most preferred product.
+        let mut db = pref_db();
+        db.remove(&Fact::parts("Pref", &["b", "a"]));
+        db.remove(&Fact::parts("Pref", &["c", "a"]));
+        let q = most_preferred();
+        let ans = q.answers(&db);
+        assert_eq!(ans, BTreeSet::from([vec![Constant::named("a")]]));
+        assert!(q.holds(&db, &[Constant::named("a")]));
+        assert!(!q.holds(&db, &[Constant::named("b")]));
+    }
+
+    #[test]
+    fn holds_rejects_out_of_domain_tuples() {
+        let q = most_preferred();
+        assert!(!q.holds(&pref_db(), &[Constant::named("zz")]));
+    }
+
+    #[test]
+    fn cq_fast_path_matches_naive() {
+        // Q(x, z) = ∃y Pref(x,y) ∧ Pref(y,z).
+        let cq = Query::new(
+            vec![v("x"), v("z")],
+            Formula::Exists(
+                vec![v("y")],
+                Box::new(Formula::And(vec![
+                    Formula::Atom(Atom::vars("Pref", &["x", "y"])),
+                    Formula::Atom(Atom::vars("Pref", &["y", "z"])),
+                ])),
+            ),
+        )
+        .unwrap();
+        assert!(cq.formula().as_conjunctive().is_some());
+        let fast = cq.answers(&pref_db());
+        // Same query forced down the naive path via double negation.
+        let naive_q = Query::new(
+            vec![v("x"), v("z")],
+            Formula::Not(Box::new(Formula::Not(Box::new(cq.formula().clone())))),
+        )
+        .unwrap();
+        assert!(naive_q.formula().as_conjunctive().is_none());
+        assert_eq!(fast, naive_q.answers(&pref_db()));
+        assert!(!fast.is_empty());
+    }
+
+    #[test]
+    fn free_variables_respect_scoping() {
+        let f = Formula::Exists(
+            vec![v("y")],
+            Box::new(Formula::And(vec![
+                Formula::Atom(Atom::vars("Pref", &["x", "y"])),
+                Formula::Exists(
+                    vec![v("x")],
+                    Box::new(Formula::Atom(Atom::vars("Pref", &["x", "w"]))),
+                ),
+            ])),
+        );
+        assert_eq!(f.free_variables(), vec![v("x"), v("w")]);
+    }
+
+    #[test]
+    fn shadowed_quantifier_uses_inner_binding() {
+        // ∃x Pref(x, 'd') under an env binding x↦c must still find x=a or b.
+        let f = Formula::Exists(
+            vec![v("x")],
+            Box::new(Formula::Atom(Atom::new(
+                "Pref",
+                vec![Term::var("x"), Term::constant("d")],
+            ))),
+        );
+        let mut env = Env::new();
+        env.push(v("x"), Constant::named("c"));
+        assert!(f.eval(&pref_db(), &env));
+    }
+
+    #[test]
+    fn boolean_query() {
+        let q = Query::new(
+            vec![],
+            Formula::Exists(
+                vec![v("x")],
+                Box::new(Formula::Atom(Atom::vars("Pref", &["x", "x"]))),
+            ),
+        )
+        .unwrap();
+        assert!(q.is_boolean());
+        // No reflexive preference: boolean query is false — no empty tuple.
+        assert!(q.answers(&pref_db()).is_empty());
+        assert!(!q.holds(&pref_db(), &[]));
+    }
+
+    #[test]
+    fn query_head_must_cover_free_vars() {
+        assert!(Query::new(vec![], Formula::Atom(Atom::vars("Pref", &["x", "y"]))).is_err());
+    }
+
+    #[test]
+    fn empty_connectives() {
+        let t = Formula::And(vec![]);
+        let fls = Formula::Or(vec![]);
+        let env = Env::new();
+        assert!(t.eval(&pref_db(), &env));
+        assert!(!fls.eval(&pref_db(), &env));
+    }
+}

@@ -1,0 +1,148 @@
+//! Abstraction over fact providers.
+
+use ocqa_data::{Constant, Database, Fact, Symbol};
+use std::collections::HashSet;
+
+/// A read-only provider of facts — the interface the homomorphism engine
+/// and the query evaluator run against.
+///
+/// Two implementations exist: [`Database`] itself, and [`DeletionOverlay`],
+/// which presents `D − R_del` *virtually*. The overlay is the in-engine
+/// analogue of the paper's §5 rewriting `Q[R ↦ R − R_del]`: the SQL scheme
+/// replaces each relation by a difference expression instead of
+/// materializing the repaired instance, and so do we.
+pub trait FactSource {
+    /// Declared arity of `pred`, if the relation exists.
+    fn arity(&self, pred: Symbol) -> Option<usize>;
+
+    /// Whether the fact is present.
+    fn has_fact(&self, fact: &Fact) -> bool;
+
+    /// Calls `visit` for every tuple of `pred` matching the binding
+    /// pattern (`Some(c)` = column must equal `c`).
+    fn for_each_match(
+        &self,
+        pred: Symbol,
+        pattern: &[Option<Constant>],
+        visit: &mut dyn FnMut(&[Constant]),
+    );
+
+    /// Calls `visit` for every constant of the active domain.
+    ///
+    /// For [`DeletionOverlay`] this is the *base* database's domain (a
+    /// superset of the exact overlay domain) — the same approximation the
+    /// SQL rewriting makes, documented in `DESIGN.md`.
+    fn for_each_domain_constant(&self, visit: &mut dyn FnMut(Constant));
+
+    /// Number of tuples in `pred` (0 when the relation is unknown).
+    fn relation_len(&self, pred: Symbol) -> usize;
+}
+
+impl FactSource for Database {
+    fn arity(&self, pred: Symbol) -> Option<usize> {
+        self.schema().arity(pred)
+    }
+
+    fn has_fact(&self, fact: &Fact) -> bool {
+        self.contains(fact)
+    }
+
+    fn for_each_match(
+        &self,
+        pred: Symbol,
+        pattern: &[Option<Constant>],
+        visit: &mut dyn FnMut(&[Constant]),
+    ) {
+        if let Some(rel) = self.relation(pred) {
+            for row in rel.select(pattern) {
+                visit(row);
+            }
+        }
+    }
+
+    fn for_each_domain_constant(&self, visit: &mut dyn FnMut(Constant)) {
+        for c in self.active_domain() {
+            visit(c);
+        }
+    }
+
+    fn relation_len(&self, pred: Symbol) -> usize {
+        self.relation(pred).map_or(0, |r| r.len())
+    }
+}
+
+/// A virtual view `D − deleted`, evaluated without materializing the
+/// difference (§5 of the paper, "On implementing the approximation scheme").
+pub struct DeletionOverlay<'a> {
+    base: &'a Database,
+    deleted: &'a HashSet<Fact>,
+}
+
+impl<'a> DeletionOverlay<'a> {
+    /// Wraps `base` minus `deleted`.
+    pub fn new(base: &'a Database, deleted: &'a HashSet<Fact>) -> Self {
+        DeletionOverlay { base, deleted }
+    }
+}
+
+impl FactSource for DeletionOverlay<'_> {
+    fn arity(&self, pred: Symbol) -> Option<usize> {
+        self.base.schema().arity(pred)
+    }
+
+    fn has_fact(&self, fact: &Fact) -> bool {
+        self.base.contains(fact) && !self.deleted.contains(fact)
+    }
+
+    fn for_each_match(
+        &self,
+        pred: Symbol,
+        pattern: &[Option<Constant>],
+        visit: &mut dyn FnMut(&[Constant]),
+    ) {
+        if let Some(rel) = self.base.relation(pred) {
+            for row in rel.select(pattern) {
+                // Filter step standing in for the SQL `R − R_del` anti-join.
+                if !self.deleted.contains(&Fact::new(pred, row.to_vec())) {
+                    visit(row);
+                }
+            }
+        }
+    }
+
+    fn for_each_domain_constant(&self, visit: &mut dyn FnMut(Constant)) {
+        self.base.for_each_domain_constant(visit);
+    }
+
+    fn relation_len(&self, pred: Symbol) -> usize {
+        self.base.relation_len(pred)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocqa_data::Schema;
+
+    #[test]
+    fn overlay_hides_deleted_facts() {
+        let schema = Schema::from_relations(&[("R", 2)]);
+        let mut db = Database::new(schema);
+        db.insert(&Fact::parts("R", &["a", "b"])).unwrap();
+        db.insert(&Fact::parts("R", &["a", "c"])).unwrap();
+        let mut deleted = HashSet::new();
+        deleted.insert(Fact::parts("R", &["a", "b"]));
+        let view = DeletionOverlay::new(&db, &deleted);
+
+        assert!(!view.has_fact(&Fact::parts("R", &["a", "b"])));
+        assert!(view.has_fact(&Fact::parts("R", &["a", "c"])));
+
+        let mut seen = Vec::new();
+        view.for_each_match(
+            Symbol::intern("R"),
+            &[Some(Constant::named("a")), None],
+            &mut |row| seen.push(row.to_vec()),
+        );
+        assert_eq!(seen, vec![vec![Constant::named("a"), Constant::named("c")]]);
+    }
+}

@@ -1,0 +1,167 @@
+//! Canonical variable assignments (homomorphisms).
+
+use crate::{Term, Var};
+use ocqa_data::Constant;
+use std::fmt;
+
+/// A variable assignment `h : Var → Constant`, stored as a vector of pairs
+/// sorted by variable.
+///
+/// These are the homomorphisms of the paper. The sorted representation makes
+/// [`Bindings`] `Eq + Ord + Hash` structurally, which the repairing-sequence
+/// machinery relies on: the eliminated-violation set of requirement **req2**
+/// is keyed by `(constraint, Bindings)` pairs.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Bindings(Vec<(Var, Constant)>);
+
+impl Bindings {
+    /// The empty assignment.
+    pub fn new() -> Bindings {
+        Bindings(Vec::new())
+    }
+
+    /// Builds an assignment from pairs.
+    ///
+    /// # Panics
+    /// Panics if the same variable is bound to two different constants.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (Var, Constant)>) -> Bindings {
+        let mut b = Bindings::new();
+        for (v, c) in pairs {
+            assert!(
+                b.bind(v, c),
+                "conflicting binding for variable {v}"
+            );
+        }
+        b
+    }
+
+    /// The value of `v`, if bound.
+    pub fn get(&self, v: Var) -> Option<Constant> {
+        self.0
+            .binary_search_by_key(&v, |&(w, _)| w)
+            .ok()
+            .map(|i| self.0[i].1)
+    }
+
+    /// Binds `v ↦ c`. Returns `false` (and leaves the assignment unchanged)
+    /// if `v` is already bound to a different constant.
+    pub fn bind(&mut self, v: Var, c: Constant) -> bool {
+        match self.0.binary_search_by_key(&v, |&(w, _)| w) {
+            Ok(i) => self.0[i].1 == c,
+            Err(i) => {
+                self.0.insert(i, (v, c));
+                true
+            }
+        }
+    }
+
+    /// Resolves a term under this assignment.
+    pub fn resolve(&self, t: Term) -> Option<Constant> {
+        match t {
+            Term::Const(c) => Some(c),
+            Term::Var(v) => self.get(v),
+        }
+    }
+
+    /// Number of bound variables.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether no variable is bound.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Iterates over `(variable, constant)` pairs in variable order.
+    pub fn iter(&self) -> impl Iterator<Item = (Var, Constant)> + '_ {
+        self.0.iter().copied()
+    }
+
+    /// Restricts the assignment to the given variables.
+    pub fn restrict(&self, vars: &[Var]) -> Bindings {
+        Bindings(
+            self.0
+                .iter()
+                .filter(|(v, _)| vars.contains(v))
+                .copied()
+                .collect(),
+        )
+    }
+
+    /// Whether `other` agrees with `self` on every variable `self` binds.
+    pub fn extended_by(&self, other: &Bindings) -> bool {
+        self.iter().all(|(v, c)| other.get(v) == Some(c))
+    }
+}
+
+impl fmt::Display for Bindings {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("{")?;
+        for (i, (v, c)) in self.0.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{v}↦{c}")?;
+        }
+        f.write_str("}")
+    }
+}
+
+impl fmt::Debug for Bindings {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bindings{self}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(n: &str) -> Var {
+        Var::named(n)
+    }
+
+    fn c(n: &str) -> Constant {
+        Constant::named(n)
+    }
+
+    #[test]
+    fn bind_and_get() {
+        let mut b = Bindings::new();
+        assert!(b.bind(v("x"), c("a")));
+        assert!(b.bind(v("y"), c("b")));
+        assert_eq!(b.get(v("x")), Some(c("a")));
+        assert_eq!(b.get(v("z")), None);
+        // Rebinding to the same value is fine; to a new value is rejected.
+        assert!(b.bind(v("x"), c("a")));
+        assert!(!b.bind(v("x"), c("b")));
+        assert_eq!(b.get(v("x")), Some(c("a")));
+    }
+
+    #[test]
+    fn canonical_equality() {
+        let b1 = Bindings::from_pairs([(v("y"), c("b")), (v("x"), c("a"))]);
+        let b2 = Bindings::from_pairs([(v("x"), c("a")), (v("y"), c("b"))]);
+        assert_eq!(b1, b2);
+        assert_eq!(b1.to_string(), "{x↦a, y↦b}");
+    }
+
+    #[test]
+    fn resolve_terms() {
+        let b = Bindings::from_pairs([(v("x"), c("a"))]);
+        assert_eq!(b.resolve(Term::var("x")), Some(c("a")));
+        assert_eq!(b.resolve(Term::var("y")), None);
+        assert_eq!(b.resolve(Term::constant("k")), Some(c("k")));
+    }
+
+    #[test]
+    fn restrict_and_extension() {
+        let b = Bindings::from_pairs([(v("x"), c("a")), (v("y"), c("b")), (v("z"), c("d"))]);
+        let r = b.restrict(&[v("x"), v("z")]);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.get(v("y")), None);
+        assert!(r.extended_by(&b));
+        assert!(!b.extended_by(&r));
+    }
+}

@@ -1,0 +1,127 @@
+//! Variables and terms.
+
+use ocqa_data::{Constant, Symbol};
+use std::fmt;
+
+/// A first-order variable, identified by an interned name.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(Symbol);
+
+impl Var {
+    /// Creates (or reuses) the variable named `name`.
+    pub fn named(name: &str) -> Var {
+        Var(Symbol::intern(name))
+    }
+
+    /// The variable's name.
+    pub fn name(self) -> Symbol {
+        self.0
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Var({})", self.0)
+    }
+}
+
+impl From<&str> for Var {
+    fn from(s: &str) -> Self {
+        Var::named(s)
+    }
+}
+
+/// A term: either a variable or a constant.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// A variable.
+    Var(Var),
+    /// A constant.
+    Const(Constant),
+}
+
+impl Term {
+    /// Shorthand for a variable term.
+    pub fn var(name: &str) -> Term {
+        Term::Var(Var::named(name))
+    }
+
+    /// Shorthand for a named-constant term.
+    pub fn constant(name: &str) -> Term {
+        Term::Const(Constant::named(name))
+    }
+
+    /// Shorthand for an integer-constant term.
+    pub fn int(v: i64) -> Term {
+        Term::Const(Constant::int(v))
+    }
+
+    /// The variable inside, if any.
+    pub fn as_var(self) -> Option<Var> {
+        match self {
+            Term::Var(v) => Some(v),
+            Term::Const(_) => None,
+        }
+    }
+
+    /// The constant inside, if any.
+    pub fn as_const(self) -> Option<Constant> {
+        match self {
+            Term::Const(c) => Some(c),
+            Term::Var(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Const(Constant::Int(i)) => write!(f, "{i}"),
+            Term::Const(Constant::Sym(s)) => write!(f, "'{s}'"),
+        }
+    }
+}
+
+impl fmt::Debug for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Term({self})")
+    }
+}
+
+impl From<Var> for Term {
+    fn from(v: Var) -> Self {
+        Term::Var(v)
+    }
+}
+
+impl From<Constant> for Term {
+    fn from(c: Constant) -> Self {
+        Term::Const(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_quotes_named_constants() {
+        assert_eq!(Term::var("x").to_string(), "x");
+        assert_eq!(Term::constant("a").to_string(), "'a'");
+        assert_eq!(Term::int(7).to_string(), "7");
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Term::var("x").as_var(), Some(Var::named("x")));
+        assert_eq!(Term::var("x").as_const(), None);
+        assert_eq!(Term::constant("a").as_const(), Some(Constant::named("a")));
+    }
+}

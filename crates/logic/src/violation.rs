@@ -1,0 +1,258 @@
+//! Constraint violations: the pairs `(κ, h)` of Definition 2.
+
+use crate::{hom, Bindings, ConstraintSet, FactSource};
+use ocqa_data::Fact;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A violation `(κ, h)`: constraint `κ` (by index into a [`ConstraintSet`])
+/// is violated because the homomorphism `h` maps its body into the database
+/// while the conclusion fails.
+///
+/// Violations are value types with a canonical order, so sets of them (the
+/// `V(D, Σ)` of the paper) support the set difference/intersection tests of
+/// requirements **req1** and **req2** directly.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Violation {
+    /// Index of the violated constraint in its [`ConstraintSet`].
+    pub constraint: u32,
+    /// The witnessing homomorphism over the constraint's body variables.
+    pub hom: Bindings,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(κ{}, {})", self.constraint, self.hom)
+    }
+}
+
+impl fmt::Debug for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Violation{self}")
+    }
+}
+
+impl Violation {
+    /// The facts `h(ϕ)` — the image of the constraint's body under the
+    /// witnessing homomorphism. Justified deletions remove subsets of this
+    /// image (Proposition 1).
+    pub fn body_image(&self, sigma: &ConstraintSet) -> Vec<Fact> {
+        let kappa = sigma.get(self.constraint as usize);
+        let mut out: Vec<Fact> = kappa
+            .body()
+            .iter()
+            .map(|a| {
+                a.apply(&self.hom)
+                    .expect("violation homomorphism binds all body variables")
+            })
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Re-checks this violation against `source` (is `(κ, h) ∈ V(source, Σ)`?).
+    pub fn holds_in<S: FactSource + ?Sized>(&self, sigma: &ConstraintSet, source: &S) -> bool {
+        sigma
+            .get(self.constraint as usize)
+            .is_violated_by(source, &self.hom)
+    }
+}
+
+/// The set `V(D, Σ)` of all violations of `Σ` in a database.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ViolationSet {
+    set: BTreeSet<Violation>,
+}
+
+impl ViolationSet {
+    /// Computes `V(source, Σ)` by enumerating body homomorphisms of every
+    /// constraint and keeping those whose conclusion fails.
+    pub fn compute<S: FactSource + ?Sized>(sigma: &ConstraintSet, source: &S) -> ViolationSet {
+        let mut set = BTreeSet::new();
+        for (i, kappa) in sigma.constraints().iter().enumerate() {
+            hom::for_each_hom(kappa.body(), source, &Bindings::new(), &mut |h| {
+                if !kappa.head_holds(source, h) {
+                    set.insert(Violation {
+                        constraint: i as u32,
+                        hom: h.clone(),
+                    });
+                }
+                true
+            });
+        }
+        ViolationSet { set }
+    }
+
+    /// The empty violation set.
+    pub fn empty() -> ViolationSet {
+        ViolationSet::default()
+    }
+
+    /// Whether no violation exists (`D ⊨ Σ`).
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+
+    /// Number of violations.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// Whether the violation is in the set.
+    pub fn contains(&self, v: &Violation) -> bool {
+        self.set.contains(v)
+    }
+
+    /// Iterates in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = &Violation> + '_ {
+        self.set.iter()
+    }
+
+    /// Violations in `self` but not `other` — the *eliminated* set
+    /// `V(Dᵢ₋₁, Σ) − V(Dᵢ, Σ)` of req1/req2.
+    pub fn difference(&self, other: &ViolationSet) -> Vec<Violation> {
+        self.set.difference(&other.set).cloned().collect()
+    }
+
+    /// Whether any violation of `self` also occurs in `other`.
+    pub fn intersects(&self, other: &ViolationSet) -> bool {
+        self.set.intersection(&other.set).next().is_some()
+    }
+
+    /// Inserts a violation (used by incremental maintenance in tests).
+    pub fn insert(&mut self, v: Violation) -> bool {
+        self.set.insert(v)
+    }
+}
+
+impl FromIterator<Violation> for ViolationSet {
+    fn from_iter<T: IntoIterator<Item = Violation>>(iter: T) -> Self {
+        ViolationSet {
+            set: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl fmt::Display for ViolationSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("{")?;
+        for (i, v) in self.set.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        f.write_str("}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Atom, Constraint, Var};
+    use ocqa_data::{Database, Fact, Schema};
+
+    /// Example 1 of the paper: D = {R(a,b), R(a,c), T(a,b)},
+    /// Σ = {σ: R(x,y) → ∃z S(x,y,z);  η: R(x,y), R(x,z) → y = z}.
+    fn example1() -> (Database, ConstraintSet) {
+        let schema = Schema::from_relations(&[("R", 2), ("S", 3), ("T", 2)]);
+        let mut db = Database::new(schema);
+        db.insert(&Fact::parts("R", &["a", "b"])).unwrap();
+        db.insert(&Fact::parts("R", &["a", "c"])).unwrap();
+        db.insert(&Fact::parts("T", &["a", "b"])).unwrap();
+        let sigma = ConstraintSet::new(vec![
+            Constraint::Tgd {
+                body: vec![Atom::vars("R", &["x", "y"])],
+                exist_vars: vec![Var::named("z")],
+                head: vec![Atom::vars("S", &["x", "y", "z"])],
+            },
+            Constraint::Egd {
+                body: vec![Atom::vars("R", &["x", "y"]), Atom::vars("R", &["x", "z"])],
+                left: Var::named("y"),
+                right: Var::named("z"),
+            },
+        ])
+        .unwrap();
+        (db, sigma)
+    }
+
+    #[test]
+    fn example1_violations() {
+        let (db, sigma) = example1();
+        let v = ViolationSet::compute(&sigma, &db);
+        // σ: two violations (h maps (x,y) to (a,b) and (a,c)).
+        // η: homs with y ≠ z — (y,z) ∈ {(b,c), (c,b)} — two violations.
+        //    (homs with y = z satisfy the head, so are not violations).
+        assert_eq!(v.len(), 4);
+        let display = v.to_string();
+        assert!(display.contains("κ0"), "TGD violations present: {display}");
+        assert!(display.contains("κ1"), "EGD violations present: {display}");
+    }
+
+    #[test]
+    fn symmetric_egd_homs_are_distinct_violations() {
+        let (db, sigma) = example1();
+        let v = ViolationSet::compute(&sigma, &db);
+        let egd: Vec<&Violation> = v.iter().filter(|v| v.constraint == 1).collect();
+        assert_eq!(egd.len(), 2);
+        // h2 = {x↦a, y↦b, z↦c} and h3 = {x↦a, y↦c, z↦b}: same body image.
+        assert_ne!(egd[0].hom, egd[1].hom);
+        assert_eq!(egd[0].body_image(&sigma), egd[1].body_image(&sigma));
+    }
+
+    #[test]
+    fn body_image_dedups_atoms() {
+        let (_, sigma) = example1();
+        // For the EGD, body atoms R(x,y) and R(x,z) map to two facts.
+        let v = Violation {
+            constraint: 1,
+            hom: Bindings::from_pairs([
+                (Var::named("x"), "a".into()),
+                (Var::named("y"), "b".into()),
+                (Var::named("z"), "c".into()),
+            ]),
+        };
+        assert_eq!(
+            v.body_image(&sigma),
+            vec![Fact::parts("R", &["a", "b"]), Fact::parts("R", &["a", "c"])]
+        );
+    }
+
+    #[test]
+    fn empty_iff_satisfied() {
+        let (mut db, sigma) = example1();
+        assert!(!ViolationSet::compute(&sigma, &db).is_empty());
+        // Repair by hand: drop R(a,c), add the σ witness for R(a,b).
+        db.remove(&Fact::parts("R", &["a", "c"]));
+        db.insert(&Fact::parts("S", &["a", "b", "b"])).unwrap();
+        assert!(sigma.satisfied_by(&db));
+        assert!(ViolationSet::compute(&sigma, &db).is_empty());
+    }
+
+    #[test]
+    fn holds_in_tracks_database_changes() {
+        let (mut db, sigma) = example1();
+        let v = ViolationSet::compute(&sigma, &db);
+        let some_egd = v.iter().find(|v| v.constraint == 1).unwrap().clone();
+        assert!(some_egd.holds_in(&sigma, &db));
+        db.remove(&Fact::parts("R", &["a", "c"]));
+        assert!(!some_egd.holds_in(&sigma, &db), "body no longer matches");
+    }
+
+    #[test]
+    fn difference_and_intersects() {
+        let (db, sigma) = example1();
+        let v = ViolationSet::compute(&sigma, &db);
+        let mut db2 = db.clone();
+        db2.remove(&Fact::parts("R", &["a", "c"]));
+        let v2 = ViolationSet::compute(&sigma, &db2);
+        // Removing R(a,c) eliminates both EGD violations and the σ
+        // violation of R(a,c): 3 eliminated, 1 remaining.
+        let eliminated = v.difference(&v2);
+        assert_eq!(eliminated.len(), 3);
+        assert_eq!(v2.len(), 1);
+        assert!(v.intersects(&v2));
+        assert!(!v2.intersects(&ViolationSet::empty()));
+    }
+}

@@ -1,0 +1,444 @@
+//! Signed arbitrary-precision integers.
+
+use crate::{ParseNumError, UBig};
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::str::FromStr;
+
+/// Sign of an [`IBig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Sign {
+    /// Strictly negative.
+    Negative,
+    /// Zero.
+    Zero,
+    /// Strictly positive.
+    Positive,
+}
+
+impl Sign {
+    /// Product-of-signs rule.
+    pub fn mul(self, other: Sign) -> Sign {
+        use Sign::*;
+        match (self, other) {
+            (Zero, _) | (_, Zero) => Zero,
+            (Positive, Positive) | (Negative, Negative) => Positive,
+            _ => Negative,
+        }
+    }
+
+    /// The opposite sign.
+    pub fn negate(self) -> Sign {
+        match self {
+            Sign::Negative => Sign::Positive,
+            Sign::Zero => Sign::Zero,
+            Sign::Positive => Sign::Negative,
+        }
+    }
+}
+
+/// A signed arbitrary-precision integer (sign + magnitude).
+///
+/// Invariant: `sign == Sign::Zero` iff `mag.is_zero()`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct IBig {
+    sign: Sign,
+    mag: UBig,
+}
+
+impl IBig {
+    /// The value `0`.
+    pub const fn zero() -> Self {
+        IBig {
+            sign: Sign::Zero,
+            mag: UBig::zero(),
+        }
+    }
+
+    /// The value `1`.
+    pub fn one() -> Self {
+        IBig {
+            sign: Sign::Positive,
+            mag: UBig::one(),
+        }
+    }
+
+    /// Builds a signed integer from a sign and a magnitude; the sign of a
+    /// zero magnitude is normalized to [`Sign::Zero`].
+    pub fn from_sign_mag(sign: Sign, mag: UBig) -> Self {
+        if mag.is_zero() {
+            IBig::zero()
+        } else {
+            debug_assert!(sign != Sign::Zero, "nonzero magnitude with Zero sign");
+            IBig { sign, mag }
+        }
+    }
+
+    /// The sign of this value.
+    pub fn sign(&self) -> Sign {
+        self.sign
+    }
+
+    /// The magnitude (absolute value) of this value.
+    pub fn magnitude(&self) -> &UBig {
+        &self.mag
+    }
+
+    /// Consumes `self`, returning the magnitude.
+    pub fn into_magnitude(self) -> UBig {
+        self.mag
+    }
+
+    /// Whether this value is `0`.
+    pub fn is_zero(&self) -> bool {
+        self.sign == Sign::Zero
+    }
+
+    /// Whether this value is `1`.
+    pub fn is_one(&self) -> bool {
+        self.sign == Sign::Positive && self.mag.is_one()
+    }
+
+    /// Whether this value is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.sign == Sign::Negative
+    }
+
+    /// Whether this value is strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.sign == Sign::Positive
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> IBig {
+        IBig::from_sign_mag(
+            if self.is_zero() {
+                Sign::Zero
+            } else {
+                Sign::Positive
+            },
+            self.mag.clone(),
+        )
+    }
+
+    /// `self + other`.
+    pub fn add_ref(&self, other: &IBig) -> IBig {
+        use Sign::*;
+        match (self.sign, other.sign) {
+            (Zero, _) => other.clone(),
+            (_, Zero) => self.clone(),
+            (a, b) if a == b => IBig::from_sign_mag(a, self.mag.add_ref(&other.mag)),
+            _ => match self.mag.cmp(&other.mag) {
+                Ordering::Equal => IBig::zero(),
+                Ordering::Greater => IBig::from_sign_mag(
+                    self.sign,
+                    self.mag.checked_sub_ref(&other.mag).unwrap(),
+                ),
+                Ordering::Less => IBig::from_sign_mag(
+                    other.sign,
+                    other.mag.checked_sub_ref(&self.mag).unwrap(),
+                ),
+            },
+        }
+    }
+
+    /// `self - other`.
+    pub fn sub_ref(&self, other: &IBig) -> IBig {
+        self.add_ref(&other.clone().neg())
+    }
+
+    /// `self * other`.
+    pub fn mul_ref(&self, other: &IBig) -> IBig {
+        IBig::from_sign_mag(self.sign.mul(other.sign), self.mag.mul_ref(&other.mag))
+    }
+
+    /// Truncated division: quotient and remainder with
+    /// `self = q * other + r`, `|r| < |other|`, and `r` having the sign of
+    /// `self` (like Rust's `/` and `%` on primitive integers).
+    ///
+    /// # Panics
+    /// Panics if `other` is zero.
+    pub fn div_rem(&self, other: &IBig) -> (IBig, IBig) {
+        let (q_mag, r_mag) = self.mag.div_rem(&other.mag);
+        let q_sign = self.sign.mul(other.sign);
+        (
+            IBig::from_sign_mag(q_sign, q_mag),
+            IBig::from_sign_mag(self.sign, r_mag),
+        )
+    }
+
+    /// Lossy conversion to `f64`.
+    pub fn to_f64(&self) -> f64 {
+        let f = self.mag.to_f64();
+        match self.sign {
+            Sign::Negative => -f,
+            _ => f,
+        }
+    }
+
+    /// Converts to `i64`, returning `None` on overflow.
+    pub fn to_i64(&self) -> Option<i64> {
+        let mag = self.mag.to_u128()?;
+        match self.sign {
+            Sign::Zero => Some(0),
+            Sign::Positive => (mag <= i64::MAX as u128).then_some(mag as i64),
+            Sign::Negative => (mag <= i64::MAX as u128 + 1).then(|| (mag as u64).wrapping_neg() as i64),
+        }
+    }
+
+    /// `self^exp` by binary exponentiation.
+    pub fn pow(&self, exp: u32) -> IBig {
+        let mag = self.mag.pow(exp);
+        let sign = if exp == 0 {
+            Sign::Positive
+        } else if self.sign == Sign::Negative && exp % 2 == 1 {
+            Sign::Negative
+        } else if self.sign == Sign::Zero {
+            Sign::Zero
+        } else {
+            Sign::Positive
+        };
+        IBig::from_sign_mag(sign, mag)
+    }
+}
+
+impl From<i64> for IBig {
+    fn from(v: i64) -> Self {
+        match v.cmp(&0) {
+            Ordering::Equal => IBig::zero(),
+            Ordering::Greater => IBig::from_sign_mag(Sign::Positive, UBig::from(v as u64)),
+            Ordering::Less => {
+                IBig::from_sign_mag(Sign::Negative, UBig::from(v.unsigned_abs()))
+            }
+        }
+    }
+}
+
+impl From<i32> for IBig {
+    fn from(v: i32) -> Self {
+        IBig::from(v as i64)
+    }
+}
+
+impl From<u64> for IBig {
+    fn from(v: u64) -> Self {
+        IBig::from(UBig::from(v))
+    }
+}
+
+impl From<UBig> for IBig {
+    fn from(mag: UBig) -> Self {
+        let sign = if mag.is_zero() {
+            Sign::Zero
+        } else {
+            Sign::Positive
+        };
+        IBig::from_sign_mag(sign, mag)
+    }
+}
+
+impl Neg for IBig {
+    type Output = IBig;
+    fn neg(self) -> IBig {
+        IBig::from_sign_mag(self.sign.negate(), self.mag)
+    }
+}
+
+impl Neg for &IBig {
+    type Output = IBig;
+    fn neg(self) -> IBig {
+        self.clone().neg()
+    }
+}
+
+macro_rules! forward_ibig_binop {
+    ($trait:ident, $method:ident, $impl_method:ident) => {
+        impl $trait for &IBig {
+            type Output = IBig;
+            fn $method(self, rhs: &IBig) -> IBig {
+                self.$impl_method(rhs)
+            }
+        }
+        impl $trait for IBig {
+            type Output = IBig;
+            fn $method(self, rhs: IBig) -> IBig {
+                (&self).$impl_method(&rhs)
+            }
+        }
+        impl $trait<&IBig> for IBig {
+            type Output = IBig;
+            fn $method(self, rhs: &IBig) -> IBig {
+                (&self).$impl_method(rhs)
+            }
+        }
+    };
+}
+
+forward_ibig_binop!(Add, add, add_ref);
+forward_ibig_binop!(Sub, sub, sub_ref);
+forward_ibig_binop!(Mul, mul, mul_ref);
+
+impl AddAssign<&IBig> for IBig {
+    fn add_assign(&mut self, rhs: &IBig) {
+        *self = self.add_ref(rhs);
+    }
+}
+
+impl SubAssign<&IBig> for IBig {
+    fn sub_assign(&mut self, rhs: &IBig) {
+        *self = self.sub_ref(rhs);
+    }
+}
+
+impl MulAssign<&IBig> for IBig {
+    fn mul_assign(&mut self, rhs: &IBig) {
+        *self = self.mul_ref(rhs);
+    }
+}
+
+impl Ord for IBig {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.sign.cmp(&other.sign) {
+            Ordering::Equal => match self.sign {
+                Sign::Negative => other.mag.cmp(&self.mag),
+                Sign::Zero => Ordering::Equal,
+                Sign::Positive => self.mag.cmp(&other.mag),
+            },
+            ord => ord,
+        }
+    }
+}
+
+impl PartialOrd for IBig {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Display for IBig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.sign == Sign::Negative {
+            write!(f, "-{}", self.mag)
+        } else {
+            write!(f, "{}", self.mag)
+        }
+    }
+}
+
+impl fmt::Debug for IBig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "IBig({self})")
+    }
+}
+
+impl FromStr for IBig {
+    type Err = ParseNumError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if let Some(rest) = s.strip_prefix('-') {
+            let mag: UBig = rest.parse()?;
+            Ok(IBig::from_sign_mag(
+                if mag.is_zero() {
+                    Sign::Zero
+                } else {
+                    Sign::Negative
+                },
+                mag,
+            ))
+        } else {
+            let s = s.strip_prefix('+').unwrap_or(s);
+            Ok(IBig::from(s.parse::<UBig>()?))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ib(v: i64) -> IBig {
+        IBig::from(v)
+    }
+
+    #[test]
+    fn sign_normalization() {
+        assert_eq!(IBig::from_sign_mag(Sign::Negative, UBig::zero()), IBig::zero());
+        assert_eq!(ib(0).sign(), Sign::Zero);
+        assert_eq!(ib(-3).sign(), Sign::Negative);
+        assert_eq!(ib(3).sign(), Sign::Positive);
+    }
+
+    #[test]
+    fn mixed_sign_addition() {
+        assert_eq!(ib(5).add_ref(&ib(-3)), ib(2));
+        assert_eq!(ib(3).add_ref(&ib(-5)), ib(-2));
+        assert_eq!(ib(-5).add_ref(&ib(5)), ib(0));
+        assert_eq!(ib(-5).add_ref(&ib(-5)), ib(-10));
+    }
+
+    #[test]
+    fn truncated_division_signs() {
+        // Matches Rust primitive semantics.
+        assert_eq!(ib(7).div_rem(&ib(2)), (ib(3), ib(1)));
+        assert_eq!(ib(-7).div_rem(&ib(2)), (ib(-3), ib(-1)));
+        assert_eq!(ib(7).div_rem(&ib(-2)), (ib(-3), ib(1)));
+        assert_eq!(ib(-7).div_rem(&ib(-2)), (ib(3), ib(-1)));
+    }
+
+    #[test]
+    fn to_i64_bounds() {
+        assert_eq!(ib(i64::MAX).to_i64(), Some(i64::MAX));
+        assert_eq!(ib(i64::MIN).to_i64(), Some(i64::MIN));
+        let too_big = IBig::from(UBig::from(i64::MAX as u64).add_ref(&UBig::one()));
+        assert_eq!(too_big.to_i64(), None);
+        assert_eq!((-too_big).to_i64(), Some(i64::MIN));
+    }
+
+    #[test]
+    fn pow_sign_rules() {
+        assert_eq!(ib(-2).pow(3), ib(-8));
+        assert_eq!(ib(-2).pow(4), ib(16));
+        assert_eq!(ib(0).pow(0), ib(1));
+        assert_eq!(ib(0).pow(3), ib(0));
+    }
+
+    #[test]
+    fn display_parse() {
+        assert_eq!(ib(-42).to_string(), "-42");
+        assert_eq!("-42".parse::<IBig>().unwrap(), ib(-42));
+        assert_eq!("+17".parse::<IBig>().unwrap(), ib(17));
+        assert_eq!("-0".parse::<IBig>().unwrap(), IBig::zero());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_arith_matches_i128(a in -(1i128 << 62)..(1i128 << 62), b in -(1i128 << 62)..(1i128 << 62)) {
+            let (ba, bb) = (IBig::from(a as i64), IBig::from(b as i64));
+            prop_assert_eq!(ba.add_ref(&bb).to_string(), (a + b).to_string());
+            prop_assert_eq!(ba.sub_ref(&bb).to_string(), (a - b).to_string());
+            prop_assert_eq!(ba.mul_ref(&bb).to_string(), (a * b).to_string());
+        }
+
+        #[test]
+        fn prop_div_rem_matches_i64(a: i64, b in prop::num::i64::ANY.prop_filter("nonzero", |v| *v != 0)) {
+            // i64::MIN / -1 overflows the primitive type; skip that single case.
+            prop_assume!(!(a == i64::MIN && b == -1));
+            let (q, r) = IBig::from(a).div_rem(&IBig::from(b));
+            prop_assert_eq!(q.to_i64(), Some(a / b));
+            prop_assert_eq!(r.to_i64(), Some(a % b));
+        }
+
+        #[test]
+        fn prop_ordering_matches_i64(a: i64, b: i64) {
+            prop_assert_eq!(IBig::from(a).cmp(&IBig::from(b)), a.cmp(&b));
+        }
+
+        #[test]
+        fn prop_neg_involution(a: i64) {
+            let v = IBig::from(a);
+            prop_assert_eq!(-(-v.clone()), v);
+        }
+    }
+}

@@ -1,0 +1,487 @@
+//! Exact rational numbers.
+
+use crate::{IBig, ParseNumError, UBig};
+use std::cmp::Ordering;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::str::FromStr;
+
+/// An exact rational number, always stored in lowest terms with a positive
+/// denominator.
+///
+/// [`Rat`] is the probability type of the operational CQA engine: edge
+/// weights of repairing Markov chains, hitting distributions, repair
+/// probabilities and `CP(t̄)` values are all exact rationals, so semantic
+/// invariants like "the masses of all reachable absorbing states sum to 1"
+/// can be asserted with `==` rather than approximate comparisons.
+///
+/// ```
+/// use ocqa_num::Rat;
+///
+/// // Example 6 of the paper: 3/9·3/4 + 3/9·3/5 = 9/20 = 0.45.
+/// let p = Rat::ratio(3, 9) * Rat::ratio(3, 4) + Rat::ratio(3, 9) * Rat::ratio(3, 5);
+/// assert_eq!(p, Rat::ratio(9, 20));
+/// assert_eq!(p.to_f64(), 0.45);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Rat {
+    num: IBig,
+    den: UBig, // invariant: den > 0, gcd(|num|, den) = 1
+}
+
+impl Rat {
+    /// The value `0`.
+    pub fn zero() -> Self {
+        Rat {
+            num: IBig::zero(),
+            den: UBig::one(),
+        }
+    }
+
+    /// The value `1`.
+    pub fn one() -> Self {
+        Rat {
+            num: IBig::one(),
+            den: UBig::one(),
+        }
+    }
+
+    /// Builds `num / den` in lowest terms.
+    ///
+    /// # Panics
+    /// Panics if `den` is zero.
+    pub fn new(num: IBig, den: IBig) -> Self {
+        assert!(!den.is_zero(), "zero denominator in Rat::new");
+        let sign = num.sign().mul(den.sign());
+        let (num_mag, den_mag) = (num.into_magnitude(), den.into_magnitude());
+        let g = num_mag.gcd(&den_mag);
+        if g.is_zero() {
+            // num was zero.
+            return Rat::zero();
+        }
+        let num_red = num_mag.div_rem(&g).0;
+        let den_red = den_mag.div_rem(&g).0;
+        Rat {
+            num: IBig::from_sign_mag(sign, num_red),
+            den: den_red,
+        }
+    }
+
+    /// Builds `num / den` from machine integers.
+    ///
+    /// # Panics
+    /// Panics if `den` is zero.
+    pub fn ratio(num: i64, den: i64) -> Self {
+        Rat::new(IBig::from(num), IBig::from(den))
+    }
+
+    /// Builds a rational from an integer.
+    pub fn integer(v: i64) -> Self {
+        Rat {
+            num: IBig::from(v),
+            den: UBig::one(),
+        }
+    }
+
+    /// The numerator (in lowest terms; carries the sign).
+    pub fn numer(&self) -> &IBig {
+        &self.num
+    }
+
+    /// The denominator (in lowest terms; always positive).
+    pub fn denom(&self) -> &UBig {
+        &self.den
+    }
+
+    /// Whether this value is `0`.
+    pub fn is_zero(&self) -> bool {
+        self.num.is_zero()
+    }
+
+    /// Whether this value is `1`.
+    pub fn is_one(&self) -> bool {
+        self.num.is_one() && self.den.is_one()
+    }
+
+    /// Whether this value is strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.num.is_positive()
+    }
+
+    /// Whether this value is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.num.is_negative()
+    }
+
+    /// Whether this value lies in the closed interval `[0, 1]` — every
+    /// probability produced by the engine must satisfy this.
+    pub fn is_probability(&self) -> bool {
+        !self.is_negative() && *self <= Rat::one()
+    }
+
+    /// `self + other`.
+    pub fn add_ref(&self, other: &Rat) -> Rat {
+        // a/b + c/d = (a*d + c*b) / (b*d), then reduce.
+        let num = self
+            .num
+            .mul_ref(&IBig::from(other.den.clone()))
+            .add_ref(&other.num.mul_ref(&IBig::from(self.den.clone())));
+        let den = IBig::from(self.den.mul_ref(&other.den));
+        Rat::new(num, den)
+    }
+
+    /// `self - other`.
+    pub fn sub_ref(&self, other: &Rat) -> Rat {
+        self.add_ref(&other.clone().neg())
+    }
+
+    /// `self * other`.
+    pub fn mul_ref(&self, other: &Rat) -> Rat {
+        let num = self.num.mul_ref(&other.num);
+        let den = IBig::from(self.den.mul_ref(&other.den));
+        Rat::new(num, den)
+    }
+
+    /// `self / other`.
+    ///
+    /// # Panics
+    /// Panics if `other` is zero.
+    pub fn div_ref(&self, other: &Rat) -> Rat {
+        assert!(!other.is_zero(), "division by zero Rat");
+        let num = self.num.mul_ref(&IBig::from(other.den.clone()));
+        let den = other.num.mul_ref(&IBig::from(self.den.clone()));
+        Rat::new(num, den)
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    /// Panics if `self` is zero.
+    pub fn recip(&self) -> Rat {
+        Rat::one().div_ref(self)
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Rat {
+        Rat {
+            num: self.num.abs(),
+            den: self.den.clone(),
+        }
+    }
+
+    /// Lossy conversion to `f64` for presentation and sampling tallies.
+    pub fn to_f64(&self) -> f64 {
+        // Scale numerator and denominator to comparable bit lengths before
+        // converting, so huge-but-balanced fractions stay finite.
+        let nb = self.num.magnitude().bit_len() as isize;
+        let db = self.den.bit_len() as isize;
+        let excess = (nb.max(db) - 900).max(0) as usize;
+        if excess == 0 {
+            self.num.to_f64() / self.den.to_f64()
+        } else {
+            let n = self.num.magnitude().shr_bits(excess).to_f64();
+            let d = self.den.shr_bits(excess).to_f64();
+            let f = n / d;
+            if self.num.is_negative() {
+                -f
+            } else {
+                f
+            }
+        }
+    }
+
+    /// `self^exp` by binary exponentiation.
+    pub fn pow(&self, exp: u32) -> Rat {
+        Rat {
+            num: self.num.pow(exp),
+            den: self.den.pow(exp),
+        }
+    }
+}
+
+impl Default for Rat {
+    fn default() -> Self {
+        Rat::zero()
+    }
+}
+
+impl From<i64> for Rat {
+    fn from(v: i64) -> Self {
+        Rat::integer(v)
+    }
+}
+
+impl From<u32> for Rat {
+    fn from(v: u32) -> Self {
+        Rat::integer(v as i64)
+    }
+}
+
+impl From<IBig> for Rat {
+    fn from(v: IBig) -> Self {
+        Rat {
+            num: v,
+            den: UBig::one(),
+        }
+    }
+}
+
+impl Neg for Rat {
+    type Output = Rat;
+    fn neg(self) -> Rat {
+        Rat {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl Neg for &Rat {
+    type Output = Rat;
+    fn neg(self) -> Rat {
+        self.clone().neg()
+    }
+}
+
+macro_rules! forward_rat_binop {
+    ($trait:ident, $method:ident, $impl_method:ident) => {
+        impl $trait for &Rat {
+            type Output = Rat;
+            fn $method(self, rhs: &Rat) -> Rat {
+                self.$impl_method(rhs)
+            }
+        }
+        impl $trait for Rat {
+            type Output = Rat;
+            fn $method(self, rhs: Rat) -> Rat {
+                (&self).$impl_method(&rhs)
+            }
+        }
+        impl $trait<&Rat> for Rat {
+            type Output = Rat;
+            fn $method(self, rhs: &Rat) -> Rat {
+                (&self).$impl_method(rhs)
+            }
+        }
+    };
+}
+
+forward_rat_binop!(Add, add, add_ref);
+forward_rat_binop!(Sub, sub, sub_ref);
+forward_rat_binop!(Mul, mul, mul_ref);
+forward_rat_binop!(Div, div, div_ref);
+
+impl AddAssign<&Rat> for Rat {
+    fn add_assign(&mut self, rhs: &Rat) {
+        *self = self.add_ref(rhs);
+    }
+}
+
+impl SubAssign<&Rat> for Rat {
+    fn sub_assign(&mut self, rhs: &Rat) {
+        *self = self.sub_ref(rhs);
+    }
+}
+
+impl MulAssign<&Rat> for Rat {
+    fn mul_assign(&mut self, rhs: &Rat) {
+        *self = self.mul_ref(rhs);
+    }
+}
+
+impl Sum for Rat {
+    fn sum<I: Iterator<Item = Rat>>(iter: I) -> Rat {
+        iter.fold(Rat::zero(), |acc, x| acc.add_ref(&x))
+    }
+}
+
+impl<'a> Sum<&'a Rat> for Rat {
+    fn sum<I: Iterator<Item = &'a Rat>>(iter: I) -> Rat {
+        iter.fold(Rat::zero(), |acc, x| acc.add_ref(x))
+    }
+}
+
+impl Ord for Rat {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // a/b vs c/d  ⇔  a*d vs c*b  (b, d > 0).
+        let lhs = self.num.mul_ref(&IBig::from(other.den.clone()));
+        let rhs = other.num.mul_ref(&IBig::from(self.den.clone()));
+        lhs.cmp(&rhs)
+    }
+}
+
+impl PartialOrd for Rat {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Display for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den.is_one() {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Debug for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Rat({self})")
+    }
+}
+
+impl FromStr for Rat {
+    type Err = ParseNumError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.split_once('/') {
+            Some((n, d)) => {
+                let num: IBig = n.trim().parse()?;
+                let den: IBig = d.trim().parse()?;
+                if den.is_zero() {
+                    return Err(ParseNumError::new("zero denominator"));
+                }
+                Ok(Rat::new(num, den))
+            }
+            None => Ok(Rat::from(s.trim().parse::<IBig>()?)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn r(n: i64, d: i64) -> Rat {
+        Rat::ratio(n, d)
+    }
+
+    #[test]
+    fn normalization() {
+        assert_eq!(r(2, 4), r(1, 2));
+        assert_eq!(r(-2, 4), r(1, -2));
+        assert_eq!(r(0, 5), Rat::zero());
+        assert_eq!(r(-3, -9), r(1, 3));
+        assert_eq!(r(6, 3), Rat::integer(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = r(1, 0);
+    }
+
+    #[test]
+    fn example6_probabilities_sum_to_one() {
+        // The four repair probabilities from Example 6 of the paper.
+        let p1 = r(2, 9) * r(1, 3) + r(1, 9) * r(2, 4);
+        let p2 = r(2, 9) * r(2, 3) + r(3, 9) * r(2, 5);
+        let p3 = r(3, 9) * r(1, 4) + r(1, 9) * r(2, 4);
+        let p4 = r(3, 9) * r(3, 4) + r(3, 9) * r(3, 5);
+        assert_eq!(p1, r(7, 54));
+        assert_eq!(p2, r(38, 135));
+        assert_eq!(p3, r(5, 36));
+        assert_eq!(p4, r(9, 20));
+        assert_eq!(p4.to_f64(), 0.45);
+        assert_eq!(p1 + p2 + p3 + p4, Rat::one());
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let x = r(3, 7);
+        assert_eq!(&x + &Rat::zero(), x);
+        assert_eq!(&x * &Rat::one(), x);
+        assert_eq!(&x - &x, Rat::zero());
+        assert_eq!(&x / &x, Rat::one());
+        assert_eq!(x.recip(), r(7, 3));
+        assert_eq!(x.pow(2), r(9, 49));
+        assert_eq!(x.pow(0), Rat::one());
+    }
+
+    #[test]
+    fn is_probability_bounds() {
+        assert!(Rat::zero().is_probability());
+        assert!(Rat::one().is_probability());
+        assert!(r(1, 2).is_probability());
+        assert!(!r(3, 2).is_probability());
+        assert!(!r(-1, 2).is_probability());
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(r(1, 3) < r(1, 2));
+        assert!(r(-1, 2) < r(-1, 3));
+        assert!(r(2, 4) == r(1, 2));
+        assert!(r(7, 8) > r(6, 7));
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        for v in [r(1, 2), r(-3, 4), Rat::integer(5), Rat::zero(), r(-7, 1)] {
+            assert_eq!(v.to_string().parse::<Rat>().unwrap(), v);
+        }
+        assert_eq!("  2 / 4 ".parse::<Rat>().unwrap(), r(1, 2));
+        assert!("1/0".parse::<Rat>().is_err());
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let parts: Vec<Rat> = (1..=4).map(|_| r(1, 4)).collect();
+        assert_eq!(parts.iter().sum::<Rat>(), Rat::one());
+        assert_eq!(parts.into_iter().sum::<Rat>(), Rat::one());
+    }
+
+    #[test]
+    fn to_f64_huge_balanced_fraction_is_finite() {
+        // (2^1000 + 1) / 2^1000 ≈ 1.0 — would be inf/inf with naive conversion.
+        let big = Rat::new(
+            IBig::from(UBig::one().shl_bits(1000).add_ref(&UBig::one())),
+            IBig::from(UBig::one().shl_bits(1000)),
+        );
+        let f = big.to_f64();
+        assert!((f - 1.0).abs() < 1e-9, "got {f}");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_add_matches_f64(an in -1000i64..1000, ad in 1i64..1000, bn in -1000i64..1000, bd in 1i64..1000) {
+            let exact = (r(an, ad) + r(bn, bd)).to_f64();
+            let approx = an as f64 / ad as f64 + bn as f64 / bd as f64;
+            prop_assert!((exact - approx).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_field_axioms(an in -100i64..100, ad in 1i64..100, bn in -100i64..100, bd in 1i64..100, cn in -100i64..100, cd in 1i64..100) {
+            let (a, b, c) = (r(an, ad), r(bn, bd), r(cn, cd));
+            prop_assert_eq!(&a + &b, &b + &a);
+            prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+            prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+            if !b.is_zero() {
+                prop_assert_eq!(&(&a / &b) * &b, a);
+            }
+        }
+
+        #[test]
+        fn prop_cmp_matches_f64(an in -1000i64..1000, ad in 1i64..1000, bn in -1000i64..1000, bd in 1i64..1000) {
+            let exact = r(an, ad).cmp(&r(bn, bd));
+            let fa = an as f64 / ad as f64;
+            let fb = bn as f64 / bd as f64;
+            if (fa - fb).abs() > 1e-6 {
+                prop_assert_eq!(exact, fa.partial_cmp(&fb).unwrap());
+            }
+        }
+
+        #[test]
+        fn prop_normalized_invariants(n in -10000i64..10000, d in (-10000i64..10000).prop_filter("nonzero", |v| *v != 0)) {
+            let v = r(n, d);
+            // Denominator positive, fraction in lowest terms.
+            prop_assert!(!v.denom().is_zero());
+            let g = v.numer().magnitude().gcd(v.denom());
+            prop_assert!(g.is_one() || v.is_zero());
+        }
+    }
+}

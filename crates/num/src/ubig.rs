@@ -1,0 +1,656 @@
+//! Unsigned arbitrary-precision integers.
+
+use crate::ParseNumError;
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, MulAssign, Shl, Shr, Sub, SubAssign};
+use std::str::FromStr;
+
+/// An unsigned arbitrary-precision integer.
+///
+/// Representation: little-endian `u64` limbs with no trailing zero limbs;
+/// zero is the empty limb vector. This canonical form makes structural
+/// equality, hashing and ordering agree with numeric equality.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct UBig {
+    /// Little-endian limbs; invariant: `limbs.last() != Some(&0)`.
+    limbs: Vec<u64>,
+}
+
+impl UBig {
+    /// The value `0`.
+    pub const fn zero() -> Self {
+        UBig { limbs: Vec::new() }
+    }
+
+    /// The value `1`.
+    pub fn one() -> Self {
+        UBig { limbs: vec![1] }
+    }
+
+    /// Whether this value is `0`.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Whether this value is `1`.
+    pub fn is_one(&self) -> bool {
+        self.limbs == [1]
+    }
+
+    /// Number of significant bits (`0` for zero).
+    pub fn bit_len(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => self.limbs.len() * 64 - top.leading_zeros() as usize,
+        }
+    }
+
+    /// The number of limbs in the canonical representation.
+    pub fn limb_count(&self) -> usize {
+        self.limbs.len()
+    }
+
+    /// Whether the value is even. Zero is even.
+    pub fn is_even(&self) -> bool {
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
+    }
+
+    fn trim(limbs: &mut Vec<u64>) {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+    }
+
+    fn from_limbs(mut limbs: Vec<u64>) -> Self {
+        Self::trim(&mut limbs);
+        UBig { limbs }
+    }
+
+    /// Converts to `u64`, returning `None` on overflow.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0]),
+            _ => None,
+        }
+    }
+
+    /// Converts to `u128`, returning `None` on overflow.
+    pub fn to_u128(&self) -> Option<u128> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0] as u128),
+            2 => Some((self.limbs[1] as u128) << 64 | self.limbs[0] as u128),
+            _ => None,
+        }
+    }
+
+    /// Lossy conversion to `f64` (correct to within normal floating-point
+    /// rounding; values beyond the `f64` range become `inf`).
+    pub fn to_f64(&self) -> f64 {
+        match self.limbs.len() {
+            0 => 0.0,
+            1 => self.limbs[0] as f64,
+            2 => (self.limbs[1] as u128) as f64 * 2f64.powi(64) + self.limbs[0] as f64,
+            n => {
+                // Use the top 128 bits and scale by the discarded bit count.
+                let hi = (self.limbs[n - 1] as u128) << 64 | self.limbs[n - 2] as u128;
+                let discarded = (n - 2) * 64;
+                hi as f64 * 2f64.powi(discarded as i32)
+            }
+        }
+    }
+
+    /// `self + other`.
+    pub fn add_ref(&self, other: &UBig) -> UBig {
+        let (long, short) = if self.limbs.len() >= other.limbs.len() {
+            (&self.limbs, &other.limbs)
+        } else {
+            (&other.limbs, &self.limbs)
+        };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry = 0u64;
+        for i in 0..long.len() {
+            let b = short.get(i).copied().unwrap_or(0);
+            let (s1, c1) = long[i].overflowing_add(b);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out.push(s2);
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+        UBig::from_limbs(out)
+    }
+
+    /// `self - other`; returns `None` if `other > self`.
+    pub fn checked_sub_ref(&self, other: &UBig) -> Option<UBig> {
+        if self < other {
+            return None;
+        }
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            let (d1, b1) = self.limbs[i].overflowing_sub(b);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out.push(d2);
+            borrow = (b1 as u64) + (b2 as u64);
+        }
+        debug_assert_eq!(borrow, 0);
+        Some(UBig::from_limbs(out))
+    }
+
+    /// `self * other` (schoolbook; adequate for the magnitudes that appear
+    /// in repair probabilities).
+    pub fn mul_ref(&self, other: &UBig) -> UBig {
+        if self.is_zero() || other.is_zero() {
+            return UBig::zero();
+        }
+        let mut out = vec![0u64; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            if a == 0 {
+                continue;
+            }
+            let mut carry = 0u128;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let cur = out[i + j] as u128 + (a as u128) * (b as u128) + carry;
+                out[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let mut k = i + other.limbs.len();
+            while carry != 0 {
+                let cur = out[k] as u128 + carry;
+                out[k] = cur as u64;
+                carry = cur >> 64;
+                k += 1;
+            }
+        }
+        UBig::from_limbs(out)
+    }
+
+    /// Quotient and remainder of `self / other`.
+    ///
+    /// # Panics
+    /// Panics if `other` is zero.
+    pub fn div_rem(&self, other: &UBig) -> (UBig, UBig) {
+        assert!(!other.is_zero(), "division by zero UBig");
+        match self.cmp(other) {
+            Ordering::Less => return (UBig::zero(), self.clone()),
+            Ordering::Equal => return (UBig::one(), UBig::zero()),
+            Ordering::Greater => {}
+        }
+        if other.limbs.len() == 1 {
+            let (q, r) = self.div_rem_limb(other.limbs[0]);
+            return (q, UBig::from(r));
+        }
+        self.div_rem_knuth(other)
+    }
+
+    /// Division by a single limb.
+    fn div_rem_limb(&self, d: u64) -> (UBig, u64) {
+        debug_assert!(d != 0);
+        let mut out = vec![0u64; self.limbs.len()];
+        let mut rem = 0u128;
+        for i in (0..self.limbs.len()).rev() {
+            let cur = rem << 64 | self.limbs[i] as u128;
+            out[i] = (cur / d as u128) as u64;
+            rem = cur % d as u128;
+        }
+        (UBig::from_limbs(out), rem as u64)
+    }
+
+    /// Knuth Algorithm D (TAOCP vol. 2, 4.3.1) for multi-limb divisors.
+    fn div_rem_knuth(&self, other: &UBig) -> (UBig, UBig) {
+        // Normalize: shift so the divisor's top limb has its high bit set.
+        let shift = other.limbs.last().unwrap().leading_zeros() as usize;
+        let v = other.shl_bits(shift).limbs;
+        let mut u = self.shl_bits(shift).limbs;
+        let n = v.len();
+        u.push(0); // room for the virtual high limb
+        let m = u.len() - n - 1;
+        let mut q = vec![0u64; m + 1];
+        let v_top = v[n - 1] as u128;
+        let v_second = v[n - 2] as u128;
+
+        for j in (0..=m).rev() {
+            let top = (u[j + n] as u128) << 64 | u[j + n - 1] as u128;
+            let mut qhat = top / v_top;
+            let mut rhat = top % v_top;
+            // Correct the 2-limb estimate down to at most one off.
+            while qhat >> 64 != 0
+                || qhat * v_second > (rhat << 64 | u[j + n - 2] as u128)
+            {
+                qhat -= 1;
+                rhat += v_top;
+                if rhat >> 64 != 0 {
+                    break;
+                }
+            }
+            // Multiply-subtract: u[j..j+n+1] -= qhat * v.
+            let mut borrow = 0i128;
+            let mut carry = 0u128;
+            for i in 0..n {
+                let p = qhat * v[i] as u128 + carry;
+                carry = p >> 64;
+                let sub = (u[j + i] as i128) - (p as u64 as i128) + borrow;
+                u[j + i] = sub as u64;
+                borrow = sub >> 64;
+            }
+            let sub = (u[j + n] as i128) - (carry as i128) + borrow;
+            u[j + n] = sub as u64;
+            if sub < 0 {
+                // qhat was one too large: add back.
+                qhat -= 1;
+                let mut carry = 0u128;
+                for i in 0..n {
+                    let s = u[j + i] as u128 + v[i] as u128 + carry;
+                    u[j + i] = s as u64;
+                    carry = s >> 64;
+                }
+                u[j + n] = u[j + n].wrapping_add(carry as u64);
+            }
+            q[j] = qhat as u64;
+        }
+        u.truncate(n);
+        let rem = UBig::from_limbs(u).shr_bits(shift);
+        (UBig::from_limbs(q), rem)
+    }
+
+    /// Left shift by `bits`.
+    pub fn shl_bits(&self, bits: usize) -> UBig {
+        if self.is_zero() || bits == 0 {
+            return self.clone();
+        }
+        let limb_shift = bits / 64;
+        let bit_shift = bits % 64;
+        let mut out = vec![0u64; self.limbs.len() + limb_shift + 1];
+        for (i, &l) in self.limbs.iter().enumerate() {
+            out[i + limb_shift] |= l << bit_shift;
+            if bit_shift != 0 {
+                out[i + limb_shift + 1] |= l >> (64 - bit_shift);
+            }
+        }
+        UBig::from_limbs(out)
+    }
+
+    /// Right shift by `bits`.
+    pub fn shr_bits(&self, bits: usize) -> UBig {
+        let limb_shift = bits / 64;
+        if limb_shift >= self.limbs.len() {
+            return UBig::zero();
+        }
+        let bit_shift = bits % 64;
+        let mut out = Vec::with_capacity(self.limbs.len() - limb_shift);
+        for i in limb_shift..self.limbs.len() {
+            let mut l = self.limbs[i] >> bit_shift;
+            if bit_shift != 0 {
+                if let Some(&next) = self.limbs.get(i + 1) {
+                    l |= next << (64 - bit_shift);
+                }
+            }
+            out.push(l);
+        }
+        UBig::from_limbs(out)
+    }
+
+    /// Greatest common divisor (Euclid on top of exact division).
+    pub fn gcd(&self, other: &UBig) -> UBig {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        while !b.is_zero() {
+            let r = a.div_rem(&b).1;
+            a = b;
+            b = r;
+        }
+        a
+    }
+
+    /// `self^exp` by binary exponentiation.
+    pub fn pow(&self, mut exp: u32) -> UBig {
+        let mut base = self.clone();
+        let mut acc = UBig::one();
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = acc.mul_ref(&base);
+            }
+            exp >>= 1;
+            if exp > 0 {
+                base = base.mul_ref(&base);
+            }
+        }
+        acc
+    }
+}
+
+impl From<u64> for UBig {
+    fn from(v: u64) -> Self {
+        if v == 0 {
+            UBig::zero()
+        } else {
+            UBig { limbs: vec![v] }
+        }
+    }
+}
+
+impl From<u128> for UBig {
+    fn from(v: u128) -> Self {
+        UBig::from_limbs(vec![v as u64, (v >> 64) as u64])
+    }
+}
+
+impl From<u32> for UBig {
+    fn from(v: u32) -> Self {
+        UBig::from(v as u64)
+    }
+}
+
+impl From<usize> for UBig {
+    fn from(v: usize) -> Self {
+        UBig::from(v as u64)
+    }
+}
+
+impl Ord for UBig {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => self.limbs.iter().rev().cmp(other.limbs.iter().rev()),
+            ord => ord,
+        }
+    }
+}
+
+impl PartialOrd for UBig {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+macro_rules! forward_binop {
+    ($trait:ident, $method:ident, $impl_method:ident) => {
+        impl $trait for &UBig {
+            type Output = UBig;
+            fn $method(self, rhs: &UBig) -> UBig {
+                self.$impl_method(rhs)
+            }
+        }
+        impl $trait for UBig {
+            type Output = UBig;
+            fn $method(self, rhs: UBig) -> UBig {
+                (&self).$impl_method(&rhs)
+            }
+        }
+        impl $trait<&UBig> for UBig {
+            type Output = UBig;
+            fn $method(self, rhs: &UBig) -> UBig {
+                (&self).$impl_method(rhs)
+            }
+        }
+    };
+}
+
+forward_binop!(Add, add, add_ref);
+forward_binop!(Mul, mul, mul_ref);
+
+impl Sub for &UBig {
+    type Output = UBig;
+    fn sub(self, rhs: &UBig) -> UBig {
+        self.checked_sub_ref(rhs)
+            .expect("UBig subtraction underflow")
+    }
+}
+
+impl Sub for UBig {
+    type Output = UBig;
+    fn sub(self, rhs: UBig) -> UBig {
+        &self - &rhs
+    }
+}
+
+impl AddAssign<&UBig> for UBig {
+    fn add_assign(&mut self, rhs: &UBig) {
+        *self = self.add_ref(rhs);
+    }
+}
+
+impl SubAssign<&UBig> for UBig {
+    fn sub_assign(&mut self, rhs: &UBig) {
+        *self = &*self - rhs;
+    }
+}
+
+impl MulAssign<&UBig> for UBig {
+    fn mul_assign(&mut self, rhs: &UBig) {
+        *self = self.mul_ref(rhs);
+    }
+}
+
+impl Shl<usize> for &UBig {
+    type Output = UBig;
+    fn shl(self, bits: usize) -> UBig {
+        self.shl_bits(bits)
+    }
+}
+
+impl Shr<usize> for &UBig {
+    type Output = UBig;
+    fn shr(self, bits: usize) -> UBig {
+        self.shr_bits(bits)
+    }
+}
+
+impl fmt::Display for UBig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.write_str("0");
+        }
+        // Peel off 19 decimal digits at a time (10^19 < 2^64).
+        const CHUNK: u64 = 10_000_000_000_000_000_000;
+        let mut chunks = Vec::new();
+        let mut cur = self.clone();
+        while !cur.is_zero() {
+            let (q, r) = cur.div_rem_limb(CHUNK);
+            chunks.push(r);
+            cur = q;
+        }
+        let mut s = String::new();
+        s.push_str(&chunks.pop().unwrap().to_string());
+        for c in chunks.iter().rev() {
+            s.push_str(&format!("{c:019}"));
+        }
+        f.write_str(&s)
+    }
+}
+
+impl fmt::Debug for UBig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "UBig({self})")
+    }
+}
+
+impl FromStr for UBig {
+    type Err = ParseNumError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.is_empty() {
+            return Err(ParseNumError::new("empty string"));
+        }
+        let ten = UBig::from(10u64);
+        let mut acc = UBig::zero();
+        for c in s.chars() {
+            let d = c
+                .to_digit(10)
+                .ok_or_else(|| ParseNumError::new(format!("invalid digit {c:?}")))?;
+            acc = acc.mul_ref(&ten).add_ref(&UBig::from(d as u64));
+        }
+        Ok(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn big(v: u128) -> UBig {
+        UBig::from(v)
+    }
+
+    #[test]
+    fn zero_and_one() {
+        assert!(UBig::zero().is_zero());
+        assert!(UBig::one().is_one());
+        assert_eq!(UBig::zero().bit_len(), 0);
+        assert_eq!(UBig::one().bit_len(), 1);
+        assert!(UBig::zero().is_even());
+        assert!(!UBig::one().is_even());
+    }
+
+    #[test]
+    fn add_with_carry_across_limbs() {
+        let a = big(u128::from(u64::MAX));
+        let b = UBig::one();
+        assert_eq!(a.add_ref(&b), big(u64::MAX as u128 + 1));
+    }
+
+    #[test]
+    fn sub_underflow_is_none() {
+        assert_eq!(big(3).checked_sub_ref(&big(5)), None);
+        assert_eq!(big(5).checked_sub_ref(&big(5)), Some(UBig::zero()));
+    }
+
+    #[test]
+    fn mul_cross_limb() {
+        let a = big(u64::MAX as u128);
+        let sq = a.mul_ref(&a);
+        assert_eq!(sq.to_u128(), Some((u64::MAX as u128) * (u64::MAX as u128)));
+    }
+
+    #[test]
+    fn div_by_larger_is_zero() {
+        let (q, r) = big(7).div_rem(&big(9));
+        assert_eq!(q, UBig::zero());
+        assert_eq!(r, big(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let _ = big(1).div_rem(&UBig::zero());
+    }
+
+    #[test]
+    fn knuth_division_three_limbs() {
+        // (2^190 + 12345) / (2^70 + 7)
+        let a = UBig::one().shl_bits(190).add_ref(&big(12345));
+        let b = UBig::one().shl_bits(70).add_ref(&big(7));
+        let (q, r) = a.div_rem(&b);
+        assert_eq!(q.mul_ref(&b).add_ref(&r), a);
+        assert!(r < b);
+    }
+
+    #[test]
+    fn shifts_roundtrip() {
+        let a = big(0xDEAD_BEEF_CAFE_BABE);
+        assert_eq!(a.shl_bits(100).shr_bits(100), a);
+        assert_eq!(a.shr_bits(200), UBig::zero());
+    }
+
+    #[test]
+    fn gcd_examples() {
+        assert_eq!(big(54).gcd(&big(24)), big(6));
+        assert_eq!(big(0).gcd(&big(5)), big(5));
+        assert_eq!(big(5).gcd(&big(0)), big(5));
+        let a = big(2u128.pow(61)).mul_ref(&big(9));
+        let b = big(2u128.pow(50)).mul_ref(&big(15));
+        assert_eq!(a.gcd(&b), big(2u128.pow(50)).mul_ref(&big(3)));
+    }
+
+    #[test]
+    fn pow_examples() {
+        assert_eq!(big(3).pow(0), UBig::one());
+        assert_eq!(big(3).pow(5), big(243));
+        assert_eq!(big(2).pow(200).bit_len(), 201);
+    }
+
+    #[test]
+    fn display_and_parse_roundtrip() {
+        let v = big(2).pow(200).add_ref(&big(987654321));
+        let s = v.to_string();
+        assert_eq!(s.parse::<UBig>().unwrap(), v);
+        assert_eq!(UBig::zero().to_string(), "0");
+        assert_eq!("0".parse::<UBig>().unwrap(), UBig::zero());
+        assert!("12x".parse::<UBig>().is_err());
+        assert!("".parse::<UBig>().is_err());
+    }
+
+    #[test]
+    fn to_f64_large() {
+        let v = big(2).pow(100);
+        let f = v.to_f64();
+        assert!((f - 2f64.powi(100)).abs() / 2f64.powi(100) < 1e-10);
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(big(2).pow(64) > big(u64::MAX as u128));
+        assert!(big(5) < big(7));
+        assert_eq!(big(7).cmp(&big(7)), Ordering::Equal);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_add_matches_u128(a in 0u128..u128::MAX / 2, b in 0u128..u128::MAX / 2) {
+            prop_assert_eq!(big(a).add_ref(&big(b)).to_u128(), Some(a + b));
+        }
+
+        #[test]
+        fn prop_sub_matches_u128(a: u128, b: u128) {
+            let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+            prop_assert_eq!(big(hi).checked_sub_ref(&big(lo)).unwrap().to_u128(), Some(hi - lo));
+        }
+
+        #[test]
+        fn prop_mul_matches_u128(a in 0u128..1u128 << 64, b in 0u128..1u128 << 64) {
+            prop_assert_eq!(big(a).mul_ref(&big(b)).to_u128(), Some(a * b));
+        }
+
+        #[test]
+        fn prop_div_rem_matches_u128(a: u128, b in 1u128..u128::MAX) {
+            let (q, r) = big(a).div_rem(&big(b));
+            prop_assert_eq!(q.to_u128(), Some(a / b));
+            prop_assert_eq!(r.to_u128(), Some(a % b));
+        }
+
+        #[test]
+        fn prop_div_rem_reconstructs(a_lo: u128, a_hi: u128, b_lo: u128, b_hi in 0u128..u128::MAX) {
+            // Random multi-limb values: a = a_hi * 2^128 + a_lo, similarly b.
+            let a = big(a_hi).shl_bits(128).add_ref(&big(a_lo));
+            let b = big(b_hi).shl_bits(128).add_ref(&big(b_lo.max(1)));
+            let (q, r) = a.div_rem(&b);
+            prop_assert!(r < b);
+            prop_assert_eq!(q.mul_ref(&b).add_ref(&r), a);
+        }
+
+        #[test]
+        fn prop_gcd_divides_both(a in 1u128..u128::MAX, b in 1u128..u128::MAX) {
+            let g = big(a).gcd(&big(b));
+            prop_assert!(!g.is_zero());
+            prop_assert!(big(a).div_rem(&g).1.is_zero());
+            prop_assert!(big(b).div_rem(&g).1.is_zero());
+        }
+
+        #[test]
+        fn prop_display_parse_roundtrip(a_hi: u128, a_lo: u128) {
+            let v = big(a_hi).shl_bits(128).add_ref(&big(a_lo));
+            prop_assert_eq!(v.to_string().parse::<UBig>().unwrap(), v);
+        }
+
+        #[test]
+        fn prop_shift_is_mul_by_power_of_two(a: u128, s in 0usize..200) {
+            let shifted = big(a).shl_bits(s);
+            prop_assert_eq!(shifted, big(a).mul_ref(&big(2).pow(s as u32)));
+        }
+    }
+}

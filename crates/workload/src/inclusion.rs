@@ -1,0 +1,120 @@
+//! Inclusion-dependency (TGD) workloads: the insertion-repair scenario.
+
+use ocqa_data::{Constant, Database, Fact, Schema};
+use ocqa_logic::{parser, ConstraintSet, Query};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for an order/customer scenario with dangling foreign keys:
+/// `Order(o, c)` must have a matching `Customer(c)` (the inclusion
+/// dependency `Order[2] ⊆ Customer[1]`), but some orders reference unknown
+/// customers — repairable by inserting the customer (TGD insertion) or
+/// deleting the order.
+#[derive(Clone, Debug)]
+pub struct InclusionSpec {
+    /// Registered customers.
+    pub customers: usize,
+    /// Orders referencing registered customers.
+    pub valid_orders: usize,
+    /// Orders referencing unknown customers (one unknown each).
+    pub dangling_orders: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for InclusionSpec {
+    fn default() -> Self {
+        InclusionSpec {
+            customers: 20,
+            valid_orders: 30,
+            dangling_orders: 3,
+            seed: 5,
+        }
+    }
+}
+
+/// A generated inclusion-dependency workload.
+pub struct InclusionWorkload {
+    /// The inconsistent database.
+    pub db: Database,
+    /// `Order(o, c) → Customer(c)`.
+    pub sigma: ConstraintSet,
+    /// The customer ids referenced by dangling orders.
+    pub dangling_customers: Vec<Constant>,
+}
+
+impl InclusionWorkload {
+    /// Generates the workload.
+    pub fn generate(spec: &InclusionSpec) -> InclusionWorkload {
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let schema = Schema::from_relations(&[("Order", 2), ("Customer", 1)]);
+        let mut db = Database::new(schema);
+        for c in 0..spec.customers {
+            db.insert(&Fact::new("Customer", vec![Constant::int(c as i64)]))
+                .unwrap();
+        }
+        let mut order_id = 0i64;
+        for _ in 0..spec.valid_orders {
+            let c = rng.random_range(0..spec.customers as i64);
+            db.insert(&Fact::new(
+                "Order",
+                vec![Constant::int(order_id), Constant::int(c)],
+            ))
+            .unwrap();
+            order_id += 1;
+        }
+        let mut dangling_customers = Vec::with_capacity(spec.dangling_orders);
+        for i in 0..spec.dangling_orders {
+            // Unknown customer ids live outside the registered range.
+            let ghost = Constant::int((spec.customers + 1000 + i) as i64);
+            dangling_customers.push(ghost);
+            db.insert(&Fact::new(
+                "Order",
+                vec![Constant::int(order_id), ghost],
+            ))
+            .unwrap();
+            order_id += 1;
+        }
+        let sigma = parser::parse_constraints("Order(o, c) -> Customer(c).").unwrap();
+        InclusionWorkload {
+            db,
+            sigma,
+            dangling_customers,
+        }
+    }
+
+    /// The query "customers with at least one order".
+    pub fn active_customers_query(&self) -> Query {
+        parser::parse_query("(c) <- Customer(c) & (exists o: Order(o, c))").unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocqa_logic::ViolationSet;
+
+    #[test]
+    fn dangling_orders_violate() {
+        let w = InclusionWorkload::generate(&InclusionSpec::default());
+        let v = ViolationSet::compute(&w.sigma, &w.db);
+        assert_eq!(v.len(), 3, "one violation per dangling order");
+    }
+
+    #[test]
+    fn no_dangling_is_consistent() {
+        let w = InclusionWorkload::generate(&InclusionSpec {
+            dangling_orders: 0,
+            ..Default::default()
+        });
+        assert!(w.sigma.satisfied_by(&w.db));
+    }
+
+    #[test]
+    fn deterministic() {
+        let spec = InclusionSpec::default();
+        let a = InclusionWorkload::generate(&spec);
+        let b = InclusionWorkload::generate(&spec);
+        assert!(a.db.same_facts(&b.db));
+    }
+}

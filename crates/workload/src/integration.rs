@@ -1,0 +1,144 @@
+//! Multi-source data-integration workloads with trust levels (Example 5).
+
+use ocqa_data::{Constant, Database, Fact, Schema};
+use ocqa_num::Rat;
+use ocqa_logic::{parser, ConstraintSet};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// Parameters for an integration scenario: `sources` feeds each assert a
+/// value for a subset of entities; conflicting assertions violate the key
+/// `R(entity) → value`.
+#[derive(Clone, Debug)]
+pub struct IntegrationSpec {
+    /// Number of integrated entities.
+    pub entities: usize,
+    /// Number of sources.
+    pub sources: usize,
+    /// Probability (percent) that a second source contradicts the first
+    /// for an entity.
+    pub conflict_percent: u8,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for IntegrationSpec {
+    fn default() -> Self {
+        IntegrationSpec {
+            entities: 50,
+            sources: 2,
+            conflict_percent: 20,
+            seed: 11,
+        }
+    }
+}
+
+/// A generated integration workload: the merged database, the key
+/// constraint, and per-fact trust levels derived from source reliability.
+pub struct IntegrationWorkload {
+    /// The merged (possibly inconsistent) database.
+    pub db: Database,
+    /// The key constraint on the merged relation.
+    pub sigma: ConstraintSet,
+    /// Trust level per fact — the reliability of the source it came from.
+    pub trust: BTreeMap<Fact, Rat>,
+    /// Reliability per source (index = source id).
+    pub source_reliability: Vec<Rat>,
+}
+
+impl IntegrationWorkload {
+    /// Generates the workload. Source `s` has reliability
+    /// `(s + 1) / (sources + 1)` — later sources are more trusted.
+    pub fn generate(spec: &IntegrationSpec) -> IntegrationWorkload {
+        assert!(spec.sources >= 1);
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let schema = Schema::from_relations(&[("R", 2)]);
+        let mut db = Database::new(schema);
+        let mut trust: BTreeMap<Fact, Rat> = BTreeMap::new();
+        let source_reliability: Vec<Rat> = (0..spec.sources)
+            .map(|s| Rat::ratio(s as i64 + 1, spec.sources as i64 + 1))
+            .collect();
+        for e in 0..spec.entities {
+            // Source 0 always asserts a value.
+            let v0 = rng.random_range(0..1000);
+            let f0 = Fact::new("R", vec![Constant::int(e as i64), Constant::int(v0)]);
+            db.insert(&f0).unwrap();
+            trust.insert(f0, source_reliability[0].clone());
+            // Each later source may contradict.
+            for s in 1..spec.sources {
+                if rng.random_range(0..100) < spec.conflict_percent as u32 {
+                    let mut v = rng.random_range(0..1000);
+                    if v == v0 {
+                        v += 1;
+                    }
+                    let f = Fact::new("R", vec![Constant::int(e as i64), Constant::int(v)]);
+                    if db.insert(&f).unwrap() {
+                        trust.insert(f, source_reliability[s].clone());
+                    }
+                }
+            }
+        }
+        let sigma = parser::parse_constraints("R(x,y), R(x,z) -> y = z.").unwrap();
+        IntegrationWorkload {
+            db,
+            sigma,
+            trust,
+            source_reliability,
+        }
+    }
+
+    /// Number of entities with conflicting assertions.
+    pub fn conflicting_entities(&self) -> usize {
+        let rel = self.db.relation(ocqa_data::Symbol::intern("R")).unwrap();
+        let mut per_key: BTreeMap<Constant, usize> = BTreeMap::new();
+        for row in rel.iter() {
+            *per_key.entry(row[0]).or_insert(0) += 1;
+        }
+        per_key.values().filter(|&&n| n > 1).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_facts_have_trust() {
+        let w = IntegrationWorkload::generate(&IntegrationSpec::default());
+        for f in w.db.facts() {
+            assert!(w.trust.contains_key(&f), "missing trust for {f}");
+            assert!(w.trust[&f].is_probability());
+        }
+    }
+
+    #[test]
+    fn zero_conflicts_is_consistent() {
+        let w = IntegrationWorkload::generate(&IntegrationSpec {
+            conflict_percent: 0,
+            ..Default::default()
+        });
+        assert!(w.sigma.satisfied_by(&w.db));
+        assert_eq!(w.conflicting_entities(), 0);
+    }
+
+    #[test]
+    fn conflicts_generated_when_requested() {
+        let w = IntegrationWorkload::generate(&IntegrationSpec {
+            entities: 200,
+            conflict_percent: 50,
+            ..Default::default()
+        });
+        assert!(w.conflicting_entities() > 0);
+        assert!(!w.sigma.satisfied_by(&w.db));
+    }
+
+    #[test]
+    fn later_sources_more_reliable() {
+        let w = IntegrationWorkload::generate(&IntegrationSpec {
+            sources: 3,
+            ..Default::default()
+        });
+        assert!(w.source_reliability[0] < w.source_reliability[2]);
+    }
+}

@@ -1,0 +1,155 @@
+//! Key-violation workloads.
+
+use ocqa_data::{Constant, Database, Fact, Schema, Symbol};
+use ocqa_logic::{parser, ConstraintSet, Query};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for a relation with primary-key violations: `R(k, v)` where
+/// `k` is the key.
+#[derive(Clone, Debug)]
+pub struct KeyConflictSpec {
+    /// Number of *clean* tuples (each with a unique key).
+    pub clean_tuples: usize,
+    /// Number of violating key groups.
+    pub conflict_groups: usize,
+    /// Tuples per violating group (≥ 2).
+    pub group_size: usize,
+    /// Size of the value domain.
+    pub value_domain: i64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for KeyConflictSpec {
+    fn default() -> Self {
+        KeyConflictSpec {
+            clean_tuples: 100,
+            conflict_groups: 10,
+            group_size: 2,
+            value_domain: 1000,
+            seed: 0xD0_0D,
+        }
+    }
+}
+
+/// A generated key-conflict workload.
+pub struct KeyConflictWorkload {
+    /// The inconsistent database.
+    pub db: Database,
+    /// The key constraint `R(x,y), R(x,z) → y = z`.
+    pub sigma: ConstraintSet,
+    /// The keys of the violating groups.
+    pub conflict_keys: Vec<Constant>,
+}
+
+impl KeyConflictWorkload {
+    /// Generates the workload.
+    pub fn generate(spec: &KeyConflictSpec) -> KeyConflictWorkload {
+        assert!(spec.group_size >= 2, "violating groups need ≥ 2 tuples");
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let schema = Schema::from_relations(&[("R", 2)]);
+        let mut db = Database::new(schema);
+        // Clean region: keys 0..clean_tuples.
+        for k in 0..spec.clean_tuples {
+            let v = rng.random_range(0..spec.value_domain);
+            db.insert(&Fact::new(
+                "R",
+                vec![Constant::int(k as i64), Constant::int(v)],
+            ))
+            .unwrap();
+        }
+        // Conflicting region: keys clean_tuples..clean_tuples+groups, each
+        // with `group_size` distinct values.
+        let mut conflict_keys = Vec::with_capacity(spec.conflict_groups);
+        for g in 0..spec.conflict_groups {
+            let key = Constant::int((spec.clean_tuples + g) as i64);
+            conflict_keys.push(key);
+            let mut used = Vec::new();
+            while used.len() < spec.group_size {
+                let v = rng.random_range(0..spec.value_domain.max(spec.group_size as i64));
+                if !used.contains(&v) {
+                    used.push(v);
+                    db.insert(&Fact::new("R", vec![key, Constant::int(v)]))
+                        .unwrap();
+                }
+            }
+        }
+        let sigma = parser::parse_constraints("R(x,y), R(x,z) -> y = z.").unwrap();
+        KeyConflictWorkload {
+            db,
+            sigma,
+            conflict_keys,
+        }
+    }
+
+    /// The key relation symbol.
+    pub fn relation(&self) -> Symbol {
+        Symbol::intern("R")
+    }
+
+    /// The projection query `Q(x) = ∃y R(x, y)` ("which keys survive").
+    pub fn projection_query(&self) -> Query {
+        parser::parse_query("(x) <- exists y: R(x, y)").unwrap()
+    }
+
+    /// A point query `Q(y) = R(k, y)` on one conflicting key.
+    pub fn point_query(&self, key: Constant) -> Query {
+        let src = match key {
+            Constant::Int(v) => format!("(y) <- R({v}, y)"),
+            Constant::Sym(s) => format!("(y) <- R('{s}', y)"),
+        };
+        parser::parse_query(&src).unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocqa_logic::ViolationSet;
+
+    #[test]
+    fn generated_sizes_match_spec() {
+        let spec = KeyConflictSpec {
+            clean_tuples: 50,
+            conflict_groups: 5,
+            group_size: 3,
+            value_domain: 100,
+            seed: 1,
+        };
+        let w = KeyConflictWorkload::generate(&spec);
+        assert_eq!(w.db.len(), 50 + 5 * 3);
+        assert_eq!(w.conflict_keys.len(), 5);
+        // Each violating group of size 3 yields 3·2 = 6 ordered violating
+        // homomorphisms (y ≠ z).
+        let v = ViolationSet::compute(&w.sigma, &w.db);
+        assert_eq!(v.len(), 5 * 6);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let spec = KeyConflictSpec::default();
+        let a = KeyConflictWorkload::generate(&spec);
+        let b = KeyConflictWorkload::generate(&spec);
+        assert!(a.db.same_facts(&b.db));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut spec = KeyConflictSpec::default();
+        let a = KeyConflictWorkload::generate(&spec);
+        spec.seed += 1;
+        let b = KeyConflictWorkload::generate(&spec);
+        assert!(!a.db.same_facts(&b.db));
+    }
+
+    #[test]
+    fn clean_region_is_consistent() {
+        let spec = KeyConflictSpec {
+            conflict_groups: 0,
+            ..Default::default()
+        };
+        let w = KeyConflictWorkload::generate(&spec);
+        assert!(w.sigma.satisfied_by(&w.db));
+    }
+}

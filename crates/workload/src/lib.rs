@@ -1,0 +1,20 @@
+//! Seeded synthetic workloads for benchmarks and experiments.
+//!
+//! The paper evaluates no public datasets — its scenarios are described in
+//! prose (conflicting sources with trust levels, product preferences with
+//! symmetric conflicts, key-violating relations). This crate turns those
+//! descriptions into deterministic generators so every experiment in
+//! `EXPERIMENTS.md` is reproducible from a seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod inclusion;
+pub mod integration;
+pub mod keyconflict;
+pub mod preference;
+
+pub use inclusion::{InclusionSpec, InclusionWorkload};
+pub use integration::{IntegrationSpec, IntegrationWorkload};
+pub use keyconflict::{KeyConflictSpec, KeyConflictWorkload};
+pub use preference::{PreferenceSpec, PreferenceWorkload};

