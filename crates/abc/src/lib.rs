@@ -27,8 +27,8 @@
 #![warn(missing_docs)]
 
 use ocqa_data::{Constant, Database, Fact};
-use ocqa_num::Rat;
 use ocqa_logic::{ConstraintSet, Query, Violation, ViolationSet};
+use ocqa_num::Rat;
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -155,10 +155,7 @@ pub fn abc_repairs_bruteforce(
         if !sigma.satisfied_by(&candidate) {
             continue;
         }
-        let delta: BTreeSet<Fact> = facts
-            .symmetric_difference(&original)
-            .cloned()
-            .collect();
+        let delta: BTreeSet<Fact> = facts.symmetric_difference(&original).cloned().collect();
         candidates.push((facts, delta));
     }
     let minimal: Vec<BTreeSet<Fact>> = candidates

@@ -1,0 +1,94 @@
+//! Serving-engine throughput: answered queries per second on the
+//! key-conflict workload, comparing the cold path (cache miss, full
+//! sample budget on the pool) against the prepared+cached path (parse
+//! skipped, answer served from the LRU).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ocqa_bench::key_workload;
+use ocqa_engine::{Engine, EngineConfig, EngineRequest, EngineResponse, QueryRef};
+use std::sync::Arc;
+
+const QUERY: &str = "(x) <- exists y: R(x, y)";
+
+fn engine_with_workload(groups: usize) -> Arc<Engine> {
+    let w = key_workload(50, groups, 2, 7);
+    let engine = Engine::new(EngineConfig {
+        workers: 4,
+        cache_capacity: 256,
+        ..EngineConfig::default()
+    });
+    let resp = engine.handle(EngineRequest::CreateDb {
+        name: "kv".into(),
+        facts: w.db.to_string(),
+        constraints: "R(x,y), R(x,z) -> y = z.".into(),
+    });
+    assert!(matches!(resp, EngineResponse::Created(_)));
+    engine
+}
+
+fn answer_request(seed: u64, query: QueryRef) -> EngineRequest {
+    EngineRequest::Answer {
+        db: "kv".into(),
+        query,
+        generator: "uniform-deletions".into(),
+        eps: 0.1,
+        delta: 0.1,
+        seed,
+    }
+}
+
+fn bench_cold(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_cold");
+    g.sample_size(10);
+    for groups in [4usize, 16] {
+        let engine = engine_with_workload(groups);
+        let mut seed = 0u64;
+        g.bench_with_input(
+            BenchmarkId::new("conflicts", groups),
+            &groups,
+            |bench, _| {
+                bench.iter(|| {
+                    // A fresh seed per iteration defeats the cache: every
+                    // answer pays parse-once + the full 150-walk budget.
+                    seed += 1;
+                    let resp = engine.handle(answer_request(seed, QueryRef::Text(QUERY.into())));
+                    assert!(matches!(resp, EngineResponse::Answer(_)));
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_prepared_cached(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_prepared_cached");
+    g.sample_size(20);
+    for groups in [4usize, 16] {
+        let engine = engine_with_workload(groups);
+        let EngineResponse::Prepared { id } = engine.handle(EngineRequest::Prepare {
+            query: QUERY.into(),
+        }) else {
+            panic!("prepare failed");
+        };
+        // Warm the cache once; every measured iteration is a hit.
+        let warm = engine.handle(answer_request(1, QueryRef::Prepared(id.clone())));
+        assert!(matches!(warm, EngineResponse::Answer(_)));
+        g.bench_with_input(
+            BenchmarkId::new("conflicts", groups),
+            &groups,
+            |bench, _| {
+                bench.iter(|| {
+                    let resp = engine.handle(answer_request(1, QueryRef::Prepared(id.clone())));
+                    let EngineResponse::Answer(a) = resp else {
+                        panic!("expected answer")
+                    };
+                    assert!(a.cached);
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_cold, bench_prepared_cached);
+criterion_main!(benches);

@@ -14,21 +14,25 @@ fn bench_exact(c: &mut Criterion) {
     for groups in [1usize, 2, 3, 4] {
         let ctx = key_ctx(5, groups, 2, 17);
         let gen = UniformGenerator::new();
-        g.bench_with_input(BenchmarkId::new("conflicts", groups), &groups, |bench, _| {
-            bench.iter(|| {
-                black_box(
-                    explore::repair_distribution(
-                        &ctx,
-                        &gen,
-                        &explore::ExploreOptions {
-                            max_states: 10_000_000,
-                            record_chain: false,
-                        },
+        g.bench_with_input(
+            BenchmarkId::new("conflicts", groups),
+            &groups,
+            |bench, _| {
+                bench.iter(|| {
+                    black_box(
+                        explore::repair_distribution(
+                            &ctx,
+                            &gen,
+                            &explore::ExploreOptions {
+                                max_states: 10_000_000,
+                                record_chain: false,
+                            },
+                        )
+                        .unwrap(),
                     )
-                    .unwrap(),
-                )
-            })
-        });
+                })
+            },
+        );
     }
     g.finish();
 }
@@ -39,10 +43,14 @@ fn bench_sampling(c: &mut Criterion) {
     for groups in [1usize, 2, 4, 8] {
         let ctx = key_ctx(5, groups, 2, 17);
         let gen = UniformGenerator::new();
-        g.bench_with_input(BenchmarkId::new("conflicts", groups), &groups, |bench, _| {
-            let mut rng = StdRng::seed_from_u64(3);
-            bench.iter(|| black_box(sample::sample_walk(&ctx, &gen, &mut rng).unwrap()))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("conflicts", groups),
+            &groups,
+            |bench, _| {
+                let mut rng = StdRng::seed_from_u64(3);
+                bench.iter(|| black_box(sample::sample_walk(&ctx, &gen, &mut rng).unwrap()))
+            },
+        );
     }
     g.finish();
 }

@@ -29,11 +29,9 @@ fn bench_join(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("naive_scan", n), &n, |bench, _| {
             bench.iter(|| {
                 let mut rows: Vec<Vec<Constant>> = Vec::new();
-                w.db.for_each_match(
-                    ocqa_data::Symbol::intern("R"),
-                    &[None, None],
-                    &mut |row| rows.push(row.to_vec()),
-                );
+                w.db.for_each_match(ocqa_data::Symbol::intern("R"), &[None, None], &mut |row| {
+                    rows.push(row.to_vec())
+                });
                 let mut count = 0usize;
                 for r1 in &rows {
                     for r2 in &rows {

@@ -15,13 +15,12 @@ fn bench_modified_query(c: &mut Criterion) {
         for del_pct in [1usize, 10] {
             let w = key_workload(n, 0, 2, 99);
             let q = parser::parse_query("(x) <- exists y: R(x, y)").unwrap();
-            let deleted: HashSet<Fact> = w
-                .db
-                .facts()
-                .enumerate()
-                .filter(|(i, _)| i % 100 < del_pct)
-                .map(|(_, f)| f)
-                .collect();
+            let deleted: HashSet<Fact> =
+                w.db.facts()
+                    .enumerate()
+                    .filter(|(i, _)| i % 100 < del_pct)
+                    .map(|(_, f)| f)
+                    .collect();
             let id = format!("{n}_tuples_{del_pct}pct");
             g.bench_with_input(BenchmarkId::new("original", &id), &n, |bench, _| {
                 bench.iter(|| black_box(q.answers(&w.db)))

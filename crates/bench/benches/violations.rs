@@ -78,5 +78,10 @@ fn bench_incremental(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_violations, bench_satisfaction, bench_incremental);
+criterion_group!(
+    benches,
+    bench_violations,
+    bench_satisfaction,
+    bench_incremental
+);
 criterion_main!(benches);

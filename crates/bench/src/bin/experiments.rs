@@ -11,8 +11,8 @@ use ocqa_core::{
     RepairState, TrustGenerator, UniformGenerator,
 };
 use ocqa_data::{Constant, Database, Fact, Symbol};
-use ocqa_num::Rat;
 use ocqa_logic::{parser, DeletionOverlay, FactSource};
+use ocqa_num::Rat;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashSet;
@@ -59,7 +59,10 @@ fn main() {
 /// E13 — repair localization (§6 optimization): states explored sum over
 /// components instead of multiplying.
 fn e13_localization() {
-    header("E13", "repair localization: Σ component states vs Π interleavings");
+    header(
+        "E13",
+        "repair localization: Σ component states vs Π interleavings",
+    );
     println!(
         "{:>9} {:>14} {:>14} {:>10} {:>10}",
         "conflicts", "monolithic", "localized", "mono (s)", "local (s)"
@@ -73,9 +76,8 @@ fn e13_localization() {
         };
         let (global, mono_secs) =
             timed(|| explore::repair_distribution(&ctx, &gen, &opts).unwrap());
-        let (local, local_secs) = timed(|| {
-            ocqa_core::localize::localized_distribution(&ctx, &gen, &opts).unwrap()
-        });
+        let (local, local_secs) =
+            timed(|| ocqa_core::localize::localized_distribution(&ctx, &gen, &opts).unwrap());
         // Exactness check: identical repair probabilities.
         for info in global.repairs() {
             assert_eq!(local.probability_of(&info.db), info.probability);
@@ -98,7 +100,10 @@ fn header(id: &str, title: &str) {
 
 /// E1 — the twelve edge probabilities of the §3 Markov-chain figure.
 fn e1_markov_chain_figure() {
-    header("E1", "§3 Markov-chain figure edge probabilities (Example 4 generator)");
+    header(
+        "E1",
+        "§3 Markov-chain figure edge probabilities (Example 4 generator)",
+    );
     let ctx = paper_preference_ctx();
     let gen = PreferenceGenerator::new();
     let del = |a: &str, b: &str| Operation::delete(vec![Fact::parts("Pref", &[a, b])]);
@@ -117,14 +122,46 @@ fn e1_markov_chain_figure() {
         ("ε → −(b,a)", Rat::ratio(3, 9), prob(&root, &del("b", "a"))),
         ("ε → −(a,c)", Rat::ratio(1, 9), prob(&root, &del("a", "c"))),
         ("ε → −(c,a)", Rat::ratio(3, 9), prob(&root, &del("c", "a"))),
-        ("−(a,b) → −(a,c)", Rat::ratio(1, 3), prob(&root.apply(&del("a", "b")), &del("a", "c"))),
-        ("−(a,b) → −(c,a)", Rat::ratio(2, 3), prob(&root.apply(&del("a", "b")), &del("c", "a"))),
-        ("−(b,a) → −(a,c)", Rat::ratio(1, 4), prob(&root.apply(&del("b", "a")), &del("a", "c"))),
-        ("−(b,a) → −(c,a)", Rat::ratio(3, 4), prob(&root.apply(&del("b", "a")), &del("c", "a"))),
-        ("−(a,c) → −(a,b)", Rat::ratio(2, 4), prob(&root.apply(&del("a", "c")), &del("a", "b"))),
-        ("−(a,c) → −(b,a)", Rat::ratio(2, 4), prob(&root.apply(&del("a", "c")), &del("b", "a"))),
-        ("−(c,a) → −(a,b)", Rat::ratio(2, 5), prob(&root.apply(&del("c", "a")), &del("a", "b"))),
-        ("−(c,a) → −(b,a)", Rat::ratio(3, 5), prob(&root.apply(&del("c", "a")), &del("b", "a"))),
+        (
+            "−(a,b) → −(a,c)",
+            Rat::ratio(1, 3),
+            prob(&root.apply(&del("a", "b")), &del("a", "c")),
+        ),
+        (
+            "−(a,b) → −(c,a)",
+            Rat::ratio(2, 3),
+            prob(&root.apply(&del("a", "b")), &del("c", "a")),
+        ),
+        (
+            "−(b,a) → −(a,c)",
+            Rat::ratio(1, 4),
+            prob(&root.apply(&del("b", "a")), &del("a", "c")),
+        ),
+        (
+            "−(b,a) → −(c,a)",
+            Rat::ratio(3, 4),
+            prob(&root.apply(&del("b", "a")), &del("c", "a")),
+        ),
+        (
+            "−(a,c) → −(a,b)",
+            Rat::ratio(2, 4),
+            prob(&root.apply(&del("a", "c")), &del("a", "b")),
+        ),
+        (
+            "−(a,c) → −(b,a)",
+            Rat::ratio(2, 4),
+            prob(&root.apply(&del("a", "c")), &del("b", "a")),
+        ),
+        (
+            "−(c,a) → −(a,b)",
+            Rat::ratio(2, 5),
+            prob(&root.apply(&del("c", "a")), &del("a", "b")),
+        ),
+        (
+            "−(c,a) → −(b,a)",
+            Rat::ratio(3, 5),
+            prob(&root.apply(&del("c", "a")), &del("b", "a")),
+        ),
     ];
     println!("{:<22} {:>8} {:>10}  match", "edge", "paper", "measured");
     for (edge, paper, measured) in rows {
@@ -133,7 +170,11 @@ fn e1_markov_chain_figure() {
             edge,
             paper.to_string(),
             measured.to_string(),
-            if paper == measured { "✓" } else { "✗ MISMATCH" }
+            if paper == measured {
+                "✓"
+            } else {
+                "✗ MISMATCH"
+            }
         );
     }
     println!();
@@ -155,7 +196,10 @@ fn e2_example6_distribution() {
         ([("b", "a"), ("a", "c")], Rat::ratio(5, 36)),
         ([("b", "a"), ("c", "a")], Rat::ratio(9, 20)),
     ];
-    println!("{:<28} {:>8} {:>10}  match", "repair (facts removed)", "paper", "measured");
+    println!(
+        "{:<28} {:>8} {:>10}  match",
+        "repair (facts removed)", "paper", "measured"
+    );
     for (removed, paper) in expected {
         let mut db = ctx.d0().clone();
         for (a, b) in removed {
@@ -164,10 +208,17 @@ fn e2_example6_distribution() {
         let measured = dist.probability_of(&db);
         println!(
             "{:<28} {:>8} {:>10}  {}",
-            format!("−({},{}), −({},{})", removed[0].0, removed[0].1, removed[1].0, removed[1].1),
+            format!(
+                "−({},{}), −({},{})",
+                removed[0].0, removed[0].1, removed[1].0, removed[1].1
+            ),
             paper.to_string(),
             measured.to_string(),
-            if paper == measured { "✓" } else { "✗ MISMATCH" }
+            if paper == measured {
+                "✓"
+            } else {
+                "✗ MISMATCH"
+            }
         );
     }
     println!(
@@ -206,19 +257,31 @@ fn e3_example7_oca() {
 
 /// E4 — sample-size table n = ⌈ln(2/δ)/(2ε²)⌉.
 fn e4_sample_size_table() {
-    header("E4", "additive-error sample sizes (paper quotes n = 150 at ε = δ = 0.1)");
+    header(
+        "E4",
+        "additive-error sample sizes (paper quotes n = 150 at ε = δ = 0.1)",
+    );
     println!("{:>6} {:>6} {:>10}", "ε", "δ", "n");
     for eps in [0.2, 0.1, 0.05, 0.02] {
         for delta in [0.1, 0.05, 0.01] {
-            println!("{eps:>6} {delta:>6} {:>10}", sample::sample_size(eps, delta));
+            println!(
+                "{eps:>6} {delta:>6} {:>10}",
+                sample::sample_size(eps, delta)
+            );
         }
     }
-    println!("paper check: n(0.1, 0.1) = {} (expected 150)\n", sample::sample_size(0.1, 0.1));
+    println!(
+        "paper check: n(0.1, 0.1) = {} (expected 150)\n",
+        sample::sample_size(0.1, 0.1)
+    );
 }
 
 /// E5 — additive error of the sampler vs the exact engine.
 fn e5_additive_error() {
-    header("E5", "measured additive error vs ε (Theorem 9), key workload");
+    header(
+        "E5",
+        "measured additive error vs ε (Theorem 9), key workload",
+    );
     let ctx = key_ctx(10, 4, 2, 7);
     let gen = UniformGenerator::deletions_only();
     let dist =
@@ -230,12 +293,14 @@ fn e5_additive_error() {
     let tuple = [Constant::int(10)];
     let exact = answer::conditional_probability(&dist, &q, &tuple).to_f64();
     println!("exact CP = {exact:.6}");
-    println!("{:>6} {:>6} {:>8} {:>12} {:>10}", "ε", "δ", "n", "estimate", "|err|");
+    println!(
+        "{:>6} {:>6} {:>8} {:>12} {:>10}",
+        "ε", "δ", "n", "estimate", "|err|"
+    );
     for eps in [0.2, 0.1, 0.05] {
         let mut rng = StdRng::seed_from_u64(500 + (eps * 1000.0) as u64);
-        let est =
-            sample::estimate_tuple_probability(&ctx, &gen, &q, &tuple, eps, 0.05, &mut rng)
-                .unwrap();
+        let est = sample::estimate_tuple_probability(&ctx, &gen, &q, &tuple, eps, 0.05, &mut rng)
+            .unwrap();
         println!(
             "{:>6} {:>6} {:>8} {:>12.4} {:>10.4}  (bound {} {})",
             eps,
@@ -244,7 +309,11 @@ fn e5_additive_error() {
             est.value,
             (est.value - exact).abs(),
             eps,
-            if (est.value - exact).abs() <= eps { "✓" } else { "✗ EXCEEDED" }
+            if (est.value - exact).abs() <= eps {
+                "✓"
+            } else {
+                "✗ EXCEEDED"
+            }
         );
     }
     println!();
@@ -252,7 +321,10 @@ fn e5_additive_error() {
 
 /// E6 — exact exploration blows up exponentially; sampling stays flat.
 fn e6_exact_vs_sampling() {
-    header("E6", "exact OCQA (FP^#P) vs sampling: wall-clock by conflict count");
+    header(
+        "E6",
+        "exact OCQA (FP^#P) vs sampling: wall-clock by conflict count",
+    );
     println!(
         "{:>9} {:>12} {:>12} {:>14}",
         "conflicts", "exact states", "exact (s)", "150 walks (s)"
@@ -285,12 +357,17 @@ fn e6_exact_vs_sampling() {
             sample_secs
         );
     }
-    println!("shape check: exact state count multiplies per extra conflict; sampling scales linearly.\n");
+    println!(
+        "shape check: exact state count multiplies per extra conflict; sampling scales linearly.\n"
+    );
 }
 
 /// E7 — the §5 "initial experiments": Q[R ↦ R − R_del] performs close to Q.
 fn e7_modified_query_overhead() {
-    header("E7", "rewritten query Q[R ↦ R−R_del] vs original Q (§5 claim: similar cost)");
+    header(
+        "E7",
+        "rewritten query Q[R ↦ R−R_del] vs original Q (§5 claim: similar cost)",
+    );
     println!(
         "{:>8} {:>8} {:>12} {:>12} {:>8}",
         "|R|", "|R_del|", "Q(D) s", "Q(D−Rdel) s", "ratio"
@@ -300,13 +377,12 @@ fn e7_modified_query_overhead() {
         let q = parser::parse_query("(x) <- exists y: R(x, y)").unwrap();
         let rel = Symbol::intern("R");
         // Build R_del: del_pct% of tuples.
-        let deleted: HashSet<Fact> = w
-            .db
-            .facts()
-            .enumerate()
-            .filter(|(i, _)| i % 100 < del_pct)
-            .map(|(_, f)| f)
-            .collect();
+        let deleted: HashSet<Fact> =
+            w.db.facts()
+                .enumerate()
+                .filter(|(i, _)| i % 100 < del_pct)
+                .map(|(_, f)| f)
+                .collect();
         let reps = 5;
         let (_, base_secs) = timed(|| {
             for _ in 0..reps {
@@ -334,7 +410,10 @@ fn e7_modified_query_overhead() {
 
 /// E8 — Example 5 trust-model outcome probabilities, with a trust sweep.
 fn e8_trust_weights() {
-    header("E8", "Example 5 trust weights (paper: 0.375 / 0.375 / 0.25 at 50%/50%)");
+    header(
+        "E8",
+        "Example 5 trust weights (paper: 0.375 / 0.375 / 0.25 at 50%/50%)",
+    );
     println!(
         "{:>8} {:>8} {:>10} {:>10} {:>10}",
         "tr(α)", "tr(β)", "P(−α)", "P(−β)", "P(−both)"
@@ -377,7 +456,10 @@ fn e8_trust_weights() {
 
 /// E10 — failing mass: the §3 failing-sequence example vs deletion-only.
 fn e10_failing_mass() {
-    header("E10", "failing sequences (Prop. 8: deletion-only ⇒ non-failing)");
+    header(
+        "E10",
+        "failing sequences (Prop. 8: deletion-only ⇒ non-failing)",
+    );
     let mk = || ctx_from_text("R(a).", "R(x) -> T(x). T(x) -> false.");
     let uniform = explore::repair_distribution(
         &mk(),
@@ -391,7 +473,10 @@ fn e10_failing_mass() {
         &explore::ExploreOptions::default(),
     )
     .unwrap();
-    println!("{:<24} {:>14} {:>14}", "generator", "failing mass", "success mass");
+    println!(
+        "{:<24} {:>14} {:>14}",
+        "generator", "failing mass", "success mass"
+    );
     println!(
         "{:<24} {:>14} {:>14}",
         "uniform (±insertions)",
@@ -404,7 +489,9 @@ fn e10_failing_mass() {
         del_only.failing_mass().to_string(),
         del_only.success_mass().to_string()
     );
-    println!("paper: the sequence +T(a) is complete and failing; deletion-only chains cannot fail.\n");
+    println!(
+        "paper: the sequence +T(a) is complete and failing; deletion-only chains cannot fail.\n"
+    );
 }
 
 /// E11 — the §5 key-repair fast path vs the generic Markov walk.

@@ -6,16 +6,19 @@
 //!   ocqa repairs  --facts FILE --constraints FILE [--generator NAME] [--max-states N]
 //!   ocqa answer   --facts FILE --constraints FILE --query TEXT
 //!                 [--generator NAME] [--exact | --eps E --delta D] [--seed N]
+//!   ocqa trace    --facts FILE --constraints FILE [--generator NAME] [--seed N]
+//!   ocqa serve    [--listen ADDR] [--workers N] [--cache N]
 //!
 //! GENERATORS: uniform (default) | uniform-deletions | preference
 //! ```
+//!
+//! `serve` speaks newline-delimited JSON on stdin/stdout, or on a TCP
+//! listener with `--listen HOST:PORT` (see the `ocqa-engine` crate docs
+//! for the protocol).
 
-use ocqa_core::{
-    answer, explain, explore, sample, ChainGenerator, PreferenceGenerator, RepairContext,
-    RepairState, UniformGenerator,
-};
+use ocqa_core::{answer, explain, explore, sample, ChainGenerator, RepairContext, RepairState};
 use ocqa_data::Database;
-use ocqa_logic::{parser, ViolationSet};
+use ocqa_logic::parser;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
@@ -38,23 +41,94 @@ struct Args {
     flags: Vec<String>,
 }
 
+/// Per-command argument specification: which `--name value` options and
+/// which bare `--flag`s are legal. Anything else is a usage error, as is
+/// repeating an option.
+struct CommandSpec {
+    name: &'static str,
+    options: &'static [&'static str],
+    flags: &'static [&'static str],
+}
+
+const COMMANDS: &[CommandSpec] = &[
+    CommandSpec {
+        name: "check",
+        options: &["facts", "constraints"],
+        flags: &["help"],
+    },
+    CommandSpec {
+        name: "repairs",
+        options: &["facts", "constraints", "generator", "max-states"],
+        flags: &["help"],
+    },
+    CommandSpec {
+        name: "answer",
+        options: &[
+            "facts",
+            "constraints",
+            "query",
+            "generator",
+            "eps",
+            "delta",
+            "seed",
+            "max-states",
+        ],
+        flags: &["exact", "help"],
+    },
+    CommandSpec {
+        name: "trace",
+        options: &["facts", "constraints", "generator", "seed"],
+        flags: &["help"],
+    },
+    CommandSpec {
+        name: "serve",
+        options: &["listen", "workers", "cache"],
+        flags: &["help"],
+    },
+];
+
 fn parse_args() -> Result<Args, String> {
-    let mut argv = std::env::args().skip(1);
+    parse_argv(std::env::args().skip(1).collect())
+}
+
+/// Strict parser shared by every command: rejects unknown commands,
+/// unknown `--options`/`--flags`, duplicated options and missing values.
+fn parse_argv(argv: Vec<String>) -> Result<Args, String> {
+    let mut argv = argv.into_iter();
     let command = argv.next().ok_or_else(usage)?;
+    if command == "help" {
+        return Ok(Args {
+            command,
+            options: HashMap::new(),
+            flags: Vec::new(),
+        });
+    }
+    let spec = COMMANDS
+        .iter()
+        .find(|spec| spec.name == command)
+        .ok_or_else(|| format!("unknown command {command:?}\n{}", usage()))?;
     let mut options = HashMap::new();
     let mut flags = Vec::new();
     while let Some(arg) = argv.next() {
         let Some(name) = arg.strip_prefix("--") else {
             return Err(format!("unexpected argument {arg:?}\n{}", usage()));
         };
-        match name {
-            "exact" | "help" => flags.push(name.to_string()),
-            _ => {
-                let value = argv
-                    .next()
-                    .ok_or_else(|| format!("--{name} requires a value"))?;
-                options.insert(name.to_string(), value);
+        if spec.flags.contains(&name) {
+            if !flags.iter().any(|f| f == name) {
+                flags.push(name.to_string());
             }
+        } else if spec.options.contains(&name) {
+            let value = argv
+                .next()
+                .ok_or_else(|| format!("--{name} requires a value"))?;
+            if options.insert(name.to_string(), value).is_some() {
+                return Err(format!("duplicate option --{name}\n{}", usage()));
+            }
+        } else {
+            return Err(format!(
+                "unknown option --{name} for {command:?}\n{}",
+                usage()
+            ));
         }
     }
     Ok(Args {
@@ -65,9 +139,11 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: ocqa <check|repairs|answer|trace> --facts FILE --constraints FILE \
+    "usage: ocqa <check|repairs|answer|trace|serve>\n  \
+     check|repairs|answer|trace: --facts FILE --constraints FILE \
      [--query TEXT] [--generator uniform|uniform-deletions|preference] \
-     [--exact | --eps E --delta D] [--seed N] [--max-states N]"
+     [--exact | --eps E --delta D] [--seed N] [--max-states N]\n  \
+     serve: [--listen HOST:PORT] [--workers N] [--cache ENTRIES]"
         .to_string()
 }
 
@@ -77,13 +153,55 @@ fn run() -> Result<(), String> {
         println!("{}", usage());
         return Ok(());
     }
+    if args.command == "serve" {
+        return serve_cmd(&args);
+    }
     let ctx = load_context(&args)?;
     match args.command.as_str() {
         "check" => check(&ctx),
         "repairs" => repairs(&ctx, &args),
         "answer" => answer_cmd(&ctx, &args),
         "trace" => trace_cmd(&ctx, &args),
-        other => Err(format!("unknown command {other:?}\n{}", usage())),
+        other => unreachable!("command {other:?} validated by parse_argv"),
+    }
+}
+
+/// Boots the serving engine on stdio or a TCP listener.
+fn serve_cmd(args: &Args) -> Result<(), String> {
+    let mut config = ocqa_engine::EngineConfig::default();
+    if let Some(n) = args.options.get("workers") {
+        config.workers = n
+            .parse::<usize>()
+            .ok()
+            .filter(|n| *n > 0)
+            .ok_or("--workers expects a positive number")?;
+    }
+    if let Some(n) = args.options.get("cache") {
+        config.cache_capacity = n
+            .parse::<usize>()
+            .ok()
+            .filter(|n| *n > 0)
+            .ok_or("--cache expects a positive number")?;
+    }
+    let engine = ocqa_engine::Engine::new(config);
+    match args.options.get("listen") {
+        Some(addr) => {
+            let listener = std::net::TcpListener::bind(addr)
+                .map_err(|e| format!("cannot listen on {addr}: {e}"))?;
+            eprintln!(
+                "ocqa serve: listening on {} ({} workers)",
+                listener.local_addr().map_err(|e| e.to_string())?,
+                config.workers
+            );
+            ocqa_engine::serve_listener(engine, listener).map_err(|e| e.to_string())
+        }
+        None => {
+            eprintln!(
+                "ocqa serve: reading newline-delimited JSON from stdin ({} workers)",
+                config.workers
+            );
+            ocqa_engine::serve_stdio(&engine).map_err(|e| e.to_string())
+        }
     }
 }
 
@@ -123,18 +241,16 @@ fn load_context(args: &Args) -> Result<Arc<RepairContext>, String> {
     Ok(RepairContext::new(db, sigma))
 }
 
-fn generator(args: &Args) -> Result<Box<dyn ChainGenerator>, String> {
-    match args
-        .options
-        .get("generator")
-        .map(String::as_str)
-        .unwrap_or("uniform")
-    {
-        "uniform" => Ok(Box::new(UniformGenerator::new())),
-        "uniform-deletions" => Ok(Box::new(UniformGenerator::deletions_only())),
-        "preference" => Ok(Box::new(PreferenceGenerator::new())),
-        other => Err(format!("unknown generator {other:?}")),
-    }
+fn generator(args: &Args) -> Result<std::sync::Arc<dyn ChainGenerator>, String> {
+    // One name→generator table for CLI and server alike, so a generator
+    // added to the engine is automatically accepted here.
+    ocqa_engine::generator_by_name(
+        args.options
+            .get("generator")
+            .map(String::as_str)
+            .unwrap_or("uniform"),
+    )
+    .map_err(|e| e.to_string())
 }
 
 fn explore_options(args: &Args) -> Result<explore::ExploreOptions, String> {
@@ -146,7 +262,7 @@ fn explore_options(args: &Args) -> Result<explore::ExploreOptions, String> {
 }
 
 fn check(ctx: &Arc<RepairContext>) -> Result<(), String> {
-    let violations = ViolationSet::compute(ctx.sigma(), ctx.d0());
+    let violations = ctx.initial_violations();
     println!(
         "database: {} facts over schema {}",
         ctx.d0().len(),
@@ -197,10 +313,21 @@ fn repairs(ctx: &Arc<RepairContext>, args: &Args) -> Result<(), String> {
 }
 
 fn answer_cmd(ctx: &Arc<RepairContext>, args: &Args) -> Result<(), String> {
-    let query_src = args.options.get("query").ok_or("--query TEXT is required")?;
+    let query_src = args
+        .options
+        .get("query")
+        .ok_or("--query TEXT is required")?;
     let query = parser::parse_query(query_src).map_err(|e| e.to_string())?;
     let gen = generator(args)?;
     if args.flags.iter().any(|f| f == "exact") {
+        // `--exact` and the sampling knobs are alternatives (the usage
+        // string documents `[--exact | --eps E --delta D]`); silently
+        // ignoring ε/δ/seed would mislead.
+        for knob in ["eps", "delta", "seed"] {
+            if args.options.contains_key(knob) {
+                return Err(format!("--exact conflicts with --{knob}\n{}", usage()));
+            }
+        }
         let dist = explore::repair_distribution(ctx, gen.as_ref(), &explore_options(args)?)
             .map_err(|e| e.to_string())?;
         println!("exact operational consistent answers:");

@@ -124,6 +124,120 @@ fn missing_arguments_fail_cleanly() {
 }
 
 #[test]
+fn duplicate_options_rejected() {
+    let (facts, rules) = preference_files();
+    let (_, stderr, ok) = ocqa(&[
+        "check",
+        "--facts",
+        facts.to_str().unwrap(),
+        "--facts",
+        facts.to_str().unwrap(),
+        "--constraints",
+        rules.to_str().unwrap(),
+    ]);
+    assert!(!ok);
+    assert!(
+        stderr.contains("duplicate option --facts"),
+        "stderr: {stderr}"
+    );
+}
+
+#[test]
+fn unknown_options_rejected_per_command() {
+    let (facts, rules) = preference_files();
+    // --query is an `answer` option, not a `check` one.
+    let (_, stderr, ok) = ocqa(&[
+        "check",
+        "--facts",
+        facts.to_str().unwrap(),
+        "--constraints",
+        rules.to_str().unwrap(),
+        "--query",
+        "(x) <- Pref(x,x)",
+    ]);
+    assert!(!ok);
+    assert!(
+        stderr.contains("unknown option --query"),
+        "stderr: {stderr}"
+    );
+    // Entirely made-up flags fail too (previously silently swallowed).
+    let (_, stderr, ok) = ocqa(&["serve", "--bogus", "1"]);
+    assert!(!ok);
+    assert!(
+        stderr.contains("unknown option --bogus"),
+        "stderr: {stderr}"
+    );
+    // And a flag that exists elsewhere is rejected for `serve`.
+    let (_, stderr, ok) = ocqa(&["serve", "--exact"]);
+    assert!(!ok);
+    assert!(
+        stderr.contains("unknown option --exact"),
+        "stderr: {stderr}"
+    );
+}
+
+#[test]
+fn exact_conflicts_with_sampling_options() {
+    let (facts, rules) = preference_files();
+    let (_, stderr, ok) = ocqa(&[
+        "answer",
+        "--facts",
+        facts.to_str().unwrap(),
+        "--constraints",
+        rules.to_str().unwrap(),
+        "--query",
+        "(x) <- exists y: Pref(x,y)",
+        "--exact",
+        "--eps",
+        "0.01",
+    ]);
+    assert!(!ok);
+    assert!(
+        stderr.contains("--exact conflicts with --eps"),
+        "stderr: {stderr}"
+    );
+}
+
+#[test]
+fn serve_answers_over_stdio() {
+    use std::process::Stdio;
+    let mut child = Command::new(env!("CARGO_BIN_EXE_ocqa"))
+        .args(["serve", "--workers", "2"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn ocqa serve");
+    let mut stdin = child.stdin.take().unwrap();
+    stdin
+        .write_all(
+            concat!(
+                r#"{"op":"create_db","name":"prefs","facts":"Pref(a,b). Pref(b,a).","constraints":"Pref(x,y), Pref(y,x) -> false."}"#,
+                "\n",
+                r#"{"op":"answer","db":"prefs","query":"(x) <- exists y: Pref(x,y)","seed":1}"#,
+                "\n",
+                r#"{"op":"answer","db":"prefs","query":"(x) <- exists y: Pref(x,y)","seed":1}"#,
+                "\n",
+            )
+            .as_bytes(),
+        )
+        .unwrap();
+    drop(stdin); // EOF ends the session
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = stdout.trim().lines().collect();
+    assert_eq!(lines.len(), 3, "stdout:\n{stdout}");
+    assert!(lines[0].contains("\"ok\":true"));
+    assert!(lines[1].contains("\"cached\":false"), "{}", lines[1]);
+    assert!(
+        lines[2].contains("\"cached\":true"),
+        "repeat must hit the cache: {}",
+        lines[2]
+    );
+}
+
+#[test]
 fn parse_errors_carry_position() {
     let facts = write_temp("bad.facts", "Pref(a b).");
     let rules = write_temp("ok.rules", "Pref(x,y), Pref(y,x) -> false.");

@@ -18,8 +18,8 @@
 
 use crate::explore::RepairDistribution;
 use ocqa_data::Constant;
-use ocqa_num::Rat;
 use ocqa_logic::Query;
+use ocqa_num::Rat;
 use std::collections::BTreeMap;
 
 /// The conditional probability `CP(t̄)` of Definition 7. Returns 0 when no
@@ -49,10 +49,7 @@ pub fn conditional_probability(
 /// Definition 7 formally ranges over every tuple in `dom(B(D,Σ))^{|x̄|}`;
 /// all tuples *not* listed here have `CP = 0`, so the returned map is the
 /// finite support of `OCA_{MΣ}(D, Q)`.
-pub fn operational_answers(
-    dist: &RepairDistribution,
-    query: &Query,
-) -> Vec<(Vec<Constant>, Rat)> {
+pub fn operational_answers(dist: &RepairDistribution, query: &Query) -> Vec<(Vec<Constant>, Rat)> {
     let denom = dist.success_mass();
     if denom.is_zero() {
         return Vec::new();
@@ -157,9 +154,12 @@ mod tests {
             "Pref(a,b). Pref(a,c). Pref(a,d). Pref(b,a). Pref(b,d). Pref(c,a).",
             "Pref(x,y), Pref(y,x) -> false.",
         );
-        let dist =
-            repair_distribution(&ctx, &PreferenceGenerator::new(), &ExploreOptions::default())
-                .unwrap();
+        let dist = repair_distribution(
+            &ctx,
+            &PreferenceGenerator::new(),
+            &ExploreOptions::default(),
+        )
+        .unwrap();
         let q = parser::parse_query("(x) <- forall y: (Pref(x,y) | x = y)").unwrap();
         let oca = operational_answers(&dist, &q);
         assert_eq!(oca.len(), 1);
@@ -187,9 +187,8 @@ mod tests {
         // chain has +T(a) (failing, 1/2) and −R(a) (success, 1/2). The
         // query S(x) holds in the single repair, so CP = (1/2)/(1/2) = 1.
         let ctx = make_ctx("R(a). S(a).", "R(x) -> T(x). T(x) -> false.");
-        let dist =
-            repair_distribution(&ctx, &UniformGenerator::new(), &ExploreOptions::default())
-                .unwrap();
+        let dist = repair_distribution(&ctx, &UniformGenerator::new(), &ExploreOptions::default())
+            .unwrap();
         assert_eq!(dist.success_mass(), Rat::ratio(1, 2));
         let q = parser::parse_query("(x) <- S(x)").unwrap();
         assert_eq!(
@@ -211,9 +210,8 @@ mod tests {
         // D consistent? Then denominator is 1… instead test the explicit
         // zero-denominator convention with a handcrafted distribution.
         let ctx = make_ctx("R(a).", "R(x) -> T(x). T(x) -> false.");
-        let dist =
-            repair_distribution(&ctx, &UniformGenerator::new(), &ExploreOptions::default())
-                .unwrap();
+        let dist = repair_distribution(&ctx, &UniformGenerator::new(), &ExploreOptions::default())
+            .unwrap();
         // This distribution does have one repair (∅); probe a tuple that is
         // in no repair.
         let q = parser::parse_query("(x) <- R(x)").unwrap();
@@ -229,16 +227,12 @@ mod tests {
         // Three uniform repairs of {R(a,b), R(a,c)}: {b}, {c}, {} — the
         // projection query has 1, 1, 0 answers.
         let ctx = make_ctx("R(a,b). R(a,c).", "R(x,y), R(x,z) -> y = z.");
-        let dist =
-            repair_distribution(&ctx, &UniformGenerator::new(), &ExploreOptions::default())
-                .unwrap();
+        let dist = repair_distribution(&ctx, &UniformGenerator::new(), &ExploreOptions::default())
+            .unwrap();
         let q = parser::parse_query("(y) <- exists x: R(x,y)").unwrap();
         assert_eq!(expected_count(&dist, &q), Rat::ratio(2, 3));
         let cd = count_distribution(&dist, &q);
-        assert_eq!(
-            cd,
-            vec![(0, Rat::ratio(1, 3)), (1, Rat::ratio(2, 3))]
-        );
+        assert_eq!(cd, vec![(0, Rat::ratio(1, 3)), (1, Rat::ratio(2, 3))]);
         // Mean of the count distribution equals expected_count.
         let mean: Rat = cd
             .iter()
@@ -256,9 +250,12 @@ mod tests {
             "Pref(a,b). Pref(a,c). Pref(a,d). Pref(b,a). Pref(b,d). Pref(c,a).",
             "Pref(x,y), Pref(y,x) -> false.",
         );
-        let dist =
-            repair_distribution(&ctx, &PreferenceGenerator::new(), &ExploreOptions::default())
-                .unwrap();
+        let dist = repair_distribution(
+            &ctx,
+            &PreferenceGenerator::new(),
+            &ExploreOptions::default(),
+        )
+        .unwrap();
         let q = parser::parse_query("(x) <- forall y: (Pref(x,y) | x = y)").unwrap();
         assert_eq!(
             uniform_repair_fraction(&dist, &q, &[Constant::named("a")]),
@@ -275,9 +272,8 @@ mod tests {
         // R(a,b) conflicts with R(a,c); S(q) is untouched, so S-answers are
         // certain while R-answers split.
         let ctx = make_ctx("R(a,b). R(a,c). S(q).", "R(x,y), R(x,z) -> y = z.");
-        let dist =
-            repair_distribution(&ctx, &UniformGenerator::new(), &ExploreOptions::default())
-                .unwrap();
+        let dist = repair_distribution(&ctx, &UniformGenerator::new(), &ExploreOptions::default())
+            .unwrap();
         let qs = parser::parse_query("(x) <- S(x)").unwrap();
         assert_eq!(
             certain_answers(&dist, &qs),

@@ -120,8 +120,14 @@ mod tests {
         let base = BaseDomain::new(&db, &sigma);
         assert_eq!(base.constants().len(), 3); // a, b, k
         assert!(base.contains(&Fact::parts("S", &["k", "a"])));
-        assert!(!base.contains(&Fact::parts("S", &["z", "a"])), "z is not a constant");
-        assert!(!base.contains(&Fact::parts("T", &["a", "b"])), "unknown relation");
+        assert!(
+            !base.contains(&Fact::parts("S", &["z", "a"])),
+            "z is not a constant"
+        );
+        assert!(
+            !base.contains(&Fact::parts("T", &["a", "b"])),
+            "unknown relation"
+        );
         // |B| = 3² + 3² = 18 for R/2 and S/2.
         assert_eq!(base.size(), 18);
     }

@@ -9,8 +9,8 @@
 //! as an indented text report (`ocqa trace` in the CLI).
 
 use crate::{justified, ChainGenerator, GeneratorError, Operation, RepairContext, RepairState};
-use ocqa_num::Rat;
 use ocqa_logic::Violation;
+use ocqa_num::Rat;
 use rand::rngs::StdRng;
 use std::fmt;
 use std::sync::Arc;
@@ -67,7 +67,11 @@ impl fmt::Display for Trace {
         writeln!(
             f,
             "{} sequence with probability {}",
-            if self.successful { "successful" } else { "FAILING" },
+            if self.successful {
+                "successful"
+            } else {
+                "FAILING"
+            },
             self.probability
         )?;
         write!(f, "final instance: {}", self.final_instance)

@@ -325,9 +325,12 @@ mod tests {
     #[test]
     fn example6_repair_distribution() {
         let ctx = pref_ctx();
-        let dist =
-            repair_distribution(&ctx, &PreferenceGenerator::new(), &ExploreOptions::default())
-                .unwrap();
+        let dist = repair_distribution(
+            &ctx,
+            &PreferenceGenerator::new(),
+            &ExploreOptions::default(),
+        )
+        .unwrap();
         assert_eq!(dist.repairs().len(), 4);
         assert!(dist.failing_mass().is_zero());
         assert!(dist.success_mass().is_one());
@@ -348,9 +351,12 @@ mod tests {
     #[test]
     fn example6_each_repair_from_two_sequences() {
         let ctx = pref_ctx();
-        let dist =
-            repair_distribution(&ctx, &PreferenceGenerator::new(), &ExploreOptions::default())
-                .unwrap();
+        let dist = repair_distribution(
+            &ctx,
+            &PreferenceGenerator::new(),
+            &ExploreOptions::default(),
+        )
+        .unwrap();
         for info in dist.repairs() {
             assert_eq!(info.sequences, 2, "two orders per deletion pair");
             assert!(
@@ -400,9 +406,8 @@ mod tests {
         // remove both atoms of a conflict appear (they are not ABC repairs,
         // but they are operational ones).
         let ctx = make_ctx("R(a,b). R(a,c).", "R(x,y), R(x,z) -> y = z.");
-        let dist =
-            repair_distribution(&ctx, &UniformGenerator::new(), &ExploreOptions::default())
-                .unwrap();
+        let dist = repair_distribution(&ctx, &UniformGenerator::new(), &ExploreOptions::default())
+            .unwrap();
         // Repairs: {R(a,b)}, {R(a,c)}, {} — with probabilities 1/3 each.
         assert_eq!(dist.repairs().len(), 3);
         for info in dist.repairs() {
@@ -417,9 +422,8 @@ mod tests {
         // Σ = {R(x) → T(x); T(x) → ⊥}. Uniform chain: +T(a) (failing) and
         // −R(a) (success), each 1/2.
         let ctx = make_ctx("R(a).", "R(x) -> T(x). T(x) -> false.");
-        let dist =
-            repair_distribution(&ctx, &UniformGenerator::new(), &ExploreOptions::default())
-                .unwrap();
+        let dist = repair_distribution(&ctx, &UniformGenerator::new(), &ExploreOptions::default())
+            .unwrap();
         assert_eq!(*dist.failing_mass(), r(1, 2));
         assert_eq!(dist.success_mass(), r(1, 2));
         assert_eq!(dist.repairs().len(), 1);
@@ -429,9 +433,8 @@ mod tests {
     #[test]
     fn probability_of_unknown_instance_is_zero() {
         let ctx = make_ctx("R(a,b). R(a,c).", "R(x,y), R(x,z) -> y = z.");
-        let dist =
-            repair_distribution(&ctx, &UniformGenerator::new(), &ExploreOptions::default())
-                .unwrap();
+        let dist = repair_distribution(&ctx, &UniformGenerator::new(), &ExploreOptions::default())
+            .unwrap();
         // The original inconsistent instance is never a repair.
         assert_eq!(dist.probability_of(ctx.d0()), Rat::zero());
     }
@@ -439,9 +442,8 @@ mod tests {
     #[test]
     fn consistent_input_yields_identity_repair() {
         let ctx = make_ctx("R(a,b). S(x).", "R(x,y), R(x,z) -> y = z.");
-        let dist =
-            repair_distribution(&ctx, &UniformGenerator::new(), &ExploreOptions::default())
-                .unwrap();
+        let dist = repair_distribution(&ctx, &UniformGenerator::new(), &ExploreOptions::default())
+            .unwrap();
         assert_eq!(dist.repairs().len(), 1);
         assert!(dist.repairs()[0].db.same_facts(ctx.d0()));
         assert!(dist.repairs()[0].probability.is_one());
@@ -461,6 +463,9 @@ mod tests {
             },
         )
         .unwrap_err();
-        assert!(matches!(err, ExploreError::BudgetExceeded { max_states: 5 }));
+        assert!(matches!(
+            err,
+            ExploreError::BudgetExceeded { max_states: 5 }
+        ));
     }
 }

@@ -282,7 +282,10 @@ impl TrustGenerator {
     }
 
     fn tr(&self, f: &Fact) -> Rat {
-        self.trust.get(f).cloned().unwrap_or_else(|| self.default_trust.clone())
+        self.trust
+            .get(f)
+            .cloned()
+            .unwrap_or_else(|| self.default_trust.clone())
     }
 }
 
@@ -338,12 +341,15 @@ impl ChainGenerator for TrustGenerator {
     }
 }
 
+/// The weight-assignment callback wrapped by [`WeightFnGenerator`].
+pub type WeightFn = Arc<dyn Fn(&RepairState, &[Operation]) -> Vec<Rat> + Send + Sync>;
+
 /// A generator defined by an arbitrary weight function — the extension
 /// point for applications with their own likelihood models.
 #[derive(Clone)]
 pub struct WeightFnGenerator {
     name: String,
-    f: Arc<dyn Fn(&RepairState, &[Operation]) -> Vec<Rat> + Send + Sync>,
+    f: WeightFn,
 }
 
 impl WeightFnGenerator {
@@ -383,9 +389,9 @@ pub(crate) fn trust_pair_outcomes(ta: &Rat, tb: &Rat) -> (Rat, Rat, Rat) {
     let tr_b = tb.div_ref(&total);
     let not_both = Rat::one() - tr_a.mul_ref(&tr_b);
     (
-        tr_b.mul_ref(&not_both),                            // remove α
-        tr_a.mul_ref(&not_both),                            // remove β
-        (Rat::one() - &tr_a) * (Rat::one() - &tr_b),        // remove both
+        tr_b.mul_ref(&not_both),                     // remove α
+        tr_a.mul_ref(&not_both),                     // remove β
+        (Rat::one() - &tr_a) * (Rat::one() - &tr_b), // remove both
     )
 }
 
@@ -520,7 +526,9 @@ mod tests {
     fn validation_rejects_bad_sums() {
         let s = state("R(a,b). R(a,c).", "R(x,y), R(x,z) -> y = z.");
         let ops = s.extensions();
-        let g = WeightFnGenerator::new("half", |_, ops| vec![Rat::ratio(1, 2 * ops.len() as i64); ops.len()]);
+        let g = WeightFnGenerator::new("half", |_, ops| {
+            vec![Rat::ratio(1, 2 * ops.len() as i64); ops.len()]
+        });
         assert!(matches!(
             g.validated(&s, &ops),
             Err(GeneratorError::NotADistribution { .. })

@@ -28,8 +28,7 @@ pub fn justified_operations(
         insertion_candidates_for(sigma, base, db, v, &mut out);
     }
     debug_assert!(
-        out.iter()
-            .all(|op| is_justified(op, sigma, db, violations)),
+        out.iter().all(|op| is_justified(op, sigma, db, violations)),
         "generated a candidate that fails the literal Definition 3 check"
     );
     out.into_iter().collect()
@@ -54,7 +53,10 @@ fn deletion_candidates_for(
     if n == 0 {
         return;
     }
-    assert!(n <= 16, "violation body image too large to enumerate subsets");
+    assert!(
+        n <= 16,
+        "violation body image too large to enumerate subsets"
+    );
     for mask in 1u32..(1 << n) {
         let subset: Vec<Fact> = (0..n)
             .filter(|i| mask & (1 << i) != 0)
@@ -134,9 +136,7 @@ pub fn is_justified(
     db: &Database,
     violations: &ViolationSet,
 ) -> bool {
-    violations
-        .iter()
-        .any(|v| justifies(op, sigma, db, v))
+    violations.iter().any(|v| justifies(op, sigma, db, v))
 }
 
 /// Whether violation `v` justifies `op` per Definition 3.
@@ -258,10 +258,9 @@ mod tests {
     /// Σ = {σ: R(x,y) → ∃z S(x,y,z); η: R(x,y), R(x,z) → y = z}.
     fn example1() -> (Database, ConstraintSet, BaseDomain) {
         let facts = parser::parse_facts("R(a,b). R(a,c). T(a,b).").unwrap();
-        let sigma = parser::parse_constraints(
-            "R(x,y) -> exists z: S(x,y,z). R(x,y), R(x,z) -> y = z.",
-        )
-        .unwrap();
+        let sigma =
+            parser::parse_constraints("R(x,y) -> exists z: S(x,y,z). R(x,y), R(x,z) -> y = z.")
+                .unwrap();
         let schema = parser::infer_schema(&facts, &sigma).unwrap();
         let db = Database::from_facts(schema, facts).unwrap();
         let base = BaseDomain::new(&db, &sigma);
@@ -365,10 +364,9 @@ mod tests {
     #[test]
     fn consistent_database_has_no_justified_ops() {
         let facts = parser::parse_facts("R(a,b). S(a,b,q).").unwrap();
-        let sigma = parser::parse_constraints(
-            "R(x,y) -> exists z: S(x,y,z). R(x,y), R(x,z) -> y = z.",
-        )
-        .unwrap();
+        let sigma =
+            parser::parse_constraints("R(x,y) -> exists z: S(x,y,z). R(x,y), R(x,z) -> y = z.")
+                .unwrap();
         let schema = parser::infer_schema(&facts, &sigma).unwrap();
         let db = Database::from_facts(schema, facts).unwrap();
         let base = BaseDomain::new(&db, &sigma);
@@ -383,7 +381,11 @@ mod tests {
         // justified w.r.t. D, but not w.r.t. D − {R(a,b)}.
         let (db, sigma, _) = example1();
         let fs = FactSet::new(vec![Fact::parts("S", &["a", "b", "c"])]);
-        assert!(insert_justified_in(&sigma, &fs, &PatchSource::identity(&db)));
+        assert!(insert_justified_in(
+            &sigma,
+            &fs,
+            &PatchSource::identity(&db)
+        ));
         let removed = PatchSource::with(&db, [], [Fact::parts("R", &["a", "b"])]);
         assert!(!insert_justified_in(&sigma, &fs, &removed));
     }

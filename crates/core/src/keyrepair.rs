@@ -24,8 +24,8 @@
 
 use crate::generators::trust_pair_outcomes;
 use ocqa_data::{Constant, Database, Fact, Symbol};
-use ocqa_num::Rat;
 use ocqa_logic::{DeletionOverlay, Query};
+use ocqa_num::Rat;
 use rand::rngs::StdRng;
 use rand::Rng;
 use std::collections::{BTreeMap, HashSet};
@@ -238,7 +238,12 @@ fn group_outcomes(
                     group.len()
                 )));
             }
-            let tr = |f: &Fact| trust.get(f).cloned().unwrap_or_else(|| default_trust.clone());
+            let tr = |f: &Fact| {
+                trust
+                    .get(f)
+                    .cloned()
+                    .unwrap_or_else(|| default_trust.clone())
+            };
             let (remove_a, remove_b, remove_both) =
                 trust_pair_outcomes(&tr(&group[0]), &tr(&group[1]));
             Ok(vec![
@@ -318,13 +323,13 @@ mod tests {
         .unwrap();
         let dist = sampler.exact_distribution();
         assert_eq!(dist.len(), 3);
-        let by_len: BTreeMap<usize, Rat> = dist
-            .iter()
-            .map(|(d, p)| (d.len(), p.clone()))
-            .fold(BTreeMap::new(), |mut m, (k, p)| {
+        let by_len: BTreeMap<usize, Rat> = dist.iter().map(|(d, p)| (d.len(), p.clone())).fold(
+            BTreeMap::new(),
+            |mut m, (k, p)| {
                 *m.entry(k).or_insert_with(Rat::zero) += &p;
                 m
-            });
+            },
+        );
         // Example 5: each single removal 3/8, both 1/4.
         assert_eq!(by_len[&1], Rat::ratio(3, 4));
         assert_eq!(by_len[&2], Rat::ratio(1, 4));
@@ -364,8 +369,7 @@ mod tests {
     #[test]
     fn no_violations_no_outcomes() {
         let db = db("R(a,1). R(b,2).");
-        let sampler =
-            KeyRepairSampler::new(&db, &cfg(), &GroupPolicy::KeepOneUniform).unwrap();
+        let sampler = KeyRepairSampler::new(&db, &cfg(), &GroupPolicy::KeepOneUniform).unwrap();
         assert!(sampler.groups().is_empty());
         let mut rng = StdRng::seed_from_u64(0);
         assert!(sampler.sample_deletions(&mut rng).is_empty());

@@ -19,7 +19,6 @@ use crate::explore::{self, ExploreError, ExploreOptions, RepairDistribution, Rep
 use crate::{ChainGenerator, RepairContext};
 use ocqa_data::{Database, Fact};
 use ocqa_num::Rat;
-use ocqa_logic::ViolationSet;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::sync::Arc;
@@ -56,7 +55,10 @@ impl fmt::Display for LocalizeError {
             }
             LocalizeError::Explore(e) => write!(f, "{e}"),
             LocalizeError::ProductTooLarge { combinations } => {
-                write!(f, "component product has {combinations} repairs; over budget")
+                write!(
+                    f,
+                    "component product has {combinations} repairs; over budget"
+                )
             }
         }
     }
@@ -74,7 +76,7 @@ impl From<ExploreError> for LocalizeError {
 /// some violation image, with an edge between facts sharing a violation;
 /// union-find over the violation images.
 pub fn conflict_components(ctx: &RepairContext) -> Components {
-    let violations = ViolationSet::compute(ctx.sigma(), ctx.d0());
+    let violations = ctx.initial_violations();
     let mut parent: BTreeMap<Fact, Fact> = BTreeMap::new();
 
     fn find(parent: &mut BTreeMap<Fact, Fact>, f: &Fact) -> Fact {
@@ -164,7 +166,11 @@ pub fn localized_distribution(
                 for f in info.db.facts() {
                     combined.insert(&f).expect("component facts fit the schema");
                 }
-                next.push((combined, p.mul_ref(&info.probability), seqs * info.sequences));
+                next.push((
+                    combined,
+                    p.mul_ref(&info.probability),
+                    seqs * info.sequences,
+                ));
             }
         }
         acc = next;
@@ -290,8 +296,7 @@ mod tests {
     fn consistent_database_single_trivial_repair() {
         let ctx = setup("R(a,1). R(b,2).", "R(x,y), R(x,z) -> y = z.");
         let gen = UniformGenerator::new();
-        let local =
-            localized_distribution(&ctx, &gen, &ExploreOptions::default()).unwrap();
+        let local = localized_distribution(&ctx, &gen, &ExploreOptions::default()).unwrap();
         assert_eq!(local.repairs().len(), 1);
         assert!(local.repairs()[0].db.same_facts(ctx.d0()));
         assert!(local.repairs()[0].probability.is_one());
@@ -315,6 +320,9 @@ mod tests {
             },
         )
         .unwrap_err();
-        assert!(matches!(err, LocalizeError::ProductTooLarge { combinations: 6561 }));
+        assert!(matches!(
+            err,
+            LocalizeError::ProductTooLarge { combinations: 6561 }
+        ));
     }
 }

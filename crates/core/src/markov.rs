@@ -235,6 +235,9 @@ impl SparseChain {
             for r in 0..nt {
                 if r != col && !m[r][col].is_zero() {
                     let factor = m[r][col].clone();
+                    // Indexing two rows of `m` at once; iterator forms
+                    // would need split borrows for no clarity gain.
+                    #[allow(clippy::needless_range_loop)]
                     for c in col..nt + na {
                         let delta = factor.mul_ref(&m[col][c]);
                         m[r][c] -= &delta;
@@ -316,8 +319,8 @@ mod tests {
         let total: Rat = hit.iter().sum();
         assert!(total.is_one());
         // Transient states have zero limit mass.
-        for s in 0..=4 {
-            assert!(hit[s].is_zero());
+        for p in &hit[0..=4] {
+            assert!(p.is_zero());
         }
     }
 

@@ -188,7 +188,10 @@ mod tests {
     #[test]
     fn operation_display_and_order() {
         let plus = Operation::insert(vec![Fact::parts("S", &["a", "b", "c"])]);
-        let minus = Operation::delete(vec![Fact::parts("R", &["a", "b"]), Fact::parts("R", &["a", "c"])]);
+        let minus = Operation::delete(vec![
+            Fact::parts("R", &["a", "b"]),
+            Fact::parts("R", &["a", "c"]),
+        ]);
         assert_eq!(plus.to_string(), "+{S(a,b,c)}");
         assert_eq!(minus.to_string(), "-{R(a,b), R(a,c)}");
         assert!(plus.is_insert() && !plus.is_delete());

@@ -18,8 +18,8 @@
 
 use crate::{ChainGenerator, GeneratorError, RepairContext, RepairState};
 use ocqa_data::{Constant, Database};
-use ocqa_num::{IBig, Rat};
 use ocqa_logic::Query;
+use ocqa_num::{IBig, Rat};
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 use std::collections::BTreeMap;
@@ -173,6 +173,9 @@ pub fn estimate_tuple_probability(
     })
 }
 
+/// Estimated `CP` per answer tuple, as returned by [`estimate_answers`].
+pub type AnswerFrequencies = Vec<(Vec<Constant>, f64)>;
+
 /// The §5 "temporary table" scheme: runs `n` walks, evaluates the whole
 /// query on every sampled repair, and returns the per-tuple frequencies —
 /// estimates of `CP` for *all* tuples simultaneously.
@@ -183,23 +186,10 @@ pub fn estimate_answers(
     eps: f64,
     delta: f64,
     rng: &mut StdRng,
-) -> Result<(Vec<(Vec<Constant>, f64)>, u64), SampleError> {
+) -> Result<(AnswerFrequencies, u64), SampleError> {
     let n = sample_size(eps, delta);
-    let mut tally: BTreeMap<Vec<Constant>, u64> = BTreeMap::new();
-    for _ in 0..n {
-        if let WalkOutcome::Repair(db) = sample_walk(ctx, gen, rng)? {
-            for tuple in query.answers(&db) {
-                *tally.entry(tuple).or_insert(0) += 1;
-            }
-        }
-    }
-    Ok((
-        tally
-            .into_iter()
-            .map(|(t, k)| (t, k as f64 / n as f64))
-            .collect(),
-        n,
-    ))
+    let tally = sample_tally(ctx, gen, query, n, rng)?;
+    Ok((tally.frequencies(), n))
 }
 
 /// Estimates the *conditional* probability for possibly-failing chains by
@@ -268,9 +258,80 @@ pub fn estimate_expected_count(
     Ok((total as f64 / n as f64, n))
 }
 
+/// The outcome of a batch of `Sample` walks, in mergeable form: per-tuple
+/// hit counts over the whole answer relation (the §5 "temporary table"
+/// scheme), plus failure diagnostics.
+///
+/// Tallies are pure sums, so [`SampleTally::merge`] is commutative and
+/// associative — partitioning a sample budget into chunks and merging the
+/// per-chunk tallies yields the same result in any order. `ocqa-engine`'s
+/// worker pool relies on this for answers that are bit-identical
+/// regardless of pool size.
+#[derive(Debug, Clone, Default)]
+pub struct SampleTally {
+    /// Hits per answer tuple across sampled repairs.
+    pub counts: BTreeMap<Vec<Constant>, u64>,
+    /// Walks performed.
+    pub walks: u64,
+    /// Walks that ended in a failing complete sequence.
+    pub failed_walks: u64,
+}
+
+impl SampleTally {
+    /// Folds another tally into this one.
+    pub fn merge(&mut self, other: SampleTally) {
+        for (tuple, k) in other.counts {
+            *self.counts.entry(tuple).or_insert(0) += k;
+        }
+        self.walks += other.walks;
+        self.failed_walks += other.failed_walks;
+    }
+
+    /// Per-tuple hit frequencies (the additive-error estimates of `CP`).
+    pub fn frequencies(&self) -> AnswerFrequencies {
+        self.counts
+            .iter()
+            .map(|(t, k)| (t.clone(), *k as f64 / self.walks as f64))
+            .collect()
+    }
+}
+
+/// Runs exactly `walks` sample walks, evaluating `query` on each sampled
+/// repair and tallying every answer tuple.
+///
+/// This is the thread-safe batch entry point behind both
+/// [`estimate_answers`] and `ocqa-engine`'s sampler pool: `ctx` and `gen`
+/// are shared (`RepairContext` and every [`ChainGenerator`] are
+/// `Send + Sync`), and each batch owns its RNG, so batches run on any
+/// thread and merge in any order.
+pub fn sample_tally(
+    ctx: &Arc<RepairContext>,
+    gen: &dyn ChainGenerator,
+    query: &Query,
+    walks: u64,
+    rng: &mut StdRng,
+) -> Result<SampleTally, SampleError> {
+    let mut tally = SampleTally {
+        walks,
+        ..SampleTally::default()
+    };
+    for _ in 0..walks {
+        match sample_walk(ctx, gen, rng)? {
+            WalkOutcome::Repair(db) => {
+                for tuple in query.answers(&db) {
+                    *tally.counts.entry(tuple).or_insert(0) += 1;
+                }
+            }
+            WalkOutcome::Failed(_) => tally.failed_walks += 1,
+        }
+    }
+    Ok(tally)
+}
+
 /// Multi-threaded version of [`estimate_tuple_probability`]: walks are
 /// split across `threads` workers, each with an independent RNG derived
 /// from `seed`.
+#[allow(clippy::too_many_arguments)]
 pub fn estimate_tuple_probability_parallel(
     ctx: &Arc<RepairContext>,
     gen: &dyn ChainGenerator,
@@ -484,17 +545,10 @@ mod tests {
         .unwrap();
         assert!((plain.value - 0.5).abs() < 0.15, "numerator ≈ 1/2");
         let mut rng = StdRng::seed_from_u64(22);
-        let ratio = estimate_conditional(
-            &ctx,
-            &gen,
-            &q,
-            &[Constant::named("a")],
-            0.1,
-            0.05,
-            &mut rng,
-        )
-        .unwrap()
-        .expect("some walk succeeds");
+        let ratio =
+            estimate_conditional(&ctx, &gen, &q, &[Constant::named("a")], 0.1, 0.05, &mut rng)
+                .unwrap()
+                .expect("some walk succeeds");
         assert_eq!(ratio.value, 1.0, "every successful repair satisfies S(a)");
         assert!(ratio.failed_walks > 0);
     }
@@ -510,9 +564,11 @@ mod tests {
         )
         .to_f64();
         let mut rng = StdRng::seed_from_u64(23);
-        let (est, _) =
-            estimate_expected_count(&ctx, &gen, &q, 0.05, 0.02, &mut rng).unwrap();
-        assert!((est - exact).abs() <= 0.1, "estimate {est} vs exact {exact}");
+        let (est, _) = estimate_expected_count(&ctx, &gen, &q, 0.05, 0.02, &mut rng).unwrap();
+        assert!(
+            (est - exact).abs() <= 0.1,
+            "estimate {est} vs exact {exact}"
+        );
     }
 
     #[test]

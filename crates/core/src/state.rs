@@ -8,19 +8,53 @@ use std::fmt;
 use std::sync::Arc;
 
 /// The immutable inputs of a repairing process: the original database
-/// `D`, the constraint set `Σ`, and the base `B(D, Σ)`.
+/// `D`, the constraint set `Σ`, the base `B(D, Σ)`, and the initial
+/// violation set `V(D, Σ)` (cached so every walk starting at `ε` does not
+/// recompute it).
 #[derive(Debug)]
 pub struct RepairContext {
     d0: Database,
     sigma: ConstraintSet,
     base: BaseDomain,
+    v0: ViolationSet,
 }
 
 impl RepairContext {
-    /// Builds a context (computes the base domain once).
+    /// Builds a context (computes the base domain and `V(D, Σ)` once).
     pub fn new(d0: Database, sigma: ConstraintSet) -> Arc<RepairContext> {
+        // Constructed directly rather than via `with_violations`: its
+        // debug assertion would recompute the set just derived here.
+        let v0 = ViolationSet::compute(&sigma, &d0);
         let base = BaseDomain::new(&d0, &sigma);
-        Arc::new(RepairContext { d0, sigma, base })
+        Arc::new(RepairContext {
+            d0,
+            sigma,
+            base,
+            v0,
+        })
+    }
+
+    /// Builds a context from a *pre-computed* violation set — the hook for
+    /// callers (e.g. `ocqa-engine`'s catalog) that maintain `V(D, Σ)`
+    /// incrementally across updates and must not pay a full recomputation
+    /// per snapshot. Debug builds verify the handed-over set.
+    pub fn with_violations(
+        d0: Database,
+        sigma: ConstraintSet,
+        v0: ViolationSet,
+    ) -> Arc<RepairContext> {
+        debug_assert_eq!(
+            v0,
+            ViolationSet::compute(&sigma, &d0),
+            "incrementally maintained violation set out of sync with the database"
+        );
+        let base = BaseDomain::new(&d0, &sigma);
+        Arc::new(RepairContext {
+            d0,
+            sigma,
+            base,
+            v0,
+        })
     }
 
     /// The original database `D`.
@@ -37,7 +71,20 @@ impl RepairContext {
     pub fn base(&self) -> &BaseDomain {
         &self.base
     }
+
+    /// The initial violation set `V(D, Σ)`.
+    pub fn initial_violations(&self) -> &ViolationSet {
+        &self.v0
+    }
 }
+
+// The sampling pool in `ocqa-engine` shares one context across worker
+// threads; keep that guarantee explicit.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<RepairContext>();
+    assert_send_sync::<RepairState>();
+};
 
 /// Bookkeeping for one applied insertion `+F`, needed for the *global
 /// justification of additions* (Definition 4, condition 3): the pre-state
@@ -80,7 +127,7 @@ pub struct RepairState {
 impl RepairState {
     /// The initial state `ε` (empty sequence) on `ctx.d0()`.
     pub fn initial(ctx: Arc<RepairContext>) -> RepairState {
-        let violations = ViolationSet::compute(ctx.sigma(), ctx.d0());
+        let violations = ctx.initial_violations().clone();
         RepairState {
             db: ctx.d0().clone(),
             ctx,
@@ -214,8 +261,7 @@ impl RepairState {
                     next.removed.insert(f.clone());
                 }
                 for rec in &mut next.additions {
-                    rec.deletions_since
-                        .extend(fs.facts().iter().cloned());
+                    rec.deletions_since.extend(fs.facts().iter().cloned());
                 }
             }
         }

@@ -327,9 +327,7 @@ mod tests {
             assert!(
                 matches!(
                     err,
-                    CodecError::BadMagic
-                        | CodecError::UnexpectedEof
-                        | CodecError::TrailingBytes(_)
+                    CodecError::BadMagic | CodecError::UnexpectedEof | CodecError::TrailingBytes(_)
                 ),
                 "cut at {cut}: unexpected {err:?}"
             );

@@ -129,9 +129,8 @@ impl Database {
     pub fn facts(&self) -> impl Iterator<Item = Fact> + '_ {
         let mut rels: Vec<_> = self.relations.iter().collect();
         rels.sort_by_key(|(r, _)| **r);
-        rels.into_iter().flat_map(|(r, store)| {
-            store.iter().map(move |row| Fact::new(*r, row.to_vec()))
-        })
+        rels.into_iter()
+            .flat_map(|(r, store)| store.iter().map(move |row| Fact::new(*r, row.to_vec())))
     }
 
     /// The active domain `dom(D)`: all constants occurring in some fact.

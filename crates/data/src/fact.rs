@@ -94,7 +94,7 @@ mod tests {
 
     #[test]
     fn canonical_order() {
-        let mut v = vec![
+        let mut v = [
             Fact::parts("S", &["a"]),
             Fact::parts("R", &["b"]),
             Fact::parts("R", &["a"]),

@@ -207,7 +207,10 @@ mod tests {
             .relation("R", 3)
             .build()
             .unwrap_err();
-        assert_eq!(err, SchemaError::ConflictingDeclaration(Symbol::intern("R")));
+        assert_eq!(
+            err,
+            SchemaError::ConflictingDeclaration(Symbol::intern("R"))
+        );
         // Redeclaring with the same arity is fine.
         assert!(Schema::builder()
             .relation("R", 2)

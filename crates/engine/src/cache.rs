@@ -1,0 +1,196 @@
+//! The answer cache: an LRU over fully-qualified answer computations.
+//!
+//! A cached entry is keyed by everything that determines the sampled
+//! answer bit-for-bit: database name **and version**, query text,
+//! generator name, ε/δ (as exact bit patterns) and the seed. Catalog
+//! updates bump the version, so stale entries can never be served; they
+//! are additionally purged eagerly ([`AnswerCache::invalidate_db`]) so a
+//! hot database with frequent updates cannot fill the cache with dead
+//! versions.
+
+use ocqa_core::sample::SampleTally;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Cache key: the full provenance of an answer computation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Database name.
+    pub db: String,
+    /// Database version at computation time.
+    pub version: u64,
+    /// Query source text.
+    pub query: String,
+    /// Generator name.
+    pub generator: String,
+    /// `ε` as IEEE-754 bits (hashable, no rounding surprises).
+    pub eps_bits: u64,
+    /// `δ` as IEEE-754 bits.
+    pub delta_bits: u64,
+    /// Sampling seed.
+    pub seed: u64,
+}
+
+/// Counters exposed in responses and `stats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a live entry.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries dropped by explicit invalidation.
+    pub invalidated: u64,
+    /// Entries evicted by capacity pressure.
+    pub evicted: u64,
+}
+
+struct Slot {
+    // Arc so a hit is a pointer copy, not a deep clone of the tally's
+    // tuple map under the cache lock.
+    tally: Arc<SampleTally>,
+    last_used: u64,
+}
+
+/// A least-recently-used cache of answer tallies.
+pub struct AnswerCache {
+    capacity: usize,
+    slots: HashMap<CacheKey, Slot>,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl AnswerCache {
+    /// A cache holding at most `capacity` entries (min 1).
+    pub fn new(capacity: usize) -> AnswerCache {
+        AnswerCache {
+            capacity: capacity.max(1),
+            slots: HashMap::new(),
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Looks up a key, refreshing its recency on hit.
+    pub fn get(&mut self, key: &CacheKey) -> Option<Arc<SampleTally>> {
+        self.tick += 1;
+        match self.slots.get_mut(key) {
+            Some(slot) => {
+                slot.last_used = self.tick;
+                self.stats.hits += 1;
+                Some(slot.tally.clone())
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a computed tally, evicting the least-recently-used entry
+    /// if the cache is full.
+    pub fn insert(&mut self, key: CacheKey, tally: Arc<SampleTally>) {
+        self.tick += 1;
+        if self.slots.len() >= self.capacity && !self.slots.contains_key(&key) {
+            if let Some(oldest) = self
+                .slots
+                .iter()
+                .min_by_key(|(_, s)| s.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                self.slots.remove(&oldest);
+                self.stats.evicted += 1;
+            }
+        }
+        self.slots.insert(
+            key,
+            Slot {
+                tally,
+                last_used: self.tick,
+            },
+        );
+    }
+
+    /// Purges every entry of a database (any version). Called on catalog
+    /// updates and drops.
+    pub fn invalidate_db(&mut self, db: &str) {
+        let before = self.slots.len();
+        self.slots.retain(|k, _| k.db != db);
+        self.stats.invalidated += (before - self.slots.len()) as u64;
+    }
+
+    /// Live entry count.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(db: &str, version: u64, seed: u64) -> CacheKey {
+        CacheKey {
+            db: db.into(),
+            version,
+            query: "(x) <- R(x)".into(),
+            generator: "uniform".into(),
+            eps_bits: 0.1f64.to_bits(),
+            delta_bits: 0.1f64.to_bits(),
+            seed,
+        }
+    }
+
+    fn tally(walks: u64) -> Arc<SampleTally> {
+        Arc::new(SampleTally {
+            walks,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn hit_miss_and_version_separation() {
+        let mut cache = AnswerCache::new(8);
+        assert!(cache.get(&key("db", 1, 0)).is_none());
+        cache.insert(key("db", 1, 0), tally(150));
+        assert_eq!(cache.get(&key("db", 1, 0)).unwrap().walks, 150);
+        assert!(cache.get(&key("db", 2, 0)).is_none(), "new version misses");
+        assert!(cache.get(&key("db", 1, 7)).is_none(), "new seed misses");
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (1, 3));
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut cache = AnswerCache::new(2);
+        cache.insert(key("a", 1, 0), tally(1));
+        cache.insert(key("b", 1, 0), tally(2));
+        cache.get(&key("a", 1, 0)); // refresh a
+        cache.insert(key("c", 1, 0), tally(3)); // evicts b
+        assert!(cache.get(&key("b", 1, 0)).is_none());
+        assert!(cache.get(&key("a", 1, 0)).is_some());
+        assert!(cache.get(&key("c", 1, 0)).is_some());
+        assert_eq!(cache.stats().evicted, 1);
+    }
+
+    #[test]
+    fn invalidate_db_purges_all_versions() {
+        let mut cache = AnswerCache::new(8);
+        cache.insert(key("a", 1, 0), tally(1));
+        cache.insert(key("a", 2, 0), tally(2));
+        cache.insert(key("b", 1, 0), tally(3));
+        cache.invalidate_db("a");
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats().invalidated, 2);
+        assert!(cache.get(&key("b", 1, 0)).is_some());
+    }
+}

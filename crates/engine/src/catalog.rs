@@ -1,0 +1,436 @@
+//! The catalog: named, versioned databases with incremental violation
+//! maintenance.
+//!
+//! Each entry owns a [`Database`], its constraint set, and the current
+//! violation set `V(D, Σ)` — maintained through
+//! [`ocqa_logic::incremental::update_violations`] on every insert/delete
+//! batch instead of recomputed from scratch (the catalog is long-lived;
+//! recomputation would make every small update `O(|D|^{|body|})`).
+//!
+//! Every successful update bumps the entry's **version**. Snapshots for
+//! sampling ([`Catalog::context`]) are memoized per version and built via
+//! [`RepairContext::with_violations`], handing the maintained violation
+//! set over to the repair machinery, so preparing a walk after an update
+//! costs one base-domain rebuild — never a full violation recomputation.
+
+use crate::error::EngineError;
+use ocqa_core::RepairContext;
+use ocqa_data::{Database, Fact};
+use ocqa_logic::{incremental, parser, ConstraintSet, ViolationSet};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One named database under management.
+struct CatalogEntry {
+    db: Database,
+    sigma: ConstraintSet,
+    violations: ViolationSet,
+    version: u64,
+    /// Memoized sampling snapshot for `version`. Interior mutability so
+    /// [`Catalog::context`] works under the catalog's *read* lock —
+    /// concurrent answers must not serialize on the write lock.
+    snapshot: Mutex<Option<Arc<RepairContext>>>,
+}
+
+/// Summary of an entry, for list/status responses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DatabaseInfo {
+    /// Entry name.
+    pub name: String,
+    /// Current version: drawn from a catalog-global monotonic counter,
+    /// bumped by every *effective* update and never reused — so a
+    /// drop + recreate cycle can never alias an old version in answer
+    /// cache keys.
+    pub version: u64,
+    /// Number of facts.
+    pub facts: usize,
+    /// Number of current violations.
+    pub violations: usize,
+}
+
+/// Result of an update batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UpdateOutcome {
+    /// Facts actually inserted (absent before, present now).
+    pub inserted: usize,
+    /// Facts actually removed (present before, absent now).
+    pub removed: usize,
+    /// The entry's version after the update.
+    pub version: u64,
+    /// Violations after the update.
+    pub violations: usize,
+}
+
+/// Named, versioned databases (wrap in a lock for concurrent use; the
+/// engine holds it behind a `parking_lot::RwLock`).
+#[derive(Default)]
+pub struct Catalog {
+    entries: HashMap<String, CatalogEntry>,
+    /// Catalog-lifetime version counter; see [`DatabaseInfo::version`].
+    next_version: u64,
+}
+
+/// A database parsed and validated *outside* any catalog lock: the
+/// expensive work of `create_db` (parsing and the initial
+/// `ViolationSet::compute`) happens here, so the engine only takes the
+/// catalog write lock for the cheap [`Catalog::install`] step.
+pub struct ParsedDatabase {
+    db: Database,
+    sigma: ConstraintSet,
+    violations: ViolationSet,
+}
+
+impl ParsedDatabase {
+    /// Parses fact and constraint source text and computes `V(D, Σ)`.
+    /// The schema is inferred from both, exactly as the one-shot CLI does.
+    pub fn parse(facts_src: &str, constraints_src: &str) -> Result<ParsedDatabase, EngineError> {
+        let facts =
+            parser::parse_facts(facts_src).map_err(|e| EngineError::Parse(e.to_string()))?;
+        let sigma = parser::parse_constraints(constraints_src)
+            .map_err(|e| EngineError::Parse(e.to_string()))?;
+        let schema =
+            parser::infer_schema(&facts, &sigma).map_err(|e| EngineError::Parse(e.to_string()))?;
+        let db =
+            Database::from_facts(schema, facts).map_err(|e| EngineError::Schema(e.to_string()))?;
+        let violations = ViolationSet::compute(&sigma, &db);
+        Ok(ParsedDatabase {
+            db,
+            sigma,
+            violations,
+        })
+    }
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Creates a database from fact and constraint source text
+    /// (convenience wrapper: [`ParsedDatabase::parse`] + [`install`]).
+    ///
+    /// [`install`]: Catalog::install
+    pub fn create(
+        &mut self,
+        name: &str,
+        facts_src: &str,
+        constraints_src: &str,
+    ) -> Result<DatabaseInfo, EngineError> {
+        let parsed = ParsedDatabase::parse(facts_src, constraints_src)?;
+        self.install(name, parsed)
+    }
+
+    /// Installs an already-parsed database under `name` (cheap; safe to
+    /// call under the engine's write lock).
+    pub fn install(
+        &mut self,
+        name: &str,
+        parsed: ParsedDatabase,
+    ) -> Result<DatabaseInfo, EngineError> {
+        if self.entries.contains_key(name) {
+            return Err(EngineError::DatabaseExists(name.to_string()));
+        }
+        self.next_version += 1;
+        let entry = CatalogEntry {
+            db: parsed.db,
+            sigma: parsed.sigma,
+            violations: parsed.violations,
+            version: self.next_version,
+            snapshot: Mutex::new(None),
+        };
+        let info = entry.info(name);
+        self.entries.insert(name.to_string(), entry);
+        Ok(info)
+    }
+
+    /// Drops a database; returns whether it existed.
+    pub fn drop_db(&mut self, name: &str) -> bool {
+        self.entries.remove(name).is_some()
+    }
+
+    /// Applies an insert/delete batch of facts (given as fact-list source
+    /// text), maintaining the violation index incrementally and bumping
+    /// the version. No-op facts (inserting a present fact, deleting an
+    /// absent one) are skipped and don't appear in the outcome counts.
+    pub fn update(
+        &mut self,
+        name: &str,
+        insert_src: &str,
+        delete_src: &str,
+    ) -> Result<UpdateOutcome, EngineError> {
+        let inserts =
+            parser::parse_facts(insert_src).map_err(|e| EngineError::Parse(e.to_string()))?;
+        let deletes =
+            parser::parse_facts(delete_src).map_err(|e| EngineError::Parse(e.to_string()))?;
+        self.update_parsed(name, &inserts, &deletes)
+    }
+
+    /// [`update`](Catalog::update) with the fact lists already parsed
+    /// (the engine parses outside the catalog lock). The remaining work
+    /// under the lock is proportional to the update's neighbourhood
+    /// (semi-naive incremental maintenance), not the database size.
+    pub fn update_parsed(
+        &mut self,
+        name: &str,
+        inserts: &[Fact],
+        deletes: &[Fact],
+    ) -> Result<UpdateOutcome, EngineError> {
+        let entry = self
+            .entries
+            .get_mut(name)
+            .ok_or_else(|| EngineError::UnknownDatabase(name.to_string()))?;
+
+        // Apply on a scratch copy first so a schema error midway leaves
+        // the entry untouched.
+        let mut db = entry.db.clone();
+        let mut added: Vec<Fact> = Vec::new();
+        let mut removed: Vec<Fact> = Vec::new();
+        for f in inserts {
+            if db
+                .insert(f)
+                .map_err(|e| EngineError::Schema(e.to_string()))?
+            {
+                added.push(f.clone());
+            }
+        }
+        for f in deletes {
+            if db.remove(f) {
+                removed.push(f.clone());
+            }
+        }
+        // `update_violations` requires `added ⊆ db`, `removed ∩ db = ∅`,
+        // the two lists disjoint, and both expressed relative to the
+        // pre-state. A fact appearing in both batches (inserted here,
+        // then deleted again) would break that; keep only the *net*
+        // effect between the pre-state (`entry.db`) and the post-state.
+        added.retain(|f| db.contains(f) && !entry.db.contains(f));
+        removed.retain(|f| !db.contains(f) && entry.db.contains(f));
+        if added.is_empty() && removed.is_empty() {
+            // Nothing actually changed: keep the version (and with it the
+            // memoized snapshot and every cached answer) — idempotent
+            // retries must not flush the caches.
+            return Ok(UpdateOutcome {
+                inserted: 0,
+                removed: 0,
+                version: entry.version,
+                violations: entry.violations.len(),
+            });
+        }
+        let violations =
+            incremental::update_violations(&entry.sigma, &db, &entry.violations, &added, &removed);
+        self.next_version += 1;
+        entry.db = db;
+        entry.violations = violations;
+        entry.version = self.next_version;
+        *entry.snapshot.get_mut() = None;
+        Ok(UpdateOutcome {
+            inserted: added.len(),
+            removed: removed.len(),
+            version: entry.version,
+            violations: entry.violations.len(),
+        })
+    }
+
+    /// The sampling snapshot for a database: an `Arc<RepairContext>` built
+    /// from the maintained violation set, memoized until the next update.
+    /// Also returns the entry's current version (the cache key component).
+    ///
+    /// Takes `&self`: the engine calls this under the catalog's shared
+    /// read lock, so concurrent answers never serialize on each other; a
+    /// cold rebuild after an update only briefly holds the per-entry
+    /// snapshot mutex.
+    pub fn context(&self, name: &str) -> Result<(Arc<RepairContext>, u64), EngineError> {
+        let entry = self
+            .entries
+            .get(name)
+            .ok_or_else(|| EngineError::UnknownDatabase(name.to_string()))?;
+        let mut snapshot = entry.snapshot.lock();
+        if snapshot.is_none() {
+            *snapshot = Some(RepairContext::with_violations(
+                entry.db.clone(),
+                entry.sigma.clone(),
+                entry.violations.clone(),
+            ));
+        }
+        Ok((
+            snapshot.as_ref().expect("just memoized").clone(),
+            entry.version,
+        ))
+    }
+
+    /// Number of databases under management.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Info for one entry.
+    pub fn info(&self, name: &str) -> Result<DatabaseInfo, EngineError> {
+        self.entries
+            .get(name)
+            .map(|e| e.info(name))
+            .ok_or_else(|| EngineError::UnknownDatabase(name.to_string()))
+    }
+
+    /// Info for every entry, sorted by name.
+    pub fn list(&self) -> Vec<DatabaseInfo> {
+        let mut out: Vec<DatabaseInfo> =
+            self.entries.iter().map(|(name, e)| e.info(name)).collect();
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
+    }
+}
+
+impl CatalogEntry {
+    fn info(&self, name: &str) -> DatabaseInfo {
+        DatabaseInfo {
+            name: name.to_string(),
+            version: self.version,
+            facts: self.db.len(),
+            violations: self.violations.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocqa_logic::ViolationSet;
+
+    #[test]
+    fn create_update_drop_lifecycle() {
+        let mut cat = Catalog::new();
+        let info = cat
+            .create("prefs", "R(a,b). R(a,c).", "R(x,y), R(x,z) -> y = z.")
+            .unwrap();
+        assert_eq!((info.version, info.facts, info.violations), (1, 2, 2));
+        assert!(matches!(
+            cat.create("prefs", "", ""),
+            Err(EngineError::DatabaseExists(_))
+        ));
+
+        let out = cat.update("prefs", "R(b,b).", "R(a,c).").unwrap();
+        assert_eq!((out.inserted, out.removed, out.version), (1, 1, 2));
+        assert_eq!(out.violations, 0, "conflict resolved by the delete");
+
+        assert!(cat.drop_db("prefs"));
+        assert!(!cat.drop_db("prefs"));
+        assert!(matches!(
+            cat.update("prefs", "", ""),
+            Err(EngineError::UnknownDatabase(_))
+        ));
+    }
+
+    #[test]
+    fn incremental_violations_match_recompute() {
+        let mut cat = Catalog::new();
+        cat.create(
+            "db",
+            "T(a,b). R(a,b). R(a,c).",
+            "T(x,y) -> R(x,y). R(x,y), R(x,z) -> y = z.",
+        )
+        .unwrap();
+        cat.update("db", "T(q,r). R(b,b).", "R(a,b).").unwrap();
+        cat.update("db", "", "T(a,b).").unwrap();
+        let (ctx, version) = cat.context("db").unwrap();
+        assert_eq!(version, 3);
+        assert_eq!(
+            ctx.initial_violations(),
+            &ViolationSet::compute(ctx.sigma(), ctx.d0()),
+            "maintained set must equal recomputation"
+        );
+    }
+
+    #[test]
+    fn snapshot_memoized_per_version() {
+        let mut cat = Catalog::new();
+        cat.create("db", "R(a,b). R(a,c).", "R(x,y), R(x,z) -> y = z.")
+            .unwrap();
+        let (c1, v1) = cat.context("db").unwrap();
+        let (c2, v2) = cat.context("db").unwrap();
+        assert!(Arc::ptr_eq(&c1, &c2), "same version shares the snapshot");
+        assert_eq!(v1, v2);
+        cat.update("db", "S(z).", "").unwrap_err(); // unknown relation: schema error
+        let (c3, v3) = cat.context("db").unwrap();
+        assert!(Arc::ptr_eq(&c1, &c3), "failed update must not invalidate");
+        assert_eq!(v3, v1);
+        cat.update("db", "", "R(a,b).").unwrap();
+        let (c4, v4) = cat.context("db").unwrap();
+        assert!(!Arc::ptr_eq(&c1, &c4));
+        assert_eq!(v4, v1 + 1);
+    }
+
+    #[test]
+    fn same_fact_in_both_batches_keeps_index_exact() {
+        // Insert-then-delete of the same fact within one batch must leave
+        // the incrementally maintained violation set equal to a full
+        // recomputation (the `update_violations` precondition fix).
+        let mut cat = Catalog::new();
+        cat.create("db", "Pref(b,a).", "Pref(x,y), Pref(y,x) -> false.")
+            .unwrap();
+        let out = cat.update("db", "Pref(a,b).", "Pref(a,b).").unwrap();
+        assert_eq!((out.inserted, out.removed), (0, 0), "net no-op");
+        assert_eq!(out.violations, 0);
+        let (ctx, _) = cat.context("db").unwrap();
+        assert_eq!(
+            ctx.initial_violations(),
+            &ViolationSet::compute(ctx.sigma(), ctx.d0())
+        );
+        // And when the fact *was* present, the delete wins.
+        let out = cat.update("db", "Pref(b,a).", "Pref(b,a).").unwrap();
+        assert_eq!((out.inserted, out.removed), (0, 1));
+        let (ctx, _) = cat.context("db").unwrap();
+        assert!(ctx.d0().is_empty());
+    }
+
+    #[test]
+    fn recreated_database_never_reuses_versions() {
+        // A drop + recreate cycle must not produce a version an earlier
+        // incarnation already used: answer-cache keys embed (name,
+        // version), and an aliased pair would serve answers computed
+        // against the dropped database's facts.
+        let mut cat = Catalog::new();
+        let v1 = cat
+            .create("a", "R(1,1).", "R(x,y), R(x,z) -> y = z.")
+            .unwrap()
+            .version;
+        assert!(cat.drop_db("a"));
+        let v2 = cat
+            .create("a", "R(2,2).", "R(x,y), R(x,z) -> y = z.")
+            .unwrap()
+            .version;
+        assert!(v2 > v1, "recreate got stale version {v2} <= {v1}");
+    }
+
+    #[test]
+    fn noop_update_keeps_version_and_snapshot() {
+        let mut cat = Catalog::new();
+        cat.create("db", "R(1,1).", "R(x,y), R(x,z) -> y = z.")
+            .unwrap();
+        let (snap1, v1) = cat.context("db").unwrap();
+        // Inserting a present fact and deleting an absent one: no-op.
+        let out = cat.update("db", "R(1,1).", "R(9,9).").unwrap();
+        assert_eq!((out.inserted, out.removed, out.version), (0, 0, v1));
+        let (snap2, v2) = cat.context("db").unwrap();
+        assert_eq!(v2, v1);
+        assert!(Arc::ptr_eq(&snap1, &snap2), "snapshot must survive no-ops");
+    }
+
+    #[test]
+    fn failed_update_leaves_entry_untouched() {
+        let mut cat = Catalog::new();
+        cat.create("db", "R(a,b).", "R(x,y), R(x,z) -> y = z.")
+            .unwrap();
+        // Second fact has a bad arity: the whole batch must roll back.
+        let err = cat.update("db", "R(b,c). R(d).", "").unwrap_err();
+        assert!(matches!(err, EngineError::Schema(_)));
+        let info = cat.info("db").unwrap();
+        assert_eq!((info.version, info.facts), (1, 1));
+    }
+}

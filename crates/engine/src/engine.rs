@@ -1,0 +1,455 @@
+//! The engine: catalog + prepared queries + sampler pool + answer cache,
+//! behind one concurrent [`Engine::handle`] entry point.
+//!
+//! Locking discipline: the catalog and cache locks are held only to read
+//! or mutate metadata — never across sampling. An `answer` request takes
+//! a snapshot (`Arc<RepairContext>`) under the catalog lock, releases it,
+//! samples on the pool, and re-takes the cache lock to store the result.
+//! Concurrent sessions therefore sample in parallel, bounded only by the
+//! pool's worker count.
+
+use crate::cache::{AnswerCache, CacheKey, CacheStats};
+use crate::catalog::Catalog;
+use crate::error::EngineError;
+use crate::json::Json;
+use crate::pool::SamplerPool;
+use crate::prepared::PreparedRegistry;
+use crate::proto::{
+    AnswerPayload, AnswerRow, EngineRequest, EngineResponse, EngineStatsPayload, QueryRef,
+};
+use ocqa_core::sample::{sample_size, SampleTally};
+use ocqa_core::{ChainGenerator, PreferenceGenerator, UniformGenerator};
+use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Engine tunables.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Sampler-pool worker threads.
+    pub workers: usize,
+    /// Answer-cache capacity (entries).
+    pub cache_capacity: usize,
+    /// Largest per-request walk budget the engine accepts. Without a cap
+    /// a client-supplied tiny ε/δ would make `sample_size` astronomical
+    /// and one request could pin every worker (and the job queue) forever.
+    pub max_walks: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            cache_capacity: 1024,
+            max_walks: 1_000_000,
+        }
+    }
+}
+
+/// Instantiates a generator by its protocol name.
+pub fn generator_by_name(name: &str) -> Result<Arc<dyn ChainGenerator>, EngineError> {
+    match name {
+        "uniform" => Ok(Arc::new(UniformGenerator::new())),
+        "uniform-deletions" => Ok(Arc::new(UniformGenerator::deletions_only())),
+        "preference" => Ok(Arc::new(PreferenceGenerator::new())),
+        other => Err(EngineError::UnknownGenerator(other.to_string())),
+    }
+}
+
+/// A long-lived, concurrent CQA serving engine.
+pub struct Engine {
+    catalog: RwLock<Catalog>,
+    cache: Mutex<AnswerCache>,
+    prepared: RwLock<PreparedRegistry>,
+    pool: SamplerPool,
+    max_walks: u64,
+    requests: AtomicU64,
+    answers: AtomicU64,
+    walks: AtomicU64,
+}
+
+impl Engine {
+    /// Builds an engine (spawns the sampler pool).
+    pub fn new(config: EngineConfig) -> Arc<Engine> {
+        Arc::new(Engine {
+            catalog: RwLock::new(Catalog::new()),
+            cache: Mutex::new(AnswerCache::new(config.cache_capacity)),
+            prepared: RwLock::new(PreparedRegistry::new()),
+            pool: SamplerPool::new(config.workers),
+            max_walks: config.max_walks.max(1),
+            requests: AtomicU64::new(0),
+            answers: AtomicU64::new(0),
+            walks: AtomicU64::new(0),
+        })
+    }
+
+    /// Handles one request. Safe to call from any number of threads.
+    pub fn handle(&self, req: EngineRequest) -> EngineResponse {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        match self.dispatch(req) {
+            Ok(resp) => resp,
+            Err(e) => EngineResponse::Error(e),
+        }
+    }
+
+    /// Handles one raw protocol line (parse → handle → render).
+    pub fn handle_line(&self, line: &str) -> Json {
+        let req = crate::json::parse(line)
+            .map_err(|e| EngineError::BadRequest(e.to_string()))
+            .and_then(|v| EngineRequest::from_json(&v));
+        match req {
+            Ok(req) => self.handle(req).to_json(),
+            Err(e) => {
+                self.requests.fetch_add(1, Ordering::Relaxed);
+                EngineResponse::Error(e).to_json()
+            }
+        }
+    }
+
+    fn dispatch(&self, req: EngineRequest) -> Result<EngineResponse, EngineError> {
+        match req {
+            EngineRequest::Ping => Ok(EngineResponse::Pong),
+            EngineRequest::CreateDb {
+                name,
+                facts,
+                constraints,
+            } => {
+                // Parse and compute V(D, Σ) before taking the write lock:
+                // a big create must not stall concurrent answers.
+                let parsed = crate::catalog::ParsedDatabase::parse(&facts, &constraints)?;
+                let info = self.catalog.write().install(&name, parsed)?;
+                Ok(EngineResponse::Created(info))
+            }
+            EngineRequest::DropDb { name } => {
+                let existed = self.catalog.write().drop_db(&name);
+                if !existed {
+                    return Err(EngineError::UnknownDatabase(name));
+                }
+                self.cache.lock().invalidate_db(&name);
+                Ok(EngineResponse::Dropped { name })
+            }
+            EngineRequest::Insert { db, facts } => self.update(&db, &facts, ""),
+            EngineRequest::Delete { db, facts } => self.update(&db, "", &facts),
+            EngineRequest::Prepare { query } => {
+                let prepared = self.prepared.write().prepare(&query)?;
+                Ok(EngineResponse::Prepared {
+                    id: prepared.id.clone(),
+                })
+            }
+            EngineRequest::Answer {
+                db,
+                query,
+                generator,
+                eps,
+                delta,
+                seed,
+            } => self.answer(&db, &query, &generator, eps, delta, seed),
+            EngineRequest::List => Ok(EngineResponse::List(self.catalog.read().list())),
+            EngineRequest::Stats => Ok(EngineResponse::Stats(self.stats())),
+        }
+    }
+
+    fn update(&self, db: &str, insert: &str, delete: &str) -> Result<EngineResponse, EngineError> {
+        // Parse outside the lock; the locked phase is the incremental
+        // violation update, proportional to the delta's neighbourhood.
+        let inserts = ocqa_logic::parser::parse_facts(insert)
+            .map_err(|e| EngineError::Parse(e.to_string()))?;
+        let deletes = ocqa_logic::parser::parse_facts(delete)
+            .map_err(|e| EngineError::Parse(e.to_string()))?;
+        let outcome = self.catalog.write().update_parsed(db, &inserts, &deletes)?;
+        // An effective update bumps the version, so cached entries for
+        // the old version can never be served again; purge them eagerly
+        // so they don't occupy cache slots until eviction. No-op updates
+        // keep the version and the cache — idempotent retries stay cheap.
+        if outcome.inserted > 0 || outcome.removed > 0 {
+            self.cache.lock().invalidate_db(db);
+        }
+        Ok(EngineResponse::Updated(outcome))
+    }
+
+    fn answer(
+        &self,
+        db: &str,
+        query_ref: &QueryRef,
+        generator: &str,
+        eps: f64,
+        delta: f64,
+        seed: u64,
+    ) -> Result<EngineResponse, EngineError> {
+        if eps <= 0.0 || eps >= 1.0 || delta <= 0.0 || delta >= 1.0 {
+            return Err(EngineError::BadRequest(
+                "eps and delta must lie in (0,1)".into(),
+            ));
+        }
+        let walks = sample_size(eps, delta);
+        if walks > self.max_walks {
+            return Err(EngineError::BadRequest(format!(
+                "eps/delta require {walks} walks, above the engine limit of {}",
+                self.max_walks
+            )));
+        }
+        self.answers.fetch_add(1, Ordering::Relaxed);
+        // Inline text is routed through the prepared registry too: the
+        // parse/validate cost is paid once per distinct query text.
+        let prepared = match query_ref {
+            QueryRef::Text(text) => {
+                // Fast path under the read lock: hot workloads repeat the
+                // same inline text, and a write lock here would serialize
+                // every concurrent answer.
+                let known = self.prepared.read().lookup_text(text);
+                match known {
+                    Some(p) => p,
+                    None => self.prepared.write().prepare(text)?,
+                }
+            }
+            QueryRef::Prepared(id) => self.prepared.read().get(id)?,
+        };
+        let gen = generator_by_name(generator)?;
+        let (ctx, version) = self.catalog.read().context(db)?;
+        let key = CacheKey {
+            db: db.to_string(),
+            version,
+            query: prepared.text.clone(),
+            generator: generator.to_string(),
+            eps_bits: eps.to_bits(),
+            delta_bits: delta.to_bits(),
+            seed,
+        };
+        // One lock acquisition serves both the lookup and the stats
+        // snapshot reported alongside the answer.
+        let (hit, stats) = {
+            let mut cache = self.cache.lock();
+            let hit = cache.get(&key);
+            let stats = cache.stats();
+            (hit, stats)
+        };
+        if let Some(tally) = hit {
+            return Ok(answer_response(&tally, true, version, stats));
+        }
+        // Cache miss: sample on the pool with no locks held.
+        let tally = Arc::new(self.pool.run(&ctx, &gen, &prepared.query, walks, seed)?);
+        self.walks.fetch_add(walks, Ordering::Relaxed);
+        let stats = {
+            let mut cache = self.cache.lock();
+            cache.insert(key, tally.clone());
+            cache.stats()
+        };
+        Ok(answer_response(&tally, false, version, stats))
+    }
+
+    /// The configured per-request walk ceiling.
+    pub fn max_walks(&self) -> u64 {
+        self.max_walks
+    }
+
+    fn stats(&self) -> EngineStatsPayload {
+        EngineStatsPayload {
+            requests: self.requests.load(Ordering::Relaxed),
+            answers: self.answers.load(Ordering::Relaxed),
+            walks: self.walks.load(Ordering::Relaxed),
+            workers: self.pool.workers(),
+            databases: self.catalog.read().len(),
+            prepared: self.prepared.read().len(),
+            cache: self.cache.lock().stats(),
+        }
+    }
+}
+
+fn answer_response(
+    tally: &SampleTally,
+    cached: bool,
+    version: u64,
+    stats: CacheStats,
+) -> EngineResponse {
+    let answers = tally
+        .frequencies()
+        .into_iter()
+        .map(|(tuple, p)| AnswerRow { tuple, p })
+        .collect();
+    EngineResponse::Answer(AnswerPayload {
+        answers,
+        walks: tally.walks,
+        failed_walks: tally.failed_walks,
+        cached,
+        db_version: version,
+        cache: stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> Arc<Engine> {
+        Engine::new(EngineConfig {
+            workers: 2,
+            cache_capacity: 64,
+            ..EngineConfig::default()
+        })
+    }
+
+    fn create_prefs(e: &Engine) {
+        let resp = e.handle(EngineRequest::CreateDb {
+            name: "prefs".into(),
+            facts: "Pref(a,b). Pref(a,c). Pref(a,d). Pref(b,a). Pref(b,d). Pref(c,a).".into(),
+            constraints: "Pref(x,y), Pref(y,x) -> false.".into(),
+        });
+        assert!(matches!(resp, EngineResponse::Created(_)), "{resp:?}");
+    }
+
+    fn answer_req(seed: u64) -> EngineRequest {
+        EngineRequest::Answer {
+            db: "prefs".into(),
+            query: QueryRef::Text("(x) <- forall y: (Pref(x,y) | x = y)".into()),
+            generator: "preference".into(),
+            eps: 0.1,
+            delta: 0.1,
+            seed,
+        }
+    }
+
+    #[test]
+    fn answer_estimates_example7() {
+        let e = engine();
+        create_prefs(&e);
+        let EngineResponse::Answer(a) = e.handle(answer_req(7)) else {
+            panic!("expected answer");
+        };
+        assert_eq!(a.walks, 150);
+        assert!(!a.cached);
+        assert_eq!(a.answers.len(), 1, "only (a) can win every comparison");
+        // Exact CP is 9/20 = 0.45; ε = 0.1.
+        assert!(
+            (a.answers[0].p - 0.45).abs() <= 0.1,
+            "p = {}",
+            a.answers[0].p
+        );
+    }
+
+    #[test]
+    fn repeat_hits_cache_and_update_invalidates() {
+        let e = engine();
+        create_prefs(&e);
+        let EngineResponse::Answer(first) = e.handle(answer_req(7)) else {
+            panic!()
+        };
+        let EngineResponse::Answer(second) = e.handle(answer_req(7)) else {
+            panic!()
+        };
+        assert!(!first.cached && second.cached);
+        assert_eq!(second.cache.hits, 1);
+        let rows_eq = first
+            .answers
+            .iter()
+            .zip(&second.answers)
+            .all(|(x, y)| x.tuple == y.tuple && x.p == y.p);
+        assert!(rows_eq, "cached answer must be byte-identical");
+
+        // Different seed is a different computation.
+        let EngineResponse::Answer(third) = e.handle(answer_req(8)) else {
+            panic!()
+        };
+        assert!(!third.cached);
+
+        // An update bumps the version; the same request recomputes.
+        let resp = e.handle(EngineRequest::Delete {
+            db: "prefs".into(),
+            facts: "Pref(c,a).".into(),
+        });
+        assert!(matches!(resp, EngineResponse::Updated(_)));
+        let EngineResponse::Answer(fourth) = e.handle(answer_req(7)) else {
+            panic!()
+        };
+        assert!(!fourth.cached, "update must invalidate");
+        assert_eq!(fourth.db_version, 2);
+    }
+
+    #[test]
+    fn prepared_handles_work() {
+        let e = engine();
+        create_prefs(&e);
+        let EngineResponse::Prepared { id } = e.handle(EngineRequest::Prepare {
+            query: "(x) <- exists y: Pref(x,y)".into(),
+        }) else {
+            panic!()
+        };
+        let EngineResponse::Answer(a) = e.handle(EngineRequest::Answer {
+            db: "prefs".into(),
+            query: QueryRef::Prepared(id),
+            generator: "uniform".into(),
+            eps: 0.2,
+            delta: 0.2,
+            seed: 1,
+        }) else {
+            panic!()
+        };
+        assert!(!a.answers.is_empty());
+    }
+
+    #[test]
+    fn bad_inputs_are_reported_not_panicked() {
+        let e = engine();
+        assert!(matches!(
+            e.handle(EngineRequest::Answer {
+                db: "missing".into(),
+                query: QueryRef::Text("(x) <- R(x)".into()),
+                generator: "uniform".into(),
+                eps: 0.1,
+                delta: 0.1,
+                seed: 0,
+            }),
+            EngineResponse::Error(EngineError::UnknownDatabase(_))
+        ));
+        create_prefs(&e);
+        assert!(matches!(
+            e.handle(EngineRequest::Answer {
+                db: "prefs".into(),
+                query: QueryRef::Text("(x) <- exists y: Pref(x,y)".into()),
+                generator: "nope".into(),
+                eps: 0.1,
+                delta: 0.1,
+                seed: 0,
+            }),
+            EngineResponse::Error(EngineError::UnknownGenerator(_))
+        ));
+        assert!(matches!(
+            e.handle(EngineRequest::Answer {
+                db: "prefs".into(),
+                query: QueryRef::Text("(x) <- exists y: Pref(x,y)".into()),
+                generator: "uniform".into(),
+                eps: 0.0,
+                delta: 0.1,
+                seed: 0,
+            }),
+            EngineResponse::Error(EngineError::BadRequest(_))
+        ));
+        // A tiny ε would need an astronomical walk budget: the request is
+        // rejected up front instead of pinning the pool (DoS guard).
+        let resp = e.handle(EngineRequest::Answer {
+            db: "prefs".into(),
+            query: QueryRef::Text("(x) <- exists y: Pref(x,y)".into()),
+            generator: "uniform".into(),
+            eps: 1e-9,
+            delta: 0.1,
+            seed: 0,
+        });
+        let EngineResponse::Error(EngineError::BadRequest(msg)) = resp else {
+            panic!("expected budget rejection, got {resp:?}");
+        };
+        assert!(msg.contains("engine limit"), "{msg}");
+    }
+
+    #[test]
+    fn handle_line_roundtrip() {
+        let e = engine();
+        let out = e.handle_line(r#"{"op":"ping"}"#).to_string();
+        assert!(out.contains("\"pong\":true"));
+        let out = e.handle_line("not json").to_string();
+        assert!(out.contains("\"ok\":false"));
+        // ping + bad line + this stats request itself = 3.
+        let out = e.handle_line(r#"{"op":"stats"}"#).to_string();
+        assert!(out.contains("\"requests\":3"), "{out}");
+    }
+}

@@ -1,0 +1,41 @@
+//! Engine-level errors, surfaced to clients as `{"ok":false,"error":…}`.
+
+use std::fmt;
+
+/// Anything that can go wrong while serving a request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The request line was not valid JSON or missed required fields.
+    BadRequest(String),
+    /// Facts / constraints / query text failed to parse.
+    Parse(String),
+    /// The named database does not exist in the catalog.
+    UnknownDatabase(String),
+    /// A database with that name already exists.
+    DatabaseExists(String),
+    /// The named prepared-query handle does not exist.
+    UnknownPrepared(String),
+    /// The generator name is not recognized.
+    UnknownGenerator(String),
+    /// A fact violated the database schema.
+    Schema(String),
+    /// Sampling failed (generator could not produce a distribution).
+    Sampling(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            EngineError::Parse(msg) => write!(f, "parse error: {msg}"),
+            EngineError::UnknownDatabase(name) => write!(f, "unknown database {name:?}"),
+            EngineError::DatabaseExists(name) => write!(f, "database {name:?} already exists"),
+            EngineError::UnknownPrepared(id) => write!(f, "unknown prepared query {id:?}"),
+            EngineError::UnknownGenerator(name) => write!(f, "unknown generator {name:?}"),
+            EngineError::Schema(msg) => write!(f, "schema error: {msg}"),
+            EngineError::Sampling(msg) => write!(f, "sampling error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}

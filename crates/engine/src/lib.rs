@@ -1,0 +1,65 @@
+//! `ocqa-engine` — a concurrent, cache-aware serving layer for
+//! operational consistent query answering.
+//!
+//! Theorem 9 of the source paper makes CQA a *servable* workload: the
+//! `Sample` random walk approximates operational consistent answers with
+//! additive error for **all** FO queries. This crate turns the batch
+//! library into a long-lived engine around that result:
+//!
+//! * [`Catalog`] — named, versioned databases with incremental fact
+//!   insert/delete; the violation index `V(D, Σ)` is maintained through
+//!   `ocqa_logic::incremental` rather than recomputed per update, and
+//!   sampling snapshots reuse it via `RepairContext::with_violations`;
+//! * [`PreparedQuery`] / [`PreparedRegistry`] — parse and validate a
+//!   query once, reuse the handle across requests;
+//! * [`SamplerPool`] — a fixed worker-thread pool that fans each
+//!   request's walk budget out as fixed-size chunks with per-chunk seed
+//!   derivation, making answers bit-identical for a fixed seed
+//!   regardless of pool size;
+//! * [`AnswerCache`] — an LRU keyed by database version × query ×
+//!   generator × ε/δ × seed, invalidated by catalog updates;
+//! * [`EngineRequest`] / [`EngineResponse`] — the newline-delimited JSON
+//!   protocol served by [`serve_stdio`] / [`serve_listener`] (the
+//!   `ocqa serve` CLI subcommand).
+//!
+//! ```
+//! use ocqa_engine::{Engine, EngineConfig};
+//!
+//! let engine = Engine::new(EngineConfig {
+//!     workers: 2,
+//!     cache_capacity: 64,
+//!     ..EngineConfig::default()
+//! });
+//! let out = engine.handle_line(
+//!     r#"{"op":"create_db","name":"prefs",
+//!         "facts":"Pref(a,b). Pref(b,a).",
+//!         "constraints":"Pref(x,y), Pref(y,x) -> false."}"#,
+//! );
+//! assert!(out.to_string().contains("\"ok\":true"));
+//! let out = engine.handle_line(
+//!     r#"{"op":"answer","db":"prefs","query":"(x) <- exists y: Pref(x,y)","seed":7}"#,
+//! );
+//! assert!(out.to_string().contains("\"answers\""));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod catalog;
+mod engine;
+mod error;
+pub mod json;
+pub mod pool;
+pub mod prepared;
+pub mod proto;
+pub mod server;
+
+pub use cache::{AnswerCache, CacheKey, CacheStats};
+pub use catalog::{Catalog, DatabaseInfo, ParsedDatabase, UpdateOutcome};
+pub use engine::{generator_by_name, Engine, EngineConfig};
+pub use error::EngineError;
+pub use pool::{derive_seed, SamplerPool, CHUNK_WALKS};
+pub use prepared::{PreparedQuery, PreparedRegistry};
+pub use proto::{AnswerPayload, AnswerRow, EngineRequest, EngineResponse, QueryRef};
+pub use server::{handle_connection, serve_listener, serve_session, serve_stdio};

@@ -1,0 +1,262 @@
+//! The sampler pool: a fixed set of worker threads fanning each request's
+//! sample budget out as chunks.
+//!
+//! **Determinism.** Results must be bit-identical for a fixed seed no
+//! matter how many workers the pool has. Two choices make that hold:
+//!
+//! 1. the budget is split into *fixed-size chunks* (`CHUNK_WALKS`),
+//!    independent of the worker count, and chunk `i` always samples with
+//!    the RNG `derive_seed(seed, i)` — so the multiset of walks performed
+//!    is a function of `(seed, budget)` alone;
+//! 2. chunk results are [`SampleTally`]s — pure sums — whose merge is
+//!    commutative and associative, so the scheduling order in which
+//!    workers finish cannot influence the final tally.
+//!
+//! Workers never touch shared mutable state: they receive a job carrying
+//! `Arc`s of the context/generator/query, sample, and send the tally back
+//! over the job's reply channel.
+
+use crate::error::EngineError;
+use crossbeam::channel::{Receiver, Sender};
+use ocqa_core::sample::{self, SampleTally};
+use ocqa_core::{ChainGenerator, RepairContext};
+use ocqa_logic::Query;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Walks per dispatched chunk. Fixed: changing this changes sampled
+/// streams, so it is part of the engine's reproducibility contract.
+pub const CHUNK_WALKS: u64 = 64;
+
+struct Job {
+    ctx: Arc<RepairContext>,
+    gen: Arc<dyn ChainGenerator>,
+    query: Arc<Query>,
+    chunk: u64,
+    walks: u64,
+    seed: u64,
+    reply: Sender<Result<SampleTally, String>>,
+}
+
+/// A fixed worker-thread pool executing sample-walk chunks.
+pub struct SamplerPool {
+    tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl SamplerPool {
+    /// Spawns `workers` threads (at least 1).
+    pub fn new(workers: usize) -> SamplerPool {
+        let workers = workers.max(1);
+        let (tx, rx) = crossbeam::channel::unbounded::<Job>();
+        // The vendored `crossbeam` shim re-exports std::sync::mpsc, whose
+        // receiver is single-consumer — share it behind a mutex so any
+        // idle worker can take the next chunk. (Upstream crossbeam's
+        // receiver is Clone; if the shim is ever swapped for the real
+        // crate, clone per worker and drop this mutex.)
+        let rx = Arc::new(Mutex::new(rx));
+        let handles = (0..workers)
+            .map(|i| {
+                let rx = rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("ocqa-sampler-{i}"))
+                    .spawn(move || worker_loop(&rx))
+                    .expect("spawn sampler worker")
+            })
+            .collect();
+        SamplerPool {
+            tx: Some(tx),
+            workers: handles,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Runs `walks` sample walks of `query` split across the pool,
+    /// merging the per-chunk tallies. Deterministic in `(seed, walks)`.
+    pub fn run(
+        &self,
+        ctx: &Arc<RepairContext>,
+        gen: &Arc<dyn ChainGenerator>,
+        query: &Arc<Query>,
+        walks: u64,
+        seed: u64,
+    ) -> Result<SampleTally, EngineError> {
+        let (reply_tx, reply_rx) = crossbeam::channel::unbounded();
+        let chunks = walks.div_ceil(CHUNK_WALKS);
+        for chunk in 0..chunks {
+            let quota = CHUNK_WALKS.min(walks - chunk * CHUNK_WALKS);
+            let job = Job {
+                ctx: ctx.clone(),
+                gen: gen.clone(),
+                query: query.clone(),
+                chunk,
+                walks: quota,
+                seed,
+                reply: reply_tx.clone(),
+            };
+            self.tx
+                .as_ref()
+                .expect("pool alive")
+                .send(job)
+                .map_err(|_| EngineError::Sampling("sampler pool shut down".into()))?;
+        }
+        drop(reply_tx);
+        let mut tally = SampleTally::default();
+        for msg in reply_rx {
+            match msg {
+                Ok(chunk_tally) => tally.merge(chunk_tally),
+                Err(e) => return Err(EngineError::Sampling(e)),
+            }
+        }
+        if tally.walks != walks {
+            // A worker died mid-chunk (panic): report rather than return a
+            // silently short estimate.
+            return Err(EngineError::Sampling(format!(
+                "pool returned {} of {} requested walks",
+                tally.walks, walks
+            )));
+        }
+        Ok(tally)
+    }
+}
+
+impl Drop for SamplerPool {
+    fn drop(&mut self) {
+        self.tx.take(); // closes the channel; workers drain and exit
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(rx: &Mutex<Receiver<Job>>) {
+    loop {
+        // The guard is held across the blocking recv (idle waiting) but
+        // released before sampling, so at most one worker is parked in
+        // recv while the rest either sample or wait on the mutex.
+        let job = match rx.lock().recv() {
+            Ok(job) => job,
+            Err(_) => return,
+        };
+        // Panic isolation: a panicking chunk (e.g. a pathological
+        // constraint set tripping an assert deep in the repair machinery)
+        // must fail *that request*, not kill the worker — a dead worker
+        // would eventually brick the pool for every later request.
+        // AssertUnwindSafe is sound here: the closure only touches the
+        // job's Arcs (immutable) and a local RNG.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut rng = StdRng::seed_from_u64(derive_seed(job.seed, job.chunk));
+            sample::sample_tally(&job.ctx, job.gen.as_ref(), &job.query, job.walks, &mut rng)
+                .map_err(|e| e.to_string())
+        }))
+        .unwrap_or_else(|payload| Err(panic_text(payload.as_ref())));
+        // The requester may have bailed (send error): nothing to do.
+        let _ = job.reply.send(result);
+    }
+}
+
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    let msg = payload
+        .downcast_ref::<&str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("non-string panic payload");
+    format!("sampling panicked: {msg}")
+}
+
+/// Per-chunk seed derivation: one SplitMix64 round over `seed ⊕ f(chunk)`.
+/// Chunk streams must be decorrelated but *stable* — this function is part
+/// of the reproducibility contract along with [`CHUNK_WALKS`].
+pub fn derive_seed(seed: u64, chunk: u64) -> u64 {
+    let mut z = seed ^ chunk.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocqa_core::UniformGenerator;
+    use ocqa_data::Database;
+    use ocqa_logic::parser;
+
+    fn setup() -> (Arc<RepairContext>, Arc<dyn ChainGenerator>, Arc<Query>) {
+        let facts = parser::parse_facts("R(a,b). R(a,c). R(b,b). R(b,c).").unwrap();
+        let sigma = parser::parse_constraints("R(x,y), R(x,z) -> y = z.").unwrap();
+        let schema = parser::infer_schema(&facts, &sigma).unwrap();
+        let db = Database::from_facts(schema, facts).unwrap();
+        let ctx = RepairContext::new(db, sigma);
+        let gen: Arc<dyn ChainGenerator> = Arc::new(UniformGenerator::new());
+        let query = Arc::new(parser::parse_query("(y) <- exists x: R(x, y)").unwrap());
+        (ctx, gen, query)
+    }
+
+    #[test]
+    fn identical_tallies_across_pool_sizes() {
+        let (ctx, gen, query) = setup();
+        let reference = SamplerPool::new(1)
+            .run(&ctx, &gen, &query, 300, 42)
+            .unwrap();
+        for workers in [2, 3, 8] {
+            let pool = SamplerPool::new(workers);
+            let tally = pool.run(&ctx, &gen, &query, 300, 42).unwrap();
+            assert_eq!(tally.counts, reference.counts, "{workers} workers");
+            assert_eq!(tally.walks, 300);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let (ctx, gen, query) = setup();
+        let pool = SamplerPool::new(2);
+        let a = pool.run(&ctx, &gen, &query, 300, 1).unwrap();
+        let b = pool.run(&ctx, &gen, &query, 300, 2).unwrap();
+        assert_ne!(a.counts, b.counts, "seed must matter");
+    }
+
+    #[test]
+    fn partial_final_chunk_counts_exactly() {
+        let (ctx, gen, query) = setup();
+        let pool = SamplerPool::new(4);
+        let tally = pool.run(&ctx, &gen, &query, CHUNK_WALKS + 7, 5).unwrap();
+        assert_eq!(tally.walks, CHUNK_WALKS + 7);
+        assert_eq!(tally.failed_walks, 0, "key repairs never fail (Prop. 8)");
+    }
+
+    #[test]
+    fn panicking_chunk_fails_request_but_pool_survives() {
+        let (ctx, gen, query) = setup();
+        let pool = SamplerPool::new(2);
+        let bomb: Arc<dyn ChainGenerator> =
+            Arc::new(ocqa_core::WeightFnGenerator::new("bomb", |_, _| {
+                panic!("boom in generator")
+            }));
+        let err = pool.run(&ctx, &bomb, &query, 200, 1).unwrap_err();
+        assert!(
+            err.to_string().contains("panicked"),
+            "panic surfaced as request error: {err}"
+        );
+        // Workers survived the panic; normal requests keep working.
+        let tally = pool.run(&ctx, &gen, &query, 100, 2).unwrap();
+        assert_eq!(tally.walks, 100);
+    }
+
+    #[test]
+    fn derive_seed_decorrelates() {
+        let a = derive_seed(7, 0);
+        let b = derive_seed(7, 1);
+        let c = derive_seed(8, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(derive_seed(7, 1), b, "stable");
+    }
+}

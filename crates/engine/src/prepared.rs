@@ -1,0 +1,142 @@
+//! Prepared queries: parse/validate once, reuse across requests.
+
+use crate::error::EngineError;
+use ocqa_logic::{parser, Query};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// Registry capacity. Every inline `answer` query is routed through the
+/// registry, so an unbounded map would grow forever in a long-lived
+/// server handling ad-hoc query texts; beyond this many distinct texts
+/// the oldest entry is evicted (its handle then answers
+/// `UnknownPrepared`, and clients simply re-prepare).
+pub const MAX_PREPARED: usize = 4096;
+
+/// A parsed, validated query with a stable handle.
+#[derive(Debug)]
+pub struct PreparedQuery {
+    /// The handle clients use (`"q1"`, `"q2"`, …).
+    pub id: String,
+    /// The original source text (also the cache-key component).
+    pub text: String,
+    /// The parsed query, shareable with the sampler pool without cloning
+    /// the AST per request.
+    pub query: Arc<Query>,
+}
+
+/// Registry of prepared queries. Preparing the same text twice returns
+/// the existing handle. Bounded at [`MAX_PREPARED`] entries (FIFO
+/// eviction of the oldest registration).
+#[derive(Default)]
+pub struct PreparedRegistry {
+    by_id: HashMap<String, Arc<PreparedQuery>>,
+    by_text: HashMap<String, String>,
+    order: VecDeque<String>,
+    next: u64,
+}
+
+impl PreparedRegistry {
+    /// An empty registry.
+    pub fn new() -> PreparedRegistry {
+        PreparedRegistry::default()
+    }
+
+    /// Parses and registers `text`, returning the handle (existing one if
+    /// the same text was prepared before).
+    pub fn prepare(&mut self, text: &str) -> Result<Arc<PreparedQuery>, EngineError> {
+        if let Some(id) = self.by_text.get(text) {
+            return Ok(self.by_id[id].clone());
+        }
+        let query = parser::parse_query(text).map_err(|e| EngineError::Parse(e.to_string()))?;
+        while self.by_id.len() >= MAX_PREPARED {
+            if let Some(old_id) = self.order.pop_front() {
+                if let Some(old) = self.by_id.remove(&old_id) {
+                    self.by_text.remove(&old.text);
+                }
+            } else {
+                break;
+            }
+        }
+        self.next += 1;
+        let id = format!("q{}", self.next);
+        let prepared = Arc::new(PreparedQuery {
+            id: id.clone(),
+            text: text.to_string(),
+            query: Arc::new(query),
+        });
+        self.by_text.insert(text.to_string(), id.clone());
+        self.order.push_back(id.clone());
+        self.by_id.insert(id, prepared.clone());
+        Ok(prepared)
+    }
+
+    /// Looks up an already-registered query by its exact source text (the
+    /// engine's shared-lock fast path for repeated inline queries).
+    pub fn lookup_text(&self, text: &str) -> Option<Arc<PreparedQuery>> {
+        self.by_text.get(text).map(|id| self.by_id[id].clone())
+    }
+
+    /// Looks up a handle.
+    pub fn get(&self, id: &str) -> Result<Arc<PreparedQuery>, EngineError> {
+        self.by_id
+            .get(id)
+            .cloned()
+            .ok_or_else(|| EngineError::UnknownPrepared(id.to_string()))
+    }
+
+    /// Number of registered queries.
+    pub fn len(&self) -> usize {
+        self.by_id.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_id.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prepare_dedups_by_text() {
+        let mut reg = PreparedRegistry::new();
+        let a = reg.prepare("(x) <- exists y: R(x, y)").unwrap();
+        let b = reg.prepare("(x) <- exists y: R(x, y)").unwrap();
+        assert_eq!(a.id, b.id);
+        assert_eq!(reg.len(), 1);
+        let c = reg.prepare("(y) <- exists x: R(x, y)").unwrap();
+        assert_ne!(a.id, c.id);
+        assert_eq!(reg.get(&c.id).unwrap().text, "(y) <- exists x: R(x, y)");
+    }
+
+    #[test]
+    fn capacity_bounded_with_fifo_eviction() {
+        let mut reg = PreparedRegistry::new();
+        let first = reg.prepare("(x) <- R(x, 0)").unwrap();
+        for i in 1..=MAX_PREPARED {
+            reg.prepare(&format!("(x) <- R(x, {i})")).unwrap();
+        }
+        assert_eq!(reg.len(), MAX_PREPARED, "never exceeds the cap");
+        assert!(
+            matches!(reg.get(&first.id), Err(EngineError::UnknownPrepared(_))),
+            "oldest entry evicted"
+        );
+        // The newest entry survives.
+        assert!(reg.get(&format!("q{}", MAX_PREPARED + 1)).is_ok());
+    }
+
+    #[test]
+    fn bad_query_rejected() {
+        let mut reg = PreparedRegistry::new();
+        assert!(matches!(
+            reg.prepare("(x) <- ???"),
+            Err(EngineError::Parse(_))
+        ));
+        assert!(matches!(
+            reg.get("q9"),
+            Err(EngineError::UnknownPrepared(_))
+        ));
+    }
+}

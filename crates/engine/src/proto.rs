@@ -1,0 +1,385 @@
+//! The request/response API spoken by `ocqa serve`.
+//!
+//! One JSON object per line. Every request carries an `"op"`; every
+//! response is `{"ok":true,…}` or `{"ok":false,"error":…}`.
+//!
+//! ```json
+//! {"op":"answer","db":"prefs","query":"(x) <- exists y: Pref(x,y)","eps":0.1,"delta":0.1,"seed":7}
+//! {"ok":true,"answers":[{"tuple":["a"],"p":0.45}],"walks":150,"failed_walks":0,"cached":false,"db_version":1,"cache_hits":0,"cache_misses":1}
+//! ```
+
+use crate::cache::CacheStats;
+use crate::catalog::{DatabaseInfo, UpdateOutcome};
+use crate::error::EngineError;
+use crate::json::Json;
+use ocqa_data::Constant;
+
+/// How an `answer` request names its query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryRef {
+    /// Inline query source text.
+    Text(String),
+    /// A handle returned by `prepare`.
+    Prepared(String),
+}
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineRequest {
+    /// Liveness check.
+    Ping,
+    /// Create a named database from fact/constraint text.
+    CreateDb {
+        /// Catalog name.
+        name: String,
+        /// Fact-list source text.
+        facts: String,
+        /// Constraint-list source text.
+        constraints: String,
+    },
+    /// Remove a database.
+    DropDb {
+        /// Catalog name.
+        name: String,
+    },
+    /// Insert facts into a database.
+    Insert {
+        /// Catalog name.
+        db: String,
+        /// Fact-list source text.
+        facts: String,
+    },
+    /// Delete facts from a database.
+    Delete {
+        /// Catalog name.
+        db: String,
+        /// Fact-list source text.
+        facts: String,
+    },
+    /// Parse/validate a query once, returning a reusable handle.
+    Prepare {
+        /// Query source text.
+        query: String,
+    },
+    /// Sample-based operational consistent answers.
+    Answer {
+        /// Catalog name.
+        db: String,
+        /// The query (inline or prepared).
+        query: QueryRef,
+        /// Generator name (`uniform`, `uniform-deletions`, `preference`).
+        generator: String,
+        /// Additive error bound ε.
+        eps: f64,
+        /// Confidence parameter δ.
+        delta: f64,
+        /// Sampling seed.
+        seed: u64,
+    },
+    /// List databases.
+    List,
+    /// Engine-wide statistics.
+    Stats,
+}
+
+impl EngineRequest {
+    /// Parses a request from a JSON object.
+    pub fn from_json(v: &Json) -> Result<EngineRequest, EngineError> {
+        let op = v
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or_else(|| EngineError::BadRequest("missing \"op\"".into()))?;
+        let str_field = |key: &str| -> Result<String, EngineError> {
+            v.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| EngineError::BadRequest(format!("op {op:?} needs string {key:?}")))
+        };
+        let opt_str = |key: &str| v.get(key).and_then(Json::as_str).map(str::to_string);
+        match op {
+            "ping" => Ok(EngineRequest::Ping),
+            "create_db" => Ok(EngineRequest::CreateDb {
+                name: str_field("name")?,
+                facts: opt_str("facts").unwrap_or_default(),
+                constraints: opt_str("constraints").unwrap_or_default(),
+            }),
+            "drop_db" => Ok(EngineRequest::DropDb {
+                name: str_field("name")?,
+            }),
+            "insert" => Ok(EngineRequest::Insert {
+                db: str_field("db")?,
+                facts: str_field("facts")?,
+            }),
+            "delete" => Ok(EngineRequest::Delete {
+                db: str_field("db")?,
+                facts: str_field("facts")?,
+            }),
+            "prepare" => Ok(EngineRequest::Prepare {
+                query: str_field("query")?,
+            }),
+            "answer" => {
+                let query = match (opt_str("query"), opt_str("prepared")) {
+                    (Some(text), None) => QueryRef::Text(text),
+                    (None, Some(id)) => QueryRef::Prepared(id),
+                    (Some(_), Some(_)) => {
+                        return Err(EngineError::BadRequest(
+                            "give either \"query\" or \"prepared\", not both".into(),
+                        ))
+                    }
+                    (None, None) => {
+                        return Err(EngineError::BadRequest(
+                            "answer needs \"query\" text or a \"prepared\" handle".into(),
+                        ))
+                    }
+                };
+                let num = |key: &str, default: f64| -> Result<f64, EngineError> {
+                    match v.get(key) {
+                        None => Ok(default),
+                        Some(j) => j.as_f64().ok_or_else(|| {
+                            EngineError::BadRequest(format!("{key:?} must be a number"))
+                        }),
+                    }
+                };
+                let seed = match v.get("seed") {
+                    None => 0,
+                    Some(j) => j.as_u64().ok_or_else(|| {
+                        EngineError::BadRequest("\"seed\" must be a non-negative integer".into())
+                    })?,
+                };
+                Ok(EngineRequest::Answer {
+                    db: str_field("db")?,
+                    query,
+                    generator: opt_str("generator").unwrap_or_else(|| "uniform".into()),
+                    eps: num("eps", 0.1)?,
+                    delta: num("delta", 0.1)?,
+                    seed,
+                })
+            }
+            "list" => Ok(EngineRequest::List),
+            "stats" => Ok(EngineRequest::Stats),
+            other => Err(EngineError::BadRequest(format!("unknown op {other:?}"))),
+        }
+    }
+}
+
+/// One estimated answer tuple.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnswerRow {
+    /// The answer tuple.
+    pub tuple: Vec<Constant>,
+    /// Estimated `CP(t̄)` (hit frequency over the sampled repairs).
+    pub p: f64,
+}
+
+/// The payload of a successful `answer`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnswerPayload {
+    /// Estimated answers, in canonical tuple order.
+    pub answers: Vec<AnswerRow>,
+    /// Walks performed (the Hoeffding budget for ε/δ).
+    pub walks: u64,
+    /// Walks ending in failing sequences.
+    pub failed_walks: u64,
+    /// Whether this response came from the answer cache.
+    pub cached: bool,
+    /// Version of the database the answer was computed against.
+    pub db_version: u64,
+    /// Cache counters after this request (the observable hit signal).
+    pub cache: CacheStats,
+}
+
+/// Engine-wide statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineStatsPayload {
+    /// Requests handled (any op).
+    pub requests: u64,
+    /// `answer` requests served.
+    pub answers: u64,
+    /// Sample walks executed by the pool (cache hits excluded).
+    pub walks: u64,
+    /// Worker threads in the sampler pool.
+    pub workers: usize,
+    /// Databases in the catalog.
+    pub databases: usize,
+    /// Prepared queries registered.
+    pub prepared: usize,
+    /// Answer-cache counters.
+    pub cache: CacheStats,
+}
+
+/// A server response, renderable as one JSON line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineResponse {
+    /// `ping` reply.
+    Pong,
+    /// `create_db` reply.
+    Created(DatabaseInfo),
+    /// `drop_db` reply.
+    Dropped {
+        /// The dropped name.
+        name: String,
+    },
+    /// `insert`/`delete` reply.
+    Updated(UpdateOutcome),
+    /// `prepare` reply.
+    Prepared {
+        /// The reusable handle.
+        id: String,
+    },
+    /// `answer` reply.
+    Answer(AnswerPayload),
+    /// `list` reply.
+    List(Vec<DatabaseInfo>),
+    /// `stats` reply.
+    Stats(EngineStatsPayload),
+    /// Any failure.
+    Error(EngineError),
+}
+
+fn constant_json(c: &Constant) -> Json {
+    match c {
+        // Exact: database constants can be any i64, beyond f64's 2⁵³.
+        Constant::Int(v) => Json::Int(*v),
+        Constant::Sym(s) => Json::Str(s.as_str().to_string()),
+    }
+}
+
+fn info_json(info: &DatabaseInfo) -> Json {
+    Json::obj([
+        ("name", Json::from(info.name.clone())),
+        ("version", Json::from(info.version)),
+        ("facts", Json::from(info.facts as u64)),
+        ("violations", Json::from(info.violations as u64)),
+    ])
+}
+
+impl EngineResponse {
+    /// Renders the response as a JSON value.
+    pub fn to_json(&self) -> Json {
+        match self {
+            EngineResponse::Pong => Json::obj([("ok", true.into()), ("pong", true.into())]),
+            EngineResponse::Created(info) => {
+                let mut o = info_json(info);
+                if let Json::Obj(m) = &mut o {
+                    m.insert("ok".into(), true.into());
+                }
+                o
+            }
+            EngineResponse::Dropped { name } => {
+                Json::obj([("ok", true.into()), ("dropped", Json::from(name.clone()))])
+            }
+            EngineResponse::Updated(out) => Json::obj([
+                ("ok", true.into()),
+                ("inserted", Json::from(out.inserted as u64)),
+                ("removed", Json::from(out.removed as u64)),
+                ("version", Json::from(out.version)),
+                ("violations", Json::from(out.violations as u64)),
+            ]),
+            EngineResponse::Prepared { id } => {
+                Json::obj([("ok", true.into()), ("id", Json::from(id.clone()))])
+            }
+            EngineResponse::Answer(a) => Json::obj([
+                ("ok", true.into()),
+                (
+                    "answers",
+                    Json::Arr(
+                        a.answers
+                            .iter()
+                            .map(|row| {
+                                Json::obj([
+                                    (
+                                        "tuple",
+                                        Json::Arr(row.tuple.iter().map(constant_json).collect()),
+                                    ),
+                                    ("p", Json::Num(row.p)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                ("walks", Json::from(a.walks)),
+                ("failed_walks", Json::from(a.failed_walks)),
+                ("cached", Json::from(a.cached)),
+                ("db_version", Json::from(a.db_version)),
+                ("cache_hits", Json::from(a.cache.hits)),
+                ("cache_misses", Json::from(a.cache.misses)),
+            ]),
+            EngineResponse::List(infos) => Json::obj([
+                ("ok", true.into()),
+                (
+                    "databases",
+                    Json::Arr(infos.iter().map(info_json).collect()),
+                ),
+            ]),
+            EngineResponse::Stats(s) => Json::obj([
+                ("ok", true.into()),
+                ("requests", Json::from(s.requests)),
+                ("answers", Json::from(s.answers)),
+                ("walks", Json::from(s.walks)),
+                ("workers", Json::from(s.workers as u64)),
+                ("databases", Json::from(s.databases as u64)),
+                ("prepared", Json::from(s.prepared as u64)),
+                ("cache_hits", Json::from(s.cache.hits)),
+                ("cache_misses", Json::from(s.cache.misses)),
+                ("cache_invalidated", Json::from(s.cache.invalidated)),
+                ("cache_evicted", Json::from(s.cache.evicted)),
+            ]),
+            EngineResponse::Error(e) => {
+                Json::obj([("ok", false.into()), ("error", Json::from(e.to_string()))])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn parses_answer_with_defaults() {
+        let v = json::parse(r#"{"op":"answer","db":"d","query":"(x) <- R(x)"}"#).unwrap();
+        let req = EngineRequest::from_json(&v).unwrap();
+        assert_eq!(
+            req,
+            EngineRequest::Answer {
+                db: "d".into(),
+                query: QueryRef::Text("(x) <- R(x)".into()),
+                generator: "uniform".into(),
+                eps: 0.1,
+                delta: 0.1,
+                seed: 0,
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_ambiguous_query_refs() {
+        let v = json::parse(r#"{"op":"answer","db":"d","query":"(x) <- R(x)","prepared":"q1"}"#)
+            .unwrap();
+        assert!(matches!(
+            EngineRequest::from_json(&v),
+            Err(EngineError::BadRequest(_))
+        ));
+        let v = json::parse(r#"{"op":"answer","db":"d"}"#).unwrap();
+        assert!(EngineRequest::from_json(&v).is_err());
+    }
+
+    #[test]
+    fn unknown_op_rejected() {
+        let v = json::parse(r#"{"op":"explode"}"#).unwrap();
+        assert!(matches!(
+            EngineRequest::from_json(&v),
+            Err(EngineError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn error_response_renders_ok_false() {
+        let out = EngineResponse::Error(EngineError::UnknownDatabase("x".into()))
+            .to_json()
+            .to_string();
+        assert!(out.contains("\"ok\":false"), "{out}");
+        assert!(out.contains("unknown database"), "{out}");
+    }
+}

@@ -1,0 +1,126 @@
+//! Protocol transports: newline-delimited JSON over stdio or TCP.
+
+use crate::engine::Engine;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+
+/// Longest request line a session accepts. Reading lines unbounded would
+/// let one client buffer arbitrary memory server-side by never sending a
+/// newline; past this limit the session is told off and closed.
+pub const MAX_LINE_BYTES: u64 = 1 << 20;
+
+/// Serves one session: each input line is a request, each output line the
+/// response. Returns when the input ends (or a request line exceeds
+/// [`MAX_LINE_BYTES`]). Blank lines are ignored.
+pub fn serve_session(
+    engine: &Engine,
+    mut input: impl BufRead,
+    mut output: impl Write,
+) -> io::Result<()> {
+    loop {
+        let mut buf = Vec::new();
+        // Read one byte past the limit so a newline-less final line of
+        // exactly MAX_LINE_BYTES at EOF is still accepted; only a line
+        // strictly longer trips the guard.
+        let n = (&mut input)
+            .take(MAX_LINE_BYTES + 1)
+            .read_until(b'\n', &mut buf)?;
+        if n == 0 {
+            return Ok(()); // EOF
+        }
+        if buf.last() != Some(&b'\n') && n as u64 > MAX_LINE_BYTES {
+            writeln!(
+                output,
+                r#"{{"ok":false,"error":"request line longer than {MAX_LINE_BYTES} bytes"}}"#
+            )?;
+            output.flush()?;
+            return Ok(());
+        }
+        let line = String::from_utf8_lossy(&buf);
+        if line.trim().is_empty() {
+            continue;
+        }
+        writeln!(output, "{}", engine.handle_line(line.trim_end()))?;
+        output.flush()?;
+    }
+}
+
+/// Serves stdin/stdout (the `ocqa serve` default).
+pub fn serve_stdio(engine: &Engine) -> io::Result<()> {
+    let stdin = io::stdin();
+    let stdout = io::stdout();
+    serve_session(engine, stdin.lock(), stdout.lock())
+}
+
+/// Accept loop: one thread per connection, all sharing the engine. Runs
+/// until the listener fails (i.e. normally forever).
+pub fn serve_listener(engine: Arc<Engine>, listener: TcpListener) -> io::Result<()> {
+    for conn in listener.incoming() {
+        let stream = conn?;
+        let engine = engine.clone();
+        std::thread::Builder::new()
+            .name("ocqa-session".into())
+            .spawn(move || {
+                let _ = handle_connection(&engine, stream);
+            })
+            .expect("spawn session thread");
+    }
+    Ok(())
+}
+
+/// Serves a single TCP connection.
+pub fn handle_connection(engine: &Engine, stream: TcpStream) -> io::Result<()> {
+    let reader = BufReader::new(stream.try_clone()?);
+    serve_session(engine, reader, stream)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+
+    #[test]
+    fn stdio_style_session() {
+        let engine = Engine::new(EngineConfig {
+            workers: 1,
+            cache_capacity: 8,
+            ..EngineConfig::default()
+        });
+        let input = concat!(
+            r#"{"op":"create_db","name":"kv","facts":"R(a,b). R(a,c).","constraints":"R(x,y), R(x,z) -> y = z."}"#,
+            "\n\n",
+            r#"{"op":"answer","db":"kv","query":"(y) <- exists x: R(x,y)","eps":0.1,"delta":0.1,"seed":3}"#,
+            "\n",
+            r#"{"op":"nope"}"#,
+            "\n",
+        );
+        let mut out = Vec::new();
+        serve_session(&engine, input.as_bytes(), &mut out).unwrap();
+        let lines: Vec<&str> = std::str::from_utf8(&out).unwrap().trim().lines().collect();
+        assert_eq!(lines.len(), 3, "blank line skipped");
+        assert!(lines[0].contains("\"ok\":true"));
+        assert!(lines[1].contains("\"answers\":"));
+        assert!(lines[2].contains("\"ok\":false"));
+    }
+
+    #[test]
+    fn overlong_line_closes_session_with_error() {
+        let engine = Engine::new(EngineConfig {
+            workers: 1,
+            cache_capacity: 8,
+            ..EngineConfig::default()
+        });
+        let mut input = vec![b'x'; (MAX_LINE_BYTES + 10) as usize];
+        input.push(b'\n');
+        input.extend_from_slice(b"{\"op\":\"ping\"}\n");
+        let mut out = Vec::new();
+        serve_session(&engine, &input[..], &mut out).unwrap();
+        let text = std::str::from_utf8(&out).unwrap();
+        assert!(text.contains("longer than"), "{text}");
+        assert!(
+            !text.contains("pong"),
+            "session must close after an overlong line: {text}"
+        );
+    }
+}

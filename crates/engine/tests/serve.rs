@@ -1,0 +1,173 @@
+//! End-to-end tests of the serving engine over real TCP connections.
+
+use ocqa_engine::{serve_listener, Engine, EngineConfig, EngineRequest, EngineResponse, QueryRef};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+
+/// Starts an engine + TCP server on an ephemeral port.
+fn spawn_server(workers: usize) -> (Arc<Engine>, std::net::SocketAddr) {
+    let engine = Engine::new(EngineConfig {
+        workers,
+        cache_capacity: 256,
+        ..EngineConfig::default()
+    });
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+    let addr = listener.local_addr().unwrap();
+    let server_engine = engine.clone();
+    std::thread::spawn(move || {
+        let _ = serve_listener(server_engine, listener);
+    });
+    (engine, addr)
+}
+
+/// One protocol exchange on an open connection.
+fn roundtrip(stream: &mut TcpStream, reader: &mut BufReader<TcpStream>, req: &str) -> String {
+    writeln!(stream, "{req}").unwrap();
+    stream.flush().unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    line
+}
+
+fn connect(addr: std::net::SocketAddr) -> (TcpStream, BufReader<TcpStream>) {
+    let stream = TcpStream::connect(addr).expect("connect");
+    let reader = BufReader::new(stream.try_clone().unwrap());
+    (stream, reader)
+}
+
+const CREATE: &str = r#"{"op":"create_db","name":"kv","facts":"R(1,10). R(1,20). R(2,30). R(2,40). R(3,50).","constraints":"R(x,y), R(x,z) -> y = z."}"#;
+const ANSWER: &str =
+    r#"{"op":"answer","db":"kv","query":"(x) <- exists y: R(x,y)","eps":0.1,"delta":0.1,"seed":7}"#;
+
+#[test]
+fn four_concurrent_sessions_share_one_catalog() {
+    let (_engine, addr) = spawn_server(4);
+    {
+        let (mut s, mut r) = connect(addr);
+        let resp = roundtrip(&mut s, &mut r, CREATE);
+        assert!(resp.contains("\"ok\":true"), "{resp}");
+    }
+
+    // Four clients answer the same query against the shared catalog,
+    // simultaneously; every one must see the full, identical result.
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let (mut s, mut r) = connect(addr);
+                roundtrip(&mut s, &mut r, ANSWER)
+            })
+        })
+        .collect();
+    let responses: Vec<String> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    for resp in &responses {
+        assert!(resp.contains("\"ok\":true"), "{resp}");
+        assert!(resp.contains("\"walks\":150"), "{resp}");
+        // Key 3 is conflict-free: survives every repair with p = 1.
+        assert!(resp.contains("\"tuple\":[3]"), "{resp}");
+    }
+    // All four sampled the same (db, query, generator, ε/δ, seed) —
+    // whether or not they raced past the cache, the answers must agree.
+    let strip = |s: &str| {
+        // The cache counters and cached flag legitimately differ.
+        let v = ocqa_engine::json::parse(s.trim()).unwrap();
+        v.get("answers").unwrap().to_string()
+    };
+    let first = strip(&responses[0]);
+    for resp in &responses[1..] {
+        assert_eq!(strip(resp), first, "divergent answers across sessions");
+    }
+}
+
+#[test]
+fn cache_hits_are_observable_and_updates_invalidate() {
+    let (_engine, addr) = spawn_server(2);
+    let (mut s, mut r) = connect(addr);
+    assert!(roundtrip(&mut s, &mut r, CREATE).contains("\"ok\":true"));
+
+    let cold = roundtrip(&mut s, &mut r, ANSWER);
+    assert!(cold.contains("\"cached\":false"), "{cold}");
+    assert!(cold.contains("\"db_version\":1"), "{cold}");
+
+    // Same request from a *different* session: served from the cache.
+    let (mut s2, mut r2) = connect(addr);
+    let warm = roundtrip(&mut s2, &mut r2, ANSWER);
+    assert!(warm.contains("\"cached\":true"), "{warm}");
+    assert!(warm.contains("\"cache_hits\":1"), "{warm}");
+
+    // Insert bumps the version and invalidates: a recompute follows.
+    let upd = roundtrip(
+        &mut s,
+        &mut r,
+        r#"{"op":"insert","db":"kv","facts":"R(4,60)."}"#,
+    );
+    assert!(upd.contains("\"version\":2"), "{upd}");
+    let after = roundtrip(&mut s, &mut r, ANSWER);
+    assert!(after.contains("\"cached\":false"), "{after}");
+    assert!(after.contains("\"db_version\":2"), "{after}");
+    assert!(after.contains("\"tuple\":[4]"), "new fact visible: {after}");
+
+    // Delete likewise.
+    let upd = roundtrip(
+        &mut s,
+        &mut r,
+        r#"{"op":"delete","db":"kv","facts":"R(4,60)."}"#,
+    );
+    assert!(upd.contains("\"version\":3"), "{upd}");
+    let after = roundtrip(&mut s, &mut r, ANSWER);
+    assert!(after.contains("\"db_version\":3"), "{after}");
+    assert!(!after.contains("\"tuple\":[4]"), "stale fact gone: {after}");
+}
+
+#[test]
+fn fixed_seed_answers_identical_across_pool_sizes() {
+    let mut outputs = Vec::new();
+    for workers in [1, 2, 8] {
+        let engine = Engine::new(EngineConfig {
+            workers,
+            cache_capacity: 16,
+            ..EngineConfig::default()
+        });
+        let resp = engine.handle(EngineRequest::CreateDb {
+            name: "kv".into(),
+            facts: "R(1,10). R(1,20). R(2,30). R(2,40).".into(),
+            constraints: "R(x,y), R(x,z) -> y = z.".into(),
+        });
+        assert!(matches!(resp, EngineResponse::Created(_)));
+        let EngineResponse::Answer(a) = engine.handle(EngineRequest::Answer {
+            db: "kv".into(),
+            query: QueryRef::Text("(y) <- exists x: R(x,y)".into()),
+            generator: "uniform".into(),
+            eps: 0.05,
+            delta: 0.05,
+            seed: 123,
+        }) else {
+            panic!("expected answer");
+        };
+        outputs.push(
+            a.answers
+                .iter()
+                .map(|row| (row.tuple.clone(), row.p))
+                .collect::<Vec<_>>(),
+        );
+    }
+    assert_eq!(outputs[0], outputs[1], "1 vs 2 workers");
+    assert_eq!(outputs[0], outputs[2], "1 vs 8 workers");
+}
+
+#[test]
+fn sessions_see_errors_inline_and_keep_going() {
+    let (_engine, addr) = spawn_server(1);
+    let (mut s, mut r) = connect(addr);
+    let resp = roundtrip(
+        &mut s,
+        &mut r,
+        r#"{"op":"answer","db":"ghost","query":"(x) <- R(x)"}"#,
+    );
+    assert!(resp.contains("\"ok\":false") && resp.contains("unknown database"));
+    let resp = roundtrip(&mut s, &mut r, "}{");
+    assert!(resp.contains("\"ok\":false"));
+    // The session survives bad requests.
+    let resp = roundtrip(&mut s, &mut r, r#"{"op":"ping"}"#);
+    assert!(resp.contains("\"pong\":true"));
+}

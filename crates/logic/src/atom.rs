@@ -93,7 +93,10 @@ impl Atom {
 
     /// Number of argument positions already determined under `h`.
     pub fn bound_count(&self, h: &Bindings) -> usize {
-        self.args.iter().filter(|t| h.resolve(**t).is_some()).count()
+        self.args
+            .iter()
+            .filter(|t| h.resolve(**t).is_some())
+            .count()
     }
 
     /// Extends `h` so that this atom maps onto the given tuple; returns
@@ -146,10 +149,18 @@ mod tests {
     fn variables_dedup_in_order() {
         let a = Atom::new(
             "R",
-            vec![Term::var("x"), Term::var("y"), Term::var("x"), Term::constant("c")],
+            vec![
+                Term::var("x"),
+                Term::var("y"),
+                Term::var("x"),
+                Term::constant("c"),
+            ],
         );
         assert_eq!(a.variables(), vec![Var::named("x"), Var::named("y")]);
-        assert_eq!(a.constants().collect::<Vec<_>>(), vec![Constant::named("c")]);
+        assert_eq!(
+            a.constants().collect::<Vec<_>>(),
+            vec![Constant::named("c")]
+        );
     }
 
     #[test]
@@ -164,7 +175,10 @@ mod tests {
 
     #[test]
     fn pattern_under_partial_binding() {
-        let a = Atom::new("R", vec![Term::var("x"), Term::constant("k"), Term::var("y")]);
+        let a = Atom::new(
+            "R",
+            vec![Term::var("x"), Term::constant("k"), Term::var("y")],
+        );
         let mut h = Bindings::new();
         h.bind(Var::named("y"), Constant::named("b"));
         assert_eq!(
@@ -176,21 +190,36 @@ mod tests {
 
     #[test]
     fn unify_tuple_respects_repeats_and_constants() {
-        let a = Atom::new("R", vec![Term::var("x"), Term::var("x"), Term::constant("k")]);
+        let a = Atom::new(
+            "R",
+            vec![Term::var("x"), Term::var("x"), Term::constant("k")],
+        );
         let mut h = Bindings::new();
         assert!(a.unify_tuple(
-            &[Constant::named("a"), Constant::named("a"), Constant::named("k")],
+            &[
+                Constant::named("a"),
+                Constant::named("a"),
+                Constant::named("k")
+            ],
             &mut h
         ));
         assert_eq!(h.get(Var::named("x")), Some(Constant::named("a")));
         let mut h2 = Bindings::new();
         assert!(!a.unify_tuple(
-            &[Constant::named("a"), Constant::named("b"), Constant::named("k")],
+            &[
+                Constant::named("a"),
+                Constant::named("b"),
+                Constant::named("k")
+            ],
             &mut h2
         ));
         let mut h3 = Bindings::new();
         assert!(!a.unify_tuple(
-            &[Constant::named("a"), Constant::named("a"), Constant::named("z")],
+            &[
+                Constant::named("a"),
+                Constant::named("a"),
+                Constant::named("z")
+            ],
             &mut h3
         ));
     }

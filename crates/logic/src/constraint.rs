@@ -60,7 +60,10 @@ impl Constraint {
     ///
     /// Returns one EGD per non-key position.
     pub fn key(pred: &str, key_len: usize, arity: usize) -> Vec<Constraint> {
-        assert!(key_len < arity, "key must leave at least one dependent column");
+        assert!(
+            key_len < arity,
+            "key must leave at least one dependent column"
+        );
         let var = |prefix: &str, i: usize| Term::Var(Var::named(&format!("{prefix}{i}")));
         use crate::Term;
         let mut out = Vec::new();
@@ -401,7 +404,10 @@ mod tests {
     fn satisfaction_example1() {
         let db = example1_db();
         let (sigma, eta) = sigma();
-        assert!(!sigma.satisfied_by(&db), "no S facts: every R tuple violates σ");
+        assert!(
+            !sigma.satisfied_by(&db),
+            "no S facts: every R tuple violates σ"
+        );
         assert!(!eta.satisfied_by(&db), "R(a,b), R(a,c) violates the key");
         // After removing R(a,c), η holds but σ still fails.
         let mut db2 = db.clone();
@@ -463,7 +469,10 @@ mod tests {
         assert_eq!(sigma.to_string(), "R(x,y) -> exists z: S(x,y,z)");
         assert_eq!(eta.to_string(), "R(x,y), R(x,z) -> y = z");
         let dc = Constraint::Dc {
-            body: vec![Atom::vars("Pref", &["x", "y"]), Atom::vars("Pref", &["y", "x"])],
+            body: vec![
+                Atom::vars("Pref", &["x", "y"]),
+                Atom::vars("Pref", &["y", "x"]),
+            ],
         };
         assert_eq!(dc.to_string(), "Pref(x,y), Pref(y,x) -> #false");
     }

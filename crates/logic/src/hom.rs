@@ -118,7 +118,10 @@ mod tests {
     #[test]
     fn single_atom_enumeration() {
         let got = hom_set(&[Atom::vars("S", &["x"])], &db());
-        assert_eq!(got, BTreeSet::from(["{x↦a}".to_string(), "{x↦b}".to_string()]));
+        assert_eq!(
+            got,
+            BTreeSet::from(["{x↦a}".to_string(), "{x↦b}".to_string()])
+        );
     }
 
     #[test]
@@ -147,12 +150,12 @@ mod tests {
 
     #[test]
     fn constants_in_atoms() {
-        let atoms = [Atom::new(
-            "R",
-            vec![Term::constant("a"), Term::var("y")],
-        )];
+        let atoms = [Atom::new("R", vec![Term::constant("a"), Term::var("y")])];
         let got = hom_set(&atoms, &db());
-        assert_eq!(got, BTreeSet::from(["{y↦b}".to_string(), "{y↦c}".to_string()]));
+        assert_eq!(
+            got,
+            BTreeSet::from(["{y↦b}".to_string(), "{y↦c}".to_string()])
+        );
     }
 
     #[test]
@@ -166,8 +169,16 @@ mod tests {
 
     #[test]
     fn exists_hom_short_circuits() {
-        assert!(exists_hom(&[Atom::vars("R", &["x", "y"])], &db(), &Bindings::new()));
-        assert!(!exists_hom(&[Atom::vars("R", &["x", "x"])], &db(), &Bindings::new()));
+        assert!(exists_hom(
+            &[Atom::vars("R", &["x", "y"])],
+            &db(),
+            &Bindings::new()
+        ));
+        assert!(!exists_hom(
+            &[Atom::vars("R", &["x", "x"])],
+            &db(),
+            &Bindings::new()
+        ));
     }
 
     #[test]
@@ -189,14 +200,10 @@ mod tests {
             Atom::vars("R", &["z", "x"]),
         ];
         let got = hom_set(&atoms, &db());
-        let want: BTreeSet<String> = [
-            "{x↦a, y↦b, z↦c}",
-            "{x↦b, y↦c, z↦a}",
-            "{x↦c, y↦a, z↦b}",
-        ]
-        .into_iter()
-        .map(String::from)
-        .collect();
+        let want: BTreeSet<String> = ["{x↦a, y↦b, z↦c}", "{x↦b, y↦c, z↦a}", "{x↦c, y↦a, z↦b}"]
+            .into_iter()
+            .map(String::from)
+            .collect();
         assert_eq!(got, want);
     }
 }

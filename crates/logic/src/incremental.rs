@@ -164,9 +164,7 @@ fn seed_tgd_deletion_violations<S: FactSource + ?Sized>(
             // homs constrained by the shared variables.
             let shared: Bindings = {
                 let body_vars: Vec<_> = kappa.body_variables();
-                Bindings::from_pairs(
-                    seed.iter().filter(|(v, _)| body_vars.contains(v)),
-                )
+                Bindings::from_pairs(seed.iter().filter(|(v, _)| body_vars.contains(v)))
             };
             hom::for_each_hom(body, db, &shared, &mut |h| {
                 if !kappa.head_holds(db, h) {
@@ -192,8 +190,8 @@ fn restrict_to_body(kappa: &Constraint, h: &Bindings) -> Bindings {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ocqa_data::Database;
     use crate::parser;
+    use ocqa_data::Database;
     use proptest::prelude::*;
 
     fn setup(facts: &str, constraints: &str) -> (Database, ConstraintSet) {
@@ -282,13 +280,16 @@ mod tests {
 
     #[test]
     fn dc_seeding_matches_recompute() {
-        let (mut db, sigma) = setup(
-            "Pref(a,b). Pref(b,c).",
-            "Pref(x,y), Pref(y,x) -> false.",
-        );
+        let (mut db, sigma) = setup("Pref(a,b). Pref(b,c).", "Pref(x,y), Pref(y,x) -> false.");
         let v0 = ViolationSet::compute(&sigma, &db);
         assert!(v0.is_empty());
-        let v1 = apply_and_update(&mut db, &sigma, &v0, &[Fact::parts("Pref", &["b", "a"])], &[]);
+        let v1 = apply_and_update(
+            &mut db,
+            &sigma,
+            &v0,
+            &[Fact::parts("Pref", &["b", "a"])],
+            &[],
+        );
         assert_eq!(v1.len(), 2, "both orientations of the conflict");
         assert_eq!(v1, ViolationSet::compute(&sigma, &db));
     }

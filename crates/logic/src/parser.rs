@@ -262,7 +262,10 @@ impl Parser {
     }
 
     fn error_here(&self, msg: impl Into<String>) -> ParseError {
-        match self.toks.get(self.pos.min(self.toks.len().saturating_sub(1))) {
+        match self
+            .toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+        {
             Some(s) if self.pos < self.toks.len() => ParseError {
                 line: s.line,
                 col: s.col,
@@ -609,10 +612,7 @@ pub fn parse_formula(src: &str) -> Result<Formula, ParseError> {
 
 /// Infers a schema from facts and constraint atoms (every predicate gets
 /// the arity of its first occurrence; conflicts are errors).
-pub fn infer_schema(
-    facts: &[Fact],
-    sigma: &ConstraintSet,
-) -> Result<Arc<Schema>, SchemaError> {
+pub fn infer_schema(facts: &[Fact], sigma: &ConstraintSet) -> Result<Arc<Schema>, SchemaError> {
     let mut b = Schema::builder();
     let mut seen: Vec<(Symbol, usize)> = Vec::new();
     let add = |pred: Symbol, arity: usize, seen: &mut Vec<(Symbol, usize)>| {
@@ -710,7 +710,10 @@ mod tests {
         // Quantifiers bind tightly: without parentheses the second
         // conjunct's y is free.
         let q2 = parse_query("exists y: Pref(x, y) & Pref(y, z)").unwrap();
-        assert_eq!(q2.head(), &[Var::named("x"), Var::named("y"), Var::named("z")]);
+        assert_eq!(
+            q2.head(),
+            &[Var::named("x"), Var::named("y"), Var::named("z")]
+        );
     }
 
     #[test]
@@ -756,10 +759,8 @@ mod tests {
 
     #[test]
     fn comments_and_whitespace() {
-        let facts = parse_facts(
-            "# leading comment\nPref(a, b). % trailing comment\n  Pref(b, c).",
-        )
-        .unwrap();
+        let facts = parse_facts("# leading comment\nPref(a, b). % trailing comment\n  Pref(b, c).")
+            .unwrap();
         assert_eq!(facts.len(), 2);
     }
 }

@@ -391,7 +391,14 @@ mod tests {
     fn pref_db() -> Database {
         let schema = Schema::from_relations(&[("Pref", 2)]);
         let mut db = Database::new(schema);
-        for (a, b) in [("a", "b"), ("a", "c"), ("a", "d"), ("b", "a"), ("b", "d"), ("c", "a")] {
+        for (a, b) in [
+            ("a", "b"),
+            ("a", "c"),
+            ("a", "d"),
+            ("b", "a"),
+            ("b", "d"),
+            ("c", "a"),
+        ] {
             db.insert(&Fact::parts("Pref", &[a, b])).unwrap();
         }
         db

@@ -27,10 +27,7 @@ impl Bindings {
     pub fn from_pairs(pairs: impl IntoIterator<Item = (Var, Constant)>) -> Bindings {
         let mut b = Bindings::new();
         for (v, c) in pairs {
-            assert!(
-                b.bind(v, c),
-                "conflicting binding for variable {v}"
-            );
+            assert!(b.bind(v, c), "conflicting binding for variable {v}");
         }
         b
     }

@@ -19,6 +19,9 @@ pub enum Sign {
 
 impl Sign {
     /// Product-of-signs rule.
+    // Deliberately an inherent method: `Sign` is not a number, and a full
+    // `std::ops::Mul` impl would suggest it is.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, other: Sign) -> Sign {
         use Sign::*;
         match (self, other) {
@@ -131,14 +134,12 @@ impl IBig {
             (a, b) if a == b => IBig::from_sign_mag(a, self.mag.add_ref(&other.mag)),
             _ => match self.mag.cmp(&other.mag) {
                 Ordering::Equal => IBig::zero(),
-                Ordering::Greater => IBig::from_sign_mag(
-                    self.sign,
-                    self.mag.checked_sub_ref(&other.mag).unwrap(),
-                ),
-                Ordering::Less => IBig::from_sign_mag(
-                    other.sign,
-                    other.mag.checked_sub_ref(&self.mag).unwrap(),
-                ),
+                Ordering::Greater => {
+                    IBig::from_sign_mag(self.sign, self.mag.checked_sub_ref(&other.mag).unwrap())
+                }
+                Ordering::Less => {
+                    IBig::from_sign_mag(other.sign, other.mag.checked_sub_ref(&self.mag).unwrap())
+                }
             },
         }
     }
@@ -183,7 +184,9 @@ impl IBig {
         match self.sign {
             Sign::Zero => Some(0),
             Sign::Positive => (mag <= i64::MAX as u128).then_some(mag as i64),
-            Sign::Negative => (mag <= i64::MAX as u128 + 1).then(|| (mag as u64).wrapping_neg() as i64),
+            Sign::Negative => {
+                (mag <= i64::MAX as u128 + 1).then(|| (mag as u64).wrapping_neg() as i64)
+            }
         }
     }
 
@@ -208,9 +211,7 @@ impl From<i64> for IBig {
         match v.cmp(&0) {
             Ordering::Equal => IBig::zero(),
             Ordering::Greater => IBig::from_sign_mag(Sign::Positive, UBig::from(v as u64)),
-            Ordering::Less => {
-                IBig::from_sign_mag(Sign::Negative, UBig::from(v.unsigned_abs()))
-            }
+            Ordering::Less => IBig::from_sign_mag(Sign::Negative, UBig::from(v.unsigned_abs())),
         }
     }
 }
@@ -364,7 +365,10 @@ mod tests {
 
     #[test]
     fn sign_normalization() {
-        assert_eq!(IBig::from_sign_mag(Sign::Negative, UBig::zero()), IBig::zero());
+        assert_eq!(
+            IBig::from_sign_mag(Sign::Negative, UBig::zero()),
+            IBig::zero()
+        );
         assert_eq!(ib(0).sign(), Sign::Zero);
         assert_eq!(ib(-3).sign(), Sign::Negative);
         assert_eq!(ib(3).sign(), Sign::Positive);

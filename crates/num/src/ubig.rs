@@ -111,9 +111,9 @@ impl UBig {
         };
         let mut out = Vec::with_capacity(long.len() + 1);
         let mut carry = 0u64;
-        for i in 0..long.len() {
+        for (i, &a) in long.iter().enumerate() {
             let b = short.get(i).copied().unwrap_or(0);
-            let (s1, c1) = long[i].overflowing_add(b);
+            let (s1, c1) = a.overflowing_add(b);
             let (s2, c2) = s1.overflowing_add(carry);
             out.push(s2);
             carry = (c1 as u64) + (c2 as u64);
@@ -219,9 +219,7 @@ impl UBig {
             let mut qhat = top / v_top;
             let mut rhat = top % v_top;
             // Correct the 2-limb estimate down to at most one off.
-            while qhat >> 64 != 0
-                || qhat * v_second > (rhat << 64 | u[j + n - 2] as u128)
-            {
+            while qhat >> 64 != 0 || qhat * v_second > (rhat << 64 | u[j + n - 2] as u128) {
                 qhat -= 1;
                 rhat += v_top;
                 if rhat >> 64 != 0 {

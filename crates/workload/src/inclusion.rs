@@ -68,11 +68,8 @@ impl InclusionWorkload {
             // Unknown customer ids live outside the registered range.
             let ghost = Constant::int((spec.customers + 1000 + i) as i64);
             dangling_customers.push(ghost);
-            db.insert(&Fact::new(
-                "Order",
-                vec![Constant::int(order_id), ghost],
-            ))
-            .unwrap();
+            db.insert(&Fact::new("Order", vec![Constant::int(order_id), ghost]))
+                .unwrap();
             order_id += 1;
         }
         let sigma = parser::parse_constraints("Order(o, c) -> Customer(c).").unwrap();

@@ -1,8 +1,8 @@
 //! Multi-source data-integration workloads with trust levels (Example 5).
 
 use ocqa_data::{Constant, Database, Fact, Schema};
-use ocqa_num::Rat;
 use ocqa_logic::{parser, ConstraintSet};
+use ocqa_num::Rat;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
@@ -66,7 +66,7 @@ impl IntegrationWorkload {
             db.insert(&f0).unwrap();
             trust.insert(f0, source_reliability[0].clone());
             // Each later source may contradict.
-            for s in 1..spec.sources {
+            for reliability in source_reliability.iter().skip(1) {
                 if rng.random_range(0..100) < spec.conflict_percent as u32 {
                     let mut v = rng.random_range(0..1000);
                     if v == v0 {
@@ -74,7 +74,7 @@ impl IntegrationWorkload {
                     }
                     let f = Fact::new("R", vec![Constant::int(e as i64), Constant::int(v)]);
                     if db.insert(&f).unwrap() {
-                        trust.insert(f, source_reliability[s].clone());
+                        trust.insert(f, reliability.clone());
                     }
                 }
             }

@@ -14,7 +14,10 @@ fn main() {
     let schema = parser::infer_schema(&facts, &sigma).unwrap();
     let db = Database::from_facts(schema, facts).unwrap();
     println!("database: {db}");
-    println!("constraint: {} (employee works in one department)\n", sigma.constraints()[0]);
+    println!(
+        "constraint: {} (employee works in one department)\n",
+        sigma.constraints()[0]
+    );
 
     // Classical semantics.
     let repairs = ocqa::abc::subset_repairs(&db, &sigma).unwrap();

@@ -41,10 +41,8 @@ fn main() {
 
     // An FO query with universal quantification: keys whose *every*
     // surviving value is below 25.
-    let q = parser::parse_query(
-        "(x) <- (exists y: R(x, y)) & (forall y: (!R(x, y) | Lt25(y)))",
-    )
-    .unwrap();
+    let q = parser::parse_query("(x) <- (exists y: R(x, y)) & (forall y: (!R(x, y) | Lt25(y)))")
+        .unwrap();
     // Materialize the Lt25 predicate (a unary comparison table).
     let mut db = w.db.clone();
     {
@@ -53,7 +51,9 @@ fn main() {
             schema_facts.push(Fact::new("Lt25", vec![Constant::int(v)]));
         }
         let schema = parser::infer_schema(
-            &db.facts().chain(schema_facts.iter().cloned()).collect::<Vec<_>>(),
+            &db.facts()
+                .chain(schema_facts.iter().cloned())
+                .collect::<Vec<_>>(),
             &w.sigma,
         )
         .unwrap();
@@ -72,8 +72,7 @@ fn main() {
     };
 
     let mut rng = StdRng::seed_from_u64(9);
-    let (answers, walks) =
-        sample::estimate_answers(&ctx, &gen, &q, eps, delta, &mut rng).unwrap();
+    let (answers, walks) = sample::estimate_answers(&ctx, &gen, &q, eps, delta, &mut rng).unwrap();
     println!("estimated CP per answer tuple ({walks} walks):");
     let mut shown = 0;
     for (tuple, p) in answers.iter() {

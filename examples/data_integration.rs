@@ -68,6 +68,11 @@ fn main() {
     let q = parser::parse_query("(x, y) <- R(x, y)").unwrap();
     println!("\noperational consistent answers for R(x,y):");
     for (tuple, p) in answer::operational_answers(&dist, &q) {
-        println!("  R({},{}) with probability ≈ {:.4}", tuple[0], tuple[1], p.to_f64());
+        println!(
+            "  R({},{}) with probability ≈ {:.4}",
+            tuple[0],
+            tuple[1],
+            p.to_f64()
+        );
     }
 }

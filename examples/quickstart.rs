@@ -13,10 +13,9 @@ use ocqa::prelude::*;
 fn main() {
     // 1. An inconsistent database: the preference relation is supposed to
     //    be asymmetric, but a↔b and a↔c are mutual.
-    let facts = parser::parse_facts(
-        "Pref(a,b). Pref(a,c). Pref(a,d). Pref(b,a). Pref(b,d). Pref(c,a).",
-    )
-    .unwrap();
+    let facts =
+        parser::parse_facts("Pref(a,b). Pref(a,c). Pref(a,d). Pref(b,a). Pref(b,d). Pref(c,a).")
+            .unwrap();
     let sigma = parser::parse_constraints("Pref(x,y), Pref(y,x) -> false.").unwrap();
     let schema = parser::infer_schema(&facts, &sigma).unwrap();
     let db = Database::from_facts(schema, facts).unwrap();

@@ -42,9 +42,7 @@ fn tgd_head_with_constraint_constant() {
     // Σ constants enter B(D,Σ): R(x) → S(x,'flagged') inserts a constant
     // that never occurs in D.
     let ctx = setup("R(a).", "R(x) -> S(x, 'flagged').");
-    assert!(ctx
-        .base()
-        .contains(&Fact::parts("S", &["a", "flagged"])));
+    assert!(ctx.base().contains(&Fact::parts("S", &["a", "flagged"])));
     let state = RepairState::initial(ctx.clone());
     let exts = state.extensions();
     let add = Operation::insert(vec![Fact::parts("S", &["a", "flagged"])]);
@@ -206,11 +204,7 @@ fn key_with_composite_key_columns() {
     // Note: the parser reads `1` as an integer constant.
     let survivor = Fact::new(
         "T",
-        vec![
-            Constant::named("a"),
-            Constant::named("c"),
-            Constant::int(1),
-        ],
+        vec![Constant::named("a"), Constant::named("c"), Constant::int(1)],
     );
     for info in dist.repairs() {
         assert!(info.db.contains(&survivor));

@@ -96,10 +96,12 @@ fn key_sampler_trust_policy_matches_generator() {
     let f1 = Fact::new("R", vec![Constant::named("a"), Constant::int(1)]);
     let f2 = Fact::new("R", vec![Constant::named("a"), Constant::int(2)]);
     assert!(db.contains(&f1) && db.contains(&f2));
-    let trust: std::collections::BTreeMap<Fact, Rat> =
-        [(f1.clone(), Rat::ratio(4, 5)), (f2.clone(), Rat::ratio(1, 5))]
-            .into_iter()
-            .collect();
+    let trust: std::collections::BTreeMap<Fact, Rat> = [
+        (f1.clone(), Rat::ratio(4, 5)),
+        (f2.clone(), Rat::ratio(1, 5)),
+    ]
+    .into_iter()
+    .collect();
 
     // Generic engine with the trust generator.
     let gen = TrustGenerator::new(
@@ -149,8 +151,7 @@ fn key_sampler_trust_policy_matches_generator() {
 #[test]
 fn certain_answer_comparison() {
     let facts =
-        parser::parse_facts("Emp(e1, sales). Emp(e1, hr). Emp(e2, sales). Dept(sales).")
-            .unwrap();
+        parser::parse_facts("Emp(e1, sales). Emp(e1, hr). Emp(e2, sales). Dept(sales).").unwrap();
     let sigma = parser::parse_constraints("Emp(x,y), Emp(x,z) -> y = z.").unwrap();
     let schema = parser::infer_schema(&facts, &sigma).unwrap();
     let db = Database::from_facts(schema, facts).unwrap();
@@ -213,9 +214,10 @@ fn inclusion_dependency_mixed_repairs() {
     assert!(dist.failing_mass().is_zero());
     // Some repair registers a ghost customer; some repair drops an order.
     let ghost = w.dangling_customers[0];
-    let registers = dist.repairs().iter().any(|r| {
-        r.db.contains(&Fact::new("Customer", vec![ghost]))
-    });
+    let registers = dist
+        .repairs()
+        .iter()
+        .any(|r| r.db.contains(&Fact::new("Customer", vec![ghost])));
     let drops = dist
         .repairs()
         .iter()

@@ -23,8 +23,7 @@ fn constraint_display_reparses_exactly() {
 
 #[test]
 fn fact_display_reparses() {
-    let facts =
-        parser::parse_facts("R(a, b). S(1, -5). T('quoted name', x2).").unwrap();
+    let facts = parser::parse_facts("R(a, b). S(1, -5). T('quoted name', x2).").unwrap();
     let printed: String = facts.iter().map(|f| format!("{f}. ")).collect();
     // Note: display prints bare names; fact context interprets them as
     // constants again, except names with spaces need quoting — skip those.

@@ -33,9 +33,8 @@ fn estimates_within_epsilon_of_exact() {
     let mut rng = StdRng::seed_from_u64(77);
     for tuple in [[Constant::int(1)], [Constant::int(2)]] {
         let exact = answer::conditional_probability(&dist, &q, &tuple).to_f64();
-        let est =
-            sample::estimate_tuple_probability(&ctx, &gen, &q, &tuple, 0.05, 0.01, &mut rng)
-                .unwrap();
+        let est = sample::estimate_tuple_probability(&ctx, &gen, &q, &tuple, 0.05, 0.01, &mut rng)
+            .unwrap();
         assert_eq!(est.failed_walks, 0);
         assert!(
             (est.value - exact).abs() <= est.epsilon,
@@ -89,8 +88,7 @@ fn whole_query_estimation_matches_exact_support() {
     let q = parser::parse_query("(x) <- exists y: R(x, y)").unwrap();
     let exact = answer::operational_answers(&dist, &q);
     let mut rng = StdRng::seed_from_u64(5);
-    let (estimated, _n) =
-        sample::estimate_answers(&ctx, &gen, &q, 0.05, 0.01, &mut rng).unwrap();
+    let (estimated, _n) = sample::estimate_answers(&ctx, &gen, &q, 0.05, 0.01, &mut rng).unwrap();
     // Certain tuples (keys a, b, c always survive under M^u? No — pair
     // deletions can remove *all* facts of a group, so only c is certain).
     // Compare supports: every estimated tuple has exact CP > 0 and every
@@ -140,8 +138,7 @@ fn key_sampler_matches_exact_product_distribution() {
         relation: Symbol::intern("R"),
         key_len: 1,
     };
-    let sampler =
-        KeyRepairSampler::new(ctx.d0(), &cfg, &GroupPolicy::KeepOneUniform).unwrap();
+    let sampler = KeyRepairSampler::new(ctx.d0(), &cfg, &GroupPolicy::KeepOneUniform).unwrap();
     let exact = sampler.exact_distribution();
     // Group sizes 2 and 3 ⇒ 6 outcomes.
     assert_eq!(exact.len(), 6);

@@ -1,0 +1,251 @@
+//! Offline subset of the `bytes` API (see `vendor/README.md`).
+//!
+//! Contiguous-only: [`Bytes`] is a cheaply-cloneable `Arc<[u8]>` window
+//! and [`BytesMut`] a growable buffer. Only the cursor/append methods the
+//! workspace's codec uses are provided.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Read-side cursor over a byte container.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// The unread bytes.
+    fn chunk(&self) -> &[u8];
+
+    /// Advances the cursor.
+    fn advance(&mut self, cnt: usize);
+
+    /// Whether any bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        assert!(self.has_remaining(), "get_u8 past end");
+        let b = self.chunk()[0];
+        self.advance(1);
+        b
+    }
+
+    /// Reads a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16 {
+        let mut raw = [0u8; 2];
+        self.copy_to_slice_impl(&mut raw);
+        u16::from_le_bytes(raw)
+    }
+
+    /// Reads a little-endian `i64`.
+    fn get_i64_le(&mut self) -> i64 {
+        let mut raw = [0u8; 8];
+        self.copy_to_slice_impl(&mut raw);
+        i64::from_le_bytes(raw)
+    }
+
+    /// Copies `len` bytes out into an owned [`Bytes`].
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes {
+        assert!(self.remaining() >= len, "copy_to_bytes past end");
+        let out = Bytes::copy_from_slice(&self.chunk()[..len]);
+        self.advance(len);
+        out
+    }
+
+    #[doc(hidden)]
+    fn copy_to_slice_impl(&mut self, dest: &mut [u8]) {
+        assert!(self.remaining() >= dest.len(), "read past end");
+        dest.copy_from_slice(&self.chunk()[..dest.len()]);
+        self.advance(dest.len());
+    }
+}
+
+/// Write-side append interface.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `i64`.
+    fn put_i64_le(&mut self, v: i64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+/// An immutable, cheaply-cloneable byte buffer with a read cursor.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Bytes {
+        Bytes::default()
+    }
+
+    /// Copies a slice into a new buffer.
+    pub fn copy_from_slice(src: &[u8]) -> Bytes {
+        Bytes {
+            data: src.into(),
+            pos: 0,
+        }
+    }
+
+    /// The unread length (alias of [`Buf::remaining`] for slice-likeness).
+    pub fn len(&self) -> usize {
+        self.remaining()
+    }
+
+    /// Whether no unread bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The unread bytes as an owned vector.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.chunk().to_vec()
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn chunk(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.remaining(), "advance past end");
+        self.pos += cnt;
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.chunk()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.chunk()
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bytes({} bytes)", self.len())
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes {
+            data: v.into(),
+            pos: 0,
+        }
+    }
+}
+
+/// A growable byte buffer.
+#[derive(Clone, Default, Debug)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Current length.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Freezes into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        let mut buf = BytesMut::with_capacity(16);
+        buf.put_u8(0xAB);
+        buf.put_u16_le(0x1234);
+        buf.put_i64_le(-99);
+        buf.put_slice(b"xyz");
+        let mut bytes = buf.freeze();
+        assert_eq!(bytes.remaining(), 1 + 2 + 8 + 3);
+        assert_eq!(bytes.get_u8(), 0xAB);
+        assert_eq!(bytes.get_u16_le(), 0x1234);
+        assert_eq!(bytes.get_i64_le(), -99);
+        assert_eq!(bytes.copy_to_bytes(3).to_vec(), b"xyz");
+        assert!(!bytes.has_remaining());
+    }
+
+    #[test]
+    fn deref_views_unread_window() {
+        let mut b = Bytes::copy_from_slice(b"hello");
+        b.advance(2);
+        assert_eq!(&b[..], b"llo");
+        assert_eq!(b.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "past end")]
+    fn overread_panics() {
+        Bytes::copy_from_slice(&[1]).get_i64_le();
+    }
+}

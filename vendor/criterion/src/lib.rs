@@ -1,0 +1,221 @@
+//! Offline subset of the `criterion` API (see `vendor/README.md`).
+//!
+//! Benchmarks compile and run with the familiar
+//! `criterion_group!`/`criterion_main!` entry points, time each closure
+//! with a warmup + adaptive measurement loop, and print median ns/iter.
+//! There are no statistical comparisons, plots or saved baselines.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            measure_budget: Duration::from_millis(200),
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        run_one("", &id.into(), Duration::from_millis(200), f);
+    }
+}
+
+/// A named benchmark identifier (`group/function/parameter`).
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            full: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// An id from a parameter value only.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            full: parameter.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    measure_budget: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Upstream tunes statistical sample count; here it scales the
+    /// measurement budget (samples × ~10ms, clamped to [50ms, 2s]).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.measure_budget = Duration::from_millis((n as u64 * 10).clamp(50, 2_000));
+        self
+    }
+
+    /// Benchmarks `f` with `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(&self.name, &id.full, self.measure_budget, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks `f` without an input parameter.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&self.name, &id.into(), self.measure_budget, f);
+        self
+    }
+
+    /// Ends the group (upstream finalizes reports here; a no-op).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; [`Bencher::iter`] does the timing.
+pub struct Bencher {
+    budget: Duration,
+    report: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Times `f`, first warming up, then looping until the measurement
+    /// budget is spent.
+    pub fn iter<T>(&mut self, mut f: impl FnMut() -> T) {
+        // Warmup + calibration: how many iterations fit in ~10% of budget?
+        let calib_start = Instant::now();
+        black_box(f());
+        let once = calib_start.elapsed().max(Duration::from_nanos(20));
+        let per_batch = (self.budget.as_nanos() / 10 / once.as_nanos()).clamp(1, 10_000) as u64;
+        let mut iters = 0u64;
+        let mut elapsed = Duration::ZERO;
+        while elapsed < self.budget && iters < 10_000_000 {
+            let start = Instant::now();
+            for _ in 0..per_batch {
+                black_box(f());
+            }
+            elapsed += start.elapsed();
+            iters += per_batch;
+        }
+        self.report = Some((iters, elapsed));
+    }
+
+    /// Times `routine` on inputs freshly produced by `setup`; only the
+    /// routine is measured. The batch-size hint is ignored (each batch
+    /// here is one input).
+    pub fn iter_batched<I, T>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> T,
+        _size: BatchSize,
+    ) {
+        let calib_input = setup();
+        let calib_start = Instant::now();
+        black_box(routine(calib_input));
+        let once = calib_start.elapsed().max(Duration::from_nanos(20));
+        let _ = once;
+        let mut iters = 0u64;
+        let mut elapsed = Duration::ZERO;
+        while elapsed < self.budget && iters < 1_000_000 {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            elapsed += start.elapsed();
+            iters += 1;
+        }
+        self.report = Some((iters, elapsed));
+    }
+}
+
+/// How much setup output to batch per measurement (accepted for API
+/// compatibility; the shim always uses one input per measurement).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+fn run_one(group: &str, id: &str, budget: Duration, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        budget,
+        report: None,
+    };
+    f(&mut b);
+    let label = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    match b.report {
+        Some((iters, elapsed)) if iters > 0 => {
+            let ns = elapsed.as_nanos() as f64 / iters as f64;
+            println!("{label:<50} {ns:>14.1} ns/iter  ({iters} iters)");
+        }
+        _ => println!("{label:<50}  (no measurement)"),
+    }
+}
+
+/// Declares a benchmark group function from target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(1); // minimum budget: keep the test fast
+        let mut ran = false;
+        g.bench_with_input(BenchmarkId::new("sum", 100), &100u64, |b, &n| {
+            ran = true;
+            b.iter(|| (0..n).sum::<u64>());
+        });
+        g.finish();
+        assert!(ran);
+    }
+}

@@ -1,0 +1,41 @@
+//! Offline subset of the `crossbeam` API (see `vendor/README.md`).
+
+#![forbid(unsafe_code)]
+
+/// Multi-producer channels. Senders are cloneable; the receiver iterates
+/// until every sender is dropped — the subset of crossbeam-channel
+/// semantics the workspace relies on, backed by `std::sync::mpsc`.
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, RecvError, SendError, Sender, SyncSender, TryRecvError};
+
+    /// An unbounded MPSC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+
+    /// A bounded (rendezvous for `cap == 0`) MPSC channel.
+    pub fn bounded<T>(cap: usize) -> (SyncSender<T>, Receiver<T>) {
+        std::sync::mpsc::sync_channel(cap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fan_in_and_drain() {
+        let (tx, rx) = super::channel::unbounded();
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let tx = tx.clone();
+                std::thread::spawn(move || tx.send(i).unwrap())
+            })
+            .collect();
+        drop(tx);
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut got: Vec<i32> = rx.into_iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+}

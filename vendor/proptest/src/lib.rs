@@ -1,0 +1,589 @@
+//! Offline subset of the `proptest` API (see `vendor/README.md`).
+//!
+//! Provides the `proptest!` test macro, `prop_assert*` assertions, and the
+//! strategy combinators the workspace uses: numeric ranges, `any::<T>()`,
+//! tuples, `prop::collection::vec`, a regex-lite string strategy,
+//! `prop_map` and `prop_filter`. No shrinking: a failing case reports its
+//! case index and message, and the deterministic per-test RNG makes every
+//! failure reproducible by rerunning the test.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// Runner configuration (`cases` is the only knob the workspace uses).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        // Upstream defaults to 256; 64 keeps the vendored runner quick
+        // while still exercising each property broadly.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Error carried out of a property body: a genuine assertion failure, or
+/// a `prop_assume!` rejection (the case is skipped, not failed).
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assert*` failed with this message.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs.
+    Reject,
+}
+
+impl From<String> for TestCaseError {
+    fn from(msg: String) -> TestCaseError {
+        TestCaseError::Fail(msg)
+    }
+}
+
+/// The deterministic RNG handed to strategies.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Seeded from the property name, so each property has a stable,
+    /// independent stream.
+    pub fn for_test(name: &str) -> TestRng {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng(StdRng::seed_from_u64(h))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    fn below(&mut self, span: u64) -> u64 {
+        self.0.random_range(0..span)
+    }
+}
+
+/// A generator of random values of type `Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Rejects values failing `f`, resampling (up to a cap).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            whence,
+            f,
+        }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter {:?} rejected 1000 consecutive samples",
+            self.whence
+        );
+    }
+}
+
+/// Types with a canonical full-range strategy ([`any`]).
+pub trait Arbitrary: Sized {
+    /// Draws a uniform value over the type's full range.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_via_u64 {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_via_u64!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for u128 {
+    fn arbitrary(rng: &mut TestRng) -> u128 {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl Arbitrary for i128 {
+    fn arbitrary(rng: &mut TestRng) -> i128 {
+        u128::arbitrary(rng) as i128
+    }
+}
+
+/// The full-range strategy for `T` (`any::<T>()`).
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy covering all of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<u64> {
+    type Value = u64;
+
+    fn generate(&self, rng: &mut TestRng) -> u64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.below(self.end - self.start)
+    }
+}
+
+impl Strategy for Range<u128> {
+    type Value = u128;
+
+    fn generate(&self, rng: &mut TestRng) -> u128 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + below_u128(rng, self.end - self.start)
+    }
+}
+
+impl Strategy for Range<i128> {
+    type Value = i128;
+
+    fn generate(&self, rng: &mut TestRng) -> i128 {
+        assert!(self.start < self.end, "empty range strategy");
+        let span = self.end.wrapping_sub(self.start) as u128;
+        self.start.wrapping_add(below_u128(rng, span) as i128)
+    }
+}
+
+/// Rejection sampling over the full 128-bit stream.
+fn below_u128(rng: &mut TestRng, span: u128) -> u128 {
+    let zone = u128::MAX - (u128::MAX - span + 1) % span;
+    loop {
+        let v = u128::arbitrary(rng);
+        if v <= zone {
+            return v % span;
+        }
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident / $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A/0)
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+    (A/0, B/1, C/2, D/3, E/4)
+    (A/0, B/1, C/2, D/3, E/4, F/5)
+    (A/0, B/1, C/2, D/3, E/4, F/5, G/6)
+    (A/0, B/1, C/2, D/3, E/4, F/5, G/6, H/7)
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// A `Vec` strategy with lengths drawn from `size` and elements from
+    /// `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.clone().generate(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Numeric strategies (`prop::num`).
+pub mod num {
+    /// Full-range `i64` (`prop::num::i64::ANY`).
+    #[allow(non_snake_case)]
+    pub mod i64 {
+        /// Uniform over all of `i64`.
+        pub const ANY: crate::Any<core::primitive::i64> = crate::Any(core::marker::PhantomData);
+    }
+}
+
+/// Regex-lite string strategy: supports literal characters, `[...]`
+/// classes with ranges, and `{m}` / `{m,n}` / `?` / `*` / `+` quantifiers
+/// (unbounded ones capped at 8 repeats). This covers the patterns the
+/// workspace's property tests use; anything fancier panics loudly.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        let chars: Vec<char> = self.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            let (choices, next) = match chars[i] {
+                '[' => parse_class(&chars, i),
+                '\\' => {
+                    assert!(i + 1 < chars.len(), "dangling escape in regex {self:?}");
+                    (vec![chars[i + 1]], i + 2)
+                }
+                '.' | '(' | ')' | '|' => {
+                    panic!("unsupported regex construct {:?} in {self:?}", chars[i])
+                }
+                c => (vec![c], i + 1),
+            };
+            let (lo, hi, next) = parse_quantifier(&chars, next, self);
+            let count = if lo == hi {
+                lo
+            } else {
+                lo + rng.below((hi - lo + 1) as u64) as usize
+            };
+            for _ in 0..count {
+                out.push(choices[rng.below(choices.len() as u64) as usize]);
+            }
+            i = next;
+        }
+        out
+    }
+}
+
+fn parse_class(chars: &[char], open: usize) -> (Vec<char>, usize) {
+    let mut choices = Vec::new();
+    let mut i = open + 1;
+    while i < chars.len() && chars[i] != ']' {
+        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+            let (lo, hi) = (chars[i] as u32, chars[i + 2] as u32);
+            assert!(lo <= hi, "inverted class range in regex");
+            choices.extend((lo..=hi).filter_map(char::from_u32));
+            i += 3;
+        } else {
+            choices.push(chars[i]);
+            i += 1;
+        }
+    }
+    assert!(i < chars.len(), "unterminated character class in regex");
+    (choices, i + 1)
+}
+
+fn parse_quantifier(chars: &[char], i: usize, pattern: &str) -> (usize, usize, usize) {
+    match chars.get(i) {
+        Some('{') => {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| i + p)
+                .unwrap_or_else(|| panic!("unterminated quantifier in regex {pattern:?}"));
+            let body: String = chars[i + 1..close].iter().collect();
+            let (lo, hi) = match body.split_once(',') {
+                None => {
+                    let n = body.trim().parse().expect("numeric quantifier");
+                    (n, n)
+                }
+                Some((lo, "")) => (lo.trim().parse().expect("numeric quantifier"), 8),
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("numeric quantifier"),
+                    hi.trim().parse().expect("numeric quantifier"),
+                ),
+            };
+            (lo, hi, close + 1)
+        }
+        Some('?') => (0, 1, i + 1),
+        Some('*') => (0, 8, i + 1),
+        Some('+') => (1, 8, i + 1),
+        _ => (1, 1, i),
+    }
+}
+
+/// One property case failed: panic with the collected message.
+#[doc(hidden)]
+pub fn fail_case(test: &str, case: u32, msg: &str) -> ! {
+    panic!("property {test} failed at case {case}: {msg}")
+}
+
+/// Common imports for property tests.
+pub mod prelude {
+    pub use crate::{any, Arbitrary, ProptestConfig, Strategy, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Namespaced strategy modules (`prop::collection::vec`, …).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::num;
+    }
+}
+
+/// Asserts inside a property body; failing returns an `Err` that aborts
+/// only the current case with a report.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Skips the current case when its inputs don't meet a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Equality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, $($fmt)*);
+    }};
+}
+
+/// Inequality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Declares property tests. Each `fn name(bindings) { body }` becomes a
+/// `#[test]` running `config.cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (cfg = $cfg:expr;) => {};
+    (cfg = $cfg:expr;
+     $(#[$attr:meta])*
+     fn $name:ident($($params:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            $crate::__proptest_munch! { config, stringify!($name), $body, [] [] $($params)* }
+        }
+        $crate::__proptest_fns! { cfg = $cfg; $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_munch {
+    // All parameters consumed: run the cases.
+    ($cfg:ident, $name:expr, $body:block, [$($pat:ident)*] [$($strat:expr;)*]) => {{
+        use $crate::Strategy as _;
+        let __strategies = ($($strat,)*);
+        let mut __rng = $crate::TestRng::for_test($name);
+        for __case in 0..$cfg.cases {
+            let ($($pat,)*) = __strategies.generate(&mut __rng);
+            let __result: ::core::result::Result<(), $crate::TestCaseError> =
+                (|| { $body ::core::result::Result::Ok(()) })();
+            match __result {
+                ::core::result::Result::Err($crate::TestCaseError::Fail(e)) => {
+                    $crate::fail_case($name, __case, &e)
+                }
+                _ => {}
+            }
+        }
+    }};
+    // `name in strategy, rest…`
+    ($cfg:ident, $name:expr, $body:block, [$($pat:ident)*] [$($strat:expr;)*] $p:ident in $s:expr, $($rest:tt)*) => {
+        $crate::__proptest_munch! { $cfg, $name, $body, [$($pat)* $p] [$($strat;)* $s;] $($rest)* }
+    };
+    // `name in strategy` (final, no trailing comma)
+    ($cfg:ident, $name:expr, $body:block, [$($pat:ident)*] [$($strat:expr;)*] $p:ident in $s:expr) => {
+        $crate::__proptest_munch! { $cfg, $name, $body, [$($pat)* $p] [$($strat;)* $s;] }
+    };
+    // `name: Type, rest…` — sugar for `name in any::<Type>()`
+    ($cfg:ident, $name:expr, $body:block, [$($pat:ident)*] [$($strat:expr;)*] $p:ident : $t:ty, $($rest:tt)*) => {
+        $crate::__proptest_munch! { $cfg, $name, $body, [$($pat)* $p] [$($strat;)* $crate::any::<$t>();] $($rest)* }
+    };
+    // `name: Type` (final)
+    ($cfg:ident, $name:expr, $body:block, [$($pat:ident)*] [$($strat:expr;)*] $p:ident : $t:ty) => {
+        $crate::__proptest_munch! { $cfg, $name, $body, [$($pat)* $p] [$($strat;)* $crate::any::<$t>();] }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_vecs_generate_in_bounds() {
+        let mut rng = crate::TestRng::for_test("bounds");
+        let s = prop::collection::vec((any::<bool>(), 0i64..6), 0..120);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!(v.len() < 120);
+            assert!(v.iter().all(|(_, n)| (0..6).contains(n)));
+        }
+    }
+
+    #[test]
+    fn regex_lite_matches_shape() {
+        let mut rng = crate::TestRng::for_test("regex");
+        let s = "[a-zA-Z][a-zA-Z0-9_]{0,12}";
+        for _ in 0..200 {
+            let out = Strategy::generate(&s, &mut rng);
+            assert!(!out.is_empty() && out.len() <= 13, "{out:?}");
+            assert!(out.chars().next().unwrap().is_ascii_alphabetic());
+            assert!(out.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn filter_resamples() {
+        let mut rng = crate::TestRng::for_test("filter");
+        let s = crate::num::i64::ANY.prop_filter("nonzero", |v| *v != 0);
+        for _ in 0..100 {
+            assert_ne!(s.generate(&mut rng), 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_mixed_params(a: u64, b in 1u64..100, label in "[xy]{2}") {
+            prop_assert!((1..100).contains(&b));
+            prop_assert_eq!(label.len(), 2);
+            let _ = a;
+        }
+    }
+}
