@@ -1,0 +1,79 @@
+//! Answer-planner speedup: cold `answer` latency on a *wide* database —
+//! many independent conflict components plus a large clean region — served
+//! through each of the three plans on the same engine.
+//!
+//! Monolithic walks pay Π-sized interleaving and clone the full database
+//! per walk; localized walks visit each component's Σ-sized chain on a
+//! component-sized sub-database; key repair skips chains entirely and
+//! draws one group outcome per conflict. Expect roughly an order of
+//! magnitude between each pair on this workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ocqa_bench::key_workload;
+use ocqa_engine::{Engine, EngineConfig, EngineRequest, EngineResponse, PlanKind, QueryRef};
+use std::sync::Arc;
+
+const QUERY: &str = "(x) <- exists y: R(x, y)";
+
+/// Engine holding one wide key-conflict database (`clean` conflict-free
+/// tuples, `groups` independent violating pairs).
+fn engine_with_wide_db(clean: usize, groups: usize) -> Arc<Engine> {
+    let w = key_workload(clean, groups, 2, 7);
+    let engine = Engine::new(EngineConfig {
+        workers: 4,
+        cache_capacity: 256,
+        ..EngineConfig::default()
+    });
+    let resp = engine.handle(EngineRequest::CreateDb {
+        name: "wide".into(),
+        facts: w.db.to_string(),
+        constraints: "R(x,y), R(x,z) -> y = z.".into(),
+    });
+    assert!(matches!(resp, EngineResponse::Created(_)));
+    engine
+}
+
+fn answer_request(seed: u64, plan: PlanKind) -> EngineRequest {
+    EngineRequest::Answer {
+        db: "wide".into(),
+        query: QueryRef::Text(QUERY.into()),
+        generator: "uniform-deletions".into(),
+        eps: 0.1,
+        delta: 0.1,
+        seed,
+        plan: Some(plan),
+    }
+}
+
+fn bench_plans(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine_planner");
+    g.sample_size(10);
+    let engine = engine_with_wide_db(200, 16);
+    for plan in [
+        PlanKind::Monolithic,
+        PlanKind::Localized,
+        PlanKind::KeyRepair,
+    ] {
+        let mut seed = 0u64;
+        g.bench_with_input(
+            BenchmarkId::new("plan", plan.as_str()),
+            &plan,
+            |bench, plan| {
+                bench.iter(|| {
+                    // A fresh seed per iteration defeats the answer cache:
+                    // every iteration pays the full 150-walk cold budget.
+                    seed += 1;
+                    let resp = engine.handle(answer_request(seed, *plan));
+                    let EngineResponse::Answer(a) = resp else {
+                        panic!("answer failed: {resp:?}");
+                    };
+                    assert_eq!(a.plan, *plan);
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_plans);
+criterion_main!(benches);

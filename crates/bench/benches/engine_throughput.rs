@@ -34,6 +34,7 @@ fn answer_request(seed: u64, query: QueryRef) -> EngineRequest {
         eps: 0.1,
         delta: 0.1,
         seed,
+        plan: None,
     }
 }
 

@@ -7,7 +7,7 @@
 //!   ocqa answer   --facts FILE --constraints FILE --query TEXT
 //!                 [--generator NAME] [--exact | --eps E --delta D] [--seed N]
 //!   ocqa trace    --facts FILE --constraints FILE [--generator NAME] [--seed N]
-//!   ocqa serve    [--listen ADDR] [--workers N] [--cache N]
+//!   ocqa serve    [--listen ADDR] [--workers N] [--cache N] [--planner on|off]
 //!
 //! GENERATORS: uniform (default) | uniform-deletions | preference
 //! ```
@@ -82,7 +82,7 @@ const COMMANDS: &[CommandSpec] = &[
     },
     CommandSpec {
         name: "serve",
-        options: &["listen", "workers", "cache"],
+        options: &["listen", "workers", "cache", "planner"],
         flags: &["help"],
     },
 ];
@@ -143,7 +143,8 @@ fn usage() -> String {
      check|repairs|answer|trace: --facts FILE --constraints FILE \
      [--query TEXT] [--generator uniform|uniform-deletions|preference] \
      [--exact | --eps E --delta D] [--seed N] [--max-states N]\n  \
-     serve: [--listen HOST:PORT] [--workers N] [--cache ENTRIES]"
+     serve: [--listen HOST:PORT] [--workers N] [--cache ENTRIES] \
+     [--planner on|off]"
         .to_string()
 }
 
@@ -182,6 +183,13 @@ fn serve_cmd(args: &Args) -> Result<(), String> {
             .ok()
             .filter(|n| *n > 0)
             .ok_or("--cache expects a positive number")?;
+    }
+    if let Some(mode) = args.options.get("planner") {
+        config.planner = match mode.as_str() {
+            "on" => true,
+            "off" => false,
+            _ => return Err("--planner expects on or off".into()),
+        };
     }
     let engine = ocqa_engine::Engine::new(config);
     match args.options.get("listen") {

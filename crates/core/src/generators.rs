@@ -12,6 +12,7 @@
 //! in the paper's sense (§4): every probability is a ratio of small
 //! integers derived from the current state.
 
+use crate::keyrepair::GroupPolicy;
 use crate::{Operation, RepairState};
 use ocqa_data::Fact;
 use ocqa_num::Rat;
@@ -69,6 +70,37 @@ impl std::error::Error for GeneratorError {}
 pub trait ChainGenerator: Send + Sync {
     /// Human-readable name (used in errors and reports).
     fn name(&self) -> &str;
+
+    /// Whether the generator is **component-local**: at any state, its
+    /// weight for an operation inside a conflict component — conditioned
+    /// on picking an operation of that component — depends only on that
+    /// component's facts. Component-local generators may be served by
+    /// `localize`-style per-component decomposition (and, on key-only
+    /// constraint sets, by group-wise key repair) with exactly the
+    /// monolithic repair distribution; see `crate::localize`.
+    ///
+    /// Defaults to `false` (the conservative answer): generators that
+    /// read global state — like the Example 4 preference generator,
+    /// whose support weights scan the whole database — must not be
+    /// decomposed. Override to `true` only with a locality argument.
+    fn component_local(&self) -> bool {
+        false
+    }
+
+    /// The per-group outcome policy reproducing *this generator's* repair
+    /// distribution on a primary-key-only constraint set, if one exists —
+    /// the capability behind `ocqa-engine`'s key-repair fast path. The
+    /// policy must induce, per violating key group, exactly the hitting
+    /// distribution of this generator's chain restricted to that group.
+    ///
+    /// Defaults to `None`: group-wise sampling then isn't available and
+    /// callers fall back to chain walks. Component locality alone is NOT
+    /// sufficient — the policy must also match the generator's weights
+    /// (e.g. the trust generator is component-local but needs its own
+    /// trust policy, not the uniform one).
+    fn key_repair_policy(&self) -> Option<GroupPolicy> {
+        None
+    }
 
     /// Probability weights for the extensions `ops` of `state`, in the same
     /// order. Must be non-negative and sum to exactly 1 (`ops` is non-empty
@@ -134,6 +166,21 @@ impl ChainGenerator for UniformGenerator {
         } else {
             "uniform"
         }
+    }
+
+    /// Uniform weights over (a filter of) the legal extensions depend
+    /// only on *how many* extensions a component contributes — local by
+    /// construction (the `localize` tests verify the distribution).
+    fn component_local(&self) -> bool {
+        true
+    }
+
+    /// [`GroupPolicy::ChainUniform`] reproduces the uniform chain's
+    /// per-group hitting distribution exactly (validated against exact
+    /// exploration in the `keyrepair` tests). On the denial fragment all
+    /// extensions are deletions, so both uniform modes coincide.
+    fn key_repair_policy(&self) -> Option<GroupPolicy> {
+        Some(GroupPolicy::ChainUniform)
     }
 
     fn weights(&self, _state: &RepairState, ops: &[Operation]) -> Result<Vec<Rat>, GeneratorError> {
@@ -292,6 +339,25 @@ impl TrustGenerator {
 impl ChainGenerator for TrustGenerator {
     fn name(&self) -> &str {
         "trust-integration"
+    }
+
+    /// Per-pair trust weights read only the pair's two facts; averaging
+    /// over pairs conditions away under localization (verified against
+    /// monolithic exploration in the `localize` tests).
+    fn component_local(&self) -> bool {
+        true
+    }
+
+    /// On a single violating pair the chain absorbs in one step, so the
+    /// Example 5 outcome weights ([`GroupPolicy::Trust`]) *are* the
+    /// hitting distribution — both sides call the same
+    /// `trust_pair_outcomes`. Group-wise construction fails (soundly)
+    /// when some group is larger than a pair.
+    fn key_repair_policy(&self) -> Option<GroupPolicy> {
+        Some(GroupPolicy::Trust {
+            trust: self.trust.clone(),
+            default_trust: self.default_trust.clone(),
+        })
     }
 
     fn weights(&self, state: &RepairState, ops: &[Operation]) -> Result<Vec<Rat>, GeneratorError> {

@@ -23,6 +23,7 @@
 //! validation against the sampler and the generic engine.
 
 use crate::generators::trust_pair_outcomes;
+use crate::sample::SampleTally;
 use ocqa_data::{Constant, Database, Fact, Symbol};
 use ocqa_logic::{DeletionOverlay, Query};
 use ocqa_num::Rat;
@@ -41,13 +42,29 @@ pub struct KeyConfig {
 }
 
 /// Per-group survivor policy.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum GroupPolicy {
     /// Keep exactly one tuple per violating group, uniformly at random.
     KeepOneUniform,
     /// Keep one tuple (uniformly) or none — each of the `g + 1` outcomes
     /// equally likely.
     KeepAtMostOneUniform,
+    /// The per-group hitting distribution of the **uniform repairing
+    /// chain** `M^u_Σ` (Proposition 4's generator): each of the `g` facts
+    /// survives with probability `a_g / g` and the group is wholly deleted
+    /// with probability `1 − a_g`, where `a_g` satisfies
+    /// `a_g = (2·a_{g−1} + (g−1)·a_{g−2}) / (g+1)` with `a_0 = 0, a_1 = 1`
+    /// (the chain at a fully-conflicting group of size `g` offers `g`
+    /// single deletions and `g(g−1)/2` pair deletions, uniformly).
+    ///
+    /// Because `M^u_Σ` is component-local and key groups are exactly the
+    /// conflict components of a key-only constraint set, sampling groups
+    /// under this policy reproduces the *monolithic* uniform-chain repair
+    /// distribution exactly — this is the policy behind `ocqa-engine`'s
+    /// key-repair fast path. (For pairs it coincides with
+    /// [`KeepAtMostOneUniform`]; for larger groups it does not: delete-all
+    /// is likelier than 1/(g+1) under the chain.)
+    ChainUniform,
     /// Example 5's trust model; requires all violating groups to be pairs.
     /// Facts default to the given trust when absent from the map.
     Trust {
@@ -99,8 +116,12 @@ pub fn violating_groups(db: &Database, cfg: &KeyConfig) -> Vec<Vec<Fact>> {
 }
 
 /// The group-wise repair sampler implementing the §5 scheme.
-pub struct KeyRepairSampler<'a> {
-    db: &'a Database,
+///
+/// Owns only the violating groups and their outcome distributions — the
+/// database is passed to the evaluation methods, so a sampler built once
+/// (e.g. per catalog version in `ocqa-engine`) can be shared across
+/// threads and requests without borrowing the catalog.
+pub struct KeyRepairSampler {
     groups: Vec<Vec<Fact>>,
     /// Per group: the list of outcomes, each a set of deletions with its
     /// probability. Outcome `i < g` keeps tuple `i`; the optional last
@@ -108,7 +129,7 @@ pub struct KeyRepairSampler<'a> {
     outcomes: Vec<Vec<(Vec<Fact>, Rat)>>,
 }
 
-impl fmt::Debug for KeyRepairSampler<'_> {
+impl fmt::Debug for KeyRepairSampler {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
@@ -119,23 +140,33 @@ impl fmt::Debug for KeyRepairSampler<'_> {
     }
 }
 
-impl<'a> KeyRepairSampler<'a> {
+impl KeyRepairSampler {
     /// Builds the sampler for `db` under the given key and policy.
     pub fn new(
-        db: &'a Database,
+        db: &Database,
         cfg: &KeyConfig,
         policy: &GroupPolicy,
-    ) -> Result<KeyRepairSampler<'a>, KeyRepairError> {
-        let groups = violating_groups(db, cfg);
+    ) -> Result<KeyRepairSampler, KeyRepairError> {
+        Self::with_configs(db, std::slice::from_ref(cfg), policy)
+    }
+
+    /// Builds the sampler over *several* keyed relations at once. Groups
+    /// of different relations never overlap, so their outcome
+    /// distributions are independent and simply concatenate.
+    pub fn with_configs(
+        db: &Database,
+        cfgs: &[KeyConfig],
+        policy: &GroupPolicy,
+    ) -> Result<KeyRepairSampler, KeyRepairError> {
+        let mut groups = Vec::new();
+        for cfg in cfgs {
+            groups.extend(violating_groups(db, cfg));
+        }
         let mut outcomes = Vec::with_capacity(groups.len());
         for group in &groups {
             outcomes.push(group_outcomes(group, policy)?);
         }
-        Ok(KeyRepairSampler {
-            db,
-            groups,
-            outcomes,
-        })
+        Ok(KeyRepairSampler { groups, outcomes })
     }
 
     /// The violating groups.
@@ -181,32 +212,49 @@ impl<'a> KeyRepairSampler<'a> {
         acc
     }
 
+    /// Runs exactly `walks` rounds of (sample `R_del`, evaluate
+    /// `Q[R ↦ R − R_del]` through a [`DeletionOverlay`], tally every
+    /// answer tuple) — the mergeable batch entry point mirroring
+    /// [`crate::sample::sample_tally`], used by `ocqa-engine`'s key-repair
+    /// fast path. Group sampling never fails, so `failed_walks` is 0.
+    ///
+    /// `db` must be the database the sampler was built from.
+    pub fn sample_tally(
+        &self,
+        db: &Database,
+        query: &Query,
+        walks: u64,
+        rng: &mut StdRng,
+    ) -> SampleTally {
+        let mut tally = SampleTally {
+            walks,
+            ..SampleTally::default()
+        };
+        for _ in 0..walks {
+            let deleted = self.sample_deletions(rng);
+            let view = DeletionOverlay::new(db, &deleted);
+            for tuple in query.answers(&view) {
+                *tally.counts.entry(tuple).or_insert(0) += 1;
+            }
+        }
+        tally
+    }
+
     /// The full §5 pipeline: `n = ⌈ln(2/δ)/(2ε²)⌉` rounds of (sample
     /// `R_del`, evaluate `Q[R ↦ R − R_del]` through a [`DeletionOverlay`],
     /// append to the tally), then per-tuple frequencies.
+    ///
+    /// `db` must be the database the sampler was built from.
     pub fn estimate_answers(
         &self,
+        db: &Database,
         query: &Query,
         eps: f64,
         delta: f64,
         rng: &mut StdRng,
     ) -> (Vec<(Vec<Constant>, f64)>, u64) {
         let n = crate::sample::sample_size(eps, delta);
-        let mut tally: BTreeMap<Vec<Constant>, u64> = BTreeMap::new();
-        for _ in 0..n {
-            let deleted = self.sample_deletions(rng);
-            let view = DeletionOverlay::new(self.db, &deleted);
-            for tuple in query.answers(&view) {
-                *tally.entry(tuple).or_insert(0) += 1;
-            }
-        }
-        (
-            tally
-                .into_iter()
-                .map(|(t, k)| (t, k as f64 / n as f64))
-                .collect(),
-            n,
-        )
+        (self.sample_tally(db, query, n, rng).frequencies(), n)
     }
 }
 
@@ -226,6 +274,15 @@ fn group_outcomes(
                 .map(|keep| (drop_all_but(group, Some(keep)), share.clone()))
                 .collect();
             out.push((drop_all_but(group, None), share));
+            Ok(out)
+        }
+        GroupPolicy::ChainUniform => {
+            let survive = chain_uniform_survival(group.len());
+            let per_fact = survive.div_ref(&Rat::integer(g));
+            let mut out: Vec<(Vec<Fact>, Rat)> = (0..group.len())
+                .map(|keep| (drop_all_but(group, Some(keep)), per_fact.clone()))
+                .collect();
+            out.push((drop_all_but(group, None), Rat::one() - &survive));
             Ok(out)
         }
         GroupPolicy::Trust {
@@ -254,6 +311,29 @@ fn group_outcomes(
                 (group.to_vec(), remove_both),
             ])
         }
+    }
+}
+
+/// `a_g`: the probability that the uniform repairing chain, started on a
+/// fully-conflicting group of `g` facts, absorbs with one survivor (the
+/// complement `1 − a_g` deletes the whole group). At a group of size `k`
+/// the chain offers `k` single deletions and `k(k−1)/2` pair deletions,
+/// all equally likely; a single deletion recurses on `k−1` facts, a pair
+/// deletion on `k−2`, giving
+/// `a_k = (2·a_{k−1} + (k−1)·a_{k−2}) / (k+1)`, `a_0 = 0`, `a_1 = 1`.
+fn chain_uniform_survival(g: usize) -> Rat {
+    let mut prev = Rat::zero(); // a_0
+    let mut cur = Rat::one(); // a_1
+    for k in 2..=g {
+        let next = (Rat::integer(2).mul_ref(&cur) + Rat::integer(k as i64 - 1).mul_ref(&prev))
+            .div_ref(&Rat::integer(k as i64 + 1));
+        prev = cur;
+        cur = next;
+    }
+    if g == 0 {
+        Rat::zero()
+    } else {
+        cur
     }
 }
 
@@ -367,6 +447,127 @@ mod tests {
     }
 
     #[test]
+    fn chain_uniform_matches_monolithic_chain_exactly() {
+        // The whole point of the policy: its induced repair distribution
+        // must equal the hitting distribution of the uniform repairing
+        // chain, group by group — validated against `explore` on groups
+        // of size 2, 3 and 4 (where KeepAtMostOneUniform already differs).
+        for size in [2usize, 3, 4] {
+            let facts: String = (0..size).map(|i| format!("R(a,{i}). ")).collect();
+            let facts = parser::parse_facts(&facts).unwrap();
+            let sigma = parser::parse_constraints("R(x,y), R(x,z) -> y = z.").unwrap();
+            let schema = parser::infer_schema(&facts, &sigma).unwrap();
+            let db = Database::from_facts(schema, facts).unwrap();
+            let ctx = crate::RepairContext::new(db.clone(), sigma);
+            let exact = crate::explore::repair_distribution(
+                &ctx,
+                &crate::UniformGenerator::new(),
+                &crate::explore::ExploreOptions::default(),
+            )
+            .unwrap();
+            let sampler = KeyRepairSampler::new(&db, &cfg(), &GroupPolicy::ChainUniform).unwrap();
+            let dist = sampler.exact_distribution();
+            assert_eq!(dist.len(), size + 1, "g survivors + delete-all");
+            let total: Rat = dist.iter().map(|(_, p)| p).sum();
+            assert!(total.is_one());
+            for (dels, p) in &dist {
+                let mut repaired = db.clone();
+                for f in dels {
+                    assert!(repaired.remove(f));
+                }
+                assert_eq!(
+                    exact.probability_of(&repaired),
+                    *p,
+                    "group size {size}, {} deletions",
+                    dels.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn chain_uniform_matches_monolithic_chain_on_multi_column_keys() {
+        // Multi-dependent-column key (K(k) → v1, v2 as two EGDs): pairs in
+        // a group can violate one or both EGDs, but the justified
+        // operations are deduplicated, so the per-group chain structure —
+        // and with it the ChainUniform recursion — is unchanged. The
+        // group mixes a both-columns-differ pair and single-column-differ
+        // pairs on purpose.
+        let facts = parser::parse_facts("K(a,1,1). K(a,1,2). K(a,2,2).").unwrap();
+        let sigma = parser::parse_constraints(
+            "K(k,u1,u2), K(k,v1,v2) -> u1 = v1. K(k,u1,u2), K(k,v1,v2) -> u2 = v2.",
+        )
+        .unwrap();
+        let schema = parser::infer_schema(&facts, &sigma).unwrap();
+        let db = Database::from_facts(schema, facts).unwrap();
+        let ctx = crate::RepairContext::new(db.clone(), sigma);
+        let exact = crate::explore::repair_distribution(
+            &ctx,
+            &crate::UniformGenerator::new(),
+            &crate::explore::ExploreOptions::default(),
+        )
+        .unwrap();
+        let sampler = KeyRepairSampler::new(
+            &db,
+            &KeyConfig {
+                relation: Symbol::intern("K"),
+                key_len: 1,
+            },
+            &GroupPolicy::ChainUniform,
+        )
+        .unwrap();
+        for (dels, p) in &sampler.exact_distribution() {
+            let mut repaired = db.clone();
+            for f in dels {
+                assert!(repaired.remove(f));
+            }
+            assert_eq!(
+                exact.probability_of(&repaired),
+                *p,
+                "{} deletions",
+                dels.len()
+            );
+        }
+    }
+
+    #[test]
+    fn with_configs_concatenates_relations() {
+        let facts = parser::parse_facts("R(a,1). R(a,2). S(b,1). S(b,2). S(b,3).").unwrap();
+        let sigma = ocqa_logic::ConstraintSet::empty();
+        let schema = parser::infer_schema(&facts, &sigma).unwrap();
+        let db = Database::from_facts(schema, facts).unwrap();
+        let cfgs = [
+            KeyConfig {
+                relation: Symbol::intern("R"),
+                key_len: 1,
+            },
+            KeyConfig {
+                relation: Symbol::intern("S"),
+                key_len: 1,
+            },
+        ];
+        let sampler =
+            KeyRepairSampler::with_configs(&db, &cfgs, &GroupPolicy::KeepOneUniform).unwrap();
+        assert_eq!(sampler.groups().len(), 2);
+        // 2 × 3 = 6 combined repairs, independent across relations.
+        assert_eq!(sampler.exact_distribution().len(), 6);
+    }
+
+    #[test]
+    fn sample_tally_deterministic_and_failure_free() {
+        let db = db("R(a,1). R(a,2). R(b,7).");
+        let sampler = KeyRepairSampler::new(&db, &cfg(), &GroupPolicy::ChainUniform).unwrap();
+        let q = parser::parse_query("(x) <- exists y: R(x, y)").unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = sampler.sample_tally(&db, &q, 200, &mut rng);
+        let mut rng = StdRng::seed_from_u64(3);
+        let b = sampler.sample_tally(&db, &q, 200, &mut rng);
+        assert_eq!(a.counts, b.counts);
+        assert_eq!(a.walks, 200);
+        assert_eq!(a.failed_walks, 0, "group sampling never fails");
+    }
+
+    #[test]
     fn no_violations_no_outcomes() {
         let db = db("R(a,1). R(b,2).");
         let sampler = KeyRepairSampler::new(&db, &cfg(), &GroupPolicy::KeepOneUniform).unwrap();
@@ -403,7 +604,7 @@ mod tests {
         let sampler = KeyRepairSampler::new(&db, &cfg(), &GroupPolicy::KeepOneUniform).unwrap();
         let q = parser::parse_query("(x) <- exists y: R(x, y)").unwrap();
         let mut rng = StdRng::seed_from_u64(9);
-        let (answers, n) = sampler.estimate_answers(&q, 0.1, 0.1, &mut rng);
+        let (answers, n) = sampler.estimate_answers(&db, &q, 0.1, 0.1, &mut rng);
         assert_eq!(n, 150);
         let freq: BTreeMap<String, f64> = answers
             .iter()
@@ -420,7 +621,7 @@ mod tests {
         let sampler = KeyRepairSampler::new(&db, &cfg(), &GroupPolicy::KeepOneUniform).unwrap();
         let q = parser::parse_query("(y) <- R('a', y)").unwrap();
         let mut rng = StdRng::seed_from_u64(13);
-        let (answers, _) = sampler.estimate_answers(&q, 0.05, 0.02, &mut rng);
+        let (answers, _) = sampler.estimate_answers(&db, &q, 0.05, 0.02, &mut rng);
         for (_, p) in &answers {
             assert!((p - 0.5).abs() <= 0.05, "freq {p} should be ≈ 0.5");
         }

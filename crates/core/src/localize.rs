@@ -16,10 +16,14 @@
 //! distribution, verified in the tests against the monolithic exploration.
 
 use crate::explore::{self, ExploreError, ExploreOptions, RepairDistribution, RepairInfo};
+use crate::sample::{self, SampleError, SampleTally, WalkOutcome};
 use crate::{ChainGenerator, RepairContext};
 use ocqa_data::{Database, Fact};
+use ocqa_logic::{DeletionOverlay, Query};
 use ocqa_num::Rat;
-use std::collections::{BTreeMap, BTreeSet};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::{BTreeMap, HashSet};
 use std::fmt;
 use std::sync::Arc;
 
@@ -33,13 +37,15 @@ pub struct Components {
     pub clean: Vec<Fact>,
 }
 
-/// Errors from localized exploration.
+/// Errors from localized exploration and sampling.
 #[derive(Debug)]
 pub enum LocalizeError {
     /// Localization requires EGDs/DCs only.
     NotDenialFragment,
     /// A component exploration failed (budget or generator).
     Explore(ExploreError),
+    /// A component walk failed (generator error during sampling).
+    Sample(SampleError),
     /// The product of component supports exceeded the state budget.
     ProductTooLarge {
         /// Number of combined repairs that would be produced.
@@ -54,6 +60,7 @@ impl fmt::Display for LocalizeError {
                 write!(f, "repair localization requires EGDs/DCs only")
             }
             LocalizeError::Explore(e) => write!(f, "{e}"),
+            LocalizeError::Sample(e) => write!(f, "{e}"),
             LocalizeError::ProductTooLarge { combinations } => {
                 write!(
                     f,
@@ -72,49 +79,91 @@ impl From<ExploreError> for LocalizeError {
     }
 }
 
+impl From<SampleError> for LocalizeError {
+    fn from(e: SampleError) -> Self {
+        LocalizeError::Sample(e)
+    }
+}
+
+/// Index-based union-find with union-by-size and iterative path halving.
+/// Strictly O(1) stack no matter how adversarial the merge order — the
+/// conflict graph of a wide database can chain thousands of facts into one
+/// component, which a recursive `find` would turn into a stack overflow.
+struct UnionFind {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> UnionFind {
+        UnionFind {
+            parent: (0..n).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            // Path halving: point x at its grandparent as we walk up.
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra;
+        self.size[ra] += self.size[rb];
+    }
+}
+
 /// Computes the conflict components: vertices are the facts occurring in
 /// some violation image, with an edge between facts sharing a violation;
-/// union-find over the violation images.
+/// union-find over the violation images. Components are canonically
+/// ordered by their smallest member fact, members sorted within each.
 pub fn conflict_components(ctx: &RepairContext) -> Components {
     let violations = ctx.initial_violations();
-    let mut parent: BTreeMap<Fact, Fact> = BTreeMap::new();
-
-    fn find(parent: &mut BTreeMap<Fact, Fact>, f: &Fact) -> Fact {
-        let p = parent.get(f).cloned().unwrap_or_else(|| f.clone());
-        if p == *f {
-            parent.entry(f.clone()).or_insert_with(|| f.clone());
-            return p;
-        }
-        let root = find(parent, &p);
-        parent.insert(f.clone(), root.clone());
-        root
-    }
-
-    for v in violations.iter() {
-        let image = v.body_image(ctx.sigma());
-        let Some(first) = image.first() else { continue };
-        let root = find(&mut parent, first);
-        for f in &image[1..] {
-            let r2 = find(&mut parent, f);
-            parent.insert(r2, root.clone());
-        }
-    }
-    let mut groups: BTreeMap<Fact, Vec<Fact>> = BTreeMap::new();
-    let members: Vec<Fact> = parent.keys().cloned().collect();
-    for f in members {
-        let root = find(&mut parent, &f);
-        groups.entry(root).or_default().push(f);
-    }
-    let in_conflict: BTreeSet<Fact> = parent.keys().cloned().collect();
-    let clean: Vec<Fact> = ctx
-        .d0()
-        .facts()
-        .filter(|f| !in_conflict.contains(f))
+    // Intern the facts of the violation images.
+    let mut ids: BTreeMap<Fact, usize> = BTreeMap::new();
+    let mut facts: Vec<Fact> = Vec::new();
+    let images: Vec<Vec<usize>> = violations
+        .iter()
+        .map(|v| {
+            v.body_image(ctx.sigma())
+                .into_iter()
+                .map(|f| {
+                    *ids.entry(f.clone()).or_insert_with(|| {
+                        facts.push(f);
+                        facts.len() - 1
+                    })
+                })
+                .collect()
+        })
         .collect();
-    Components {
-        components: groups.into_values().collect(),
-        clean,
+    let mut uf = UnionFind::new(facts.len());
+    for image in &images {
+        let Some(first) = image.first() else { continue };
+        for f in &image[1..] {
+            uf.union(*first, *f);
+        }
     }
+    let mut groups: BTreeMap<usize, Vec<Fact>> = BTreeMap::new();
+    for (f, id) in &ids {
+        groups.entry(uf.find(*id)).or_default().push(f.clone());
+    }
+    // `ids` iterates facts in sorted order, so each group is sorted and
+    // its first member is its minimum: canonical component order follows.
+    let mut components: Vec<Vec<Fact>> = groups.into_values().collect();
+    components.sort_by(|a, b| a[0].cmp(&b[0]));
+    let clean: Vec<Fact> = ctx.d0().facts().filter(|f| !ids.contains_key(f)).collect();
+    Components { components, clean }
 }
 
 /// Explores each conflict component independently and composes the exact
@@ -191,6 +240,125 @@ pub fn localized_distribution(
         absorbing,
         depth_total,
     ))
+}
+
+/// The sampling counterpart of [`localized_distribution`]: walks each
+/// conflict component's chain independently and composes per-walk repairs
+/// as `D − (union of component deletions)`, evaluated through a
+/// [`DeletionOverlay`] — never materializing the combined instance.
+///
+/// Sound under the same conditions as [`localized_distribution`]: a
+/// denial-fragment constraint set (deletion-only repairs, so the global
+/// repair *is* `D` minus the per-component deletions) and a
+/// component-local generator (uniform, trust). Each walk then samples the
+/// exact product distribution over component repairs, so the per-tuple
+/// hit frequencies estimate the same `CP` as monolithic sampling — in
+/// Σ-sized component state spaces instead of the Π-sized global one, and
+/// without cloning the full database per walk.
+///
+/// **Determinism.** Component `c` draws its walks from an RNG seeded with
+/// [`sample::derive_seed`]`(seed, c)`, so the sampled streams are a
+/// function of `(seed, walks)` alone — callers that split a budget into
+/// chunks (the engine's pool) keep bit-identical answers across pool
+/// sizes, exactly as with monolithic [`sample::sample_tally`].
+#[derive(Debug)]
+pub struct ComponentSampler {
+    parent: Arc<RepairContext>,
+    subs: Vec<Arc<RepairContext>>,
+}
+
+impl ComponentSampler {
+    /// Builds the per-component sub-contexts for `ctx` (one walkable
+    /// [`RepairContext`] per conflict component). Fails unless the
+    /// constraint set is in the denial fragment.
+    pub fn new(ctx: &Arc<RepairContext>) -> Result<ComponentSampler, LocalizeError> {
+        if !ctx.sigma().is_denial_fragment() {
+            return Err(LocalizeError::NotDenialFragment);
+        }
+        let parts = conflict_components(ctx);
+        let subs = parts
+            .components
+            .iter()
+            .map(|comp| {
+                let sub_db = Database::from_facts(ctx.d0().schema().clone(), comp.iter().cloned())
+                    .expect("component facts fit the schema");
+                RepairContext::new(sub_db, ctx.sigma().clone())
+            })
+            .collect();
+        Ok(ComponentSampler {
+            parent: ctx.clone(),
+            subs,
+        })
+    }
+
+    /// Number of conflict components (zero for a consistent database).
+    pub fn components(&self) -> usize {
+        self.subs.len()
+    }
+
+    /// The context this sampler was built from.
+    pub fn context(&self) -> &Arc<RepairContext> {
+        &self.parent
+    }
+
+    /// Runs `walks` localized sample walks, evaluating `query` on each
+    /// composed repair and tallying every answer tuple. Deterministic in
+    /// `(seed, walks)`.
+    pub fn sample_tally(
+        &self,
+        gen: &dyn ChainGenerator,
+        query: &Query,
+        walks: u64,
+        seed: u64,
+    ) -> Result<SampleTally, SampleError> {
+        let mut rngs: Vec<StdRng> = (0..self.subs.len())
+            .map(|c| StdRng::seed_from_u64(sample::derive_seed(seed, c as u64)))
+            .collect();
+        let mut tally = SampleTally {
+            walks,
+            ..SampleTally::default()
+        };
+        let mut deleted: HashSet<Fact> = HashSet::new();
+        for _ in 0..walks {
+            deleted.clear();
+            let mut walk_failed = false;
+            for (sub, rng) in self.subs.iter().zip(&mut rngs) {
+                match sample::sample_walk(sub, gen, rng)? {
+                    WalkOutcome::Repair(db) => {
+                        deleted.extend(sub.d0().facts().filter(|f| !db.contains(f)));
+                    }
+                    // Unreachable for denial-fragment sets (deletion-only
+                    // chains cannot fail), but kept sound: a failing
+                    // component fails the composed walk.
+                    WalkOutcome::Failed(_) => walk_failed = true,
+                }
+            }
+            if walk_failed {
+                tally.failed_walks += 1;
+                continue;
+            }
+            let view = DeletionOverlay::new(self.parent.d0(), &deleted);
+            for tuple in query.answers(&view) {
+                *tally.counts.entry(tuple).or_insert(0) += 1;
+            }
+        }
+        Ok(tally)
+    }
+}
+
+/// One-shot convenience: builds a [`ComponentSampler`] and runs `walks`
+/// localized walks (callers serving many requests should build the sampler
+/// once per database version and call
+/// [`ComponentSampler::sample_tally`] directly).
+pub fn localized_sample_tally(
+    ctx: &Arc<RepairContext>,
+    gen: &dyn ChainGenerator,
+    query: &Query,
+    walks: u64,
+    seed: u64,
+) -> Result<SampleTally, LocalizeError> {
+    let sampler = ComponentSampler::new(ctx)?;
+    Ok(sampler.sample_tally(gen, query, walks, seed)?)
 }
 
 #[cfg(test)]
@@ -280,6 +448,116 @@ mod tests {
         for info in global.repairs() {
             assert_eq!(local.probability_of(&info.db), info.probability);
         }
+    }
+
+    #[test]
+    fn huge_path_component_does_not_recurse() {
+        // A single path-shaped component of n facts: S(0,1), S(1,2), …
+        // linked by the DC S(x,y), S(y,z) → ⊥. The old recursive find
+        // could chase a parent chain as deep as the component is wide;
+        // the iterative union-by-size walk is O(1) stack regardless.
+        let n = 2000usize;
+        let facts: String = (0..n)
+            .map(|i| format!("S({i},{}).", i + 1))
+            .collect::<Vec<_>>()
+            .join(" ");
+        let ctx = setup(&facts, "S(x,y), S(y,z) -> false.");
+        let parts = conflict_components(&ctx);
+        assert_eq!(parts.components.len(), 1);
+        assert_eq!(parts.components[0].len(), n);
+        assert!(parts.clean.is_empty());
+    }
+
+    #[test]
+    fn components_canonically_ordered() {
+        let ctx = setup(
+            "R(b,1). R(b,2). R(a,1). R(a,2). R(c,3).",
+            "R(x,y), R(x,z) -> y = z.",
+        );
+        let parts = conflict_components(&ctx);
+        assert_eq!(parts.components.len(), 2);
+        // Ordered by smallest member; members sorted within.
+        assert!(parts.components[0][0] < parts.components[1][0]);
+        for comp in &parts.components {
+            assert!(comp.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn sampler_estimates_match_exact_localized_distribution() {
+        let ctx = setup(
+            "R(a,1). R(a,2). R(b,1). R(b,2). R(c,9). S(q).",
+            "R(x,y), R(x,z) -> y = z.",
+        );
+        let gen = UniformGenerator::new();
+        let q = parser::parse_query("(x) <- exists y: R(x, y)").unwrap();
+        let exact = localized_distribution(&ctx, &gen, &ExploreOptions::default()).unwrap();
+        let exact_cp = |name: &str| {
+            crate::answer::conditional_probability(&exact, &q, &[ocqa_data::Constant::named(name)])
+                .to_f64()
+        };
+        let sampler = ComponentSampler::new(&ctx).unwrap();
+        assert_eq!(sampler.components(), 2);
+        let tally = sampler.sample_tally(&gen, &q, 2000, 11).unwrap();
+        assert_eq!(tally.walks, 2000);
+        assert_eq!(tally.failed_walks, 0);
+        for (tuple, p) in tally.frequencies() {
+            let name = format!("{}", tuple[0]);
+            let cp = exact_cp(&name);
+            assert!(
+                (p - cp).abs() <= 0.05,
+                "tuple {name}: sampled {p} vs exact {cp}"
+            );
+        }
+        // The clean key c survives every composed repair.
+        let freqs = tally.frequencies();
+        let c_row = freqs
+            .iter()
+            .find(|(t, _)| format!("{}", t[0]) == "c")
+            .expect("clean fact present");
+        assert_eq!(c_row.1, 1.0);
+    }
+
+    #[test]
+    fn sampler_deterministic_in_seed() {
+        let ctx = setup(
+            "R(a,1). R(a,2). R(b,1). R(b,2).",
+            "R(x,y), R(x,z) -> y = z.",
+        );
+        let gen = UniformGenerator::new();
+        let q = parser::parse_query("(x) <- exists y: R(x, y)").unwrap();
+        let sampler = ComponentSampler::new(&ctx).unwrap();
+        let a = sampler.sample_tally(&gen, &q, 300, 7).unwrap();
+        let b = sampler.sample_tally(&gen, &q, 300, 7).unwrap();
+        assert_eq!(a.counts, b.counts, "same seed, same tally");
+        let c = sampler.sample_tally(&gen, &q, 300, 8).unwrap();
+        assert_ne!(a.counts, c.counts, "seed must matter");
+        // The one-shot helper agrees with the prebuilt sampler.
+        let d = localized_sample_tally(&ctx, &gen, &q, 300, 7).unwrap();
+        assert_eq!(a.counts, d.counts);
+    }
+
+    #[test]
+    fn sampler_on_consistent_database() {
+        let ctx = setup("R(a,1). R(b,2).", "R(x,y), R(x,z) -> y = z.");
+        let sampler = ComponentSampler::new(&ctx).unwrap();
+        assert_eq!(sampler.components(), 0);
+        let q = parser::parse_query("(x) <- exists y: R(x, y)").unwrap();
+        let tally = sampler
+            .sample_tally(&UniformGenerator::new(), &q, 10, 0)
+            .unwrap();
+        let freqs = tally.frequencies();
+        assert_eq!(freqs.len(), 2);
+        assert!(freqs.iter().all(|(_, p)| *p == 1.0));
+    }
+
+    #[test]
+    fn sampler_rejects_tgds() {
+        let ctx = setup("T(a,b).", "T(x,y) -> R(x,y).");
+        assert!(matches!(
+            ComponentSampler::new(&ctx),
+            Err(LocalizeError::NotDenialFragment)
+        ));
     }
 
     #[test]

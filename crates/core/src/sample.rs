@@ -39,6 +39,23 @@ pub fn sample_size(eps: f64, delta: f64) -> u64 {
     ((2.0f64 / delta).ln() / (2.0 * eps * eps)).ceil() as u64
 }
 
+/// Derives a decorrelated RNG seed for sub-stream `stream` of `seed`: one
+/// SplitMix64 round over `seed ⊕ f(stream)`.
+///
+/// This function is part of the reproducibility contract shared by every
+/// deterministic sampler in the workspace: `ocqa-engine`'s pool uses it to
+/// seed per-chunk walk streams, and [`crate::localize::ComponentSampler`]
+/// uses it to seed per-component walk streams. Sub-streams must be
+/// decorrelated but *stable* — changing this function changes every
+/// sampled answer for a fixed seed.
+pub fn derive_seed(seed: u64, stream: u64) -> u64 {
+    let mut z = seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// Errors during sampling.
 #[derive(Debug)]
 pub enum SampleError {
@@ -287,12 +304,42 @@ impl SampleTally {
         self.failed_walks += other.failed_walks;
     }
 
-    /// Per-tuple hit frequencies (the additive-error estimates of `CP`).
+    /// Per-tuple hit frequencies over **all** walks, failed ones included
+    /// (`hits / walks`).
+    ///
+    /// For non-failing generators this is the Theorem 9 additive-error
+    /// estimate of `CP`. For failing chains it estimates only the
+    /// *numerator* of `CP` — the probability of reaching a repair that
+    /// satisfies the query, not the probability conditioned on reaching a
+    /// repair at all. Callers serving `CP` on possibly-failing chains
+    /// should use [`conditional_frequencies`](Self::conditional_frequencies)
+    /// instead (and may report both).
     pub fn frequencies(&self) -> AnswerFrequencies {
         self.counts
             .iter()
             .map(|(t, k)| (t.clone(), *k as f64 / self.walks as f64))
             .collect()
+    }
+
+    /// Per-tuple hit frequencies over the **successful** walks only
+    /// (`hits / (walks − failed_walks)`) — the §6 ratio estimator of the
+    /// conditional probability `CP`, the plug-in counterpart of
+    /// [`estimate_conditional`].
+    ///
+    /// Coincides with [`frequencies`](Self::frequencies) when no walk
+    /// failed. Returns `None` when *every* walk failed: the denominator
+    /// cannot be estimated at all (and there are no hits to report).
+    pub fn conditional_frequencies(&self) -> Option<AnswerFrequencies> {
+        let successes = self.walks - self.failed_walks;
+        if successes == 0 {
+            return None;
+        }
+        Some(
+            self.counts
+                .iter()
+                .map(|(t, k)| (t.clone(), *k as f64 / successes as f64))
+                .collect(),
+        )
     }
 }
 
@@ -569,6 +616,52 @@ mod tests {
             (est - exact).abs() <= 0.1,
             "estimate {est} vs exact {exact}"
         );
+    }
+
+    #[test]
+    fn conditional_frequencies_use_successful_denominator() {
+        // Half the walks fail (§3's failing example with a surviving S(a)):
+        // raw frequencies estimate the numerator ≈ 1/2, conditional ones
+        // the true CP = 1.
+        let ctx = make_ctx("R(a). S(a).", "R(x) -> T(x). T(x) -> false.");
+        let q = parser::parse_query("(x) <- S(x)").unwrap();
+        let mut rng = StdRng::seed_from_u64(31);
+        let tally = sample_tally(&ctx, &UniformGenerator::new(), &q, 400, &mut rng).unwrap();
+        assert!(tally.failed_walks > 0);
+        let raw = tally.frequencies();
+        assert!(
+            (raw[0].1 - 0.5).abs() < 0.15,
+            "numerator ≈ 1/2: {}",
+            raw[0].1
+        );
+        let cond = tally.conditional_frequencies().unwrap();
+        assert_eq!(cond[0].1, 1.0, "every successful repair satisfies S(a)");
+
+        // All-failing tally: no denominator.
+        let all_failed = SampleTally {
+            walks: 10,
+            failed_walks: 10,
+            ..SampleTally::default()
+        };
+        assert!(all_failed.conditional_frequencies().is_none());
+
+        // Non-failing tally: both estimators coincide.
+        let mut rng = StdRng::seed_from_u64(32);
+        let ctx = make_ctx("R(a,b). R(a,c).", "R(x,y), R(x,z) -> y = z.");
+        let q = parser::parse_query("(y) <- exists x: R(x,y)").unwrap();
+        let tally = sample_tally(&ctx, &UniformGenerator::new(), &q, 100, &mut rng).unwrap();
+        assert_eq!(tally.failed_walks, 0);
+        assert_eq!(
+            tally.conditional_frequencies().unwrap(),
+            tally.frequencies()
+        );
+    }
+
+    #[test]
+    fn derive_seed_decorrelates_streams() {
+        assert_ne!(derive_seed(7, 0), derive_seed(7, 1));
+        assert_ne!(derive_seed(7, 0), derive_seed(8, 0));
+        assert_eq!(derive_seed(7, 1), derive_seed(7, 1), "stable");
     }
 
     #[test]

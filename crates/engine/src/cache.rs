@@ -8,9 +8,16 @@
 //! hot database with frequent updates cannot fill the cache with dead
 //! versions.
 
+use crate::planner::PlanKind;
 use ocqa_core::sample::SampleTally;
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// Upper bound on retained invalidation floors (see
+/// [`AnswerCache::invalidate_db`]); above it the lowest — oldest —
+/// floors are pruned, so the map cannot grow without bound on servers
+/// whose clients churn through uniquely named databases.
+pub const MAX_FLOORS: usize = 4096;
 
 /// Cache key: the full provenance of an answer computation.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -23,6 +30,10 @@ pub struct CacheKey {
     pub query: String,
     /// Generator name.
     pub generator: String,
+    /// The plan that computed the tally: different plans draw different
+    /// RNG streams, so a forced-monolithic answer and a planner-served
+    /// one are distinct computations even for identical seeds.
+    pub plan: PlanKind,
     /// `ε` as IEEE-754 bits (hashable, no rounding surprises).
     pub eps_bits: u64,
     /// `δ` as IEEE-754 bits.
@@ -42,6 +53,9 @@ pub struct CacheStats {
     pub invalidated: u64,
     /// Entries evicted by capacity pressure.
     pub evicted: u64,
+    /// Inserts rejected because their version was below the database's
+    /// invalidation floor (an in-flight answer finishing after an update).
+    pub stale_drops: u64,
 }
 
 struct Slot {
@@ -55,6 +69,13 @@ struct Slot {
 pub struct AnswerCache {
     capacity: usize,
     slots: HashMap<CacheKey, Slot>,
+    /// Per-database minimum acceptable version, set by
+    /// [`invalidate_db`](Self::invalidate_db). An `answer` that sampled
+    /// against a pre-update snapshot races its insert against the
+    /// update's purge; without the floor, an insert landing *after* the
+    /// purge would park an unservable old-version entry in an LRU slot
+    /// until capacity pressure happens to evict it.
+    floors: HashMap<String, u64>,
     tick: u64,
     stats: CacheStats,
 }
@@ -65,6 +86,7 @@ impl AnswerCache {
         AnswerCache {
             capacity: capacity.max(1),
             slots: HashMap::new(),
+            floors: HashMap::new(),
             tick: 0,
             stats: CacheStats::default(),
         }
@@ -88,7 +110,19 @@ impl AnswerCache {
 
     /// Inserts a computed tally, evicting the least-recently-used entry
     /// if the cache is full.
+    ///
+    /// Inserts whose version lies below the database's invalidation floor
+    /// are dropped: the entry could never be served (lookups carry the
+    /// current version) and would only waste a slot.
     pub fn insert(&mut self, key: CacheKey, tally: Arc<SampleTally>) {
+        if self
+            .floors
+            .get(&key.db)
+            .is_some_and(|floor| key.version < *floor)
+        {
+            self.stats.stale_drops += 1;
+            return;
+        }
         self.tick += 1;
         if self.slots.len() >= self.capacity && !self.slots.contains_key(&key) {
             if let Some(oldest) = self
@@ -110,12 +144,36 @@ impl AnswerCache {
         );
     }
 
-    /// Purges every entry of a database (any version). Called on catalog
-    /// updates and drops.
-    pub fn invalidate_db(&mut self, db: &str) {
+    /// Purges every entry of `db` whose version lies below `min_version`
+    /// and records the floor, so racing inserts from answers computed
+    /// against older versions are dropped rather than re-inserted. Called
+    /// on catalog updates (with the post-update version) and drops (with
+    /// a floor above the dropped incarnation — the catalog-global version
+    /// counter guarantees a recreated database starts higher).
+    pub fn invalidate_db(&mut self, db: &str, min_version: u64) {
         let before = self.slots.len();
-        self.slots.retain(|k, _| k.db != db);
+        self.slots
+            .retain(|k, _| k.db != db || k.version >= min_version);
         self.stats.invalidated += (before - self.slots.len()) as u64;
+        let floor = self.floors.entry(db.to_string()).or_insert(0);
+        *floor = (*floor).max(min_version);
+        if self.floors.len() > MAX_FLOORS {
+            self.prune_floors();
+        }
+    }
+
+    /// Bounds the floor map on a long-lived server whose clients churn
+    /// through uniquely named databases: keep the `MAX_FLOORS / 2`
+    /// *highest* floors (the most recent versions, whose in-flight
+    /// answers may still land) and forget the rest. Forgetting a floor
+    /// degrades gracefully to the pre-floor behavior — a stale insert
+    /// for a long-dead database wastes one LRU slot until eviction, but
+    /// is still never *served* (lookups carry the current version).
+    fn prune_floors(&mut self) {
+        let mut entries: Vec<(String, u64)> = self.floors.drain().collect();
+        entries.sort_unstable_by_key(|(_, floor)| std::cmp::Reverse(*floor));
+        entries.truncate(MAX_FLOORS / 2);
+        self.floors = entries.into_iter().collect();
     }
 
     /// Live entry count.
@@ -132,6 +190,12 @@ impl AnswerCache {
     pub fn stats(&self) -> CacheStats {
         self.stats
     }
+
+    /// Number of retained invalidation floors (test observability).
+    #[cfg(test)]
+    fn floors_len(&self) -> usize {
+        self.floors.len()
+    }
 }
 
 #[cfg(test)]
@@ -144,6 +208,7 @@ mod tests {
             version,
             query: "(x) <- R(x)".into(),
             generator: "uniform".into(),
+            plan: PlanKind::Monolithic,
             eps_bits: 0.1f64.to_bits(),
             delta_bits: 0.1f64.to_bits(),
             seed,
@@ -183,14 +248,66 @@ mod tests {
     }
 
     #[test]
-    fn invalidate_db_purges_all_versions() {
+    fn invalidate_db_purges_below_floor() {
         let mut cache = AnswerCache::new(8);
         cache.insert(key("a", 1, 0), tally(1));
         cache.insert(key("a", 2, 0), tally(2));
         cache.insert(key("b", 1, 0), tally(3));
-        cache.invalidate_db("a");
+        cache.invalidate_db("a", 3);
         assert_eq!(cache.len(), 1);
         assert_eq!(cache.stats().invalidated, 2);
         assert!(cache.get(&key("b", 1, 0)).is_some());
+        // Entries at or above the floor survive.
+        cache.insert(key("a", 3, 0), tally(4));
+        cache.invalidate_db("a", 3);
+        assert!(cache.get(&key("a", 3, 0)).is_some());
+    }
+
+    #[test]
+    fn stale_insert_after_invalidation_is_dropped() {
+        // The in-flight-answer race: a request snapshots version 1, an
+        // update purges and floors the db at version 2 while it samples,
+        // then the request's insert lands. The entry must be dropped —
+        // it can never be served and would only occupy an LRU slot.
+        let mut cache = AnswerCache::new(8);
+        cache.invalidate_db("a", 2);
+        cache.insert(key("a", 1, 0), tally(1));
+        assert_eq!(cache.len(), 0, "stale insert must be dropped");
+        assert_eq!(cache.stats().stale_drops, 1);
+        // The current version is accepted, as are later ones.
+        cache.insert(key("a", 2, 0), tally(2));
+        cache.insert(key("a", 3, 0), tally(3));
+        assert_eq!(cache.len(), 2);
+        // Floors only ever rise: an older invalidation cannot lower one.
+        cache.invalidate_db("a", 1);
+        cache.insert(key("a", 1, 1), tally(4));
+        assert_eq!(cache.stats().stale_drops, 2);
+        // Other databases are unaffected by a's floor.
+        cache.insert(key("b", 1, 0), tally(5));
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn floor_map_is_bounded_and_keeps_recent_floors() {
+        let mut cache = AnswerCache::new(4);
+        // Churn through far more uniquely named databases than the bound
+        // (monotonically increasing versions, like the catalog counter).
+        for v in 0..(2 * MAX_FLOORS as u64 + 10) {
+            cache.invalidate_db(&format!("scratch-{v}"), v + 1);
+        }
+        assert!(
+            cache.floors_len() <= MAX_FLOORS,
+            "floors must stay bounded: {}",
+            cache.floors_len()
+        );
+        // The most recent floor survives pruning; a stale insert for it
+        // is still rejected.
+        let last = 2 * MAX_FLOORS as u64 + 9;
+        cache.insert(key(&format!("scratch-{last}"), last, 0), tally(1));
+        assert_eq!(cache.stats().stale_drops, 1);
+        // An ancient pruned floor degrades gracefully: the insert lands
+        // (one LRU slot) but can never be served at the current version.
+        cache.insert(key("scratch-0", 0, 0), tally(1));
+        assert_eq!(cache.len(), 1);
     }
 }

@@ -14,6 +14,7 @@
 //! costs one base-domain rebuild — never a full violation recomputation.
 
 use crate::error::EngineError;
+use crate::planner::{classify, DbPlan, PlanKind};
 use ocqa_core::RepairContext;
 use ocqa_data::{Database, Fact};
 use ocqa_logic::{incremental, parser, ConstraintSet, ViolationSet};
@@ -27,10 +28,17 @@ struct CatalogEntry {
     sigma: ConstraintSet,
     violations: ViolationSet,
     version: u64,
+    /// Structural answer-plan classification — a function of `sigma`
+    /// alone, computed once at install time.
+    plan_kind: PlanKind,
     /// Memoized sampling snapshot for `version`. Interior mutability so
     /// [`Catalog::context`] works under the catalog's *read* lock —
     /// concurrent answers must not serialize on the write lock.
     snapshot: Mutex<Option<Arc<RepairContext>>>,
+    /// Memoized answer plan for `version` (conflict components, violating
+    /// key groups). Invalidated together with the snapshot by every
+    /// effective update, rebuilt lazily by [`Catalog::snapshot`].
+    plan: Mutex<Option<Arc<DbPlan>>>,
 }
 
 /// Summary of an entry, for list/status responses.
@@ -47,6 +55,8 @@ pub struct DatabaseInfo {
     pub facts: usize,
     /// Number of current violations.
     pub violations: usize,
+    /// The structural answer-plan classification of the constraint set.
+    pub plan: PlanKind,
 }
 
 /// Result of an update batch.
@@ -134,20 +144,25 @@ impl Catalog {
         }
         self.next_version += 1;
         let entry = CatalogEntry {
+            plan_kind: classify(&parsed.sigma),
             db: parsed.db,
             sigma: parsed.sigma,
             violations: parsed.violations,
             version: self.next_version,
             snapshot: Mutex::new(None),
+            plan: Mutex::new(None),
         };
         let info = entry.info(name);
         self.entries.insert(name.to_string(), entry);
         Ok(info)
     }
 
-    /// Drops a database; returns whether it existed.
-    pub fn drop_db(&mut self, name: &str) -> bool {
-        self.entries.remove(name).is_some()
+    /// Drops a database; returns the dropped entry's version (`None` if
+    /// it did not exist). Callers use the version to floor the answer
+    /// cache: the global counter guarantees any recreated incarnation
+    /// starts strictly higher.
+    pub fn drop_db(&mut self, name: &str) -> Option<u64> {
+        self.entries.remove(name).map(|e| e.version)
     }
 
     /// Applies an insert/delete batch of facts (given as fact-list source
@@ -225,6 +240,7 @@ impl Catalog {
         entry.violations = violations;
         entry.version = self.next_version;
         *entry.snapshot.get_mut() = None;
+        *entry.plan.get_mut() = None;
         Ok(UpdateOutcome {
             inserted: added.len(),
             removed: removed.len(),
@@ -242,6 +258,19 @@ impl Catalog {
     /// cold rebuild after an update only briefly holds the per-entry
     /// snapshot mutex.
     pub fn context(&self, name: &str) -> Result<(Arc<RepairContext>, u64), EngineError> {
+        let (ctx, version, _) = self.snapshot(name)?;
+        Ok((ctx, version))
+    }
+
+    /// [`context`](Catalog::context) plus the memoized [`DbPlan`] for the
+    /// same version — the planner's entry point. The plan's data-dependent
+    /// artifacts (conflict components, violating key groups) are rebuilt
+    /// here after an update, under the same per-entry mutex discipline as
+    /// the snapshot.
+    pub fn snapshot(
+        &self,
+        name: &str,
+    ) -> Result<(Arc<RepairContext>, u64, Arc<DbPlan>), EngineError> {
         let entry = self
             .entries
             .get(name)
@@ -254,10 +283,25 @@ impl Catalog {
                 entry.violations.clone(),
             ));
         }
+        let ctx = snapshot.as_ref().expect("just memoized").clone();
+        drop(snapshot);
+        let mut plan = entry.plan.lock();
+        if plan.is_none() {
+            *plan = Some(Arc::new(DbPlan::build(&ctx)));
+        }
         Ok((
-            snapshot.as_ref().expect("just memoized").clone(),
+            ctx,
             entry.version,
+            plan.as_ref().expect("just memoized").clone(),
         ))
+    }
+
+    /// The structural plan classification of a database.
+    pub fn plan_kind(&self, name: &str) -> Result<PlanKind, EngineError> {
+        self.entries
+            .get(name)
+            .map(|e| e.plan_kind)
+            .ok_or_else(|| EngineError::UnknownDatabase(name.to_string()))
     }
 
     /// Number of databases under management.
@@ -294,6 +338,7 @@ impl CatalogEntry {
             version: self.version,
             facts: self.db.len(),
             violations: self.violations.len(),
+            plan: self.plan_kind,
         }
     }
 }
@@ -319,8 +364,8 @@ mod tests {
         assert_eq!((out.inserted, out.removed, out.version), (1, 1, 2));
         assert_eq!(out.violations, 0, "conflict resolved by the delete");
 
-        assert!(cat.drop_db("prefs"));
-        assert!(!cat.drop_db("prefs"));
+        assert!(cat.drop_db("prefs").is_some());
+        assert!(cat.drop_db("prefs").is_none());
         assert!(matches!(
             cat.update("prefs", "", ""),
             Err(EngineError::UnknownDatabase(_))
@@ -367,6 +412,28 @@ mod tests {
     }
 
     #[test]
+    fn plan_memoized_per_version_and_refreshed_by_updates() {
+        let mut cat = Catalog::new();
+        cat.create("db", "R(a,1). R(a,2). R(b,9).", "R(x,y), R(x,z) -> y = z.")
+            .unwrap();
+        assert_eq!(cat.plan_kind("db").unwrap(), PlanKind::KeyRepair);
+        let (_, v1, p1) = cat.snapshot("db").unwrap();
+        let (_, _, p2) = cat.snapshot("db").unwrap();
+        assert!(Arc::ptr_eq(&p1, &p2), "same version shares the plan");
+        // A no-op update keeps the memoized plan.
+        cat.update("db", "R(b,9).", "").unwrap();
+        let (_, _, p3) = cat.snapshot("db").unwrap();
+        assert!(Arc::ptr_eq(&p1, &p3), "no-op update must not rebuild");
+        // An effective update rebuilds the plan artifacts for the new
+        // version (classification itself is structural and unchanged).
+        cat.update("db", "R(b,10).", "").unwrap();
+        let (_, v2, p4) = cat.snapshot("db").unwrap();
+        assert!(v2 > v1);
+        assert!(!Arc::ptr_eq(&p1, &p4), "update must refresh the plan");
+        assert_eq!(p4.kind(), PlanKind::KeyRepair);
+    }
+
+    #[test]
     fn same_fact_in_both_batches_keeps_index_exact() {
         // Insert-then-delete of the same fact within one batch must leave
         // the incrementally maintained violation set equal to a full
@@ -400,7 +467,7 @@ mod tests {
             .create("a", "R(1,1).", "R(x,y), R(x,z) -> y = z.")
             .unwrap()
             .version;
-        assert!(cat.drop_db("a"));
+        assert!(cat.drop_db("a").is_some());
         let v2 = cat
             .create("a", "R(2,2).", "R(x,y), R(x,z) -> y = z.")
             .unwrap()

@@ -12,6 +12,7 @@ use crate::cache::{AnswerCache, CacheKey, CacheStats};
 use crate::catalog::Catalog;
 use crate::error::EngineError;
 use crate::json::Json;
+use crate::planner::PlanKind;
 use crate::pool::SamplerPool;
 use crate::prepared::PreparedRegistry;
 use crate::proto::{
@@ -34,6 +35,12 @@ pub struct EngineConfig {
     /// a client-supplied tiny ε/δ would make `sample_size` astronomical
     /// and one request could pin every worker (and the job queue) forever.
     pub max_walks: u64,
+    /// Whether the answer planner routes eligible requests down the
+    /// localized / key-repair fast paths. When disabled every automatic
+    /// answer serves monolithically (explicit per-request `plan`
+    /// overrides still work) — an operational escape hatch and the
+    /// baseline switch used by benchmarks.
+    pub planner: bool,
 }
 
 impl Default for EngineConfig {
@@ -44,6 +51,7 @@ impl Default for EngineConfig {
                 .unwrap_or(4),
             cache_capacity: 1024,
             max_walks: 1_000_000,
+            planner: true,
         }
     }
 }
@@ -65,6 +73,7 @@ pub struct Engine {
     prepared: RwLock<PreparedRegistry>,
     pool: SamplerPool,
     max_walks: u64,
+    planner: bool,
     requests: AtomicU64,
     answers: AtomicU64,
     walks: AtomicU64,
@@ -79,6 +88,7 @@ impl Engine {
             prepared: RwLock::new(PreparedRegistry::new()),
             pool: SamplerPool::new(config.workers),
             max_walks: config.max_walks.max(1),
+            planner: config.planner,
             requests: AtomicU64::new(0),
             answers: AtomicU64::new(0),
             walks: AtomicU64::new(0),
@@ -123,11 +133,14 @@ impl Engine {
                 Ok(EngineResponse::Created(info))
             }
             EngineRequest::DropDb { name } => {
-                let existed = self.catalog.write().drop_db(&name);
-                if !existed {
+                let Some(version) = self.catalog.write().drop_db(&name) else {
                     return Err(EngineError::UnknownDatabase(name));
-                }
-                self.cache.lock().invalidate_db(&name);
+                };
+                // Floor above the dropped incarnation: a recreated
+                // database starts at a strictly higher global version, so
+                // its entries pass while any in-flight answer against the
+                // dropped one is rejected.
+                self.cache.lock().invalidate_db(&name, version + 1);
                 Ok(EngineResponse::Dropped { name })
             }
             EngineRequest::Insert { db, facts } => self.update(&db, &facts, ""),
@@ -145,7 +158,8 @@ impl Engine {
                 eps,
                 delta,
                 seed,
-            } => self.answer(&db, &query, &generator, eps, delta, seed),
+                plan,
+            } => self.answer(&db, &query, &generator, eps, delta, seed, plan),
             EngineRequest::List => Ok(EngineResponse::List(self.catalog.read().list())),
             EngineRequest::Stats => Ok(EngineResponse::Stats(self.stats())),
         }
@@ -161,14 +175,18 @@ impl Engine {
         let outcome = self.catalog.write().update_parsed(db, &inserts, &deletes)?;
         // An effective update bumps the version, so cached entries for
         // the old version can never be served again; purge them eagerly
-        // so they don't occupy cache slots until eviction. No-op updates
-        // keep the version and the cache — idempotent retries stay cheap.
+        // so they don't occupy cache slots until eviction, and floor the
+        // database at the new version so an in-flight answer that sampled
+        // the pre-update snapshot cannot re-insert a dead entry. No-op
+        // updates keep the version and the cache — idempotent retries
+        // stay cheap.
         if outcome.inserted > 0 || outcome.removed > 0 {
-            self.cache.lock().invalidate_db(db);
+            self.cache.lock().invalidate_db(db, outcome.version);
         }
         Ok(EngineResponse::Updated(outcome))
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn answer(
         &self,
         db: &str,
@@ -177,6 +195,7 @@ impl Engine {
         eps: f64,
         delta: f64,
         seed: u64,
+        plan_request: Option<PlanKind>,
     ) -> Result<EngineResponse, EngineError> {
         if eps <= 0.0 || eps >= 1.0 || delta <= 0.0 || delta >= 1.0 {
             return Err(EngineError::BadRequest(
@@ -190,7 +209,6 @@ impl Engine {
                 self.max_walks
             )));
         }
-        self.answers.fetch_add(1, Ordering::Relaxed);
         // Inline text is routed through the prepared registry too: the
         // parse/validate cost is paid once per distinct query text.
         let prepared = match query_ref {
@@ -207,12 +225,22 @@ impl Engine {
             QueryRef::Prepared(id) => self.prepared.read().get(id)?,
         };
         let gen = generator_by_name(generator)?;
-        let (ctx, version) = self.catalog.read().context(db)?;
+        let (_ctx, version, plan) = self.catalog.read().snapshot(db)?;
+        // Resolve the route: the planner picks the cheapest sound path
+        // for this database × generator; a disabled planner pins
+        // automatic requests to monolithic; explicit requests are
+        // validated (unsound forces are errors, not silent fallbacks).
+        let route = if plan_request.is_none() && !self.planner {
+            PlanKind::Monolithic
+        } else {
+            plan.route(gen.as_ref(), plan_request)?
+        };
         let key = CacheKey {
             db: db.to_string(),
             version,
             query: prepared.text.clone(),
             generator: generator.to_string(),
+            plan: route,
             eps_bits: eps.to_bits(),
             delta_bits: delta.to_bits(),
             seed,
@@ -226,17 +254,28 @@ impl Engine {
             (hit, stats)
         };
         if let Some(tally) = hit {
-            return Ok(answer_response(&tally, true, version, stats));
+            self.answers.fetch_add(1, Ordering::Relaxed);
+            return Ok(answer_response(&tally, true, version, stats, route));
         }
         // Cache miss: sample on the pool with no locks held.
-        let tally = Arc::new(self.pool.run(&ctx, &gen, &prepared.query, walks, seed)?);
+        let task = plan.task(route, gen)?;
+        let tally = Arc::new(self.pool.run(&task, &prepared.query, walks, seed)?);
+        // Counters move only on success: a rejected or failed request
+        // must inflate neither `answers` nor `walks`.
         self.walks.fetch_add(walks, Ordering::Relaxed);
-        let stats = {
-            let mut cache = self.cache.lock();
-            cache.insert(key, tally.clone());
-            cache.stats()
-        };
-        Ok(answer_response(&tally, false, version, stats))
+        self.answers.fetch_add(1, Ordering::Relaxed);
+        let stats = self.store_answer(key, tally.clone());
+        Ok(answer_response(&tally, false, version, stats, route))
+    }
+
+    /// Stores a computed answer, returning the post-insert cache stats.
+    /// The insert is version-checked: if an update (or drop) invalidated
+    /// this database while the request was sampling, the cache drops the
+    /// entry instead of re-inserting a dead version.
+    fn store_answer(&self, key: CacheKey, tally: Arc<SampleTally>) -> CacheStats {
+        let mut cache = self.cache.lock();
+        cache.insert(key, tally);
+        cache.stats()
     }
 
     /// The configured per-request walk ceiling.
@@ -262,11 +301,17 @@ fn answer_response(
     cached: bool,
     version: u64,
     stats: CacheStats,
+    plan: PlanKind,
 ) -> EngineResponse {
+    // Raw and conditional estimates zip positionally: both iterate the
+    // same count map. `conditional_frequencies` is None only when every
+    // walk failed, in which case there are no rows at all.
+    let conditional = tally.conditional_frequencies().unwrap_or_default();
     let answers = tally
         .frequencies()
         .into_iter()
-        .map(|(tuple, p)| AnswerRow { tuple, p })
+        .zip(conditional)
+        .map(|((tuple, p), (_, p_cond))| AnswerRow { tuple, p, p_cond })
         .collect();
     EngineResponse::Answer(AnswerPayload {
         answers,
@@ -274,6 +319,7 @@ fn answer_response(
         failed_walks: tally.failed_walks,
         cached,
         db_version: version,
+        plan,
         cache: stats,
     })
 }
@@ -307,6 +353,7 @@ mod tests {
             eps: 0.1,
             delta: 0.1,
             seed,
+            plan: None,
         }
     }
 
@@ -382,6 +429,7 @@ mod tests {
             eps: 0.2,
             delta: 0.2,
             seed: 1,
+            plan: None,
         }) else {
             panic!()
         };
@@ -399,6 +447,7 @@ mod tests {
                 eps: 0.1,
                 delta: 0.1,
                 seed: 0,
+                plan: None,
             }),
             EngineResponse::Error(EngineError::UnknownDatabase(_))
         ));
@@ -411,6 +460,7 @@ mod tests {
                 eps: 0.1,
                 delta: 0.1,
                 seed: 0,
+                plan: None,
             }),
             EngineResponse::Error(EngineError::UnknownGenerator(_))
         ));
@@ -422,6 +472,7 @@ mod tests {
                 eps: 0.0,
                 delta: 0.1,
                 seed: 0,
+                plan: None,
             }),
             EngineResponse::Error(EngineError::BadRequest(_))
         ));
@@ -434,11 +485,198 @@ mod tests {
             eps: 1e-9,
             delta: 0.1,
             seed: 0,
+            plan: None,
         });
         let EngineResponse::Error(EngineError::BadRequest(msg)) = resp else {
             panic!("expected budget rejection, got {resp:?}");
         };
         assert!(msg.contains("engine limit"), "{msg}");
+    }
+
+    fn create_kv(e: &Engine) {
+        let resp = e.handle(EngineRequest::CreateDb {
+            name: "kv".into(),
+            facts: "R(1,10). R(1,20). R(2,30). R(2,40). R(3,50).".into(),
+            constraints: "R(x,y), R(x,z) -> y = z.".into(),
+        });
+        assert!(matches!(resp, EngineResponse::Created(_)), "{resp:?}");
+    }
+
+    fn stats_of(e: &Engine) -> EngineStatsPayload {
+        let EngineResponse::Stats(s) = e.handle(EngineRequest::Stats) else {
+            panic!("expected stats");
+        };
+        s
+    }
+
+    #[test]
+    fn failed_requests_do_not_inflate_answer_stats() {
+        let e = engine();
+        // Unknown database, unknown generator, bad ε, over-budget ε: all
+        // rejected before (or instead of) sampling — none may count as a
+        // served answer or as walks.
+        for (db, generator, eps) in [
+            ("missing", "uniform", 0.1),
+            ("prefs", "nope", 0.1),
+            ("prefs", "uniform", 0.0),
+            ("prefs", "uniform", 1e-9),
+        ] {
+            if db == "prefs" && stats_of(&e).databases == 0 {
+                create_prefs(&e);
+            }
+            let resp = e.handle(EngineRequest::Answer {
+                db: db.into(),
+                query: QueryRef::Text("(x) <- exists y: Pref(x,y)".into()),
+                generator: generator.into(),
+                eps,
+                delta: 0.1,
+                seed: 0,
+                plan: None,
+            });
+            assert!(matches!(resp, EngineResponse::Error(_)), "{resp:?}");
+        }
+        let s = stats_of(&e);
+        assert_eq!(s.answers, 0, "failed requests must not count as answers");
+        assert_eq!(s.walks, 0);
+
+        // A successful answer counts once, with its walks.
+        assert!(matches!(e.handle(answer_req(7)), EngineResponse::Answer(_)));
+        let s = stats_of(&e);
+        assert_eq!((s.answers, s.walks), (1, 150));
+        // A cached answer counts as an answer but adds no walks.
+        assert!(matches!(e.handle(answer_req(7)), EngineResponse::Answer(_)));
+        let s = stats_of(&e);
+        assert_eq!((s.answers, s.walks), (2, 150));
+    }
+
+    #[test]
+    fn stale_answer_insert_after_update_is_dropped() {
+        // The in-flight race, deterministically interleaved: a slow
+        // answer snapshots version v1, an update purges and floors the
+        // cache while it samples, then its insert lands through the same
+        // `store_answer` path the real request path uses. The dead entry
+        // must be dropped, not parked in an LRU slot.
+        let e = engine();
+        create_prefs(&e);
+        let (_ctx, v1, plan) = e.catalog.read().snapshot("prefs").unwrap();
+        // The "slow sampler" finishes its work against the v1 snapshot…
+        let gen = generator_by_name("uniform").unwrap();
+        let task = plan.task(PlanKind::Localized, gen).unwrap();
+        let query =
+            Arc::new(ocqa_logic::parser::parse_query("(x) <- exists y: Pref(x,y)").unwrap());
+        let tally = Arc::new(e.pool.run(&task, &query, 64, 3).unwrap());
+        // …but an update lands first, bumping the version and flooring
+        // the cache.
+        let resp = e.handle(EngineRequest::Delete {
+            db: "prefs".into(),
+            facts: "Pref(c,a).".into(),
+        });
+        assert!(matches!(resp, EngineResponse::Updated(_)));
+        // The late insert must be dropped.
+        let key = CacheKey {
+            db: "prefs".into(),
+            version: v1,
+            query: "(x) <- exists y: Pref(x,y)".into(),
+            generator: "uniform".into(),
+            plan: PlanKind::Localized,
+            eps_bits: 0.1f64.to_bits(),
+            delta_bits: 0.1f64.to_bits(),
+            seed: 3,
+        };
+        let stats = e.store_answer(key, tally);
+        assert_eq!(stats.stale_drops, 1);
+        assert_eq!(e.cache.lock().len(), 0, "no dead entry may occupy a slot");
+        // Answers against the current version cache normally again.
+        let EngineResponse::Answer(a) = e.handle(answer_req(3)) else {
+            panic!()
+        };
+        assert!(!a.cached);
+        assert_eq!(e.cache.lock().len(), 1);
+    }
+
+    #[test]
+    fn planner_routes_by_shape_and_generator() {
+        let e = engine();
+        create_kv(&e);
+        create_prefs(&e);
+        let answer = |db: &str, generator: &str, plan: Option<PlanKind>| {
+            e.handle(EngineRequest::Answer {
+                db: db.into(),
+                query: QueryRef::Text(
+                    if db == "kv" {
+                        "(x) <- exists y: R(x,y)"
+                    } else {
+                        "(x) <- exists y: Pref(x,y)"
+                    }
+                    .into(),
+                ),
+                generator: generator.into(),
+                eps: 0.1,
+                delta: 0.1,
+                seed: 1,
+                plan,
+            })
+        };
+        // Key-only constraints serve key-repair; DC constraints localized.
+        let EngineResponse::Answer(a) = answer("kv", "uniform", None) else {
+            panic!()
+        };
+        assert_eq!(a.plan, PlanKind::KeyRepair);
+        let EngineResponse::Answer(a) = answer("prefs", "uniform", None) else {
+            panic!()
+        };
+        assert_eq!(a.plan, PlanKind::Localized);
+        // Non-component-local generators fall back to monolithic.
+        let EngineResponse::Answer(a) = answer("prefs", "preference", None) else {
+            panic!()
+        };
+        assert_eq!(a.plan, PlanKind::Monolithic);
+        // Explicit overrides: monolithic always; unsound forces error.
+        let EngineResponse::Answer(a) = answer("kv", "uniform", Some(PlanKind::Monolithic)) else {
+            panic!()
+        };
+        assert_eq!(a.plan, PlanKind::Monolithic);
+        assert!(matches!(
+            answer("prefs", "uniform", Some(PlanKind::KeyRepair)),
+            EngineResponse::Error(EngineError::BadRequest(_))
+        ));
+        // The catalog reports the structural classification in `list`.
+        let EngineResponse::List(infos) = e.handle(EngineRequest::List) else {
+            panic!()
+        };
+        let by_name: std::collections::HashMap<_, _> =
+            infos.iter().map(|i| (i.name.as_str(), i.plan)).collect();
+        assert_eq!(by_name["kv"], PlanKind::KeyRepair);
+        assert_eq!(by_name["prefs"], PlanKind::Localized);
+    }
+
+    #[test]
+    fn planner_disabled_pins_automatic_answers_to_monolithic() {
+        let e = Engine::new(EngineConfig {
+            workers: 2,
+            cache_capacity: 64,
+            planner: false,
+            ..EngineConfig::default()
+        });
+        create_kv(&e);
+        let req = |plan: Option<PlanKind>| EngineRequest::Answer {
+            db: "kv".into(),
+            query: QueryRef::Text("(x) <- exists y: R(x,y)".into()),
+            generator: "uniform".into(),
+            eps: 0.1,
+            delta: 0.1,
+            seed: 1,
+            plan,
+        };
+        let EngineResponse::Answer(a) = e.handle(req(None)) else {
+            panic!()
+        };
+        assert_eq!(a.plan, PlanKind::Monolithic);
+        // Explicit plan requests still work with the planner off.
+        let EngineResponse::Answer(a) = e.handle(req(Some(PlanKind::KeyRepair))) else {
+            panic!()
+        };
+        assert_eq!(a.plan, PlanKind::KeyRepair);
     }
 
     #[test]

@@ -16,6 +16,12 @@
 //!   request's walk budget out as fixed-size chunks with per-chunk seed
 //!   derivation, making answers bit-identical for a fixed seed
 //!   regardless of pool size;
+//! * [`DbPlan`] / [`SampleTask`] — the answer planner: each database is
+//!   classified at install time (primary-key-only → group-wise key
+//!   repair; denial fragment → per-component localized sampling;
+//!   otherwise monolithic chain walks) and every `answer` routes down
+//!   the cheapest sound path for its generator, reported back as the
+//!   response's `plan` field;
 //! * [`AnswerCache`] — an LRU keyed by database version × query ×
 //!   generator × ε/δ × seed, invalidated by catalog updates;
 //! * [`EngineRequest`] / [`EngineResponse`] — the newline-delimited JSON
@@ -50,6 +56,7 @@ pub mod catalog;
 mod engine;
 mod error;
 pub mod json;
+pub mod planner;
 pub mod pool;
 pub mod prepared;
 pub mod proto;
@@ -59,6 +66,7 @@ pub use cache::{AnswerCache, CacheKey, CacheStats};
 pub use catalog::{Catalog, DatabaseInfo, ParsedDatabase, UpdateOutcome};
 pub use engine::{generator_by_name, Engine, EngineConfig};
 pub use error::EngineError;
+pub use planner::{classify, DbPlan, PlanKind, SampleTask};
 pub use pool::{derive_seed, SamplerPool, CHUNK_WALKS};
 pub use prepared::{PreparedQuery, PreparedRegistry};
 pub use proto::{AnswerPayload, AnswerRow, EngineRequest, EngineResponse, QueryRef};

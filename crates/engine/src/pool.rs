@@ -17,13 +17,12 @@
 //! over the job's reply channel.
 
 use crate::error::EngineError;
+use crate::planner::SampleTask;
 use crossbeam::channel::{Receiver, Sender};
 use ocqa_core::sample::{self, SampleTally};
 use ocqa_core::{ChainGenerator, RepairContext};
 use ocqa_logic::Query;
 use parking_lot::Mutex;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -32,8 +31,7 @@ use std::thread::JoinHandle;
 pub const CHUNK_WALKS: u64 = 64;
 
 struct Job {
-    ctx: Arc<RepairContext>,
-    gen: Arc<dyn ChainGenerator>,
+    task: SampleTask,
     query: Arc<Query>,
     chunk: u64,
     walks: u64,
@@ -79,11 +77,12 @@ impl SamplerPool {
     }
 
     /// Runs `walks` sample walks of `query` split across the pool,
-    /// merging the per-chunk tallies. Deterministic in `(seed, walks)`.
+    /// merging the per-chunk tallies. Deterministic in `(seed, walks)`
+    /// and the task's plan: every [`SampleTask`] chunk is a pure function
+    /// of `(derive_seed(seed, chunk), quota)`.
     pub fn run(
         &self,
-        ctx: &Arc<RepairContext>,
-        gen: &Arc<dyn ChainGenerator>,
+        task: &SampleTask,
         query: &Arc<Query>,
         walks: u64,
         seed: u64,
@@ -93,8 +92,7 @@ impl SamplerPool {
         for chunk in 0..chunks {
             let quota = CHUNK_WALKS.min(walks - chunk * CHUNK_WALKS);
             let job = Job {
-                ctx: ctx.clone(),
-                gen: gen.clone(),
+                task: task.clone(),
                 query: query.clone(),
                 chunk,
                 walks: quota,
@@ -125,6 +123,20 @@ impl SamplerPool {
         }
         Ok(tally)
     }
+
+    /// [`run`](Self::run) with a monolithic chain-walk task — the pre-
+    /// planner entry point, kept for callers that sample one context
+    /// directly.
+    pub fn run_monolithic(
+        &self,
+        ctx: &Arc<RepairContext>,
+        gen: &Arc<dyn ChainGenerator>,
+        query: &Arc<Query>,
+        walks: u64,
+        seed: u64,
+    ) -> Result<SampleTally, EngineError> {
+        self.run(&SampleTask::monolithic(ctx, gen), query, walks, seed)
+    }
 }
 
 impl Drop for SamplerPool {
@@ -150,11 +162,10 @@ fn worker_loop(rx: &Mutex<Receiver<Job>>) {
         // must fail *that request*, not kill the worker — a dead worker
         // would eventually brick the pool for every later request.
         // AssertUnwindSafe is sound here: the closure only touches the
-        // job's Arcs (immutable) and a local RNG.
+        // job's Arcs (immutable) and task-local RNG state.
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let mut rng = StdRng::seed_from_u64(derive_seed(job.seed, job.chunk));
-            sample::sample_tally(&job.ctx, job.gen.as_ref(), &job.query, job.walks, &mut rng)
-                .map_err(|e| e.to_string())
+            job.task
+                .run_chunk(&job.query, job.walks, derive_seed(job.seed, job.chunk))
         }))
         .unwrap_or_else(|payload| Err(panic_text(payload.as_ref())));
         // The requester may have bailed (send error): nothing to do.
@@ -173,18 +184,18 @@ fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
 
 /// Per-chunk seed derivation: one SplitMix64 round over `seed ⊕ f(chunk)`.
 /// Chunk streams must be decorrelated but *stable* — this function is part
-/// of the reproducibility contract along with [`CHUNK_WALKS`].
+/// of the reproducibility contract along with [`CHUNK_WALKS`]. The
+/// implementation lives in `ocqa_core::sample` (localized sampling derives
+/// its per-component streams with the same function); this re-export keeps
+/// the engine's historical entry point.
 pub fn derive_seed(seed: u64, chunk: u64) -> u64 {
-    let mut z = seed ^ chunk.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
+    sample::derive_seed(seed, chunk)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::planner::DbPlan;
     use ocqa_core::UniformGenerator;
     use ocqa_data::Database;
     use ocqa_logic::parser;
@@ -202,15 +213,24 @@ mod tests {
 
     #[test]
     fn identical_tallies_across_pool_sizes() {
+        // Every plan's task must be bit-identical regardless of how many
+        // workers split its chunks — the planner must not weaken the
+        // engine's reproducibility contract.
         let (ctx, gen, query) = setup();
-        let reference = SamplerPool::new(1)
-            .run(&ctx, &gen, &query, 300, 42)
-            .unwrap();
-        for workers in [2, 3, 8] {
-            let pool = SamplerPool::new(workers);
-            let tally = pool.run(&ctx, &gen, &query, 300, 42).unwrap();
-            assert_eq!(tally.counts, reference.counts, "{workers} workers");
-            assert_eq!(tally.walks, 300);
+        let plan = DbPlan::build(&ctx);
+        for route in [
+            crate::planner::PlanKind::Monolithic,
+            crate::planner::PlanKind::Localized,
+            crate::planner::PlanKind::KeyRepair,
+        ] {
+            let task = plan.task(route, gen.clone()).unwrap();
+            let reference = SamplerPool::new(1).run(&task, &query, 300, 42).unwrap();
+            for workers in [2, 3, 8] {
+                let pool = SamplerPool::new(workers);
+                let tally = pool.run(&task, &query, 300, 42).unwrap();
+                assert_eq!(tally.counts, reference.counts, "{route}, {workers} workers");
+                assert_eq!(tally.walks, 300);
+            }
         }
     }
 
@@ -218,8 +238,8 @@ mod tests {
     fn different_seeds_differ() {
         let (ctx, gen, query) = setup();
         let pool = SamplerPool::new(2);
-        let a = pool.run(&ctx, &gen, &query, 300, 1).unwrap();
-        let b = pool.run(&ctx, &gen, &query, 300, 2).unwrap();
+        let a = pool.run_monolithic(&ctx, &gen, &query, 300, 1).unwrap();
+        let b = pool.run_monolithic(&ctx, &gen, &query, 300, 2).unwrap();
         assert_ne!(a.counts, b.counts, "seed must matter");
     }
 
@@ -227,7 +247,9 @@ mod tests {
     fn partial_final_chunk_counts_exactly() {
         let (ctx, gen, query) = setup();
         let pool = SamplerPool::new(4);
-        let tally = pool.run(&ctx, &gen, &query, CHUNK_WALKS + 7, 5).unwrap();
+        let tally = pool
+            .run_monolithic(&ctx, &gen, &query, CHUNK_WALKS + 7, 5)
+            .unwrap();
         assert_eq!(tally.walks, CHUNK_WALKS + 7);
         assert_eq!(tally.failed_walks, 0, "key repairs never fail (Prop. 8)");
     }
@@ -240,13 +262,15 @@ mod tests {
             Arc::new(ocqa_core::WeightFnGenerator::new("bomb", |_, _| {
                 panic!("boom in generator")
             }));
-        let err = pool.run(&ctx, &bomb, &query, 200, 1).unwrap_err();
+        let err = pool
+            .run_monolithic(&ctx, &bomb, &query, 200, 1)
+            .unwrap_err();
         assert!(
             err.to_string().contains("panicked"),
             "panic surfaced as request error: {err}"
         );
         // Workers survived the panic; normal requests keep working.
-        let tally = pool.run(&ctx, &gen, &query, 100, 2).unwrap();
+        let tally = pool.run_monolithic(&ctx, &gen, &query, 100, 2).unwrap();
         assert_eq!(tally.walks, 100);
     }
 

@@ -5,13 +5,14 @@
 //!
 //! ```json
 //! {"op":"answer","db":"prefs","query":"(x) <- exists y: Pref(x,y)","eps":0.1,"delta":0.1,"seed":7}
-//! {"ok":true,"answers":[{"tuple":["a"],"p":0.45}],"walks":150,"failed_walks":0,"cached":false,"db_version":1,"cache_hits":0,"cache_misses":1}
+//! {"ok":true,"answers":[{"tuple":["a"],"p":0.45,"p_cond":0.45}],"walks":150,"failed_walks":0,"cached":false,"db_version":1,"plan":"localized","cache_hits":0,"cache_misses":1}
 //! ```
 
 use crate::cache::CacheStats;
 use crate::catalog::{DatabaseInfo, UpdateOutcome};
 use crate::error::EngineError;
 use crate::json::Json;
+use crate::planner::PlanKind;
 use ocqa_data::Constant;
 
 /// How an `answer` request names its query.
@@ -75,6 +76,8 @@ pub enum EngineRequest {
         delta: f64,
         /// Sampling seed.
         seed: u64,
+        /// Explicit plan override (`None` = automatic planner routing).
+        plan: Option<PlanKind>,
     },
     /// List databases.
     List,
@@ -146,6 +149,23 @@ impl EngineRequest {
                         EngineError::BadRequest("\"seed\" must be a non-negative integer".into())
                     })?,
                 };
+                let plan = match v.get("plan") {
+                    None => None,
+                    Some(j) => {
+                        let name = j.as_str().ok_or_else(|| {
+                            EngineError::BadRequest("\"plan\" must be a string".into())
+                        })?;
+                        match name {
+                            "auto" => None,
+                            _ => Some(PlanKind::parse(name).ok_or_else(|| {
+                                EngineError::BadRequest(format!(
+                                    "unknown plan {name:?} (expected auto, monolithic, \
+                                     localized or key-repair)"
+                                ))
+                            })?),
+                        }
+                    }
+                };
                 Ok(EngineRequest::Answer {
                     db: str_field("db")?,
                     query,
@@ -153,6 +173,7 @@ impl EngineRequest {
                     eps: num("eps", 0.1)?,
                     delta: num("delta", 0.1)?,
                     seed,
+                    plan,
                 })
             }
             "list" => Ok(EngineRequest::List),
@@ -167,8 +188,14 @@ impl EngineRequest {
 pub struct AnswerRow {
     /// The answer tuple.
     pub tuple: Vec<Constant>,
-    /// Estimated `CP(t̄)` (hit frequency over the sampled repairs).
+    /// Hit frequency over **all** walks — for failing chains this
+    /// estimates the *numerator* of `CP` (the probability of reaching a
+    /// repair satisfying the query), not `CP` itself.
     pub p: f64,
+    /// Hit frequency over the **successful** walks only — the §6 ratio
+    /// estimator of the conditional probability `CP`. Equals `p` whenever
+    /// `failed_walks` is 0 (every non-failing generator).
+    pub p_cond: f64,
 }
 
 /// The payload of a successful `answer`.
@@ -184,6 +211,8 @@ pub struct AnswerPayload {
     pub cached: bool,
     /// Version of the database the answer was computed against.
     pub db_version: u64,
+    /// The plan that served this answer.
+    pub plan: PlanKind,
     /// Cache counters after this request (the observable hit signal).
     pub cache: CacheStats,
 }
@@ -250,6 +279,7 @@ fn info_json(info: &DatabaseInfo) -> Json {
         ("version", Json::from(info.version)),
         ("facts", Json::from(info.facts as u64)),
         ("violations", Json::from(info.violations as u64)),
+        ("plan", Json::from(info.plan.as_str().to_string())),
     ])
 }
 
@@ -292,6 +322,7 @@ impl EngineResponse {
                                         Json::Arr(row.tuple.iter().map(constant_json).collect()),
                                     ),
                                     ("p", Json::Num(row.p)),
+                                    ("p_cond", Json::Num(row.p_cond)),
                                 ])
                             })
                             .collect(),
@@ -301,6 +332,7 @@ impl EngineResponse {
                 ("failed_walks", Json::from(a.failed_walks)),
                 ("cached", Json::from(a.cached)),
                 ("db_version", Json::from(a.db_version)),
+                ("plan", Json::from(a.plan.as_str().to_string())),
                 ("cache_hits", Json::from(a.cache.hits)),
                 ("cache_misses", Json::from(a.cache.misses)),
             ]),
@@ -323,6 +355,7 @@ impl EngineResponse {
                 ("cache_misses", Json::from(s.cache.misses)),
                 ("cache_invalidated", Json::from(s.cache.invalidated)),
                 ("cache_evicted", Json::from(s.cache.evicted)),
+                ("cache_stale_drops", Json::from(s.cache.stale_drops)),
             ]),
             EngineResponse::Error(e) => {
                 Json::obj([("ok", false.into()), ("error", Json::from(e.to_string()))])
@@ -349,8 +382,47 @@ mod tests {
                 eps: 0.1,
                 delta: 0.1,
                 seed: 0,
+                plan: None,
             }
         );
+    }
+
+    #[test]
+    fn parses_plan_override() {
+        let v =
+            json::parse(r#"{"op":"answer","db":"d","query":"(x) <- R(x)","plan":"key-repair"}"#)
+                .unwrap();
+        let EngineRequest::Answer { plan, .. } = EngineRequest::from_json(&v).unwrap() else {
+            panic!("expected answer request");
+        };
+        assert_eq!(plan, Some(PlanKind::KeyRepair));
+        // "auto" and absence both mean planner routing.
+        let v =
+            json::parse(r#"{"op":"answer","db":"d","query":"(x) <- R(x)","plan":"auto"}"#).unwrap();
+        let EngineRequest::Answer { plan, .. } = EngineRequest::from_json(&v).unwrap() else {
+            panic!();
+        };
+        assert_eq!(plan, None);
+        // Unknown plans are rejected up front.
+        let v = json::parse(r#"{"op":"answer","db":"d","query":"(x) <- R(x)","plan":"turbo"}"#)
+            .unwrap();
+        assert!(matches!(
+            EngineRequest::from_json(&v),
+            Err(EngineError::BadRequest(_))
+        ));
+        // So are non-string plan values: a typed-wrong pin must not be
+        // silently downgraded to automatic routing.
+        for bad in [r#""plan":5"#, r#""plan":true"#, r#""plan":null"#] {
+            let line = format!(r#"{{"op":"answer","db":"d","query":"(x) <- R(x)",{bad}}}"#);
+            let v = json::parse(&line).unwrap();
+            assert!(
+                matches!(
+                    EngineRequest::from_json(&v),
+                    Err(EngineError::BadRequest(_))
+                ),
+                "{bad} must be rejected"
+            );
+        }
     }
 
     #[test]

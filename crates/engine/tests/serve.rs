@@ -141,6 +141,7 @@ fn fixed_seed_answers_identical_across_pool_sizes() {
             eps: 0.05,
             delta: 0.05,
             seed: 123,
+            plan: None,
         }) else {
             panic!("expected answer");
         };
@@ -153,6 +154,55 @@ fn fixed_seed_answers_identical_across_pool_sizes() {
     }
     assert_eq!(outputs[0], outputs[1], "1 vs 2 workers");
     assert_eq!(outputs[0], outputs[2], "1 vs 8 workers");
+}
+
+#[test]
+fn answers_report_their_plan_over_the_wire() {
+    let (_engine, addr) = spawn_server(2);
+    let (mut s, mut r) = connect(addr);
+
+    // Key-only database: served by the key-repair fast path.
+    assert!(roundtrip(&mut s, &mut r, CREATE).contains("\"ok\":true"));
+    let resp = roundtrip(&mut s, &mut r, ANSWER);
+    assert!(resp.contains("\"plan\":\"key-repair\""), "{resp}");
+    assert!(resp.contains("\"p_cond\":"), "{resp}");
+
+    // Multi-component denial database: localized sampling.
+    let create_dc = r#"{"op":"create_db","name":"net","facts":"Pref(a,b). Pref(b,a). Pref(c,d). Pref(d,c).","constraints":"Pref(x,y), Pref(y,x) -> false."}"#;
+    assert!(roundtrip(&mut s, &mut r, create_dc).contains("\"ok\":true"));
+    let resp = roundtrip(
+        &mut s,
+        &mut r,
+        r#"{"op":"answer","db":"net","query":"(x) <- exists y: Pref(x,y)","seed":7}"#,
+    );
+    assert!(resp.contains("\"plan\":\"localized\""), "{resp}");
+
+    // A non-component-local generator on the same database falls back.
+    let resp = roundtrip(
+        &mut s,
+        &mut r,
+        r#"{"op":"answer","db":"net","query":"(x) <- exists y: Pref(x,y)","generator":"preference","seed":7}"#,
+    );
+    assert!(resp.contains("\"plan\":\"monolithic\""), "{resp}");
+
+    // Explicit overrides work over the wire, unsound ones error.
+    let resp = roundtrip(
+        &mut s,
+        &mut r,
+        r#"{"op":"answer","db":"kv","query":"(x) <- exists y: R(x,y)","plan":"monolithic","seed":7}"#,
+    );
+    assert!(resp.contains("\"plan\":\"monolithic\""), "{resp}");
+    let resp = roundtrip(
+        &mut s,
+        &mut r,
+        r#"{"op":"answer","db":"net","query":"(x) <- exists y: Pref(x,y)","plan":"key-repair","seed":7}"#,
+    );
+    assert!(resp.contains("\"ok\":false"), "{resp}");
+
+    // `list` exposes each database's structural classification.
+    let resp = roundtrip(&mut s, &mut r, r#"{"op":"list"}"#);
+    assert!(resp.contains("\"plan\":\"key-repair\""), "{resp}");
+    assert!(resp.contains("\"plan\":\"localized\""), "{resp}");
 }
 
 #[test]

@@ -1,7 +1,8 @@
 //! Database constraints: TGDs, EGDs and denial constraints.
 
 use crate::{hom, Atom, Bindings, FactSource, Var};
-use ocqa_data::Constant;
+use ocqa_data::{Constant, Symbol};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 /// A database constraint over a schema (§2 of the paper). All three kinds
@@ -266,6 +267,75 @@ impl fmt::Debug for Constraint {
     }
 }
 
+/// A primary-key shape recognized in a constraint set: the first
+/// `key_len` columns of `relation` determine every other column.
+///
+/// Produced by [`ConstraintSet::key_cover`]; consumers (e.g. the
+/// key-repair fast path in `ocqa-core`/`ocqa-engine`) map it onto their
+/// own key configuration types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeySpec {
+    /// The keyed relation.
+    pub relation: Symbol,
+    /// Number of leading key columns.
+    pub key_len: usize,
+    /// The relation's arity as used by the constraints.
+    pub arity: usize,
+}
+
+/// Checks whether one EGD has the key shape `R(k̄,ū), R(k̄,v̄) → uₚ = vₚ`:
+/// two atoms of the same relation, all arguments distinct variables, the
+/// atoms sharing variables exactly on a leading prefix `k̄`, and the
+/// equality relating the two atoms' variables at one non-key position `p`.
+/// Returns `(relation, key_len, p, arity)`.
+fn egd_key_shape(body: &[Atom], left: Var, right: Var) -> Option<(Symbol, usize, usize, usize)> {
+    let [u, v] = body else { return None };
+    if u.pred() != v.pred() || u.arity() != v.arity() {
+        return None;
+    }
+    let arity = u.arity();
+    let as_vars = |a: &Atom| -> Option<Vec<Var>> {
+        let vars: Vec<Var> = a.args().iter().filter_map(|t| t.as_var()).collect();
+        if vars.len() != a.arity() {
+            return None; // a constant argument: a selection, not a key
+        }
+        let mut seen = vars.clone();
+        seen.sort();
+        seen.dedup();
+        if seen.len() != vars.len() {
+            return None; // repeated variable within one atom
+        }
+        Some(vars)
+    };
+    let uvars = as_vars(u)?;
+    let vvars = as_vars(v)?;
+    // Shared variables must align position-for-position.
+    for (i, uv) in uvars.iter().enumerate() {
+        if let Some(j) = vvars.iter().position(|vv| vv == uv) {
+            if i != j {
+                return None; // a join across different columns
+            }
+        }
+    }
+    let key_len = uvars.iter().zip(&vvars).take_while(|(a, b)| a == b).count();
+    if key_len == 0 || key_len == arity {
+        return None; // no key prefix, or the two atoms are identical
+    }
+    // Shared positions must form exactly that prefix.
+    if uvars[key_len..]
+        .iter()
+        .zip(&vvars[key_len..])
+        .any(|(a, b)| a == b)
+    {
+        return None;
+    }
+    // The equality must relate the two atoms at one dependent position.
+    let p = (key_len..arity).find(|&p| {
+        (left == uvars[p] && right == vvars[p]) || (left == vvars[p] && right == uvars[p])
+    })?;
+    Some((u.pred(), key_len, p, arity))
+}
+
 /// A finite set `Σ` of constraints, indexed by position.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ConstraintSet {
@@ -331,6 +401,54 @@ impl ConstraintSet {
         self.constraints
             .iter()
             .all(|c| !matches!(c, Constraint::Tgd { .. }))
+    }
+
+    /// Recognizes a **primary-key-only** constraint set and returns its
+    /// key shapes, one [`KeySpec`] per keyed relation (sorted by relation;
+    /// empty for the empty set). Returns `None` when the set contains
+    /// anything that is not a prefix-key EGD.
+    ///
+    /// The requirements are exactly what makes group-wise key repair
+    /// sound:
+    ///
+    /// * every constraint matches the [`Constraint::key`] shape — two
+    ///   atoms of one relation agreeing on a leading variable prefix,
+    ///   equating one dependent column;
+    /// * all EGDs of a relation agree on the same key prefix; and
+    /// * together they cover **every** non-key column — otherwise two
+    ///   tuples sharing a key could legally coexist (differing only in an
+    ///   unconstrained column) and "keep at most one per group" would
+    ///   repair too much.
+    ///
+    /// Under these conditions any two distinct tuples sharing a key
+    /// violate some EGD, so the violating groups are exactly the
+    /// key-sharing groups and every group is a conflict clique.
+    pub fn key_cover(&self) -> Option<Vec<KeySpec>> {
+        // relation → (key_len, arity, dependent columns covered so far)
+        let mut per: BTreeMap<Symbol, (usize, usize, BTreeSet<usize>)> = BTreeMap::new();
+        for c in &self.constraints {
+            let Constraint::Egd { body, left, right } = c else {
+                return None;
+            };
+            let (rel, key_len, dep, arity) = egd_key_shape(body, *left, *right)?;
+            let entry = per.entry(rel).or_insert((key_len, arity, BTreeSet::new()));
+            if entry.0 != key_len || entry.1 != arity {
+                return None; // conflicting key declarations
+            }
+            entry.2.insert(dep);
+        }
+        let mut specs = Vec::new();
+        for (relation, (key_len, arity, deps)) in per {
+            if deps.len() != arity - key_len {
+                return None; // some non-key column is unconstrained
+            }
+            specs.push(KeySpec {
+                relation,
+                key_len,
+                arity,
+            });
+        }
+        Some(specs)
     }
 }
 
@@ -448,6 +566,82 @@ mod tests {
         assert!(!set.satisfied_by(&db));
         db.remove(&Fact::parts("R", &["a", "b", "d"]));
         assert!(set.satisfied_by(&db));
+    }
+
+    #[test]
+    fn key_cover_recognizes_key_shapes() {
+        let parse = |src: &str| crate::parser::parse_constraints(src).unwrap();
+
+        // The canonical binary key.
+        let specs = parse("R(x,y), R(x,z) -> y = z.").key_cover().unwrap();
+        assert_eq!(
+            specs,
+            vec![KeySpec {
+                relation: Symbol::intern("R"),
+                key_len: 1,
+                arity: 2
+            }]
+        );
+
+        // The Constraint::key helper output round-trips (2-col key, 2 deps).
+        let set = ConstraintSet::new(Constraint::key("T", 2, 4)).unwrap();
+        assert_eq!(
+            set.key_cover().unwrap(),
+            vec![KeySpec {
+                relation: Symbol::intern("T"),
+                key_len: 2,
+                arity: 4
+            }]
+        );
+
+        // Two keyed relations, sorted output.
+        let specs = parse("S(k,v), S(k,w) -> v = w. R(x,y), R(x,z) -> y = z.")
+            .key_cover()
+            .unwrap();
+        assert_eq!(specs.len(), 2);
+
+        // Empty set: trivially key-only with no keys.
+        assert_eq!(ConstraintSet::empty().key_cover(), Some(vec![]));
+    }
+
+    #[test]
+    fn key_cover_rejects_non_key_sets() {
+        let parse = |src: &str| crate::parser::parse_constraints(src).unwrap();
+        // A DC is not a key.
+        assert!(parse("Pref(x,y), Pref(y,x) -> false.")
+            .key_cover()
+            .is_none());
+        // A TGD is not a key.
+        assert!(parse("T(x,y) -> R(x,y).").key_cover().is_none());
+        // Mixing a key with a DC disqualifies the whole set.
+        assert!(parse("R(x,y), R(x,z) -> y = z. R(x,x) -> false.")
+            .key_cover()
+            .is_none());
+        // Partial cover: arity 3 with only one dependent column constrained
+        // (R(k,a,b), R(k,c,d) with a ≠ c, b = d is then consistent, so
+        // group repair would be unsound).
+        assert!(parse("R(k,u1,u2), R(k,v1,v2) -> u1 = v1.")
+            .key_cover()
+            .is_none());
+        // Full cover of the same arity-3 relation is accepted.
+        assert!(
+            parse("R(k,u1,u2), R(k,v1,v2) -> u1 = v1. R(k,u1,u2), R(k,v1,v2) -> u2 = v2.")
+                .key_cover()
+                .is_some()
+        );
+        // Non-prefix key (second column): not expressible as a leading key.
+        assert!(parse("R(u,k), R(v,k) -> u = v.").key_cover().is_none());
+        // Cross-column join, a constant argument, a repeated variable:
+        // none of these are key shapes.
+        assert!(parse("R(x,y), R(y,z) -> x = z.").key_cover().is_none());
+        assert!(parse("R(x,'a'), R(x,z) -> x = z.").key_cover().is_none());
+        assert!(parse("R(x,x), R(x,z) -> x = z.").key_cover().is_none());
+        // Conflicting key lengths for one relation.
+        assert!(
+            parse("R(k,u1,u2), R(k,v1,v2) -> u1 = v1. R(k,l,u2), R(k,l,v2) -> u2 = v2.")
+                .key_cover()
+                .is_none()
+        );
     }
 
     #[test]

@@ -36,7 +36,7 @@ mod term;
 mod violation;
 
 pub use atom::Atom;
-pub use constraint::{Constraint, ConstraintError, ConstraintSet};
+pub use constraint::{Constraint, ConstraintError, ConstraintSet, KeySpec};
 pub use query::{Formula, Query};
 pub use source::{DeletionOverlay, FactSource};
 pub use subst::Bindings;
