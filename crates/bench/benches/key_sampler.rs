@@ -32,7 +32,7 @@ fn bench_fast_path(c: &mut Criterion) {
             &w.db,
             &KeyConfig {
                 relation: Symbol::intern("R"),
-                key_len: 1,
+                key_cols: vec![0],
             },
             &GroupPolicy::KeepAtMostOneUniform,
         )

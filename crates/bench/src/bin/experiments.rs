@@ -516,7 +516,7 @@ fn e11_key_sampler() {
             &w.db,
             &KeyConfig {
                 relation: Symbol::intern("R"),
-                key_len: 1,
+                key_cols: vec![0],
             },
             &GroupPolicy::KeepAtMostOneUniform,
         )
@@ -553,7 +553,7 @@ fn e11_key_sampler() {
         &db,
         &KeyConfig {
             relation: Symbol::intern("R"),
-            key_len: 1,
+            key_cols: vec![0],
         },
         &GroupPolicy::KeepAtMostOneUniform,
     )

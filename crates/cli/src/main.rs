@@ -8,13 +8,20 @@
 //!                 [--generator NAME] [--exact | --eps E --delta D] [--seed N]
 //!   ocqa trace    --facts FILE --constraints FILE [--generator NAME] [--seed N]
 //!   ocqa serve    [--listen ADDR] [--workers N] [--cache N] [--planner on|off]
+//!                 [--data-dir PATH]
+//!   ocqa snapshot --data-dir PATH [--db NAME]
 //!
 //! GENERATORS: uniform (default) | uniform-deletions | preference
 //! ```
 //!
 //! `serve` speaks newline-delimited JSON on stdin/stdout, or on a TCP
 //! listener with `--listen HOST:PORT` (see the `ocqa-engine` crate docs
-//! for the protocol).
+//! for the protocol). With `--data-dir` the catalog is durable: every
+//! mutation is journaled to a write-ahead log before it is acknowledged,
+//! and a restarted server recovers databases, prepared queries and
+//! serving plans exactly — answering bit-identically to the killed
+//! process. `snapshot` compacts such a directory offline (folds the WAL
+//! into fresh per-database snapshot files and truncates it).
 
 use ocqa_core::{answer, explain, explore, sample, ChainGenerator, RepairContext, RepairState};
 use ocqa_data::Database;
@@ -82,7 +89,12 @@ const COMMANDS: &[CommandSpec] = &[
     },
     CommandSpec {
         name: "serve",
-        options: &["listen", "workers", "cache", "planner"],
+        options: &["listen", "workers", "cache", "planner", "data-dir"],
+        flags: &["help"],
+    },
+    CommandSpec {
+        name: "snapshot",
+        options: &["data-dir", "db"],
         flags: &["help"],
     },
 ];
@@ -139,12 +151,13 @@ fn parse_argv(argv: Vec<String>) -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: ocqa <check|repairs|answer|trace|serve>\n  \
+    "usage: ocqa <check|repairs|answer|trace|serve|snapshot>\n  \
      check|repairs|answer|trace: --facts FILE --constraints FILE \
      [--query TEXT] [--generator uniform|uniform-deletions|preference] \
      [--exact | --eps E --delta D] [--seed N] [--max-states N]\n  \
      serve: [--listen HOST:PORT] [--workers N] [--cache ENTRIES] \
-     [--planner on|off]"
+     [--planner on|off] [--data-dir PATH]\n  \
+     snapshot: --data-dir PATH [--db NAME]"
         .to_string()
 }
 
@@ -156,6 +169,9 @@ fn run() -> Result<(), String> {
     }
     if args.command == "serve" {
         return serve_cmd(&args);
+    }
+    if args.command == "snapshot" {
+        return snapshot_cmd(&args);
     }
     let ctx = load_context(&args)?;
     match args.command.as_str() {
@@ -191,7 +207,20 @@ fn serve_cmd(args: &Args) -> Result<(), String> {
             _ => return Err("--planner expects on or off".into()),
         };
     }
-    let engine = ocqa_engine::Engine::new(config);
+    let engine = match args.options.get("data-dir") {
+        Some(dir) => {
+            let backend = ocqa_store::DiskBackend::open(std::path::Path::new(dir))
+                .map_err(|e| format!("{dir}: {e}"))?;
+            let engine = ocqa_engine::Engine::with_backend(config, std::sync::Arc::new(backend))
+                .map_err(|e| format!("{dir}: recovery failed: {e}"))?;
+            let line = engine.handle_line(r#"{"op":"list"}"#).to_string();
+            // Rough restored-database count for the startup banner.
+            let restored = line.matches("\"name\":").count();
+            eprintln!("ocqa serve: data dir {dir} ({restored} databases restored)");
+            engine
+        }
+        None => ocqa_engine::Engine::new(config),
+    };
     match args.options.get("listen") {
         Some(addr) => {
             let listener = std::net::TcpListener::bind(addr)
@@ -211,6 +240,42 @@ fn serve_cmd(args: &Args) -> Result<(), String> {
             ocqa_engine::serve_stdio(&engine).map_err(|e| e.to_string())
         }
     }
+}
+
+/// Offline compaction of a serve data directory: folds the write-ahead
+/// log into fresh per-database snapshot files, commits the manifest and
+/// truncates the log — what the serving engine's background compactor
+/// does, runnable while the server is down (cold-start restores then read
+/// one snapshot per database and replay nothing).
+fn snapshot_cmd(args: &Args) -> Result<(), String> {
+    let dir = args
+        .options
+        .get("data-dir")
+        .ok_or("--data-dir PATH is required")?;
+    let store = ocqa_store::Store::open(
+        std::path::Path::new(dir),
+        ocqa_store::StoreOptions::default(),
+    )
+    .map_err(|e| format!("{dir}: {e}"))?;
+    // Validate --db *before* compacting: a typo must not leave the
+    // directory rewritten behind a failing exit code.
+    if let Some(db) = args.options.get("db") {
+        let state = store.read_state().map_err(|e| format!("{dir}: {e}"))?;
+        if !state.databases.iter().any(|img| &img.name == db) {
+            return Err(format!("database {db:?} not present in {dir}"));
+        }
+    }
+    let summary = store.compact().map_err(|e| format!("{dir}: {e}"))?;
+    println!(
+        "compacted {dir}: {} databases, {} prepared queries, {} WAL bytes folded",
+        summary.databases.len(),
+        summary.prepared,
+        summary.folded_wal_bytes
+    );
+    for (name, version, facts) in &summary.databases {
+        println!("  {name}: version {version}, {facts} facts");
+    }
+    Ok(())
 }
 
 /// Samples one repairing sequence and prints the annotated trace.

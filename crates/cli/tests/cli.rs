@@ -251,3 +251,99 @@ fn parse_errors_carry_position() {
     assert!(!ok);
     assert!(stderr.contains("parse error"), "stderr: {stderr}");
 }
+
+/// The durability acceptance test: a serve session with `--data-dir`
+/// installs a database, prepares a query and answers; the process is then
+/// killed with SIGKILL (no shutdown path runs). A restarted server over
+/// the same directory must hold the database, the prepared query and the
+/// serving plan, and answer the same request **bit-identically**.
+#[test]
+fn serve_data_dir_survives_sigkill() {
+    use std::io::{BufRead, BufReader};
+    use std::process::Stdio;
+
+    let dir = std::env::temp_dir().join(format!("ocqa-cli-datadir-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    const CREATE: &str = r#"{"op":"create_db","name":"kv","facts":"R(1,10). R(1,20). R(2,30). R(2,40). R(3,50).","constraints":"R(x,y), R(x,z) -> y = z."}"#;
+    const PREPARE: &str = r#"{"op":"prepare","query":"(x) <- exists y: R(x,y)"}"#;
+    const ANSWER: &str =
+        r#"{"op":"answer","db":"kv","prepared":"q1","eps":0.1,"delta":0.1,"seed":7}"#;
+
+    let spawn = || {
+        Command::new(env!("CARGO_BIN_EXE_ocqa"))
+            .args([
+                "serve",
+                "--workers",
+                "2",
+                "--data-dir",
+                dir.to_str().unwrap(),
+            ])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn ocqa serve --data-dir")
+    };
+
+    // Session 1: create, prepare, answer — then SIGKILL, mid-session.
+    let mut child = spawn();
+    let mut stdin = child.stdin.take().unwrap();
+    let mut reader = BufReader::new(child.stdout.take().unwrap());
+    let roundtrip = |stdin: &mut std::process::ChildStdin,
+                     reader: &mut BufReader<std::process::ChildStdout>,
+                     req: &str| {
+        writeln!(stdin, "{req}").unwrap();
+        stdin.flush().unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        line
+    };
+    assert!(roundtrip(&mut stdin, &mut reader, CREATE).contains("\"ok\":true"));
+    assert!(roundtrip(&mut stdin, &mut reader, PREPARE).contains("\"id\":\"q1\""));
+    let first_answer = roundtrip(&mut stdin, &mut reader, ANSWER);
+    assert!(
+        first_answer.contains("\"plan\":\"key-repair\""),
+        "{first_answer}"
+    );
+    let first_list = roundtrip(&mut stdin, &mut reader, r#"{"op":"list"}"#);
+    child.kill().expect("SIGKILL"); // no flush, no shutdown hook
+    let _ = child.wait();
+
+    // Session 2: recover and re-answer.
+    let mut child = spawn();
+    let mut stdin = child.stdin.take().unwrap();
+    let mut reader = BufReader::new(child.stdout.take().unwrap());
+    let list = roundtrip(&mut stdin, &mut reader, r#"{"op":"list"}"#);
+    assert_eq!(list, first_list, "catalog must restore exactly");
+    let answer = roundtrip(&mut stdin, &mut reader, ANSWER);
+    assert_eq!(
+        answer, first_answer,
+        "restored engine must answer bit-identically"
+    );
+    let stats = roundtrip(&mut stdin, &mut reader, r#"{"op":"stats"}"#);
+    assert!(stats.contains("\"backend\":\"disk\""), "{stats}");
+    drop(stdin);
+    let _ = child.wait();
+
+    // Offline compaction over the same directory reports the database.
+    let (stdout, stderr, ok) = ocqa(&[
+        "snapshot",
+        "--data-dir",
+        dir.to_str().unwrap(),
+        "--db",
+        "kv",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("kv: version 1, 5 facts"), "{stdout}");
+
+    // And a third session still answers identically from the snapshot.
+    let mut child = spawn();
+    let mut stdin = child.stdin.take().unwrap();
+    let mut reader = BufReader::new(child.stdout.take().unwrap());
+    let answer = roundtrip(&mut stdin, &mut reader, ANSWER);
+    assert_eq!(answer, first_answer, "post-compaction restore identical");
+    drop(stdin);
+    let _ = child.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+}

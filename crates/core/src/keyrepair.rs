@@ -32,13 +32,27 @@ use rand::Rng;
 use std::collections::{BTreeMap, HashSet};
 use std::fmt;
 
-/// A key declaration: the first `key_len` columns of `relation` form a key.
+/// A key declaration: the columns `key_cols` of `relation` form a key.
+/// The columns may sit anywhere in the tuple — grouping projects each row
+/// onto them in order — so permuted and non-prefix keys work exactly like
+/// leading ones.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct KeyConfig {
     /// The relation carrying the key.
     pub relation: Symbol,
-    /// Number of leading key columns.
-    pub key_len: usize,
+    /// The key column indices, ascending (non-empty, strictly fewer than
+    /// the relation's arity).
+    pub key_cols: Vec<usize>,
+}
+
+impl KeyConfig {
+    /// The classic prefix key: the first `key_len` columns.
+    pub fn prefix(relation: Symbol, key_len: usize) -> KeyConfig {
+        KeyConfig {
+            relation,
+            key_cols: (0..key_len).collect(),
+        }
+    }
 }
 
 /// Per-group survivor policy.
@@ -94,12 +108,17 @@ pub fn violating_groups(db: &Database, cfg: &KeyConfig) -> Vec<Vec<Fact>> {
         return Vec::new();
     };
     assert!(
-        cfg.key_len < rel.arity(),
-        "key must leave at least one dependent column"
+        !cfg.key_cols.is_empty() && cfg.key_cols.len() < rel.arity(),
+        "key must be non-empty and leave at least one dependent column"
+    );
+    assert!(
+        cfg.key_cols.iter().all(|&i| i < rel.arity()),
+        "key column out of range for arity {}",
+        rel.arity()
     );
     let mut groups: BTreeMap<Vec<Constant>, Vec<Fact>> = BTreeMap::new();
     for row in rel.iter() {
-        let key: Vec<Constant> = row[..cfg.key_len].to_vec();
+        let key: Vec<Constant> = cfg.key_cols.iter().map(|&i| row[i]).collect();
         groups
             .entry(key)
             .or_default()
@@ -361,7 +380,7 @@ mod tests {
     fn cfg() -> KeyConfig {
         KeyConfig {
             relation: Symbol::intern("R"),
-            key_len: 1,
+            key_cols: vec![0],
         }
     }
 
@@ -511,7 +530,7 @@ mod tests {
             &db,
             &KeyConfig {
                 relation: Symbol::intern("K"),
-                key_len: 1,
+                key_cols: vec![0],
             },
             &GroupPolicy::ChainUniform,
         )
@@ -539,11 +558,11 @@ mod tests {
         let cfgs = [
             KeyConfig {
                 relation: Symbol::intern("R"),
-                key_len: 1,
+                key_cols: vec![0],
             },
             KeyConfig {
                 relation: Symbol::intern("S"),
-                key_len: 1,
+                key_cols: vec![0],
             },
         ];
         let sampler =

@@ -67,7 +67,10 @@ impl From<SchemaError> for CodecError {
     }
 }
 
-fn put_varint(buf: &mut BytesMut, mut v: u64) {
+/// Appends a LEB128 varint. Public as a **wire primitive**: storage
+/// layers (`ocqa-store`) frame their own records around the codec's
+/// database/fact payloads and must agree with it byte-for-byte.
+pub fn put_varint(buf: &mut BytesMut, mut v: u64) {
     loop {
         let byte = (v & 0x7f) as u8;
         v >>= 7;
@@ -79,7 +82,8 @@ fn put_varint(buf: &mut BytesMut, mut v: u64) {
     }
 }
 
-fn get_varint(buf: &mut Bytes) -> Result<u64, CodecError> {
+/// Reads a LEB128 varint (inverse of [`put_varint`]).
+pub fn get_varint(buf: &mut Bytes) -> Result<u64, CodecError> {
     let mut out = 0u64;
     let mut shift = 0u32;
     loop {
@@ -98,12 +102,14 @@ fn get_varint(buf: &mut Bytes) -> Result<u64, CodecError> {
     }
 }
 
-fn put_name(buf: &mut BytesMut, name: &str) {
+/// Appends a length-prefixed UTF-8 string (wire primitive).
+pub fn put_name(buf: &mut BytesMut, name: &str) {
     put_varint(buf, name.len() as u64);
     buf.put_slice(name.as_bytes());
 }
 
-fn get_name(buf: &mut Bytes) -> Result<String, CodecError> {
+/// Reads a length-prefixed UTF-8 string (inverse of [`put_name`]).
+pub fn get_name(buf: &mut Bytes) -> Result<String, CodecError> {
     let len = get_varint(buf)? as usize;
     if buf.remaining() < len {
         return Err(CodecError::UnexpectedEof);
@@ -112,7 +118,8 @@ fn get_name(buf: &mut Bytes) -> Result<String, CodecError> {
     String::from_utf8(raw.to_vec()).map_err(|_| CodecError::InvalidUtf8)
 }
 
-fn put_constant(buf: &mut BytesMut, c: Constant) {
+/// Appends one tagged constant (wire primitive).
+pub fn put_constant(buf: &mut BytesMut, c: Constant) {
     match c {
         Constant::Int(v) => {
             buf.put_u8(0x00);
@@ -125,7 +132,8 @@ fn put_constant(buf: &mut BytesMut, c: Constant) {
     }
 }
 
-fn get_constant(buf: &mut Bytes) -> Result<Constant, CodecError> {
+/// Reads one tagged constant (inverse of [`put_constant`]).
+pub fn get_constant(buf: &mut Bytes) -> Result<Constant, CodecError> {
     if !buf.has_remaining() {
         return Err(CodecError::UnexpectedEof);
     }
@@ -208,6 +216,27 @@ pub fn decode_database(input: &[u8]) -> Result<Database, CodecError> {
     Ok(db)
 }
 
+/// Appends one schema-less fact: predicate name, arity, constants
+/// (wire primitive).
+pub fn put_fact(buf: &mut BytesMut, f: &Fact) {
+    put_name(buf, f.pred().as_str());
+    put_varint(buf, f.arity() as u64);
+    for &c in f.args() {
+        put_constant(buf, c);
+    }
+}
+
+/// Reads one schema-less fact (inverse of [`put_fact`]).
+pub fn get_fact(buf: &mut Bytes) -> Result<Fact, CodecError> {
+    let name = get_name(buf)?;
+    let arity = get_varint(buf)? as usize;
+    let mut args = Vec::with_capacity(arity);
+    for _ in 0..arity {
+        args.push(get_constant(buf)?);
+    }
+    Ok(Fact::new(Symbol::intern(&name), args))
+}
+
 /// Serializes a bare fact list (for deletion sets, answer materializations
 /// and similar artifacts that carry no schema).
 pub fn encode_facts(facts: &[Fact]) -> Bytes {
@@ -216,11 +245,7 @@ pub fn encode_facts(facts: &[Fact]) -> Bytes {
     buf.put_u16_le(VERSION);
     put_varint(&mut buf, facts.len() as u64);
     for f in facts {
-        put_name(&mut buf, f.pred().as_str());
-        put_varint(&mut buf, f.arity() as u64);
-        for &c in f.args() {
-            put_constant(&mut buf, c);
-        }
+        put_fact(&mut buf, f);
     }
     buf.freeze()
 }
@@ -241,18 +266,60 @@ pub fn decode_facts(input: &[u8]) -> Result<Vec<Fact>, CodecError> {
     let count = get_varint(&mut buf)? as usize;
     let mut out = Vec::with_capacity(count);
     for _ in 0..count {
-        let name = get_name(&mut buf)?;
-        let arity = get_varint(&mut buf)? as usize;
-        let mut args = Vec::with_capacity(arity);
-        for _ in 0..arity {
-            args.push(get_constant(&mut buf)?);
-        }
-        out.push(Fact::new(Symbol::intern(&name), args));
+        out.push(get_fact(&mut buf)?);
     }
     if buf.has_remaining() {
         return Err(CodecError::TrailingBytes(buf.remaining()));
     }
     Ok(out)
+}
+
+/// Serializes an **update delta** — the facts a mutation added and the
+/// facts it removed — as one self-contained record. This is the
+/// incremental counterpart of [`encode_database`]: a write-ahead log can
+/// journal each catalog update as one delta instead of re-encoding the
+/// whole database, and replaying the deltas over a base snapshot
+/// reconstructs the exact post-update fact set.
+pub fn encode_delta(added: &[Fact], removed: &[Fact]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16 + (added.len() + removed.len()) * 16);
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(VERSION);
+    for list in [added, removed] {
+        put_varint(&mut buf, list.len() as u64);
+        for f in list {
+            put_fact(&mut buf, f);
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes a delta produced by [`encode_delta`], returning
+/// `(added, removed)`.
+pub fn decode_delta(input: &[u8]) -> Result<(Vec<Fact>, Vec<Fact>), CodecError> {
+    let mut buf = Bytes::copy_from_slice(input);
+    if buf.remaining() < 4 || &buf.copy_to_bytes(4)[..] != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    if buf.remaining() < 2 {
+        return Err(CodecError::UnexpectedEof);
+    }
+    let version = buf.get_u16_le();
+    if version != VERSION {
+        return Err(CodecError::UnsupportedVersion(version));
+    }
+    let mut lists: [Vec<Fact>; 2] = [Vec::new(), Vec::new()];
+    for list in &mut lists {
+        let count = get_varint(&mut buf)? as usize;
+        list.reserve(count);
+        for _ in 0..count {
+            list.push(get_fact(&mut buf)?);
+        }
+    }
+    if buf.has_remaining() {
+        return Err(CodecError::TrailingBytes(buf.remaining()));
+    }
+    let [added, removed] = lists;
+    Ok((added, removed))
 }
 
 #[cfg(test)]
@@ -303,9 +370,44 @@ mod tests {
     }
 
     #[test]
+    fn delta_roundtrip() {
+        let added = vec![
+            Fact::parts("R", &["a", "b"]),
+            Fact::new("R", vec![Constant::int(7), Constant::int(-7)]),
+        ];
+        let removed = vec![Fact::parts("S", &["gone"])];
+        let bytes = encode_delta(&added, &removed);
+        assert_eq!(decode_delta(&bytes).unwrap(), (added, removed));
+        // Empty deltas (a no-op journal record) round-trip too.
+        let bytes = encode_delta(&[], &[]);
+        assert_eq!(decode_delta(&bytes).unwrap(), (vec![], vec![]));
+    }
+
+    #[test]
+    fn delta_truncations_rejected() {
+        let added = vec![Fact::parts("R", &["a", "b"])];
+        let removed = vec![Fact::parts("R", &["c", "d"])];
+        let bytes = encode_delta(&added, &removed);
+        for cut in 1..bytes.len() {
+            let err = decode_delta(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, CodecError::BadMagic | CodecError::UnexpectedEof),
+                "cut at {cut}: unexpected {err:?}"
+            );
+        }
+        let mut long = bytes.to_vec();
+        long.push(0);
+        assert_eq!(
+            decode_delta(&long).unwrap_err(),
+            CodecError::TrailingBytes(1)
+        );
+    }
+
+    #[test]
     fn bad_magic_rejected() {
         assert_eq!(decode_database(b"NOPE").unwrap_err(), CodecError::BadMagic);
         assert_eq!(decode_facts(b"").unwrap_err(), CodecError::BadMagic);
+        assert_eq!(decode_delta(b"XXXX").unwrap_err(), CodecError::BadMagic);
     }
 
     #[test]
@@ -380,6 +482,18 @@ mod tests {
             let facts = vec![Fact::parts(&name, &[&name])];
             let decoded = decode_facts(&encode_facts(&facts)).unwrap();
             prop_assert_eq!(facts, decoded);
+        }
+
+        #[test]
+        fn prop_delta_roundtrip(
+            adds in prop::collection::vec((0i64..40, -20i64..20), 0..30),
+            dels in prop::collection::vec((0i64..40, -20i64..20), 0..30),
+        ) {
+            let fact = |(a, b): (i64, i64)| Fact::new("E", vec![Constant::int(a), Constant::int(b)]);
+            let added: Vec<Fact> = adds.into_iter().map(fact).collect();
+            let removed: Vec<Fact> = dels.into_iter().map(fact).collect();
+            let decoded = decode_delta(&encode_delta(&added, &removed)).unwrap();
+            prop_assert_eq!(decoded, (added, removed));
         }
     }
 }

@@ -7,6 +7,34 @@
 //! are additionally purged eagerly ([`AnswerCache::invalidate_db`]) so a
 //! hot database with frequent updates cannot fill the cache with dead
 //! versions.
+//!
+//! # ε/δ dominance
+//!
+//! Lookups additionally reuse answers across accuracy levels. The
+//! **dominance rule**: a cached tally computed at `(ε′, δ′)` may serve a
+//! request for `(ε, δ)` whenever `ε′ ≤ ε` **and** `δ′ ≤ δ` and every
+//! other key component (database, version, query, generator, plan, seed)
+//! matches exactly. Soundness: the Hoeffding walk budget
+//! `n(ε, δ) = ⌈ln(2/δ)/(2ε²)⌉` is monotonically non-increasing in both
+//! parameters, so the dominating tally used *at least* as many walks as
+//! the request requires — its estimates satisfy the looser additive
+//! error bound with at least the requested confidence. When several
+//! entries dominate, the tightest `(ε′, δ′)` (lexicographically smallest)
+//! is served, deterministically. The seed still has to match: a response
+//! must remain a pure function of its request against a given database
+//! version *and the cache contents*, and walks drawn under a different
+//! seed would silently change the reported estimates between "cached"
+//! and "computed" serves.
+//!
+//! Note the deliberate carve-out in the engine's determinism story: a
+//! dominated hit returns the tighter computation's estimates, which
+//! differ numerically from what a cold compute at the requested `(ε, δ)`
+//! would produce. This is observable, not silent — the response carries
+//! `cached: true` and the tighter run's `walks` — and the substituted
+//! estimates satisfy the request's accuracy contract with margin. The
+//! bit-identity guarantees (across pool sizes, across restarts) are
+//! therefore stated for **computed** answers: a cache-missing request
+//! yields the same bytes on any engine at the same database version.
 
 use crate::planner::PlanKind;
 use ocqa_core::sample::SampleTally;
@@ -49,6 +77,9 @@ pub struct CacheStats {
     pub hits: u64,
     /// Lookups that missed.
     pub misses: u64,
+    /// The subset of `hits` served by ε/δ dominance (a tighter cached
+    /// estimate answering a looser request; see the module docs).
+    pub dominated_hits: u64,
     /// Entries dropped by explicit invalidation.
     pub invalidated: u64,
     /// Entries evicted by capacity pressure.
@@ -92,20 +123,54 @@ impl AnswerCache {
         }
     }
 
-    /// Looks up a key, refreshing its recency on hit.
+    /// Looks up a key, refreshing its recency on hit. An exact match wins;
+    /// otherwise the tightest **dominating** entry — same database,
+    /// version, query, generator, plan and seed, with `ε′ ≤ ε` and
+    /// `δ′ ≤ δ` — serves the request (see the module docs for why that is
+    /// sound).
     pub fn get(&mut self, key: &CacheKey) -> Option<Arc<SampleTally>> {
         self.tick += 1;
-        match self.slots.get_mut(key) {
-            Some(slot) => {
-                slot.last_used = self.tick;
-                self.stats.hits += 1;
-                Some(slot.tally.clone())
+        if let Some(slot) = self.slots.get_mut(key) {
+            slot.last_used = self.tick;
+            self.stats.hits += 1;
+            return Some(slot.tally.clone());
+        }
+        if let Some(dominating) = self.find_dominating(key) {
+            let slot = self.slots.get_mut(&dominating).expect("key from scan");
+            slot.last_used = self.tick;
+            self.stats.hits += 1;
+            self.stats.dominated_hits += 1;
+            return Some(slot.tally.clone());
+        }
+        self.stats.misses += 1;
+        None
+    }
+
+    /// Scans for the tightest entry dominating `key` (exact key already
+    /// known absent). Linear in the live entry count — bounded by the
+    /// capacity, and only paid on the miss path, where the alternative is
+    /// a full sampling run many orders of magnitude dearer.
+    fn find_dominating(&self, key: &CacheKey) -> Option<CacheKey> {
+        let eps = f64::from_bits(key.eps_bits);
+        let delta = f64::from_bits(key.delta_bits);
+        let mut best: Option<(f64, f64, &CacheKey)> = None;
+        for k in self.slots.keys() {
+            if k.db != key.db
+                || k.version != key.version
+                || k.query != key.query
+                || k.generator != key.generator
+                || k.plan != key.plan
+                || k.seed != key.seed
+            {
+                continue;
             }
-            None => {
-                self.stats.misses += 1;
-                None
+            let (e, d) = (f64::from_bits(k.eps_bits), f64::from_bits(k.delta_bits));
+            // NaN bit patterns never dominate (comparisons are false).
+            if e <= eps && d <= delta && best.is_none_or(|(be, bd, _)| (e, d) < (be, bd)) {
+                best = Some((e, d, k));
             }
         }
+        best.map(|(_, _, k)| k.clone())
     }
 
     /// Inserts a computed tally, evicting the least-recently-used entry
@@ -232,6 +297,48 @@ mod tests {
         assert!(cache.get(&key("db", 1, 7)).is_none(), "new seed misses");
         let s = cache.stats();
         assert_eq!((s.hits, s.misses), (1, 3));
+    }
+
+    fn key_at(db: &str, version: u64, seed: u64, eps: f64, delta: f64) -> CacheKey {
+        CacheKey {
+            eps_bits: eps.to_bits(),
+            delta_bits: delta.to_bits(),
+            ..key(db, version, seed)
+        }
+    }
+
+    #[test]
+    fn tighter_entry_serves_looser_request() {
+        let mut cache = AnswerCache::new(8);
+        cache.insert(key_at("db", 1, 0, 0.05, 0.05), tally(600));
+        // Looser ε and δ: dominated hit, returning the tighter tally.
+        let got = cache.get(&key_at("db", 1, 0, 0.1, 0.1)).unwrap();
+        assert_eq!(got.walks, 600);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.dominated_hits, s.misses), (1, 1, 0));
+        // Equal ε/δ is an exact hit, not a dominated one.
+        assert!(cache.get(&key_at("db", 1, 0, 0.05, 0.05)).is_some());
+        assert_eq!(cache.stats().dominated_hits, 1);
+        // Tighter-than-cached requests miss: the cached walks are too few.
+        assert!(cache.get(&key_at("db", 1, 0, 0.01, 0.05)).is_none());
+        // Mixed dominance (tighter ε, looser δ) is not dominance.
+        assert!(cache.get(&key_at("db", 1, 0, 0.2, 0.01)).is_none());
+        // A different seed never reuses, however loose the request.
+        assert!(cache.get(&key_at("db", 1, 9, 0.5, 0.5)).is_none());
+        // Neither does a different version.
+        assert!(cache.get(&key_at("db", 2, 0, 0.5, 0.5)).is_none());
+    }
+
+    #[test]
+    fn tightest_dominating_entry_wins() {
+        let mut cache = AnswerCache::new(8);
+        cache.insert(key_at("db", 1, 0, 0.08, 0.08), tally(200));
+        cache.insert(key_at("db", 1, 0, 0.05, 0.09), tally(400));
+        cache.insert(key_at("db", 1, 0, 0.06, 0.02), tally(300));
+        // All three dominate (0.1, 0.1); the lexicographically tightest
+        // (ε first) is chosen deterministically.
+        let got = cache.get(&key_at("db", 1, 0, 0.1, 0.1)).unwrap();
+        assert_eq!(got.walks, 400);
     }
 
     #[test]

@@ -15,6 +15,7 @@
 
 use crate::error::EngineError;
 use crate::planner::{classify, DbPlan, PlanKind};
+use crate::storage::{InstallImage, RestoredDatabase, UpdateDelta};
 use ocqa_core::RepairContext;
 use ocqa_data::{Database, Fact};
 use ocqa_logic::{incremental, parser, ConstraintSet, ViolationSet};
@@ -89,6 +90,10 @@ pub struct ParsedDatabase {
     db: Database,
     sigma: ConstraintSet,
     violations: ViolationSet,
+    /// The original constraint source text, retained verbatim so storage
+    /// backends can journal it re-parseably (the parsed `ConstraintSet`
+    /// has no guaranteed round-trippable rendering).
+    constraints_src: String,
 }
 
 impl ParsedDatabase {
@@ -108,6 +113,7 @@ impl ParsedDatabase {
             db,
             sigma,
             violations,
+            constraints_src: constraints_src.to_string(),
         })
     }
 }
@@ -139,22 +145,88 @@ impl Catalog {
         name: &str,
         parsed: ParsedDatabase,
     ) -> Result<DatabaseInfo, EngineError> {
+        self.install_with(name, parsed, |_| Ok(()))
+    }
+
+    /// [`install`](Catalog::install) with a journaling hook: `journal` is
+    /// called with the full install image — name, committed version, the
+    /// database, constraint text, plan classification and violation set —
+    /// after validation but **before** the catalog mutates, so a failing
+    /// journal vetoes the install and the durable log never lags the
+    /// in-memory state.
+    pub fn install_with(
+        &mut self,
+        name: &str,
+        parsed: ParsedDatabase,
+        journal: impl FnOnce(&InstallImage<'_>) -> Result<(), EngineError>,
+    ) -> Result<DatabaseInfo, EngineError> {
         if self.entries.contains_key(name) {
             return Err(EngineError::DatabaseExists(name.to_string()));
         }
-        self.next_version += 1;
+        let version = self.next_version + 1;
+        let plan_kind = classify(&parsed.sigma);
+        journal(&InstallImage {
+            name,
+            version,
+            db: &parsed.db,
+            constraints: &parsed.constraints_src,
+            plan: plan_kind,
+            violations: &parsed.violations,
+        })?;
+        self.next_version = version;
         let entry = CatalogEntry {
-            plan_kind: classify(&parsed.sigma),
+            plan_kind,
             db: parsed.db,
             sigma: parsed.sigma,
             violations: parsed.violations,
-            version: self.next_version,
+            version,
             snapshot: Mutex::new(None),
             plan: Mutex::new(None),
         };
         let info = entry.info(name);
         self.entries.insert(name.to_string(), entry);
         Ok(info)
+    }
+
+    /// Reinstalls a database recovered by a storage backend: the version,
+    /// plan classification and violation set are restored verbatim —
+    /// nothing is recomputed beyond parsing the constraint text. The
+    /// global version counter is raised to cover the restored version.
+    pub fn restore(&mut self, restored: RestoredDatabase) -> Result<DatabaseInfo, EngineError> {
+        if self.entries.contains_key(&restored.name) {
+            return Err(EngineError::Storage(format!(
+                "recovered database {:?} twice",
+                restored.name
+            )));
+        }
+        let sigma = parser::parse_constraints(&restored.constraints)
+            .map_err(|e| EngineError::Storage(format!("recovered constraints: {e}")))?;
+        debug_assert_eq!(
+            classify(&sigma),
+            restored.plan,
+            "recorded plan classification drifted from classify()"
+        );
+        self.next_version = self.next_version.max(restored.version);
+        let entry = CatalogEntry {
+            plan_kind: restored.plan,
+            db: restored.db,
+            sigma,
+            violations: restored.violations,
+            version: restored.version,
+            snapshot: Mutex::new(None),
+            plan: Mutex::new(None),
+        };
+        let info = entry.info(&restored.name);
+        self.entries.insert(restored.name, entry);
+        Ok(info)
+    }
+
+    /// Raises the global version counter to at least `floor`. Recovery
+    /// calls this with the highest version the journal ever issued —
+    /// including dropped databases, whose versions no live entry carries —
+    /// so post-restart installs can never alias a pre-restart version.
+    pub fn raise_version_floor(&mut self, floor: u64) {
+        self.next_version = self.next_version.max(floor);
     }
 
     /// Drops a database; returns the dropped entry's version (`None` if
@@ -192,6 +264,22 @@ impl Catalog {
         inserts: &[Fact],
         deletes: &[Fact],
     ) -> Result<UpdateOutcome, EngineError> {
+        self.update_parsed_with(name, inserts, deletes, |_| Ok(()))
+    }
+
+    /// [`update_parsed`](Catalog::update_parsed) with a journaling hook:
+    /// for **effective** updates, `journal` receives the netted delta and
+    /// the version the update will commit at, after validation but before
+    /// the entry mutates; a failing journal vetoes the update. No-op
+    /// updates never journal (nothing changed, nothing to replay).
+    pub fn update_parsed_with(
+        &mut self,
+        name: &str,
+        inserts: &[Fact],
+        deletes: &[Fact],
+        journal: impl FnOnce(&UpdateDelta<'_>) -> Result<(), EngineError>,
+    ) -> Result<UpdateOutcome, EngineError> {
+        let next_version = self.next_version + 1;
         let entry = self
             .entries
             .get_mut(name)
@@ -233,12 +321,18 @@ impl Catalog {
                 violations: entry.violations.len(),
             });
         }
+        journal(&UpdateDelta {
+            db: name,
+            version: next_version,
+            inserted: &added,
+            removed: &removed,
+        })?;
         let violations =
             incremental::update_violations(&entry.sigma, &db, &entry.violations, &added, &removed);
-        self.next_version += 1;
+        self.next_version = next_version;
         entry.db = db;
         entry.violations = violations;
-        entry.version = self.next_version;
+        entry.version = next_version;
         *entry.snapshot.get_mut() = None;
         *entry.plan.get_mut() = None;
         Ok(UpdateOutcome {

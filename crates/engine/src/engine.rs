@@ -18,6 +18,7 @@ use crate::prepared::PreparedRegistry;
 use crate::proto::{
     AnswerPayload, AnswerRow, EngineRequest, EngineResponse, EngineStatsPayload, QueryRef,
 };
+use crate::storage::{MemoryBackend, StorageBackend};
 use ocqa_core::sample::{sample_size, SampleTally};
 use ocqa_core::{ChainGenerator, PreferenceGenerator, UniformGenerator};
 use parking_lot::{Mutex, RwLock};
@@ -71,6 +72,7 @@ pub struct Engine {
     catalog: RwLock<Catalog>,
     cache: Mutex<AnswerCache>,
     prepared: RwLock<PreparedRegistry>,
+    backend: Arc<dyn StorageBackend>,
     pool: SamplerPool,
     max_walks: u64,
     planner: bool,
@@ -80,19 +82,44 @@ pub struct Engine {
 }
 
 impl Engine {
-    /// Builds an engine (spawns the sampler pool).
+    /// Builds an in-memory engine (spawns the sampler pool). Nothing
+    /// persists across restarts; see [`Engine::with_backend`] for that.
     pub fn new(config: EngineConfig) -> Arc<Engine> {
-        Arc::new(Engine {
-            catalog: RwLock::new(Catalog::new()),
+        Engine::with_backend(config, Arc::new(MemoryBackend))
+            .expect("memory backend recovery is empty and infallible")
+    }
+
+    /// Builds an engine on a storage backend: the backend's persisted
+    /// state is recovered first — databases with their exact versions,
+    /// violation sets and planner classifications, and prepared queries
+    /// with their original ordinal handles — and every subsequent catalog
+    /// or registry mutation is journaled write-through. A recovered
+    /// engine serves bit-identical answers to its pre-restart self for
+    /// equal requests (same seed, ε/δ, plan).
+    pub fn with_backend(
+        config: EngineConfig,
+        backend: Arc<dyn StorageBackend>,
+    ) -> Result<Arc<Engine>, EngineError> {
+        let state = backend.recover()?;
+        let mut catalog = Catalog::new();
+        for db in state.databases {
+            catalog.restore(db)?;
+        }
+        catalog.raise_version_floor(state.next_version);
+        let mut prepared = PreparedRegistry::new();
+        prepared.restore(state.prepared, state.prepared_next)?;
+        Ok(Arc::new(Engine {
+            catalog: RwLock::new(catalog),
             cache: Mutex::new(AnswerCache::new(config.cache_capacity)),
-            prepared: RwLock::new(PreparedRegistry::new()),
+            prepared: RwLock::new(prepared),
+            backend,
             pool: SamplerPool::new(config.workers),
             max_walks: config.max_walks.max(1),
             planner: config.planner,
             requests: AtomicU64::new(0),
             answers: AtomicU64::new(0),
             walks: AtomicU64::new(0),
-        })
+        }))
     }
 
     /// Handles one request. Safe to call from any number of threads.
@@ -127,14 +154,25 @@ impl Engine {
                 constraints,
             } => {
                 // Parse and compute V(D, Σ) before taking the write lock:
-                // a big create must not stall concurrent answers.
+                // a big create must not stall concurrent answers. The
+                // journal write happens under the lock so the durable log
+                // and the catalog agree on mutation order.
                 let parsed = crate::catalog::ParsedDatabase::parse(&facts, &constraints)?;
-                let info = self.catalog.write().install(&name, parsed)?;
+                let info = self
+                    .catalog
+                    .write()
+                    .install_with(&name, parsed, |image| self.backend.journal_install(image))?;
                 Ok(EngineResponse::Created(info))
             }
             EngineRequest::DropDb { name } => {
-                let Some(version) = self.catalog.write().drop_db(&name) else {
-                    return Err(EngineError::UnknownDatabase(name));
+                let version = {
+                    let mut catalog = self.catalog.write();
+                    let version = catalog.info(&name)?.version;
+                    // Journal-then-mutate, like every other mutation: a
+                    // vetoed drop leaves the database in place.
+                    self.backend.journal_drop(&name, version)?;
+                    catalog.drop_db(&name);
+                    version
                 };
                 // Floor above the dropped incarnation: a recreated
                 // database starts at a strictly higher global version, so
@@ -146,7 +184,10 @@ impl Engine {
             EngineRequest::Insert { db, facts } => self.update(&db, &facts, ""),
             EngineRequest::Delete { db, facts } => self.update(&db, "", &facts),
             EngineRequest::Prepare { query } => {
-                let prepared = self.prepared.write().prepare(&query)?;
+                let prepared = self
+                    .prepared
+                    .write()
+                    .prepare_with(&query, |text| self.backend.journal_prepare(text))?;
                 Ok(EngineResponse::Prepared {
                     id: prepared.id.clone(),
                 })
@@ -172,7 +213,12 @@ impl Engine {
             .map_err(|e| EngineError::Parse(e.to_string()))?;
         let deletes = ocqa_logic::parser::parse_facts(delete)
             .map_err(|e| EngineError::Parse(e.to_string()))?;
-        let outcome = self.catalog.write().update_parsed(db, &inserts, &deletes)?;
+        let outcome = self
+            .catalog
+            .write()
+            .update_parsed_with(db, &inserts, &deletes, |delta| {
+                self.backend.journal_update(delta)
+            })?;
         // An effective update bumps the version, so cached entries for
         // the old version can never be served again; purge them eagerly
         // so they don't occupy cache slots until eviction, and floor the
@@ -215,11 +261,16 @@ impl Engine {
             QueryRef::Text(text) => {
                 // Fast path under the read lock: hot workloads repeat the
                 // same inline text, and a write lock here would serialize
-                // every concurrent answer.
+                // every concurrent answer. New inline texts are journaled
+                // like explicit prepares — handle ids are ordinal, so
+                // recovery must replay every allocation to reproduce them.
                 let known = self.prepared.read().lookup_text(text);
                 match known {
                     Some(p) => p,
-                    None => self.prepared.write().prepare(text)?,
+                    None => self
+                        .prepared
+                        .write()
+                        .prepare_with(text, |t| self.backend.journal_prepare(t))?,
                 }
             }
             QueryRef::Prepared(id) => self.prepared.read().get(id)?,
@@ -285,6 +336,7 @@ impl Engine {
 
     fn stats(&self) -> EngineStatsPayload {
         EngineStatsPayload {
+            backend: self.backend.label(),
             requests: self.requests.load(Ordering::Relaxed),
             answers: self.answers.load(Ordering::Relaxed),
             walks: self.walks.load(Ordering::Relaxed),
@@ -677,6 +729,174 @@ mod tests {
             panic!()
         };
         assert_eq!(a.plan, PlanKind::KeyRepair);
+    }
+
+    #[test]
+    fn vetoing_backend_blocks_mutations() {
+        use crate::storage::{InstallImage, RecoveredState, StorageBackend, UpdateDelta};
+
+        /// Journals nothing and vetoes everything: every mutation must
+        /// fail *and leave no trace* — the journal-before-mutate contract.
+        struct Veto;
+        impl StorageBackend for Veto {
+            fn label(&self) -> &'static str {
+                "veto"
+            }
+            fn recover(&self) -> Result<RecoveredState, EngineError> {
+                Ok(RecoveredState::empty())
+            }
+            fn journal_install(&self, _: &InstallImage<'_>) -> Result<(), EngineError> {
+                Err(EngineError::Storage("no".into()))
+            }
+            fn journal_update(&self, _: &UpdateDelta<'_>) -> Result<(), EngineError> {
+                Err(EngineError::Storage("no".into()))
+            }
+            fn journal_drop(&self, _: &str, _: u64) -> Result<(), EngineError> {
+                Err(EngineError::Storage("no".into()))
+            }
+            fn journal_prepare(&self, _: &str) -> Result<(), EngineError> {
+                Err(EngineError::Storage("no".into()))
+            }
+        }
+
+        let e = Engine::with_backend(
+            EngineConfig {
+                workers: 1,
+                cache_capacity: 8,
+                ..EngineConfig::default()
+            },
+            Arc::new(Veto),
+        )
+        .unwrap();
+        let resp = e.handle(EngineRequest::CreateDb {
+            name: "db".into(),
+            facts: "R(1,1).".into(),
+            constraints: "R(x,y), R(x,z) -> y = z.".into(),
+        });
+        assert!(matches!(
+            resp,
+            EngineResponse::Error(EngineError::Storage(_))
+        ));
+        let resp = e.handle(EngineRequest::Prepare {
+            query: "(x) <- exists y: R(x,y)".into(),
+        });
+        assert!(matches!(
+            resp,
+            EngineResponse::Error(EngineError::Storage(_))
+        ));
+        let s = stats_of(&e);
+        assert_eq!((s.databases, s.prepared), (0, 0), "vetoed = not applied");
+        assert_eq!(s.backend, "veto");
+    }
+
+    #[test]
+    fn with_backend_restores_versions_plans_and_prepared_handles() {
+        use crate::storage::{RecoveredState, RestoredDatabase};
+        use ocqa_logic::{parser, ViolationSet};
+
+        // Hand-build the persisted world a disk backend would recover.
+        let constraints = "R(x,y), R(x,z) -> y = z.";
+        let facts = parser::parse_facts("R(1,10). R(1,20). R(2,30).").unwrap();
+        let sigma = parser::parse_constraints(constraints).unwrap();
+        let schema = parser::infer_schema(&facts, &sigma).unwrap();
+        let db = ocqa_data::Database::from_facts(schema, facts).unwrap();
+        let violations = ViolationSet::compute(&sigma, &db);
+
+        struct Fixed(Mutex<Option<RecoveredState>>);
+        impl crate::storage::StorageBackend for Fixed {
+            fn label(&self) -> &'static str {
+                "fixed"
+            }
+            fn recover(&self) -> Result<RecoveredState, EngineError> {
+                Ok(self.0.lock().take().expect("recovered once"))
+            }
+            fn journal_install(
+                &self,
+                _: &crate::storage::InstallImage<'_>,
+            ) -> Result<(), EngineError> {
+                Ok(())
+            }
+            fn journal_update(
+                &self,
+                _: &crate::storage::UpdateDelta<'_>,
+            ) -> Result<(), EngineError> {
+                Ok(())
+            }
+            fn journal_drop(&self, _: &str, _: u64) -> Result<(), EngineError> {
+                Ok(())
+            }
+            fn journal_prepare(&self, _: &str) -> Result<(), EngineError> {
+                Ok(())
+            }
+        }
+
+        let state = RecoveredState {
+            databases: vec![RestoredDatabase {
+                name: "kv".into(),
+                version: 7,
+                db,
+                constraints: constraints.into(),
+                plan: PlanKind::KeyRepair,
+                violations,
+            }],
+            // Non-contiguous handles (q2 was evicted before the kill) and
+            // a counter above every live id: both must restore verbatim.
+            prepared: vec![
+                ("q1".into(), "(x) <- exists y: R(x,y)".into()),
+                ("q3".into(), "(y) <- exists x: R(x,y)".into()),
+            ],
+            prepared_next: 5,
+            next_version: 9, // a dropped db once used 8 and 9
+        };
+        let e = Engine::with_backend(
+            EngineConfig {
+                workers: 2,
+                cache_capacity: 16,
+                ..EngineConfig::default()
+            },
+            Arc::new(Fixed(Mutex::new(Some(state)))),
+        )
+        .unwrap();
+
+        // The restored database serves at its recorded version and plan.
+        let EngineResponse::Answer(a) = e.handle(EngineRequest::Answer {
+            db: "kv".into(),
+            query: QueryRef::Prepared("q1".into()),
+            generator: "uniform".into(),
+            eps: 0.2,
+            delta: 0.2,
+            seed: 4,
+            plan: None,
+        }) else {
+            panic!("restored database must answer");
+        };
+        assert_eq!(a.db_version, 7);
+        assert_eq!(a.plan, PlanKind::KeyRepair);
+        // Both prepared handles restored verbatim (non-contiguous ids).
+        let EngineResponse::Prepared { id } = e.handle(EngineRequest::Prepare {
+            query: "(y) <- exists x: R(x,y)".into(),
+        }) else {
+            panic!()
+        };
+        assert_eq!(id, "q3", "re-preparing returns the restored handle");
+        // New allocations continue above the restored counter, so an
+        // evicted pre-restart handle is never re-minted.
+        let EngineResponse::Prepared { id } = e.handle(EngineRequest::Prepare {
+            query: "(x) <- R(x, 99)".into(),
+        }) else {
+            panic!()
+        };
+        assert_eq!(id, "q6");
+        // The version floor covers the dropped incarnations: a new
+        // database starts above 9, never aliasing old cache keys.
+        let EngineResponse::Created(info) = e.handle(EngineRequest::CreateDb {
+            name: "fresh".into(),
+            facts: "S(1,1).".into(),
+            constraints: "S(x,y), S(x,z) -> y = z.".into(),
+        }) else {
+            panic!()
+        };
+        assert_eq!(info.version, 10);
     }
 
     #[test]

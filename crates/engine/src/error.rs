@@ -21,6 +21,8 @@ pub enum EngineError {
     Schema(String),
     /// Sampling failed (generator could not produce a distribution).
     Sampling(String),
+    /// The storage backend failed to journal or recover state.
+    Storage(String),
 }
 
 impl fmt::Display for EngineError {
@@ -34,6 +36,7 @@ impl fmt::Display for EngineError {
             EngineError::UnknownGenerator(name) => write!(f, "unknown generator {name:?}"),
             EngineError::Schema(msg) => write!(f, "schema error: {msg}"),
             EngineError::Sampling(msg) => write!(f, "sampling error: {msg}"),
+            EngineError::Storage(msg) => write!(f, "storage error: {msg}"),
         }
     }
 }

@@ -61,6 +61,7 @@ pub mod pool;
 pub mod prepared;
 pub mod proto;
 pub mod server;
+pub mod storage;
 
 pub use cache::{AnswerCache, CacheKey, CacheStats};
 pub use catalog::{Catalog, DatabaseInfo, ParsedDatabase, UpdateOutcome};
@@ -71,3 +72,6 @@ pub use pool::{derive_seed, SamplerPool, CHUNK_WALKS};
 pub use prepared::{PreparedQuery, PreparedRegistry};
 pub use proto::{AnswerPayload, AnswerRow, EngineRequest, EngineResponse, QueryRef};
 pub use server::{handle_connection, serve_listener, serve_session, serve_stdio};
+pub use storage::{
+    InstallImage, MemoryBackend, RecoveredState, RestoredDatabase, StorageBackend, UpdateDelta,
+};

@@ -122,6 +122,9 @@ pub struct DbPlan {
     ctx: Arc<RepairContext>,
     /// Memoized localized sampler (built on first localized route).
     localized: Mutex<Option<Arc<ComponentSampler>>>,
+    /// Memoized cost-model verdict: whether localization can beat the
+    /// monolithic walk on this snapshot (see [`DbPlan::localize_worthwhile`]).
+    local_worth: Mutex<Option<bool>>,
     /// Memoized key-repair state, one entry per distinct group policy
     /// (different generators may carry different policies; the list stays
     /// as short as the set of policies actually served).
@@ -149,7 +152,7 @@ impl DbPlan {
                 .iter()
                 .map(|s| KeyConfig {
                     relation: s.relation,
-                    key_len: s.key_len,
+                    key_cols: s.key_cols.clone(),
                 })
                 .collect::<Vec<_>>()
         });
@@ -168,8 +171,31 @@ impl DbPlan {
             key_configs,
             ctx: ctx.clone(),
             localized: Mutex::new(None),
+            local_worth: Mutex::new(None),
             key: Mutex::new(Vec::new()),
         }
+    }
+
+    /// The cost-model guard behind automatic `localized` routing: per-walk,
+    /// localization wins by (a) walking Σ-sized component chains instead of
+    /// the Π-sized global one and (b) cloning component sub-databases
+    /// instead of the whole database. When the conflict graph collapses
+    /// into a **single component with no clean region**, both advantages
+    /// vanish — the one component *is* the whole database — and the
+    /// localized path only adds overlay bookkeeping on top of the same
+    /// walk. Automatic routing then falls back to monolithic; an explicit
+    /// `plan:"localized"` request is still honored (benchmarks and tests
+    /// force routes deliberately).
+    ///
+    /// The verdict needs the conflict components, which is the same
+    /// artifact the localized sampler starts from — it is computed at most
+    /// once per snapshot and memoized, like the sampler itself.
+    fn localize_worthwhile(&self) -> bool {
+        let mut memo = self.local_worth.lock();
+        *memo.get_or_insert_with(|| {
+            let parts = ocqa_core::localize::conflict_components(&self.ctx);
+            parts.components.len() != 1 || !parts.clean.is_empty()
+        })
     }
 
     /// The structural classification.
@@ -194,15 +220,28 @@ impl DbPlan {
         requested: Option<PlanKind>,
     ) -> Result<PlanKind, EngineError> {
         match requested {
-            None => Ok(if !gen.component_local() {
-                PlanKind::Monolithic
-            } else if self.kind == PlanKind::KeyRepair && gen.key_repair_policy().is_none() {
-                // Component-local but without a group policy matching its
-                // chain: key-only sets are still denial, so localize.
-                PlanKind::Localized
-            } else {
-                self.kind
-            }),
+            None => {
+                let auto = if !gen.component_local() {
+                    PlanKind::Monolithic
+                } else if self.kind == PlanKind::KeyRepair && gen.key_repair_policy().is_none() {
+                    // Component-local but without a group policy matching
+                    // its chain: key-only sets are still denial, so
+                    // localize.
+                    PlanKind::Localized
+                } else {
+                    self.kind
+                };
+                // Cost model: localization on one giant component with no
+                // clean region pays the fast path's overhead for none of
+                // its savings — serve monolithically instead.
+                Ok(
+                    if auto == PlanKind::Localized && !self.localize_worthwhile() {
+                        PlanKind::Monolithic
+                    } else {
+                        auto
+                    },
+                )
+            }
             // Forced monolithic is the universal fallback: always sound,
             // no availability or capability check applies.
             Some(PlanKind::Monolithic) => Ok(PlanKind::Monolithic),
@@ -527,8 +566,17 @@ mod tests {
                 Ok(vec![ocqa_num::Rat::ratio(1, ops.len() as i64); ops.len()])
             }
         }
-        assert_eq!(plan.route(&LocalNoKey, None).unwrap(), PlanKind::Localized);
+        // On the single-pair database the cost guard kicks in (one
+        // component, no clean region), so the localized fallback lands on
+        // monolithic; with a second group it localizes.
+        assert_eq!(plan.route(&LocalNoKey, None).unwrap(), PlanKind::Monolithic);
         assert!(plan.route(&LocalNoKey, Some(PlanKind::KeyRepair)).is_err());
+        let multi_ctx = ctx(
+            "R(a,1). R(a,2). R(b,1). R(b,2).",
+            "R(x,y), R(x,z) -> y = z.",
+        );
+        let multi = DbPlan::build(&multi_ctx);
+        assert_eq!(multi.route(&LocalNoKey, None).unwrap(), PlanKind::Localized);
     }
 
     #[test]
@@ -553,6 +601,91 @@ mod tests {
             let task = plan.task(route, gen.clone()).unwrap();
             assert_eq!(task.plan(), route);
             task.run_chunk(&query, 1500, 99).unwrap().frequencies()
+        })
+        .collect();
+        for pair in freqs.windows(2) {
+            assert_eq!(pair[0].len(), pair[1].len());
+            for (a, b) in pair[0].iter().zip(&pair[1]) {
+                assert_eq!(a.0, b.0);
+                assert!((a.1 - b.1).abs() <= 0.06, "{:?} vs {:?}", a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn cost_guard_falls_back_on_single_giant_component() {
+        // One conflict component covering the whole database, no clean
+        // facts: localization would walk the same chain as the monolithic
+        // path plus overlay overhead. Automatic routing must fall back.
+        // (The 2-path DC over a cycle chains every fact into a single
+        // component: each violation shares a fact with the next.)
+        let giant = ctx(
+            "Pref(a,b). Pref(b,c). Pref(c,a).",
+            "Pref(x,y), Pref(y,z) -> false.",
+        );
+        let plan = DbPlan::build(&giant);
+        assert_eq!(plan.kind(), PlanKind::Localized, "classification unchanged");
+        assert_eq!(
+            plan.route(by_name("uniform").as_ref(), None).unwrap(),
+            PlanKind::Monolithic,
+            "automatic routing takes the cost-model fallback"
+        );
+        // An explicit localized request still works (forced routes are for
+        // callers that know what they measure).
+        assert_eq!(
+            plan.route(by_name("uniform").as_ref(), Some(PlanKind::Localized))
+                .unwrap(),
+            PlanKind::Localized
+        );
+
+        // One clean fact tips the model back: the clean region is shared
+        // by all walks and never cloned on the localized path.
+        let with_clean = ctx(
+            "Pref(a,b). Pref(b,c). Pref(c,a). Pref(q,r).",
+            "Pref(x,y), Pref(y,z) -> false.",
+        );
+        let plan = DbPlan::build(&with_clean);
+        assert_eq!(
+            plan.route(by_name("uniform").as_ref(), None).unwrap(),
+            PlanKind::Localized
+        );
+
+        // Two components localize regardless of clean facts.
+        let two = ctx(
+            "Pref(a,b). Pref(b,c). Pref(c,a). Pref(d,e). Pref(e,f). Pref(f,d).",
+            "Pref(x,y), Pref(y,z) -> false.",
+        );
+        let plan = DbPlan::build(&two);
+        assert_eq!(
+            plan.route(by_name("uniform").as_ref(), None).unwrap(),
+            PlanKind::Localized
+        );
+    }
+
+    #[test]
+    fn permuted_key_routes_key_repair() {
+        // The key sits in the *second* column: PR 2's detector demanded a
+        // leading prefix and served such databases via the localized path;
+        // the generalized key_cover recognizes it and key repair applies.
+        let ctx = ctx(
+            "R(10,1). R(20,1). R(30,2). R(40,2). R(50,3).",
+            "R(u,k), R(v,k) -> u = v.",
+        );
+        let plan = DbPlan::build(&ctx);
+        assert_eq!(plan.kind(), PlanKind::KeyRepair);
+        let gen: Arc<dyn ChainGenerator> = Arc::new(UniformGenerator::new());
+        assert_eq!(plan.route(gen.as_ref(), None).unwrap(), PlanKind::KeyRepair);
+        // All three routes agree on the estimated answers.
+        let query = parser::parse_query("(y) <- exists x: R(x, y)").unwrap();
+        let freqs: Vec<_> = [
+            PlanKind::Monolithic,
+            PlanKind::Localized,
+            PlanKind::KeyRepair,
+        ]
+        .into_iter()
+        .map(|route| {
+            let task = plan.task(route, gen.clone()).unwrap();
+            task.run_chunk(&query, 1500, 11).unwrap().frequencies()
         })
         .collect();
         for pair in freqs.windows(2) {

@@ -44,10 +44,27 @@ impl PreparedRegistry {
     /// Parses and registers `text`, returning the handle (existing one if
     /// the same text was prepared before).
     pub fn prepare(&mut self, text: &str) -> Result<Arc<PreparedQuery>, EngineError> {
+        self.prepare_with(text, |_| Ok(()))
+    }
+
+    /// [`prepare`](Self::prepare) with a journaling hook: `journal` runs
+    /// only when `text` is new (an existing handle is returned without
+    /// journaling — re-preparing is not a mutation), after the parse
+    /// validated the text but **before** the handle is allocated, so a
+    /// failing journal leaves the registry untouched. Journaling every
+    /// new text — including texts prepared implicitly by inline `answer`
+    /// requests — is what lets recovery replay the texts in order and
+    /// reproduce the exact ordinal handles (`"q1"`, `"q2"`, …).
+    pub fn prepare_with(
+        &mut self,
+        text: &str,
+        journal: impl FnOnce(&str) -> Result<(), EngineError>,
+    ) -> Result<Arc<PreparedQuery>, EngineError> {
         if let Some(id) = self.by_text.get(text) {
             return Ok(self.by_id[id].clone());
         }
         let query = parser::parse_query(text).map_err(|e| EngineError::Parse(e.to_string()))?;
+        journal(text)?;
         while self.by_id.len() >= MAX_PREPARED {
             if let Some(old_id) = self.order.pop_front() {
                 if let Some(old) = self.by_id.remove(&old_id) {
@@ -74,6 +91,41 @@ impl PreparedRegistry {
     /// engine's shared-lock fast path for repeated inline queries).
     pub fn lookup_text(&self, text: &str) -> Option<Arc<PreparedQuery>> {
         self.by_text.get(text).map(|id| self.by_id[id].clone())
+    }
+
+    /// Rebuilds the registry from recovered `(handle id, text)` pairs (in
+    /// FIFO order) and the persisted id counter. Ids are restored
+    /// verbatim — after capacity evictions they are not contiguous, and
+    /// `next` may exceed every live id (evicted handles must never be
+    /// re-minted for different texts). Fails on duplicate ids/texts or
+    /// unparseable text (a corrupt store, surfaced rather than half
+    /// restored).
+    pub fn restore(
+        &mut self,
+        entries: Vec<(String, String)>,
+        next: u64,
+    ) -> Result<(), EngineError> {
+        for (id, text) in entries {
+            let query = parser::parse_query(&text)
+                .map_err(|e| EngineError::Storage(format!("recovered query {id:?}: {e}")))?;
+            if self.by_id.contains_key(&id) || self.by_text.contains_key(&text) {
+                return Err(EngineError::Storage(format!(
+                    "recovered prepared query {id:?} twice"
+                )));
+            }
+            self.by_text.insert(text.clone(), id.clone());
+            self.order.push_back(id.clone());
+            self.by_id.insert(
+                id.clone(),
+                Arc::new(PreparedQuery {
+                    id,
+                    text,
+                    query: Arc::new(query),
+                }),
+            );
+        }
+        self.next = self.next.max(next);
+        Ok(())
     }
 
     /// Looks up a handle.

@@ -220,6 +220,8 @@ pub struct AnswerPayload {
 /// Engine-wide statistics.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EngineStatsPayload {
+    /// Storage backend label (`"memory"`, `"disk"`, …).
+    pub backend: &'static str,
     /// Requests handled (any op).
     pub requests: u64,
     /// `answer` requests served.
@@ -345,6 +347,7 @@ impl EngineResponse {
             ]),
             EngineResponse::Stats(s) => Json::obj([
                 ("ok", true.into()),
+                ("backend", Json::from(s.backend.to_string())),
                 ("requests", Json::from(s.requests)),
                 ("answers", Json::from(s.answers)),
                 ("walks", Json::from(s.walks)),
@@ -353,6 +356,7 @@ impl EngineResponse {
                 ("prepared", Json::from(s.prepared as u64)),
                 ("cache_hits", Json::from(s.cache.hits)),
                 ("cache_misses", Json::from(s.cache.misses)),
+                ("cache_dominated_hits", Json::from(s.cache.dominated_hits)),
                 ("cache_invalidated", Json::from(s.cache.invalidated)),
                 ("cache_evicted", Json::from(s.cache.evicted)),
                 ("cache_stale_drops", Json::from(s.cache.stale_drops)),

@@ -1,0 +1,181 @@
+//! The storage seam: pluggable durability for the engine's catalog and
+//! prepared-query registry.
+//!
+//! The engine treats storage as a **write-ahead journal plus a recovery
+//! source**. Every catalog mutation (`install`/`update`/`drop`) and every
+//! newly prepared query text is offered to the backend *before* it is
+//! applied in memory — a backend that fails the journal call vetoes the
+//! mutation, so the durable log can never lag the served state. At
+//! startup [`StorageBackend::recover`] returns the whole persisted world:
+//! databases with their versions, constraint text, maintained violation
+//! sets and planner classifications, plus the prepared-query texts in
+//! their original preparation order (handle ids are ordinal, so replaying
+//! the texts in order reproduces the exact pre-restart handles).
+//!
+//! Two implementations exist:
+//!
+//! * [`MemoryBackend`] — the default; journals nothing and recovers an
+//!   empty state. This is exactly the engine's historical behavior.
+//! * `DiskBackend` in the `ocqa-store` crate — snapshots layered on
+//!   `ocqa_data::codec` plus an append-only, checksummed WAL with crash
+//!   recovery and background compaction.
+//!
+//! The trait lives here (not in `ocqa-store`) so the engine stays free of
+//! file-system concerns and other backends (remote/replicated stores, the
+//! ROADMAP's sharding hand-off) can plug in without touching the serving
+//! layer.
+
+use crate::error::EngineError;
+use crate::planner::PlanKind;
+use ocqa_data::{Database, Fact};
+use ocqa_logic::ViolationSet;
+
+/// Everything a backend needs to journal a database install durably. The
+/// borrows point into the already-validated [`crate::ParsedDatabase`], so
+/// journaling never re-parses or re-validates.
+pub struct InstallImage<'a> {
+    /// Catalog name.
+    pub name: &'a str,
+    /// The version the install will commit at.
+    pub version: u64,
+    /// The full database (schema + facts).
+    pub db: &'a Database,
+    /// The constraint source text, re-parseable on recovery.
+    pub constraints: &'a str,
+    /// The structural planner classification, recorded so recovery
+    /// restores it without re-deriving.
+    pub plan: PlanKind,
+    /// The computed violation set `V(D, Σ)`, recorded so recovery never
+    /// pays the `O(|D|^{|body|})` recomputation.
+    pub violations: &'a ViolationSet,
+}
+
+/// The net effect of an update batch, offered to the backend before the
+/// catalog commits it. `inserted`/`removed` are the **netted** lists (the
+/// same ones the incremental violation maintenance consumes), so replay
+/// applies them verbatim.
+pub struct UpdateDelta<'a> {
+    /// Catalog name.
+    pub db: &'a str,
+    /// The version the update will commit at.
+    pub version: u64,
+    /// Facts absent before and present after.
+    pub inserted: &'a [Fact],
+    /// Facts present before and absent after.
+    pub removed: &'a [Fact],
+}
+
+/// One database as reconstructed by [`StorageBackend::recover`].
+pub struct RestoredDatabase {
+    /// Catalog name.
+    pub name: String,
+    /// The version the database last committed at — restored verbatim so
+    /// answer-cache keys and reported `db_version`s match the pre-restart
+    /// engine.
+    pub version: u64,
+    /// The database (schema + facts).
+    pub db: Database,
+    /// Constraint source text (parsed once during restore).
+    pub constraints: String,
+    /// The recorded planner classification.
+    pub plan: PlanKind,
+    /// The maintained violation set at `version`.
+    pub violations: ViolationSet,
+}
+
+/// The persisted world handed to a starting engine.
+#[derive(Default)]
+pub struct RecoveredState {
+    /// Databases to restore, in any order.
+    pub databases: Vec<RestoredDatabase>,
+    /// Live prepared queries as `(handle id, text)` pairs in registry
+    /// (FIFO) order. Ids are restored verbatim — after registry-capacity
+    /// evictions they are *not* contiguous, so texts alone could not
+    /// reproduce them.
+    pub prepared: Vec<(String, String)>,
+    /// The registry's id counter (highest ordinal ever allocated,
+    /// evicted handles included), so post-restart allocations can never
+    /// alias a pre-restart handle.
+    pub prepared_next: u64,
+    /// Floor for the catalog's global version counter: at least the
+    /// highest version ever issued, *including dropped databases*, so a
+    /// recreate after restart can never alias a pre-restart version.
+    pub next_version: u64,
+}
+
+impl RecoveredState {
+    /// An empty state (what [`MemoryBackend`] recovers).
+    pub fn empty() -> RecoveredState {
+        RecoveredState::default()
+    }
+}
+
+/// A durability backend for the engine. See the module docs for the
+/// journaling contract; all methods must be callable from any thread
+/// (the engine journals under its catalog/registry locks).
+pub trait StorageBackend: Send + Sync {
+    /// Short name reported in `stats` (`"memory"`, `"disk"`, …).
+    fn label(&self) -> &'static str;
+
+    /// Loads the persisted state at engine startup.
+    fn recover(&self) -> Result<RecoveredState, EngineError>;
+
+    /// Journals a database install. Returning an error vetoes it.
+    fn journal_install(&self, image: &InstallImage<'_>) -> Result<(), EngineError>;
+
+    /// Journals an effective update batch. Returning an error vetoes it.
+    fn journal_update(&self, delta: &UpdateDelta<'_>) -> Result<(), EngineError>;
+
+    /// Journals a drop; `version` is the dropped incarnation's version.
+    fn journal_drop(&self, name: &str, version: u64) -> Result<(), EngineError>;
+
+    /// Journals a newly prepared query text (called only for texts that
+    /// allocate a new handle — re-preparing an existing text is not a
+    /// mutation).
+    fn journal_prepare(&self, text: &str) -> Result<(), EngineError>;
+}
+
+/// The no-op backend: nothing persists, recovery is empty. Exactly the
+/// engine's pre-storage behavior, at zero cost on the mutation paths.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MemoryBackend;
+
+impl StorageBackend for MemoryBackend {
+    fn label(&self) -> &'static str {
+        "memory"
+    }
+
+    fn recover(&self) -> Result<RecoveredState, EngineError> {
+        Ok(RecoveredState::empty())
+    }
+
+    fn journal_install(&self, _image: &InstallImage<'_>) -> Result<(), EngineError> {
+        Ok(())
+    }
+
+    fn journal_update(&self, _delta: &UpdateDelta<'_>) -> Result<(), EngineError> {
+        Ok(())
+    }
+
+    fn journal_drop(&self, _name: &str, _version: u64) -> Result<(), EngineError> {
+        Ok(())
+    }
+
+    fn journal_prepare(&self, _text: &str) -> Result<(), EngineError> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_backend_recovers_empty() {
+        let state = MemoryBackend.recover().unwrap();
+        assert!(state.databases.is_empty());
+        assert!(state.prepared.is_empty());
+        assert_eq!(state.next_version, 0);
+        assert_eq!(MemoryBackend.label(), "memory");
+    }
+}

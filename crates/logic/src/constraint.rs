@@ -267,28 +267,39 @@ impl fmt::Debug for Constraint {
     }
 }
 
-/// A primary-key shape recognized in a constraint set: the first
-/// `key_len` columns of `relation` determine every other column.
+/// A primary-key shape recognized in a constraint set: the columns
+/// `key_cols` of `relation` determine every other column. Key columns may
+/// sit anywhere in the tuple — leading, trailing, or interleaved with the
+/// dependent columns — as long as every constraint of the relation agrees
+/// on the same set.
 ///
 /// Produced by [`ConstraintSet::key_cover`]; consumers (e.g. the
 /// key-repair fast path in `ocqa-core`/`ocqa-engine`) map it onto their
 /// own key configuration types.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct KeySpec {
     /// The keyed relation.
     pub relation: Symbol,
-    /// Number of leading key columns.
-    pub key_len: usize,
+    /// The key column indices, in ascending order (non-empty, and a
+    /// strict subset of `0..arity`).
+    pub key_cols: Vec<usize>,
     /// The relation's arity as used by the constraints.
     pub arity: usize,
 }
 
-/// Checks whether one EGD has the key shape `R(k̄,ū), R(k̄,v̄) → uₚ = vₚ`:
-/// two atoms of the same relation, all arguments distinct variables, the
-/// atoms sharing variables exactly on a leading prefix `k̄`, and the
-/// equality relating the two atoms' variables at one non-key position `p`.
-/// Returns `(relation, key_len, p, arity)`.
-fn egd_key_shape(body: &[Atom], left: Var, right: Var) -> Option<(Symbol, usize, usize, usize)> {
+/// Checks whether one EGD has the key shape `R(ū), R(v̄) → uₚ = vₚ`: two
+/// atoms of the same relation, all arguments distinct variables, the atoms
+/// sharing variables on some **aligned** set of key columns `K` (a shared
+/// variable appearing at different columns of the two atoms is a join, not
+/// a key agreement), and the equality relating the two atoms' variables at
+/// one non-key position `p`. The key columns need not be a leading prefix:
+/// `R(u,k), R(v,k) → u = v` declares the second column as the key.
+/// Returns `(relation, key_cols, p, arity)`.
+fn egd_key_shape(
+    body: &[Atom],
+    left: Var,
+    right: Var,
+) -> Option<(Symbol, Vec<usize>, usize, usize)> {
     let [u, v] = body else { return None };
     if u.pred() != v.pred() || u.arity() != v.arity() {
         return None;
@@ -317,23 +328,16 @@ fn egd_key_shape(body: &[Atom], left: Var, right: Var) -> Option<(Symbol, usize,
             }
         }
     }
-    let key_len = uvars.iter().zip(&vvars).take_while(|(a, b)| a == b).count();
-    if key_len == 0 || key_len == arity {
-        return None; // no key prefix, or the two atoms are identical
-    }
-    // Shared positions must form exactly that prefix.
-    if uvars[key_len..]
-        .iter()
-        .zip(&vvars[key_len..])
-        .any(|(a, b)| a == b)
-    {
-        return None;
+    // The key columns are exactly the aligned shared positions.
+    let key_cols: Vec<usize> = (0..arity).filter(|&i| uvars[i] == vvars[i]).collect();
+    if key_cols.is_empty() || key_cols.len() == arity {
+        return None; // no shared key, or the two atoms are identical
     }
     // The equality must relate the two atoms at one dependent position.
-    let p = (key_len..arity).find(|&p| {
+    let p = (0..arity).filter(|i| !key_cols.contains(i)).find(|&p| {
         (left == uvars[p] && right == vvars[p]) || (left == vvars[p] && right == uvars[p])
     })?;
-    Some((u.pred(), key_len, p, arity))
+    Some((u.pred(), key_cols, p, arity))
 }
 
 /// A finite set `Σ` of constraints, indexed by position.
@@ -411,10 +415,11 @@ impl ConstraintSet {
     /// The requirements are exactly what makes group-wise key repair
     /// sound:
     ///
-    /// * every constraint matches the [`Constraint::key`] shape — two
-    ///   atoms of one relation agreeing on a leading variable prefix,
-    ///   equating one dependent column;
-    /// * all EGDs of a relation agree on the same key prefix; and
+    /// * every constraint matches the [`Constraint::key`] shape
+    ///   generalized to arbitrary key positions — two atoms of one
+    ///   relation agreeing on an aligned set of key columns (leading,
+    ///   trailing or interleaved), equating one dependent column;
+    /// * all EGDs of a relation agree on the same key column set; and
     /// * together they cover **every** non-key column — otherwise two
     ///   tuples sharing a key could legally coexist (differing only in an
     ///   unconstrained column) and "keep at most one per group" would
@@ -424,27 +429,30 @@ impl ConstraintSet {
     /// violate some EGD, so the violating groups are exactly the
     /// key-sharing groups and every group is a conflict clique.
     pub fn key_cover(&self) -> Option<Vec<KeySpec>> {
-        // relation → (key_len, arity, dependent columns covered so far)
-        let mut per: BTreeMap<Symbol, (usize, usize, BTreeSet<usize>)> = BTreeMap::new();
+        // relation → (key columns, arity, dependent columns covered so far)
+        #[allow(clippy::type_complexity)]
+        let mut per: BTreeMap<Symbol, (Vec<usize>, usize, BTreeSet<usize>)> = BTreeMap::new();
         for c in &self.constraints {
             let Constraint::Egd { body, left, right } = c else {
                 return None;
             };
-            let (rel, key_len, dep, arity) = egd_key_shape(body, *left, *right)?;
-            let entry = per.entry(rel).or_insert((key_len, arity, BTreeSet::new()));
-            if entry.0 != key_len || entry.1 != arity {
+            let (rel, key_cols, dep, arity) = egd_key_shape(body, *left, *right)?;
+            let entry = per
+                .entry(rel)
+                .or_insert_with(|| (key_cols.clone(), arity, BTreeSet::new()));
+            if entry.0 != key_cols || entry.1 != arity {
                 return None; // conflicting key declarations
             }
             entry.2.insert(dep);
         }
         let mut specs = Vec::new();
-        for (relation, (key_len, arity, deps)) in per {
-            if deps.len() != arity - key_len {
+        for (relation, (key_cols, arity, deps)) in per {
+            if deps.len() != arity - key_cols.len() {
                 return None; // some non-key column is unconstrained
             }
             specs.push(KeySpec {
                 relation,
-                key_len,
+                key_cols,
                 arity,
             });
         }
@@ -578,7 +586,7 @@ mod tests {
             specs,
             vec![KeySpec {
                 relation: Symbol::intern("R"),
-                key_len: 1,
+                key_cols: vec![0],
                 arity: 2
             }]
         );
@@ -589,7 +597,7 @@ mod tests {
             set.key_cover().unwrap(),
             vec![KeySpec {
                 relation: Symbol::intern("T"),
-                key_len: 2,
+                key_cols: vec![0, 1],
                 arity: 4
             }]
         );
@@ -602,6 +610,63 @@ mod tests {
 
         // Empty set: trivially key-only with no keys.
         assert_eq!(ConstraintSet::empty().key_cover(), Some(vec![]));
+    }
+
+    #[test]
+    fn key_cover_recognizes_non_prefix_and_permuted_keys() {
+        let parse = |src: &str| crate::parser::parse_constraints(src).unwrap();
+
+        // Trailing key column: the *second* column determines the first.
+        let specs = parse("R(u,k), R(v,k) -> u = v.").key_cover().unwrap();
+        assert_eq!(
+            specs,
+            vec![KeySpec {
+                relation: Symbol::intern("R"),
+                key_cols: vec![1],
+                arity: 2
+            }]
+        );
+
+        // A key column interleaved between two dependent columns, covered
+        // by two EGDs that agree on the key set.
+        let specs = parse(
+            "R(u1,k,u2), R(v1,k,v2) -> u1 = v1. \
+             R(u1,k,u2), R(v1,k,v2) -> u2 = v2.",
+        )
+        .key_cover()
+        .unwrap();
+        assert_eq!(
+            specs,
+            vec![KeySpec {
+                relation: Symbol::intern("R"),
+                key_cols: vec![1],
+                arity: 3
+            }]
+        );
+
+        // A two-column key split around the dependent column.
+        let specs = parse("R(k1,u,k2), R(k1,v,k2) -> u = v.")
+            .key_cover()
+            .unwrap();
+        assert_eq!(
+            specs,
+            vec![KeySpec {
+                relation: Symbol::intern("R"),
+                key_cols: vec![0, 2],
+                arity: 3
+            }]
+        );
+
+        // Disagreeing key *positions* (same size) are still rejected.
+        assert!(
+            parse("R(k,u1,u2), R(k,v1,v2) -> u1 = v1. R(u1,k,u2), R(v1,k,v2) -> u2 = v2.")
+                .key_cover()
+                .is_none()
+        );
+        // A partial cover with a non-prefix key is rejected like any other.
+        assert!(parse("R(u1,k,u2), R(v1,k,v2) -> u1 = v1.")
+            .key_cover()
+            .is_none());
     }
 
     #[test]
@@ -629,8 +694,6 @@ mod tests {
                 .key_cover()
                 .is_some()
         );
-        // Non-prefix key (second column): not expressible as a leading key.
-        assert!(parse("R(u,k), R(v,k) -> u = v.").key_cover().is_none());
         // Cross-column join, a constant argument, a repeated variable:
         // none of these are key shapes.
         assert!(parse("R(x,y), R(y,z) -> x = z.").key_cover().is_none());

@@ -1,0 +1,139 @@
+//! `DiskBackend` — the `ocqa_engine::StorageBackend` implementation over
+//! [`Store`], with a background compactor thread.
+
+use crate::error::StoreError;
+use crate::store::{Store, StoreOptions};
+use crate::wal::WalRecord;
+use crate::wire::DbImage;
+use ocqa_engine::{
+    EngineError, InstallImage, RecoveredState, RestoredDatabase, StorageBackend, UpdateDelta,
+};
+use parking_lot::Mutex;
+use std::path::Path;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Disk durability for the serving engine: every journaled mutation is an
+/// `fsync`ed WAL append; recovery is snapshot + WAL replay; a dedicated
+/// thread compacts (snapshot rewrite + WAL truncation) whenever the
+/// active log crosses the configured threshold, off the request path.
+pub struct DiskBackend {
+    store: Arc<Store>,
+    compact_tx: Mutex<Option<crossbeam::channel::Sender<()>>>,
+    compactor: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl DiskBackend {
+    /// Opens the backend at `dir` with default options.
+    pub fn open(dir: &Path) -> Result<DiskBackend, StoreError> {
+        DiskBackend::with_options(dir, StoreOptions::default())
+    }
+
+    /// Opens the backend at `dir` with explicit options.
+    pub fn with_options(dir: &Path, opts: StoreOptions) -> Result<DiskBackend, StoreError> {
+        let store = Arc::new(Store::open(dir, opts)?);
+        let (tx, rx) = crossbeam::channel::unbounded::<()>();
+        let worker_store = store.clone();
+        let compactor = std::thread::Builder::new()
+            .name("ocqa-store-compactor".into())
+            .spawn(move || {
+                while rx.recv().is_ok() {
+                    if let Err(e) = worker_store.compact() {
+                        eprintln!("ocqa-store: background compaction failed: {e}");
+                    }
+                }
+            })
+            .expect("spawn compactor thread");
+        Ok(DiskBackend {
+            store,
+            compact_tx: Mutex::new(Some(tx)),
+            compactor: Mutex::new(Some(compactor)),
+        })
+    }
+
+    /// The underlying store (operator tooling, tests).
+    pub fn store(&self) -> &Arc<Store> {
+        &self.store
+    }
+
+    fn journal(&self, record: &WalRecord) -> Result<(), EngineError> {
+        let crossed = self.store.append(record).map_err(EngineError::from)?;
+        if crossed {
+            if let Some(tx) = self.compact_tx.lock().as_ref() {
+                let _ = tx.send(());
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Drop for DiskBackend {
+    fn drop(&mut self) {
+        // Closing the channel stops the compactor after it drains any
+        // pending signal; joining bounds shutdown.
+        self.compact_tx.lock().take();
+        if let Some(handle) = self.compactor.lock().take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl StorageBackend for DiskBackend {
+    fn label(&self) -> &'static str {
+        "disk"
+    }
+
+    fn recover(&self) -> Result<RecoveredState, EngineError> {
+        let state = self.store.read_state().map_err(EngineError::from)?;
+        Ok(RecoveredState {
+            databases: state
+                .databases
+                .into_iter()
+                .map(|img| RestoredDatabase {
+                    name: img.name,
+                    version: img.version,
+                    db: img.db,
+                    constraints: img.constraints,
+                    plan: img.plan,
+                    violations: img.violations,
+                })
+                .collect(),
+            prepared: state.prepared,
+            prepared_next: state.prepared_next,
+            next_version: state.next_version,
+        })
+    }
+
+    fn journal_install(&self, image: &InstallImage<'_>) -> Result<(), EngineError> {
+        self.journal(&WalRecord::Install(DbImage {
+            name: image.name.to_string(),
+            version: image.version,
+            plan: image.plan,
+            constraints: image.constraints.to_string(),
+            db: image.db.clone(),
+            violations: image.violations.clone(),
+        }))
+    }
+
+    fn journal_update(&self, delta: &UpdateDelta<'_>) -> Result<(), EngineError> {
+        self.journal(&WalRecord::Update {
+            db: delta.db.to_string(),
+            version: delta.version,
+            added: delta.inserted.to_vec(),
+            removed: delta.removed.to_vec(),
+        })
+    }
+
+    fn journal_drop(&self, name: &str, version: u64) -> Result<(), EngineError> {
+        self.journal(&WalRecord::Drop {
+            db: name.to_string(),
+            version,
+        })
+    }
+
+    fn journal_prepare(&self, text: &str) -> Result<(), EngineError> {
+        self.journal(&WalRecord::Prepare {
+            text: text.to_string(),
+        })
+    }
+}

@@ -1,0 +1,68 @@
+//! Storage-layer errors.
+
+use ocqa_data::codec::CodecError;
+use ocqa_engine::EngineError;
+use std::fmt;
+use std::io;
+
+/// Anything that can go wrong opening, journaling to, or recovering a
+/// store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An underlying file-system operation failed.
+    Io(io::Error),
+    /// A file existed but its contents were not a valid store artifact
+    /// (bad magic, bad checksum on a *non-tail* record, undecodable
+    /// payload, impossible replay).
+    Corrupt(String),
+    /// A nested `ocqa_data::codec` payload failed to decode.
+    Codec(CodecError),
+    /// Recovered text failed to re-parse (constraints, queries).
+    Recovery(String),
+    /// Another process holds the data directory's lock.
+    Locked(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "i/o error: {e}"),
+            StoreError::Corrupt(msg) => write!(f, "corrupt store: {msg}"),
+            StoreError::Codec(e) => write!(f, "corrupt store payload: {e}"),
+            StoreError::Recovery(msg) => write!(f, "recovery failed: {msg}"),
+            StoreError::Locked(dir) => write!(
+                f,
+                "data directory {dir} is locked by another process \
+                 (a live `ocqa serve --data-dir` or `ocqa snapshot`?)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            StoreError::Codec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<CodecError> for StoreError {
+    fn from(e: CodecError) -> Self {
+        StoreError::Codec(e)
+    }
+}
+
+impl From<StoreError> for EngineError {
+    fn from(e: StoreError) -> Self {
+        EngineError::Storage(e.to_string())
+    }
+}

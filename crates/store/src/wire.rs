@@ -1,0 +1,362 @@
+//! On-disk wire formats, layered on the `ocqa_data::codec` primitives.
+//!
+//! Three artifacts share the same building blocks (LEB128 varints,
+//! length-prefixed names, tagged constants — see `ocqa_data::codec`):
+//!
+//! * [`DbImage`] — one database's full durable state: name, catalog
+//!   version, planner classification, constraint source text, the
+//!   `codec`-encoded database and the maintained violation set. Snapshot
+//!   files and WAL `install` records both carry a `DbImage`, so snapshot
+//!   writing and journal replay decode through one path.
+//! * [`Manifest`] — the store's root: the version-counter floor, the
+//!   name → snapshot-file map and the prepared-query texts in handle
+//!   order.
+//! * framed files — snapshot and manifest files are
+//!   `magic | u16 format-version | u32 crc32 | payload`, rejected
+//!   whole on any mismatch (a torn snapshot is useless; unlike the WAL
+//!   there is no valid prefix to salvage — recovery falls back to the
+//!   previous manifest generation, which compaction only deletes after
+//!   the new one is durable).
+
+use crate::error::StoreError;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use ocqa_data::codec;
+use ocqa_data::Database;
+use ocqa_engine::PlanKind;
+use ocqa_logic::{Bindings, Var, Violation, ViolationSet};
+
+/// CRC-32 (IEEE 802.3) lookup table, built at compile time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of `data` — the per-record and per-file checksum.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// One database's durable state (see the module docs).
+#[derive(Debug)]
+pub struct DbImage {
+    /// Catalog name.
+    pub name: String,
+    /// Catalog version at capture time.
+    pub version: u64,
+    /// Recorded planner classification.
+    pub plan: PlanKind,
+    /// Constraint source text.
+    pub constraints: String,
+    /// The database (schema + facts).
+    pub db: Database,
+    /// The maintained violation set at `version`.
+    pub violations: ViolationSet,
+}
+
+fn plan_tag(plan: PlanKind) -> u8 {
+    match plan {
+        PlanKind::KeyRepair => 0,
+        PlanKind::Localized => 1,
+        PlanKind::Monolithic => 2,
+    }
+}
+
+fn plan_from_tag(tag: u8) -> Result<PlanKind, StoreError> {
+    match tag {
+        0 => Ok(PlanKind::KeyRepair),
+        1 => Ok(PlanKind::Localized),
+        2 => Ok(PlanKind::Monolithic),
+        other => Err(StoreError::Corrupt(format!("unknown plan tag {other:#x}"))),
+    }
+}
+
+fn put_violations(buf: &mut BytesMut, violations: &ViolationSet) {
+    codec::put_varint(buf, violations.len() as u64);
+    for v in violations.iter() {
+        codec::put_varint(buf, u64::from(v.constraint));
+        let hom: Vec<_> = v.hom.iter().collect();
+        codec::put_varint(buf, hom.len() as u64);
+        for (var, c) in hom {
+            codec::put_name(buf, var.name().as_str());
+            codec::put_constant(buf, c);
+        }
+    }
+}
+
+fn get_violations(buf: &mut Bytes) -> Result<ViolationSet, StoreError> {
+    let count = codec::get_varint(buf)?;
+    let mut set = ViolationSet::empty();
+    for _ in 0..count {
+        let constraint = codec::get_varint(buf)? as u32;
+        let nbind = codec::get_varint(buf)?;
+        let mut pairs = Vec::with_capacity(nbind as usize);
+        for _ in 0..nbind {
+            let var = Var::named(&codec::get_name(buf)?);
+            let c = codec::get_constant(buf)?;
+            pairs.push((var, c));
+        }
+        set.insert(Violation {
+            constraint,
+            hom: Bindings::from_pairs(pairs),
+        });
+    }
+    Ok(set)
+}
+
+/// Appends one [`DbImage`] to `buf` (nested payloads carry their own
+/// lengths, so images embed cleanly inside WAL records).
+pub fn put_image(buf: &mut BytesMut, img: &DbImage) {
+    codec::put_name(buf, &img.name);
+    codec::put_varint(buf, img.version);
+    buf.put_u8(plan_tag(img.plan));
+    codec::put_name(buf, &img.constraints);
+    let db_bytes = codec::encode_database(&img.db);
+    codec::put_varint(buf, db_bytes.len() as u64);
+    buf.put_slice(&db_bytes);
+    put_violations(buf, &img.violations);
+}
+
+/// Reads one [`DbImage`] (inverse of [`put_image`]).
+pub fn get_image(buf: &mut Bytes) -> Result<DbImage, StoreError> {
+    let name = codec::get_name(buf)?;
+    let version = codec::get_varint(buf)?;
+    if !buf.has_remaining() {
+        return Err(StoreError::Codec(codec::CodecError::UnexpectedEof));
+    }
+    let plan = plan_from_tag(buf.get_u8())?;
+    let constraints = codec::get_name(buf)?;
+    let db_len = codec::get_varint(buf)? as usize;
+    if buf.remaining() < db_len {
+        return Err(StoreError::Codec(codec::CodecError::UnexpectedEof));
+    }
+    let db_bytes = buf.copy_to_bytes(db_len);
+    let db = codec::decode_database(&db_bytes)?;
+    let violations = get_violations(buf)?;
+    Ok(DbImage {
+        name,
+        version,
+        plan,
+        constraints,
+        db,
+        violations,
+    })
+}
+
+/// The store's root artifact: what the snapshot directory holds and in
+/// which order prepared queries replay.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Manifest {
+    /// Version-counter floor: at least the highest version the journal
+    /// ever issued, dropped databases included.
+    pub next_version: u64,
+    /// `(database name, snapshot file name)` per live database.
+    pub databases: Vec<(String, String)>,
+    /// Live prepared queries as `(handle id, text)` pairs in registry
+    /// (FIFO) order — ids are not contiguous once the registry has
+    /// evicted, so both halves must persist.
+    pub prepared: Vec<(String, String)>,
+    /// The registry's id counter (highest ordinal ever allocated).
+    pub prepared_next: u64,
+}
+
+const MANIFEST_MAGIC: &[u8; 4] = b"OCQM";
+const SNAPSHOT_MAGIC: &[u8; 4] = b"OCQS";
+const FORMAT_VERSION: u16 = 1;
+
+fn frame(magic: &[u8; 4], payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 10);
+    out.extend_from_slice(magic);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+fn unframe<'a>(magic: &[u8; 4], data: &'a [u8], what: &str) -> Result<&'a [u8], StoreError> {
+    if data.len() < 10 || &data[..4] != magic {
+        return Err(StoreError::Corrupt(format!("{what}: bad magic")));
+    }
+    let version = u16::from_le_bytes([data[4], data[5]]);
+    if version != FORMAT_VERSION {
+        return Err(StoreError::Corrupt(format!(
+            "{what}: unsupported format version {version}"
+        )));
+    }
+    let crc = u32::from_le_bytes([data[6], data[7], data[8], data[9]]);
+    let payload = &data[10..];
+    if crc32(payload) != crc {
+        return Err(StoreError::Corrupt(format!("{what}: checksum mismatch")));
+    }
+    Ok(payload)
+}
+
+/// Serializes a snapshot file: framed, checksummed [`DbImage`].
+pub fn encode_snapshot(img: &DbImage) -> Vec<u8> {
+    let mut buf = BytesMut::new();
+    put_image(&mut buf, img);
+    frame(SNAPSHOT_MAGIC, &buf.freeze())
+}
+
+/// Decodes a snapshot file.
+pub fn decode_snapshot(data: &[u8]) -> Result<DbImage, StoreError> {
+    let payload = unframe(SNAPSHOT_MAGIC, data, "snapshot")?;
+    let mut buf = Bytes::copy_from_slice(payload);
+    let img = get_image(&mut buf)?;
+    if buf.has_remaining() {
+        return Err(StoreError::Corrupt(format!(
+            "snapshot: {} trailing bytes",
+            buf.remaining()
+        )));
+    }
+    Ok(img)
+}
+
+/// Serializes the manifest file.
+pub fn encode_manifest(m: &Manifest) -> Vec<u8> {
+    let mut buf = BytesMut::new();
+    codec::put_varint(&mut buf, m.next_version);
+    codec::put_varint(&mut buf, m.databases.len() as u64);
+    for (name, file) in &m.databases {
+        codec::put_name(&mut buf, name);
+        codec::put_name(&mut buf, file);
+    }
+    codec::put_varint(&mut buf, m.prepared.len() as u64);
+    for (id, text) in &m.prepared {
+        codec::put_name(&mut buf, id);
+        codec::put_name(&mut buf, text);
+    }
+    codec::put_varint(&mut buf, m.prepared_next);
+    frame(MANIFEST_MAGIC, &buf.freeze())
+}
+
+/// Decodes the manifest file.
+pub fn decode_manifest(data: &[u8]) -> Result<Manifest, StoreError> {
+    let payload = unframe(MANIFEST_MAGIC, data, "manifest")?;
+    let mut buf = Bytes::copy_from_slice(payload);
+    let next_version = codec::get_varint(&mut buf)?;
+    let ndb = codec::get_varint(&mut buf)?;
+    let mut databases = Vec::with_capacity(ndb as usize);
+    for _ in 0..ndb {
+        let name = codec::get_name(&mut buf)?;
+        let file = codec::get_name(&mut buf)?;
+        databases.push((name, file));
+    }
+    let nprep = codec::get_varint(&mut buf)?;
+    let mut prepared = Vec::with_capacity(nprep as usize);
+    for _ in 0..nprep {
+        let id = codec::get_name(&mut buf)?;
+        let text = codec::get_name(&mut buf)?;
+        prepared.push((id, text));
+    }
+    let prepared_next = codec::get_varint(&mut buf)?;
+    if buf.has_remaining() {
+        return Err(StoreError::Corrupt(format!(
+            "manifest: {} trailing bytes",
+            buf.remaining()
+        )));
+    }
+    Ok(Manifest {
+        next_version,
+        databases,
+        prepared,
+        prepared_next,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocqa_logic::parser;
+
+    #[test]
+    fn crc32_known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926, "IEEE check value");
+    }
+
+    pub(crate) fn sample_image(name: &str, version: u64) -> DbImage {
+        let constraints = "R(x,y), R(x,z) -> y = z.";
+        let facts = parser::parse_facts("R(1,10). R(1,20). R(2,30).").unwrap();
+        let sigma = parser::parse_constraints(constraints).unwrap();
+        let schema = parser::infer_schema(&facts, &sigma).unwrap();
+        let db = Database::from_facts(schema, facts).unwrap();
+        let violations = ViolationSet::compute(&sigma, &db);
+        DbImage {
+            name: name.into(),
+            version,
+            plan: PlanKind::KeyRepair,
+            constraints: constraints.into(),
+            db,
+            violations,
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_everything() {
+        let img = sample_image("kv", 5);
+        let decoded = decode_snapshot(&encode_snapshot(&img)).unwrap();
+        assert_eq!(decoded.name, "kv");
+        assert_eq!(decoded.version, 5);
+        assert_eq!(decoded.plan, PlanKind::KeyRepair);
+        assert_eq!(decoded.constraints, img.constraints);
+        assert!(decoded.db.same_facts(&img.db));
+        assert_eq!(decoded.violations, img.violations);
+    }
+
+    #[test]
+    fn snapshot_corruption_rejected() {
+        let mut bytes = encode_snapshot(&sample_image("kv", 5));
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        assert!(matches!(
+            decode_snapshot(&bytes),
+            Err(StoreError::Corrupt(_))
+        ));
+        assert!(matches!(
+            decode_snapshot(&bytes[..bytes.len() - 1]),
+            Err(StoreError::Corrupt(_))
+        ));
+        assert!(matches!(
+            decode_snapshot(b"NOPE"),
+            Err(StoreError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn manifest_roundtrip() {
+        let m = Manifest {
+            next_version: 42,
+            databases: vec![
+                ("alpha".into(), "db-7-0.snap".into()),
+                ("beta".into(), "db-9-1.snap".into()),
+            ],
+            prepared: vec![
+                ("q1".into(), "(x) <- R(x,1)".into()),
+                ("q4".into(), "(y) <- R(1,y)".into()),
+            ],
+            prepared_next: 9,
+        };
+        assert_eq!(decode_manifest(&encode_manifest(&m)).unwrap(), m);
+        let empty = Manifest::default();
+        assert_eq!(decode_manifest(&encode_manifest(&empty)).unwrap(), empty);
+    }
+}

@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Crash-recovery smoke test for ocqa-store: start `ocqa serve --data-dir`,
+# install a database and answer a query, `kill -9` the server, restart it
+# over the same directory, and require the restarted server to hold the
+# database and answer the same request bit-identically.
+#
+# Usage: scripts/store_crash_smoke.sh [path-to-ocqa-binary]
+set -euo pipefail
+
+BIN="${1:-target/release/ocqa}"
+if [[ ! -x "$BIN" ]]; then
+    echo "building release binary..." >&2
+    cargo build --release -p ocqa-cli
+fi
+
+WORK="$(mktemp -d)"
+DATA="$WORK/data"
+trap 'rm -rf "$WORK"; kill -9 "${SERVE_PID:-0}" 2>/dev/null || true' EXIT
+
+CREATE='{"op":"create_db","name":"kv","facts":"R(1,10). R(1,20). R(2,30). R(2,40). R(3,50).","constraints":"R(x,y), R(x,z) -> y = z."}'
+ANSWER='{"op":"answer","db":"kv","query":"(x) <- exists y: R(x,y)","eps":0.1,"delta":0.1,"seed":7}'
+
+# --- Session 1: keep stdin open through a FIFO so we can SIGKILL mid-session.
+mkfifo "$WORK/in"
+"$BIN" serve --workers 2 --data-dir "$DATA" < "$WORK/in" > "$WORK/out1" 2>/dev/null &
+SERVE_PID=$!
+exec 3> "$WORK/in"
+printf '%s\n' "$CREATE" >&3
+printf '%s\n' "$ANSWER" >&3
+
+for _ in $(seq 1 100); do
+    [[ "$(wc -l < "$WORK/out1")" -ge 2 ]] && break
+    sleep 0.1
+done
+[[ "$(wc -l < "$WORK/out1")" -ge 2 ]] || { echo "FAIL: server produced no answer"; exit 1; }
+
+kill -9 "$SERVE_PID"
+wait "$SERVE_PID" 2>/dev/null || true
+exec 3>&-
+
+FIRST_ANSWER="$(sed -n '2p' "$WORK/out1")"
+grep -q '"plan":"key-repair"' <<< "$FIRST_ANSWER" || { echo "FAIL: unexpected first answer: $FIRST_ANSWER"; exit 1; }
+
+# --- Session 2: restart over the same data dir; answer must be identical.
+printf '%s\n' "$ANSWER" | "$BIN" serve --workers 2 --data-dir "$DATA" > "$WORK/out2" 2>/dev/null
+SECOND_ANSWER="$(sed -n '1p' "$WORK/out2")"
+
+if [[ "$FIRST_ANSWER" != "$SECOND_ANSWER" ]]; then
+    echo "FAIL: restored answer differs"
+    echo "  before kill: $FIRST_ANSWER"
+    echo "  after kill:  $SECOND_ANSWER"
+    exit 1
+fi
+
+# --- Offline compaction, then one more restart to read pure snapshots.
+"$BIN" snapshot --data-dir "$DATA" --db kv > /dev/null
+printf '%s\n' "$ANSWER" | "$BIN" serve --workers 2 --data-dir "$DATA" > "$WORK/out3" 2>/dev/null
+THIRD_ANSWER="$(sed -n '1p' "$WORK/out3")"
+if [[ "$FIRST_ANSWER" != "$THIRD_ANSWER" ]]; then
+    echo "FAIL: post-compaction answer differs"
+    echo "  before kill:  $FIRST_ANSWER"
+    echo "  post compact: $THIRD_ANSWER"
+    exit 1
+fi
+
+echo "OK: kill -9 recovery and compaction both serve bit-identical answers"

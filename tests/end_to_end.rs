@@ -40,7 +40,7 @@ fn trust_integration_pipeline() {
         &w.db,
         &KeyConfig {
             relation: Symbol::intern("R"),
-            key_len: 1,
+            key_cols: vec![0],
         },
     );
     for group in &groups {
@@ -117,7 +117,7 @@ fn key_sampler_trust_policy_matches_generator() {
         &db,
         &KeyConfig {
             relation: Symbol::intern("R"),
-            key_len: 1,
+            key_cols: vec![0],
         },
         &GroupPolicy::Trust {
             trust: trust.clone(),

@@ -136,7 +136,7 @@ fn key_sampler_matches_exact_product_distribution() {
     let ctx = conflict_ctx();
     let cfg = KeyConfig {
         relation: Symbol::intern("R"),
-        key_len: 1,
+        key_cols: vec![0],
     };
     let sampler = KeyRepairSampler::new(ctx.d0(), &cfg, &GroupPolicy::KeepOneUniform).unwrap();
     let exact = sampler.exact_distribution();
