@@ -187,7 +187,7 @@ impl Engine {
                 let prepared = self
                     .prepared
                     .write()
-                    .prepare_with(&query, |text| self.backend.journal_prepare(text))?;
+                    .prepare_with(&query, |text, ord| self.backend.journal_prepare(text, ord))?;
                 Ok(EngineResponse::Prepared {
                     id: prepared.id.clone(),
                 })
@@ -270,7 +270,7 @@ impl Engine {
                     None => self
                         .prepared
                         .write()
-                        .prepare_with(text, |t| self.backend.journal_prepare(t))?,
+                        .prepare_with(text, |t, ord| self.backend.journal_prepare(t, ord))?,
                 }
             }
             QueryRef::Prepared(id) => self.prepared.read().get(id)?,
@@ -754,7 +754,7 @@ mod tests {
             fn journal_drop(&self, _: &str, _: u64) -> Result<(), EngineError> {
                 Err(EngineError::Storage("no".into()))
             }
-            fn journal_prepare(&self, _: &str) -> Result<(), EngineError> {
+            fn journal_prepare(&self, _: &str, _: u64) -> Result<(), EngineError> {
                 Err(EngineError::Storage("no".into()))
             }
         }
@@ -825,7 +825,7 @@ mod tests {
             fn journal_drop(&self, _: &str, _: u64) -> Result<(), EngineError> {
                 Ok(())
             }
-            fn journal_prepare(&self, _: &str) -> Result<(), EngineError> {
+            fn journal_prepare(&self, _: &str, _: u64) -> Result<(), EngineError> {
                 Ok(())
             }
         }

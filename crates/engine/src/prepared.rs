@@ -44,27 +44,28 @@ impl PreparedRegistry {
     /// Parses and registers `text`, returning the handle (existing one if
     /// the same text was prepared before).
     pub fn prepare(&mut self, text: &str) -> Result<Arc<PreparedQuery>, EngineError> {
-        self.prepare_with(text, |_| Ok(()))
+        self.prepare_with(text, |_, _| Ok(()))
     }
 
     /// [`prepare`](Self::prepare) with a journaling hook: `journal` runs
     /// only when `text` is new (an existing handle is returned without
     /// journaling — re-preparing is not a mutation), after the parse
     /// validated the text but **before** the handle is allocated, so a
-    /// failing journal leaves the registry untouched. Journaling every
-    /// new text — including texts prepared implicitly by inline `answer`
-    /// requests — is what lets recovery replay the texts in order and
-    /// reproduce the exact ordinal handles (`"q1"`, `"q2"`, …).
+    /// failing journal leaves the registry untouched. It receives the
+    /// ordinal the allocation will mint (`"q<ordinal>"`). Journaling
+    /// every new text — including texts prepared implicitly by inline
+    /// `answer` requests — is what lets recovery replay the allocations
+    /// and reproduce the exact ordinal handles (`"q1"`, `"q2"`, …).
     pub fn prepare_with(
         &mut self,
         text: &str,
-        journal: impl FnOnce(&str) -> Result<(), EngineError>,
+        journal: impl FnOnce(&str, u64) -> Result<(), EngineError>,
     ) -> Result<Arc<PreparedQuery>, EngineError> {
         if let Some(id) = self.by_text.get(text) {
             return Ok(self.by_id[id].clone());
         }
         let query = parser::parse_query(text).map_err(|e| EngineError::Parse(e.to_string()))?;
-        journal(text)?;
+        journal(text, self.next + 1)?;
         while self.by_id.len() >= MAX_PREPARED {
             if let Some(old_id) = self.order.pop_front() {
                 if let Some(old) = self.by_id.remove(&old_id) {

@@ -131,8 +131,11 @@ pub trait StorageBackend: Send + Sync {
 
     /// Journals a newly prepared query text (called only for texts that
     /// allocate a new handle — re-preparing an existing text is not a
-    /// mutation).
-    fn journal_prepare(&self, text: &str) -> Result<(), EngineError>;
+    /// mutation). `ordinal` is the handle number the allocation will
+    /// mint (`"q<ordinal>"`); journaling it makes replay idempotent — a
+    /// record at or below the recovered counter is a refolded duplicate
+    /// and is skipped, mirroring the version guards on catalog records.
+    fn journal_prepare(&self, text: &str, ordinal: u64) -> Result<(), EngineError>;
 }
 
 /// The no-op backend: nothing persists, recovery is empty. Exactly the
@@ -161,7 +164,7 @@ impl StorageBackend for MemoryBackend {
         Ok(())
     }
 
-    fn journal_prepare(&self, _text: &str) -> Result<(), EngineError> {
+    fn journal_prepare(&self, _text: &str, _ordinal: u64) -> Result<(), EngineError> {
         Ok(())
     }
 }

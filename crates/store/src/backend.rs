@@ -38,6 +38,19 @@ impl DiskBackend {
             .name("ocqa-store-compactor".into())
             .spawn(move || {
                 while rx.recv().is_ok() {
+                    // Signals are level-triggered (one per append at or
+                    // above the threshold), so coalesce the backlog and
+                    // re-check the live log size: a burst of appends is
+                    // one compaction, and a signal that arrives after an
+                    // explicit `compact()` already truncated the log is
+                    // a no-op instead of a spurious rewrite. A failed
+                    // compaction needs no retry loop here — the log is
+                    // still above the threshold, so the next append
+                    // re-raises the signal.
+                    while rx.try_recv().is_ok() {}
+                    if worker_store.wal_bytes() < worker_store.options().compact_wal_bytes {
+                        continue;
+                    }
                     if let Err(e) = worker_store.compact() {
                         eprintln!("ocqa-store: background compaction failed: {e}");
                     }
@@ -131,9 +144,10 @@ impl StorageBackend for DiskBackend {
         })
     }
 
-    fn journal_prepare(&self, text: &str) -> Result<(), EngineError> {
+    fn journal_prepare(&self, text: &str, ordinal: u64) -> Result<(), EngineError> {
         self.journal(&WalRecord::Prepare {
             text: text.to_string(),
+            ordinal,
         })
     }
 }

@@ -21,6 +21,10 @@ pub enum StoreError {
     Recovery(String),
     /// Another process holds the data directory's lock.
     Locked(String),
+    /// A WAL record's payload exceeds the framing's `u32` length field
+    /// (see `wal::MAX_RECORD_PAYLOAD`); the mutation is vetoed rather
+    /// than corrupting the log.
+    TooLarge(u64),
 }
 
 impl fmt::Display for StoreError {
@@ -34,6 +38,10 @@ impl fmt::Display for StoreError {
                 f,
                 "data directory {dir} is locked by another process \
                  (a live `ocqa serve --data-dir` or `ocqa snapshot`?)"
+            ),
+            StoreError::TooLarge(bytes) => write!(
+                f,
+                "WAL record payload of {bytes} bytes exceeds the 4 GiB framing limit"
             ),
         }
     }

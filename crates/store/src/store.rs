@@ -42,9 +42,11 @@ use std::path::{Path, PathBuf};
 /// Store tunables.
 #[derive(Debug, Clone, Copy)]
 pub struct StoreOptions {
-    /// Active-log size that triggers a compaction. Journaling reports the
-    /// crossing to the caller ([`Store::append`] returns `true`); the
-    /// `DiskBackend` forwards it to its background compactor thread.
+    /// Active-log size that triggers a compaction. Journaling reports it
+    /// to the caller ([`Store::append`] returns `true` whenever the log
+    /// is at or above the threshold — level-triggered, so a failed
+    /// compaction is retried on the next append); the `DiskBackend`
+    /// forwards the signal to its background compactor thread.
     pub compact_wal_bytes: u64,
 }
 
@@ -154,19 +156,26 @@ impl Store {
         self.dir.join("snapshots")
     }
 
-    /// Appends one record durably. Returns `true` when this append pushed
-    /// the active log across the compaction threshold (edge-triggered:
-    /// one signal per crossing).
+    /// Appends one record durably. Returns `true` whenever the active
+    /// log is at or above the compaction threshold after the append.
+    /// Level-triggered on purpose: if a compaction fails (transient IO
+    /// error), the very next append re-raises the signal, so the log can
+    /// never grow unboundedly behind a single missed edge. The compactor
+    /// coalesces the resulting burst of signals.
     pub fn append(&self, record: &WalRecord) -> Result<bool, StoreError> {
         let mut wal = self.wal.lock();
-        let before = wal.bytes();
         wal.append(record)?;
-        Ok(before < self.opts.compact_wal_bytes && wal.bytes() >= self.opts.compact_wal_bytes)
+        Ok(wal.bytes() >= self.opts.compact_wal_bytes)
     }
 
     /// Bytes currently in the active log.
     pub fn wal_bytes(&self) -> u64 {
         self.wal.lock().bytes()
+    }
+
+    /// The options the store was opened with.
+    pub fn options(&self) -> StoreOptions {
+        self.opts
     }
 
     /// Reads the manifest, tolerating absence (a store before its first
@@ -395,23 +404,23 @@ impl Replay {
                 }
                 Ok(())
             }
-            WalRecord::Prepare { text } => {
-                // Mirror `PreparedRegistry` exactly: the engine journals a
-                // prepare only when the text allocates a new handle, so a
-                // record for a *live* text is a refolded duplicate (crash
-                // between manifest commit and wal.old deletion) — a
-                // no-op. A record for an absent text re-enacts the
+            WalRecord::Prepare { text, ordinal } => {
+                // Idempotent by ordinal, mirroring the version guards on
+                // the database records: a record at or below the counter
+                // was already folded into the manifest (a crash between
+                // the manifest commit and wal.old deletion re-folds the
+                // rotated log) — a no-op even if capacity eviction has
+                // since removed the text. A higher ordinal re-enacts the
                 // original allocation, FIFO eviction included; ids stay
                 // non-contiguous exactly as the clients saw them.
-                if self.prepared.iter().any(|(_, t)| t == &text) {
+                if ordinal <= self.prepared_next {
                     return Ok(());
                 }
                 while self.prepared.len() >= ocqa_engine::prepared::MAX_PREPARED {
                     self.prepared.remove(0);
                 }
-                self.prepared_next += 1;
-                self.prepared
-                    .push((format!("q{}", self.prepared_next), text));
+                self.prepared_next = ordinal;
+                self.prepared.push((format!("q{ordinal}"), text));
                 Ok(())
             }
         }

@@ -48,12 +48,22 @@ pub enum WalRecord {
         /// Dropped version.
         version: u64,
     },
-    /// A newly prepared query text.
+    /// A newly prepared query text and the handle ordinal it allocated
+    /// (`"q<ordinal>"`). The ordinal makes replay idempotent across a
+    /// compaction re-fold, exactly like the version on catalog records.
     Prepare {
         /// Query source text.
         text: String,
+        /// The minted handle number.
+        ordinal: u64,
     },
 }
+
+/// Hard cap on one record's payload: the frame header stores the length
+/// as a `u32`, so anything larger would silently wrap and corrupt the
+/// log. [`WalWriter::append`] rejects oversized records up front — the
+/// journal call fails and vetoes the mutation instead.
+pub const MAX_RECORD_PAYLOAD: u64 = u32::MAX as u64;
 
 const TAG_INSTALL: u8 = 1;
 const TAG_UPDATE: u8 = 2;
@@ -87,9 +97,10 @@ impl WalRecord {
                 codec::put_name(&mut buf, db);
                 codec::put_varint(&mut buf, *version);
             }
-            WalRecord::Prepare { text } => {
+            WalRecord::Prepare { text, ordinal } => {
                 buf.put_u8(TAG_PREPARE);
                 codec::put_name(&mut buf, text);
+                codec::put_varint(&mut buf, *ordinal);
             }
         }
         buf.freeze()
@@ -125,6 +136,7 @@ impl WalRecord {
             },
             TAG_PREPARE => WalRecord::Prepare {
                 text: codec::get_name(&mut buf)?,
+                ordinal: codec::get_varint(&mut buf)?,
             },
             tag => return Err(StoreError::Corrupt(format!("unknown WAL tag {tag:#x}"))),
         };
@@ -226,9 +238,16 @@ impl WalWriter {
         Ok(())
     }
 
-    /// Appends one record durably (write + flush + `fsync`).
+    /// Appends one record durably (write + flush + `fsync`). A payload
+    /// above [`MAX_RECORD_PAYLOAD`] is rejected before any byte is
+    /// written — the `u32` length field would wrap and corrupt the log,
+    /// losing every acknowledged record behind the bad frame on the next
+    /// recovery.
     pub fn append(&mut self, record: &WalRecord) -> Result<(), StoreError> {
         let payload = record.encode();
+        if payload.len() as u64 > MAX_RECORD_PAYLOAD {
+            return Err(StoreError::TooLarge(payload.len() as u64));
+        }
         let mut framed = Vec::with_capacity(payload.len() + 8);
         framed.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         framed.extend_from_slice(&wire::crc32(&payload).to_le_bytes());

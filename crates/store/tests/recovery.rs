@@ -226,11 +226,13 @@ fn corrupt_record_checksum_discards_from_there() {
 #[test]
 fn compaction_folds_wal_into_snapshots() {
     let dir = temp_dir("compact");
-    // Tiny threshold: the install alone crosses it, so the background
-    // compactor gets signalled; drive more updates, then compact
-    // explicitly for determinism and verify invariants.
+    // Background compactor disabled (threshold never reached): the
+    // explicit compact() below is the only one that runs, so the
+    // wal.old / wal_bytes assertions cannot race a queued background
+    // compaction. `background_compactor_eventually_compacts` covers the
+    // signalled path.
     let opts = StoreOptions {
-        compact_wal_bytes: 256,
+        compact_wal_bytes: u64::MAX,
     };
     {
         let backend = Arc::new(DiskBackend::with_options(&dir, opts).unwrap());
@@ -270,6 +272,59 @@ fn compaction_folds_wal_into_snapshots() {
     let list = e.handle_line(r#"{"op":"list"}"#).to_string();
     assert!(
         list.contains("\"facts\":26") && list.contains("\"version\":22"),
+        "{list}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn background_compactor_eventually_compacts() {
+    let dir = temp_dir("bgcompact");
+    // Tiny threshold: the install alone crosses it and every further
+    // append re-raises the level-triggered signal, so the background
+    // compactor must eventually fold the log without any explicit
+    // compact() call. Assertions poll with a deadline — the compactor
+    // runs on its own thread — and only on the stable end state (the
+    // transient wal.old is allowed to come and go).
+    let opts = StoreOptions {
+        compact_wal_bytes: 256,
+    };
+    {
+        let backend = Arc::new(DiskBackend::with_options(&dir, opts).unwrap());
+        let e = Engine::with_backend(
+            EngineConfig {
+                workers: 1,
+                cache_capacity: 16,
+                ..EngineConfig::default()
+            },
+            backend.clone(),
+        )
+        .unwrap();
+        assert!(e.handle_line(CREATE).to_string().contains("\"ok\":true"));
+        for i in 0..20 {
+            e.handle_line(&format!(
+                r#"{{"op":"insert","db":"kv","facts":"R(100,{i})."}}"#
+            ));
+        }
+        // Rotation zeroes wal_bytes before the fold commits, so wait for
+        // the committed MANIFEST as well, not just the truncated log.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        while backend.store().wal_bytes() >= opts.compact_wal_bytes
+            || !dir.join("MANIFEST").exists()
+        {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "background compactor never folded the log ({} bytes)",
+                backend.store().wal_bytes()
+            );
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+    }
+    // Everything folded + any post-compaction log replays identically.
+    let e = engine_at(&dir, opts);
+    let list = e.handle_line(r#"{"op":"list"}"#).to_string();
+    assert!(
+        list.contains("\"facts\":25") && list.contains("\"version\":21"),
         "{list}"
     );
     let _ = std::fs::remove_dir_all(&dir);
@@ -369,6 +424,59 @@ fn prepared_handles_survive_eviction_and_restart() {
 }
 
 #[test]
+fn refolded_prepare_records_replay_idempotently() {
+    // The crash window between a compaction's MANIFEST commit and its
+    // wal.old deletion re-folds the rotated log on the next open. For
+    // catalog records the version guards make that a no-op; Prepare
+    // records must be guarded by their journaled ordinal — dedup by live
+    // text is not enough once capacity eviction has removed some of the
+    // folded texts, because re-enacting them would inflate the counter
+    // and evict handles that should stay live.
+    use ocqa_engine::prepared::MAX_PREPARED;
+    let dir = temp_dir("refold");
+    std::fs::create_dir_all(&dir).unwrap();
+    let total = MAX_PREPARED as u64 + 2; // q1 and q2 get evicted
+    let mut log = Vec::new();
+    for i in 1..=total {
+        let payload = WalRecord::Prepare {
+            text: format!("(x) <- R(x, {i})"),
+            ordinal: i,
+        }
+        .encode();
+        log.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        log.extend_from_slice(&ocqa_store::crc32(&payload).to_le_bytes());
+        log.extend_from_slice(&payload);
+    }
+    std::fs::write(dir.join("wal.log"), &log).unwrap();
+
+    let opts = StoreOptions {
+        compact_wal_bytes: u64::MAX,
+    };
+    {
+        let store = ocqa_store::Store::open(&dir, opts).unwrap();
+        store.compact().unwrap();
+        let state = store.read_state().unwrap();
+        assert_eq!(state.prepared_next, total);
+        assert_eq!(state.prepared.len(), MAX_PREPARED);
+        assert_eq!(state.prepared.first().unwrap().0, "q3", "q1/q2 evicted");
+    }
+    // Crash simulation: the fold committed but wal.old survived.
+    std::fs::write(dir.join("wal.old"), &log).unwrap();
+
+    let store = ocqa_store::Store::open(&dir, opts).unwrap();
+    let state = store.read_state().unwrap();
+    assert_eq!(state.prepared_next, total, "re-fold must not inflate");
+    assert_eq!(state.prepared.len(), MAX_PREPARED);
+    assert_eq!(
+        state.prepared.first().unwrap().0,
+        "q3",
+        "no spurious evictions"
+    );
+    assert_eq!(state.prepared.last().unwrap().0, format!("q{total}"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn direct_wal_scan_reports_valid_prefix() {
     // Unit-ish drill on the framing itself, without an engine.
     let dir = temp_dir("walscan");
@@ -379,6 +487,7 @@ fn direct_wal_scan_reports_valid_prefix() {
         for i in 0..3 {
             w.append(&WalRecord::Prepare {
                 text: format!("(x) <- R(x, {i})"),
+                ordinal: i + 1,
             })
             .unwrap();
         }
@@ -395,10 +504,11 @@ fn direct_wal_scan_reports_valid_prefix() {
         assert!(scan.valid_len <= cut as u64);
         assert!(scan.records.len() <= 3);
         for (i, rec) in scan.records.iter().enumerate() {
-            let WalRecord::Prepare { text } = rec else {
+            let WalRecord::Prepare { text, ordinal } = rec else {
                 panic!("wrong record")
             };
             assert_eq!(text, &format!("(x) <- R(x, {i})"));
+            assert_eq!(*ordinal, i as u64 + 1);
         }
     }
     let _ = std::fs::remove_dir_all(&dir);
