@@ -67,6 +67,7 @@ fn bench_prepared_cached(c: &mut Criterion) {
     for groups in [4usize, 16] {
         let engine = engine_with_workload(groups);
         let EngineResponse::Prepared { id } = engine.handle(EngineRequest::Prepare {
+            generator: None,
             query: QUERY.into(),
         }) else {
             panic!("prepare failed");

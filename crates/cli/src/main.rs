@@ -8,20 +8,25 @@
 //!                 [--generator NAME] [--exact | --eps E --delta D] [--seed N]
 //!   ocqa trace    --facts FILE --constraints FILE [--generator NAME] [--seed N]
 //!   ocqa serve    [--listen ADDR] [--workers N] [--cache N] [--planner on|off]
+//!                 [--shards N] [--ttl-ms MS] [--max-inflight N]
 //!                 [--data-dir PATH]
 //!   ocqa snapshot --data-dir PATH [--db NAME]
 //!
 //! GENERATORS: uniform (default) | uniform-deletions | preference
+//!             | trust | trust:N/D
 //! ```
 //!
 //! `serve` speaks newline-delimited JSON on stdin/stdout, or on a TCP
 //! listener with `--listen HOST:PORT` (see the `ocqa-engine` crate docs
-//! for the protocol). With `--data-dir` the catalog is durable: every
-//! mutation is journaled to a write-ahead log before it is acknowledged,
-//! and a restarted server recovers databases, prepared queries and
-//! serving plans exactly — answering bit-identically to the killed
-//! process. `snapshot` compacts such a directory offline (folds the WAL
-//! into fresh per-database snapshot files and truncates it).
+//! for the protocol). With `--shards N` the catalog is partitioned by
+//! database name over N shard engines behind a rendezvous-hashing
+//! router; responses report the serving `shard`. With `--data-dir` the
+//! catalog is durable: every mutation is journaled to a write-ahead log
+//! before it is acknowledged — one `shard-<k>/` store (LOCK, WAL,
+//! snapshots) per shard — and a restarted server recovers every shard
+//! exactly, answering bit-identically to the killed process. `snapshot`
+//! compacts such a directory offline (folds each shard's WAL into fresh
+//! per-database snapshot files and truncates it).
 
 use ocqa_core::{answer, explain, explore, sample, ChainGenerator, RepairContext, RepairState};
 use ocqa_data::Database;
@@ -89,7 +94,16 @@ const COMMANDS: &[CommandSpec] = &[
     },
     CommandSpec {
         name: "serve",
-        options: &["listen", "workers", "cache", "planner", "data-dir"],
+        options: &[
+            "listen",
+            "workers",
+            "cache",
+            "planner",
+            "data-dir",
+            "shards",
+            "ttl-ms",
+            "max-inflight",
+        ],
         flags: &["help"],
     },
     CommandSpec {
@@ -156,7 +170,8 @@ fn usage() -> String {
      [--query TEXT] [--generator uniform|uniform-deletions|preference] \
      [--exact | --eps E --delta D] [--seed N] [--max-states N]\n  \
      serve: [--listen HOST:PORT] [--workers N] [--cache ENTRIES] \
-     [--planner on|off] [--data-dir PATH]\n  \
+     [--planner on|off] [--shards N] [--ttl-ms MS] [--max-inflight N] \
+     [--data-dir PATH]\n  \
      snapshot: --data-dir PATH [--db NAME]"
         .to_string()
 }
@@ -183,6 +198,55 @@ fn run() -> Result<(), String> {
     }
 }
 
+/// Whether `dir` holds a pre-sharding, root-level store (PR 3 layout:
+/// WAL and manifest directly in the data dir rather than `shard-0/`).
+fn legacy_store_layout(dir: &std::path::Path) -> bool {
+    dir.join("wal.log").exists() || dir.join("MANIFEST").exists()
+}
+
+/// The per-shard store directories under a serve data dir. A legacy
+/// root-level store keeps working single-sharded; sharding it requires
+/// an explicit migration (moving it into `shard-0/`). Serving with
+/// *fewer* shards than the directory holds is refused: silently opening
+/// only `shard-0..N-1` would drop the extra shards' databases with no
+/// error, and invite conflicting re-creates on the surviving shards.
+fn shard_dirs(dir: &std::path::Path, shards: usize) -> Result<Vec<std::path::PathBuf>, String> {
+    if legacy_store_layout(dir) {
+        if shards > 1 {
+            return Err(format!(
+                "{}: holds a single-shard store at its root; serve it with \
+                 --shards 1, or move its contents into {}/shard-0 to shard it",
+                dir.display(),
+                dir.display()
+            ));
+        }
+        return Ok(vec![dir.to_path_buf()]);
+    }
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            if let Some(k) = name
+                .to_string_lossy()
+                .strip_prefix("shard-")
+                .and_then(|s| s.parse::<usize>().ok())
+            {
+                if k >= shards {
+                    return Err(format!(
+                        "{}: holds {} but --shards {shards} would not open it; \
+                         serve with --shards {} or rebalance the directory first",
+                        dir.display(),
+                        name.to_string_lossy(),
+                        k + 1
+                    ));
+                }
+            }
+        }
+    }
+    Ok((0..shards)
+        .map(|k| dir.join(format!("shard-{k}")))
+        .collect())
+}
+
 /// Boots the serving engine on stdio or a TCP listener.
 fn serve_cmd(args: &Args) -> Result<(), String> {
     let mut config = ocqa_engine::EngineConfig::default();
@@ -207,16 +271,41 @@ fn serve_cmd(args: &Args) -> Result<(), String> {
             _ => return Err("--planner expects on or off".into()),
         };
     }
+    if let Some(n) = args.options.get("shards") {
+        config.shards = n
+            .parse::<usize>()
+            .ok()
+            .filter(|n| *n > 0)
+            .ok_or("--shards expects a positive number")?;
+    }
+    if let Some(n) = args.options.get("ttl-ms") {
+        // 0 is meaningful: it disables time-based expiry explicitly.
+        config.ttl_ms = n.parse::<u64>().map_err(|_| "--ttl-ms expects a number")?;
+    }
+    if let Some(n) = args.options.get("max-inflight") {
+        config.max_inflight = n
+            .parse::<usize>()
+            .ok()
+            .filter(|n| *n > 0)
+            .ok_or("--max-inflight expects a positive number")?;
+    }
     let engine = match args.options.get("data-dir") {
         Some(dir) => {
-            let backend = ocqa_store::DiskBackend::open(std::path::Path::new(dir))
-                .map_err(|e| format!("{dir}: {e}"))?;
-            let engine = ocqa_engine::Engine::with_backend(config, std::sync::Arc::new(backend))
+            let mut backends: Vec<std::sync::Arc<dyn ocqa_engine::StorageBackend>> = Vec::new();
+            for shard_dir in shard_dirs(std::path::Path::new(dir), config.shards)? {
+                let backend = ocqa_store::DiskBackend::open(&shard_dir)
+                    .map_err(|e| format!("{}: {e}", shard_dir.display()))?;
+                backends.push(std::sync::Arc::new(backend));
+            }
+            let engine = ocqa_engine::Engine::with_backends(config, backends)
                 .map_err(|e| format!("{dir}: recovery failed: {e}"))?;
             let line = engine.handle_line(r#"{"op":"list"}"#).to_string();
             // Rough restored-database count for the startup banner.
             let restored = line.matches("\"name\":").count();
-            eprintln!("ocqa serve: data dir {dir} ({restored} databases restored)");
+            eprintln!(
+                "ocqa serve: data dir {dir} ({} shards, {restored} databases restored)",
+                engine.shards()
+            );
             engine
         }
         None => ocqa_engine::Engine::new(config),
@@ -242,38 +331,83 @@ fn serve_cmd(args: &Args) -> Result<(), String> {
     }
 }
 
-/// Offline compaction of a serve data directory: folds the write-ahead
-/// log into fresh per-database snapshot files, commits the manifest and
-/// truncates the log — what the serving engine's background compactor
-/// does, runnable while the server is down (cold-start restores then read
-/// one snapshot per database and replay nothing).
+/// Offline compaction of a serve data directory: folds each shard's
+/// write-ahead log into fresh per-database snapshot files, commits the
+/// manifests and truncates the logs — what the serving engine's
+/// background compactors do, runnable while the server is down
+/// (cold-start restores then read one snapshot per database and replay
+/// nothing). Iterates every `shard-<k>/` store under the directory (or
+/// the directory itself for a pre-sharding layout).
 fn snapshot_cmd(args: &Args) -> Result<(), String> {
     let dir = args
         .options
         .get("data-dir")
         .ok_or("--data-dir PATH is required")?;
-    let store = ocqa_store::Store::open(
-        std::path::Path::new(dir),
-        ocqa_store::StoreOptions::default(),
-    )
-    .map_err(|e| format!("{dir}: {e}"))?;
-    // Validate --db *before* compacting: a typo must not leave the
-    // directory rewritten behind a failing exit code.
+    let root = std::path::Path::new(dir);
+    // Enumerate the stores: a legacy root-level store, or every
+    // `shard-<k>/` subdirectory (sorted by shard index). A directory
+    // with neither is treated as a fresh single store, matching `serve
+    // --shards 1` on a fresh directory... except a fresh dir has no
+    // shard subdirs yet, so compacting the root is the only sane read.
+    let mut stores: Vec<std::path::PathBuf> = Vec::new();
+    if legacy_store_layout(root) {
+        stores.push(root.to_path_buf());
+    } else {
+        let mut indexed: Vec<(u64, std::path::PathBuf)> = Vec::new();
+        if let Ok(entries) = std::fs::read_dir(root) {
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                if let Some(idx) = name
+                    .to_string_lossy()
+                    .strip_prefix("shard-")
+                    .and_then(|s| s.parse::<u64>().ok())
+                {
+                    indexed.push((idx, entry.path()));
+                }
+            }
+        }
+        indexed.sort();
+        if indexed.is_empty() {
+            stores.push(root.to_path_buf());
+        } else {
+            stores.extend(indexed.into_iter().map(|(_, p)| p));
+        }
+    }
+    // Open every store (taking its exclusive lock) and validate --db
+    // across all of them *before* compacting any: a typo must not leave
+    // some shards rewritten behind a failing exit code.
+    let mut opened = Vec::new();
+    for path in &stores {
+        let store = ocqa_store::Store::open(path, ocqa_store::StoreOptions::default())
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        opened.push((path, store));
+    }
     if let Some(db) = args.options.get("db") {
-        let state = store.read_state().map_err(|e| format!("{dir}: {e}"))?;
-        if !state.databases.iter().any(|img| &img.name == db) {
+        let mut found = false;
+        for (path, store) in &opened {
+            let state = store
+                .read_state()
+                .map_err(|e| format!("{}: {e}", path.display()))?;
+            found |= state.databases.iter().any(|img| &img.name == db);
+        }
+        if !found {
             return Err(format!("database {db:?} not present in {dir}"));
         }
     }
-    let summary = store.compact().map_err(|e| format!("{dir}: {e}"))?;
-    println!(
-        "compacted {dir}: {} databases, {} prepared queries, {} WAL bytes folded",
-        summary.databases.len(),
-        summary.prepared,
-        summary.folded_wal_bytes
-    );
-    for (name, version, facts) in &summary.databases {
-        println!("  {name}: version {version}, {facts} facts");
+    for (path, store) in &opened {
+        let summary = store
+            .compact()
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        println!(
+            "compacted {}: {} databases, {} prepared queries, {} WAL bytes folded",
+            path.display(),
+            summary.databases.len(),
+            summary.prepared,
+            summary.folded_wal_bytes
+        );
+        for (name, version, facts) in &summary.databases {
+            println!("  {name}: version {version}, {facts} facts");
+        }
     }
     Ok(())
 }

@@ -347,3 +347,164 @@ fn serve_data_dir_survives_sigkill() {
     let _ = child.wait();
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// The sharded durability acceptance test: `serve --shards 4 --data-dir`
+/// spreads databases over four per-shard stores (`shard-<k>/`, each with
+/// its own LOCK and WAL); after SIGKILL a restarted server recovers
+/// **every** shard and answers each database bit-identically — and the
+/// answers equal a single-shard server's for the same requests (modulo
+/// the reported `shard`), because sampling is a pure function of the
+/// database, seed and plan, not of placement.
+#[test]
+fn serve_sharded_data_dir_survives_sigkill() {
+    use std::io::{BufRead, BufReader};
+    use std::process::Stdio;
+
+    let base = std::env::temp_dir().join(format!("ocqa-cli-sharded-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let dir4 = base.join("four");
+    let dir1 = base.join("one");
+
+    let names = ["orders", "users", "events", "billing", "audit"];
+    let create = |name: &str| {
+        format!(
+            r#"{{"op":"create_db","name":"{name}","facts":"R(1,10). R(1,20). R(2,30).","constraints":"R(x,y), R(x,z) -> y = z."}}"#
+        )
+    };
+    let answer = |name: &str| {
+        format!(
+            r#"{{"op":"answer","db":"{name}","query":"(x) <- exists y: R(x,y)","eps":0.1,"delta":0.1,"seed":7}}"#
+        )
+    };
+
+    let spawn = |dir: &std::path::Path, shards: &str| {
+        Command::new(env!("CARGO_BIN_EXE_ocqa"))
+            .args([
+                "serve",
+                "--workers",
+                "2",
+                "--shards",
+                shards,
+                "--data-dir",
+                dir.to_str().unwrap(),
+            ])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn ocqa serve --shards")
+    };
+    let roundtrip = |stdin: &mut std::process::ChildStdin,
+                     reader: &mut BufReader<std::process::ChildStdout>,
+                     req: &str| {
+        writeln!(stdin, "{req}").unwrap();
+        stdin.flush().unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        line
+    };
+    // Placement-dependent metadata (the shard tag, shard-local version
+    // counters, per-shard cache counters) legitimately differs between
+    // deployments; the *sampled estimates* may not. Compare those.
+    let sampled = |line: &str| {
+        let v = ocqa_engine::json::parse(line.trim()).unwrap();
+        (
+            v.get("answers").unwrap().to_string(),
+            v.get("walks").unwrap().to_string(),
+            v.get("failed_walks").unwrap().to_string(),
+            v.get("plan").unwrap().to_string(),
+        )
+    };
+
+    // Session 1 (4 shards): create and answer everything, then SIGKILL.
+    let mut child = spawn(&dir4, "4");
+    let mut stdin = child.stdin.take().unwrap();
+    let mut reader = BufReader::new(child.stdout.take().unwrap());
+    for name in names {
+        assert!(roundtrip(&mut stdin, &mut reader, &create(name)).contains("\"ok\":true"));
+    }
+    let first_answers: Vec<String> = names
+        .iter()
+        .map(|n| roundtrip(&mut stdin, &mut reader, &answer(n)))
+        .collect();
+    let first_list = roundtrip(&mut stdin, &mut reader, r#"{"op":"list"}"#);
+    child.kill().expect("SIGKILL");
+    let _ = child.wait();
+
+    // Every shard got its own store directory with a WAL.
+    for k in 0..4 {
+        let shard_dir = dir4.join(format!("shard-{k}"));
+        assert!(shard_dir.join("wal.log").exists(), "{shard_dir:?} missing");
+        assert!(shard_dir.join("LOCK").exists(), "{shard_dir:?} unlocked");
+    }
+
+    // Session 2: recovery must restore all shards and answer identically.
+    let mut child = spawn(&dir4, "4");
+    let mut stdin = child.stdin.take().unwrap();
+    let mut reader = BufReader::new(child.stdout.take().unwrap());
+    let list = roundtrip(&mut stdin, &mut reader, r#"{"op":"list"}"#);
+    assert_eq!(list, first_list, "every shard's catalog must restore");
+    for (name, first) in names.iter().zip(&first_answers) {
+        let again = roundtrip(&mut stdin, &mut reader, &answer(name));
+        assert_eq!(&again, first, "{name}: restored answer differs");
+    }
+    drop(stdin);
+    let _ = child.wait();
+
+    // A single-shard server answers bit-identically (minus the shard tag).
+    let mut child = spawn(&dir1, "1");
+    let mut stdin = child.stdin.take().unwrap();
+    let mut reader = BufReader::new(child.stdout.take().unwrap());
+    for name in names {
+        assert!(roundtrip(&mut stdin, &mut reader, &create(name)).contains("\"ok\":true"));
+    }
+    for (name, first) in names.iter().zip(&first_answers) {
+        let single = roundtrip(&mut stdin, &mut reader, &answer(name));
+        assert_eq!(
+            sampled(&single),
+            sampled(first),
+            "{name}: sharding must not change the sampled answer"
+        );
+    }
+    drop(stdin);
+    let _ = child.wait();
+
+    // Offline compaction iterates every shard store.
+    let (stdout, stderr, ok) = ocqa(&["snapshot", "--data-dir", dir4.to_str().unwrap()]);
+    assert!(ok, "stderr: {stderr}");
+    for k in 0..4 {
+        assert!(
+            stdout.contains(&format!("shard-{k}")),
+            "snapshot must compact shard {k}: {stdout}"
+        );
+    }
+    // And the compacted stores still serve the same answers.
+    let mut child = spawn(&dir4, "4");
+    let mut stdin = child.stdin.take().unwrap();
+    let mut reader = BufReader::new(child.stdout.take().unwrap());
+    for (name, first) in names.iter().zip(&first_answers) {
+        let again = roundtrip(&mut stdin, &mut reader, &answer(name));
+        assert_eq!(&again, first, "{name}: post-compaction answer differs");
+    }
+    drop(stdin);
+    let _ = child.wait();
+
+    // Serving the 4-shard directory with fewer shards must be refused,
+    // not silently drop the unopened shards' databases.
+    let out = Command::new(env!("CARGO_BIN_EXE_ocqa"))
+        .args([
+            "serve",
+            "--shards",
+            "2",
+            "--data-dir",
+            dir4.to_str().unwrap(),
+        ])
+        .stdin(std::process::Stdio::null())
+        .output()
+        .expect("run ocqa serve --shards 2");
+    assert!(!out.status.success(), "shrinking --shards must fail fast");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("would not open"), "stderr: {stderr}");
+
+    let _ = std::fs::remove_dir_all(&base);
+}

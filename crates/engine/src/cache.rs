@@ -35,11 +35,27 @@
 //! bit-identity guarantees (across pool sizes, across restarts) are
 //! therefore stated for **computed** answers: a cache-missing request
 //! yields the same bytes on any engine at the same database version.
+//!
+//! # Time-to-live
+//!
+//! Version bumps bound staleness for *explicit* updates, but some
+//! workloads bound it by **time** instead — the database is mutated out
+//! of band (a restored snapshot swapped underneath, an upstream source
+//! whose drift is tolerated for a while), or operators simply want
+//! estimates re-drawn periodically. A cache built with
+//! [`AnswerCache::with_ttl`] stamps every entry at insert and expires it
+//! **lazily on lookup**: a hit older than the TTL is removed, counted in
+//! [`CacheStats::expired`], and reported as a miss, so the caller
+//! recomputes exactly as if the entry had never been stored. Dominance
+//! scans skip expired entries for the same reason. No sweeper thread
+//! exists — an entry that is never looked up again ages out through
+//! ordinary LRU eviction.
 
 use crate::planner::PlanKind;
 use ocqa_core::sample::SampleTally;
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Upper bound on retained invalidation floors (see
 /// [`AnswerCache::invalidate_db`]); above it the lowest — oldest —
@@ -87,6 +103,22 @@ pub struct CacheStats {
     /// Inserts rejected because their version was below the database's
     /// invalidation floor (an in-flight answer finishing after an update).
     pub stale_drops: u64,
+    /// Entries dropped on lookup because they outlived the cache TTL.
+    pub expired: u64,
+}
+
+impl CacheStats {
+    /// Adds another shard's counters into this one (the front door's
+    /// `stats` fan-out sums per-shard caches exactly once).
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.dominated_hits += other.dominated_hits;
+        self.invalidated += other.invalidated;
+        self.evicted += other.evicted;
+        self.stale_drops += other.stale_drops;
+        self.expired += other.expired;
+    }
 }
 
 struct Slot {
@@ -94,11 +126,15 @@ struct Slot {
     // tuple map under the cache lock.
     tally: Arc<SampleTally>,
     last_used: u64,
+    inserted_at: Instant,
 }
 
 /// A least-recently-used cache of answer tallies.
 pub struct AnswerCache {
     capacity: usize,
+    /// Per-entry time-to-live; `None` means entries live until a version
+    /// bump or LRU eviction (the historical behavior).
+    ttl: Option<Duration>,
     slots: HashMap<CacheKey, Slot>,
     /// Per-database minimum acceptable version, set by
     /// [`invalidate_db`](Self::invalidate_db). An `answer` that sampled
@@ -112,10 +148,17 @@ pub struct AnswerCache {
 }
 
 impl AnswerCache {
-    /// A cache holding at most `capacity` entries (min 1).
+    /// A cache holding at most `capacity` entries (min 1), without TTL.
     pub fn new(capacity: usize) -> AnswerCache {
+        AnswerCache::with_ttl(capacity, None)
+    }
+
+    /// A cache whose entries additionally expire `ttl` after insertion
+    /// (lazily, on lookup). `None` disables time-based expiry.
+    pub fn with_ttl(capacity: usize, ttl: Option<Duration>) -> AnswerCache {
         AnswerCache {
             capacity: capacity.max(1),
+            ttl,
             slots: HashMap::new(),
             floors: HashMap::new(),
             tick: 0,
@@ -123,19 +166,38 @@ impl AnswerCache {
         }
     }
 
+    /// Whether a slot inserted at `at` has outlived the TTL.
+    fn expired(&self, at: Instant, now: Instant) -> bool {
+        self.ttl
+            .is_some_and(|ttl| now.saturating_duration_since(at) >= ttl)
+    }
+
     /// Looks up a key, refreshing its recency on hit. An exact match wins;
     /// otherwise the tightest **dominating** entry — same database,
     /// version, query, generator, plan and seed, with `ε′ ≤ ε` and
     /// `δ′ ≤ δ` — serves the request (see the module docs for why that is
-    /// sound).
+    /// sound). Entries older than the TTL are expired here: removed,
+    /// counted, and reported as a miss.
     pub fn get(&mut self, key: &CacheKey) -> Option<Arc<SampleTally>> {
         self.tick += 1;
+        let now = Instant::now();
+        if self
+            .slots
+            .get(key)
+            .is_some_and(|slot| self.expired(slot.inserted_at, now))
+        {
+            // Remove the expired exact entry but *fall through* to the
+            // dominance scan: a live tighter entry may still serve this
+            // request, saving the recompute.
+            self.slots.remove(key);
+            self.stats.expired += 1;
+        }
         if let Some(slot) = self.slots.get_mut(key) {
             slot.last_used = self.tick;
             self.stats.hits += 1;
             return Some(slot.tally.clone());
         }
-        if let Some(dominating) = self.find_dominating(key) {
+        if let Some(dominating) = self.find_dominating(key, now) {
             let slot = self.slots.get_mut(&dominating).expect("key from scan");
             slot.last_used = self.tick;
             self.stats.hits += 1;
@@ -149,12 +211,17 @@ impl AnswerCache {
     /// Scans for the tightest entry dominating `key` (exact key already
     /// known absent). Linear in the live entry count — bounded by the
     /// capacity, and only paid on the miss path, where the alternative is
-    /// a full sampling run many orders of magnitude dearer.
-    fn find_dominating(&self, key: &CacheKey) -> Option<CacheKey> {
+    /// a full sampling run many orders of magnitude dearer. Expired
+    /// entries never dominate (they are skipped, not removed — removal
+    /// stays on the exact-hit path).
+    fn find_dominating(&self, key: &CacheKey, now: Instant) -> Option<CacheKey> {
         let eps = f64::from_bits(key.eps_bits);
         let delta = f64::from_bits(key.delta_bits);
         let mut best: Option<(f64, f64, &CacheKey)> = None;
-        for k in self.slots.keys() {
+        for (k, slot) in self.slots.iter() {
+            if self.expired(slot.inserted_at, now) {
+                continue;
+            }
             if k.db != key.db
                 || k.version != key.version
                 || k.query != key.query
@@ -205,6 +272,7 @@ impl AnswerCache {
             Slot {
                 tally,
                 last_used: self.tick,
+                inserted_at: Instant::now(),
             },
         );
     }
@@ -392,6 +460,77 @@ mod tests {
         // Other databases are unaffected by a's floor.
         cache.insert(key("b", 1, 0), tally(5));
         assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn ttl_expires_entries_lazily_on_lookup() {
+        let mut cache = AnswerCache::with_ttl(8, Some(Duration::from_millis(20)));
+        cache.insert(key("db", 1, 0), tally(150));
+        // Fresh entries hit normally.
+        assert!(cache.get(&key("db", 1, 0)).is_some());
+        std::thread::sleep(Duration::from_millis(60));
+        // Past the TTL the entry is removed on lookup and reported as a
+        // miss — the caller recomputes as if it had never been cached.
+        assert!(cache.get(&key("db", 1, 0)).is_none());
+        let s = cache.stats();
+        assert_eq!((s.expired, s.misses, s.hits), (1, 1, 1));
+        assert_eq!(cache.len(), 0, "expired entry must free its slot");
+        // Re-inserting restarts the clock.
+        cache.insert(key("db", 1, 0), tally(150));
+        assert!(cache.get(&key("db", 1, 0)).is_some());
+    }
+
+    #[test]
+    fn ttl_applies_to_dominance_too() {
+        let mut cache = AnswerCache::with_ttl(8, Some(Duration::from_millis(20)));
+        cache.insert(key_at("db", 1, 0, 0.05, 0.05), tally(600));
+        assert!(cache.get(&key_at("db", 1, 0, 0.1, 0.1)).is_some());
+        std::thread::sleep(Duration::from_millis(60));
+        // An expired entry must not serve a looser request either.
+        assert!(cache.get(&key_at("db", 1, 0, 0.1, 0.1)).is_none());
+        // But an expired *exact* entry falls through to dominance: a
+        // live tighter entry still saves the recompute.
+        cache.insert(key_at("db", 1, 0, 0.1, 0.1), tally(150));
+        std::thread::sleep(Duration::from_millis(30));
+        cache.insert(key_at("db", 1, 0, 0.05, 0.05), tally(600));
+        let got = cache.get(&key_at("db", 1, 0, 0.1, 0.1)).unwrap();
+        assert_eq!(got.walks, 600, "fresh dominating entry serves");
+        // Only the exact-hit removal counts an expiry; dominance scans
+        // skip expired entries without removing them.
+        assert_eq!(cache.stats().expired, 1);
+        // A TTL-less cache never expires.
+        let mut forever = AnswerCache::new(8);
+        forever.insert(key("db", 1, 0), tally(1));
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(forever.get(&key("db", 1, 0)).is_some());
+        assert_eq!(forever.stats().expired, 0);
+    }
+
+    #[test]
+    fn stats_merge_sums_every_counter() {
+        let a = CacheStats {
+            hits: 1,
+            misses: 2,
+            dominated_hits: 3,
+            invalidated: 4,
+            evicted: 5,
+            stale_drops: 6,
+            expired: 7,
+        };
+        let mut b = a;
+        b.merge(&a);
+        assert_eq!(
+            b,
+            CacheStats {
+                hits: 2,
+                misses: 4,
+                dominated_hits: 6,
+                invalidated: 8,
+                evicted: 10,
+                stale_drops: 12,
+                expired: 14,
+            }
+        );
     }
 
     #[test]

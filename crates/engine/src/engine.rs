@@ -1,36 +1,52 @@
-//! The engine: catalog + prepared queries + sampler pool + answer cache,
-//! behind one concurrent [`Engine::handle`] entry point.
+//! The engine front door: request parsing, routing and fan-out over a
+//! set of [`ShardEngine`]s.
 //!
-//! Locking discipline: the catalog and cache locks are held only to read
-//! or mutate metadata — never across sampling. An `answer` request takes
-//! a snapshot (`Arc<RepairContext>`) under the catalog lock, releases it,
-//! samples on the pool, and re-takes the cache lock to store the result.
-//! Concurrent sessions therefore sample in parallel, bounded only by the
-//! pool's worker count.
+//! The serving path is an explicit three-stage architecture:
+//!
+//! ```text
+//!   front door (this type)  →  Router (name → shard)  →  ShardEngine
+//! ```
+//!
+//! The front door owns no catalog, cache or pool of its own. Per-database
+//! requests (`create_db`/`drop_db`/`insert`/`delete`/`answer`) are routed
+//! to the shard owning the database name — a restored placement when the
+//! shard's storage already holds the name, rendezvous hashing
+//! ([`Router`]) otherwise — and catalog-wide requests (`list`/`stats`)
+//! fan out across all shards, merging per-shard results exactly once.
+//! Responses at the protocol layer carry the serving shard in a `shard`
+//! field.
+//!
+//! Prepared-query handles are front-door scope: explicit `prepare`
+//! requests are served (and journaled) by **shard 0**, the handle
+//! authority, and an `answer` carrying a `prepared` handle destined for
+//! another shard is rewritten to its query text before routing. Handles
+//! therefore work against every database regardless of placement, and
+//! recovery of shard 0 restores them exactly as before sharding.
+//!
+//! A single-shard engine (`shards: 1`, the default) is behaviorally
+//! identical to the historical monolithic engine.
 
-use crate::cache::{AnswerCache, CacheKey, CacheStats};
-use crate::catalog::Catalog;
+use crate::catalog::DatabaseInfo;
 use crate::error::EngineError;
 use crate::json::Json;
-use crate::planner::PlanKind;
-use crate::pool::SamplerPool;
-use crate::prepared::PreparedRegistry;
-use crate::proto::{
-    AnswerPayload, AnswerRow, EngineRequest, EngineResponse, EngineStatsPayload, QueryRef,
-};
+use crate::proto::{EngineRequest, EngineResponse, EngineStatsPayload, QueryRef};
+use crate::router::Router;
+use crate::shard::ShardEngine;
 use crate::storage::{MemoryBackend, StorageBackend};
-use ocqa_core::sample::{sample_size, SampleTally};
-use ocqa_core::{ChainGenerator, PreferenceGenerator, UniformGenerator};
-use parking_lot::{Mutex, RwLock};
+use ocqa_core::{ChainGenerator, PreferenceGenerator, TrustGenerator, UniformGenerator};
+use parking_lot::RwLock;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// Engine tunables.
+/// Engine tunables. `workers` and `cache_capacity` are **totals**: the
+/// front door divides them across shards (at least 1 each), so raising
+/// `shards` re-partitions rather than multiplies the resource budget.
 #[derive(Debug, Clone, Copy)]
 pub struct EngineConfig {
-    /// Sampler-pool worker threads.
+    /// Sampler-pool worker threads, across all shards.
     pub workers: usize,
-    /// Answer-cache capacity (entries).
+    /// Answer-cache capacity (entries), across all shards.
     pub cache_capacity: usize,
     /// Largest per-request walk budget the engine accepts. Without a cap
     /// a client-supplied tiny ε/δ would make `sample_size` astronomical
@@ -42,6 +58,18 @@ pub struct EngineConfig {
     /// overrides still work) — an operational escape hatch and the
     /// baseline switch used by benchmarks.
     pub planner: bool,
+    /// Number of shards the catalog is partitioned over (min 1).
+    pub shards: usize,
+    /// Per-entry answer-cache time-to-live in milliseconds; `0` disables
+    /// time-based expiry (entries then live until a version bump or LRU
+    /// eviction). For workloads whose staleness budget is time- rather
+    /// than version-bounded.
+    pub ttl_ms: u64,
+    /// Per-shard admission limit on *concurrent sampling runs* (cache
+    /// hits and coalesced followers don't count). Beyond it requests are
+    /// rejected with [`EngineError::ShardFull`] instead of queueing
+    /// unboundedly on the pool.
+    pub max_inflight: usize,
 }
 
 impl Default for EngineConfig {
@@ -53,91 +81,194 @@ impl Default for EngineConfig {
             cache_capacity: 1024,
             max_walks: 1_000_000,
             planner: true,
+            shards: 1,
+            ttl_ms: 0,
+            max_inflight: 1024,
         }
     }
 }
 
 /// Instantiates a generator by its protocol name.
+///
+/// Besides the fixed names, the Example 5 trust generator is exposed as
+/// `trust` (every fact at trust ½) or `trust:<N>/<D>` with an explicit
+/// default trust in `(0, 1]` — e.g. `trust:3/4`. Trust weights are
+/// relative within each violating pair, and the generator is
+/// component-local with its own key-repair group policy, so keyed
+/// databases serve it down the group-sampling fast path.
 pub fn generator_by_name(name: &str) -> Result<Arc<dyn ChainGenerator>, EngineError> {
     match name {
         "uniform" => Ok(Arc::new(UniformGenerator::new())),
         "uniform-deletions" => Ok(Arc::new(UniformGenerator::deletions_only())),
         "preference" => Ok(Arc::new(PreferenceGenerator::new())),
-        other => Err(EngineError::UnknownGenerator(other.to_string())),
+        "trust" => Ok(Arc::new(TrustGenerator::new(
+            [],
+            ocqa_num::Rat::ratio(1, 2),
+        ))),
+        other => match other.strip_prefix("trust:") {
+            Some(param) => trust_with_default(param),
+            None => Err(EngineError::UnknownGenerator(other.to_string())),
+        },
     }
 }
 
-/// A long-lived, concurrent CQA serving engine.
+/// Parses `trust:<N>/<D>`'s parameter into a default-trust generator.
+fn trust_with_default(param: &str) -> Result<Arc<dyn ChainGenerator>, EngineError> {
+    let bad = || {
+        EngineError::BadRequest(format!(
+            "trust generator parameter {param:?}: expected a rational N/D in (0, 1]"
+        ))
+    };
+    let (num, den) = param.split_once('/').ok_or_else(bad)?;
+    let num: i64 = num.trim().parse().map_err(|_| bad())?;
+    let den: i64 = den.trim().parse().map_err(|_| bad())?;
+    if num <= 0 || den <= 0 || num > den {
+        return Err(bad());
+    }
+    Ok(Arc::new(TrustGenerator::new(
+        [],
+        ocqa_num::Rat::ratio(num, den),
+    )))
+}
+
+/// A long-lived, concurrent CQA serving engine: the front door over one
+/// or more [`ShardEngine`]s.
 pub struct Engine {
-    catalog: RwLock<Catalog>,
-    cache: Mutex<AnswerCache>,
-    prepared: RwLock<PreparedRegistry>,
-    backend: Arc<dyn StorageBackend>,
-    pool: SamplerPool,
-    max_walks: u64,
-    planner: bool,
+    shards: Vec<Arc<ShardEngine>>,
+    router: Router,
+    /// Actual placements, seeded from recovery: a database restored on a
+    /// shard stays there even if the router would place a *new* database
+    /// of that name elsewhere (e.g. after a shard-count change). New
+    /// names fall through to the router; drops clear their entry.
+    placements: RwLock<HashMap<String, usize>>,
     requests: AtomicU64,
-    answers: AtomicU64,
-    walks: AtomicU64,
 }
 
 impl Engine {
-    /// Builds an in-memory engine (spawns the sampler pool). Nothing
-    /// persists across restarts; see [`Engine::with_backend`] for that.
+    /// Builds an in-memory engine with `config.shards` shards (spawns the
+    /// sampler pools). Nothing persists across restarts; see
+    /// [`Engine::with_backends`] for that.
     pub fn new(config: EngineConfig) -> Arc<Engine> {
-        Engine::with_backend(config, Arc::new(MemoryBackend))
+        let backends: Vec<Arc<dyn StorageBackend>> = (0..config.shards.max(1))
+            .map(|_| Arc::new(MemoryBackend) as Arc<dyn StorageBackend>)
+            .collect();
+        Engine::with_backends(config, backends)
             .expect("memory backend recovery is empty and infallible")
     }
 
-    /// Builds an engine on a storage backend: the backend's persisted
-    /// state is recovered first — databases with their exact versions,
-    /// violation sets and planner classifications, and prepared queries
-    /// with their original ordinal handles — and every subsequent catalog
-    /// or registry mutation is journaled write-through. A recovered
-    /// engine serves bit-identical answers to its pre-restart self for
-    /// equal requests (same seed, ε/δ, plan).
+    /// Builds a single-shard engine on one storage backend — the
+    /// historical entry point, unchanged in behavior.
     pub fn with_backend(
         config: EngineConfig,
         backend: Arc<dyn StorageBackend>,
     ) -> Result<Arc<Engine>, EngineError> {
-        let state = backend.recover()?;
-        let mut catalog = Catalog::new();
-        for db in state.databases {
-            catalog.restore(db)?;
+        Engine::with_backends(config, vec![backend])
+    }
+
+    /// Builds an engine over one shard per backend (`config.shards` is
+    /// ignored in favor of `backends.len()`). Each backend's persisted
+    /// state is recovered into its own shard — databases with exact
+    /// versions, violation sets and planner classifications, prepared
+    /// queries with their original ordinal handles — and every later
+    /// mutation is journaled write-through to its shard's backend. A
+    /// recovered engine serves bit-identical answers to its pre-restart
+    /// self for equal requests (same seed, ε/δ, plan).
+    ///
+    /// Restored databases keep their restored shard even when the router
+    /// would now place them elsewhere; a name recovered on **two** shards
+    /// (a resharding gone wrong) is an error, not a silent coin toss.
+    pub fn with_backends(
+        config: EngineConfig,
+        backends: Vec<Arc<dyn StorageBackend>>,
+    ) -> Result<Arc<Engine>, EngineError> {
+        if backends.is_empty() {
+            return Err(EngineError::BadRequest(
+                "engine needs at least one shard backend".into(),
+            ));
         }
-        catalog.raise_version_floor(state.next_version);
-        let mut prepared = PreparedRegistry::new();
-        prepared.restore(state.prepared, state.prepared_next)?;
+        let n = backends.len();
+        let per_shard = EngineConfig {
+            workers: (config.workers / n).max(1),
+            cache_capacity: (config.cache_capacity / n).max(1),
+            ..config
+        };
+        let mut shards = Vec::with_capacity(n);
+        for (k, backend) in backends.into_iter().enumerate() {
+            shards.push(ShardEngine::with_backend(per_shard, backend, k as u32)?);
+        }
+        let mut placements = HashMap::new();
+        for (k, shard) in shards.iter().enumerate() {
+            for info in shard.list() {
+                if let Some(other) = placements.insert(info.name.clone(), k) {
+                    return Err(EngineError::Storage(format!(
+                        "database {:?} recovered on shard {other} and shard {k}; \
+                         rebalance the data directories before serving",
+                        info.name
+                    )));
+                }
+            }
+        }
         Ok(Arc::new(Engine {
-            catalog: RwLock::new(catalog),
-            cache: Mutex::new(AnswerCache::new(config.cache_capacity)),
-            prepared: RwLock::new(prepared),
-            backend,
-            pool: SamplerPool::new(config.workers),
-            max_walks: config.max_walks.max(1),
-            planner: config.planner,
+            shards,
+            router: Router::new(n),
+            placements: RwLock::new(placements),
             requests: AtomicU64::new(0),
-            answers: AtomicU64::new(0),
-            walks: AtomicU64::new(0),
         }))
+    }
+
+    /// Number of shards behind this front door.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard serving `name`: its restored/created placement if one
+    /// exists, the router's deterministic assignment otherwise.
+    pub fn shard_of(&self, name: &str) -> usize {
+        if let Some(k) = self.placements.read().get(name) {
+            return *k;
+        }
+        self.router.shard_for(name)
+    }
+
+    /// The configured per-request walk ceiling.
+    pub fn max_walks(&self) -> u64 {
+        self.shards[0].max_walks()
     }
 
     /// Handles one request. Safe to call from any number of threads.
     pub fn handle(&self, req: EngineRequest) -> EngineResponse {
+        self.handle_routed(req).1
+    }
+
+    /// [`handle`](Engine::handle), also reporting which shard served a
+    /// per-database request (`None` for front-door and fan-out ops).
+    pub fn handle_routed(&self, req: EngineRequest) -> (Option<u32>, EngineResponse) {
         self.requests.fetch_add(1, Ordering::Relaxed);
-        match self.dispatch(req) {
-            Ok(resp) => resp,
-            Err(e) => EngineResponse::Error(e),
+        let (shard, result) = self.dispatch(req);
+        match result {
+            Ok(resp) => (shard, resp),
+            Err(e) => (shard, EngineResponse::Error(e)),
         }
     }
 
-    /// Handles one raw protocol line (parse → handle → render).
+    /// Handles one raw protocol line (parse → route → handle → render).
+    /// Responses to routed requests carry the serving shard as a `shard`
+    /// field; `list` entries each carry their database's shard.
     pub fn handle_line(&self, line: &str) -> Json {
         let req = crate::json::parse(line)
             .map_err(|e| EngineError::BadRequest(e.to_string()))
             .and_then(|v| EngineRequest::from_json(&v));
         match req {
-            Ok(req) => self.handle(req).to_json(),
+            Ok(req) => {
+                let (shard, resp) = self.handle_routed(req);
+                let mut json = resp.to_json();
+                if let EngineResponse::List(_) = &resp {
+                    self.tag_list_shards(&mut json);
+                } else if let Some(k) = shard {
+                    json.set("shard", Json::from(u64::from(k)));
+                }
+                json
+            }
             Err(e) => {
                 self.requests.fetch_add(1, Ordering::Relaxed);
                 EngineResponse::Error(e).to_json()
@@ -145,52 +276,82 @@ impl Engine {
         }
     }
 
-    fn dispatch(&self, req: EngineRequest) -> Result<EngineResponse, EngineError> {
+    /// Adds each listed database's owning shard to the rendered `list`.
+    fn tag_list_shards(&self, json: &mut Json) {
+        let Json::Obj(obj) = json else { return };
+        let Some(Json::Arr(dbs)) = obj.get_mut("databases") else {
+            return;
+        };
+        for db in dbs {
+            let Some(name) = db.get("name").and_then(Json::as_str) else {
+                continue;
+            };
+            let shard = self.shard_of(name) as u64;
+            db.set("shard", Json::from(shard));
+        }
+    }
+
+    fn dispatch(&self, req: EngineRequest) -> (Option<u32>, Result<EngineResponse, EngineError>) {
         match req {
-            EngineRequest::Ping => Ok(EngineResponse::Pong),
+            EngineRequest::Ping => (None, Ok(EngineResponse::Pong)),
             EngineRequest::CreateDb {
                 name,
                 facts,
                 constraints,
             } => {
-                // Parse and compute V(D, Σ) before taking the write lock:
-                // a big create must not stall concurrent answers. The
-                // journal write happens under the lock so the durable log
-                // and the catalog agree on mutation order.
-                let parsed = crate::catalog::ParsedDatabase::parse(&facts, &constraints)?;
-                let info = self
-                    .catalog
-                    .write()
-                    .install_with(&name, parsed, |image| self.backend.journal_install(image))?;
-                Ok(EngineResponse::Created(info))
+                let k = self.shard_of(&name);
+                let result = self.shards[k].create(&name, &facts, &constraints);
+                if result.is_ok() {
+                    self.placements.write().insert(name, k);
+                }
+                (Some(k as u32), result.map(EngineResponse::Created))
             }
             EngineRequest::DropDb { name } => {
-                let version = {
-                    let mut catalog = self.catalog.write();
-                    let version = catalog.info(&name)?.version;
-                    // Journal-then-mutate, like every other mutation: a
-                    // vetoed drop leaves the database in place.
-                    self.backend.journal_drop(&name, version)?;
-                    catalog.drop_db(&name);
-                    version
-                };
-                // Floor above the dropped incarnation: a recreated
-                // database starts at a strictly higher global version, so
-                // its entries pass while any in-flight answer against the
-                // dropped one is rejected.
-                self.cache.lock().invalidate_db(&name, version + 1);
-                Ok(EngineResponse::Dropped { name })
+                let k = self.shard_of(&name);
+                let result = self.shards[k].drop_db(&name);
+                if result.is_ok() {
+                    self.placements.write().remove(&name);
+                }
+                (
+                    Some(k as u32),
+                    result.map(|()| EngineResponse::Dropped { name }),
+                )
             }
-            EngineRequest::Insert { db, facts } => self.update(&db, &facts, ""),
-            EngineRequest::Delete { db, facts } => self.update(&db, "", &facts),
-            EngineRequest::Prepare { query } => {
-                let prepared = self
-                    .prepared
-                    .write()
-                    .prepare_with(&query, |text, ord| self.backend.journal_prepare(text, ord))?;
-                Ok(EngineResponse::Prepared {
-                    id: prepared.id.clone(),
-                })
+            EngineRequest::Insert { db, facts } => {
+                let k = self.shard_of(&db);
+                (
+                    Some(k as u32),
+                    self.shards[k]
+                        .update(&db, &facts, "")
+                        .map(EngineResponse::Updated),
+                )
+            }
+            EngineRequest::Delete { db, facts } => {
+                let k = self.shard_of(&db);
+                (
+                    Some(k as u32),
+                    self.shards[k]
+                        .update(&db, "", &facts)
+                        .map(EngineResponse::Updated),
+                )
+            }
+            EngineRequest::Prepare { query, generator } => {
+                // Pre-flight generator validation: a client can pin the
+                // generator it intends to answer with and learn about a
+                // typo (or an unsupported parameter) at prepare time
+                // instead of on the first answer.
+                if let Some(name) = &generator {
+                    if let Err(e) = generator_by_name(name) {
+                        return (Some(0), Err(e));
+                    }
+                }
+                // Shard 0 is the handle authority (see the module docs).
+                (
+                    Some(0),
+                    self.shards[0]
+                        .prepare(&query)
+                        .map(|p| EngineResponse::Prepared { id: p.id.clone() }),
+                )
             }
             EngineRequest::Answer {
                 db,
@@ -200,185 +361,77 @@ impl Engine {
                 delta,
                 seed,
                 plan,
-            } => self.answer(&db, &query, &generator, eps, delta, seed, plan),
-            EngineRequest::List => Ok(EngineResponse::List(self.catalog.read().list())),
-            EngineRequest::Stats => Ok(EngineResponse::Stats(self.stats())),
-        }
-    }
-
-    fn update(&self, db: &str, insert: &str, delete: &str) -> Result<EngineResponse, EngineError> {
-        // Parse outside the lock; the locked phase is the incremental
-        // violation update, proportional to the delta's neighbourhood.
-        let inserts = ocqa_logic::parser::parse_facts(insert)
-            .map_err(|e| EngineError::Parse(e.to_string()))?;
-        let deletes = ocqa_logic::parser::parse_facts(delete)
-            .map_err(|e| EngineError::Parse(e.to_string()))?;
-        let outcome = self
-            .catalog
-            .write()
-            .update_parsed_with(db, &inserts, &deletes, |delta| {
-                self.backend.journal_update(delta)
-            })?;
-        // An effective update bumps the version, so cached entries for
-        // the old version can never be served again; purge them eagerly
-        // so they don't occupy cache slots until eviction, and floor the
-        // database at the new version so an in-flight answer that sampled
-        // the pre-update snapshot cannot re-insert a dead entry. No-op
-        // updates keep the version and the cache — idempotent retries
-        // stay cheap.
-        if outcome.inserted > 0 || outcome.removed > 0 {
-            self.cache.lock().invalidate_db(db, outcome.version);
-        }
-        Ok(EngineResponse::Updated(outcome))
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn answer(
-        &self,
-        db: &str,
-        query_ref: &QueryRef,
-        generator: &str,
-        eps: f64,
-        delta: f64,
-        seed: u64,
-        plan_request: Option<PlanKind>,
-    ) -> Result<EngineResponse, EngineError> {
-        if eps <= 0.0 || eps >= 1.0 || delta <= 0.0 || delta >= 1.0 {
-            return Err(EngineError::BadRequest(
-                "eps and delta must lie in (0,1)".into(),
-            ));
-        }
-        let walks = sample_size(eps, delta);
-        if walks > self.max_walks {
-            return Err(EngineError::BadRequest(format!(
-                "eps/delta require {walks} walks, above the engine limit of {}",
-                self.max_walks
-            )));
-        }
-        // Inline text is routed through the prepared registry too: the
-        // parse/validate cost is paid once per distinct query text.
-        let prepared = match query_ref {
-            QueryRef::Text(text) => {
-                // Fast path under the read lock: hot workloads repeat the
-                // same inline text, and a write lock here would serialize
-                // every concurrent answer. New inline texts are journaled
-                // like explicit prepares — handle ids are ordinal, so
-                // recovery must replay every allocation to reproduce them.
-                let known = self.prepared.read().lookup_text(text);
-                match known {
-                    Some(p) => p,
-                    None => self
-                        .prepared
-                        .write()
-                        .prepare_with(text, |t, ord| self.backend.journal_prepare(t, ord))?,
-                }
+            } => {
+                let k = self.shard_of(&db);
+                // Prepared handles live on shard 0: rewrite to the query
+                // text before routing elsewhere, so any shard can serve
+                // any handle.
+                let query = if k != 0 {
+                    match query {
+                        QueryRef::Prepared(id) => match self.shards[0].prepared_get(&id) {
+                            Ok(p) => QueryRef::Text(p.text.clone()),
+                            Err(e) => return (Some(k as u32), Err(e)),
+                        },
+                        text => text,
+                    }
+                } else {
+                    query
+                };
+                (
+                    Some(k as u32),
+                    self.shards[k]
+                        .answer(&db, &query, &generator, eps, delta, seed, plan)
+                        .map(EngineResponse::Answer),
+                )
             }
-            QueryRef::Prepared(id) => self.prepared.read().get(id)?,
-        };
-        let gen = generator_by_name(generator)?;
-        let (_ctx, version, plan) = self.catalog.read().snapshot(db)?;
-        // Resolve the route: the planner picks the cheapest sound path
-        // for this database × generator; a disabled planner pins
-        // automatic requests to monolithic; explicit requests are
-        // validated (unsound forces are errors, not silent fallbacks).
-        let route = if plan_request.is_none() && !self.planner {
-            PlanKind::Monolithic
-        } else {
-            plan.route(gen.as_ref(), plan_request)?
-        };
-        let key = CacheKey {
-            db: db.to_string(),
-            version,
-            query: prepared.text.clone(),
-            generator: generator.to_string(),
-            plan: route,
-            eps_bits: eps.to_bits(),
-            delta_bits: delta.to_bits(),
-            seed,
-        };
-        // One lock acquisition serves both the lookup and the stats
-        // snapshot reported alongside the answer.
-        let (hit, stats) = {
-            let mut cache = self.cache.lock();
-            let hit = cache.get(&key);
-            let stats = cache.stats();
-            (hit, stats)
-        };
-        if let Some(tally) = hit {
-            self.answers.fetch_add(1, Ordering::Relaxed);
-            return Ok(answer_response(&tally, true, version, stats, route));
+            EngineRequest::List => {
+                let mut all: Vec<DatabaseInfo> =
+                    self.shards.iter().flat_map(|s| s.list()).collect();
+                all.sort_by(|a, b| a.name.cmp(&b.name));
+                (None, Ok(EngineResponse::List(all)))
+            }
+            EngineRequest::Stats => (None, Ok(EngineResponse::Stats(self.stats()))),
         }
-        // Cache miss: sample on the pool with no locks held.
-        let task = plan.task(route, gen)?;
-        let tally = Arc::new(self.pool.run(&task, &prepared.query, walks, seed)?);
-        // Counters move only on success: a rejected or failed request
-        // must inflate neither `answers` nor `walks`.
-        self.walks.fetch_add(walks, Ordering::Relaxed);
-        self.answers.fetch_add(1, Ordering::Relaxed);
-        let stats = self.store_answer(key, tally.clone());
-        Ok(answer_response(&tally, false, version, stats, route))
     }
 
-    /// Stores a computed answer, returning the post-insert cache stats.
-    /// The insert is version-checked: if an update (or drop) invalidated
-    /// this database while the request was sampling, the cache drops the
-    /// entry instead of re-inserting a dead version.
-    fn store_answer(&self, key: CacheKey, tally: Arc<SampleTally>) -> CacheStats {
-        let mut cache = self.cache.lock();
-        cache.insert(key, tally);
-        cache.stats()
-    }
-
-    /// The configured per-request walk ceiling.
-    pub fn max_walks(&self) -> u64 {
-        self.max_walks
-    }
-
+    /// Engine-wide statistics: the front door's request counter plus
+    /// each shard's local counters, summed **exactly once** — the
+    /// fan-out reads every shard a single time, and shards themselves
+    /// never count requests (only the front door does), so a request
+    /// retried after a [`EngineError::ShardFull`] admission rejection
+    /// contributes one `requests` tick per attempt and its walks once.
     fn stats(&self) -> EngineStatsPayload {
-        EngineStatsPayload {
-            backend: self.backend.label(),
+        let mut out = EngineStatsPayload {
+            backend: self.shards[0].backend_label(),
             requests: self.requests.load(Ordering::Relaxed),
-            answers: self.answers.load(Ordering::Relaxed),
-            walks: self.walks.load(Ordering::Relaxed),
-            workers: self.pool.workers(),
-            databases: self.catalog.read().len(),
-            prepared: self.prepared.read().len(),
-            cache: self.cache.lock().stats(),
+            answers: 0,
+            walks: 0,
+            coalesced: 0,
+            workers: 0,
+            databases: 0,
+            prepared: 0,
+            shards: self.shards.len(),
+            cache: Default::default(),
+        };
+        for shard in &self.shards {
+            let s = shard.stats();
+            out.answers += s.answers;
+            out.walks += s.walks;
+            out.coalesced += s.coalesced;
+            out.workers += s.workers;
+            out.databases += s.databases;
+            out.prepared += s.prepared;
+            out.cache.merge(&s.cache);
         }
+        out
     }
-}
-
-fn answer_response(
-    tally: &SampleTally,
-    cached: bool,
-    version: u64,
-    stats: CacheStats,
-    plan: PlanKind,
-) -> EngineResponse {
-    // Raw and conditional estimates zip positionally: both iterate the
-    // same count map. `conditional_frequencies` is None only when every
-    // walk failed, in which case there are no rows at all.
-    let conditional = tally.conditional_frequencies().unwrap_or_default();
-    let answers = tally
-        .frequencies()
-        .into_iter()
-        .zip(conditional)
-        .map(|((tuple, p), (_, p_cond))| AnswerRow { tuple, p, p_cond })
-        .collect();
-    EngineResponse::Answer(AnswerPayload {
-        answers,
-        walks: tally.walks,
-        failed_walks: tally.failed_walks,
-        cached,
-        db_version: version,
-        plan,
-        cache: stats,
-    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::planner::PlanKind;
+    use ocqa_core::sample::sample_size;
 
     fn engine() -> Arc<Engine> {
         Engine::new(EngineConfig {
@@ -471,6 +524,7 @@ mod tests {
         create_prefs(&e);
         let EngineResponse::Prepared { id } = e.handle(EngineRequest::Prepare {
             query: "(x) <- exists y: Pref(x,y)".into(),
+            generator: None,
         }) else {
             panic!()
         };
@@ -486,6 +540,94 @@ mod tests {
             panic!()
         };
         assert!(!a.answers.is_empty());
+    }
+
+    #[test]
+    fn prepare_validates_the_intended_generator() {
+        let e = engine();
+        let prepare = |generator: Option<&str>| {
+            e.handle(EngineRequest::Prepare {
+                query: "(x) <- exists y: Pref(x,y)".into(),
+                generator: generator.map(str::to_string),
+            })
+        };
+        assert!(matches!(
+            prepare(Some("nope")),
+            EngineResponse::Error(EngineError::UnknownGenerator(_))
+        ));
+        assert!(matches!(
+            prepare(Some("trust:9/1")),
+            EngineResponse::Error(EngineError::BadRequest(_))
+        ));
+        // Valid generator names pass through to the normal prepare path.
+        assert!(matches!(
+            prepare(Some("trust")),
+            EngineResponse::Prepared { .. }
+        ));
+        assert!(matches!(prepare(None), EngineResponse::Prepared { .. }));
+    }
+
+    #[test]
+    fn trust_generator_served_through_the_protocol() {
+        // The Example 5 trust model, requested by name over the protocol:
+        // on a key-only pairs database its own group policy serves the
+        // key-repair fast path, and each fact of a 50/50 pair survives
+        // with probability 3/8 (not the uniform chain's 1/3).
+        let e = engine();
+        let resp = e.handle(EngineRequest::CreateDb {
+            name: "pair".into(),
+            facts: "R(a,1). R(a,2).".into(),
+            constraints: "R(x,y), R(x,z) -> y = z.".into(),
+        });
+        assert!(matches!(resp, EngineResponse::Created(_)));
+        let answer = |generator: &str| {
+            e.handle(EngineRequest::Answer {
+                db: "pair".into(),
+                query: QueryRef::Text("(y) <- R('a', y)".into()),
+                generator: generator.into(),
+                eps: 0.05,
+                delta: 0.05,
+                seed: 3,
+                plan: None,
+            })
+        };
+        let EngineResponse::Answer(a) = answer("trust") else {
+            panic!("trust generator must be served");
+        };
+        assert_eq!(a.plan, PlanKind::KeyRepair);
+        for row in &a.answers {
+            assert!(
+                (row.p - 0.375).abs() <= 0.06,
+                "{:?}: p = {} should be ≈ 3/8",
+                row.tuple,
+                row.p
+            );
+        }
+        // Equal explicit trust is the same relative-trust distribution.
+        let EngineResponse::Answer(a) = answer("trust:3/4") else {
+            panic!("parameterized trust must be served");
+        };
+        assert_eq!(a.plan, PlanKind::KeyRepair);
+        // Malformed or out-of-range parameters are rejected up front.
+        for bad in [
+            "trust:0/1",
+            "trust:2/1",
+            "trust:-1/2",
+            "trust:abc",
+            "trust:",
+        ] {
+            assert!(
+                matches!(
+                    answer(bad),
+                    EngineResponse::Error(EngineError::BadRequest(_))
+                ),
+                "{bad} must be rejected"
+            );
+        }
+        assert!(matches!(
+            answer("nope"),
+            EngineResponse::Error(EngineError::UnknownGenerator(_))
+        ));
     }
 
     #[test]
@@ -599,51 +741,6 @@ mod tests {
         assert!(matches!(e.handle(answer_req(7)), EngineResponse::Answer(_)));
         let s = stats_of(&e);
         assert_eq!((s.answers, s.walks), (2, 150));
-    }
-
-    #[test]
-    fn stale_answer_insert_after_update_is_dropped() {
-        // The in-flight race, deterministically interleaved: a slow
-        // answer snapshots version v1, an update purges and floors the
-        // cache while it samples, then its insert lands through the same
-        // `store_answer` path the real request path uses. The dead entry
-        // must be dropped, not parked in an LRU slot.
-        let e = engine();
-        create_prefs(&e);
-        let (_ctx, v1, plan) = e.catalog.read().snapshot("prefs").unwrap();
-        // The "slow sampler" finishes its work against the v1 snapshot…
-        let gen = generator_by_name("uniform").unwrap();
-        let task = plan.task(PlanKind::Localized, gen).unwrap();
-        let query =
-            Arc::new(ocqa_logic::parser::parse_query("(x) <- exists y: Pref(x,y)").unwrap());
-        let tally = Arc::new(e.pool.run(&task, &query, 64, 3).unwrap());
-        // …but an update lands first, bumping the version and flooring
-        // the cache.
-        let resp = e.handle(EngineRequest::Delete {
-            db: "prefs".into(),
-            facts: "Pref(c,a).".into(),
-        });
-        assert!(matches!(resp, EngineResponse::Updated(_)));
-        // The late insert must be dropped.
-        let key = CacheKey {
-            db: "prefs".into(),
-            version: v1,
-            query: "(x) <- exists y: Pref(x,y)".into(),
-            generator: "uniform".into(),
-            plan: PlanKind::Localized,
-            eps_bits: 0.1f64.to_bits(),
-            delta_bits: 0.1f64.to_bits(),
-            seed: 3,
-        };
-        let stats = e.store_answer(key, tally);
-        assert_eq!(stats.stale_drops, 1);
-        assert_eq!(e.cache.lock().len(), 0, "no dead entry may occupy a slot");
-        // Answers against the current version cache normally again.
-        let EngineResponse::Answer(a) = e.handle(answer_req(3)) else {
-            panic!()
-        };
-        assert!(!a.cached);
-        assert_eq!(e.cache.lock().len(), 1);
     }
 
     #[test]
@@ -779,6 +876,7 @@ mod tests {
         ));
         let resp = e.handle(EngineRequest::Prepare {
             query: "(x) <- exists y: R(x,y)".into(),
+            generator: None,
         });
         assert!(matches!(
             resp,
@@ -793,6 +891,7 @@ mod tests {
     fn with_backend_restores_versions_plans_and_prepared_handles() {
         use crate::storage::{RecoveredState, RestoredDatabase};
         use ocqa_logic::{parser, ViolationSet};
+        use parking_lot::Mutex;
 
         // Hand-build the persisted world a disk backend would recover.
         let constraints = "R(x,y), R(x,z) -> y = z.";
@@ -875,6 +974,7 @@ mod tests {
         // Both prepared handles restored verbatim (non-contiguous ids).
         let EngineResponse::Prepared { id } = e.handle(EngineRequest::Prepare {
             query: "(y) <- exists x: R(x,y)".into(),
+            generator: None,
         }) else {
             panic!()
         };
@@ -883,6 +983,7 @@ mod tests {
         // evicted pre-restart handle is never re-minted.
         let EngineResponse::Prepared { id } = e.handle(EngineRequest::Prepare {
             query: "(x) <- R(x, 99)".into(),
+            generator: None,
         }) else {
             panic!()
         };
@@ -909,5 +1010,224 @@ mod tests {
         // ping + bad line + this stats request itself = 3.
         let out = e.handle_line(r#"{"op":"stats"}"#).to_string();
         assert!(out.contains("\"requests\":3"), "{out}");
+        assert!(out.contains("\"shards\":1"), "{out}");
+    }
+
+    #[test]
+    fn sharded_engine_routes_merges_and_recreates() {
+        let e = Engine::new(EngineConfig {
+            workers: 4,
+            cache_capacity: 64,
+            shards: 3,
+            ..EngineConfig::default()
+        });
+        assert_eq!(e.shards(), 3);
+        let names = ["alpha", "bravo", "charlie", "delta", "echo", "foxtrot"];
+        for name in names {
+            let resp = e.handle(EngineRequest::CreateDb {
+                name: name.into(),
+                facts: "R(1,10). R(1,20). R(2,30).".into(),
+                constraints: "R(x,y), R(x,z) -> y = z.".into(),
+            });
+            assert!(matches!(resp, EngineResponse::Created(_)), "{resp:?}");
+            // Routing is deterministic and consistent with the response.
+            assert_eq!(e.shard_of(name), e.shard_of(name));
+        }
+        // Re-creating an existing name routes to its owner and fails.
+        let resp = e.handle(EngineRequest::CreateDb {
+            name: "alpha".into(),
+            facts: "".into(),
+            constraints: "".into(),
+        });
+        assert!(matches!(
+            resp,
+            EngineResponse::Error(EngineError::DatabaseExists(_))
+        ));
+        // `list` merges every shard, sorted by name.
+        let EngineResponse::List(infos) = e.handle(EngineRequest::List) else {
+            panic!()
+        };
+        let listed: Vec<&str> = infos.iter().map(|i| i.name.as_str()).collect();
+        assert_eq!(listed, names, "merged list must be sorted and complete");
+        // Every database answers, wherever it landed.
+        for (i, name) in names.iter().enumerate() {
+            let EngineResponse::Answer(a) = e.handle(EngineRequest::Answer {
+                db: (*name).into(),
+                query: QueryRef::Text("(x) <- exists y: R(x,y)".into()),
+                generator: "uniform".into(),
+                eps: 0.1,
+                delta: 0.1,
+                seed: i as u64,
+                plan: None,
+            }) else {
+                panic!("{name} must answer");
+            };
+            // Versions are shard-local counters: at least 1, and never
+            // larger than the number of creates.
+            assert!((1..=names.len() as u64).contains(&a.db_version));
+        }
+        // Updates route to the owning shard.
+        let resp = e.handle(EngineRequest::Insert {
+            db: "echo".into(),
+            facts: "R(9,90).".into(),
+        });
+        let EngineResponse::Updated(out) = resp else {
+            panic!("{resp:?}")
+        };
+        assert_eq!(out.inserted, 1);
+        // Drop frees the name; a recreate lands on the router's shard.
+        assert!(matches!(
+            e.handle(EngineRequest::DropDb {
+                name: "echo".into()
+            }),
+            EngineResponse::Dropped { .. }
+        ));
+        let resp = e.handle(EngineRequest::CreateDb {
+            name: "echo".into(),
+            facts: "R(1,1).".into(),
+            constraints: "R(x,y), R(x,z) -> y = z.".into(),
+        });
+        assert!(matches!(resp, EngineResponse::Created(_)), "{resp:?}");
+        // Stats sum every shard exactly once.
+        let s = stats_of(&e);
+        assert_eq!(s.shards, 3);
+        assert_eq!(s.databases, 6);
+        assert_eq!(s.answers, 6);
+        assert_eq!(s.walks, 6 * 150);
+        // A second stats read is idempotent on the summed counters.
+        let s2 = stats_of(&e);
+        assert_eq!((s2.answers, s2.walks, s2.databases), (6, 900, 6));
+        assert_eq!(s2.requests, s.requests + 1, "only requests advance");
+    }
+
+    #[test]
+    fn single_flight_coalesces_concurrent_identical_misses() {
+        use std::sync::Barrier;
+
+        let e = Engine::new(EngineConfig {
+            workers: 4,
+            cache_capacity: 64,
+            ..EngineConfig::default()
+        });
+        create_prefs(&e);
+        // A budget big enough that the leader is still sampling while
+        // the other threads arrive (the barrier lines them up).
+        let (eps, delta) = (0.03, 0.05);
+        let expected_walks = sample_size(eps, delta);
+        const THREADS: usize = 8;
+        let barrier = Arc::new(Barrier::new(THREADS));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let e = e.clone();
+                let barrier = barrier.clone();
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    e.handle(EngineRequest::Answer {
+                        db: "prefs".into(),
+                        query: QueryRef::Text("(x) <- exists y: Pref(x,y)".into()),
+                        generator: "uniform".into(),
+                        eps,
+                        delta,
+                        seed: 7,
+                        plan: None,
+                    })
+                })
+            })
+            .collect();
+        let payloads: Vec<_> = handles
+            .into_iter()
+            .map(|h| match h.join().unwrap() {
+                EngineResponse::Answer(a) => a,
+                other => panic!("expected answer, got {other:?}"),
+            })
+            .collect();
+        // Exactly one sampling run served all N requests…
+        let s = stats_of(&e);
+        assert_eq!(
+            s.walks, expected_walks,
+            "N concurrent identical misses must sample once"
+        );
+        assert_eq!(s.answers, THREADS as u64);
+        // …and the other N−1 were either coalesced onto the leader's
+        // flight or (having arrived after it retired) served from cache.
+        assert_eq!(
+            s.coalesced + s.cache.hits,
+            (THREADS - 1) as u64,
+            "coalesced {} hits {}",
+            s.coalesced,
+            s.cache.hits
+        );
+        // Every caller saw bit-identical estimates.
+        for p in &payloads[1..] {
+            assert_eq!(p.answers, payloads[0].answers, "divergent answers");
+            assert_eq!(p.walks, expected_walks);
+        }
+        // Coalesced responses are marked as such.
+        let coalesced = payloads.iter().filter(|p| p.coalesced).count() as u64;
+        assert_eq!(coalesced, s.coalesced);
+    }
+
+    #[test]
+    fn shard_full_rejection_then_retry_counts_once() {
+        // Admission rejection must leave the success counters untouched,
+        // so a client retry can never double-count: an engine whose
+        // admission limit is 0 rejects every cold answer…
+        let full = Engine::new(EngineConfig {
+            workers: 1,
+            cache_capacity: 8,
+            max_inflight: 0,
+            ..EngineConfig::default()
+        });
+        create_prefs(&full);
+        for _ in 0..3 {
+            // "retries"
+            let resp = full.handle(answer_req(7));
+            assert!(
+                matches!(resp, EngineResponse::Error(EngineError::ShardFull(0))),
+                "{resp:?}"
+            );
+        }
+        let s = stats_of(&full);
+        assert_eq!((s.answers, s.walks, s.coalesced), (0, 0, 0));
+        // create + 3 rejected answers + this stats = 5: every attempt is
+        // one request, counted at the front door only.
+        assert_eq!(s.requests, 5);
+    }
+
+    #[test]
+    fn ttl_expires_cached_answers() {
+        let e = Engine::new(EngineConfig {
+            workers: 2,
+            cache_capacity: 64,
+            ttl_ms: 30,
+            ..EngineConfig::default()
+        });
+        create_kv(&e);
+        let req = || EngineRequest::Answer {
+            db: "kv".into(),
+            query: QueryRef::Text("(x) <- exists y: R(x,y)".into()),
+            generator: "uniform".into(),
+            eps: 0.1,
+            delta: 0.1,
+            seed: 5,
+            plan: None,
+        };
+        let EngineResponse::Answer(cold) = e.handle(req()) else {
+            panic!()
+        };
+        assert!(!cold.cached);
+        let EngineResponse::Answer(warm) = e.handle(req()) else {
+            panic!()
+        };
+        assert!(warm.cached, "within the TTL the entry serves");
+        std::thread::sleep(std::time::Duration::from_millis(90));
+        let EngineResponse::Answer(late) = e.handle(req()) else {
+            panic!()
+        };
+        assert!(!late.cached, "past the TTL the answer is recomputed");
+        assert_eq!(late.answers, cold.answers, "recompute is deterministic");
+        let s = stats_of(&e);
+        assert_eq!(s.cache.expired, 1);
+        assert_eq!(s.walks, 300, "two computations, one expiry");
     }
 }

@@ -23,6 +23,10 @@ pub enum EngineError {
     Sampling(String),
     /// The storage backend failed to journal or recover state.
     Storage(String),
+    /// The owning shard is at its concurrent-sampling admission limit;
+    /// the request was rejected *before* any counter moved, so a retry
+    /// is accounted like a fresh request (no double counting).
+    ShardFull(u32),
 }
 
 impl fmt::Display for EngineError {
@@ -37,6 +41,10 @@ impl fmt::Display for EngineError {
             EngineError::Schema(msg) => write!(f, "schema error: {msg}"),
             EngineError::Sampling(msg) => write!(f, "sampling error: {msg}"),
             EngineError::Storage(msg) => write!(f, "storage error: {msg}"),
+            EngineError::ShardFull(shard) => write!(
+                f,
+                "shard {shard} is at its sampling admission limit; retry shortly"
+            ),
         }
     }
 }

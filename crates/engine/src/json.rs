@@ -45,6 +45,23 @@ impl Json {
         }
     }
 
+    /// Mutable member lookup on objects.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Json> {
+        match self {
+            Json::Obj(m) => m.get_mut(key),
+            _ => None,
+        }
+    }
+
+    /// Sets a member on an object (no-op on non-objects). The serving
+    /// layer uses this to decorate rendered responses — e.g. the front
+    /// door tagging each routed response with its serving `shard`.
+    pub fn set(&mut self, key: &str, value: Json) {
+        if let Json::Obj(m) = self {
+            m.insert(key.to_string(), value);
+        }
+    }
+
     /// The string payload, if this is a string.
     pub fn as_str(&self) -> Option<&str> {
         match self {

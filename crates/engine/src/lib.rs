@@ -6,6 +6,14 @@
 //! additive error for **all** FO queries. This crate turns the batch
 //! library into a long-lived engine around that result:
 //!
+//! The request path is an explicit three-stage architecture — **front
+//! door → router → shard**. The [`Engine`] front door parses and routes;
+//! the [`Router`] deterministically maps each database name to a shard
+//! (rendezvous hashing, so resharding moves a minimal set of names); and
+//! each [`ShardEngine`] is a self-contained serving engine over its
+//! slice of the catalog, with its own cache, pool, prepared registry and
+//! storage backend:
+//!
 //! * [`Catalog`] — named, versioned databases with incremental fact
 //!   insert/delete; the violation index `V(D, Σ)` is maintained through
 //!   `ocqa_logic::incremental` rather than recomputed per update, and
@@ -23,7 +31,11 @@
 //!   the cheapest sound path for its generator, reported back as the
 //!   response's `plan` field;
 //! * [`AnswerCache`] — an LRU keyed by database version × query ×
-//!   generator × ε/δ × seed, invalidated by catalog updates;
+//!   generator × ε/δ × seed, invalidated by catalog updates, with an
+//!   optional per-entry TTL for time-bounded staleness;
+//! * [`SingleFlight`] — answer-path coalescing: N concurrent cache
+//!   misses for one fully-qualified key block on a single sampling run
+//!   and share its (bit-identical) result;
 //! * [`EngineRequest`] / [`EngineResponse`] — the newline-delimited JSON
 //!   protocol served by [`serve_stdio`] / [`serve_listener`] (the
 //!   `ocqa serve` CLI subcommand).
@@ -60,7 +72,10 @@ pub mod planner;
 pub mod pool;
 pub mod prepared;
 pub mod proto;
+pub mod router;
 pub mod server;
+pub mod shard;
+pub mod singleflight;
 pub mod storage;
 
 pub use cache::{AnswerCache, CacheKey, CacheStats};
@@ -71,7 +86,10 @@ pub use planner::{classify, DbPlan, PlanKind, SampleTask};
 pub use pool::{derive_seed, SamplerPool, CHUNK_WALKS};
 pub use prepared::{PreparedQuery, PreparedRegistry};
 pub use proto::{AnswerPayload, AnswerRow, EngineRequest, EngineResponse, QueryRef};
+pub use router::Router;
 pub use server::{handle_connection, serve_listener, serve_session, serve_stdio};
+pub use shard::{ShardEngine, ShardStats};
+pub use singleflight::SingleFlight;
 pub use storage::{
     InstallImage, MemoryBackend, RecoveredState, RestoredDatabase, StorageBackend, UpdateDelta,
 };

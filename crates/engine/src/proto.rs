@@ -5,8 +5,11 @@
 //!
 //! ```json
 //! {"op":"answer","db":"prefs","query":"(x) <- exists y: Pref(x,y)","eps":0.1,"delta":0.1,"seed":7}
-//! {"ok":true,"answers":[{"tuple":["a"],"p":0.45,"p_cond":0.45}],"walks":150,"failed_walks":0,"cached":false,"db_version":1,"plan":"localized","cache_hits":0,"cache_misses":1}
+//! {"ok":true,"answers":[{"tuple":["a"],"p":0.45,"p_cond":0.45}],"walks":150,"failed_walks":0,"cached":false,"coalesced":false,"db_version":1,"plan":"localized","cache_hits":0,"cache_misses":1,"shard":0}
 //! ```
+//!
+//! The `shard` field (added by the front door) reports which shard
+//! served a routed request; `list` entries carry their database's shard.
 
 use crate::cache::CacheStats;
 use crate::catalog::{DatabaseInfo, UpdateOutcome};
@@ -61,6 +64,11 @@ pub enum EngineRequest {
     Prepare {
         /// Query source text.
         query: String,
+        /// Optional generator name, validated at prepare time (a
+        /// pre-flight check for the generator the client intends to
+        /// answer with — typos and bad parameters surface here instead
+        /// of on the first answer).
+        generator: Option<String>,
     },
     /// Sample-based operational consistent answers.
     Answer {
@@ -119,6 +127,7 @@ impl EngineRequest {
             }),
             "prepare" => Ok(EngineRequest::Prepare {
                 query: str_field("query")?,
+                generator: opt_str("generator"),
             }),
             "answer" => {
                 let query = match (opt_str("query"), opt_str("prepared")) {
@@ -209,6 +218,10 @@ pub struct AnswerPayload {
     pub failed_walks: u64,
     /// Whether this response came from the answer cache.
     pub cached: bool,
+    /// Whether this response was coalesced onto another request's
+    /// in-flight sampling run (the single-flight follower path): the
+    /// estimates are shared with — and bit-identical to — that leader's.
+    pub coalesced: bool,
     /// Version of the database the answer was computed against.
     pub db_version: u64,
     /// The plan that served this answer.
@@ -224,17 +237,24 @@ pub struct EngineStatsPayload {
     pub backend: &'static str,
     /// Requests handled (any op).
     pub requests: u64,
-    /// `answer` requests served.
+    /// `answer` requests served (computed, cached or coalesced), summed
+    /// across shards.
     pub answers: u64,
-    /// Sample walks executed by the pool (cache hits excluded).
+    /// Sample walks executed by the pools (cache hits and coalesced
+    /// followers excluded), summed across shards.
     pub walks: u64,
-    /// Worker threads in the sampler pool.
+    /// Answers served by joining another request's in-flight sampling
+    /// run (single-flight), summed across shards.
+    pub coalesced: u64,
+    /// Worker threads across all sampler pools.
     pub workers: usize,
-    /// Databases in the catalog.
+    /// Databases across all shard catalogs.
     pub databases: usize,
-    /// Prepared queries registered.
+    /// Prepared queries registered across all shard registries.
     pub prepared: usize,
-    /// Answer-cache counters.
+    /// Number of shards behind the front door.
+    pub shards: usize,
+    /// Answer-cache counters, summed across shards.
     pub cache: CacheStats,
 }
 
@@ -333,6 +353,7 @@ impl EngineResponse {
                 ("walks", Json::from(a.walks)),
                 ("failed_walks", Json::from(a.failed_walks)),
                 ("cached", Json::from(a.cached)),
+                ("coalesced", Json::from(a.coalesced)),
                 ("db_version", Json::from(a.db_version)),
                 ("plan", Json::from(a.plan.as_str().to_string())),
                 ("cache_hits", Json::from(a.cache.hits)),
@@ -351,15 +372,18 @@ impl EngineResponse {
                 ("requests", Json::from(s.requests)),
                 ("answers", Json::from(s.answers)),
                 ("walks", Json::from(s.walks)),
+                ("coalesced", Json::from(s.coalesced)),
                 ("workers", Json::from(s.workers as u64)),
                 ("databases", Json::from(s.databases as u64)),
                 ("prepared", Json::from(s.prepared as u64)),
+                ("shards", Json::from(s.shards as u64)),
                 ("cache_hits", Json::from(s.cache.hits)),
                 ("cache_misses", Json::from(s.cache.misses)),
                 ("cache_dominated_hits", Json::from(s.cache.dominated_hits)),
                 ("cache_invalidated", Json::from(s.cache.invalidated)),
                 ("cache_evicted", Json::from(s.cache.evicted)),
                 ("cache_stale_drops", Json::from(s.cache.stale_drops)),
+                ("cache_expired", Json::from(s.cache.expired)),
             ]),
             EngineResponse::Error(e) => {
                 Json::obj([("ok", false.into()), ("error", Json::from(e.to_string()))])
@@ -427,6 +451,27 @@ mod tests {
                 "{bad} must be rejected"
             );
         }
+    }
+
+    #[test]
+    fn parses_prepare_with_optional_generator() {
+        let v = json::parse(r#"{"op":"prepare","query":"(x) <- R(x)"}"#).unwrap();
+        assert_eq!(
+            EngineRequest::from_json(&v).unwrap(),
+            EngineRequest::Prepare {
+                query: "(x) <- R(x)".into(),
+                generator: None,
+            }
+        );
+        let v =
+            json::parse(r#"{"op":"prepare","query":"(x) <- R(x)","generator":"trust"}"#).unwrap();
+        assert_eq!(
+            EngineRequest::from_json(&v).unwrap(),
+            EngineRequest::Prepare {
+                query: "(x) <- R(x)".into(),
+                generator: Some("trust".into()),
+            }
+        );
     }
 
     #[test]

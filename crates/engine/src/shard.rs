@@ -1,0 +1,558 @@
+//! One shard of the serving engine: a catalog partition with its own
+//! cache, sampler pool, prepared registry and storage backend.
+//!
+//! A [`ShardEngine`] is exactly what the pre-sharding `Engine` was — the
+//! paper's operational semantics makes every `answer` an independent
+//! Monte-Carlo estimate over *one* database, so a catalog partitioned by
+//! database name shards with no cross-shard coordination at all. The
+//! front door ([`crate::Engine`]) owns the name → shard mapping
+//! ([`crate::Router`]) and fans `list`/`stats` out; everything else —
+//! violation maintenance, planning, sampling, caching, journaling —
+//! happens here, per shard, against shard-local state.
+//!
+//! Locking discipline (unchanged from the monolithic engine): the
+//! catalog and cache locks are held only to read or mutate metadata —
+//! never across sampling. An `answer` takes a snapshot
+//! (`Arc<RepairContext>`) under the catalog lock, releases it, samples
+//! on the shard's pool, and re-takes the cache lock to store the result.
+//!
+//! # Single-flight answers
+//!
+//! The answer path coalesces identical concurrent misses: the first miss
+//! for a fully-qualified cache key becomes the **leader** and samples;
+//! every concurrent miss for the same key blocks on the leader's
+//! [`crate::singleflight::Flight`] and shares its tally. N concurrent
+//! cold requests for one key therefore cost **one** sampling run — the
+//! `walks` counter moves once — and, by the determinism contract, every
+//! caller receives bit-identical estimates. Coalesced serves are marked
+//! `coalesced: true` in the payload and counted in
+//! [`ShardStats::coalesced`].
+//!
+//! # Admission control
+//!
+//! At most [`crate::EngineConfig::max_inflight`] leaders may sample
+//! concurrently per shard. Beyond that the request is rejected with
+//! [`EngineError::ShardFull`] *before any success counter moves*, so a
+//! client retry is accounted as a fresh request — `answers` and `walks`
+//! can never double-count a retried request.
+
+use crate::cache::{AnswerCache, CacheKey, CacheStats};
+use crate::catalog::{Catalog, DatabaseInfo, UpdateOutcome};
+use crate::engine::{generator_by_name, EngineConfig};
+use crate::error::EngineError;
+use crate::planner::PlanKind;
+use crate::pool::SamplerPool;
+use crate::prepared::{PreparedQuery, PreparedRegistry};
+use crate::proto::{AnswerPayload, AnswerRow, QueryRef};
+use crate::singleflight::{Join, SingleFlight};
+use crate::storage::StorageBackend;
+use ocqa_core::sample::{sample_size, SampleTally};
+use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Per-shard serving counters, summed by the front door's `stats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// `answer` requests served by this shard (computed, cached or
+    /// coalesced).
+    pub answers: u64,
+    /// Sample walks executed by this shard's pool.
+    pub walks: u64,
+    /// Answers served by joining another request's in-flight sampling
+    /// run (the single-flight follower path).
+    pub coalesced: u64,
+    /// Databases in this shard's catalog.
+    pub databases: usize,
+    /// Prepared queries in this shard's registry.
+    pub prepared: usize,
+    /// Worker threads in this shard's sampler pool.
+    pub workers: usize,
+    /// This shard's answer-cache counters.
+    pub cache: CacheStats,
+}
+
+/// One shard: a full, self-contained serving engine over a slice of the
+/// catalog, rooted (when durable) at its own `shard-<k>/` data directory
+/// with its own LOCK, WAL and snapshots.
+pub struct ShardEngine {
+    id: u32,
+    catalog: RwLock<Catalog>,
+    cache: Mutex<AnswerCache>,
+    prepared: RwLock<PreparedRegistry>,
+    backend: Arc<dyn StorageBackend>,
+    pool: SamplerPool,
+    flights: SingleFlight,
+    /// Leaders currently sampling (admission control; followers and
+    /// cache hits never consume a slot).
+    inflight: AtomicU64,
+    max_inflight: u64,
+    max_walks: u64,
+    planner: bool,
+    answers: AtomicU64,
+    walks: AtomicU64,
+    coalesced: AtomicU64,
+}
+
+impl ShardEngine {
+    /// Builds shard `id` on a storage backend: the backend's persisted
+    /// state is recovered first — databases with their exact versions,
+    /// violation sets and planner classifications, and prepared queries
+    /// with their original ordinal handles — and every subsequent
+    /// mutation is journaled write-through. A recovered shard serves
+    /// bit-identical answers to its pre-restart self for equal requests.
+    ///
+    /// `config` is the *per-shard* configuration — the front door divides
+    /// worker threads and cache capacity across shards before calling
+    /// this.
+    pub fn with_backend(
+        config: EngineConfig,
+        backend: Arc<dyn StorageBackend>,
+        id: u32,
+    ) -> Result<Arc<ShardEngine>, EngineError> {
+        let state = backend.recover()?;
+        let mut catalog = Catalog::new();
+        for db in state.databases {
+            catalog.restore(db)?;
+        }
+        catalog.raise_version_floor(state.next_version);
+        let mut prepared = PreparedRegistry::new();
+        prepared.restore(state.prepared, state.prepared_next)?;
+        let ttl = (config.ttl_ms > 0).then(|| Duration::from_millis(config.ttl_ms));
+        Ok(Arc::new(ShardEngine {
+            id,
+            catalog: RwLock::new(catalog),
+            cache: Mutex::new(AnswerCache::with_ttl(config.cache_capacity, ttl)),
+            prepared: RwLock::new(prepared),
+            backend,
+            pool: SamplerPool::new(config.workers),
+            flights: SingleFlight::new(),
+            inflight: AtomicU64::new(0),
+            max_inflight: config.max_inflight as u64,
+            max_walks: config.max_walks.max(1),
+            planner: config.planner,
+            answers: AtomicU64::new(0),
+            walks: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+        }))
+    }
+
+    /// This shard's index (also the `shard` field of its responses).
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// The storage backend's label (`"memory"`, `"disk"`, …).
+    pub fn backend_label(&self) -> &'static str {
+        self.backend.label()
+    }
+
+    /// The configured per-request walk ceiling.
+    pub fn max_walks(&self) -> u64 {
+        self.max_walks
+    }
+
+    /// Creates a database from source text (parse and `V(D, Σ)` outside
+    /// the write lock; journal-before-mutate under it).
+    pub fn create(
+        &self,
+        name: &str,
+        facts: &str,
+        constraints: &str,
+    ) -> Result<DatabaseInfo, EngineError> {
+        let parsed = crate::catalog::ParsedDatabase::parse(facts, constraints)?;
+        self.catalog
+            .write()
+            .install_with(name, parsed, |image| self.backend.journal_install(image))
+    }
+
+    /// Drops a database, flooring the answer cache above the dropped
+    /// incarnation's version.
+    pub fn drop_db(&self, name: &str) -> Result<(), EngineError> {
+        let version = {
+            let mut catalog = self.catalog.write();
+            let version = catalog.info(name)?.version;
+            // Journal-then-mutate: a vetoed drop leaves the database.
+            self.backend.journal_drop(name, version)?;
+            catalog.drop_db(name);
+            version
+        };
+        // Floor above the dropped incarnation: a recreated database
+        // starts at a strictly higher global version, so its entries pass
+        // while any in-flight answer against the dropped one is rejected.
+        self.cache.lock().invalidate_db(name, version + 1);
+        Ok(())
+    }
+
+    /// Applies an insert/delete batch (fact-list source text).
+    pub fn update(
+        &self,
+        db: &str,
+        insert: &str,
+        delete: &str,
+    ) -> Result<UpdateOutcome, EngineError> {
+        // Parse outside the lock; the locked phase is the incremental
+        // violation update, proportional to the delta's neighbourhood.
+        let inserts = ocqa_logic::parser::parse_facts(insert)
+            .map_err(|e| EngineError::Parse(e.to_string()))?;
+        let deletes = ocqa_logic::parser::parse_facts(delete)
+            .map_err(|e| EngineError::Parse(e.to_string()))?;
+        let outcome = self
+            .catalog
+            .write()
+            .update_parsed_with(db, &inserts, &deletes, |delta| {
+                self.backend.journal_update(delta)
+            })?;
+        // An effective update bumps the version; purge dead entries
+        // eagerly and floor the database so an in-flight answer that
+        // sampled the pre-update snapshot cannot re-insert one. No-op
+        // updates keep the version and the cache.
+        if outcome.inserted > 0 || outcome.removed > 0 {
+            self.cache.lock().invalidate_db(db, outcome.version);
+        }
+        Ok(outcome)
+    }
+
+    /// Parses and registers a query text, returning the (possibly
+    /// pre-existing) handle. New texts are journaled.
+    pub fn prepare(&self, text: &str) -> Result<Arc<PreparedQuery>, EngineError> {
+        self.prepared
+            .write()
+            .prepare_with(text, |t, ord| self.backend.journal_prepare(t, ord))
+    }
+
+    /// Resolves a prepared handle (the front door uses shard 0 as the
+    /// handle authority when rewriting `prepared` refs for other shards).
+    pub fn prepared_get(&self, id: &str) -> Result<Arc<PreparedQuery>, EngineError> {
+        self.prepared.read().get(id)
+    }
+
+    /// Serves one `answer` request against this shard's catalog.
+    #[allow(clippy::too_many_arguments)]
+    pub fn answer(
+        &self,
+        db: &str,
+        query_ref: &QueryRef,
+        generator: &str,
+        eps: f64,
+        delta: f64,
+        seed: u64,
+        plan_request: Option<PlanKind>,
+    ) -> Result<AnswerPayload, EngineError> {
+        if eps <= 0.0 || eps >= 1.0 || delta <= 0.0 || delta >= 1.0 {
+            return Err(EngineError::BadRequest(
+                "eps and delta must lie in (0,1)".into(),
+            ));
+        }
+        let walks = sample_size(eps, delta);
+        if walks > self.max_walks {
+            return Err(EngineError::BadRequest(format!(
+                "eps/delta require {walks} walks, above the engine limit of {}",
+                self.max_walks
+            )));
+        }
+        // Inline text is routed through the prepared registry too: the
+        // parse/validate cost is paid once per distinct query text.
+        let prepared = match query_ref {
+            QueryRef::Text(text) => {
+                // Fast path under the read lock: hot workloads repeat the
+                // same inline text, and a write lock here would serialize
+                // every concurrent answer. New inline texts are journaled
+                // like explicit prepares — handle ids are ordinal, so
+                // recovery must replay every allocation to reproduce them.
+                let known = self.prepared.read().lookup_text(text);
+                match known {
+                    Some(p) => p,
+                    None => self.prepare(text)?,
+                }
+            }
+            QueryRef::Prepared(id) => self.prepared.read().get(id)?,
+        };
+        let gen = generator_by_name(generator)?;
+        let (_ctx, version, plan) = self.catalog.read().snapshot(db)?;
+        // Resolve the route: the planner picks the cheapest sound path
+        // for this database × generator; a disabled planner pins
+        // automatic requests to monolithic; explicit requests are
+        // validated (unsound forces are errors, not silent fallbacks).
+        let route = if plan_request.is_none() && !self.planner {
+            PlanKind::Monolithic
+        } else {
+            plan.route(gen.as_ref(), plan_request)?
+        };
+        let key = CacheKey {
+            db: db.to_string(),
+            version,
+            query: prepared.text.clone(),
+            generator: generator.to_string(),
+            plan: route,
+            eps_bits: eps.to_bits(),
+            delta_bits: delta.to_bits(),
+            seed,
+        };
+        // One lock acquisition serves both the lookup and the stats
+        // snapshot reported alongside the answer.
+        let (hit, stats) = {
+            let mut cache = self.cache.lock();
+            let hit = cache.get(&key);
+            let stats = cache.stats();
+            (hit, stats)
+        };
+        if let Some(tally) = hit {
+            self.answers.fetch_add(1, Ordering::Relaxed);
+            return Ok(self.payload(&tally, true, false, version, stats, route));
+        }
+        // Cache miss: join the single-flight table. Followers block on
+        // the leader's run and share its tally — one sampling run serves
+        // every concurrent miss for this key.
+        let token = match self.flights.join(&key) {
+            Join::Follower(flight) => {
+                let tally = flight.wait()?;
+                self.answers.fetch_add(1, Ordering::Relaxed);
+                self.coalesced.fetch_add(1, Ordering::Relaxed);
+                let stats = self.cache.lock().stats();
+                return Ok(self.payload(&tally, false, true, version, stats, route));
+            }
+            Join::Leader(token) => token,
+        };
+        // Leadership won — but the previous leader for this key may have
+        // completed (cache insert, then flight retirement) between our
+        // cache miss and our join. Re-check the cache so that window can
+        // never trigger a redundant sampling run; the insert-before-
+        // retire ordering below makes this re-check conclusive.
+        let (hit, stats) = {
+            let mut cache = self.cache.lock();
+            let hit = cache.get(&key);
+            let stats = cache.stats();
+            (hit, stats)
+        };
+        if let Some(tally) = hit {
+            self.answers.fetch_add(1, Ordering::Relaxed);
+            token.complete(Ok(tally.clone()));
+            return Ok(self.payload(&tally, true, false, version, stats, route));
+        }
+        // Admission: only sampling leaders consume a slot. Rejection
+        // happens before any success counter moves, so a retried request
+        // can never double-count. The slot is released by an RAII guard
+        // — like the leader token, it must survive a panicking sampler,
+        // or each panic would permanently shrink the shard's capacity.
+        struct Slot<'a>(&'a AtomicU64);
+        impl Drop for Slot<'_> {
+            fn drop(&mut self) {
+                self.0.fetch_sub(1, Ordering::AcqRel);
+            }
+        }
+        let slot = Slot(&self.inflight);
+        if self.inflight.fetch_add(1, Ordering::AcqRel) >= self.max_inflight {
+            let err = EngineError::ShardFull(self.id);
+            token.complete(Err(err.clone()));
+            return Err(err);
+        }
+        // Sample on the pool with no locks held.
+        let result = plan
+            .task(route, gen)
+            .and_then(|task| self.pool.run(&task, &prepared.query, walks, seed))
+            .map(Arc::new);
+        drop(slot);
+        let tally = match result {
+            Ok(tally) => tally,
+            Err(e) => {
+                token.complete(Err(e.clone()));
+                return Err(e);
+            }
+        };
+        // Counters move only on success: a rejected or failed request
+        // must inflate neither `answers` nor `walks`.
+        self.walks.fetch_add(walks, Ordering::Relaxed);
+        self.answers.fetch_add(1, Ordering::Relaxed);
+        // Insert into the cache *before* retiring the flight: a caller
+        // that misses the retired flight is guaranteed to hit the cache.
+        let stats = self.store_answer(key, tally.clone());
+        token.complete(Ok(tally.clone()));
+        Ok(self.payload(&tally, false, false, version, stats, route))
+    }
+
+    /// Stores a computed answer, returning the post-insert cache stats.
+    /// The insert is version-checked: if an update (or drop) invalidated
+    /// this database while the request was sampling, the cache drops the
+    /// entry instead of re-inserting a dead version.
+    pub(crate) fn store_answer(&self, key: CacheKey, tally: Arc<SampleTally>) -> CacheStats {
+        let mut cache = self.cache.lock();
+        cache.insert(key, tally);
+        cache.stats()
+    }
+
+    fn payload(
+        &self,
+        tally: &SampleTally,
+        cached: bool,
+        coalesced: bool,
+        version: u64,
+        stats: CacheStats,
+        plan: PlanKind,
+    ) -> AnswerPayload {
+        // Raw and conditional estimates zip positionally: both iterate
+        // the same count map. `conditional_frequencies` is None only when
+        // every walk failed, in which case there are no rows at all.
+        let conditional = tally.conditional_frequencies().unwrap_or_default();
+        let answers = tally
+            .frequencies()
+            .into_iter()
+            .zip(conditional)
+            .map(|((tuple, p), (_, p_cond))| AnswerRow { tuple, p, p_cond })
+            .collect();
+        AnswerPayload {
+            answers,
+            walks: tally.walks,
+            failed_walks: tally.failed_walks,
+            cached,
+            coalesced,
+            db_version: version,
+            plan,
+            cache: stats,
+        }
+    }
+
+    /// Info for every database on this shard, sorted by name.
+    pub fn list(&self) -> Vec<DatabaseInfo> {
+        self.catalog.read().list()
+    }
+
+    /// This shard's serving counters.
+    pub fn stats(&self) -> ShardStats {
+        ShardStats {
+            answers: self.answers.load(Ordering::Relaxed),
+            walks: self.walks.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            databases: self.catalog.read().len(),
+            prepared: self.prepared.read().len(),
+            workers: self.pool.workers(),
+            cache: self.cache.lock().stats(),
+        }
+    }
+
+    #[cfg(test)]
+    pub(crate) fn catalog(&self) -> &RwLock<Catalog> {
+        &self.catalog
+    }
+
+    #[cfg(test)]
+    pub(crate) fn pool(&self) -> &SamplerPool {
+        &self.pool
+    }
+
+    #[cfg(test)]
+    pub(crate) fn cache_len(&self) -> usize {
+        self.cache.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::MemoryBackend;
+
+    fn shard() -> Arc<ShardEngine> {
+        ShardEngine::with_backend(
+            EngineConfig {
+                workers: 2,
+                cache_capacity: 64,
+                ..EngineConfig::default()
+            },
+            Arc::new(MemoryBackend),
+            3,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn stale_answer_insert_after_update_is_dropped() {
+        // The in-flight race, deterministically interleaved: a slow
+        // answer snapshots version v1, an update purges and floors the
+        // cache while it samples, then its insert lands through the same
+        // `store_answer` path the real request path uses. The dead entry
+        // must be dropped, not parked in an LRU slot.
+        let e = shard();
+        e.create(
+            "prefs",
+            "Pref(a,b). Pref(a,c). Pref(a,d). Pref(b,a). Pref(b,d). Pref(c,a).",
+            "Pref(x,y), Pref(y,x) -> false.",
+        )
+        .unwrap();
+        let (_ctx, v1, plan) = e.catalog().read().snapshot("prefs").unwrap();
+        // The "slow sampler" finishes its work against the v1 snapshot…
+        let gen = generator_by_name("uniform").unwrap();
+        let task = plan.task(PlanKind::Localized, gen).unwrap();
+        let query =
+            Arc::new(ocqa_logic::parser::parse_query("(x) <- exists y: Pref(x,y)").unwrap());
+        let tally = Arc::new(e.pool().run(&task, &query, 64, 3).unwrap());
+        // …but an update lands first, bumping the version and flooring
+        // the cache.
+        e.update("prefs", "", "Pref(c,a).").unwrap();
+        // The late insert must be dropped.
+        let key = CacheKey {
+            db: "prefs".into(),
+            version: v1,
+            query: "(x) <- exists y: Pref(x,y)".into(),
+            generator: "uniform".into(),
+            plan: PlanKind::Localized,
+            eps_bits: 0.1f64.to_bits(),
+            delta_bits: 0.1f64.to_bits(),
+            seed: 3,
+        };
+        let stats = e.store_answer(key, tally);
+        assert_eq!(stats.stale_drops, 1);
+        assert_eq!(e.cache_len(), 0, "no dead entry may occupy a slot");
+        // Answers against the current version cache normally again.
+        let a = e
+            .answer(
+                "prefs",
+                &QueryRef::Text("(x) <- exists y: Pref(x,y)".into()),
+                "uniform",
+                0.1,
+                0.1,
+                3,
+                None,
+            )
+            .unwrap();
+        assert!(!a.cached);
+        assert_eq!(e.cache_len(), 1);
+    }
+
+    #[test]
+    fn shard_full_rejection_keeps_counters_clean() {
+        // max_inflight 0: every sampling leader is rejected at admission.
+        let e = ShardEngine::with_backend(
+            EngineConfig {
+                workers: 1,
+                cache_capacity: 8,
+                max_inflight: 0,
+                ..EngineConfig::default()
+            },
+            Arc::new(MemoryBackend),
+            5,
+        )
+        .unwrap();
+        e.create("kv", "R(1,10). R(1,20).", "R(x,y), R(x,z) -> y = z.")
+            .unwrap();
+        let err = e
+            .answer(
+                "kv",
+                &QueryRef::Text("(x) <- exists y: R(x,y)".into()),
+                "uniform",
+                0.1,
+                0.1,
+                0,
+                None,
+            )
+            .unwrap_err();
+        assert!(matches!(err, EngineError::ShardFull(5)), "{err}");
+        let s = e.stats();
+        assert_eq!(
+            (s.answers, s.walks, s.coalesced),
+            (0, 0, 0),
+            "admission rejection must not move success counters"
+        );
+        assert!(e.flights.is_empty(), "rejected flight must retire");
+    }
+}

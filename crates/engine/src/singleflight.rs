@@ -1,0 +1,234 @@
+//! Single-flight coalescing for the answer path.
+//!
+//! Repeated approximate answering of the same query dominates serving
+//! cost (the uniform operational CQA follow-ups make this explicit), and
+//! the worst case is N concurrent *misses* for one key: without
+//! coalescing, every one of them runs the full Hoeffding walk budget for
+//! a result that is — by the engine's determinism contract — bit-for-bit
+//! identical. The [`SingleFlight`] table collapses them: the first miss
+//! becomes the **leader** and samples; every concurrent miss for the same
+//! fully-qualified [`CacheKey`] becomes a **follower** and blocks until
+//! the leader publishes, then shares the leader's tally (an `Arc` clone).
+//!
+//! Keys are full cache keys — database **and version**, query text,
+//! generator, plan, ε/δ bits and seed — so coalescing can never merge
+//! two requests whose computed answers could differ.
+//!
+//! The leader publishes errors too: followers of a failing run see the
+//! same error instead of dog-piling onto a failing computation. A leader
+//! that unwinds without publishing (a panic outside the pool's own
+//! catch) is covered by [`LeaderToken`]'s `Drop`, which publishes a
+//! generic sampling error — followers never block forever.
+
+use crate::cache::CacheKey;
+use crate::error::EngineError;
+use ocqa_core::sample::SampleTally;
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+/// What a flight resolves to: the shared tally, or the leader's error.
+pub type FlightResult = Result<Arc<SampleTally>, EngineError>;
+
+/// One in-flight computation, shared between its leader and followers.
+pub struct Flight {
+    slot: Mutex<Option<FlightResult>>,
+    cv: Condvar,
+}
+
+impl Flight {
+    /// Blocks until the leader publishes, then returns the shared result.
+    pub fn wait(&self) -> FlightResult {
+        let mut slot = self.slot.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(result) = slot.as_ref() {
+                return result.clone();
+            }
+            slot = self.cv.wait(slot).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    fn publish(&self, result: FlightResult) {
+        let mut slot = self.slot.lock().unwrap_or_else(PoisonError::into_inner);
+        if slot.is_none() {
+            *slot = Some(result);
+        }
+        drop(slot);
+        self.cv.notify_all();
+    }
+}
+
+/// The in-flight table: at most one live computation per key.
+#[derive(Default)]
+pub struct SingleFlight {
+    inflight: Mutex<HashMap<CacheKey, Arc<Flight>>>,
+}
+
+/// The outcome of [`SingleFlight::join`].
+pub enum Join<'a> {
+    /// This caller owns the computation and **must** resolve the token
+    /// (compute → [`LeaderToken::complete`]).
+    Leader(LeaderToken<'a>),
+    /// Another caller is computing this key; [`Flight::wait`] for it.
+    Follower(Arc<Flight>),
+}
+
+/// Leadership of one flight. Completing removes the flight from the
+/// table *before* waking followers, so a caller arriving after
+/// completion starts fresh (and, with the engine's cache-before-complete
+/// ordering, immediately hits the answer cache instead of resampling).
+pub struct LeaderToken<'a> {
+    table: &'a SingleFlight,
+    key: CacheKey,
+    flight: Arc<Flight>,
+    done: bool,
+}
+
+impl LeaderToken<'_> {
+    /// Publishes the computation's outcome to every follower and retires
+    /// the flight.
+    pub fn complete(mut self, result: FlightResult) {
+        self.resolve(result);
+    }
+
+    fn resolve(&mut self, result: FlightResult) {
+        if self.done {
+            return;
+        }
+        self.done = true;
+        self.table
+            .inflight
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(&self.key);
+        self.flight.publish(result);
+    }
+}
+
+impl Drop for LeaderToken<'_> {
+    fn drop(&mut self) {
+        // A leader that unwinds without completing must not strand its
+        // followers: publish a generic failure.
+        self.resolve(Err(EngineError::Sampling(
+            "single-flight leader aborted without a result".into(),
+        )));
+    }
+}
+
+impl SingleFlight {
+    /// An empty table.
+    pub fn new() -> SingleFlight {
+        SingleFlight::default()
+    }
+
+    /// Joins the flight for `key`: the first caller becomes the leader,
+    /// every concurrent caller a follower of the leader's flight.
+    pub fn join(&self, key: &CacheKey) -> Join<'_> {
+        let mut inflight = self.inflight.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(flight) = inflight.get(key) {
+            return Join::Follower(flight.clone());
+        }
+        let flight = Arc::new(Flight {
+            slot: Mutex::new(None),
+            cv: Condvar::new(),
+        });
+        inflight.insert(key.clone(), flight.clone());
+        Join::Leader(LeaderToken {
+            table: self,
+            key: key.clone(),
+            flight,
+            done: false,
+        })
+    }
+
+    /// Number of live flights (test observability).
+    pub fn len(&self) -> usize {
+        self.inflight
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// Whether no flight is live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::PlanKind;
+
+    fn key(seed: u64) -> CacheKey {
+        CacheKey {
+            db: "db".into(),
+            version: 1,
+            query: "(x) <- R(x)".into(),
+            generator: "uniform".into(),
+            plan: PlanKind::Monolithic,
+            eps_bits: 0.1f64.to_bits(),
+            delta_bits: 0.1f64.to_bits(),
+            seed,
+        }
+    }
+
+    fn tally(walks: u64) -> Arc<SampleTally> {
+        Arc::new(SampleTally {
+            walks,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn leader_then_followers_share_one_result() {
+        let table = Arc::new(SingleFlight::new());
+        let Join::Leader(token) = table.join(&key(7)) else {
+            panic!("first join must lead");
+        };
+        // Concurrent joins for the same key follow; a different key leads.
+        let Join::Follower(flight) = table.join(&key(7)) else {
+            panic!("second join must follow");
+        };
+        assert!(matches!(table.join(&key(8)), Join::Leader(_)));
+        let waiter = {
+            let flight = flight.clone();
+            std::thread::spawn(move || flight.wait())
+        };
+        token.complete(Ok(tally(150)));
+        assert_eq!(waiter.join().unwrap().unwrap().walks, 150);
+        assert_eq!(flight.wait().unwrap().walks, 150, "late wait still served");
+        // The flight retired: the next join for the key leads again.
+        assert!(matches!(table.join(&key(7)), Join::Leader(_)));
+    }
+
+    #[test]
+    fn errors_propagate_to_followers() {
+        let table = SingleFlight::new();
+        let Join::Leader(token) = table.join(&key(1)) else {
+            panic!()
+        };
+        let Join::Follower(flight) = table.join(&key(1)) else {
+            panic!()
+        };
+        token.complete(Err(EngineError::Sampling("boom".into())));
+        assert!(matches!(flight.wait(), Err(EngineError::Sampling(_))));
+    }
+
+    #[test]
+    fn dropped_leader_unblocks_followers() {
+        let table = SingleFlight::new();
+        let Join::Follower(flight) = ({
+            let Join::Leader(token) = table.join(&key(2)) else {
+                panic!()
+            };
+            let follower = table.join(&key(2));
+            drop(token); // leader unwinds without completing
+            follower
+        }) else {
+            panic!()
+        };
+        let err = flight.wait().unwrap_err();
+        assert!(err.to_string().contains("aborted"), "{err}");
+        assert!(table.is_empty(), "aborted flight must retire");
+    }
+}

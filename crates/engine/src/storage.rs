@@ -24,6 +24,13 @@
 //! file-system concerns and other backends (remote/replicated stores, the
 //! ROADMAP's sharding hand-off) can plug in without touching the serving
 //! layer.
+//!
+//! Under sharding ([`crate::Engine::with_backends`]) each
+//! [`crate::ShardEngine`] owns **one backend of its own** — for disk
+//! stores, a `shard-<k>/` directory with its own LOCK, WAL and snapshot
+//! generation — so shards journal and recover with no coordination, and
+//! a shard's whole slice of the catalog can be handed to another process
+//! by pointing it at the directory.
 
 use crate::error::EngineError;
 use crate::planner::PlanKind;

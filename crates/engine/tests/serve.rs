@@ -206,6 +206,75 @@ fn answers_report_their_plan_over_the_wire() {
 }
 
 #[test]
+fn sharded_server_reports_shards_over_the_wire() {
+    // A 4-shard engine behind one TCP front door: routed responses carry
+    // the serving shard, list entries carry each database's shard, and
+    // stats fan out across every shard exactly once.
+    let engine = Engine::new(EngineConfig {
+        workers: 4,
+        cache_capacity: 64,
+        shards: 4,
+        ..EngineConfig::default()
+    });
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port");
+    let addr = listener.local_addr().unwrap();
+    let server_engine = engine.clone();
+    std::thread::spawn(move || {
+        let _ = serve_listener(server_engine, listener);
+    });
+    let (mut s, mut r) = connect(addr);
+
+    let names = ["orders", "users", "events", "billing", "audit"];
+    for name in names {
+        let create = format!(
+            r#"{{"op":"create_db","name":"{name}","facts":"R(1,10). R(1,20).","constraints":"R(x,y), R(x,z) -> y = z."}}"#
+        );
+        let resp = roundtrip(&mut s, &mut r, &create);
+        assert!(resp.contains("\"ok\":true"), "{resp}");
+        assert!(
+            resp.contains("\"shard\":"),
+            "create must report its shard: {resp}"
+        );
+        // The reported shard matches the front door's routing.
+        let shard = engine.shard_of(name) as u64;
+        assert!(
+            resp.contains(&format!("\"shard\":{shard}")),
+            "{name} routed to {shard}: {resp}"
+        );
+    }
+    // Answers carry the shard and the coalesced flag.
+    let resp = roundtrip(
+        &mut s,
+        &mut r,
+        r#"{"op":"answer","db":"orders","query":"(x) <- exists y: R(x,y)","seed":7}"#,
+    );
+    assert!(resp.contains("\"ok\":true"), "{resp}");
+    assert!(resp.contains("\"coalesced\":false"), "{resp}");
+    let shard = engine.shard_of("orders") as u64;
+    assert!(resp.contains(&format!("\"shard\":{shard}")), "{resp}");
+
+    // Every list entry names its shard; the merged list is complete.
+    let resp = roundtrip(&mut s, &mut r, r#"{"op":"list"}"#);
+    for name in names {
+        assert!(resp.contains(&format!("\"name\":\"{name}\"")), "{resp}");
+    }
+    assert_eq!(
+        resp.matches("\"shard\":").count(),
+        names.len(),
+        "one shard tag per database: {resp}"
+    );
+
+    // Stats report the shard count and sum per-shard counters once.
+    let resp = roundtrip(&mut s, &mut r, r#"{"op":"stats"}"#);
+    assert!(resp.contains("\"shards\":4"), "{resp}");
+    assert!(resp.contains("\"databases\":5"), "{resp}");
+    assert!(resp.contains("\"answers\":1"), "{resp}");
+    assert!(resp.contains("\"walks\":150"), "{resp}");
+    assert!(resp.contains("\"coalesced\":0"), "{resp}");
+    assert!(resp.contains("\"cache_expired\":0"), "{resp}");
+}
+
+#[test]
 fn sessions_see_errors_inline_and_keep_going() {
     let (_engine, addr) = spawn_server(1);
     let (mut s, mut r) = connect(addr);
