@@ -10,6 +10,7 @@
 //!   ocqa serve    [--listen ADDR] [--workers N] [--cache N] [--planner on|off]
 //!                 [--shards N] [--ttl-ms MS] [--max-inflight N]
 //!                 [--data-dir PATH]
+//!   ocqa route    --upstream HOST:PORT [--upstream HOST:PORT ...] [--listen ADDR]
 //!   ocqa snapshot --data-dir PATH [--db NAME]
 //!
 //! GENERATORS: uniform (default) | uniform-deletions | preference
@@ -27,6 +28,15 @@
 //! exactly, answering bit-identically to the killed process. `snapshot`
 //! compacts such a directory offline (folds each shard's WAL into fresh
 //! per-database snapshot files and truncates it).
+//!
+//! `route` is the multi-process deployment of the same front door: a
+//! standalone router speaking the identical NDJSON protocol, proxying
+//! each request to the upstream shard server owning its database name
+//! (one `--upstream` per shard, in shard order; each an ordinary
+//! `ocqa serve --shards 1` over its own store). Responses are
+//! byte-identical to an in-process `ocqa serve --shards N` — placement
+//! never changes an estimate — and the router reconnects transparently
+//! when an upstream is restarted.
 
 use ocqa_core::{answer, explain, explore, sample, ChainGenerator, RepairContext, RepairState};
 use ocqa_data::Database;
@@ -50,15 +60,20 @@ fn main() -> ExitCode {
 struct Args {
     command: String,
     options: HashMap<String, String>,
+    /// Options that may legally repeat (e.g. `route --upstream`),
+    /// collected in order of appearance.
+    multi: HashMap<String, Vec<String>>,
     flags: Vec<String>,
 }
 
-/// Per-command argument specification: which `--name value` options and
-/// which bare `--flag`s are legal. Anything else is a usage error, as is
-/// repeating an option.
+/// Per-command argument specification: which `--name value` options
+/// (single-valued unless listed in `multi`) and which bare `--flag`s are
+/// legal. Anything else is a usage error, as is repeating a
+/// single-valued option.
 struct CommandSpec {
     name: &'static str,
     options: &'static [&'static str],
+    multi: &'static [&'static str],
     flags: &'static [&'static str],
 }
 
@@ -66,11 +81,13 @@ const COMMANDS: &[CommandSpec] = &[
     CommandSpec {
         name: "check",
         options: &["facts", "constraints"],
+        multi: &[],
         flags: &["help"],
     },
     CommandSpec {
         name: "repairs",
         options: &["facts", "constraints", "generator", "max-states"],
+        multi: &[],
         flags: &["help"],
     },
     CommandSpec {
@@ -85,11 +102,13 @@ const COMMANDS: &[CommandSpec] = &[
             "seed",
             "max-states",
         ],
+        multi: &[],
         flags: &["exact", "help"],
     },
     CommandSpec {
         name: "trace",
         options: &["facts", "constraints", "generator", "seed"],
+        multi: &[],
         flags: &["help"],
     },
     CommandSpec {
@@ -104,11 +123,19 @@ const COMMANDS: &[CommandSpec] = &[
             "ttl-ms",
             "max-inflight",
         ],
+        multi: &[],
+        flags: &["help"],
+    },
+    CommandSpec {
+        name: "route",
+        options: &["listen"],
+        multi: &["upstream"],
         flags: &["help"],
     },
     CommandSpec {
         name: "snapshot",
         options: &["data-dir", "db"],
+        multi: &[],
         flags: &["help"],
     },
 ];
@@ -126,6 +153,7 @@ fn parse_argv(argv: Vec<String>) -> Result<Args, String> {
         return Ok(Args {
             command,
             options: HashMap::new(),
+            multi: HashMap::new(),
             flags: Vec::new(),
         });
     }
@@ -134,6 +162,7 @@ fn parse_argv(argv: Vec<String>) -> Result<Args, String> {
         .find(|spec| spec.name == command)
         .ok_or_else(|| format!("unknown command {command:?}\n{}", usage()))?;
     let mut options = HashMap::new();
+    let mut multi: HashMap<String, Vec<String>> = HashMap::new();
     let mut flags = Vec::new();
     while let Some(arg) = argv.next() {
         let Some(name) = arg.strip_prefix("--") else {
@@ -143,6 +172,11 @@ fn parse_argv(argv: Vec<String>) -> Result<Args, String> {
             if !flags.iter().any(|f| f == name) {
                 flags.push(name.to_string());
             }
+        } else if spec.multi.contains(&name) {
+            let value = argv
+                .next()
+                .ok_or_else(|| format!("--{name} requires a value"))?;
+            multi.entry(name.to_string()).or_default().push(value);
         } else if spec.options.contains(&name) {
             let value = argv
                 .next()
@@ -160,18 +194,21 @@ fn parse_argv(argv: Vec<String>) -> Result<Args, String> {
     Ok(Args {
         command,
         options,
+        multi,
         flags,
     })
 }
 
 fn usage() -> String {
-    "usage: ocqa <check|repairs|answer|trace|serve|snapshot>\n  \
+    "usage: ocqa <check|repairs|answer|trace|serve|route|snapshot>\n  \
      check|repairs|answer|trace: --facts FILE --constraints FILE \
      [--query TEXT] [--generator uniform|uniform-deletions|preference] \
      [--exact | --eps E --delta D] [--seed N] [--max-states N]\n  \
      serve: [--listen HOST:PORT] [--workers N] [--cache ENTRIES] \
      [--planner on|off] [--shards N] [--ttl-ms MS] [--max-inflight N] \
      [--data-dir PATH]\n  \
+     route: --upstream HOST:PORT [--upstream HOST:PORT ...] \
+     [--listen HOST:PORT]\n  \
      snapshot: --data-dir PATH [--db NAME]"
         .to_string()
 }
@@ -184,6 +221,9 @@ fn run() -> Result<(), String> {
     }
     if args.command == "serve" {
         return serve_cmd(&args);
+    }
+    if args.command == "route" {
+        return route_cmd(&args);
     }
     if args.command == "snapshot" {
         return snapshot_cmd(&args);
@@ -326,7 +366,49 @@ fn serve_cmd(args: &Args) -> Result<(), String> {
                 "ocqa serve: reading newline-delimited JSON from stdin ({} workers)",
                 config.workers
             );
-            ocqa_engine::serve_stdio(&engine).map_err(|e| e.to_string())
+            ocqa_engine::serve_stdio(&*engine).map_err(|e| e.to_string())
+        }
+    }
+}
+
+/// Boots the multi-process shard router: a standalone front door
+/// proxying the NDJSON protocol to the upstream shard servers (one per
+/// `--upstream`, in shard order — the first is shard 0, the
+/// prepared-handle authority). Fails fast if any upstream is
+/// unreachable or two upstreams serve the same database name.
+fn route_cmd(args: &Args) -> Result<(), String> {
+    let upstreams = args.multi.get("upstream").cloned().unwrap_or_default();
+    if upstreams.is_empty() {
+        return Err(format!(
+            "route needs at least one --upstream HOST:PORT\n{}",
+            usage()
+        ));
+    }
+    let proxy = ocqa_engine::RouteProxy::connect(upstreams).map_err(|e| e.to_string())?;
+    eprintln!(
+        "ocqa route: {} upstreams ({}), {} databases",
+        proxy.shards(),
+        proxy
+            .upstreams()
+            .iter()
+            .map(|u| u.addr().to_string())
+            .collect::<Vec<_>>()
+            .join(", "),
+        proxy.databases()
+    );
+    match args.options.get("listen") {
+        Some(addr) => {
+            let listener = std::net::TcpListener::bind(addr)
+                .map_err(|e| format!("cannot listen on {addr}: {e}"))?;
+            eprintln!(
+                "ocqa route: listening on {}",
+                listener.local_addr().map_err(|e| e.to_string())?
+            );
+            ocqa_engine::serve_listener(proxy, listener).map_err(|e| e.to_string())
+        }
+        None => {
+            eprintln!("ocqa route: reading newline-delimited JSON from stdin");
+            ocqa_engine::serve_stdio(&*proxy).map_err(|e| e.to_string())
         }
     }
 }

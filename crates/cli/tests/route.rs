@@ -1,0 +1,245 @@
+//! Process-level tests of the multi-process shard router: `ocqa route`
+//! proxying to real `ocqa serve --shards 1` upstream processes.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::{Child, ChildStderr, Command, Stdio};
+
+/// Spawns an `ocqa` subcommand with stderr piped (the startup banner
+/// carries the bound address).
+fn spawn_ocqa(args: &[&str]) -> Child {
+    Command::new(env!("CARGO_BIN_EXE_ocqa"))
+        .args(args)
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn ocqa")
+}
+
+/// Reads stderr lines until the "listening on HOST:PORT" banner appears
+/// and returns the bound address.
+fn read_listen_addr(stderr: &mut BufReader<ChildStderr>) -> String {
+    for _ in 0..50 {
+        let mut line = String::new();
+        if stderr.read_line(&mut line).expect("read banner") == 0 {
+            break;
+        }
+        if let Some(rest) = line.split("listening on ").nth(1) {
+            return rest.split_whitespace().next().expect("addr").to_string();
+        }
+    }
+    panic!("no listening banner on stderr");
+}
+
+fn connect(addr: &str) -> (TcpStream, BufReader<TcpStream>) {
+    let stream = TcpStream::connect(addr).expect("connect");
+    let reader = BufReader::new(stream.try_clone().unwrap());
+    (stream, reader)
+}
+
+fn roundtrip(stream: &mut TcpStream, reader: &mut BufReader<TcpStream>, req: &str) -> String {
+    writeln!(stream, "{req}").unwrap();
+    stream.flush().unwrap();
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    line
+}
+
+/// The extends-PR-3/4 recovery story across the process boundary: a
+/// router over three durable shard servers serves a workload; one
+/// upstream is SIGKILLed mid-session and restarted over the same
+/// `shard-<k>/` store; the router must reconnect and every subsequent
+/// answer must be byte-identical to its pre-kill response.
+#[test]
+fn route_reconnects_and_answers_identically_after_upstream_sigkill() {
+    let base = std::env::temp_dir().join(format!("ocqa-cli-route-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+
+    // Three single-shard upstream servers, each on its own store.
+    let mut upstreams: Vec<(Child, String)> = Vec::new();
+    for k in 0..3 {
+        let dir = base.join(format!("shard-{k}"));
+        let mut child = spawn_ocqa(&[
+            "serve",
+            "--shards",
+            "1",
+            "--workers",
+            "2",
+            "--data-dir",
+            dir.to_str().unwrap(),
+            "--listen",
+            "127.0.0.1:0",
+        ]);
+        let mut stderr = BufReader::new(child.stderr.take().unwrap());
+        let addr = read_listen_addr(&mut stderr);
+        upstreams.push((child, addr));
+    }
+
+    // The router in front of them.
+    let mut router = spawn_ocqa(&[
+        "route",
+        "--upstream",
+        &upstreams[0].1,
+        "--upstream",
+        &upstreams[1].1,
+        "--upstream",
+        &upstreams[2].1,
+        "--listen",
+        "127.0.0.1:0",
+    ]);
+    let mut router_stderr = BufReader::new(router.stderr.take().unwrap());
+    let router_addr = read_listen_addr(&mut router_stderr);
+    let (mut s, mut r) = connect(&router_addr);
+
+    // Workload through the router: install, prepare, answer.
+    let names = ["orders", "users", "events", "billing", "audit"];
+    let create = |name: &str| {
+        format!(
+            r#"{{"op":"create_db","name":"{name}","facts":"R(1,10). R(1,20). R(2,30). R(2,40). R(3,50).","constraints":"R(x,y), R(x,z) -> y = z."}}"#
+        )
+    };
+    let answer = |name: &str| {
+        format!(r#"{{"op":"answer","db":"{name}","prepared":"q1","eps":0.1,"delta":0.1,"seed":7}}"#)
+    };
+    // Which shard owns each name, from the create response's tag.
+    let mut shard_of = std::collections::HashMap::new();
+    for name in names {
+        let resp = roundtrip(&mut s, &mut r, &create(name));
+        assert!(resp.contains("\"ok\":true"), "{resp}");
+        let tag = resp
+            .split("\"shard\":")
+            .nth(1)
+            .and_then(|rest| {
+                rest.chars()
+                    .take_while(char::is_ascii_digit)
+                    .collect::<String>()
+                    .parse::<usize>()
+                    .ok()
+            })
+            .expect("create must report its shard");
+        shard_of.insert(name, tag);
+    }
+    let resp = roundtrip(
+        &mut s,
+        &mut r,
+        r#"{"op":"prepare","query":"(x) <- exists y: R(x,y)"}"#,
+    );
+    assert!(resp.contains("\"id\":\"q1\""), "{resp}");
+    let first_answers: Vec<(&str, String)> = names
+        .iter()
+        .map(|name| (*name, roundtrip(&mut s, &mut r, &answer(name))))
+        .collect();
+    for (name, resp) in &first_answers {
+        assert!(resp.contains("\"answers\":"), "{name}: {resp}");
+        assert!(
+            resp.contains(&format!("\"shard\":{}", shard_of[name])),
+            "{name}: {resp}"
+        );
+    }
+    let first_list = roundtrip(&mut s, &mut r, r#"{"op":"list"}"#);
+
+    // SIGKILL the busiest non-authority upstream (fall back to shard 0
+    // if everything landed there).
+    let victim = (1..3)
+        .max_by_key(|k| shard_of.values().filter(|v| **v == *k).count())
+        .filter(|k| shard_of.values().any(|v| v == k))
+        .unwrap_or(0);
+    let victim_addr = upstreams[victim].1.clone();
+    upstreams[victim].0.kill().expect("SIGKILL upstream");
+    let _ = upstreams[victim].0.wait();
+
+    // While the upstream is down, its databases error loudly through the
+    // router (reconnect is attempted and fails), and databases on the
+    // surviving shards keep answering.
+    let down_db = *shard_of.iter().find(|(_, v)| **v == victim).unwrap().0;
+    let resp = roundtrip(&mut s, &mut r, &answer(down_db));
+    assert!(
+        resp.contains("\"ok\":false") && resp.contains("unavailable"),
+        "{resp}"
+    );
+    if let Some((alive_db, _)) = shard_of.iter().find(|(_, v)| **v != victim) {
+        let resp = roundtrip(&mut s, &mut r, &answer(alive_db));
+        assert!(
+            resp.contains("\"ok\":true"),
+            "surviving shards must keep serving: {resp}"
+        );
+    }
+
+    // Restart the killed upstream over the same store and address.
+    let dir = base.join(format!("shard-{victim}"));
+    let mut child = spawn_ocqa(&[
+        "serve",
+        "--shards",
+        "1",
+        "--workers",
+        "2",
+        "--data-dir",
+        dir.to_str().unwrap(),
+        "--listen",
+        &victim_addr,
+    ]);
+    let mut stderr = BufReader::new(child.stderr.take().unwrap());
+    let addr = read_listen_addr(&mut stderr);
+    assert_eq!(addr, victim_addr, "restart must reuse the shard address");
+    upstreams[victim].0 = child;
+
+    // The router reconnects on the next request, and every database on
+    // the restarted shard answers byte-identically to its pre-kill
+    // response (same session, same connection, no router restart).
+    for (name, first) in first_answers
+        .iter()
+        .filter(|(name, _)| shard_of[name] == victim)
+    {
+        let again = roundtrip(&mut s, &mut r, &answer(name));
+        assert_eq!(
+            &again, first,
+            "{name}: answer after SIGKILL + restart must be byte-identical"
+        );
+    }
+    // The merged catalog is intact too.
+    let list = roundtrip(&mut s, &mut r, r#"{"op":"list"}"#);
+    assert_eq!(list, first_list, "list after recovery must be unchanged");
+
+    // Teardown.
+    let _ = router.kill();
+    let _ = router.wait();
+    for (child, _) in &mut upstreams {
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+/// Router CLI argument validation fails fast and clearly.
+#[test]
+fn route_requires_upstreams_and_validates_options() {
+    let out = Command::new(env!("CARGO_BIN_EXE_ocqa"))
+        .args(["route"])
+        .output()
+        .expect("run ocqa route");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--upstream"), "{stderr}");
+
+    // Unknown options are rejected by the same strict parser as serve.
+    let out = Command::new(env!("CARGO_BIN_EXE_ocqa"))
+        .args(["route", "--upstream", "127.0.0.1:1", "--shards", "3"])
+        .output()
+        .expect("run ocqa route");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown option --shards"), "{stderr}");
+
+    // An unreachable upstream fails at startup, not at first request.
+    let dead = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = dead.local_addr().unwrap().to_string();
+    drop(dead);
+    let out = Command::new(env!("CARGO_BIN_EXE_ocqa"))
+        .args(["route", "--upstream", &addr])
+        .output()
+        .expect("run ocqa route");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unavailable"), "{stderr}");
+}

@@ -26,17 +26,14 @@
 //! A single-shard engine (`shards: 1`, the default) is behaviorally
 //! identical to the historical monolithic engine.
 
-use crate::catalog::DatabaseInfo;
 use crate::error::EngineError;
+use crate::frontdoor::{parse_request, route_of, FrontDoor, RouteTarget};
 use crate::json::Json;
 use crate::proto::{EngineRequest, EngineResponse, EngineStatsPayload, QueryRef};
-use crate::router::Router;
+use crate::server::LineService;
 use crate::shard::ShardEngine;
 use crate::storage::{MemoryBackend, StorageBackend};
 use ocqa_core::{ChainGenerator, PreferenceGenerator, TrustGenerator, UniformGenerator};
-use parking_lot::RwLock;
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Engine tunables. `workers` and `cache_capacity` are **totals**: the
@@ -135,13 +132,10 @@ fn trust_with_default(param: &str) -> Result<Arc<dyn ChainGenerator>, EngineErro
 /// or more [`ShardEngine`]s.
 pub struct Engine {
     shards: Vec<Arc<ShardEngine>>,
-    router: Router,
-    /// Actual placements, seeded from recovery: a database restored on a
-    /// shard stays there even if the router would place a *new* database
-    /// of that name elsewhere (e.g. after a shard-count change). New
-    /// names fall through to the router; drops clear their entry.
-    placements: RwLock<HashMap<String, usize>>,
-    requests: AtomicU64,
+    /// Routing policy, placement table, request counter and fan-out
+    /// merging — the transport-agnostic half of the front door, shared
+    /// verbatim with the multi-process [`crate::RouteProxy`].
+    front: FrontDoor,
 }
 
 impl Engine {
@@ -196,24 +190,12 @@ impl Engine {
         for (k, backend) in backends.into_iter().enumerate() {
             shards.push(ShardEngine::with_backend(per_shard, backend, k as u32)?);
         }
-        let mut placements = HashMap::new();
+        let front = FrontDoor::new(n);
         for (k, shard) in shards.iter().enumerate() {
-            for info in shard.list() {
-                if let Some(other) = placements.insert(info.name.clone(), k) {
-                    return Err(EngineError::Storage(format!(
-                        "database {:?} recovered on shard {other} and shard {k}; \
-                         rebalance the data directories before serving",
-                        info.name
-                    )));
-                }
-            }
+            let names = shard.list();
+            front.seed(k, names.iter().map(|info| info.name.as_str()))?;
         }
-        Ok(Arc::new(Engine {
-            shards,
-            router: Router::new(n),
-            placements: RwLock::new(placements),
-            requests: AtomicU64::new(0),
-        }))
+        Ok(Arc::new(Engine { shards, front }))
     }
 
     /// Number of shards behind this front door.
@@ -224,10 +206,7 @@ impl Engine {
     /// The shard serving `name`: its restored/created placement if one
     /// exists, the router's deterministic assignment otherwise.
     pub fn shard_of(&self, name: &str) -> usize {
-        if let Some(k) = self.placements.read().get(name) {
-            return *k;
-        }
-        self.router.shard_for(name)
+        self.front.shard_of(name)
     }
 
     /// The configured per-request walk ceiling.
@@ -243,7 +222,7 @@ impl Engine {
     /// [`handle`](Engine::handle), also reporting which shard served a
     /// per-database request (`None` for front-door and fan-out ops).
     pub fn handle_routed(&self, req: EngineRequest) -> (Option<u32>, EngineResponse) {
-        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.front.begin_request();
         let (shard, result) = self.dispatch(req);
         match result {
             Ok(resp) => (shard, resp),
@@ -255,43 +234,33 @@ impl Engine {
     /// Responses to routed requests carry the serving shard as a `shard`
     /// field; `list` entries each carry their database's shard.
     pub fn handle_line(&self, line: &str) -> Json {
-        let req = crate::json::parse(line)
-            .map_err(|e| EngineError::BadRequest(e.to_string()))
-            .and_then(|v| EngineRequest::from_json(&v));
-        match req {
-            Ok(req) => {
+        match parse_request(line) {
+            Ok((_, req)) => {
                 let (shard, resp) = self.handle_routed(req);
                 let mut json = resp.to_json();
                 if let EngineResponse::List(_) = &resp {
-                    self.tag_list_shards(&mut json);
+                    self.front.tag_list_shards(&mut json);
                 } else if let Some(k) = shard {
                     json.set("shard", Json::from(u64::from(k)));
                 }
                 json
             }
             Err(e) => {
-                self.requests.fetch_add(1, Ordering::Relaxed);
+                self.front.begin_request();
                 EngineResponse::Error(e).to_json()
             }
         }
     }
 
-    /// Adds each listed database's owning shard to the rendered `list`.
-    fn tag_list_shards(&self, json: &mut Json) {
-        let Json::Obj(obj) = json else { return };
-        let Some(Json::Arr(dbs)) = obj.get_mut("databases") else {
-            return;
-        };
-        for db in dbs {
-            let Some(name) = db.get("name").and_then(Json::as_str) else {
-                continue;
-            };
-            let shard = self.shard_of(name) as u64;
-            db.set("shard", Json::from(shard));
-        }
-    }
-
     fn dispatch(&self, req: EngineRequest) -> (Option<u32>, Result<EngineResponse, EngineError>) {
+        // Resolve the destination through the shared routing policy (the
+        // same function the multi-process route proxy uses), then apply
+        // the op against the in-process shard it names.
+        let routed = match route_of(&req) {
+            RouteTarget::Local | RouteTarget::FanOut => None,
+            RouteTarget::Authority => Some(0),
+            RouteTarget::Database(name) => Some(self.front.shard_of(name)),
+        };
         match req {
             EngineRequest::Ping => (None, Ok(EngineResponse::Pong)),
             EngineRequest::CreateDb {
@@ -299,18 +268,18 @@ impl Engine {
                 facts,
                 constraints,
             } => {
-                let k = self.shard_of(&name);
+                let k = routed.expect("create_db routes by name");
                 let result = self.shards[k].create(&name, &facts, &constraints);
                 if result.is_ok() {
-                    self.placements.write().insert(name, k);
+                    self.front.record_create(&name, k);
                 }
                 (Some(k as u32), result.map(EngineResponse::Created))
             }
             EngineRequest::DropDb { name } => {
-                let k = self.shard_of(&name);
+                let k = routed.expect("drop_db routes by name");
                 let result = self.shards[k].drop_db(&name);
                 if result.is_ok() {
-                    self.placements.write().remove(&name);
+                    self.front.record_drop(&name);
                 }
                 (
                     Some(k as u32),
@@ -318,7 +287,7 @@ impl Engine {
                 )
             }
             EngineRequest::Insert { db, facts } => {
-                let k = self.shard_of(&db);
+                let k = routed.expect("insert routes by name");
                 (
                     Some(k as u32),
                     self.shards[k]
@@ -327,7 +296,7 @@ impl Engine {
                 )
             }
             EngineRequest::Delete { db, facts } => {
-                let k = self.shard_of(&db);
+                let k = routed.expect("delete routes by name");
                 (
                     Some(k as u32),
                     self.shards[k]
@@ -353,6 +322,15 @@ impl Engine {
                         .map(|p| EngineResponse::Prepared { id: p.id.clone() }),
                 )
             }
+            EngineRequest::PreparedGet { id } => (
+                Some(0),
+                self.shards[0]
+                    .prepared_get(&id)
+                    .map(|p| EngineResponse::PreparedText {
+                        id: p.id.clone(),
+                        query: p.text.clone(),
+                    }),
+            ),
             EngineRequest::Answer {
                 db,
                 query,
@@ -362,7 +340,7 @@ impl Engine {
                 seed,
                 plan,
             } => {
-                let k = self.shard_of(&db);
+                let k = routed.expect("answer routes by name");
                 // Prepared handles live on shard 0: rewrite to the query
                 // text before routing elsewhere, so any shard can serve
                 // any handle.
@@ -384,12 +362,12 @@ impl Engine {
                         .map(EngineResponse::Answer),
                 )
             }
-            EngineRequest::List => {
-                let mut all: Vec<DatabaseInfo> =
-                    self.shards.iter().flat_map(|s| s.list()).collect();
-                all.sort_by(|a, b| a.name.cmp(&b.name));
-                (None, Ok(EngineResponse::List(all)))
-            }
+            EngineRequest::List => (
+                None,
+                Ok(EngineResponse::List(FrontDoor::merge_lists(
+                    self.shards.iter().map(|s| s.list()),
+                ))),
+            ),
             EngineRequest::Stats => (None, Ok(EngineResponse::Stats(self.stats()))),
         }
     }
@@ -401,29 +379,15 @@ impl Engine {
     /// retried after a [`EngineError::ShardFull`] admission rejection
     /// contributes one `requests` tick per attempt and its walks once.
     fn stats(&self) -> EngineStatsPayload {
-        let mut out = EngineStatsPayload {
-            backend: self.shards[0].backend_label(),
-            requests: self.requests.load(Ordering::Relaxed),
-            answers: 0,
-            walks: 0,
-            coalesced: 0,
-            workers: 0,
-            databases: 0,
-            prepared: 0,
-            shards: self.shards.len(),
-            cache: Default::default(),
-        };
-        for shard in &self.shards {
-            let s = shard.stats();
-            out.answers += s.answers;
-            out.walks += s.walks;
-            out.coalesced += s.coalesced;
-            out.workers += s.workers;
-            out.databases += s.databases;
-            out.prepared += s.prepared;
-            out.cache.merge(&s.cache);
-        }
-        out
+        let per_shard: Vec<_> = self.shards.iter().map(|s| s.stats()).collect();
+        self.front
+            .sum_stats(self.shards[0].backend_label().to_string(), &per_shard)
+    }
+}
+
+impl LineService for Engine {
+    fn serve_line(&self, line: &str) -> String {
+        self.handle_line(line).to_string()
     }
 }
 

@@ -27,6 +27,9 @@ pub enum EngineError {
     /// the request was rejected *before* any counter moved, so a retry
     /// is accounted like a fresh request (no double counting).
     ShardFull(u32),
+    /// A remote upstream shard server could not be reached (or spoke
+    /// garbage) — the multi-process router's transport failure.
+    Unavailable(String),
 }
 
 impl fmt::Display for EngineError {
@@ -45,6 +48,7 @@ impl fmt::Display for EngineError {
                 f,
                 "shard {shard} is at its sampling admission limit; retry shortly"
             ),
+            EngineError::Unavailable(msg) => write!(f, "upstream unavailable: {msg}"),
         }
     }
 }

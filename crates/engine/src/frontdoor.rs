@@ -1,0 +1,610 @@
+//! The transport-agnostic front door, and the multi-process router
+//! built on it.
+//!
+//! PR 4 split the serving path into front door → router → shard. This
+//! module extracts everything the front door does that is **independent
+//! of how shards are reached** — request parsing, routing policy,
+//! placement bookkeeping, duplicate-recovery detection, `list` merging,
+//! `stats` summation, and `shard`-field injection — into [`FrontDoor`],
+//! so the in-process engine ([`crate::Engine`] over [`ShardEngine`]s)
+//! and the multi-process router ([`RouteProxy`] over
+//! [`Upstream`] NDJSON/TCP clients) share one implementation instead of
+//! forking it. The determinism contract rides on this: both deployments
+//! route every name through the same [`Router`] and merge fan-outs the
+//! same way, so moving a shard out of process can never change an
+//! estimate.
+//!
+//! [`ShardEngine`]: crate::shard::ShardEngine
+//!
+//! # The route proxy
+//!
+//! [`RouteProxy`] is the `ocqa route` process: a standalone front door
+//! proxying the NDJSON protocol to N upstream shard servers, each an
+//! ordinary `ocqa serve --shards 1` over its own `shard-<k>/` store.
+//! Per-database requests are forwarded verbatim to the owning upstream
+//! and the response's `shard` field rewritten from the upstream's local
+//! `0` to the global shard index; `list`/`stats` fan out and merge
+//! exactly like the in-process engine. Because the JSON writer is
+//! deterministic (sorted keys, shortest-round-trip numbers), a response
+//! proxied through `ocqa route` is **byte-identical** to the same
+//! request served by `ocqa serve --shards N` — pinned by the
+//! `route` integration tests.
+//!
+//! Prepared-query handles keep their front-door scope: `prepare` (and
+//! the `prepared_get` lookup op) are served by upstream 0, the handle
+//! authority, and an `answer` carrying a `prepared` handle destined for
+//! another upstream is rewritten to its query text first, resolved via
+//! `prepared_get` on every request — exactly the per-answer authority
+//! lookup the in-process front door performs, so handle lifetime
+//! (including the registry's capacity eviction) behaves identically in
+//! both deployments.
+
+use crate::catalog::DatabaseInfo;
+use crate::error::EngineError;
+use crate::json::Json;
+use crate::planner::PlanKind;
+use crate::proto::{EngineRequest, EngineResponse, EngineStatsPayload, QueryRef};
+use crate::router::Router;
+use crate::server::LineService;
+use crate::shard::ShardStats;
+use crate::upstream::Upstream;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Where the front door sends a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteTarget<'a> {
+    /// Served by the front door itself (`ping`).
+    Local,
+    /// Routed to the shard owning this database name.
+    Database(&'a str),
+    /// Served by shard 0, the prepared-handle authority
+    /// (`prepare` / `prepared_get`).
+    Authority,
+    /// Fanned out over every shard and merged (`list` / `stats`).
+    FanOut,
+}
+
+/// The routing policy: which shard serves each request kind. One
+/// function, used by both the in-process engine and the route proxy, so
+/// the policies cannot drift apart.
+pub fn route_of(req: &EngineRequest) -> RouteTarget<'_> {
+    match req {
+        EngineRequest::Ping => RouteTarget::Local,
+        EngineRequest::CreateDb { name, .. } | EngineRequest::DropDb { name } => {
+            RouteTarget::Database(name)
+        }
+        EngineRequest::Insert { db, .. }
+        | EngineRequest::Delete { db, .. }
+        | EngineRequest::Answer { db, .. } => RouteTarget::Database(db),
+        EngineRequest::Prepare { .. } | EngineRequest::PreparedGet { .. } => RouteTarget::Authority,
+        EngineRequest::List | EngineRequest::Stats => RouteTarget::FanOut,
+    }
+}
+
+/// Parses one protocol line into a request (plus the raw JSON value, so
+/// a proxy can rewrite fields without re-deriving them).
+pub fn parse_request(line: &str) -> Result<(Json, EngineRequest), EngineError> {
+    let v = crate::json::parse(line).map_err(|e| EngineError::BadRequest(e.to_string()))?;
+    let req = EngineRequest::from_json(&v)?;
+    Ok((v, req))
+}
+
+/// Transport-agnostic front-door state: the deterministic router plus
+/// the placement table, request counter and fan-out merge logic.
+pub struct FrontDoor {
+    router: Router,
+    /// Actual placements, seeded from recovery: a database restored on a
+    /// shard stays there even if the router would place a *new* database
+    /// of that name elsewhere (e.g. after a shard-count change). New
+    /// names fall through to the router; drops clear their entry.
+    placements: RwLock<HashMap<String, usize>>,
+    requests: AtomicU64,
+}
+
+impl FrontDoor {
+    /// A front door over `shards` shards (at least 1), with no seeded
+    /// placements.
+    pub fn new(shards: usize) -> FrontDoor {
+        FrontDoor {
+            router: Router::new(shards),
+            placements: RwLock::new(HashMap::new()),
+            requests: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of shards behind this front door.
+    pub fn shards(&self) -> usize {
+        self.router.shards()
+    }
+
+    /// Seeds recovered placements for one shard. A name already seeded
+    /// by **another** shard is a hard error (a resharding gone wrong),
+    /// never a silent coin toss.
+    pub fn seed<'a>(
+        &self,
+        shard: usize,
+        names: impl IntoIterator<Item = &'a str>,
+    ) -> Result<(), EngineError> {
+        let mut placements = self.placements.write();
+        for name in names {
+            if let Some(other) = placements.insert(name.to_string(), shard) {
+                return Err(EngineError::Storage(format!(
+                    "database {name:?} recovered on shard {other} and shard {shard}; \
+                     rebalance the data directories before serving"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// The shard serving `name`: its restored/created placement if one
+    /// exists, the router's deterministic assignment otherwise.
+    pub fn shard_of(&self, name: &str) -> usize {
+        if let Some(k) = self.placements.read().get(name) {
+            return *k;
+        }
+        self.router.shard_for(name)
+    }
+
+    /// Records a successful `create_db` placement.
+    pub fn record_create(&self, name: &str, shard: usize) {
+        self.placements.write().insert(name.to_string(), shard);
+    }
+
+    /// Clears a dropped database's placement.
+    pub fn record_drop(&self, name: &str) {
+        self.placements.write().remove(name);
+    }
+
+    /// Counts one front-door request. Shards never count requests —
+    /// only the front door does — so a retried rejection contributes one
+    /// tick per attempt and nothing double-counts.
+    pub fn begin_request(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Requests handled so far.
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Merges per-shard `list` results into one catalog view, sorted by
+    /// name (the fan-out contract: every shard read exactly once).
+    pub fn merge_lists(lists: impl IntoIterator<Item = Vec<DatabaseInfo>>) -> Vec<DatabaseInfo> {
+        let mut all: Vec<DatabaseInfo> = lists.into_iter().flatten().collect();
+        all.sort_by(|a, b| a.name.cmp(&b.name));
+        all
+    }
+
+    /// Sums per-shard counters into the engine-wide `stats` payload:
+    /// the front door's own request counter plus each shard's local
+    /// counters, each shard read **exactly once**.
+    pub fn sum_stats(&self, backend: String, per_shard: &[ShardStats]) -> EngineStatsPayload {
+        let mut out = EngineStatsPayload {
+            backend,
+            requests: self.requests(),
+            answers: 0,
+            walks: 0,
+            coalesced: 0,
+            workers: 0,
+            databases: 0,
+            prepared: 0,
+            shards: self.shards(),
+            cache: Default::default(),
+        };
+        for s in per_shard {
+            out.answers += s.answers;
+            out.walks += s.walks;
+            out.coalesced += s.coalesced;
+            out.workers += s.workers;
+            out.databases += s.databases;
+            out.prepared += s.prepared;
+            out.cache.merge(&s.cache);
+        }
+        out
+    }
+
+    /// Adds each listed database's owning shard to a rendered `list`
+    /// response (protocol-layer `shard` injection).
+    pub fn tag_list_shards(&self, json: &mut Json) {
+        let Json::Obj(obj) = json else { return };
+        let Some(Json::Arr(dbs)) = obj.get_mut("databases") else {
+            return;
+        };
+        for db in dbs {
+            let Some(name) = db.get("name").and_then(Json::as_str) else {
+                continue;
+            };
+            let shard = self.shard_of(name) as u64;
+            db.set("shard", Json::from(shard));
+        }
+    }
+}
+
+/// The `ocqa route` engine: a standalone front door proxying the NDJSON
+/// protocol to remote shard servers. See the module docs.
+pub struct RouteProxy {
+    front: FrontDoor,
+    upstreams: Vec<Upstream>,
+}
+
+/// Outcome of resolving a prepared handle against upstream 0.
+enum Resolved {
+    /// The handle's query text.
+    Text(String),
+    /// Upstream 0 answered with a protocol error (e.g. unknown handle):
+    /// the response to relay, before shard tagging.
+    Refused(Json),
+    /// Upstream 0 was unreachable.
+    Transport(EngineError),
+}
+
+impl RouteProxy {
+    /// Connects to the given upstream shard servers (in shard order:
+    /// the first address is shard 0, the prepared-handle authority) and
+    /// seeds the placement table from each upstream's current catalog.
+    /// Fails if any upstream is unreachable or one database name is
+    /// served by two upstreams.
+    pub fn connect(addrs: Vec<String>) -> Result<Arc<RouteProxy>, EngineError> {
+        if addrs.is_empty() {
+            return Err(EngineError::BadRequest(
+                "route needs at least one upstream".into(),
+            ));
+        }
+        let upstreams: Vec<Upstream> = addrs.into_iter().map(Upstream::new).collect();
+        let front = FrontDoor::new(upstreams.len());
+        for (k, up) in upstreams.iter().enumerate() {
+            let resp = up.exchange(r#"{"op":"list"}"#)?;
+            let infos = crate::json::parse(&resp)
+                .map_err(|e| e.to_string())
+                .and_then(|v| parse_list(&v))
+                .map_err(|e| {
+                    EngineError::Unavailable(format!("{}: malformed list: {e}", up.addr()))
+                })?;
+            front.seed(k, infos.iter().map(|i| i.name.as_str()))?;
+        }
+        Ok(Arc::new(RouteProxy { front, upstreams }))
+    }
+
+    /// Number of upstream shard servers.
+    pub fn shards(&self) -> usize {
+        self.upstreams.len()
+    }
+
+    /// Number of databases currently placed across the upstreams.
+    pub fn databases(&self) -> usize {
+        self.front.placements.read().len()
+    }
+
+    /// The upstream handles (address, health, reconnect counters).
+    pub fn upstreams(&self) -> &[Upstream] {
+        &self.upstreams
+    }
+
+    /// The shard serving `name` (placement table, else the router).
+    pub fn shard_of(&self, name: &str) -> usize {
+        self.front.shard_of(name)
+    }
+
+    /// Handles one raw protocol line, exactly like
+    /// [`Engine::handle_line`](crate::Engine::handle_line) — but by
+    /// proxying to the owning upstream instead of calling into an
+    /// in-process shard.
+    pub fn handle_line(&self, line: &str) -> String {
+        self.front.begin_request();
+        let (raw, req) = match parse_request(line) {
+            Ok(parsed) => parsed,
+            Err(e) => return error_line(None, e),
+        };
+        match route_of(&req) {
+            RouteTarget::Local => EngineResponse::Pong.to_json().to_string(),
+            RouteTarget::Authority => self.proxy_authority(line),
+            RouteTarget::Database(name) => {
+                let k = self.front.shard_of(name);
+                self.proxy_database(line, raw, &req, k)
+            }
+            RouteTarget::FanOut => match &req {
+                EngineRequest::List => self.fan_out_list(),
+                _ => self.fan_out_stats(),
+            },
+        }
+    }
+
+    /// Forwards a line to upstream `k` and parses the response (every
+    /// well-behaved upstream emits one JSON object per line).
+    fn forward(&self, k: usize, line: &str) -> Result<Json, EngineError> {
+        let resp = self.upstreams[k].exchange(line)?;
+        crate::json::parse(&resp).map_err(|e| {
+            EngineError::Unavailable(format!(
+                "{}: malformed response: {e}",
+                self.upstreams[k].addr()
+            ))
+        })
+    }
+
+    /// `prepare` / `prepared_get`: upstream 0 is the handle authority.
+    fn proxy_authority(&self, line: &str) -> String {
+        match self.forward(0, line) {
+            Ok(mut resp) => {
+                resp.set("shard", Json::from(0u64));
+                resp.to_string()
+            }
+            Err(e) => error_line(Some(0), e),
+        }
+    }
+
+    /// Per-database ops: forward to the owning upstream, rewrite the
+    /// `shard` tag, and mirror the in-process placement bookkeeping.
+    fn proxy_database(&self, line: &str, raw: Json, req: &EngineRequest, k: usize) -> String {
+        // Prepared handles live on upstream 0: rewrite to the query text
+        // before routing elsewhere, so any upstream can serve any handle.
+        let rewritten: String;
+        let line = match req {
+            EngineRequest::Answer {
+                query: QueryRef::Prepared(id),
+                ..
+            } if k != 0 => match self.resolve_prepared(id) {
+                Resolved::Text(text) => {
+                    let mut raw = raw;
+                    raw.remove("prepared");
+                    raw.set("query", Json::from(text));
+                    rewritten = raw.to_string();
+                    &rewritten
+                }
+                Resolved::Refused(mut resp) => {
+                    resp.set("shard", Json::from(k as u64));
+                    return resp.to_string();
+                }
+                Resolved::Transport(e) => return error_line(Some(k as u32), e),
+            },
+            _ => line,
+        };
+        match self.forward(k, line) {
+            Ok(mut resp) => {
+                if is_ok(&resp) {
+                    match req {
+                        EngineRequest::CreateDb { name, .. } => self.front.record_create(name, k),
+                        EngineRequest::DropDb { name } => self.front.record_drop(name),
+                        _ => {}
+                    }
+                }
+                resp.set("shard", Json::from(k as u64));
+                resp.to_string()
+            }
+            Err(e) => error_line(Some(k as u32), e),
+        }
+    }
+
+    /// The text behind a prepared handle, resolved against upstream 0
+    /// on every request — the same per-answer authority lookup the
+    /// in-process front door makes, so handle lifetime (including the
+    /// registry's capacity eviction) behaves identically.
+    fn resolve_prepared(&self, id: &str) -> Resolved {
+        let lookup = Json::obj([("op", Json::from("prepared_get")), ("id", Json::from(id))]);
+        let resp = match self.forward(0, &lookup.to_string()) {
+            Ok(resp) => resp,
+            Err(e) => return Resolved::Transport(e),
+        };
+        if !is_ok(&resp) {
+            return Resolved::Refused(resp);
+        }
+        match resp.get("query").and_then(Json::as_str) {
+            Some(text) => Resolved::Text(text.to_string()),
+            None => Resolved::Transport(EngineError::Unavailable(format!(
+                "{}: prepared_get returned no query text",
+                self.upstreams[0].addr()
+            ))),
+        }
+    }
+
+    /// `list`: fan out, merge and sort across upstreams, tag shards. A
+    /// dead upstream fails the whole request — an incomplete catalog
+    /// must never be presented as complete.
+    fn fan_out_list(&self) -> String {
+        let mut lists = Vec::with_capacity(self.upstreams.len());
+        for (k, up) in self.upstreams.iter().enumerate() {
+            let resp = match self.forward(k, r#"{"op":"list"}"#) {
+                Ok(resp) => resp,
+                Err(e) => return error_line(None, e),
+            };
+            match parse_list(&resp) {
+                Ok(infos) => lists.push(infos),
+                Err(e) => {
+                    return error_line(
+                        None,
+                        EngineError::Unavailable(format!("{}: malformed list: {e}", up.addr())),
+                    )
+                }
+            }
+        }
+        let mut json = EngineResponse::List(FrontDoor::merge_lists(lists)).to_json();
+        self.front.tag_list_shards(&mut json);
+        json.to_string()
+    }
+
+    /// `stats`: fan out and sum per-upstream counters exactly once.
+    fn fan_out_stats(&self) -> String {
+        let mut backend = String::new();
+        let mut per_shard = Vec::with_capacity(self.upstreams.len());
+        for (k, up) in self.upstreams.iter().enumerate() {
+            let resp = match self.forward(k, r#"{"op":"stats"}"#) {
+                Ok(resp) => resp,
+                Err(e) => return error_line(None, e),
+            };
+            match parse_stats(&resp) {
+                Ok((upstream_backend, stats)) => {
+                    if k == 0 {
+                        backend = upstream_backend;
+                    }
+                    per_shard.push(stats);
+                }
+                Err(e) => {
+                    return error_line(
+                        None,
+                        EngineError::Unavailable(format!("{}: malformed stats: {e}", up.addr())),
+                    )
+                }
+            }
+        }
+        let payload = self.front.sum_stats(backend, &per_shard);
+        EngineResponse::Stats(payload).to_json().to_string()
+    }
+}
+
+impl LineService for RouteProxy {
+    fn serve_line(&self, line: &str) -> String {
+        self.handle_line(line)
+    }
+}
+
+/// Renders an error response, shard-tagged like the in-process engine
+/// tags errors from routed requests.
+fn error_line(shard: Option<u32>, e: EngineError) -> String {
+    let mut json = EngineResponse::Error(e).to_json();
+    if let Some(k) = shard {
+        json.set("shard", Json::from(u64::from(k)));
+    }
+    json.to_string()
+}
+
+fn is_ok(resp: &Json) -> bool {
+    resp.get("ok").and_then(Json::as_bool) == Some(true)
+}
+
+/// Parses an upstream `list` response into catalog infos.
+fn parse_list(v: &Json) -> Result<Vec<DatabaseInfo>, String> {
+    if !is_ok(v) {
+        return Err(format!("upstream refused list: {v}"));
+    }
+    let Some(Json::Arr(dbs)) = v.get("databases") else {
+        return Err("no databases array".into());
+    };
+    dbs.iter().map(parse_info).collect()
+}
+
+fn parse_info(v: &Json) -> Result<DatabaseInfo, String> {
+    let field = |key: &str| v.get(key).ok_or_else(|| format!("missing {key:?}"));
+    let num = |key: &str| field(key)?.as_u64().ok_or_else(|| format!("bad {key:?}"));
+    Ok(DatabaseInfo {
+        name: field("name")?.as_str().ok_or("bad \"name\"")?.to_string(),
+        version: num("version")?,
+        facts: num("facts")? as usize,
+        violations: num("violations")? as usize,
+        plan: field("plan")?
+            .as_str()
+            .and_then(PlanKind::parse)
+            .ok_or("bad \"plan\"")?,
+    })
+}
+
+/// Parses an upstream `stats` response into its backend label and the
+/// per-shard counter block the front door sums.
+fn parse_stats(v: &Json) -> Result<(String, ShardStats), String> {
+    if !is_ok(v) {
+        return Err(format!("upstream refused stats: {v}"));
+    }
+    let num = |key: &str| {
+        v.get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("missing counter {key:?}"))
+    };
+    let stats = ShardStats {
+        answers: num("answers")?,
+        walks: num("walks")?,
+        coalesced: num("coalesced")?,
+        databases: num("databases")? as usize,
+        prepared: num("prepared")? as usize,
+        workers: num("workers")? as usize,
+        cache: crate::cache::CacheStats {
+            hits: num("cache_hits")?,
+            misses: num("cache_misses")?,
+            dominated_hits: num("cache_dominated_hits")?,
+            invalidated: num("cache_invalidated")?,
+            evicted: num("cache_evicted")?,
+            stale_drops: num("cache_stale_drops")?,
+            expired: num("cache_expired")?,
+        },
+    };
+    let backend = v
+        .get("backend")
+        .and_then(Json::as_str)
+        .ok_or("missing \"backend\"")?
+        .to_string();
+    Ok((backend, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_policy_matches_request_kinds() {
+        let req = parse_request(r#"{"op":"ping"}"#).unwrap().1;
+        assert_eq!(route_of(&req), RouteTarget::Local);
+        let req = parse_request(r#"{"op":"create_db","name":"kv"}"#)
+            .unwrap()
+            .1;
+        assert_eq!(route_of(&req), RouteTarget::Database("kv"));
+        let req = parse_request(r#"{"op":"answer","db":"kv","query":"(x) <- R(x)"}"#)
+            .unwrap()
+            .1;
+        assert_eq!(route_of(&req), RouteTarget::Database("kv"));
+        let req = parse_request(r#"{"op":"prepare","query":"(x) <- R(x)"}"#)
+            .unwrap()
+            .1;
+        assert_eq!(route_of(&req), RouteTarget::Authority);
+        let req = parse_request(r#"{"op":"prepared_get","id":"q1"}"#)
+            .unwrap()
+            .1;
+        assert_eq!(route_of(&req), RouteTarget::Authority);
+        let req = parse_request(r#"{"op":"list"}"#).unwrap().1;
+        assert_eq!(route_of(&req), RouteTarget::FanOut);
+        let req = parse_request(r#"{"op":"stats"}"#).unwrap().1;
+        assert_eq!(route_of(&req), RouteTarget::FanOut);
+    }
+
+    #[test]
+    fn seed_rejects_duplicate_recovery() {
+        let front = FrontDoor::new(3);
+        front.seed(0, ["alpha", "bravo"]).unwrap();
+        front.seed(1, ["charlie"]).unwrap();
+        let err = front.seed(2, ["bravo"]).unwrap_err();
+        assert!(err.to_string().contains("shard 0 and shard 2"), "{err}");
+        // Seeded placements win over the router's assignment.
+        assert_eq!(front.shard_of("alpha"), 0);
+        assert_eq!(front.shard_of("charlie"), 1);
+    }
+
+    #[test]
+    fn placements_follow_create_and_drop() {
+        let front = FrontDoor::new(4);
+        let routed = front.shard_of("kv");
+        // A create pins the name even somewhere the router wouldn't put it.
+        let pinned = (routed + 1) % 4;
+        front.record_create("kv", pinned);
+        assert_eq!(front.shard_of("kv"), pinned);
+        front.record_drop("kv");
+        assert_eq!(front.shard_of("kv"), routed, "drop frees the name");
+    }
+
+    #[test]
+    fn merge_lists_sorts_across_shards() {
+        let info = |name: &str| DatabaseInfo {
+            name: name.into(),
+            version: 1,
+            facts: 0,
+            violations: 0,
+            plan: PlanKind::Monolithic,
+        };
+        let merged = FrontDoor::merge_lists([
+            vec![info("delta"), info("echo")],
+            vec![info("alpha")],
+            vec![info("charlie")],
+        ]);
+        let names: Vec<&str> = merged.iter().map(|i| i.name.as_str()).collect();
+        assert_eq!(names, ["alpha", "charlie", "delta", "echo"]);
+    }
+}

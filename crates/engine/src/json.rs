@@ -62,6 +62,15 @@ impl Json {
         }
     }
 
+    /// Removes a member from an object (no-op on non-objects). The route
+    /// proxy uses this when rewriting a `prepared` answer to its inline
+    /// query text before forwarding.
+    pub fn remove(&mut self, key: &str) {
+        if let Json::Obj(m) = self {
+            m.remove(key);
+        }
+    }
+
     /// The string payload, if this is a string.
     pub fn as_str(&self) -> Option<&str> {
         match self {

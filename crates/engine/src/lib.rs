@@ -38,7 +38,13 @@
 //!   and share its (bit-identical) result;
 //! * [`EngineRequest`] / [`EngineResponse`] — the newline-delimited JSON
 //!   protocol served by [`serve_stdio`] / [`serve_listener`] (the
-//!   `ocqa serve` CLI subcommand).
+//!   `ocqa serve` CLI subcommand);
+//! * [`FrontDoor`] / [`RouteProxy`] / [`Upstream`] — the
+//!   transport-agnostic front-door core and the multi-process router
+//!   built on it (the `ocqa route` CLI subcommand): the same routing,
+//!   fan-out and merge logic, proxied over pooled NDJSON/TCP
+//!   connections to remote shard servers, with byte-identical responses
+//!   to the in-process deployment.
 //!
 //! ```
 //! use ocqa_engine::{Engine, EngineConfig};
@@ -67,6 +73,7 @@ pub mod cache;
 pub mod catalog;
 mod engine;
 mod error;
+pub mod frontdoor;
 pub mod json;
 pub mod planner;
 pub mod pool;
@@ -77,19 +84,25 @@ pub mod server;
 pub mod shard;
 pub mod singleflight;
 pub mod storage;
+pub mod upstream;
 
 pub use cache::{AnswerCache, CacheKey, CacheStats};
 pub use catalog::{Catalog, DatabaseInfo, ParsedDatabase, UpdateOutcome};
 pub use engine::{generator_by_name, Engine, EngineConfig};
 pub use error::EngineError;
+pub use frontdoor::{parse_request, route_of, FrontDoor, RouteProxy, RouteTarget};
 pub use planner::{classify, DbPlan, PlanKind, SampleTask};
 pub use pool::{derive_seed, SamplerPool, CHUNK_WALKS};
 pub use prepared::{PreparedQuery, PreparedRegistry};
 pub use proto::{AnswerPayload, AnswerRow, EngineRequest, EngineResponse, QueryRef};
 pub use router::Router;
-pub use server::{handle_connection, serve_listener, serve_session, serve_stdio};
+pub use server::{
+    handle_connection, serve_listener, serve_session, serve_stdio, Frame, LineService,
+    MAX_LINE_BYTES,
+};
 pub use shard::{ShardEngine, ShardStats};
 pub use singleflight::SingleFlight;
 pub use storage::{
     InstallImage, MemoryBackend, RecoveredState, RestoredDatabase, StorageBackend, UpdateDelta,
 };
+pub use upstream::Upstream;

@@ -70,6 +70,14 @@ pub enum EngineRequest {
         /// of on the first answer).
         generator: Option<String>,
     },
+    /// Look up the query text behind a prepared handle. Served by the
+    /// handle authority (shard 0); the multi-process router uses it to
+    /// rewrite `prepared` answers into inline text before forwarding
+    /// them to other shard servers.
+    PreparedGet {
+        /// The handle to resolve.
+        id: String,
+    },
     /// Sample-based operational consistent answers.
     Answer {
         /// Catalog name.
@@ -128,6 +136,9 @@ impl EngineRequest {
             "prepare" => Ok(EngineRequest::Prepare {
                 query: str_field("query")?,
                 generator: opt_str("generator"),
+            }),
+            "prepared_get" => Ok(EngineRequest::PreparedGet {
+                id: str_field("id")?,
             }),
             "answer" => {
                 let query = match (opt_str("query"), opt_str("prepared")) {
@@ -233,8 +244,10 @@ pub struct AnswerPayload {
 /// Engine-wide statistics.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EngineStatsPayload {
-    /// Storage backend label (`"memory"`, `"disk"`, …).
-    pub backend: &'static str,
+    /// Storage backend label (`"memory"`, `"disk"`, …). Owned, because
+    /// the multi-process router learns it from an upstream's response
+    /// rather than a compiled-in backend.
+    pub backend: String,
     /// Requests handled (any op).
     pub requests: u64,
     /// `answer` requests served (computed, cached or coalesced), summed
@@ -276,6 +289,13 @@ pub enum EngineResponse {
     Prepared {
         /// The reusable handle.
         id: String,
+    },
+    /// `prepared_get` reply.
+    PreparedText {
+        /// The resolved handle.
+        id: String,
+        /// The handle's original query source text.
+        query: String,
     },
     /// `answer` reply.
     Answer(AnswerPayload),
@@ -330,6 +350,11 @@ impl EngineResponse {
             EngineResponse::Prepared { id } => {
                 Json::obj([("ok", true.into()), ("id", Json::from(id.clone()))])
             }
+            EngineResponse::PreparedText { id, query } => Json::obj([
+                ("ok", true.into()),
+                ("id", Json::from(id.clone())),
+                ("query", Json::from(query.clone())),
+            ]),
             EngineResponse::Answer(a) => Json::obj([
                 ("ok", true.into()),
                 (
@@ -368,7 +393,7 @@ impl EngineResponse {
             ]),
             EngineResponse::Stats(s) => Json::obj([
                 ("ok", true.into()),
-                ("backend", Json::from(s.backend.to_string())),
+                ("backend", Json::from(s.backend.clone())),
                 ("requests", Json::from(s.requests)),
                 ("answers", Json::from(s.answers)),
                 ("walks", Json::from(s.walks)),

@@ -1,92 +1,234 @@
 //! Protocol transports: newline-delimited JSON over stdio or TCP.
+//!
+//! The transports are generic over [`LineService`] — anything that can
+//! turn one request line into one response line. Two services exist:
+//! the in-process [`Engine`](crate::Engine) and the multi-process
+//! [`RouteProxy`](crate::RouteProxy), so the same session and accept
+//! loops serve both `ocqa serve` and `ocqa route`.
 
-use crate::engine::Engine;
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Longest request line a session accepts. Reading lines unbounded would
 /// let one client buffer arbitrary memory server-side by never sending a
 /// newline; past this limit the session is told off and closed.
 pub const MAX_LINE_BYTES: u64 = 1 << 20;
 
+/// Anything that serves the NDJSON protocol one line at a time.
+pub trait LineService: Send + Sync {
+    /// Handles one non-empty request line (no trailing newline),
+    /// returning the single-line response (no trailing newline).
+    fn serve_line(&self, line: &str) -> String;
+}
+
+/// One framed read off an NDJSON stream: the shared line discipline of
+/// every transport in this crate (sessions *and* the router's upstream
+/// client connections — see [`crate::upstream`]).
+#[derive(Debug, PartialEq, Eq)]
+pub enum Frame {
+    /// A complete line, newline stripped.
+    Line(String),
+    /// The stream ended cleanly before another line.
+    Eof,
+    /// The line exceeded [`MAX_LINE_BYTES`].
+    TooLong,
+    /// The line was not valid UTF-8. Lossily decoding instead would
+    /// silently mangle corrupt bytes into U+FFFD — and a database name
+    /// or query text would then be *installed under the mangled bytes*
+    /// rather than rejected.
+    NotUtf8,
+}
+
+/// Reads one line under the shared discipline: bounded, strict UTF-8.
+pub fn read_frame(input: &mut impl BufRead) -> io::Result<Frame> {
+    read_frame_limit(input, MAX_LINE_BYTES)
+}
+
+/// [`read_frame`] with an explicit length bound. Sessions bound client
+/// *requests* at [`MAX_LINE_BYTES`]; the router's upstream client reads
+/// *responses* (answer payloads and merged lists are much larger than
+/// any request) under a more generous bound.
+pub fn read_frame_limit(input: &mut impl BufRead, max_bytes: u64) -> io::Result<Frame> {
+    let mut buf = Vec::new();
+    // Read one byte past the limit so a newline-less final line of
+    // exactly `max_bytes` at EOF is still accepted; only a line
+    // strictly longer trips the guard.
+    let n = input.take(max_bytes + 1).read_until(b'\n', &mut buf)?;
+    if n == 0 {
+        return Ok(Frame::Eof);
+    }
+    if buf.last() == Some(&b'\n') {
+        buf.pop();
+        if buf.last() == Some(&b'\r') {
+            buf.pop();
+        }
+    } else if n as u64 > max_bytes {
+        return Ok(Frame::TooLong);
+    }
+    match String::from_utf8(buf) {
+        Ok(line) => Ok(Frame::Line(line)),
+        Err(_) => Ok(Frame::NotUtf8),
+    }
+}
+
 /// Serves one session: each input line is a request, each output line the
 /// response. Returns when the input ends (or a request line exceeds
-/// [`MAX_LINE_BYTES`]). Blank lines are ignored.
-pub fn serve_session(
-    engine: &Engine,
+/// [`MAX_LINE_BYTES`]). Blank lines are ignored; non-UTF-8 lines are
+/// rejected with an `"ok":false` error but do not end the session.
+pub fn serve_session<S: LineService + ?Sized>(
+    service: &S,
     mut input: impl BufRead,
     mut output: impl Write,
 ) -> io::Result<()> {
     loop {
-        let mut buf = Vec::new();
-        // Read one byte past the limit so a newline-less final line of
-        // exactly MAX_LINE_BYTES at EOF is still accepted; only a line
-        // strictly longer trips the guard.
-        let n = (&mut input)
-            .take(MAX_LINE_BYTES + 1)
-            .read_until(b'\n', &mut buf)?;
-        if n == 0 {
-            return Ok(()); // EOF
-        }
-        if buf.last() != Some(&b'\n') && n as u64 > MAX_LINE_BYTES {
-            writeln!(
-                output,
-                r#"{{"ok":false,"error":"request line longer than {MAX_LINE_BYTES} bytes"}}"#
-            )?;
-            output.flush()?;
-            return Ok(());
-        }
-        let line = String::from_utf8_lossy(&buf);
+        let line = match read_frame(&mut input)? {
+            Frame::Eof => return Ok(()),
+            Frame::TooLong => {
+                writeln!(
+                    output,
+                    r#"{{"ok":false,"error":"request line longer than {MAX_LINE_BYTES} bytes"}}"#
+                )?;
+                output.flush()?;
+                return Ok(());
+            }
+            Frame::NotUtf8 => {
+                writeln!(
+                    output,
+                    r#"{{"ok":false,"error":"request line is not valid UTF-8"}}"#
+                )?;
+                output.flush()?;
+                continue;
+            }
+            Frame::Line(line) => line,
+        };
         if line.trim().is_empty() {
             continue;
         }
-        writeln!(output, "{}", engine.handle_line(line.trim_end()))?;
+        writeln!(output, "{}", service.serve_line(line.trim_end()))?;
         output.flush()?;
     }
 }
 
-/// Serves stdin/stdout (the `ocqa serve` default).
-pub fn serve_stdio(engine: &Engine) -> io::Result<()> {
+/// Serves stdin/stdout (the `ocqa serve` / `ocqa route` default).
+pub fn serve_stdio<S: LineService + ?Sized>(service: &S) -> io::Result<()> {
     let stdin = io::stdin();
     let stdout = io::stdout();
-    serve_session(engine, stdin.lock(), stdout.lock())
+    serve_session(service, stdin.lock(), stdout.lock())
 }
 
-/// Accept loop: one thread per connection, all sharing the engine. Runs
-/// until the listener fails (i.e. normally forever).
-pub fn serve_listener(engine: Arc<Engine>, listener: TcpListener) -> io::Result<()> {
-    for conn in listener.incoming() {
-        let stream = conn?;
-        let engine = engine.clone();
-        std::thread::Builder::new()
-            .name("ocqa-session".into())
-            .spawn(move || {
-                let _ = handle_connection(&engine, stream);
-            })
-            .expect("spawn session thread");
+/// How the accept loop responds to an `accept` failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AcceptDisposition {
+    /// Per-connection noise (the peer hung up before we accepted):
+    /// keep accepting immediately.
+    Transient,
+    /// Resource exhaustion (out of file descriptors / buffers): back off
+    /// briefly so in-flight sessions can release resources, then keep
+    /// accepting. Returning instead would turn a load spike into a full
+    /// outage.
+    Throttle,
+    /// The listener itself is broken: stop serving.
+    Fatal,
+}
+
+/// Pause before re-accepting after a resource-exhaustion failure.
+const ACCEPT_THROTTLE: Duration = Duration::from_millis(100);
+
+fn classify_accept_error(e: &io::Error) -> AcceptDisposition {
+    use io::ErrorKind;
+    match e.kind() {
+        // The connection died between the kernel queue and our accept —
+        // a fact about that one client, not about the listener.
+        ErrorKind::ConnectionAborted
+        | ErrorKind::ConnectionReset
+        | ErrorKind::Interrupted
+        | ErrorKind::TimedOut
+        | ErrorKind::WouldBlock => AcceptDisposition::Transient,
+        _ => match e.raw_os_error() {
+            // EMFILE/ENFILE (process/system fd limits), ENOMEM, and
+            // ENOBUFS (105 Linux, 55 BSD/macOS): the *server* is
+            // saturated — throttle and retry rather than die.
+            Some(24) | Some(23) | Some(12) | Some(105) | Some(55) => AcceptDisposition::Throttle,
+            _ => AcceptDisposition::Fatal,
+        },
     }
-    Ok(())
+}
+
+/// Accept loop: one thread per connection, all sharing the service. Runs
+/// until the listener fails **fatally** — transient per-connection
+/// failures (`ECONNABORTED`-class) and resource exhaustion
+/// (`EMFILE`-class, with a brief back-off) keep the loop alive, so one
+/// misbehaving client or a load spike cannot take the whole server down.
+pub fn serve_listener<S: LineService + 'static>(
+    service: Arc<S>,
+    listener: TcpListener,
+) -> io::Result<()> {
+    accept_loop(service, || listener.accept().map(|(stream, _)| stream))
+}
+
+/// [`serve_listener`] with the accept source abstracted, so tests can
+/// inject failing accepts.
+fn accept_loop<S: LineService + 'static>(
+    service: Arc<S>,
+    mut accept: impl FnMut() -> io::Result<TcpStream>,
+) -> io::Result<()> {
+    loop {
+        let stream = match accept() {
+            Ok(stream) => stream,
+            Err(e) => match classify_accept_error(&e) {
+                AcceptDisposition::Transient => continue,
+                AcceptDisposition::Throttle => {
+                    std::thread::sleep(ACCEPT_THROTTLE);
+                    continue;
+                }
+                AcceptDisposition::Fatal => return Err(e),
+            },
+        };
+        let service = service.clone();
+        let session = move || {
+            let _ = handle_connection(&*service, stream);
+        };
+        if std::thread::Builder::new()
+            .name("ocqa-session".into())
+            .spawn(session)
+            .is_err()
+        {
+            // Spawn failure is the thread-side analogue of EMFILE:
+            // resource exhaustion, not a broken listener. The dropped
+            // closure closes this connection; back off and keep serving
+            // the sessions that already exist.
+            std::thread::sleep(ACCEPT_THROTTLE);
+        }
+    }
 }
 
 /// Serves a single TCP connection.
-pub fn handle_connection(engine: &Engine, stream: TcpStream) -> io::Result<()> {
+pub fn handle_connection<S: LineService + ?Sized>(
+    service: &S,
+    stream: TcpStream,
+) -> io::Result<()> {
     let reader = BufReader::new(stream.try_clone()?);
-    serve_session(engine, reader, stream)
+    serve_session(service, reader, stream)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::EngineConfig;
+    use crate::engine::{Engine, EngineConfig};
 
-    #[test]
-    fn stdio_style_session() {
-        let engine = Engine::new(EngineConfig {
+    fn engine() -> Arc<Engine> {
+        Engine::new(EngineConfig {
             workers: 1,
             cache_capacity: 8,
             ..EngineConfig::default()
-        });
+        })
+    }
+
+    #[test]
+    fn stdio_style_session() {
+        let engine = engine();
         let input = concat!(
             r#"{"op":"create_db","name":"kv","facts":"R(a,b). R(a,c).","constraints":"R(x,y), R(x,z) -> y = z."}"#,
             "\n\n",
@@ -96,7 +238,7 @@ mod tests {
             "\n",
         );
         let mut out = Vec::new();
-        serve_session(&engine, input.as_bytes(), &mut out).unwrap();
+        serve_session(&*engine, input.as_bytes(), &mut out).unwrap();
         let lines: Vec<&str> = std::str::from_utf8(&out).unwrap().trim().lines().collect();
         assert_eq!(lines.len(), 3, "blank line skipped");
         assert!(lines[0].contains("\"ok\":true"));
@@ -106,21 +248,112 @@ mod tests {
 
     #[test]
     fn overlong_line_closes_session_with_error() {
-        let engine = Engine::new(EngineConfig {
-            workers: 1,
-            cache_capacity: 8,
-            ..EngineConfig::default()
-        });
+        let engine = engine();
         let mut input = vec![b'x'; (MAX_LINE_BYTES + 10) as usize];
         input.push(b'\n');
         input.extend_from_slice(b"{\"op\":\"ping\"}\n");
         let mut out = Vec::new();
-        serve_session(&engine, &input[..], &mut out).unwrap();
+        serve_session(&*engine, &input[..], &mut out).unwrap();
         let text = std::str::from_utf8(&out).unwrap();
         assert!(text.contains("longer than"), "{text}");
         assert!(
             !text.contains("pong"),
             "session must close after an overlong line: {text}"
+        );
+    }
+
+    #[test]
+    fn non_utf8_line_rejected_session_continues() {
+        let engine = engine();
+        // A create_db whose database name holds an invalid byte: under
+        // the old lossy decoding this *installed* a database named
+        // "kv\u{FFFD}" instead of rejecting the request.
+        let mut input = Vec::new();
+        input.extend_from_slice(br#"{"op":"create_db","name":"kv"#);
+        input.push(0xFF); // invalid UTF-8
+        input.extend_from_slice(b"\",\"facts\":\"R(1,1).\"}\n");
+        input.extend_from_slice(b"{\"op\":\"list\"}\n");
+        input.extend_from_slice(b"{\"op\":\"ping\"}\n");
+        let mut out = Vec::new();
+        serve_session(&*engine, &input[..], &mut out).unwrap();
+        let text = std::str::from_utf8(&out).unwrap();
+        let lines: Vec<&str> = text.trim().lines().collect();
+        assert_eq!(lines.len(), 3, "{text}");
+        assert!(
+            lines[0].contains("\"ok\":false") && lines[0].contains("not valid UTF-8"),
+            "{}",
+            lines[0]
+        );
+        assert!(
+            lines[1].contains("\"databases\":[]"),
+            "nothing may be installed under mangled bytes: {}",
+            lines[1]
+        );
+        assert!(lines[2].contains("pong"), "session must continue: {text}");
+    }
+
+    #[test]
+    fn accept_error_classification() {
+        use io::{Error, ErrorKind};
+        for kind in [
+            ErrorKind::ConnectionAborted,
+            ErrorKind::ConnectionReset,
+            ErrorKind::Interrupted,
+        ] {
+            assert_eq!(
+                classify_accept_error(&Error::from(kind)),
+                AcceptDisposition::Transient,
+                "{kind:?}"
+            );
+        }
+        // EMFILE: too many open files.
+        assert_eq!(
+            classify_accept_error(&Error::from_raw_os_error(24)),
+            AcceptDisposition::Throttle
+        );
+        assert_eq!(
+            classify_accept_error(&Error::from(ErrorKind::InvalidInput)),
+            AcceptDisposition::Fatal
+        );
+    }
+
+    #[test]
+    fn accept_loop_survives_transient_errors_and_stops_on_fatal() {
+        use io::{Error, ErrorKind};
+
+        let engine = engine();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+
+        // A client that connects, pings, and reports the response.
+        let client = std::thread::spawn(move || {
+            let stream = TcpStream::connect(addr).unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            writeln!(&stream, r#"{{"op":"ping"}}"#).unwrap();
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            line
+        });
+
+        // Injected accept sequence: a transient failure, a resource
+        // exhaustion, a real connection, then a fatal listener error.
+        // The old loop died on the very first event.
+        let mut step = 0;
+        let err = accept_loop(engine, move || {
+            step += 1;
+            match step {
+                1 => Err(Error::from(ErrorKind::ConnectionAborted)),
+                2 => Err(Error::from_raw_os_error(24)), // EMFILE
+                3 => listener.accept().map(|(s, _)| s),
+                _ => Err(Error::new(ErrorKind::InvalidInput, "listener torn down")),
+            }
+        })
+        .unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::InvalidInput);
+        let response = client.join().unwrap();
+        assert!(
+            response.contains("pong"),
+            "connection after transient accept errors must be served: {response}"
         );
     }
 }

@@ -34,7 +34,12 @@
 //! concurrently per shard. Beyond that the request is rejected with
 //! [`EngineError::ShardFull`] *before any success counter moves*, so a
 //! client retry is accounted as a fresh request — `answers` and `walks`
-//! can never double-count a retried request.
+//! can never double-count a retried request. Admission is checked
+//! *before* a single-flight entry can be created: a rejected request
+//! never becomes a leader, so followers — who need no sampling slot —
+//! can never inherit someone else's overload rejection, and a full
+//! shard still serves every request that can coalesce onto an admitted
+//! in-flight run.
 
 use crate::cache::{AnswerCache, CacheKey, CacheStats};
 use crate::catalog::{Catalog, DatabaseInfo, UpdateOutcome};
@@ -93,6 +98,29 @@ pub struct ShardEngine {
     answers: AtomicU64,
     walks: AtomicU64,
     coalesced: AtomicU64,
+}
+
+/// RAII admission slot: only sampling leaders hold one. Reserved
+/// **before** a single-flight entry can be created, so an admission
+/// rejection is always private to the rejected request; released on
+/// drop, surviving panicking samplers.
+struct Slot<'a>(&'a AtomicU64);
+
+impl<'a> Slot<'a> {
+    /// Claims a slot if the shard is under `max` concurrent samplers.
+    fn reserve(counter: &'a AtomicU64, max: u64) -> Option<Slot<'a>> {
+        if counter.fetch_add(1, Ordering::AcqRel) >= max {
+            counter.fetch_sub(1, Ordering::AcqRel);
+            return None;
+        }
+        Some(Slot(counter))
+    }
+}
+
+impl Drop for Slot<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
 }
 
 impl ShardEngine {
@@ -302,18 +330,53 @@ impl ShardEngine {
             self.answers.fetch_add(1, Ordering::Relaxed);
             return Ok(self.payload(&tally, true, false, version, stats, route));
         }
-        // Cache miss: join the single-flight table. Followers block on
-        // the leader's run and share its tally — one sampling run serves
-        // every concurrent miss for this key.
-        let token = match self.flights.join(&key) {
-            Join::Follower(flight) => {
-                let tally = flight.wait()?;
-                self.answers.fetch_add(1, Ordering::Relaxed);
-                self.coalesced.fetch_add(1, Ordering::Relaxed);
-                let stats = self.cache.lock().stats();
-                return Ok(self.payload(&tally, false, true, version, stats, route));
+        // Cache miss: coalesce or lead. Admission is checked *before* a
+        // flight can be created — a request rejected for lack of a
+        // sampling slot must never become a leader other requests pile
+        // onto (one overload rejection would then fan out to N client
+        // errors even though followers never need a slot). The sequence:
+        //
+        //   1. follow an existing flight, slot-free;
+        //   2. otherwise reserve a sampling slot (rejected here = only
+        //      this request fails, and no flight ever exists);
+        //   3. with the slot held, join — losing the join race demotes
+        //      to a follower and releases the slot.
+        //
+        // A follower whose flight resolves to `ShardFull` (impossible
+        // from this code once leaders reserve first, but reachable from
+        // older peers or future transports) re-joins instead of
+        // propagating someone else's rejection.
+        let (token, _slot) = loop {
+            let flight = match self.flights.follow(&key) {
+                Some(flight) => flight,
+                None => match Slot::reserve(&self.inflight, self.max_inflight) {
+                    Some(slot) => match self.flights.join(&key) {
+                        Join::Leader(token) => break (token, slot),
+                        Join::Follower(flight) => {
+                            drop(slot); // lost the race; coalesce instead
+                            flight
+                        }
+                    },
+                    None => match self.flights.follow(&key) {
+                        // A leader for this very key may have claimed the
+                        // last slot in the window since the first peek —
+                        // coalescing needs no slot, so re-check before
+                        // turning the request away.
+                        Some(flight) => flight,
+                        None => return Err(EngineError::ShardFull(self.id)),
+                    },
+                },
+            };
+            match flight.wait() {
+                Ok(tally) => {
+                    self.answers.fetch_add(1, Ordering::Relaxed);
+                    self.coalesced.fetch_add(1, Ordering::Relaxed);
+                    let stats = self.cache.lock().stats();
+                    return Ok(self.payload(&tally, false, true, version, stats, route));
+                }
+                Err(EngineError::ShardFull(_)) => continue,
+                Err(e) => return Err(e),
             }
-            Join::Leader(token) => token,
         };
         // Leadership won — but the previous leader for this key may have
         // completed (cache insert, then flight retirement) between our
@@ -331,29 +394,15 @@ impl ShardEngine {
             token.complete(Ok(tally.clone()));
             return Ok(self.payload(&tally, true, false, version, stats, route));
         }
-        // Admission: only sampling leaders consume a slot. Rejection
-        // happens before any success counter moves, so a retried request
-        // can never double-count. The slot is released by an RAII guard
-        // — like the leader token, it must survive a panicking sampler,
-        // or each panic would permanently shrink the shard's capacity.
-        struct Slot<'a>(&'a AtomicU64);
-        impl Drop for Slot<'_> {
-            fn drop(&mut self) {
-                self.0.fetch_sub(1, Ordering::AcqRel);
-            }
-        }
-        let slot = Slot(&self.inflight);
-        if self.inflight.fetch_add(1, Ordering::AcqRel) >= self.max_inflight {
-            let err = EngineError::ShardFull(self.id);
-            token.complete(Err(err.clone()));
-            return Err(err);
-        }
-        // Sample on the pool with no locks held.
+        // Sample on the pool with no locks held; the admission slot is
+        // released when `_slot` drops (RAII — like the leader token, it
+        // must survive a panicking sampler, or each panic would
+        // permanently shrink the shard's capacity).
         let result = plan
             .task(route, gen)
             .and_then(|task| self.pool.run(&task, &prepared.query, walks, seed))
             .map(Arc::new);
-        drop(slot);
+        drop(_slot);
         let tally = match result {
             Ok(tally) => tally,
             Err(e) => {
@@ -517,6 +566,160 @@ mod tests {
             .unwrap();
         assert!(!a.cached);
         assert_eq!(e.cache_len(), 1);
+    }
+
+    #[test]
+    fn full_shard_rejects_samplers_but_serves_coalescers() {
+        use crate::singleflight::Join;
+
+        // max_inflight 1, and the only slot is held (a leader is
+        // sampling some other key).
+        let e = ShardEngine::with_backend(
+            EngineConfig {
+                workers: 2,
+                cache_capacity: 64,
+                max_inflight: 1,
+                ..EngineConfig::default()
+            },
+            Arc::new(MemoryBackend),
+            2,
+        )
+        .unwrap();
+        e.create(
+            "kv",
+            "R(1,10). R(1,20). R(2,30).",
+            "R(x,y), R(x,z) -> y = z.",
+        )
+        .unwrap();
+        let occupied = Slot::reserve(&e.inflight, e.max_inflight).expect("slot free");
+
+        // A request that would need to sample is rejected — and, the new
+        // contract, without ever creating a flight for others to join.
+        let err = e
+            .answer(
+                "kv",
+                &QueryRef::Text("(y) <- exists x: R(x,y)".into()),
+                "uniform",
+                0.1,
+                0.1,
+                1,
+                None,
+            )
+            .unwrap_err();
+        assert!(matches!(err, EngineError::ShardFull(2)), "{err}");
+        assert!(e.flights.is_empty(), "rejection must not create a flight");
+
+        // A request that can coalesce onto an admitted in-flight run is
+        // served even though the shard is full: stand up a live flight
+        // for the exact key the request computes, let the request join
+        // it, and publish the leader's tally.
+        let (_ctx, version, plan) = e.catalog().read().snapshot("kv").unwrap();
+        let gen = generator_by_name("uniform").unwrap();
+        let route = plan.route(gen.as_ref(), None).unwrap();
+        let query_text = "(x) <- exists y: R(x,y)";
+        let key = CacheKey {
+            db: "kv".into(),
+            version,
+            query: query_text.into(),
+            generator: "uniform".into(),
+            plan: route,
+            eps_bits: 0.1f64.to_bits(),
+            delta_bits: 0.1f64.to_bits(),
+            seed: 7,
+        };
+        let Join::Leader(token) = e.flights.join(&key) else {
+            panic!("fresh key must lead");
+        };
+        let follower = {
+            let e = e.clone();
+            std::thread::spawn(move || {
+                e.answer(
+                    "kv",
+                    &QueryRef::Text(query_text.into()),
+                    "uniform",
+                    0.1,
+                    0.1,
+                    7,
+                    None,
+                )
+            })
+        };
+        // Give the follower time to block on the flight, then publish —
+        // cache first, flight second, mirroring the leader path, so a
+        // late-arriving follower hits the cache instead of resampling.
+        std::thread::sleep(Duration::from_millis(100));
+        let task = plan.task(route, gen).unwrap();
+        let query = Arc::new(ocqa_logic::parser::parse_query(query_text).unwrap());
+        let tally = Arc::new(e.pool().run(&task, &query, 150, 7).unwrap());
+        e.store_answer(key, tally.clone());
+        token.complete(Ok(tally));
+        let payload = follower
+            .join()
+            .unwrap()
+            .expect("a coalescing request must be served by a full shard");
+        assert!(
+            payload.coalesced || payload.cached,
+            "must share the flight or its cached result"
+        );
+        assert_eq!(payload.walks, 150);
+        let s = e.stats();
+        assert_eq!(s.walks, 0, "the shard itself never sampled");
+        drop(occupied);
+    }
+
+    #[test]
+    fn follower_rejoins_after_a_shard_full_flight() {
+        use crate::singleflight::Join;
+
+        // The regression scenario: a flight resolves to ShardFull (what
+        // a pre-admission-reordering leader published when it was
+        // rejected). A follower must re-join and serve the request
+        // itself — one overload rejection may not fan out to N client
+        // errors.
+        let e = shard();
+        e.create("kv", "R(1,10). R(1,20).", "R(x,y), R(x,z) -> y = z.")
+            .unwrap();
+        let (_ctx, version, plan) = e.catalog().read().snapshot("kv").unwrap();
+        let gen = generator_by_name("uniform").unwrap();
+        let route = plan.route(gen.as_ref(), None).unwrap();
+        let query_text = "(x) <- exists y: R(x,y)";
+        let key = CacheKey {
+            db: "kv".into(),
+            version,
+            query: query_text.into(),
+            generator: "uniform".into(),
+            plan: route,
+            eps_bits: 0.1f64.to_bits(),
+            delta_bits: 0.1f64.to_bits(),
+            seed: 3,
+        };
+        let Join::Leader(token) = e.flights.join(&key) else {
+            panic!("fresh key must lead");
+        };
+        let follower = {
+            let e = e.clone();
+            std::thread::spawn(move || {
+                e.answer(
+                    "kv",
+                    &QueryRef::Text(query_text.into()),
+                    "uniform",
+                    0.1,
+                    0.1,
+                    3,
+                    None,
+                )
+            })
+        };
+        std::thread::sleep(Duration::from_millis(100));
+        token.complete(Err(EngineError::ShardFull(3)));
+        let payload = follower
+            .join()
+            .unwrap()
+            .expect("follower of a rejected leader must re-join, not fail");
+        assert!(!payload.cached && !payload.coalesced, "it sampled itself");
+        let s = e.stats();
+        assert_eq!(s.walks, 150, "the re-joined request ran its own walks");
+        assert!(e.flights.is_empty());
     }
 
     #[test]

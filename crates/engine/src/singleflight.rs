@@ -120,6 +120,19 @@ impl SingleFlight {
         SingleFlight::default()
     }
 
+    /// The live flight for `key`, if any — a follower-only peek that
+    /// never creates a flight. The answer path consults this *before*
+    /// admission control: a caller that can coalesce onto an existing
+    /// run needs no sampling slot, so it must never be turned away by a
+    /// full shard.
+    pub fn follow(&self, key: &CacheKey) -> Option<Arc<Flight>> {
+        self.inflight
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(key)
+            .cloned()
+    }
+
     /// Joins the flight for `key`: the first caller becomes the leader,
     /// every concurrent caller a follower of the leader's flight.
     pub fn join(&self, key: &CacheKey) -> Join<'_> {
@@ -199,6 +212,20 @@ mod tests {
         assert_eq!(flight.wait().unwrap().walks, 150, "late wait still served");
         // The flight retired: the next join for the key leads again.
         assert!(matches!(table.join(&key(7)), Join::Leader(_)));
+    }
+
+    #[test]
+    fn follow_peeks_without_creating_a_flight() {
+        let table = SingleFlight::new();
+        assert!(table.follow(&key(9)).is_none());
+        assert!(table.is_empty(), "follow must not create a flight");
+        let Join::Leader(token) = table.join(&key(9)) else {
+            panic!()
+        };
+        let flight = table.follow(&key(9)).expect("live flight visible");
+        token.complete(Ok(tally(10)));
+        assert_eq!(flight.wait().unwrap().walks, 10);
+        assert!(table.follow(&key(9)).is_none(), "retired flight invisible");
     }
 
     #[test]

@@ -1,0 +1,209 @@
+//! End-to-end tests of the multi-process route proxy.
+//!
+//! The acceptance bar is **byte identity**: a workload served through a
+//! [`RouteProxy`] over N single-shard upstream servers must produce
+//! responses byte-for-byte equal to the same workload against an
+//! in-process `Engine` with N shards — the determinism contract
+//! (placement never changes an estimate), extended across the process
+//! boundary. The `shard` field needs no exemption: the proxy rewrites
+//! each upstream's local `0` to the global shard index, which matches
+//! the in-process router because both use the same rendezvous hash.
+
+use ocqa_engine::{serve_listener, Engine, EngineConfig, RouteProxy};
+use std::sync::Arc;
+
+/// Starts `n` single-shard engines, each behind its own TCP listener
+/// (exactly what `ocqa serve --shards 1 --listen …` runs), and returns
+/// their addresses.
+fn spawn_upstreams(n: usize, workers: usize, cache: usize) -> Vec<String> {
+    (0..n)
+        .map(|_| {
+            let engine = Engine::new(EngineConfig {
+                workers,
+                cache_capacity: cache,
+                ..EngineConfig::default()
+            });
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+            let addr = listener.local_addr().unwrap().to_string();
+            std::thread::spawn(move || {
+                let _ = serve_listener(engine, listener);
+            });
+            addr
+        })
+        .collect()
+}
+
+/// The reference: one in-process engine partitioned identically — same
+/// per-shard worker and cache budget as the upstreams.
+fn reference_engine(
+    shards: usize,
+    workers_per_shard: usize,
+    cache_per_shard: usize,
+) -> Arc<Engine> {
+    Engine::new(EngineConfig {
+        workers: workers_per_shard * shards,
+        cache_capacity: cache_per_shard * shards,
+        shards,
+        ..EngineConfig::default()
+    })
+}
+
+#[test]
+fn routed_responses_are_byte_identical_to_in_process_sharding() {
+    let addrs = spawn_upstreams(3, 2, 64);
+    let proxy = RouteProxy::connect(addrs).expect("connect router");
+    let reference = reference_engine(3, 2, 64);
+
+    let names = ["orders", "users", "events", "billing", "audit"];
+    let mut workload: Vec<String> = Vec::new();
+    for name in names {
+        workload.push(format!(
+            r#"{{"op":"create_db","name":"{name}","facts":"R(1,10). R(1,20). R(2,30). R(2,40). R(3,50).","constraints":"R(x,y), R(x,z) -> y = z."}}"#
+        ));
+    }
+    // A duplicate create (routed to the owner, fails identically).
+    workload.push(r#"{"op":"create_db","name":"orders","facts":"","constraints":""}"#.to_string());
+    // Prepared handles: minted by shard 0, usable against every shard.
+    workload.push(r#"{"op":"prepare","query":"(x) <- exists y: R(x,y)"}"#.to_string());
+    workload.push(r#"{"op":"prepared_get","id":"q1"}"#.to_string());
+    workload.push(r#"{"op":"prepared_get","id":"q999"}"#.to_string());
+    for (i, name) in names.iter().enumerate() {
+        // Inline-text answers…
+        workload.push(format!(
+            r#"{{"op":"answer","db":"{name}","query":"(y) <- exists x: R(x,y)","eps":0.1,"delta":0.1,"seed":{i}}}"#
+        ));
+        // …and prepared-handle answers (rewritten to text for shards ≠ 0).
+        workload.push(format!(
+            r#"{{"op":"answer","db":"{name}","prepared":"q1","eps":0.1,"delta":0.1,"seed":7}}"#
+        ));
+    }
+    // Cache hits, updates, invalidation, drops — the mutating surface.
+    workload.push(
+        r#"{"op":"answer","db":"orders","prepared":"q1","eps":0.1,"delta":0.1,"seed":7}"#
+            .to_string(),
+    );
+    workload.push(r#"{"op":"insert","db":"users","facts":"R(9,90)."}"#.to_string());
+    workload.push(
+        r#"{"op":"answer","db":"users","query":"(y) <- exists x: R(x,y)","eps":0.1,"delta":0.1,"seed":1}"#
+            .to_string(),
+    );
+    workload.push(r#"{"op":"delete","db":"users","facts":"R(9,90)."}"#.to_string());
+    workload.push(r#"{"op":"drop_db","name":"audit"}"#.to_string());
+    // Error surface: unknown db, unknown generator, bad plan, bad JSON.
+    workload.push(r#"{"op":"answer","db":"ghost","query":"(x) <- R(x)","seed":0}"#.to_string());
+    workload.push(
+        r#"{"op":"answer","db":"orders","query":"(x) <- R(x,y)","generator":"nope"}"#.to_string(),
+    );
+    workload.push("}{not json".to_string());
+    workload.push(r#"{"op":"ping"}"#.to_string());
+    // Fan-outs: merged list (sorted, shard-tagged) and summed stats.
+    workload.push(r#"{"op":"list"}"#.to_string());
+
+    for (i, line) in workload.iter().enumerate() {
+        let routed = proxy.handle_line(line);
+        let direct = reference.handle_line(line).to_string();
+        assert_eq!(
+            routed, direct,
+            "request {i} diverged\n  request: {line}\n  routed:  {routed}\n  direct:  {direct}"
+        );
+    }
+
+    // Stats too: the route proxy's request counter, upstream counter
+    // sums and shard count all line up with the in-process fan-out.
+    let routed = proxy.handle_line(r#"{"op":"stats"}"#);
+    let direct = reference.handle_line(r#"{"op":"stats"}"#).to_string();
+    assert_eq!(routed, direct, "stats diverged");
+
+    // Sanity: the workload actually spread over several shards.
+    let shards: std::collections::HashSet<usize> =
+        names.iter().map(|n| proxy.shard_of(n)).collect();
+    assert!(shards.len() > 1, "workload stayed on one shard: {shards:?}");
+    // And the proxy agrees with the reference on every placement.
+    for name in names {
+        assert_eq!(proxy.shard_of(name), reference.shard_of(name), "{name}");
+    }
+}
+
+#[test]
+fn connect_rejects_duplicate_databases_across_upstreams() {
+    let addrs = spawn_upstreams(2, 1, 8);
+    // Install the same database name directly on both upstreams,
+    // bypassing any router — the "resharding gone wrong" state.
+    for addr in &addrs {
+        let up = ocqa_engine::Upstream::new(addr.clone());
+        let resp = up
+            .exchange(r#"{"op":"create_db","name":"kv","facts":"R(1,1).","constraints":""}"#)
+            .unwrap();
+        assert!(resp.contains("\"ok\":true"), "{resp}");
+    }
+    let Err(err) = RouteProxy::connect(addrs) else {
+        panic!("duplicate name must refuse to serve");
+    };
+    let msg = err.to_string();
+    assert!(msg.contains("\"kv\"") && msg.contains("rebalance"), "{msg}");
+}
+
+#[test]
+fn connect_fails_fast_on_unreachable_upstream() {
+    let mut addrs = spawn_upstreams(1, 1, 8);
+    // A second upstream that is not listening.
+    let dead = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    addrs.push(dead.local_addr().unwrap().to_string());
+    drop(dead);
+    let Err(err) = RouteProxy::connect(addrs) else {
+        panic!("dead upstream must fail connect");
+    };
+    assert!(
+        matches!(err, ocqa_engine::EngineError::Unavailable(_)),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn proxy_survives_upstream_connection_churn() {
+    // An upstream that drops every connection after a single request:
+    // every exchange after the first exercises reconnect-on-broken-pipe.
+    let engine = Engine::new(EngineConfig {
+        workers: 1,
+        cache_capacity: 8,
+        ..EngineConfig::default()
+    });
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    std::thread::spawn(move || {
+        for conn in listener.incoming() {
+            let Ok(stream) = conn else { return };
+            let engine = engine.clone();
+            std::thread::spawn(move || {
+                use std::io::{BufRead, BufReader, Write};
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                let mut line = String::new();
+                if reader.read_line(&mut line).unwrap_or(0) > 0 {
+                    let mut stream = stream;
+                    let _ = writeln!(stream, "{}", engine.handle_line(line.trim_end()));
+                }
+                // Connection dropped after one request.
+            });
+        }
+    });
+    let proxy = RouteProxy::connect(vec![addr]).expect("connect");
+    let resp = proxy.handle_line(
+        r#"{"op":"create_db","name":"kv","facts":"R(1,10). R(1,20).","constraints":"R(x,y), R(x,z) -> y = z."}"#,
+    );
+    assert!(resp.contains("\"ok\":true"), "{resp}");
+    let first = proxy.handle_line(
+        r#"{"op":"answer","db":"kv","query":"(x) <- exists y: R(x,y)","eps":0.1,"delta":0.1,"seed":7}"#,
+    );
+    assert!(first.contains("\"answers\":"), "{first}");
+    // Same request again: the upstream's cache serves it, through yet
+    // another reconnect, with the cached flag the only difference.
+    let second = proxy.handle_line(
+        r#"{"op":"answer","db":"kv","query":"(x) <- exists y: R(x,y)","eps":0.1,"delta":0.1,"seed":7}"#,
+    );
+    assert!(second.contains("\"cached\":true"), "{second}");
+    assert!(
+        proxy.upstreams()[0].reconnects() >= 1,
+        "churn not exercised"
+    );
+    assert!(proxy.upstreams()[0].healthy());
+}

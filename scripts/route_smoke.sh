@@ -1,0 +1,145 @@
+#!/usr/bin/env bash
+# Multi-process router smoke test: start three `ocqa serve --shards 1`
+# shard servers (each over its own shard-<k>/ store), put `ocqa route`
+# in front of them, and drive an install + prepare + answer workload
+# through the router. The routed responses must be **byte-identical** to
+# the same workload served by a single-process `ocqa serve --shards 3`
+# (the determinism contract: placement never changes an estimate). Then
+# SIGKILL one upstream, restart it over the same store and address, and
+# require the router to reconnect and serve every one of that shard's
+# databases byte-identically to its pre-kill responses.
+#
+# Usage: scripts/route_smoke.sh [path-to-ocqa-binary]
+set -euo pipefail
+
+BIN="${1:-target/release/ocqa}"
+if [[ ! -x "$BIN" ]]; then
+    echo "error: ocqa release binary not found at '$BIN'" >&2
+    echo "build it first: cargo build --release -p ocqa-cli" >&2
+    exit 1
+fi
+
+WORK="$(mktemp -d)"
+PIDS=()
+cleanup() {
+    for PID in ${PIDS[@]+"${PIDS[@]}"}; do kill -9 "$PID" 2>/dev/null || true; done
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# Polls a server's stderr for the listening banner; prints the address.
+wait_listen() {
+    local FILE="$1"
+    for _ in $(seq 1 100); do
+        if grep -q "listening on" "$FILE" 2>/dev/null; then
+            sed -n 's/.*listening on \([0-9.:]*\).*/\1/p' "$FILE" | head -1
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "FAIL: no listening banner in $FILE" >&2
+    return 1
+}
+
+# --- Three upstream shard servers, each over its own durable store.
+UP_ADDRS=()
+UP_PIDS=()
+for K in 0 1 2; do
+    "$BIN" serve --shards 1 --workers 2 --cache 512 --data-dir "$WORK/shard-$K" \
+        --listen 127.0.0.1:0 2> "$WORK/up$K.err" &
+    PID=$!
+    disown "$PID"
+    PIDS+=("$PID")
+    UP_PIDS+=("$PID")
+    UP_ADDRS+=("$(wait_listen "$WORK/up$K.err")")
+done
+
+# --- The router in front of them.
+"$BIN" route --upstream "${UP_ADDRS[0]}" --upstream "${UP_ADDRS[1]}" \
+    --upstream "${UP_ADDRS[2]}" --listen 127.0.0.1:0 2> "$WORK/route.err" &
+ROUTE_PID=$!
+disown "$ROUTE_PID"
+PIDS+=("$ROUTE_PID")
+ROUTE_ADDR="$(wait_listen "$WORK/route.err")"
+
+# --- The workload: install 5 databases, prepare a handle, answer each
+# database through the handle, list the merged catalog.
+NAMES=(kv orders users events billing)
+answer_req() {
+    printf '{"op":"answer","db":"%s","prepared":"q1","eps":0.1,"delta":0.1,"seed":7}' "$1"
+}
+{
+    for NAME in "${NAMES[@]}"; do
+        printf '{"op":"create_db","name":"%s","facts":"R(1,10). R(1,20). R(2,30). R(2,40). R(3,50).","constraints":"R(x,y), R(x,z) -> y = z."}\n' "$NAME"
+    done
+    printf '{"op":"prepare","query":"(x) <- exists y: R(x,y)"}\n'
+    for NAME in "${NAMES[@]}"; do
+        answer_req "$NAME"
+        printf '\n'
+    done
+    printf '{"op":"list"}\n'
+} > "$WORK/workload"
+
+# Send the workload through the router over one TCP session.
+exec 3<>"/dev/tcp/${ROUTE_ADDR%:*}/${ROUTE_ADDR##*:}"
+while IFS= read -r LINE; do printf '%s\n' "$LINE" >&3; done < "$WORK/workload"
+: > "$WORK/route.out"
+EXPECTED="$(wc -l < "$WORK/workload")"
+for _ in $(seq 1 "$EXPECTED"); do
+    IFS= read -r -t 30 -u 3 RESP || { echo "FAIL: router response timed out"; exit 1; }
+    printf '%s\n' "$RESP" >> "$WORK/route.out"
+done
+
+# The reference: the identical workload against one process holding all
+# three shards, with the same per-shard worker and cache budget
+# (`--workers`/`--cache` are totals, divided across shards).
+"$BIN" serve --shards 3 --workers 6 --cache 1536 < "$WORK/workload" > "$WORK/serve.out" 2>/dev/null
+
+if ! diff -q "$WORK/route.out" "$WORK/serve.out" > /dev/null; then
+    echo "FAIL: routed responses differ from in-process sharding"
+    diff "$WORK/route.out" "$WORK/serve.out" || true
+    exit 1
+fi
+echo "OK: ocqa route responses byte-identical to ocqa serve --shards 3"
+
+# ============== SIGKILL one upstream, restart, re-answer ==============
+# The victim: whichever shard serves "kv" (its create response is the
+# workload's first line and carries the shard tag).
+VICTIM="$(sed -n '1p' "$WORK/route.out" | sed -n 's/.*"shard":\([0-9]*\).*/\1/p')"
+kill -9 "${UP_PIDS[$VICTIM]}"
+wait "${UP_PIDS[$VICTIM]}" 2>/dev/null || true
+
+# While it is down, its databases error loudly through the router.
+answer_req kv >&3
+printf '\n' >&3
+IFS= read -r -t 30 -u 3 RESP
+grep -q '"ok":false' <<< "$RESP" || { echo "FAIL: dead upstream did not error: $RESP"; exit 1; }
+
+# Restart the upstream over the same store and the same address.
+"$BIN" serve --shards 1 --workers 2 --cache 512 --data-dir "$WORK/shard-$VICTIM" \
+    --listen "${UP_ADDRS[$VICTIM]}" 2> "$WORK/up$VICTIM.restart.err" &
+PID=$!
+disown "$PID"
+PIDS+=("$PID")
+wait_listen "$WORK/up$VICTIM.restart.err" > /dev/null
+
+# Every database on the restarted shard must answer byte-identically to
+# its pre-kill response, through the same router session (the router
+# reconnects; the recovered store replays the same estimates).
+for I in "${!NAMES[@]}"; do
+    CREATE_RESP="$(sed -n "$((I + 1))p" "$WORK/route.out")"
+    SHARD="$(sed -n 's/.*"shard":\([0-9]*\).*/\1/p' <<< "$CREATE_RESP")"
+    [[ "$SHARD" == "$VICTIM" ]] || continue
+    BEFORE="$(sed -n "$((${#NAMES[@]} + 2 + I))p" "$WORK/route.out")"
+    answer_req "${NAMES[$I]}" >&3
+    printf '\n' >&3
+    IFS= read -r -t 30 -u 3 AFTER
+    if [[ "$BEFORE" != "$AFTER" ]]; then
+        echo "FAIL: ${NAMES[$I]} answer differs after upstream SIGKILL + restart"
+        echo "  before: $BEFORE"
+        echo "  after:  $AFTER"
+        exit 1
+    fi
+done
+
+echo "OK: router reconnected after upstream SIGKILL; answers bit-identical"

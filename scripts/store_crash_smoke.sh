@@ -8,12 +8,14 @@
 # single-shard run modulo the reported shard).
 #
 # Usage: scripts/store_crash_smoke.sh [path-to-ocqa-binary]
+# Fails fast with a clear message if the binary has not been built.
 set -euo pipefail
 
 BIN="${1:-target/release/ocqa}"
 if [[ ! -x "$BIN" ]]; then
-    echo "building release binary..." >&2
-    cargo build --release -p ocqa-cli
+    echo "error: ocqa release binary not found at '$BIN'" >&2
+    echo "build it first: cargo build --release -p ocqa-cli" >&2
+    exit 1
 fi
 
 WORK="$(mktemp -d)"
