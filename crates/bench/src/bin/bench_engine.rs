@@ -1,0 +1,169 @@
+//! Machine-readable engine latency snapshot: per-plan cold and cached
+//! `answer` timings, emitted as one JSON document on stdout.
+//!
+//! The criterion benches (`engine_throughput` et al.) are the precision
+//! instrument; this binary is the *trajectory* instrument — fast enough
+//! to run on every PR and diff, feeding the checked-in
+//! `BENCH_engine.json` snapshot the ROADMAP asks for. Each plan family
+//! is measured on the workload that routes to it:
+//!
+//! * `key-repair` — the key-conflict workload under `uniform-deletions`
+//!   (group-wise sampling fast path);
+//! * `localized`  — the paper's §3 preference instance under `uniform`
+//!   (per-component localized sampling);
+//! * `monolithic` — the key-conflict workload with an explicit
+//!   `monolithic` plan pin (full chain walks).
+//!
+//! Cold timings defeat the cache with a fresh seed per request; cached
+//! timings repeat one warmed request, reported as the **minimum** mean
+//! over [`CACHED_REPS`] repetitions (scheduler noise on a sub-10µs path
+//! is strictly additive, so min-of-means is the stable estimator).
+//! Units are mean microseconds.
+//!
+//! The optional argument labels the snapshot (default `dev`); the
+//! checked-in `BENCH_engine.json` is a JSON array of such documents,
+//! one per recorded revision — append a run to extend the history:
+//!
+//! ```text
+//! cargo run --release -p ocqa-bench --bin bench_engine -- v0.1.0 > snap.json
+//! ```
+
+use ocqa_bench::key_workload;
+use ocqa_engine::json::Json;
+use ocqa_engine::{Engine, EngineConfig, EngineRequest, EngineResponse, PlanKind, QueryRef};
+use std::sync::Arc;
+use std::time::Instant;
+
+const COLD_ITERS: u64 = 40;
+const CACHED_ITERS: u64 = 20_000;
+const CACHED_REPS: usize = 5;
+
+/// One measured scenario: a database, a query, a generator and an
+/// optional plan pin that together route down one plan family.
+struct Scenario {
+    plan: &'static str,
+    db: &'static str,
+    facts: String,
+    constraints: &'static str,
+    query: &'static str,
+    generator: &'static str,
+    pin: Option<PlanKind>,
+}
+
+fn scenarios() -> Vec<Scenario> {
+    let kv = key_workload(50, 16, 2, 7).db.to_string();
+    vec![
+        Scenario {
+            plan: "key-repair",
+            db: "kv",
+            facts: kv.clone(),
+            constraints: "R(x,y), R(x,z) -> y = z.",
+            query: "(x) <- exists y: R(x, y)",
+            generator: "uniform-deletions",
+            pin: None,
+        },
+        Scenario {
+            plan: "localized",
+            db: "prefs",
+            facts: "Pref(a,b). Pref(a,c). Pref(a,d). Pref(b,a). Pref(b,d). Pref(c,a).".into(),
+            constraints: "Pref(x,y), Pref(y,x) -> false.",
+            query: "(x) <- exists y: Pref(x,y)",
+            generator: "uniform",
+            pin: None,
+        },
+        Scenario {
+            plan: "monolithic",
+            db: "kv",
+            facts: kv,
+            constraints: "R(x,y), R(x,z) -> y = z.",
+            query: "(x) <- exists y: R(x, y)",
+            generator: "uniform-deletions",
+            pin: Some(PlanKind::Monolithic),
+        },
+    ]
+}
+
+fn engine_for(s: &Scenario) -> Arc<Engine> {
+    let engine = Engine::new(EngineConfig {
+        workers: 4,
+        cache_capacity: 256,
+        ..EngineConfig::default()
+    });
+    let resp = engine.handle(EngineRequest::CreateDb {
+        name: s.db.into(),
+        facts: s.facts.clone(),
+        constraints: s.constraints.into(),
+    });
+    assert!(matches!(resp, EngineResponse::Created(_)), "create failed");
+    engine
+}
+
+fn answer(s: &Scenario, seed: u64) -> EngineRequest {
+    EngineRequest::Answer {
+        db: s.db.into(),
+        query: QueryRef::Text(s.query.into()),
+        generator: s.generator.into(),
+        eps: 0.1,
+        delta: 0.1,
+        seed,
+        plan: s.pin,
+    }
+}
+
+/// Mean microseconds per `answer` over `iters` requests built by `req`.
+fn mean_us(engine: &Engine, iters: u64, mut req: impl FnMut(u64) -> EngineRequest) -> f64 {
+    let start = Instant::now();
+    for i in 0..iters {
+        let resp = engine.handle(req(i));
+        let EngineResponse::Answer(a) = resp else {
+            panic!("expected answer, got {resp:?}");
+        };
+        std::hint::black_box(a);
+    }
+    start.elapsed().as_secs_f64() * 1e6 / iters as f64
+}
+
+fn main() {
+    let rev = std::env::args().nth(1).unwrap_or_else(|| "dev".to_string());
+    let mut plans = std::collections::BTreeMap::new();
+    for s in scenarios() {
+        let engine = engine_for(&s);
+        // Cold: a fresh seed per request defeats the cache; every
+        // iteration pays the full walk budget on the pool.
+        let cold_us = mean_us(&engine, COLD_ITERS, |i| answer(&s, 1000 + i));
+        // Cached: warm one key, then hammer it; every iteration is a hit.
+        let warm = engine.handle(answer(&s, 1));
+        let EngineResponse::Answer(payload) = warm else {
+            panic!("warmup failed");
+        };
+        assert_eq!(payload.plan.as_str(), s.plan, "scenario routed off-plan");
+        let cached_us = (0..CACHED_REPS)
+            .map(|_| mean_us(&engine, CACHED_ITERS, |_| answer(&s, 1)))
+            .fold(f64::INFINITY, f64::min);
+        plans.insert(
+            s.plan.to_string(),
+            Json::obj([
+                ("cold_us", Json::Num((cold_us * 100.0).round() / 100.0)),
+                ("cached_us", Json::Num((cached_us * 100.0).round() / 100.0)),
+            ]),
+        );
+    }
+    let doc = Json::obj([
+        ("bench", Json::from("engine_answer_latency")),
+        ("rev", Json::from(rev)),
+        (
+            "config",
+            Json::obj([
+                ("workers", Json::from(4u64)),
+                ("cache", Json::from(256u64)),
+                ("cold_iters", Json::from(COLD_ITERS)),
+                ("cached_iters", Json::from(CACHED_ITERS)),
+                ("cached_reps", Json::from(CACHED_REPS as u64)),
+                ("eps", Json::Num(0.1)),
+                ("delta", Json::Num(0.1)),
+            ]),
+        ),
+        ("plans", Json::Obj(plans)),
+    ]);
+    println!("{doc}");
+}

@@ -9,8 +9,9 @@
 //!   ocqa trace    --facts FILE --constraints FILE [--generator NAME] [--seed N]
 //!   ocqa serve    [--listen ADDR] [--workers N] [--cache N] [--planner on|off]
 //!                 [--shards N] [--ttl-ms MS] [--max-inflight N]
-//!                 [--data-dir PATH]
+//!                 [--data-dir PATH] [--slow-ms MS] [--metrics-addr ADDR]
 //!   ocqa route    --upstream HOST:PORT [--upstream HOST:PORT ...] [--listen ADDR]
+//!                 [--slow-ms MS] [--metrics-addr ADDR]
 //!   ocqa snapshot --data-dir PATH [--db NAME]
 //!
 //! GENERATORS: uniform (default) | uniform-deletions | preference
@@ -37,6 +38,14 @@
 //! byte-identical to an in-process `ocqa serve --shards N` — placement
 //! never changes an estimate — and the router reconnects transparently
 //! when an upstream is restarted.
+//!
+//! Both long-running commands are observable: `--slow-ms N` traces any
+//! request slower than N milliseconds as a structured NDJSON event on
+//! stderr (with a per-stage latency breakdown and the chosen plan), and
+//! `--metrics-addr HOST:PORT` serves the engine's counters and latency
+//! histograms in Prometheus text exposition format — both built on the
+//! `metrics` protocol op, which `ocqa route` aggregates bucket-wise
+//! across its upstreams.
 
 use ocqa_core::{answer, explain, explore, sample, ChainGenerator, RepairContext, RepairState};
 use ocqa_data::Database;
@@ -122,13 +131,15 @@ const COMMANDS: &[CommandSpec] = &[
             "shards",
             "ttl-ms",
             "max-inflight",
+            "slow-ms",
+            "metrics-addr",
         ],
         multi: &[],
         flags: &["help"],
     },
     CommandSpec {
         name: "route",
-        options: &["listen"],
+        options: &["listen", "slow-ms", "metrics-addr"],
         multi: &["upstream"],
         flags: &["help"],
     },
@@ -206,9 +217,9 @@ fn usage() -> String {
      [--exact | --eps E --delta D] [--seed N] [--max-states N]\n  \
      serve: [--listen HOST:PORT] [--workers N] [--cache ENTRIES] \
      [--planner on|off] [--shards N] [--ttl-ms MS] [--max-inflight N] \
-     [--data-dir PATH]\n  \
+     [--data-dir PATH] [--slow-ms MS] [--metrics-addr HOST:PORT]\n  \
      route: --upstream HOST:PORT [--upstream HOST:PORT ...] \
-     [--listen HOST:PORT]\n  \
+     [--listen HOST:PORT] [--slow-ms MS] [--metrics-addr HOST:PORT]\n  \
      snapshot: --data-dir PATH [--db NAME]"
         .to_string()
 }
@@ -329,6 +340,7 @@ fn serve_cmd(args: &Args) -> Result<(), String> {
             .filter(|n| *n > 0)
             .ok_or("--max-inflight expects a positive number")?;
     }
+    config.slow_ms = slow_ms_option(args)?;
     let engine = match args.options.get("data-dir") {
         Some(dir) => {
             let mut backends: Vec<std::sync::Arc<dyn ocqa_engine::StorageBackend>> = Vec::new();
@@ -350,6 +362,7 @@ fn serve_cmd(args: &Args) -> Result<(), String> {
         }
         None => ocqa_engine::Engine::new(config),
     };
+    spawn_metrics(args, "serve", engine.clone())?;
     match args.options.get("listen") {
         Some(addr) => {
             let listener = std::net::TcpListener::bind(addr)
@@ -384,7 +397,8 @@ fn route_cmd(args: &Args) -> Result<(), String> {
             usage()
         ));
     }
-    let proxy = ocqa_engine::RouteProxy::connect(upstreams).map_err(|e| e.to_string())?;
+    let proxy = ocqa_engine::RouteProxy::connect_with(upstreams, slow_ms_option(args)?)
+        .map_err(|e| e.to_string())?;
     eprintln!(
         "ocqa route: {} upstreams ({}), {} databases",
         proxy.shards(),
@@ -396,6 +410,7 @@ fn route_cmd(args: &Args) -> Result<(), String> {
             .join(", "),
         proxy.databases()
     );
+    spawn_metrics(args, "route", proxy.clone())?;
     match args.options.get("listen") {
         Some(addr) => {
             let listener = std::net::TcpListener::bind(addr)
@@ -411,6 +426,38 @@ fn route_cmd(args: &Args) -> Result<(), String> {
             ocqa_engine::serve_stdio(&*proxy).map_err(|e| e.to_string())
         }
     }
+}
+
+/// Parses `--slow-ms` (0, the default, disables slow-request tracing).
+fn slow_ms_option(args: &Args) -> Result<u64, String> {
+    match args.options.get("slow-ms") {
+        Some(n) => n
+            .parse::<u64>()
+            .map_err(|_| "--slow-ms expects a number".into()),
+        None => Ok(0),
+    }
+}
+
+/// Binds `--metrics-addr` (when given) and spawns the Prometheus text
+/// exposition listener over `service` — the same NDJSON front door the
+/// command is about to serve, so scrapes see exactly the `stats` and
+/// `metrics` ops' view.
+fn spawn_metrics<S: ocqa_engine::LineService + 'static>(
+    args: &Args,
+    what: &str,
+    service: Arc<S>,
+) -> Result<(), String> {
+    let Some(addr) = args.options.get("metrics-addr") else {
+        return Ok(());
+    };
+    let listener =
+        std::net::TcpListener::bind(addr).map_err(|e| format!("cannot listen on {addr}: {e}"))?;
+    eprintln!(
+        "ocqa {what}: metrics listening on {}",
+        listener.local_addr().map_err(|e| e.to_string())?
+    );
+    ocqa_engine::spawn_exposition_listener(service, listener);
+    Ok(())
 }
 
 /// Offline compaction of a serve data directory: folds each shard's

@@ -67,6 +67,10 @@ pub struct EngineConfig {
     /// rejected with [`EngineError::ShardFull`] instead of queueing
     /// unboundedly on the pool.
     pub max_inflight: usize,
+    /// Slow-request trace threshold in milliseconds: requests at or
+    /// above it emit one structured NDJSON event on stderr with their
+    /// stage breakdown (see [`crate::obs::trace`]). `0` disables tracing.
+    pub slow_ms: u64,
 }
 
 impl Default for EngineConfig {
@@ -81,6 +85,7 @@ impl Default for EngineConfig {
             shards: 1,
             ttl_ms: 0,
             max_inflight: 1024,
+            slow_ms: 0,
         }
     }
 }
@@ -369,6 +374,12 @@ impl Engine {
                 ))),
             ),
             EngineRequest::Stats => (None, Ok(EngineResponse::Stats(self.stats()))),
+            EngineRequest::Metrics => (
+                None,
+                Ok(EngineResponse::Metrics(crate::proto::MetricsPayload {
+                    per_shard: self.shards.iter().map(|s| s.metrics_snapshot()).collect(),
+                })),
+            ),
         }
     }
 

@@ -42,8 +42,9 @@
 use crate::catalog::DatabaseInfo;
 use crate::error::EngineError;
 use crate::json::Json;
+use crate::obs::{MetricsSnapshot, SlowLog};
 use crate::planner::PlanKind;
-use crate::proto::{EngineRequest, EngineResponse, EngineStatsPayload, QueryRef};
+use crate::proto::{EngineRequest, EngineResponse, EngineStatsPayload, MetricsPayload, QueryRef};
 use crate::router::Router;
 use crate::server::LineService;
 use crate::shard::ShardStats;
@@ -52,6 +53,7 @@ use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Where the front door sends a request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,7 +65,8 @@ pub enum RouteTarget<'a> {
     /// Served by shard 0, the prepared-handle authority
     /// (`prepare` / `prepared_get`).
     Authority,
-    /// Fanned out over every shard and merged (`list` / `stats`).
+    /// Fanned out over every shard and merged
+    /// (`list` / `stats` / `metrics`).
     FanOut,
 }
 
@@ -80,7 +83,7 @@ pub fn route_of(req: &EngineRequest) -> RouteTarget<'_> {
         | EngineRequest::Delete { db, .. }
         | EngineRequest::Answer { db, .. } => RouteTarget::Database(db),
         EngineRequest::Prepare { .. } | EngineRequest::PreparedGet { .. } => RouteTarget::Authority,
-        EngineRequest::List | EngineRequest::Stats => RouteTarget::FanOut,
+        EngineRequest::List | EngineRequest::Stats | EngineRequest::Metrics => RouteTarget::FanOut,
     }
 }
 
@@ -102,6 +105,7 @@ pub struct FrontDoor {
     /// names fall through to the router; drops clear their entry.
     placements: RwLock<HashMap<String, usize>>,
     requests: AtomicU64,
+    started: Instant,
 }
 
 impl FrontDoor {
@@ -112,6 +116,7 @@ impl FrontDoor {
             router: Router::new(shards),
             placements: RwLock::new(HashMap::new()),
             requests: AtomicU64::new(0),
+            started: Instant::now(),
         }
     }
 
@@ -171,6 +176,12 @@ impl FrontDoor {
         self.requests.load(Ordering::Relaxed)
     }
 
+    /// Milliseconds since this front door was built (the `stats`
+    /// `uptime_ms` field — each deployment reports its own).
+    pub fn uptime_ms(&self) -> u64 {
+        self.started.elapsed().as_millis().min(u128::from(u64::MAX)) as u64
+    }
+
     /// Merges per-shard `list` results into one catalog view, sorted by
     /// name (the fan-out contract: every shard read exactly once).
     pub fn merge_lists(lists: impl IntoIterator<Item = Vec<DatabaseInfo>>) -> Vec<DatabaseInfo> {
@@ -194,6 +205,8 @@ impl FrontDoor {
             prepared: 0,
             shards: self.shards(),
             cache: Default::default(),
+            uptime_ms: self.uptime_ms(),
+            build: env!("CARGO_PKG_VERSION").to_string(),
         };
         for s in per_shard {
             out.answers += s.answers;
@@ -229,6 +242,7 @@ impl FrontDoor {
 pub struct RouteProxy {
     front: FrontDoor,
     upstreams: Vec<Upstream>,
+    slow: SlowLog,
 }
 
 /// Outcome of resolving a prepared handle against upstream 0.
@@ -249,6 +263,13 @@ impl RouteProxy {
     /// Fails if any upstream is unreachable or one database name is
     /// served by two upstreams.
     pub fn connect(addrs: Vec<String>) -> Result<Arc<RouteProxy>, EngineError> {
+        RouteProxy::connect_with(addrs, 0)
+    }
+
+    /// [`connect`](RouteProxy::connect) with a `--slow-ms` trace
+    /// threshold: proxied requests at or above `slow_ms` milliseconds
+    /// emit one transport-level trace event on stderr (`0` disables).
+    pub fn connect_with(addrs: Vec<String>, slow_ms: u64) -> Result<Arc<RouteProxy>, EngineError> {
         if addrs.is_empty() {
             return Err(EngineError::BadRequest(
                 "route needs at least one upstream".into(),
@@ -266,7 +287,11 @@ impl RouteProxy {
                 })?;
             front.seed(k, infos.iter().map(|i| i.name.as_str()))?;
         }
-        Ok(Arc::new(RouteProxy { front, upstreams }))
+        Ok(Arc::new(RouteProxy {
+            front,
+            upstreams,
+            slow: SlowLog::new(slow_ms),
+        }))
     }
 
     /// Number of upstream shard servers.
@@ -294,12 +319,14 @@ impl RouteProxy {
     /// proxying to the owning upstream instead of calling into an
     /// in-process shard.
     pub fn handle_line(&self, line: &str) -> String {
+        let t0 = Instant::now();
         self.front.begin_request();
         let (raw, req) = match parse_request(line) {
             Ok(parsed) => parsed,
             Err(e) => return error_line(None, e),
         };
-        match route_of(&req) {
+        let op = req.op_name();
+        let out = match route_of(&req) {
             RouteTarget::Local => EngineResponse::Pong.to_json().to_string(),
             RouteTarget::Authority => self.proxy_authority(line),
             RouteTarget::Database(name) => {
@@ -308,9 +335,26 @@ impl RouteProxy {
             }
             RouteTarget::FanOut => match &req {
                 EngineRequest::List => self.fan_out_list(),
+                EngineRequest::Metrics => self.fan_out_metrics(),
                 _ => self.fan_out_stats(),
             },
+        };
+        // Transport-level slow tracing: total proxy time, including the
+        // upstream's own service time. The stage breakdown lives in the
+        // upstream's log — this event identifies *which* routed request
+        // was slow and where it went.
+        let elapsed = t0.elapsed();
+        if self.slow.is_slow(elapsed) {
+            self.slow.emit(Json::obj([
+                ("op", Json::from(op)),
+                ("proxy", Json::from(true)),
+                (
+                    "elapsed_ms",
+                    Json::from(elapsed.as_millis().min(u128::from(u64::MAX)) as u64),
+                ),
+            ]));
         }
+        out
     }
 
     /// Forwards a line to upstream `k` and parses the response (every
@@ -450,7 +494,41 @@ impl RouteProxy {
             }
         }
         let payload = self.front.sum_stats(backend, &per_shard);
-        EngineResponse::Stats(payload).to_json().to_string()
+        let mut json = EngineResponse::Stats(payload).to_json();
+        json.set("upstreams", self.upstream_health());
+        json.to_string()
+    }
+
+    /// `metrics`: fan out, merge each upstream's shards into its global
+    /// shard slot, and render through the *same* payload type the
+    /// in-process engine uses — so the two deployments answer
+    /// byte-identically, apart from the router-only `upstreams` key.
+    fn fan_out_metrics(&self) -> String {
+        let mut per_shard = Vec::with_capacity(self.upstreams.len());
+        for (k, up) in self.upstreams.iter().enumerate() {
+            let resp = match self.forward(k, r#"{"op":"metrics"}"#) {
+                Ok(resp) => resp,
+                Err(e) => return error_line(None, e),
+            };
+            match parse_metrics(&resp) {
+                Ok(snapshot) => per_shard.push(snapshot),
+                Err(e) => {
+                    return error_line(
+                        None,
+                        EngineError::Unavailable(format!("{}: malformed metrics: {e}", up.addr())),
+                    )
+                }
+            }
+        }
+        let mut json = EngineResponse::Metrics(MetricsPayload { per_shard }).to_json();
+        json.set("upstreams", self.upstream_health());
+        json.to_string()
+    }
+
+    /// The per-upstream health array appended (router-only) to `stats`
+    /// and `metrics` responses.
+    fn upstream_health(&self) -> Json {
+        Json::Arr(self.upstreams.iter().map(Upstream::health_json).collect())
     }
 }
 
@@ -536,6 +614,24 @@ fn parse_stats(v: &Json) -> Result<(String, ShardStats), String> {
     Ok((backend, stats))
 }
 
+/// Parses an upstream `metrics` response, merging the upstream's shards
+/// (usually just one — each upstream is an `ocqa serve --shards 1`, but
+/// a multi-shard upstream aggregates correctly too, because histogram
+/// merging is associative) into one snapshot for its global shard slot.
+fn parse_metrics(v: &Json) -> Result<MetricsSnapshot, String> {
+    if !is_ok(v) {
+        return Err(format!("upstream refused metrics: {v}"));
+    }
+    let Some(Json::Arr(shards)) = v.get("per_shard") else {
+        return Err("no per_shard array".into());
+    };
+    let mut merged = MetricsSnapshot::default();
+    for entry in shards {
+        merged.merge(&MetricsSnapshot::from_json(entry)?);
+    }
+    Ok(merged)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -564,6 +660,9 @@ mod tests {
         assert_eq!(route_of(&req), RouteTarget::FanOut);
         let req = parse_request(r#"{"op":"stats"}"#).unwrap().1;
         assert_eq!(route_of(&req), RouteTarget::FanOut);
+        let req = parse_request(r#"{"op":"metrics"}"#).unwrap().1;
+        assert_eq!(route_of(&req), RouteTarget::FanOut);
+        assert_eq!(req.op_name(), "metrics");
     }
 
     #[test]

@@ -44,7 +44,12 @@
 //!   built on it (the `ocqa route` CLI subcommand): the same routing,
 //!   fan-out and merge logic, proxied over pooled NDJSON/TCP
 //!   connections to remote shard servers, with byte-identical responses
-//!   to the in-process deployment.
+//!   to the in-process deployment;
+//! * [`obs`] — engine-wide observability: lock-free per-op / per-plan /
+//!   per-stage latency histograms reported by the `metrics` protocol op
+//!   (and merged bucket-wise through `ocqa route`), `--slow-ms`
+//!   structured trace events on stderr, and the `--metrics-addr`
+//!   Prometheus exposition listener.
 //!
 //! ```
 //! use ocqa_engine::{Engine, EngineConfig};
@@ -75,6 +80,7 @@ mod engine;
 mod error;
 pub mod frontdoor;
 pub mod json;
+pub mod obs;
 pub mod planner;
 pub mod pool;
 pub mod prepared;
@@ -91,6 +97,8 @@ pub use catalog::{Catalog, DatabaseInfo, ParsedDatabase, UpdateOutcome};
 pub use engine::{generator_by_name, Engine, EngineConfig};
 pub use error::EngineError;
 pub use frontdoor::{parse_request, route_of, FrontDoor, RouteProxy, RouteTarget};
+pub use obs::expo::{render_prometheus, spawn_exposition_listener};
+pub use obs::{HistSnapshot, Histogram, MetricsSnapshot, ShardMetrics, SlowLog};
 pub use planner::{classify, DbPlan, PlanKind, SampleTask};
 pub use pool::{derive_seed, SamplerPool, CHUNK_WALKS};
 pub use prepared::{PreparedQuery, PreparedRegistry};

@@ -1,0 +1,271 @@
+//! Fixed log2-bucket latency histograms with lock-free recording.
+//!
+//! The serving hot path cannot afford locks or allocation to observe
+//! itself, so the histogram is a fixed array of relaxed atomic counters:
+//! recording a sample is one bucket increment plus the count/sum
+//! updates — a handful of nanoseconds against a microsecond-scale cached
+//! answer. Buckets are powers of two in **microseconds**: bucket 0 holds
+//! exact zeros, bucket `i ≥ 1` holds `[2^(i-1), 2^i)` µs, and the last
+//! bucket absorbs everything above the range (≈ 36 minutes), so
+//! assignment is a `leading_zeros` and never a search.
+//!
+//! Snapshots ([`HistSnapshot`]) are plain structs that merge bucket-wise
+//! — merging is associative and commutative, which is what lets the
+//! multi-process router aggregate per-upstream snapshots into exactly
+//! the document an in-process multi-shard engine renders.
+
+use crate::json::Json;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of log2 buckets. Bucket `BUCKETS - 1` covers everything from
+/// `2^(BUCKETS-2)` µs (≈ 18 min) upward.
+pub const BUCKETS: usize = 32;
+
+/// Bucket index for a latency of `us` microseconds.
+pub fn bucket_of(us: u64) -> usize {
+    if us == 0 {
+        return 0;
+    }
+    (64 - us.leading_zeros() as usize).min(BUCKETS - 1)
+}
+
+/// Inclusive upper bound of bucket `i` in microseconds, `None` for the
+/// unbounded last bucket.
+pub fn bucket_bound(i: usize) -> Option<u64> {
+    if i + 1 >= BUCKETS {
+        return None;
+    }
+    Some((1u64 << i) - 1)
+}
+
+/// A live latency histogram: lock-free, fixed-size, microsecond buckets.
+#[derive(Debug, Default)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum_us: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one latency observation.
+    pub fn record(&self, elapsed: Duration) {
+        let us = elapsed.as_micros().min(u128::from(u64::MAX)) as u64;
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.buckets[bucket_of(us)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the counters. Relaxed reads: the snapshot
+    /// is statistically consistent, not a linearization point.
+    pub fn snapshot(&self) -> HistSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        for (out, b) in buckets.iter_mut().zip(&self.buckets) {
+            *out = b.load(Ordering::Relaxed);
+        }
+        HistSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum_us: self.sum_us.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// An immutable histogram snapshot: what the `metrics` op reports and
+/// the route proxy merges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed latencies, microseconds.
+    pub sum_us: u64,
+    /// Per-bucket observation counts (see [`bucket_of`]).
+    pub buckets: [u64; BUCKETS],
+}
+
+impl Default for HistSnapshot {
+    fn default() -> HistSnapshot {
+        HistSnapshot {
+            count: 0,
+            sum_us: 0,
+            buckets: [0; BUCKETS],
+        }
+    }
+}
+
+impl HistSnapshot {
+    /// Bucket-wise merge (associative and commutative — aggregation
+    /// order can never change the merged document).
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        self.count += other.count;
+        self.sum_us += other.sum_us;
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+    }
+
+    /// Renders as JSON: `{"buckets":[[i,n],…],"count":…,"sum_us":…}`.
+    /// Buckets are sparse (zero buckets omitted) and index-ordered, so
+    /// equal snapshots render byte-identically.
+    pub fn to_json(&self) -> Json {
+        let buckets = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| **n > 0)
+            .map(|(i, n)| Json::Arr(vec![Json::from(i as u64), Json::from(*n)]))
+            .collect();
+        Json::obj([
+            ("buckets", Json::Arr(buckets)),
+            ("count", Json::from(self.count)),
+            ("sum_us", Json::from(self.sum_us)),
+        ])
+    }
+
+    /// Parses the [`to_json`](HistSnapshot::to_json) form.
+    pub fn from_json(v: &Json) -> Result<HistSnapshot, String> {
+        let num = |key: &str| {
+            v.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("histogram missing {key:?}"))
+        };
+        let mut out = HistSnapshot {
+            count: num("count")?,
+            sum_us: num("sum_us")?,
+            buckets: [0; BUCKETS],
+        };
+        let Some(Json::Arr(pairs)) = v.get("buckets") else {
+            return Err("histogram missing \"buckets\"".into());
+        };
+        for pair in pairs {
+            let Json::Arr(kv) = pair else {
+                return Err("histogram bucket must be [index, count]".into());
+            };
+            let (Some(i), Some(n)) = (
+                kv.first().and_then(Json::as_u64),
+                kv.get(1).and_then(Json::as_u64),
+            ) else {
+                return Err("histogram bucket must be [index, count]".into());
+            };
+            let i = i as usize;
+            if kv.len() != 2 || i >= BUCKETS {
+                return Err(format!("histogram bucket index {i} out of range"));
+            }
+            out.buckets[i] += n;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_log2() {
+        // Bucket 0 is exactly zero; bucket i ≥ 1 covers [2^(i-1), 2^i).
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(7), 3);
+        assert_eq!(bucket_of(8), 4);
+        for i in 1..BUCKETS - 1 {
+            let lo = 1u64 << (i - 1);
+            let hi = (1u64 << i) - 1;
+            assert_eq!(bucket_of(lo), i, "lower edge of bucket {i}");
+            assert_eq!(bucket_of(hi), i, "upper edge of bucket {i}");
+            assert_eq!(bucket_bound(i), Some(hi));
+        }
+        // Everything past the range lands in the last bucket.
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+        assert_eq!(bucket_of(1u64 << 62), BUCKETS - 1);
+        assert_eq!(bucket_bound(BUCKETS - 1), None);
+    }
+
+    #[test]
+    fn record_fills_count_sum_and_bucket() {
+        let h = Histogram::new();
+        h.record(Duration::from_micros(0));
+        h.record(Duration::from_micros(5));
+        h.record(Duration::from_micros(5));
+        h.record(Duration::from_millis(3)); // 3000 µs → bucket 12
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum_us, 3010);
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[bucket_of(5)], 2);
+        assert_eq!(s.buckets[bucket_of(3000)], 1);
+        assert_eq!(s.buckets.iter().sum::<u64>(), 4);
+    }
+
+    fn synthetic(seed: u64) -> HistSnapshot {
+        let mut s = HistSnapshot::default();
+        for k in 0..10u64 {
+            let us = (seed + 1) * k * k;
+            s.buckets[bucket_of(us)] += 1;
+            s.count += 1;
+            s.sum_us += us;
+        }
+        s
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let (a, b, c) = (synthetic(3), synthetic(17), synthetic(40));
+        // (a ⊕ b) ⊕ c
+        let mut left = a;
+        left.merge(&b);
+        left.merge(&c);
+        // a ⊕ (b ⊕ c)
+        let mut bc = b;
+        bc.merge(&c);
+        let mut right = a;
+        right.merge(&bc);
+        assert_eq!(left, right, "merge must be associative");
+        // b ⊕ a == a ⊕ b
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, ba, "merge must be commutative");
+        assert_eq!(left.count, 30);
+        // Byte-identical rendering of equal snapshots.
+        assert_eq!(left.to_json().to_string(), right.to_json().to_string());
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_sparse_buckets() {
+        let s = synthetic(9);
+        let rendered = s.to_json().to_string();
+        let parsed = HistSnapshot::from_json(&crate::json::parse(&rendered).unwrap()).unwrap();
+        assert_eq!(parsed, s);
+        assert_eq!(parsed.to_json().to_string(), rendered);
+        // The empty histogram renders and parses too.
+        let empty = HistSnapshot::default();
+        let rendered = empty.to_json().to_string();
+        assert_eq!(rendered, r#"{"buckets":[],"count":0,"sum_us":0}"#);
+        let parsed = HistSnapshot::from_json(&crate::json::parse(&rendered).unwrap()).unwrap();
+        assert_eq!(parsed, empty);
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_buckets() {
+        for bad in [
+            r#"{"buckets":[[99,1]],"count":1,"sum_us":0}"#, // index ≥ BUCKETS
+            r#"{"buckets":[[1]],"count":1,"sum_us":0}"#,    // not a pair
+            r#"{"buckets":[1],"count":1,"sum_us":0}"#,      // not an array
+            r#"{"count":1,"sum_us":0}"#,                    // missing buckets
+            r#"{"buckets":[],"sum_us":0}"#,                 // missing count
+        ] {
+            let v = crate::json::parse(bad).unwrap();
+            assert!(HistSnapshot::from_json(&v).is_err(), "{bad}");
+        }
+    }
+}

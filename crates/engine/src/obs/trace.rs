@@ -1,0 +1,62 @@
+//! Slow-request trace events: structured NDJSON on stderr.
+//!
+//! With `--slow-ms N`, every request whose total service time reaches
+//! `N` milliseconds emits one JSON object on stderr — machine-parseable
+//! (stderr already carries only diagnostics; stdout stays pure
+//! protocol). Shard-level events carry the stage breakdown and chosen
+//! plan; the route proxy emits transport-level events without stages
+//! (the breakdown lives in the upstream's own log).
+//!
+//! ```json
+//! {"cached":false,"db":"kv","elapsed_ms":712,"event":"slow_request",
+//!  "op":"answer","plan":"monolithic","shard":0,
+//!  "stages":{"cache_lookup_us":2,"flight_wait_us":0,"sample_us":711833}}
+//! ```
+
+use crate::json::Json;
+use std::time::Duration;
+
+/// A slow-request log: an optional threshold plus the stderr emitter.
+/// Cost when disabled (or when a request is fast): one branch.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SlowLog {
+    threshold: Option<Duration>,
+}
+
+impl SlowLog {
+    /// A log firing at `slow_ms` milliseconds; `0` disables tracing.
+    pub fn new(slow_ms: u64) -> SlowLog {
+        SlowLog {
+            threshold: (slow_ms > 0).then(|| Duration::from_millis(slow_ms)),
+        }
+    }
+
+    /// Whether a request taking `elapsed` should emit an event.
+    pub fn is_slow(&self, elapsed: Duration) -> bool {
+        self.threshold.is_some_and(|t| elapsed >= t)
+    }
+
+    /// Emits one trace event line on stderr. Callers build the event
+    /// only after [`is_slow`](SlowLog::is_slow) — the fast path never
+    /// allocates. `eprintln!` locks stderr per call, so concurrent
+    /// events interleave line-atomically.
+    pub fn emit(&self, mut event: Json) {
+        event.set("event", Json::from("slow_request"));
+        eprintln!("{event}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_gates_events() {
+        let off = SlowLog::new(0);
+        assert!(!off.is_slow(Duration::from_secs(3600)));
+        let on = SlowLog::new(250);
+        assert!(!on.is_slow(Duration::from_millis(249)));
+        assert!(on.is_slow(Duration::from_millis(250)));
+        assert!(on.is_slow(Duration::from_secs(2)));
+    }
+}

@@ -15,6 +15,7 @@ use crate::cache::CacheStats;
 use crate::catalog::{DatabaseInfo, UpdateOutcome};
 use crate::error::EngineError;
 use crate::json::Json;
+use crate::obs::MetricsSnapshot;
 use crate::planner::PlanKind;
 use ocqa_data::Constant;
 
@@ -99,6 +100,8 @@ pub enum EngineRequest {
     List,
     /// Engine-wide statistics.
     Stats,
+    /// Per-shard latency histograms (see [`crate::obs`]).
+    Metrics,
 }
 
 impl EngineRequest {
@@ -198,7 +201,25 @@ impl EngineRequest {
             }
             "list" => Ok(EngineRequest::List),
             "stats" => Ok(EngineRequest::Stats),
+            "metrics" => Ok(EngineRequest::Metrics),
             other => Err(EngineError::BadRequest(format!("unknown op {other:?}"))),
+        }
+    }
+
+    /// The wire name of this request's op (what trace events report).
+    pub fn op_name(&self) -> &'static str {
+        match self {
+            EngineRequest::Ping => "ping",
+            EngineRequest::CreateDb { .. } => "create_db",
+            EngineRequest::DropDb { .. } => "drop_db",
+            EngineRequest::Insert { .. } => "insert",
+            EngineRequest::Delete { .. } => "delete",
+            EngineRequest::Prepare { .. } => "prepare",
+            EngineRequest::PreparedGet { .. } => "prepared_get",
+            EngineRequest::Answer { .. } => "answer",
+            EngineRequest::List => "list",
+            EngineRequest::Stats => "stats",
+            EngineRequest::Metrics => "metrics",
         }
     }
 }
@@ -269,6 +290,20 @@ pub struct EngineStatsPayload {
     pub shards: usize,
     /// Answer-cache counters, summed across shards.
     pub cache: CacheStats,
+    /// Milliseconds since this front door started serving.
+    pub uptime_ms: u64,
+    /// The serving binary's crate version (`CARGO_PKG_VERSION`).
+    pub build: String,
+}
+
+/// The payload of a `metrics` response: every shard's latency-histogram
+/// snapshot plus their bucket-wise merge. The route proxy reconstructs
+/// this exact payload from its upstreams' responses, so both deployments
+/// render `metrics` through this one type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsPayload {
+    /// Per-shard snapshots, indexed by shard id.
+    pub per_shard: Vec<MetricsSnapshot>,
 }
 
 /// A server response, renderable as one JSON line.
@@ -303,6 +338,8 @@ pub enum EngineResponse {
     List(Vec<DatabaseInfo>),
     /// `stats` reply.
     Stats(EngineStatsPayload),
+    /// `metrics` reply.
+    Metrics(MetricsPayload),
     /// Any failure.
     Error(EngineError),
 }
@@ -409,7 +446,29 @@ impl EngineResponse {
                 ("cache_evicted", Json::from(s.cache.evicted)),
                 ("cache_stale_drops", Json::from(s.cache.stale_drops)),
                 ("cache_expired", Json::from(s.cache.expired)),
+                ("uptime_ms", Json::from(s.uptime_ms)),
+                ("build", Json::from(s.build.clone())),
             ]),
+            EngineResponse::Metrics(m) => {
+                let mut total = MetricsSnapshot::default();
+                let per_shard = m
+                    .per_shard
+                    .iter()
+                    .enumerate()
+                    .map(|(k, snap)| {
+                        total.merge(snap);
+                        let mut o = snap.to_json();
+                        o.set("shard", Json::from(k as u64));
+                        o
+                    })
+                    .collect();
+                Json::obj([
+                    ("ok", true.into()),
+                    ("shards", Json::from(m.per_shard.len() as u64)),
+                    ("per_shard", Json::Arr(per_shard)),
+                    ("total", total.to_json()),
+                ])
+            }
             EngineResponse::Error(e) => {
                 Json::obj([("ok", false.into()), ("error", Json::from(e.to_string()))])
             }

@@ -45,6 +45,8 @@ use crate::cache::{AnswerCache, CacheKey, CacheStats};
 use crate::catalog::{Catalog, DatabaseInfo, UpdateOutcome};
 use crate::engine::{generator_by_name, EngineConfig};
 use crate::error::EngineError;
+use crate::json::Json;
+use crate::obs::{MetricsSnapshot, Op, ShardMetrics, SlowLog, Stage};
 use crate::planner::PlanKind;
 use crate::pool::SamplerPool;
 use crate::prepared::{PreparedQuery, PreparedRegistry};
@@ -53,9 +55,10 @@ use crate::singleflight::{Join, SingleFlight};
 use crate::storage::StorageBackend;
 use ocqa_core::sample::{sample_size, SampleTally};
 use parking_lot::{Mutex, RwLock};
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Per-shard serving counters, summed by the front door's `stats`.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -98,6 +101,17 @@ pub struct ShardEngine {
     answers: AtomicU64,
     walks: AtomicU64,
     coalesced: AtomicU64,
+    metrics: ShardMetrics,
+    slow: SlowLog,
+}
+
+/// Stage timings of one `answer`, carried to the success return for the
+/// slow-request trace event.
+#[derive(Debug, Clone, Copy, Default)]
+struct AnswerTrace {
+    cache_lookup: Duration,
+    flight_wait: Duration,
+    sample: Duration,
 }
 
 /// RAII admission slot: only sampling leaders hold one. Reserved
@@ -163,6 +177,8 @@ impl ShardEngine {
             answers: AtomicU64::new(0),
             walks: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
+            metrics: ShardMetrics::new(),
+            slow: SlowLog::new(config.slow_ms),
         }))
     }
 
@@ -189,27 +205,40 @@ impl ShardEngine {
         facts: &str,
         constraints: &str,
     ) -> Result<DatabaseInfo, EngineError> {
+        let t0 = Instant::now();
         let parsed = crate::catalog::ParsedDatabase::parse(facts, constraints)?;
-        self.catalog
-            .write()
-            .install_with(name, parsed, |image| self.backend.journal_install(image))
+        let wal = Cell::new(Duration::ZERO);
+        let info = self.catalog.write().install_with(name, parsed, |image| {
+            let t = Instant::now();
+            let out = self.backend.journal_install(image);
+            wal.set(t.elapsed());
+            self.metrics.record_stage(Stage::WalAppend, wal.get());
+            out
+        })?;
+        self.observe_mutation(t0, Op::Install, name, wal.get());
+        Ok(info)
     }
 
     /// Drops a database, flooring the answer cache above the dropped
     /// incarnation's version.
     pub fn drop_db(&self, name: &str) -> Result<(), EngineError> {
-        let version = {
+        let t0 = Instant::now();
+        let (version, wal) = {
             let mut catalog = self.catalog.write();
             let version = catalog.info(name)?.version;
             // Journal-then-mutate: a vetoed drop leaves the database.
+            let t = Instant::now();
             self.backend.journal_drop(name, version)?;
+            let wal = t.elapsed();
+            self.metrics.record_stage(Stage::WalAppend, wal);
             catalog.drop_db(name);
-            version
+            (version, wal)
         };
         // Floor above the dropped incarnation: a recreated database
         // starts at a strictly higher global version, so its entries pass
         // while any in-flight answer against the dropped one is rejected.
         self.cache.lock().invalidate_db(name, version + 1);
+        self.observe_mutation(t0, Op::Drop, name, wal);
         Ok(())
     }
 
@@ -222,15 +251,21 @@ impl ShardEngine {
     ) -> Result<UpdateOutcome, EngineError> {
         // Parse outside the lock; the locked phase is the incremental
         // violation update, proportional to the delta's neighbourhood.
+        let t0 = Instant::now();
         let inserts = ocqa_logic::parser::parse_facts(insert)
             .map_err(|e| EngineError::Parse(e.to_string()))?;
         let deletes = ocqa_logic::parser::parse_facts(delete)
             .map_err(|e| EngineError::Parse(e.to_string()))?;
+        let wal = Cell::new(Duration::ZERO);
         let outcome = self
             .catalog
             .write()
             .update_parsed_with(db, &inserts, &deletes, |delta| {
-                self.backend.journal_update(delta)
+                let t = Instant::now();
+                let out = self.backend.journal_update(delta);
+                wal.set(t.elapsed());
+                self.metrics.record_stage(Stage::WalAppend, wal.get());
+                out
             })?;
         // An effective update bumps the version; purge dead entries
         // eagerly and floor the database so an in-flight answer that
@@ -239,21 +274,31 @@ impl ShardEngine {
         if outcome.inserted > 0 || outcome.removed > 0 {
             self.cache.lock().invalidate_db(db, outcome.version);
         }
+        self.observe_mutation(t0, Op::Update, db, wal.get());
         Ok(outcome)
     }
 
     /// Parses and registers a query text, returning the (possibly
     /// pre-existing) handle. New texts are journaled.
     pub fn prepare(&self, text: &str) -> Result<Arc<PreparedQuery>, EngineError> {
-        self.prepared
-            .write()
-            .prepare_with(text, |t, ord| self.backend.journal_prepare(t, ord))
+        let t0 = Instant::now();
+        let prepared = self.prepared.write().prepare_with(text, |t, ord| {
+            let w = Instant::now();
+            let out = self.backend.journal_prepare(t, ord);
+            self.metrics.record_stage(Stage::WalAppend, w.elapsed());
+            out
+        })?;
+        self.metrics.record_op(Op::Prepare, t0.elapsed());
+        Ok(prepared)
     }
 
     /// Resolves a prepared handle (the front door uses shard 0 as the
     /// handle authority when rewriting `prepared` refs for other shards).
     pub fn prepared_get(&self, id: &str) -> Result<Arc<PreparedQuery>, EngineError> {
-        self.prepared.read().get(id)
+        let t0 = Instant::now();
+        let prepared = self.prepared.read().get(id)?;
+        self.metrics.record_op(Op::PreparedGet, t0.elapsed());
+        Ok(prepared)
     }
 
     /// Serves one `answer` request against this shard's catalog.
@@ -268,6 +313,7 @@ impl ShardEngine {
         seed: u64,
         plan_request: Option<PlanKind>,
     ) -> Result<AnswerPayload, EngineError> {
+        let t0 = Instant::now();
         if eps <= 0.0 || eps >= 1.0 || delta <= 0.0 || delta >= 1.0 {
             return Err(EngineError::BadRequest(
                 "eps and delta must lie in (0,1)".into(),
@@ -320,14 +366,24 @@ impl ShardEngine {
         };
         // One lock acquisition serves both the lookup and the stats
         // snapshot reported alongside the answer.
+        let mut trace = AnswerTrace::default();
+        let lookup_t = Instant::now();
         let (hit, stats) = {
             let mut cache = self.cache.lock();
             let hit = cache.get(&key);
             let stats = cache.stats();
             (hit, stats)
         };
+        // One clock read closes both the lookup stage and (on a hit) the
+        // whole request — the cached path is the latency floor the
+        // instrumentation must not erode.
+        let looked_up = Instant::now();
+        trace.cache_lookup = looked_up.duration_since(lookup_t);
+        self.metrics
+            .record_stage(Stage::CacheLookup, trace.cache_lookup);
         if let Some(tally) = hit {
             self.answers.fetch_add(1, Ordering::Relaxed);
+            self.observe_answer(looked_up.duration_since(t0), db, route, true, false, trace);
             return Ok(self.payload(&tally, true, false, version, stats, route));
         }
         // Cache miss: coalesce or lead. Admission is checked *before* a
@@ -367,11 +423,17 @@ impl ShardEngine {
                     },
                 },
             };
-            match flight.wait() {
+            let wait_t = Instant::now();
+            let waited = flight.wait();
+            trace.flight_wait += wait_t.elapsed();
+            match waited {
                 Ok(tally) => {
+                    self.metrics
+                        .record_stage(Stage::FlightWait, trace.flight_wait);
                     self.answers.fetch_add(1, Ordering::Relaxed);
                     self.coalesced.fetch_add(1, Ordering::Relaxed);
                     let stats = self.cache.lock().stats();
+                    self.observe_answer(t0.elapsed(), db, route, false, true, trace);
                     return Ok(self.payload(&tally, false, true, version, stats, route));
                 }
                 Err(EngineError::ShardFull(_)) => continue,
@@ -383,25 +445,33 @@ impl ShardEngine {
         // cache miss and our join. Re-check the cache so that window can
         // never trigger a redundant sampling run; the insert-before-
         // retire ordering below makes this re-check conclusive.
+        let lookup_t = Instant::now();
         let (hit, stats) = {
             let mut cache = self.cache.lock();
             let hit = cache.get(&key);
             let stats = cache.stats();
             (hit, stats)
         };
+        let recheck = lookup_t.elapsed();
+        trace.cache_lookup += recheck;
+        self.metrics.record_stage(Stage::CacheLookup, recheck);
         if let Some(tally) = hit {
             self.answers.fetch_add(1, Ordering::Relaxed);
             token.complete(Ok(tally.clone()));
+            self.observe_answer(t0.elapsed(), db, route, true, false, trace);
             return Ok(self.payload(&tally, true, false, version, stats, route));
         }
         // Sample on the pool with no locks held; the admission slot is
         // released when `_slot` drops (RAII — like the leader token, it
         // must survive a panicking sampler, or each panic would
         // permanently shrink the shard's capacity).
+        let sample_t = Instant::now();
         let result = plan
             .task(route, gen)
             .and_then(|task| self.pool.run(&task, &prepared.query, walks, seed))
             .map(Arc::new);
+        trace.sample = sample_t.elapsed();
+        self.metrics.record_stage(Stage::Sample, trace.sample);
         drop(_slot);
         let tally = match result {
             Ok(tally) => tally,
@@ -418,7 +488,82 @@ impl ShardEngine {
         // that misses the retired flight is guaranteed to hit the cache.
         let stats = self.store_answer(key, tally.clone());
         token.complete(Ok(tally.clone()));
+        self.observe_answer(t0.elapsed(), db, route, false, false, trace);
         Ok(self.payload(&tally, false, false, version, stats, route))
+    }
+
+    /// Success-path bookkeeping for one `answer`: op and plan latency
+    /// histograms, plus the `--slow-ms` trace event with the stage
+    /// breakdown. Failed requests record no op/plan latency — mirroring
+    /// the counter discipline, the timing families describe *served*
+    /// requests only.
+    fn observe_answer(
+        &self,
+        elapsed: Duration,
+        db: &str,
+        route: PlanKind,
+        cached: bool,
+        coalesced: bool,
+        trace: AnswerTrace,
+    ) {
+        self.metrics.record_op(Op::Answer, elapsed);
+        self.metrics.record_plan(route, elapsed);
+        if self.slow.is_slow(elapsed) {
+            let us = |d: Duration| Json::from(d.as_micros().min(u128::from(u64::MAX)) as u64);
+            self.slow.emit(Json::obj([
+                ("op", Json::from("answer")),
+                ("db", Json::from(db)),
+                ("shard", Json::from(u64::from(self.id))),
+                ("plan", Json::from(route.as_str())),
+                ("cached", Json::from(cached)),
+                ("coalesced", Json::from(coalesced)),
+                (
+                    "elapsed_ms",
+                    Json::from(elapsed.as_millis().min(u128::from(u64::MAX)) as u64),
+                ),
+                (
+                    "stages",
+                    Json::obj([
+                        ("cache_lookup_us", us(trace.cache_lookup)),
+                        ("flight_wait_us", us(trace.flight_wait)),
+                        ("sample_us", us(trace.sample)),
+                    ]),
+                ),
+            ]));
+        }
+    }
+
+    /// Success-path bookkeeping for a journaled mutation: op latency
+    /// histogram plus the slow-request event carrying the WAL append
+    /// time (the stage itself is recorded where it is measured, inside
+    /// the journal call).
+    fn observe_mutation(&self, t0: Instant, op: Op, db: &str, wal: Duration) {
+        let elapsed = t0.elapsed();
+        self.metrics.record_op(op, elapsed);
+        if self.slow.is_slow(elapsed) {
+            self.slow.emit(Json::obj([
+                ("op", Json::from(op.as_str())),
+                ("db", Json::from(db)),
+                ("shard", Json::from(u64::from(self.id))),
+                (
+                    "elapsed_ms",
+                    Json::from(elapsed.as_millis().min(u128::from(u64::MAX)) as u64),
+                ),
+                (
+                    "stages",
+                    Json::obj([(
+                        "wal_append_us",
+                        Json::from(wal.as_micros().min(u128::from(u64::MAX)) as u64),
+                    )]),
+                ),
+            ]));
+        }
+    }
+
+    /// A snapshot of this shard's latency-metrics registry (the
+    /// `metrics` protocol op's per-shard unit).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
     }
 
     /// Stores a computed answer, returning the post-insert cache stats.

@@ -36,11 +36,13 @@
 //! state, reported in error payloads and startup logs.
 
 use crate::error::EngineError;
+use crate::json::Json;
+use crate::obs::{HistSnapshot, Histogram};
 use crate::server::{read_frame_limit, Frame};
 use std::io::{BufReader, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
@@ -116,6 +118,9 @@ pub struct Upstream {
     healthy: AtomicBool,
     reconnects: AtomicU64,
     last_error: Mutex<Option<String>>,
+    /// Dial latency (successful dials only) — slow dials are the early
+    /// signal of a struggling upstream, before exchanges start failing.
+    dial: Histogram,
 }
 
 impl Upstream {
@@ -128,6 +133,7 @@ impl Upstream {
             healthy: AtomicBool::new(false),
             reconnects: AtomicU64::new(0),
             last_error: Mutex::new(None),
+            dial: Histogram::new(),
         }
     }
 
@@ -151,6 +157,27 @@ impl Upstream {
         self.last_error.lock().clone()
     }
 
+    /// Latency histogram of successful dials to this upstream.
+    pub fn dial_snapshot(&self) -> HistSnapshot {
+        self.dial.snapshot()
+    }
+
+    /// This upstream's health block, as rendered in the router's `stats`
+    /// and `metrics` responses: address, liveness, reconnect count, last
+    /// transport error (when one is outstanding), and dial latency.
+    pub fn health_json(&self) -> Json {
+        let mut o = Json::obj([
+            ("addr", Json::from(self.addr.clone())),
+            ("dial", self.dial.snapshot().to_json()),
+            ("healthy", Json::from(self.healthy())),
+            ("reconnects", Json::from(self.reconnects())),
+        ]);
+        if let Some(err) = self.last_error() {
+            o.set("last_error", Json::from(err));
+        }
+        o
+    }
+
     /// Sends one request line and returns the raw response line.
     ///
     /// Pops an idle pooled connection (or dials a fresh one), performs
@@ -162,10 +189,16 @@ impl Upstream {
         for attempt in 0..2u8 {
             let (mut conn, pooled) = match self.idle.lock().pop() {
                 Some(conn) => (conn, true),
-                None => match Conn::dial(&self.addr) {
-                    Ok(conn) => (conn, false),
-                    Err(e) => return Err(self.down(format!("connect: {e}"))),
-                },
+                None => {
+                    let t = Instant::now();
+                    match Conn::dial(&self.addr) {
+                        Ok(conn) => {
+                            self.dial.record(t.elapsed());
+                            (conn, false)
+                        }
+                        Err(e) => return Err(self.down(format!("connect: {e}"))),
+                    }
+                }
             };
             match conn.roundtrip(line) {
                 Ok(resp) => {

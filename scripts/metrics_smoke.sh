@@ -1,0 +1,153 @@
+#!/usr/bin/env bash
+# Observability smoke test: start `ocqa serve` with a Prometheus
+# exposition listener, drive an install + answer + cached-answer
+# workload over the NDJSON protocol, and require the scrape to agree
+# with the protocol's own `stats`/`metrics` ops (counters moved, latency
+# histograms populated, build info present). Then put `ocqa route` with
+# its own `--metrics-addr` in front of two shard servers and require the
+# router's scrape to carry the bucket-wise aggregated histograms and the
+# per-upstream health gauges.
+#
+# Usage: scripts/metrics_smoke.sh [path-to-ocqa-binary]
+set -euo pipefail
+
+BIN="${1:-target/release/ocqa}"
+if [[ ! -x "$BIN" ]]; then
+    echo "error: ocqa release binary not found at '$BIN'" >&2
+    echo "build it first: cargo build --release -p ocqa-cli" >&2
+    exit 1
+fi
+
+WORK="$(mktemp -d)"
+PIDS=()
+cleanup() {
+    for PID in ${PIDS[@]+"${PIDS[@]}"}; do kill -9 "$PID" 2>/dev/null || true; done
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# Polls a server's stderr for a banner matching $2; prints the address.
+wait_banner() {
+    local FILE="$1" PATTERN="$2"
+    for _ in $(seq 1 100); do
+        if grep -q "$PATTERN" "$FILE" 2>/dev/null; then
+            sed -n "s/.*$PATTERN \([0-9.:]*\).*/\1/p" "$FILE" | head -1
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "FAIL: no '$PATTERN' banner in $FILE" >&2
+    return 1
+}
+
+# One HTTP/1.0 scrape of host:port; prints the whole response.
+scrape() {
+    local ADDR="$1"
+    exec 4<>"/dev/tcp/${ADDR%:*}/${ADDR##*:}"
+    printf 'GET /metrics HTTP/1.0\r\n\r\n' >&4
+    cat <&4
+    exec 4<&- 4>&-
+}
+
+# Extracts the value of a metric line (exact name or name{labels}).
+metric_value() {
+    local NAME="$1" FILE="$2"
+    grep -E "^${NAME}(\{[^}]*\})? " "$FILE" | head -1 | awk '{print $NF}'
+}
+
+# ====================== Single-process `serve` =======================
+"$BIN" serve --shards 2 --workers 2 --cache 256 \
+    --listen 127.0.0.1:0 --metrics-addr 127.0.0.1:0 --slow-ms 60000 \
+    2> "$WORK/serve.err" &
+PID=$!
+disown "$PID"
+PIDS+=("$PID")
+MET_ADDR="$(wait_banner "$WORK/serve.err" 'metrics listening on')"
+ADDR="$(wait_banner "$WORK/serve.err" 'serve: listening on')"
+
+# The workload: one install, a cold answer, the same answer again (a
+# cache hit), and the protocol's own view of the counters.
+exec 3<>"/dev/tcp/${ADDR%:*}/${ADDR##*:}"
+REQS=(
+    '{"op":"create_db","name":"kv","facts":"R(1,10). R(1,20). R(2,30).","constraints":"R(x,y), R(x,z) -> y = z."}'
+    '{"op":"answer","db":"kv","query":"(x) <- exists y: R(x,y)","eps":0.1,"delta":0.1,"seed":7}'
+    '{"op":"answer","db":"kv","query":"(x) <- exists y: R(x,y)","eps":0.1,"delta":0.1,"seed":7}'
+    '{"op":"stats"}'
+    '{"op":"metrics"}'
+)
+: > "$WORK/serve.out"
+for REQ in "${REQS[@]}"; do
+    printf '%s\n' "$REQ" >&3
+    IFS= read -r -t 30 -u 3 RESP || { echo "FAIL: serve response timed out"; exit 1; }
+    printf '%s\n' "$RESP" >> "$WORK/serve.out"
+done
+exec 3<&- 3>&-
+
+grep -q '"cached":true' <(sed -n '3p' "$WORK/serve.out") \
+    || { echo "FAIL: second answer was not a cache hit"; exit 1; }
+STATS="$(sed -n '4p' "$WORK/serve.out")"
+grep -q '"uptime_ms":' <<< "$STATS" || { echo "FAIL: stats has no uptime_ms: $STATS"; exit 1; }
+grep -q '"build":"' <<< "$STATS" || { echo "FAIL: stats has no build: $STATS"; exit 1; }
+METRICS="$(sed -n '5p' "$WORK/serve.out")"
+grep -q '"per_shard":' <<< "$METRICS" || { echo "FAIL: no per_shard in: $METRICS"; exit 1; }
+grep -q '"total":' <<< "$METRICS" || { echo "FAIL: no total in: $METRICS"; exit 1; }
+
+scrape "$MET_ADDR" > "$WORK/scrape.txt"
+grep -q '200 OK' "$WORK/scrape.txt" || { echo "FAIL: scrape not 200"; exit 1; }
+for WANT in \
+    'ocqa_build_info' \
+    'ocqa_op_latency_us_count{op="answer"' \
+    'ocqa_plan_latency_us_count{plan="key-repair"' \
+    'ocqa_stage_latency_us_count{stage="cache_lookup"' \
+    'ocqa_op_latency_us_bucket'; do
+    grep -qF "$WANT" "$WORK/scrape.txt" \
+        || { echo "FAIL: scrape missing $WANT"; cat "$WORK/scrape.txt"; exit 1; }
+done
+# The scrape and the protocol agree on the served-request counters.
+[[ "$(metric_value ocqa_answers_total "$WORK/scrape.txt")" == 2 ]] \
+    || { echo "FAIL: scrape answers_total != 2"; exit 1; }
+[[ "$(metric_value ocqa_cache_hits_total "$WORK/scrape.txt")" == 1 ]] \
+    || { echo "FAIL: scrape cache_hits_total != 1"; exit 1; }
+echo "OK: serve scrape agrees with the stats/metrics protocol ops"
+
+# ================== Router with its own scrape =======================
+UP_ADDRS=()
+for K in 0 1; do
+    "$BIN" serve --shards 1 --workers 1 --cache 64 --listen 127.0.0.1:0 \
+        2> "$WORK/up$K.err" &
+    PID=$!
+    disown "$PID"
+    PIDS+=("$PID")
+    UP_ADDRS+=("$(wait_banner "$WORK/up$K.err" 'serve: listening on')")
+done
+"$BIN" route --upstream "${UP_ADDRS[0]}" --upstream "${UP_ADDRS[1]}" \
+    --listen 127.0.0.1:0 --metrics-addr 127.0.0.1:0 2> "$WORK/route.err" &
+PID=$!
+disown "$PID"
+PIDS+=("$PID")
+ROUTE_MET="$(wait_banner "$WORK/route.err" 'metrics listening on')"
+ROUTE_ADDR="$(wait_banner "$WORK/route.err" 'route: listening on')"
+
+exec 3<>"/dev/tcp/${ROUTE_ADDR%:*}/${ROUTE_ADDR##*:}"
+for REQ in \
+    '{"op":"create_db","name":"alpha","facts":"R(1,10). R(1,20).","constraints":"R(x,y), R(x,z) -> y = z."}' \
+    '{"op":"create_db","name":"beta","facts":"R(2,30). R(2,40).","constraints":"R(x,y), R(x,z) -> y = z."}' \
+    '{"op":"answer","db":"alpha","query":"(x) <- exists y: R(x,y)","eps":0.1,"delta":0.1,"seed":1}' \
+    '{"op":"answer","db":"beta","query":"(x) <- exists y: R(x,y)","eps":0.1,"delta":0.1,"seed":2}'; do
+    printf '%s\n' "$REQ" >&3
+    IFS= read -r -t 30 -u 3 RESP || { echo "FAIL: route response timed out"; exit 1; }
+    grep -q '"ok":true' <<< "$RESP" || { echo "FAIL: route refused: $RESP"; exit 1; }
+done
+exec 3<&- 3>&-
+
+scrape "$ROUTE_MET" > "$WORK/route_scrape.txt"
+[[ "$(metric_value ocqa_answers_total "$WORK/route_scrape.txt")" == 2 ]] \
+    || { echo "FAIL: router scrape answers_total != 2"; exit 1; }
+grep -qF 'ocqa_op_latency_us_count{op="answer"' "$WORK/route_scrape.txt" \
+    || { echo "FAIL: router scrape has no aggregated answer histogram"; exit 1; }
+for K in 0 1; do
+    grep -qE "ocqa_upstream_healthy\{addr=\"${UP_ADDRS[$K]}\",shard=\"$K\"\} 1" \
+        "$WORK/route_scrape.txt" \
+        || { echo "FAIL: upstream $K not reported healthy"; cat "$WORK/route_scrape.txt"; exit 1; }
+done
+echo "OK: route scrape carries aggregated histograms and upstream health"
