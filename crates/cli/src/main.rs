@@ -7,7 +7,7 @@
 //!   ocqa answer   --facts FILE --constraints FILE --query TEXT
 //!                 [--generator NAME] [--exact | --eps E --delta D] [--seed N]
 //!   ocqa trace    --facts FILE --constraints FILE [--generator NAME] [--seed N]
-//!   ocqa serve    [--listen ADDR] [--workers N] [--cache N] [--planner on|off]
+//!   ocqa serve    [--listen ADDR] [--workers N] [--cache N] [--planner cost|static|off]
 //!                 [--shards N] [--ttl-ms MS] [--max-inflight N]
 //!                 [--data-dir PATH] [--slow-ms MS] [--metrics-addr ADDR]
 //!   ocqa route    --upstream HOST:PORT [--upstream HOST:PORT ...] [--listen ADDR]
@@ -216,7 +216,7 @@ fn usage() -> String {
      [--query TEXT] [--generator uniform|uniform-deletions|preference] \
      [--exact | --eps E --delta D] [--seed N] [--max-states N]\n  \
      serve: [--listen HOST:PORT] [--workers N] [--cache ENTRIES] \
-     [--planner on|off] [--shards N] [--ttl-ms MS] [--max-inflight N] \
+     [--planner cost|static|off] [--shards N] [--ttl-ms MS] [--max-inflight N] \
      [--data-dir PATH] [--slow-ms MS] [--metrics-addr HOST:PORT]\n  \
      route: --upstream HOST:PORT [--upstream HOST:PORT ...] \
      [--listen HOST:PORT] [--slow-ms MS] [--metrics-addr HOST:PORT]\n  \
@@ -316,11 +316,8 @@ fn serve_cmd(args: &Args) -> Result<(), String> {
             .ok_or("--cache expects a positive number")?;
     }
     if let Some(mode) = args.options.get("planner") {
-        config.planner = match mode.as_str() {
-            "on" => true,
-            "off" => false,
-            _ => return Err("--planner expects on or off".into()),
-        };
+        config.planner =
+            ocqa_engine::PlannerMode::parse(mode).ok_or("--planner expects cost, static or off")?;
     }
     if let Some(n) = args.options.get("shards") {
         config.shards = n

@@ -14,7 +14,7 @@
 //! costs one base-domain rebuild — never a full violation recomputation.
 
 use crate::error::EngineError;
-use crate::planner::{classify, DbPlan, PlanKind};
+use crate::planner::{classify, DbPlan, DbStats, PlanKind};
 use crate::storage::{InstallImage, RestoredDatabase, UpdateDelta};
 use ocqa_core::RepairContext;
 use ocqa_data::{Database, Fact};
@@ -32,6 +32,11 @@ struct CatalogEntry {
     /// Structural answer-plan classification — a function of `sigma`
     /// alone, computed once at install time.
     plan_kind: PlanKind,
+    /// Conflict-structure statistics of the current version, maintained
+    /// here on install/update/restore (derived from the incrementally
+    /// maintained violation set, so keeping it current costs `O(|V|·α)`
+    /// per effective update — never a per-request recomputation).
+    stats: DbStats,
     /// Memoized sampling snapshot for `version`. Interior mutability so
     /// [`Catalog::context`] works under the catalog's *read* lock —
     /// concurrent answers must not serialize on the write lock.
@@ -174,8 +179,10 @@ impl Catalog {
             violations: &parsed.violations,
         })?;
         self.next_version = version;
+        let stats = DbStats::compute(&parsed.db, &parsed.sigma, &parsed.violations);
         let entry = CatalogEntry {
             plan_kind,
+            stats,
             db: parsed.db,
             sigma: parsed.sigma,
             violations: parsed.violations,
@@ -207,8 +214,10 @@ impl Catalog {
             "recorded plan classification drifted from classify()"
         );
         self.next_version = self.next_version.max(restored.version);
+        let stats = DbStats::compute(&restored.db, &sigma, &restored.violations);
         let entry = CatalogEntry {
             plan_kind: restored.plan,
+            stats,
             db: restored.db,
             sigma,
             violations: restored.violations,
@@ -330,6 +339,7 @@ impl Catalog {
         let violations =
             incremental::update_violations(&entry.sigma, &db, &entry.violations, &added, &removed);
         self.next_version = next_version;
+        entry.stats = DbStats::compute(&db, &entry.sigma, &violations);
         entry.db = db;
         entry.violations = violations;
         entry.version = next_version;
@@ -381,7 +391,7 @@ impl Catalog {
         drop(snapshot);
         let mut plan = entry.plan.lock();
         if plan.is_none() {
-            *plan = Some(Arc::new(DbPlan::build(&ctx)));
+            *plan = Some(Arc::new(DbPlan::build_with_stats(&ctx, entry.stats)));
         }
         Ok((
             ctx,
@@ -395,6 +405,15 @@ impl Catalog {
         self.entries
             .get(name)
             .map(|e| e.plan_kind)
+            .ok_or_else(|| EngineError::UnknownDatabase(name.to_string()))
+    }
+
+    /// The maintained conflict-structure statistics of a database (the
+    /// cost model's stats feed; current as of the entry's version).
+    pub fn stats(&self, name: &str) -> Result<DbStats, EngineError> {
+        self.entries
+            .get(name)
+            .map(|e| e.stats)
             .ok_or_else(|| EngineError::UnknownDatabase(name.to_string()))
     }
 

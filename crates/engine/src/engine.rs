@@ -29,6 +29,7 @@
 use crate::error::EngineError;
 use crate::frontdoor::{parse_request, route_of, FrontDoor, RouteTarget};
 use crate::json::Json;
+use crate::planner::PlannerMode;
 use crate::proto::{EngineRequest, EngineResponse, EngineStatsPayload, QueryRef};
 use crate::server::LineService;
 use crate::shard::ShardEngine;
@@ -49,12 +50,11 @@ pub struct EngineConfig {
     /// a client-supplied tiny ε/δ would make `sample_size` astronomical
     /// and one request could pin every worker (and the job queue) forever.
     pub max_walks: u64,
-    /// Whether the answer planner routes eligible requests down the
-    /// localized / key-repair fast paths. When disabled every automatic
-    /// answer serves monolithically (explicit per-request `plan`
-    /// overrides still work) — an operational escape hatch and the
-    /// baseline switch used by benchmarks.
-    pub planner: bool,
+    /// How automatic answers pick their plan: the adaptive cost model
+    /// (the default), the v1 structural classifier, or pinned to
+    /// monolithic. Explicit per-request `plan` overrides bypass the mode
+    /// entirely. See [`PlannerMode`].
+    pub planner: PlannerMode,
     /// Number of shards the catalog is partitioned over (min 1).
     pub shards: usize,
     /// Per-entry answer-cache time-to-live in milliseconds; `0` disables
@@ -81,7 +81,7 @@ impl Default for EngineConfig {
                 .unwrap_or(4),
             cache_capacity: 1024,
             max_walks: 1_000_000,
-            planner: true,
+            planner: PlannerMode::Cost,
             shards: 1,
             ttl_ms: 0,
             max_inflight: 1024,
@@ -365,6 +365,15 @@ impl Engine {
                     self.shards[k]
                         .answer(&db, &query, &generator, eps, delta, seed, plan)
                         .map(EngineResponse::Answer),
+                )
+            }
+            EngineRequest::Explain { db, generator } => {
+                let k = routed.expect("explain routes by name");
+                (
+                    Some(k as u32),
+                    self.shards[k]
+                        .explain(&db, &generator)
+                        .map(EngineResponse::Explain),
                 )
             }
             EngineRequest::List => (
@@ -762,7 +771,11 @@ mod tests {
         assert_eq!(a.plan, PlanKind::Monolithic);
         assert!(matches!(
             answer("prefs", "uniform", Some(PlanKind::KeyRepair)),
-            EngineResponse::Error(EngineError::BadRequest(_))
+            EngineResponse::Error(EngineError::PlanRejected {
+                plan: PlanKind::KeyRepair,
+                gate: crate::planner::cost::GATE_KEY_COVER,
+                ..
+            })
         ));
         // The catalog reports the structural classification in `list`.
         let EngineResponse::List(infos) = e.handle(EngineRequest::List) else {
@@ -779,7 +792,7 @@ mod tests {
         let e = Engine::new(EngineConfig {
             workers: 2,
             cache_capacity: 64,
-            planner: false,
+            planner: PlannerMode::Off,
             ..EngineConfig::default()
         });
         create_kv(&e);
@@ -921,6 +934,7 @@ mod tests {
             ],
             prepared_next: 5,
             next_version: 9, // a dropped db once used 8 and 9
+            ..RecoveredState::empty()
         };
         let e = Engine::with_backend(
             EngineConfig {

@@ -1,5 +1,6 @@
 //! Engine-level errors, surfaced to clients as `{"ok":false,"error":…}`.
 
+use crate::planner::PlanKind;
 use std::fmt;
 
 /// Anything that can go wrong while serving a request.
@@ -21,6 +22,19 @@ pub enum EngineError {
     Schema(String),
     /// Sampling failed (generator could not produce a distribution).
     Sampling(String),
+    /// An explicit `plan` override is structurally unsound for the
+    /// database × generator: the named feasibility gate rejected it.
+    /// Rendered with structured `plan`/`gate` fields so clients can tell
+    /// "you asked for an impossible plan" from a generic bad request.
+    PlanRejected {
+        /// The plan the client forced.
+        plan: PlanKind,
+        /// The feasibility gate that rejected it (`"key-cover"`,
+        /// `"denial-fragment"`, `"component-local"`, `"group-policy"`).
+        gate: &'static str,
+        /// The human-readable explanation.
+        message: String,
+    },
     /// The storage backend failed to journal or recover state.
     Storage(String),
     /// The owning shard is at its concurrent-sampling admission limit;
@@ -43,6 +57,7 @@ impl fmt::Display for EngineError {
             EngineError::UnknownGenerator(name) => write!(f, "unknown generator {name:?}"),
             EngineError::Schema(msg) => write!(f, "schema error: {msg}"),
             EngineError::Sampling(msg) => write!(f, "sampling error: {msg}"),
+            EngineError::PlanRejected { message, .. } => write!(f, "bad request: {message}"),
             EngineError::Storage(msg) => write!(f, "storage error: {msg}"),
             EngineError::ShardFull(shard) => write!(
                 f,

@@ -81,7 +81,8 @@ pub fn route_of(req: &EngineRequest) -> RouteTarget<'_> {
         }
         EngineRequest::Insert { db, .. }
         | EngineRequest::Delete { db, .. }
-        | EngineRequest::Answer { db, .. } => RouteTarget::Database(db),
+        | EngineRequest::Answer { db, .. }
+        | EngineRequest::Explain { db, .. } => RouteTarget::Database(db),
         EngineRequest::Prepare { .. } | EngineRequest::PreparedGet { .. } => RouteTarget::Authority,
         EngineRequest::List | EngineRequest::Stats | EngineRequest::Metrics => RouteTarget::FanOut,
     }

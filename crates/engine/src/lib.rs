@@ -99,10 +99,15 @@ pub use error::EngineError;
 pub use frontdoor::{parse_request, route_of, FrontDoor, RouteProxy, RouteTarget};
 pub use obs::expo::{render_prometheus, spawn_exposition_listener};
 pub use obs::{HistSnapshot, Histogram, MetricsSnapshot, ShardMetrics, SlowLog};
-pub use planner::{classify, DbPlan, PlanKind, SampleTask};
+pub use planner::{
+    classify, feasibility_gate, Candidate, CostModel, CostSource, DbPlan, DbStats, Estimate,
+    PlanKind, PlannerMode, SampleTask,
+};
 pub use pool::{derive_seed, SamplerPool, CHUNK_WALKS};
 pub use prepared::{PreparedQuery, PreparedRegistry};
-pub use proto::{AnswerPayload, AnswerRow, EngineRequest, EngineResponse, QueryRef};
+pub use proto::{
+    AnswerPayload, AnswerRow, EngineRequest, EngineResponse, ExplainPayload, QueryRef,
+};
 pub use router::Router;
 pub use server::{
     handle_connection, serve_listener, serve_session, serve_stdio, Frame, LineService,
@@ -111,6 +116,7 @@ pub use server::{
 pub use shard::{ShardEngine, ShardStats};
 pub use singleflight::SingleFlight;
 pub use storage::{
-    InstallImage, MemoryBackend, RecoveredState, RestoredDatabase, StorageBackend, UpdateDelta,
+    FeedbackImage, HotKey, InstallImage, MemoryBackend, PlanFeedback, RecoveredState,
+    RestoredDatabase, StorageBackend, UpdateDelta,
 };
 pub use upstream::Upstream;

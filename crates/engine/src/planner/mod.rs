@@ -25,6 +25,23 @@
 //! [`ChainGenerator::component_local`] (`uniform`, `uniform-deletions`)
 //! may take the fast paths, so e.g. the Example 4 preference generator —
 //! whose weights read the whole database — always serves monolithically.
+//!
+//! Since planner v2, structural soundness is only the *feasibility* half
+//! of plan choice: among the feasible plans, [`cost::CostModel`] ranks
+//! candidates from catalog-maintained [`stats::DbStats`] plus recorded
+//! runtime feedback, and the shard serves the cheapest. This module
+//! keeps the v1 classifier and routing (reachable as `--planner static`
+//! and used for explicit plan overrides); [`stats`] and [`cost`] hold
+//! the v2 layers.
+
+pub mod cost;
+pub mod stats;
+
+pub use cost::{
+    feasibility_gate, Candidate, CostModel, CostSource, Estimate, PlannerMode,
+    FEEDBACK_JOURNAL_EVERY,
+};
+pub use stats::DbStats;
 
 use crate::error::EngineError;
 use ocqa_core::keyrepair::{GroupPolicy, KeyConfig, KeyRepairSampler};
@@ -120,11 +137,11 @@ pub struct DbPlan {
     key_configs: Option<Vec<KeyConfig>>,
     /// The snapshot the lazily built samplers read from.
     ctx: Arc<RepairContext>,
+    /// Conflict-structure statistics of this snapshot (catalog-maintained;
+    /// recomputed here only when a plan is built outside a catalog).
+    stats: DbStats,
     /// Memoized localized sampler (built on first localized route).
     localized: Mutex<Option<Arc<ComponentSampler>>>,
-    /// Memoized cost-model verdict: whether localization can beat the
-    /// monolithic walk on this snapshot (see [`DbPlan::localize_worthwhile`]).
-    local_worth: Mutex<Option<bool>>,
     /// Memoized key-repair state, one entry per distinct group policy
     /// (different generators may carry different policies; the list stays
     /// as short as the set of policies actually served).
@@ -144,9 +161,19 @@ impl fmt::Debug for DbPlan {
 }
 
 impl DbPlan {
+    /// Builds the plan for one database snapshot, computing the conflict
+    /// statistics from the snapshot's own violation set. Catalog entries
+    /// use [`DbPlan::build_with_stats`] with their maintained stats
+    /// instead of recomputing here.
+    pub fn build(ctx: &Arc<RepairContext>) -> DbPlan {
+        let stats = DbStats::compute(ctx.d0(), ctx.sigma(), ctx.initial_violations());
+        DbPlan::build_with_stats(ctx, stats)
+    }
+
     /// Builds the plan for one database snapshot (classification only —
     /// sampler artifacts are deferred to the first use of each route).
-    pub fn build(ctx: &Arc<RepairContext>) -> DbPlan {
+    /// `stats` must describe exactly the snapshot's database state.
+    pub fn build_with_stats(ctx: &Arc<RepairContext>, stats: DbStats) -> DbPlan {
         let key_configs = ctx.sigma().key_cover().map(|specs| {
             specs
                 .iter()
@@ -170,10 +197,28 @@ impl DbPlan {
             denial,
             key_configs,
             ctx: ctx.clone(),
+            stats,
             localized: Mutex::new(None),
-            local_worth: Mutex::new(None),
             key: Mutex::new(Vec::new()),
         }
+    }
+
+    /// The conflict-structure statistics of the snapshot this plan was
+    /// built for.
+    pub fn stats(&self) -> DbStats {
+        self.stats
+    }
+
+    /// Whether the localized route is structurally available (`Σ` in the
+    /// denial fragment — key-only sets included).
+    pub fn admits_localized(&self) -> bool {
+        self.denial
+    }
+
+    /// Whether the key-repair route is structurally available (`Σ`
+    /// primary-key-only).
+    pub fn admits_key_repair(&self) -> bool {
+        self.key_configs.is_some()
     }
 
     /// The cost-model guard behind automatic `localized` routing: per-walk,
@@ -187,15 +232,11 @@ impl DbPlan {
     /// `plan:"localized"` request is still honored (benchmarks and tests
     /// force routes deliberately).
     ///
-    /// The verdict needs the conflict components, which is the same
-    /// artifact the localized sampler starts from — it is computed at most
-    /// once per snapshot and memoized, like the sampler itself.
+    /// Since planner v2 the verdict reads the catalog-maintained
+    /// [`DbStats`] (component count, clean-region size) instead of
+    /// materializing the conflict components per snapshot.
     fn localize_worthwhile(&self) -> bool {
-        let mut memo = self.local_worth.lock();
-        *memo.get_or_insert_with(|| {
-            let parts = ocqa_core::localize::conflict_components(&self.ctx);
-            parts.components.len() != 1 || !parts.clean.is_empty()
-        })
+        self.stats.localize_worthwhile()
     }
 
     /// The structural classification.
@@ -245,34 +286,36 @@ impl DbPlan {
             // Forced monolithic is the universal fallback: always sound,
             // no availability or capability check applies.
             Some(PlanKind::Monolithic) => Ok(PlanKind::Monolithic),
-            Some(kind) => {
-                if !gen.component_local() {
-                    return Err(EngineError::BadRequest(format!(
-                        "plan {kind:?} requires a component-local generator, \
-                         not {:?}",
-                        gen.name()
-                    )));
+            Some(kind) => match feasibility_gate(kind, self, gen) {
+                None => Ok(kind),
+                Some(gate) => {
+                    let message = match gate {
+                        cost::GATE_COMPONENT_LOCAL => format!(
+                            "plan {kind:?} requires a component-local generator, \
+                             not {:?}",
+                            gen.name()
+                        ),
+                        cost::GATE_GROUP_POLICY => format!(
+                            "generator {:?} has no key-repair group policy \
+                             matching its chain distribution",
+                            gen.name()
+                        ),
+                        cost::GATE_KEY_COVER => format!(
+                            "database does not admit the {kind} plan \
+                             (constraints are not primary-key-only)"
+                        ),
+                        _ => format!(
+                            "database does not admit the {kind} plan \
+                             (constraints are not in the denial fragment)"
+                        ),
+                    };
+                    Err(EngineError::PlanRejected {
+                        plan: kind,
+                        gate,
+                        message,
+                    })
                 }
-                if kind == PlanKind::KeyRepair && gen.key_repair_policy().is_none() {
-                    return Err(EngineError::BadRequest(format!(
-                        "generator {:?} has no key-repair group policy \
-                         matching its chain distribution",
-                        gen.name()
-                    )));
-                }
-                let (available, requirement) = if kind == PlanKind::KeyRepair {
-                    (self.key_configs.is_some(), "primary-key-only")
-                } else {
-                    (self.denial, "in the denial fragment")
-                };
-                if !available {
-                    return Err(EngineError::BadRequest(format!(
-                        "database does not admit the {kind} plan \
-                         (constraints are not {requirement})"
-                    )));
-                }
-                Ok(kind)
-            }
+            },
         }
     }
 

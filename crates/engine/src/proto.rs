@@ -16,7 +16,7 @@ use crate::catalog::{DatabaseInfo, UpdateOutcome};
 use crate::error::EngineError;
 use crate::json::Json;
 use crate::obs::MetricsSnapshot;
-use crate::planner::PlanKind;
+use crate::planner::{Candidate, DbStats, PlanKind, PlannerMode};
 use ocqa_data::Constant;
 
 /// How an `answer` request names its query.
@@ -102,6 +102,15 @@ pub enum EngineRequest {
     Stats,
     /// Per-shard latency histograms (see [`crate::obs`]).
     Metrics,
+    /// The planner's decision for one database × generator: the chosen
+    /// plan plus every candidate's cost estimate and feasibility
+    /// verdict.
+    Explain {
+        /// Catalog name.
+        db: String,
+        /// Generator name (feasibility depends on its capabilities).
+        generator: String,
+    },
 }
 
 impl EngineRequest {
@@ -202,6 +211,10 @@ impl EngineRequest {
             "list" => Ok(EngineRequest::List),
             "stats" => Ok(EngineRequest::Stats),
             "metrics" => Ok(EngineRequest::Metrics),
+            "explain" => Ok(EngineRequest::Explain {
+                db: str_field("db")?,
+                generator: opt_str("generator").unwrap_or_else(|| "uniform".into()),
+            }),
             other => Err(EngineError::BadRequest(format!("unknown op {other:?}"))),
         }
     }
@@ -220,6 +233,7 @@ impl EngineRequest {
             EngineRequest::List => "list",
             EngineRequest::Stats => "stats",
             EngineRequest::Metrics => "metrics",
+            EngineRequest::Explain { .. } => "explain",
         }
     }
 }
@@ -306,6 +320,28 @@ pub struct MetricsPayload {
     pub per_shard: Vec<MetricsSnapshot>,
 }
 
+/// The payload of an `explain` response: the planner's decision for one
+/// database × generator, with the per-candidate evidence. Every field is
+/// an integer or a label — no wall-clock values — so two shards holding
+/// identical state (e.g. a fresh `ocqa route` upstream and an in-process
+/// shard) render `explain` byte-identically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExplainPayload {
+    /// Catalog name.
+    pub db: String,
+    /// The database version the decision applies to.
+    pub version: u64,
+    /// The shard's planner mode (`off`, `static`, `cost`).
+    pub mode: PlannerMode,
+    /// The plan an automatic answer serves right now.
+    pub chosen: PlanKind,
+    /// Every plan's verdict, in registry order (key-repair, localized,
+    /// monolithic).
+    pub candidates: Vec<Candidate>,
+    /// The catalog-maintained statistics the prior costs derive from.
+    pub stats: DbStats,
+}
+
 /// A server response, renderable as one JSON line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum EngineResponse {
@@ -340,6 +376,8 @@ pub enum EngineResponse {
     Stats(EngineStatsPayload),
     /// `metrics` reply.
     Metrics(MetricsPayload),
+    /// `explain` reply.
+    Explain(ExplainPayload),
     /// Any failure.
     Error(EngineError),
 }
@@ -469,8 +507,52 @@ impl EngineResponse {
                     ("total", total.to_json()),
                 ])
             }
+            EngineResponse::Explain(x) => Json::obj([
+                ("ok", true.into()),
+                ("db", Json::from(x.db.clone())),
+                ("db_version", Json::from(x.version)),
+                ("mode", Json::from(x.mode.as_str())),
+                ("chosen", Json::from(x.chosen.as_str())),
+                (
+                    "candidates",
+                    Json::Arr(
+                        x.candidates
+                            .iter()
+                            .map(|c| {
+                                Json::obj([
+                                    ("plan", Json::from(c.plan.as_str())),
+                                    ("feasible", Json::from(c.feasible)),
+                                    ("gate", c.gate.map(Json::from).unwrap_or(Json::Null)),
+                                    ("cost", Json::from(c.cost)),
+                                    ("source", Json::from(c.source.as_str())),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                (
+                    "stats",
+                    Json::obj([
+                        ("facts", Json::from(x.stats.facts)),
+                        ("conflict_facts", Json::from(x.stats.conflict_facts)),
+                        ("clean_facts", Json::from(x.stats.clean_facts)),
+                        ("components", Json::from(x.stats.components)),
+                        ("largest_component", Json::from(x.stats.largest_component)),
+                        ("sum_sq_component", Json::from(x.stats.sum_sq_component)),
+                        ("violations", Json::from(x.stats.violations)),
+                    ]),
+                ),
+            ]),
             EngineResponse::Error(e) => {
-                Json::obj([("ok", false.into()), ("error", Json::from(e.to_string()))])
+                let mut o = Json::obj([("ok", false.into()), ("error", Json::from(e.to_string()))]);
+                // A rejected plan override additionally names the plan
+                // and the feasibility gate as structured fields, so
+                // clients need not parse the message.
+                if let EngineError::PlanRejected { plan, gate, .. } = e {
+                    o.set("plan", Json::from(plan.as_str()));
+                    o.set("gate", Json::from(*gate));
+                }
+                o
             }
         }
     }

@@ -133,6 +133,57 @@ fn routed_metrics_are_byte_identical_to_in_process_sharding() {
 }
 
 #[test]
+fn routed_explain_is_byte_identical_to_in_process_sharding() {
+    let addrs = spawn_upstreams(3, 1, 16);
+    let proxy = RouteProxy::connect(addrs).expect("connect router");
+    let reference = Engine::new(EngineConfig {
+        workers: 3,
+        cache_capacity: 48,
+        shards: 3,
+        ..EngineConfig::default()
+    });
+
+    // Zero-feedback state on purpose: with no recorded observations the
+    // candidate costs are the integer analytic priors, so the whole
+    // `explain` document — costs included — must agree byte for byte.
+    let workload = [
+        r#"{"op":"create_db","name":"kv","facts":"R(1,10). R(1,20). R(2,30).","constraints":"R(x,y), R(x,z) -> y = z."}"#,
+        r#"{"op":"create_db","name":"net","facts":"Pref(a,b). Pref(b,a). Pref(c,d). Pref(d,c).","constraints":"Pref(x,y), Pref(y,x) -> false."}"#,
+    ];
+    for line in workload {
+        assert_eq!(
+            proxy.handle_line(line),
+            reference.handle_line(line).to_string()
+        );
+    }
+    for (explain, chosen, prior) in [
+        (
+            r#"{"op":"explain","db":"kv"}"#,
+            "\"chosen\":\"key-repair\"",
+            "\"source\":\"prior\"",
+        ),
+        (
+            r#"{"op":"explain","db":"net"}"#,
+            "\"chosen\":\"localized\"",
+            "\"source\":\"prior\"",
+        ),
+        // A non-component-local generator gates out both fast paths.
+        (
+            r#"{"op":"explain","db":"net","generator":"preference"}"#,
+            "\"chosen\":\"monolithic\"",
+            "\"gate\":\"component-local\"",
+        ),
+    ] {
+        let routed = proxy.handle_line(explain);
+        let direct = reference.handle_line(explain).to_string();
+        assert_eq!(routed, direct, "explain diverged for {explain}");
+        assert!(routed.contains("\"mode\":\"cost\""), "{routed}");
+        assert!(routed.contains(chosen), "{routed}");
+        assert!(routed.contains(prior), "{routed}");
+    }
+}
+
+#[test]
 fn metrics_counts_reflect_the_workload() {
     let engine = Engine::new(EngineConfig {
         workers: 2,

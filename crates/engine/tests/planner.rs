@@ -117,6 +117,134 @@ fn localized_plan_agrees_with_exact_cp() {
     }
 }
 
+/// Two 3-cycles under a 2-path denial constraint, plus one clean fact:
+/// multi-component, so the static classifier and the cost model both
+/// start on the localized plan.
+const DRIFT_FACTS: &str =
+    "Pref(a,b). Pref(b,c). Pref(c,a). Pref(d,e). Pref(e,f). Pref(f,d). Pref(q,r).";
+const DRIFT_SIGMA: &str = "Pref(x,y), Pref(y,z) -> false.";
+/// The drift: collapse everything into one 12-node cycle. The clean
+/// fact survives, so the static guard (`components != 1 || clean > 0`)
+/// keeps localized forever — only the cost model can flip.
+const DRIFT_DELETE: &str = "Pref(c,a). Pref(d,e). Pref(e,f). Pref(f,d).";
+const DRIFT_INSERT: &str = "Pref(c,d). Pref(d,e2). Pref(e2,f2). Pref(f2,g). Pref(g,h). \
+     Pref(h,i). Pref(i,j). Pref(j,k). Pref(k,l). Pref(l,a).";
+
+#[test]
+fn drifted_database_flips_to_monolithic_only_under_the_cost_model() {
+    use ocqa_engine::PlannerMode;
+
+    let cost = engine(2);
+    let fixed = Engine::new(EngineConfig {
+        workers: 2,
+        cache_capacity: 64,
+        planner: PlannerMode::Static,
+        ..EngineConfig::default()
+    });
+    for e in [&cost, &fixed] {
+        let resp = e.handle(EngineRequest::CreateDb {
+            name: "drift".into(),
+            facts: DRIFT_FACTS.into(),
+            constraints: DRIFT_SIGMA.into(),
+        });
+        assert!(matches!(resp, EngineResponse::Created(_)));
+    }
+
+    // Pre-drift: both modes serve localized, bit-identically.
+    let a_cost = answer(&cost, "drift", QUERY_P, 0.1, 5);
+    let a_fixed = answer(&fixed, "drift", QUERY_P, 0.1, 5);
+    assert_eq!(a_cost.plan, PlanKind::Localized);
+    assert_eq!(a_fixed.plan, PlanKind::Localized);
+    assert_eq!(a_cost.answers, a_fixed.answers);
+
+    // Drift: the same update stream on both engines grows one giant
+    // conflict component (a 12-cycle) while the clean fact remains.
+    for e in [&cost, &fixed] {
+        let resp = e.handle(EngineRequest::Delete {
+            db: "drift".into(),
+            facts: DRIFT_DELETE.into(),
+        });
+        assert!(matches!(resp, EngineResponse::Updated(_)), "{resp:?}");
+        let resp = e.handle(EngineRequest::Insert {
+            db: "drift".into(),
+            facts: DRIFT_INSERT.into(),
+        });
+        assert!(matches!(resp, EngineResponse::Updated(_)), "{resp:?}");
+    }
+
+    // Post-drift: the static classifier cannot move (the clean region
+    // still argues for localization), the cost model flips to
+    // monolithic.
+    let a_fixed = answer(&fixed, "drift", QUERY_P, 0.1, 9);
+    let a_cost = answer(&cost, "drift", QUERY_P, 0.1, 9);
+    assert_eq!(a_fixed.plan, PlanKind::Localized);
+    assert_eq!(a_cost.plan, PlanKind::Monolithic);
+    // The flip changed only *which* plan serves: the cost engine's
+    // monolithic payload is bit-identical to an explicit monolithic
+    // override on the static engine (determinism contract), and both
+    // plans' estimates agree within their summed ε bounds.
+    let EngineResponse::Answer(a_override) = fixed.handle(EngineRequest::Answer {
+        db: "drift".into(),
+        query: QueryRef::Text(QUERY_P.into()),
+        generator: "uniform".into(),
+        eps: 0.1,
+        delta: 0.1,
+        seed: 9,
+        plan: Some(PlanKind::Monolithic),
+    }) else {
+        panic!("expected answer");
+    };
+    assert_eq!(a_cost.answers, a_override.answers);
+    assert_eq!(a_cost.answers.len(), a_fixed.answers.len());
+    for (m, l) in a_cost.answers.iter().zip(&a_fixed.answers) {
+        assert_eq!(m.tuple, l.tuple);
+        assert!(
+            (m.p - l.p).abs() <= 0.2,
+            "plans disagree beyond 2ε on {:?}: {} vs {}",
+            m.tuple,
+            m.p,
+            l.p
+        );
+    }
+
+    // `explain` reports the new winner with the losing candidate still
+    // feasible, and the static engine reports its own (unmoved) choice.
+    let EngineResponse::Explain(x) = cost.handle(EngineRequest::Explain {
+        db: "drift".into(),
+        generator: "uniform".into(),
+    }) else {
+        panic!("expected explain");
+    };
+    assert_eq!(x.mode, PlannerMode::Cost);
+    assert_eq!(x.chosen, PlanKind::Monolithic);
+    assert_eq!(x.stats.components, 1);
+    assert_eq!(x.stats.clean_facts, 1);
+    let localized = x
+        .candidates
+        .iter()
+        .find(|c| c.plan == PlanKind::Localized)
+        .unwrap();
+    assert!(
+        localized.feasible,
+        "the loser stays feasible: {localized:?}"
+    );
+    let key_repair = x
+        .candidates
+        .iter()
+        .find(|c| c.plan == PlanKind::KeyRepair)
+        .unwrap();
+    assert!(!key_repair.feasible);
+    assert_eq!(key_repair.gate, Some("key-cover"));
+    let EngineResponse::Explain(x) = fixed.handle(EngineRequest::Explain {
+        db: "drift".into(),
+        generator: "uniform".into(),
+    }) else {
+        panic!("expected explain");
+    };
+    assert_eq!(x.mode, PlannerMode::Static);
+    assert_eq!(x.chosen, PlanKind::Localized);
+}
+
 #[test]
 fn planner_answers_bit_identical_across_pool_sizes() {
     // The engine-level counterpart of the pool's determinism test: for

@@ -192,12 +192,27 @@ fn answers_report_their_plan_over_the_wire() {
         r#"{"op":"answer","db":"kv","query":"(x) <- exists y: R(x,y)","plan":"monolithic","seed":7}"#,
     );
     assert!(resp.contains("\"plan\":\"monolithic\""), "{resp}");
+    // An unsound override is a structured rejection naming the plan and
+    // the feasibility gate that refused it — never a silent fallback to
+    // a different plan.
     let resp = roundtrip(
         &mut s,
         &mut r,
         r#"{"op":"answer","db":"net","query":"(x) <- exists y: Pref(x,y)","plan":"key-repair","seed":7}"#,
     );
     assert!(resp.contains("\"ok\":false"), "{resp}");
+    assert!(resp.contains("\"plan\":\"key-repair\""), "{resp}");
+    assert!(resp.contains("\"gate\":\"key-cover\""), "{resp}");
+    assert!(resp.contains("\"error\":\"bad request"), "{resp}");
+    // Same database, localized override under a non-component-local
+    // generator: a different gate.
+    let resp = roundtrip(
+        &mut s,
+        &mut r,
+        r#"{"op":"answer","db":"net","query":"(x) <- exists y: Pref(x,y)","generator":"preference","plan":"localized","seed":7}"#,
+    );
+    assert!(resp.contains("\"ok\":false"), "{resp}");
+    assert!(resp.contains("\"gate\":\"component-local\""), "{resp}");
 
     // `list` exposes each database's structural classification.
     let resp = roundtrip(&mut s, &mut r, r#"{"op":"list"}"#);

@@ -6,7 +6,8 @@ use crate::store::{Store, StoreOptions};
 use crate::wal::WalRecord;
 use crate::wire::DbImage;
 use ocqa_engine::{
-    EngineError, InstallImage, RecoveredState, RestoredDatabase, StorageBackend, UpdateDelta,
+    EngineError, FeedbackImage, InstallImage, RecoveredState, RestoredDatabase, StorageBackend,
+    UpdateDelta,
 };
 use parking_lot::Mutex;
 use std::path::Path;
@@ -114,6 +115,7 @@ impl StorageBackend for DiskBackend {
             prepared: state.prepared,
             prepared_next: state.prepared_next,
             next_version: state.next_version,
+            feedback: state.feedback,
         })
     }
 
@@ -149,5 +151,9 @@ impl StorageBackend for DiskBackend {
             text: text.to_string(),
             ordinal,
         })
+    }
+
+    fn journal_feedback(&self, feedback: &FeedbackImage) -> Result<(), EngineError> {
+        self.journal(&WalRecord::Feedback(feedback.clone()))
     }
 }

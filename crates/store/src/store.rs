@@ -33,6 +33,7 @@
 use crate::error::StoreError;
 use crate::wal::{self, WalRecord, WalWriter};
 use crate::wire::{self, DbImage, Manifest};
+use ocqa_engine::FeedbackImage;
 use ocqa_logic::{incremental, parser, ConstraintSet};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
@@ -69,6 +70,9 @@ pub struct StoreState {
     pub prepared_next: u64,
     /// Version-counter floor (max version ever seen, drops included).
     pub next_version: u64,
+    /// The last journaled planner-feedback image, pruned to live
+    /// databases.
+    pub feedback: FeedbackImage,
 }
 
 /// What a compaction did, for operator-facing reporting (`ocqa snapshot`).
@@ -222,6 +226,7 @@ impl Store {
             databases: Vec::new(),
             prepared: state.prepared.clone(),
             prepared_next: state.prepared_next,
+            feedback: state.feedback.clone(),
         };
         let mut summary = CompactionSummary {
             databases: Vec::new(),
@@ -307,6 +312,8 @@ struct Replay {
     /// The registry's id counter.
     prepared_next: u64,
     max_version: u64,
+    /// Last planner-feedback image seen (full-state, last record wins).
+    feedback: FeedbackImage,
 }
 
 impl Replay {
@@ -336,6 +343,7 @@ impl Replay {
             prepared: manifest.prepared.clone(),
             prepared_next: manifest.prepared_next,
             max_version,
+            feedback: manifest.feedback.clone(),
         })
     }
 
@@ -423,15 +431,30 @@ impl Replay {
                 self.prepared.push((format!("q{ordinal}"), text));
                 Ok(())
             }
+            WalRecord::Feedback(feedback) => {
+                // Full-state image: the latest record wins outright.
+                self.feedback = feedback;
+                Ok(())
+            }
         }
     }
 
-    fn into_state(self) -> StoreState {
+    fn into_state(mut self) -> StoreState {
+        // Prune feedback for databases that are no longer live: a name
+        // dropped after the last feedback record must not seed estimates
+        // onto a future namesake holding different data.
+        self.feedback
+            .estimates
+            .retain(|pf| self.databases.contains_key(&pf.db));
+        self.feedback
+            .hot_keys
+            .retain(|k| self.databases.contains_key(&k.db));
         StoreState {
             next_version: self.max_version,
             databases: self.databases.into_values().map(|(img, _)| img).collect(),
             prepared: self.prepared,
             prepared_next: self.prepared_next,
+            feedback: self.feedback,
         }
     }
 }

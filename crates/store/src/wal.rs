@@ -57,6 +57,10 @@ pub enum WalRecord {
         /// The minted handle number.
         ordinal: u64,
     },
+    /// A full planner-feedback image (learned cost estimates + hot cache
+    /// keys). Full-state records: replay keeps only the last one, so the
+    /// journal cadence needs no delta encoding.
+    Feedback(ocqa_engine::FeedbackImage),
 }
 
 /// Hard cap on one record's payload: the frame header stores the length
@@ -69,6 +73,7 @@ const TAG_INSTALL: u8 = 1;
 const TAG_UPDATE: u8 = 2;
 const TAG_DROP: u8 = 3;
 const TAG_PREPARE: u8 = 4;
+const TAG_FEEDBACK: u8 = 5;
 
 impl WalRecord {
     /// Serializes the record payload (unframed).
@@ -101,6 +106,10 @@ impl WalRecord {
                 buf.put_u8(TAG_PREPARE);
                 codec::put_name(&mut buf, text);
                 codec::put_varint(&mut buf, *ordinal);
+            }
+            WalRecord::Feedback(feedback) => {
+                buf.put_u8(TAG_FEEDBACK);
+                wire::put_feedback(&mut buf, feedback);
             }
         }
         buf.freeze()
@@ -138,6 +147,7 @@ impl WalRecord {
                 text: codec::get_name(&mut buf)?,
                 ordinal: codec::get_varint(&mut buf)?,
             },
+            TAG_FEEDBACK => WalRecord::Feedback(wire::get_feedback(&mut buf)?),
             tag => return Err(StoreError::Corrupt(format!("unknown WAL tag {tag:#x}"))),
         };
         if buf.has_remaining() {

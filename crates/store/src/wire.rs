@@ -22,7 +22,7 @@ use crate::error::StoreError;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use ocqa_data::codec;
 use ocqa_data::Database;
-use ocqa_engine::PlanKind;
+use ocqa_engine::{Estimate, FeedbackImage, HotKey, PlanFeedback, PlanKind};
 use ocqa_logic::{Bindings, Var, Violation, ViolationSet};
 
 /// CRC-32 (IEEE 802.3) lookup table, built at compile time.
@@ -176,11 +176,17 @@ pub struct Manifest {
     pub prepared: Vec<(String, String)>,
     /// The registry's id counter (highest ordinal ever allocated).
     pub prepared_next: u64,
+    /// The last journaled planner-feedback image (format v2; a v1
+    /// manifest decodes with an empty one).
+    pub feedback: FeedbackImage,
 }
 
 const MANIFEST_MAGIC: &[u8; 4] = b"OCQM";
 const SNAPSHOT_MAGIC: &[u8; 4] = b"OCQS";
-const FORMAT_VERSION: u16 = 1;
+/// Current on-disk format. v2 appends the planner-feedback image to the
+/// manifest; v1 files (no feedback section) are still accepted on read.
+const FORMAT_VERSION: u16 = 2;
+const MIN_FORMAT_VERSION: u16 = 1;
 
 fn frame(magic: &[u8; 4], payload: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(payload.len() + 10);
@@ -191,12 +197,12 @@ fn frame(magic: &[u8; 4], payload: &[u8]) -> Vec<u8> {
     out
 }
 
-fn unframe<'a>(magic: &[u8; 4], data: &'a [u8], what: &str) -> Result<&'a [u8], StoreError> {
+fn unframe<'a>(magic: &[u8; 4], data: &'a [u8], what: &str) -> Result<(u16, &'a [u8]), StoreError> {
     if data.len() < 10 || &data[..4] != magic {
         return Err(StoreError::Corrupt(format!("{what}: bad magic")));
     }
     let version = u16::from_le_bytes([data[4], data[5]]);
-    if version != FORMAT_VERSION {
+    if !(MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&version) {
         return Err(StoreError::Corrupt(format!(
             "{what}: unsupported format version {version}"
         )));
@@ -206,7 +212,78 @@ fn unframe<'a>(magic: &[u8; 4], data: &'a [u8], what: &str) -> Result<&'a [u8], 
     if crc32(payload) != crc {
         return Err(StoreError::Corrupt(format!("{what}: checksum mismatch")));
     }
-    Ok(payload)
+    Ok((version, payload))
+}
+
+/// Appends one [`FeedbackImage`] to `buf` (self-delimiting, so it embeds
+/// in both the manifest tail and WAL `feedback` records).
+pub fn put_feedback(buf: &mut BytesMut, feedback: &FeedbackImage) {
+    codec::put_varint(buf, feedback.estimates.len() as u64);
+    for pf in &feedback.estimates {
+        codec::put_name(buf, &pf.db);
+        for est in &pf.estimates {
+            codec::put_varint(buf, est.ewma_us);
+            codec::put_varint(buf, est.samples);
+        }
+    }
+    codec::put_varint(buf, feedback.hot_keys.len() as u64);
+    for k in &feedback.hot_keys {
+        codec::put_name(buf, &k.db);
+        codec::put_varint(buf, k.version);
+        codec::put_name(buf, &k.query);
+        codec::put_name(buf, &k.generator);
+        buf.put_u8(plan_tag(k.plan));
+        codec::put_varint(buf, k.eps_bits);
+        codec::put_varint(buf, k.delta_bits);
+        codec::put_varint(buf, k.seed);
+    }
+}
+
+/// Reads one [`FeedbackImage`] (inverse of [`put_feedback`]).
+pub fn get_feedback(buf: &mut Bytes) -> Result<FeedbackImage, StoreError> {
+    let nest = codec::get_varint(buf)?;
+    let mut estimates = Vec::with_capacity(nest.min(1024) as usize);
+    for _ in 0..nest {
+        let db = codec::get_name(buf)?;
+        let mut ests = [Estimate::default(); 3];
+        for est in &mut ests {
+            est.ewma_us = codec::get_varint(buf)?;
+            est.samples = codec::get_varint(buf)?;
+        }
+        estimates.push(PlanFeedback {
+            db,
+            estimates: ests,
+        });
+    }
+    let nhot = codec::get_varint(buf)?;
+    let mut hot_keys = Vec::with_capacity(nhot.min(1024) as usize);
+    for _ in 0..nhot {
+        let db = codec::get_name(buf)?;
+        let version = codec::get_varint(buf)?;
+        let query = codec::get_name(buf)?;
+        let generator = codec::get_name(buf)?;
+        if !buf.has_remaining() {
+            return Err(StoreError::Codec(codec::CodecError::UnexpectedEof));
+        }
+        let plan = plan_from_tag(buf.get_u8())?;
+        let eps_bits = codec::get_varint(buf)?;
+        let delta_bits = codec::get_varint(buf)?;
+        let seed = codec::get_varint(buf)?;
+        hot_keys.push(HotKey {
+            db,
+            version,
+            query,
+            generator,
+            plan,
+            eps_bits,
+            delta_bits,
+            seed,
+        });
+    }
+    Ok(FeedbackImage {
+        estimates,
+        hot_keys,
+    })
 }
 
 /// Serializes a snapshot file: framed, checksummed [`DbImage`].
@@ -218,7 +295,7 @@ pub fn encode_snapshot(img: &DbImage) -> Vec<u8> {
 
 /// Decodes a snapshot file.
 pub fn decode_snapshot(data: &[u8]) -> Result<DbImage, StoreError> {
-    let payload = unframe(SNAPSHOT_MAGIC, data, "snapshot")?;
+    let (_version, payload) = unframe(SNAPSHOT_MAGIC, data, "snapshot")?;
     let mut buf = Bytes::copy_from_slice(payload);
     let img = get_image(&mut buf)?;
     if buf.has_remaining() {
@@ -245,12 +322,13 @@ pub fn encode_manifest(m: &Manifest) -> Vec<u8> {
         codec::put_name(&mut buf, text);
     }
     codec::put_varint(&mut buf, m.prepared_next);
+    put_feedback(&mut buf, &m.feedback);
     frame(MANIFEST_MAGIC, &buf.freeze())
 }
 
 /// Decodes the manifest file.
 pub fn decode_manifest(data: &[u8]) -> Result<Manifest, StoreError> {
-    let payload = unframe(MANIFEST_MAGIC, data, "manifest")?;
+    let (version, payload) = unframe(MANIFEST_MAGIC, data, "manifest")?;
     let mut buf = Bytes::copy_from_slice(payload);
     let next_version = codec::get_varint(&mut buf)?;
     let ndb = codec::get_varint(&mut buf)?;
@@ -268,6 +346,12 @@ pub fn decode_manifest(data: &[u8]) -> Result<Manifest, StoreError> {
         prepared.push((id, text));
     }
     let prepared_next = codec::get_varint(&mut buf)?;
+    // v1 manifests end here; v2 appends the planner-feedback image.
+    let feedback = if version >= 2 {
+        get_feedback(&mut buf)?
+    } else {
+        FeedbackImage::default()
+    };
     if buf.has_remaining() {
         return Err(StoreError::Corrupt(format!(
             "manifest: {} trailing bytes",
@@ -279,6 +363,7 @@ pub fn decode_manifest(data: &[u8]) -> Result<Manifest, StoreError> {
         databases,
         prepared,
         prepared_next,
+        feedback,
     })
 }
 
@@ -341,6 +426,35 @@ mod tests {
         ));
     }
 
+    pub(crate) fn sample_feedback() -> FeedbackImage {
+        FeedbackImage {
+            estimates: vec![PlanFeedback {
+                db: "kv".into(),
+                estimates: [
+                    Estimate {
+                        ewma_us: 120,
+                        samples: 9,
+                    },
+                    Estimate::default(),
+                    Estimate {
+                        ewma_us: 4500,
+                        samples: 2,
+                    },
+                ],
+            }],
+            hot_keys: vec![HotKey {
+                db: "kv".into(),
+                version: 7,
+                query: "(x) <- R(x,1)".into(),
+                generator: "uniform".into(),
+                plan: PlanKind::KeyRepair,
+                eps_bits: 0.1f64.to_bits(),
+                delta_bits: 0.05f64.to_bits(),
+                seed: 42,
+            }],
+        }
+    }
+
     #[test]
     fn manifest_roundtrip() {
         let m = Manifest {
@@ -354,9 +468,60 @@ mod tests {
                 ("q4".into(), "(y) <- R(1,y)".into()),
             ],
             prepared_next: 9,
+            feedback: sample_feedback(),
         };
         assert_eq!(decode_manifest(&encode_manifest(&m)).unwrap(), m);
         let empty = Manifest::default();
         assert_eq!(decode_manifest(&encode_manifest(&empty)).unwrap(), empty);
+    }
+
+    #[test]
+    fn feedback_image_roundtrips() {
+        let fb = sample_feedback();
+        let mut buf = BytesMut::new();
+        put_feedback(&mut buf, &fb);
+        let mut bytes = buf.freeze();
+        assert_eq!(get_feedback(&mut bytes).unwrap(), fb);
+        assert!(!bytes.has_remaining());
+    }
+
+    #[test]
+    fn v1_manifest_still_decodes_with_empty_feedback() {
+        // Re-frame a v1 payload by hand: everything up to `prepared_next`,
+        // version stamped 1, no feedback section.
+        let m = Manifest {
+            next_version: 3,
+            databases: vec![("kv".into(), "db-3-0.snap".into())],
+            prepared: vec![("q1".into(), "(x) <- R(x,1)".into())],
+            prepared_next: 2,
+            feedback: FeedbackImage::default(),
+        };
+        let mut payload = BytesMut::new();
+        codec::put_varint(&mut payload, m.next_version);
+        codec::put_varint(&mut payload, m.databases.len() as u64);
+        for (name, file) in &m.databases {
+            codec::put_name(&mut payload, name);
+            codec::put_name(&mut payload, file);
+        }
+        codec::put_varint(&mut payload, m.prepared.len() as u64);
+        for (id, text) in &m.prepared {
+            codec::put_name(&mut payload, id);
+            codec::put_name(&mut payload, text);
+        }
+        codec::put_varint(&mut payload, m.prepared_next);
+        let payload = payload.freeze();
+        let mut data = Vec::new();
+        data.extend_from_slice(MANIFEST_MAGIC);
+        data.extend_from_slice(&1u16.to_le_bytes());
+        data.extend_from_slice(&crc32(&payload).to_le_bytes());
+        data.extend_from_slice(&payload);
+        assert_eq!(decode_manifest(&data).unwrap(), m);
+        // Future versions stay rejected.
+        data[4] = 3;
+        data[5] = 0;
+        assert!(matches!(
+            decode_manifest(&data),
+            Err(StoreError::Corrupt(_))
+        ));
     }
 }

@@ -1,0 +1,129 @@
+#!/usr/bin/env bash
+# Planner v2 smoke test: start `ocqa serve --planner cost --data-dir`,
+# install a multi-component database and warm the cost model with a
+# batch of answers (crossing the feedback-journal interval so the
+# learned estimates hit the WAL), then drift the database into one
+# giant conflict component and require the automatic route to flip
+# from `localized` to `monolithic` — the flip the static classifier
+# can never make, because the clean region keeps arguing for
+# localization. Finally kill -9 the server, restart it on the same
+# data dir, and require `explain` to score candidates from *learned*
+# (journaled, recovered) estimates rather than cold analytic priors.
+#
+# Usage: scripts/planner_smoke.sh [path-to-ocqa-binary]
+set -euo pipefail
+
+BIN="${1:-target/release/ocqa}"
+if [[ ! -x "$BIN" ]]; then
+    echo "error: ocqa release binary not found at '$BIN'" >&2
+    echo "build it first: cargo build --release -p ocqa-cli" >&2
+    exit 1
+fi
+
+WORK="$(mktemp -d)"
+DATA="$WORK/data"
+PIDS=()
+cleanup() {
+    for PID in ${PIDS[@]+"${PIDS[@]}"}; do kill -9 "$PID" 2>/dev/null || true; done
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# Polls a server's stderr for a banner matching $2; prints the address.
+wait_banner() {
+    local FILE="$1" PATTERN="$2"
+    for _ in $(seq 1 100); do
+        if grep -q "$PATTERN" "$FILE" 2>/dev/null; then
+            sed -n "s/.*$PATTERN \([0-9.:]*\).*/\1/p" "$FILE" | head -1
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "FAIL: no '$PATTERN' banner in $FILE" >&2
+    return 1
+}
+
+# Sends one NDJSON request on fd 3 and prints the response line.
+request() {
+    printf '%s\n' "$1" >&3
+    local RESP
+    IFS= read -r -t 30 -u 3 RESP || { echo "FAIL: response timed out for: $1" >&2; exit 1; }
+    printf '%s\n' "$RESP"
+}
+
+# Two 3-cycles under a 2-path denial constraint plus one clean fact:
+# multi-component, so static and cost planners both open on localized.
+CREATE='{"op":"create_db","name":"drift","facts":"Pref(a,b). Pref(b,c). Pref(c,a). Pref(d,e). Pref(e,f). Pref(f,d). Pref(q,r).","constraints":"Pref(x,y), Pref(y,z) -> false."}'
+# The drift: collapse everything into one 12-node cycle; the clean fact
+# survives, pinning the static classifier to localized forever.
+DELETE='{"op":"delete","db":"drift","facts":"Pref(c,a). Pref(d,e). Pref(e,f). Pref(f,d)."}'
+INSERT='{"op":"insert","db":"drift","facts":"Pref(c,d). Pref(d,e2). Pref(e2,f2). Pref(f2,g). Pref(g,h). Pref(h,i). Pref(i,j). Pref(j,k). Pref(k,l). Pref(l,a)."}'
+answer_req() {
+    printf '{"op":"answer","db":"drift","query":"(x) <- exists y: Pref(x,y)","eps":0.1,"delta":0.1,"seed":%d}' "$1"
+}
+
+# ================= Session 1: install, warm, drift ===================
+"$BIN" serve --shards 1 --workers 2 --cache 256 --planner cost \
+    --data-dir "$DATA" --listen 127.0.0.1:0 2> "$WORK/serve1.err" &
+PID=$!
+disown "$PID"
+PIDS+=("$PID")
+ADDR="$(wait_banner "$WORK/serve1.err" 'serve: listening on')"
+exec 3<>"/dev/tcp/${ADDR%:*}/${ADDR##*:}"
+
+RESP="$(request "$CREATE")"
+grep -q '"ok":true' <<< "$RESP" || { echo "FAIL: create_db refused: $RESP"; exit 1; }
+
+# Nine distinct-seed answers: nine recorded observations, crossing the
+# journal-every-8 interval, all on the pre-drift localized route.
+for SEED in 1 2 3 4 5 6 7 8 9; do
+    RESP="$(request "$(answer_req "$SEED")")"
+    grep -q '"plan":"localized"' <<< "$RESP" \
+        || { echo "FAIL: pre-drift answer (seed $SEED) off localized: $RESP"; exit 1; }
+done
+
+for REQ in "$DELETE" "$INSERT"; do
+    RESP="$(request "$REQ")"
+    grep -q '"ok":true' <<< "$RESP" || { echo "FAIL: drift update refused: $RESP"; exit 1; }
+done
+
+# Post-drift the cost model flips the automatic route to monolithic;
+# nine more answers cross the journal interval again, so the learned
+# monolithic estimate reaches the WAL before the crash.
+for SEED in 101 102 103 104 105 106 107 108 109; do
+    RESP="$(request "$(answer_req "$SEED")")"
+    grep -q '"plan":"monolithic"' <<< "$RESP" \
+        || { echo "FAIL: post-drift answer (seed $SEED) did not flip: $RESP"; exit 1; }
+done
+
+EXPLAIN="$(request '{"op":"explain","db":"drift"}')"
+grep -q '"mode":"cost"' <<< "$EXPLAIN" || { echo "FAIL: explain mode: $EXPLAIN"; exit 1; }
+grep -q '"chosen":"monolithic"' <<< "$EXPLAIN" \
+    || { echo "FAIL: explain did not report the flip: $EXPLAIN"; exit 1; }
+exec 3<&- 3>&-
+echo "OK: drifted database flipped localized -> monolithic under the cost model"
+
+kill -9 "$PID"
+wait "$PID" 2>/dev/null || true
+
+# ======== Session 2: restart, learned costs must be resumed ==========
+"$BIN" serve --shards 1 --workers 2 --cache 256 --planner cost \
+    --data-dir "$DATA" --listen 127.0.0.1:0 2> "$WORK/serve2.err" &
+PID=$!
+disown "$PID"
+PIDS+=("$PID")
+ADDR="$(wait_banner "$WORK/serve2.err" 'serve: listening on')"
+exec 3<>"/dev/tcp/${ADDR%:*}/${ADDR##*:}"
+
+# Before any post-restart answer: the candidates must already be scored
+# from recovered learned estimates, not cold analytic priors.
+EXPLAIN="$(request '{"op":"explain","db":"drift"}')"
+grep -q '"source":"learned"' <<< "$EXPLAIN" \
+    || { echo "FAIL: restart lost the learned costs: $EXPLAIN"; exit 1; }
+grep -q '"mode":"cost"' <<< "$EXPLAIN" || { echo "FAIL: explain mode: $EXPLAIN"; exit 1; }
+
+# And the recovered database still serves.
+RESP="$(request "$(answer_req 101)")"
+grep -q '"ok":true' <<< "$RESP" || { echo "FAIL: post-restart answer refused: $RESP"; exit 1; }
+exec 3<&- 3>&-
+echo "OK: restart resumed journaled learned costs (explain scores from 'learned')"
