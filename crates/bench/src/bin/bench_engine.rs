@@ -20,6 +20,11 @@
 //! is strictly additive, so min-of-means is the stable estimator).
 //! Units are mean microseconds.
 //!
+//! The `streaming` section replays the seeded fact-stream workload
+//! against one subscriber: dirty steps time update-commit → pushed
+//! estimate frame, clean steps time the silent (no-push, no-resample)
+//! update path.
+//!
 //! The optional argument labels the snapshot (default `dev`); the
 //! checked-in `BENCH_engine.json` is a JSON array of such documents,
 //! one per recorded revision — append a run to extend the history:
@@ -31,10 +36,12 @@
 use ocqa_bench::key_workload;
 use ocqa_engine::json::Json;
 use ocqa_engine::{
-    Engine, EngineConfig, EngineRequest, EngineResponse, PlanKind, PlannerMode, QueryRef,
+    Engine, EngineConfig, EngineRequest, EngineResponse, PlanKind, PlannerMode, PushSession,
+    QueryRef,
 };
+use ocqa_workload::{StreamSpec, StreamWorkload};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 const COLD_ITERS: u64 = 40;
 const CACHED_ITERS: u64 = 20_000;
@@ -187,6 +194,71 @@ fn planner_adaptivity() -> Json {
     Json::Obj(out)
 }
 
+/// Streaming: one subscriber over the seeded fact stream. Dirty steps
+/// (violation-set changes) are timed update-commit → estimate frame
+/// read; clean steps are timed as plain updates — they must push
+/// nothing, so their cost is the incremental violation check alone.
+fn streaming() -> Json {
+    let w = StreamWorkload::generate(&StreamSpec::default());
+    let engine = Engine::new(EngineConfig {
+        workers: 4,
+        cache_capacity: 256,
+        ..EngineConfig::default()
+    });
+    let resp = engine.handle(EngineRequest::CreateDb {
+        name: "stream".into(),
+        facts: w.facts.clone(),
+        constraints: w.constraints.clone(),
+    });
+    assert!(matches!(resp, EngineResponse::Created(_)), "create failed");
+    let session = PushSession::new();
+    let sub = format!(
+        r#"{{"op":"subscribe","db":"stream","query":"{}","eps":0.1,"delta":0.1,"seed":7}}"#,
+        w.query
+    );
+    let resp = engine.handle_open_line(&sub, &session).to_string();
+    assert!(resp.contains("\"ok\":true"), "subscribe failed: {resp}");
+
+    let (mut push_total, mut pushes) = (Duration::ZERO, 0u64);
+    let (mut clean_total, mut cleans) = (Duration::ZERO, 0u64);
+    for step in &w.steps {
+        let req = if step.delete.is_empty() {
+            EngineRequest::Insert {
+                db: "stream".into(),
+                facts: step.insert.clone(),
+            }
+        } else {
+            EngineRequest::Delete {
+                db: "stream".into(),
+                facts: step.delete.clone(),
+            }
+        };
+        let t0 = Instant::now();
+        let resp = engine.handle(req);
+        assert!(matches!(resp, EngineResponse::Updated(_)), "step failed");
+        if step.dirty {
+            // The push is synchronous with the update; reading it back
+            // closes the update-commit → frame-delivered interval.
+            let frame = session.pop_wait().expect("estimate frame");
+            push_total += t0.elapsed();
+            pushes += 1;
+            std::hint::black_box(frame);
+        } else {
+            clean_total += t0.elapsed();
+            cleans += 1;
+        }
+    }
+    let mean = |total: Duration, n: u64| {
+        Json::Num((total.as_secs_f64() * 1e6 / n as f64 * 100.0).round() / 100.0)
+    };
+    Json::obj([
+        ("steps", Json::from(w.steps.len() as u64)),
+        ("pushed", Json::from(pushes)),
+        ("push_us", mean(push_total, pushes)),
+        ("clean_update_us", mean(clean_total, cleans)),
+    ])
+}
+
 fn main() {
     let rev = std::env::args().nth(1).unwrap_or_else(|| "dev".to_string());
     let mut plans = std::collections::BTreeMap::new();
@@ -229,6 +301,7 @@ fn main() {
         ),
         ("plans", Json::Obj(plans)),
         ("planner_adaptivity", planner_adaptivity()),
+        ("streaming", streaming()),
     ]);
     println!("{doc}");
 }

@@ -8,10 +8,10 @@
 //!                 [--generator NAME] [--exact | --eps E --delta D] [--seed N]
 //!   ocqa trace    --facts FILE --constraints FILE [--generator NAME] [--seed N]
 //!   ocqa serve    [--listen ADDR] [--workers N] [--cache N] [--planner cost|static|off]
-//!                 [--shards N] [--ttl-ms MS] [--max-inflight N]
+//!                 [--shards N] [--ttl-ms MS] [--max-inflight N] [--max-subs-per-conn N]
 //!                 [--data-dir PATH] [--slow-ms MS] [--metrics-addr ADDR]
 //!   ocqa route    --upstream HOST:PORT [--upstream HOST:PORT ...] [--listen ADDR]
-//!                 [--slow-ms MS] [--metrics-addr ADDR]
+//!                 [--slow-ms MS] [--max-subs-per-conn N] [--metrics-addr ADDR]
 //!   ocqa snapshot --data-dir PATH [--db NAME]
 //!
 //! GENERATORS: uniform (default) | uniform-deletions | preference
@@ -131,6 +131,7 @@ const COMMANDS: &[CommandSpec] = &[
             "shards",
             "ttl-ms",
             "max-inflight",
+            "max-subs-per-conn",
             "slow-ms",
             "metrics-addr",
         ],
@@ -139,7 +140,7 @@ const COMMANDS: &[CommandSpec] = &[
     },
     CommandSpec {
         name: "route",
-        options: &["listen", "slow-ms", "metrics-addr"],
+        options: &["listen", "slow-ms", "max-subs-per-conn", "metrics-addr"],
         multi: &["upstream"],
         flags: &["help"],
     },
@@ -217,9 +218,11 @@ fn usage() -> String {
      [--exact | --eps E --delta D] [--seed N] [--max-states N]\n  \
      serve: [--listen HOST:PORT] [--workers N] [--cache ENTRIES] \
      [--planner cost|static|off] [--shards N] [--ttl-ms MS] [--max-inflight N] \
-     [--data-dir PATH] [--slow-ms MS] [--metrics-addr HOST:PORT]\n  \
+     [--max-subs-per-conn N] [--data-dir PATH] [--slow-ms MS] \
+     [--metrics-addr HOST:PORT]\n  \
      route: --upstream HOST:PORT [--upstream HOST:PORT ...] \
-     [--listen HOST:PORT] [--slow-ms MS] [--metrics-addr HOST:PORT]\n  \
+     [--listen HOST:PORT] [--slow-ms MS] [--max-subs-per-conn N] \
+     [--metrics-addr HOST:PORT]\n  \
      snapshot: --data-dir PATH [--db NAME]"
         .to_string()
 }
@@ -338,6 +341,7 @@ fn serve_cmd(args: &Args) -> Result<(), String> {
             .ok_or("--max-inflight expects a positive number")?;
     }
     config.slow_ms = slow_ms_option(args)?;
+    config.max_subs_per_conn = max_subs_option(args)?;
     let engine = match args.options.get("data-dir") {
         Some(dir) => {
             let mut backends: Vec<std::sync::Arc<dyn ocqa_engine::StorageBackend>> = Vec::new();
@@ -394,8 +398,12 @@ fn route_cmd(args: &Args) -> Result<(), String> {
             usage()
         ));
     }
-    let proxy = ocqa_engine::RouteProxy::connect_with(upstreams, slow_ms_option(args)?)
-        .map_err(|e| e.to_string())?;
+    let proxy = ocqa_engine::RouteProxy::connect_with(
+        upstreams,
+        slow_ms_option(args)?,
+        max_subs_option(args)?,
+    )
+    .map_err(|e| e.to_string())?;
     eprintln!(
         "ocqa route: {} upstreams ({}), {} databases",
         proxy.shards(),
@@ -432,6 +440,19 @@ fn slow_ms_option(args: &Args) -> Result<u64, String> {
             .parse::<u64>()
             .map_err(|_| "--slow-ms expects a number".into()),
         None => Ok(0),
+    }
+}
+
+/// Parses `--max-subs-per-conn` (defaults to 64 live subscriptions per
+/// streaming session).
+fn max_subs_option(args: &Args) -> Result<usize, String> {
+    match args.options.get("max-subs-per-conn") {
+        Some(n) => n
+            .parse::<usize>()
+            .ok()
+            .filter(|n| *n > 0)
+            .ok_or_else(|| "--max-subs-per-conn expects a positive number".into()),
+        None => Ok(64),
     }
 }
 

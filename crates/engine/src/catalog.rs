@@ -274,6 +274,7 @@ impl Catalog {
         deletes: &[Fact],
     ) -> Result<UpdateOutcome, EngineError> {
         self.update_parsed_with(name, inserts, deletes, |_| Ok(()))
+            .map(|(outcome, _)| outcome)
     }
 
     /// [`update_parsed`](Catalog::update_parsed) with a journaling hook:
@@ -281,13 +282,19 @@ impl Catalog {
     /// the version the update will commit at, after validation but before
     /// the entry mutates; a failing journal vetoes the update. No-op
     /// updates never journal (nothing changed, nothing to replay).
+    ///
+    /// Alongside the outcome this returns the **touched relations** of
+    /// the delta ([`crate::subscribe::touched_relations`], diffed while
+    /// both the pre- and post-violation sets are in hand): the dirty set
+    /// the shard's push path fans subscriber re-estimates out against.
+    /// Empty for clean-region-only (and no-op) updates.
     pub fn update_parsed_with(
         &mut self,
         name: &str,
         inserts: &[Fact],
         deletes: &[Fact],
         journal: impl FnOnce(&UpdateDelta<'_>) -> Result<(), EngineError>,
-    ) -> Result<UpdateOutcome, EngineError> {
+    ) -> Result<(UpdateOutcome, Vec<String>), EngineError> {
         let next_version = self.next_version + 1;
         let entry = self
             .entries
@@ -323,12 +330,15 @@ impl Catalog {
             // Nothing actually changed: keep the version (and with it the
             // memoized snapshot and every cached answer) — idempotent
             // retries must not flush the caches.
-            return Ok(UpdateOutcome {
-                inserted: 0,
-                removed: 0,
-                version: entry.version,
-                violations: entry.violations.len(),
-            });
+            return Ok((
+                UpdateOutcome {
+                    inserted: 0,
+                    removed: 0,
+                    version: entry.version,
+                    violations: entry.violations.len(),
+                },
+                Vec::new(),
+            ));
         }
         journal(&UpdateDelta {
             db: name,
@@ -338,6 +348,13 @@ impl Catalog {
         })?;
         let violations =
             incremental::update_violations(&entry.sigma, &db, &entry.violations, &added, &removed);
+        let touched = crate::subscribe::touched_relations(
+            &entry.sigma,
+            &entry.violations,
+            &violations,
+            &added,
+            &removed,
+        );
         self.next_version = next_version;
         entry.stats = DbStats::compute(&db, &entry.sigma, &violations);
         entry.db = db;
@@ -345,12 +362,15 @@ impl Catalog {
         entry.version = next_version;
         *entry.snapshot.get_mut() = None;
         *entry.plan.get_mut() = None;
-        Ok(UpdateOutcome {
-            inserted: added.len(),
-            removed: removed.len(),
-            version: entry.version,
-            violations: entry.violations.len(),
-        })
+        Ok((
+            UpdateOutcome {
+                inserted: added.len(),
+                removed: removed.len(),
+                version: entry.version,
+                violations: entry.violations.len(),
+            },
+            touched,
+        ))
     }
 
     /// The sampling snapshot for a database: an `Arc<RepairContext>` built
@@ -600,6 +620,29 @@ mod tests {
         let (snap2, v2) = cat.context("db").unwrap();
         assert_eq!(v2, v1);
         assert!(Arc::ptr_eq(&snap1, &snap2), "snapshot must survive no-ops");
+    }
+
+    #[test]
+    fn update_reports_touched_relations() {
+        let mut cat = Catalog::new();
+        cat.create("db", "R(1,10). S(5).", "R(x,y), R(x,z) -> y = z.")
+            .unwrap();
+        // Appending to the unconstrained relation S is clean-region-only.
+        let inserts = parser::parse_facts("S(6).").unwrap();
+        let (out, touched) = cat
+            .update_parsed_with("db", &inserts, &[], |_| Ok(()))
+            .unwrap();
+        assert_eq!(out.inserted, 1);
+        assert!(
+            touched.is_empty(),
+            "clean-region append touched {touched:?}"
+        );
+        // A key conflict on R dirties R's component.
+        let inserts = parser::parse_facts("R(1,20).").unwrap();
+        let (_, touched) = cat
+            .update_parsed_with("db", &inserts, &[], |_| Ok(()))
+            .unwrap();
+        assert_eq!(touched, vec!["R".to_string()]);
     }
 
     #[test]

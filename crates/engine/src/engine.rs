@@ -71,6 +71,10 @@ pub struct EngineConfig {
     /// above it emit one structured NDJSON event on stderr with their
     /// stage breakdown (see [`crate::obs::trace`]). `0` disables tracing.
     pub slow_ms: u64,
+    /// Ceiling on live subscriptions per client connection. A
+    /// `subscribe` beyond it is rejected with a structured error rather
+    /// than letting one session pin unbounded registry and queue memory.
+    pub max_subs_per_conn: usize,
 }
 
 impl Default for EngineConfig {
@@ -86,6 +90,7 @@ impl Default for EngineConfig {
             ttl_ms: 0,
             max_inflight: 1024,
             slow_ms: 0,
+            max_subs_per_conn: 64,
         }
     }
 }
@@ -240,21 +245,93 @@ impl Engine {
     /// field; `list` entries each carry their database's shard.
     pub fn handle_line(&self, line: &str) -> Json {
         match parse_request(line) {
-            Ok((_, req)) => {
-                let (shard, resp) = self.handle_routed(req);
-                let mut json = resp.to_json();
-                if let EngineResponse::List(_) = &resp {
-                    self.front.tag_list_shards(&mut json);
-                } else if let Some(k) = shard {
-                    json.set("shard", Json::from(u64::from(k)));
-                }
-                json
-            }
+            Ok((_, req)) => self.render(req),
             Err(e) => {
                 self.front.begin_request();
                 EngineResponse::Error(e).to_json()
             }
         }
+    }
+
+    /// [`handle_line`](Engine::handle_line) on a duplex session:
+    /// `subscribe`/`unsubscribe` are served against `session` (the
+    /// connection's push channel), every other op behaves exactly as on
+    /// a plain session.
+    pub fn handle_open_line(&self, line: &str, session: &crate::subscribe::PushSession) -> Json {
+        let req = match parse_request(line) {
+            Ok((_, req)) => req,
+            Err(e) => {
+                self.front.begin_request();
+                return EngineResponse::Error(e).to_json();
+            }
+        };
+        match req {
+            EngineRequest::Subscribe {
+                db,
+                query,
+                generator,
+                eps,
+                delta,
+                seed,
+                plan,
+                window,
+            } => {
+                self.front.begin_request();
+                let k = self.front.shard_of(&db);
+                // Prepared handles live on shard 0: rewrite to text
+                // before routing, exactly like `answer`.
+                let query = match self.rewrite_prepared(k, query) {
+                    Ok(query) => query,
+                    Err(e) => return self.tag_shard(EngineResponse::Error(e), k),
+                };
+                let resp = match self.shards[k].subscribe(
+                    session, &db, &query, &generator, eps, delta, seed, plan, window,
+                ) {
+                    Ok(sub) => EngineResponse::Subscribed { db, sub },
+                    Err(e) => EngineResponse::Error(e),
+                };
+                self.tag_shard(resp, k)
+            }
+            EngineRequest::Unsubscribe { db, sub } => {
+                self.front.begin_request();
+                let k = self.front.shard_of(&db);
+                let resp = match self.shards[k].unsubscribe(session, &db, sub) {
+                    Ok(()) => EngineResponse::Unsubscribed { db, sub },
+                    Err(e) => EngineResponse::Error(e),
+                };
+                self.tag_shard(resp, k)
+            }
+            other => self.render(other),
+        }
+    }
+
+    /// Renders a parsed request: route, handle, tag the serving shard.
+    fn render(&self, req: EngineRequest) -> Json {
+        let (shard, resp) = self.handle_routed(req);
+        let mut json = resp.to_json();
+        if let EngineResponse::List(_) = &resp {
+            self.front.tag_list_shards(&mut json);
+        } else if let Some(k) = shard {
+            json.set("shard", Json::from(u64::from(k)));
+        }
+        json
+    }
+
+    /// Rewrites a shard-0 prepared handle to its query text when the
+    /// request is bound for another shard.
+    fn rewrite_prepared(&self, k: usize, query: QueryRef) -> Result<QueryRef, EngineError> {
+        match query {
+            QueryRef::Prepared(id) if k != 0 => self.shards[0]
+                .prepared_get(&id)
+                .map(|p| QueryRef::Text(p.text.clone())),
+            other => Ok(other),
+        }
+    }
+
+    fn tag_shard(&self, resp: EngineResponse, k: usize) -> Json {
+        let mut json = resp.to_json();
+        json.set("shard", Json::from(k as u64));
+        json
     }
 
     fn dispatch(&self, req: EngineRequest) -> (Option<u32>, Result<EngineResponse, EngineError>) {
@@ -349,16 +426,9 @@ impl Engine {
                 // Prepared handles live on shard 0: rewrite to the query
                 // text before routing elsewhere, so any shard can serve
                 // any handle.
-                let query = if k != 0 {
-                    match query {
-                        QueryRef::Prepared(id) => match self.shards[0].prepared_get(&id) {
-                            Ok(p) => QueryRef::Text(p.text.clone()),
-                            Err(e) => return (Some(k as u32), Err(e)),
-                        },
-                        text => text,
-                    }
-                } else {
-                    query
+                let query = match self.rewrite_prepared(k, query) {
+                    Ok(query) => query,
+                    Err(e) => return (Some(k as u32), Err(e)),
                 };
                 (
                     Some(k as u32),
@@ -389,6 +459,20 @@ impl Engine {
                     per_shard: self.shards.iter().map(|s| s.metrics_snapshot()).collect(),
                 })),
             ),
+            // Subscriptions need a duplex session to push frames into;
+            // on a plain request path (stdio, direct `handle` calls)
+            // there is nowhere to deliver them.
+            EngineRequest::Subscribe { db, .. } | EngineRequest::Unsubscribe { db, .. } => {
+                let k = self.front.shard_of(&db);
+                (
+                    Some(k as u32),
+                    Err(EngineError::BadRequest(
+                        "subscribe needs a streaming session: connect over TCP and keep the \
+                         connection open for pushed frames"
+                            .into(),
+                    )),
+                )
+            }
         }
     }
 
@@ -408,6 +492,10 @@ impl Engine {
 impl LineService for Engine {
     fn serve_line(&self, line: &str) -> String {
         self.handle_line(line).to_string()
+    }
+
+    fn serve_open_line(&self, line: &str, session: &crate::subscribe::PushSession) -> String {
+        self.handle_open_line(line, session).to_string()
     }
 }
 

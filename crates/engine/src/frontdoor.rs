@@ -38,6 +38,19 @@
 //! lookup the in-process front door performs, so handle lifetime
 //! (including the registry's capacity eviction) behaves identically in
 //! both deployments.
+//!
+//! # Routed subscriptions
+//!
+//! A `subscribe` through the router opens a **dedicated** upstream
+//! session (never the request pool — pushed frames arrive on it
+//! asynchronously) and a relay thread forwards every pushed line to the
+//! client *verbatim*: estimate frames carry no deployment-specific
+//! fields, so routed subscribers see bytes identical to in-process
+//! ones. The per-connection subscription ceiling is enforced at the
+//! router (each routed subscription is alone on its upstream session,
+//! so the upstream's own limit never trips), and a dead upstream turns
+//! into a structured `"event":"closed"` frame with reason `"upstream"`
+//! rather than a silent hang.
 
 use crate::catalog::DatabaseInfo;
 use crate::error::EngineError;
@@ -46,11 +59,13 @@ use crate::obs::{MetricsSnapshot, SlowLog};
 use crate::planner::PlanKind;
 use crate::proto::{EngineRequest, EngineResponse, EngineStatsPayload, MetricsPayload, QueryRef};
 use crate::router::Router;
-use crate::server::LineService;
+use crate::server::{Frame, LineService};
 use crate::shard::ShardStats;
-use crate::upstream::Upstream;
-use parking_lot::RwLock;
+use crate::subscribe::{self, PushOutcome, PushSession};
+use crate::upstream::{StreamSession, Upstream};
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
+use std::net::{Shutdown, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -82,7 +97,9 @@ pub fn route_of(req: &EngineRequest) -> RouteTarget<'_> {
         EngineRequest::Insert { db, .. }
         | EngineRequest::Delete { db, .. }
         | EngineRequest::Answer { db, .. }
-        | EngineRequest::Explain { db, .. } => RouteTarget::Database(db),
+        | EngineRequest::Explain { db, .. }
+        | EngineRequest::Subscribe { db, .. }
+        | EngineRequest::Unsubscribe { db, .. } => RouteTarget::Database(db),
         EngineRequest::Prepare { .. } | EngineRequest::PreparedGet { .. } => RouteTarget::Authority,
         EngineRequest::List | EngineRequest::Stats | EngineRequest::Metrics => RouteTarget::FanOut,
     }
@@ -205,6 +222,7 @@ impl FrontDoor {
             databases: 0,
             prepared: 0,
             shards: self.shards(),
+            subscriptions: 0,
             cache: Default::default(),
             uptime_ms: self.uptime_ms(),
             build: env!("CARGO_PKG_VERSION").to_string(),
@@ -216,6 +234,7 @@ impl FrontDoor {
             out.workers += s.workers;
             out.databases += s.databases;
             out.prepared += s.prepared;
+            out.subscriptions += s.subscriptions as u64;
             out.cache.merge(&s.cache);
         }
         out
@@ -238,12 +257,24 @@ impl FrontDoor {
     }
 }
 
+/// A routed subscription's identity: (client session id, db, sub id).
+type SubKey = (u64, String, u64);
+
 /// The `ocqa route` engine: a standalone front door proxying the NDJSON
 /// protocol to remote shard servers. See the module docs.
 pub struct RouteProxy {
     front: FrontDoor,
     upstreams: Vec<Upstream>,
     slow: SlowLog,
+    /// Per-connection subscription ceiling (`--max-subs-per-conn`),
+    /// enforced at the router before an upstream is dialed.
+    max_subs: usize,
+    /// Live routed subscriptions: each entry holds the shutdown handle
+    /// of its dedicated upstream session. Removal is the "still live"
+    /// token — whichever path removes the entry (unsubscribe, client
+    /// disconnect, upstream close) owns the teardown, so the relay never
+    /// synthesizes a terminal frame for an already-ended subscription.
+    subs: Arc<Mutex<HashMap<SubKey, TcpStream>>>,
 }
 
 /// Outcome of resolving a prepared handle against upstream 0.
@@ -264,13 +295,18 @@ impl RouteProxy {
     /// Fails if any upstream is unreachable or one database name is
     /// served by two upstreams.
     pub fn connect(addrs: Vec<String>) -> Result<Arc<RouteProxy>, EngineError> {
-        RouteProxy::connect_with(addrs, 0)
+        RouteProxy::connect_with(addrs, 0, 64)
     }
 
     /// [`connect`](RouteProxy::connect) with a `--slow-ms` trace
-    /// threshold: proxied requests at or above `slow_ms` milliseconds
-    /// emit one transport-level trace event on stderr (`0` disables).
-    pub fn connect_with(addrs: Vec<String>, slow_ms: u64) -> Result<Arc<RouteProxy>, EngineError> {
+    /// threshold (proxied requests at or above `slow_ms` milliseconds
+    /// emit one transport-level trace event on stderr; `0` disables)
+    /// and a `--max-subs-per-conn` subscription ceiling.
+    pub fn connect_with(
+        addrs: Vec<String>,
+        slow_ms: u64,
+        max_subs: usize,
+    ) -> Result<Arc<RouteProxy>, EngineError> {
         if addrs.is_empty() {
             return Err(EngineError::BadRequest(
                 "route needs at least one upstream".into(),
@@ -292,6 +328,8 @@ impl RouteProxy {
             front,
             upstreams,
             slow: SlowLog::new(slow_ms),
+            max_subs,
+            subs: Arc::new(Mutex::new(HashMap::new())),
         }))
     }
 
@@ -531,11 +569,231 @@ impl RouteProxy {
     fn upstream_health(&self) -> Json {
         Json::Arr(self.upstreams.iter().map(Upstream::health_json).collect())
     }
+
+    /// [`handle_line`](RouteProxy::handle_line) on a duplex session:
+    /// `subscribe` opens a dedicated upstream session and relays its
+    /// pushed frames to the client verbatim, `unsubscribe` tears the
+    /// relay down, every other op behaves exactly as on a plain session.
+    pub fn handle_open_line(&self, line: &str, session: &PushSession) -> String {
+        let (raw, req) = match parse_request(line) {
+            Ok(parsed) => parsed,
+            Err(e) => {
+                self.front.begin_request();
+                return error_line(None, e);
+            }
+        };
+        match req {
+            EngineRequest::Subscribe { db, query, .. } => {
+                self.front.begin_request();
+                self.proxy_subscribe(raw, &db, &query, session)
+            }
+            EngineRequest::Unsubscribe { db, sub } => {
+                self.front.begin_request();
+                self.proxy_unsubscribe(&db, sub, session)
+            }
+            _ => self.handle_line(line),
+        }
+    }
+
+    /// Opens one routed subscription: dial a dedicated session to the
+    /// owning upstream, forward the `subscribe` line (prepared handles
+    /// rewritten to text first), hand the session to a relay thread, and
+    /// return the upstream's response with its `shard` tag rewritten to
+    /// the global index.
+    fn proxy_subscribe(
+        &self,
+        mut raw: Json,
+        db: &str,
+        query: &QueryRef,
+        session: &PushSession,
+    ) -> String {
+        let k = self.front.shard_of(db);
+        // The router enforces the per-connection ceiling itself: each
+        // routed subscription is alone on its dedicated upstream
+        // session, so the upstream's own limit would never trip.
+        if !session.try_add_sub(self.max_subs) {
+            return error_line(
+                Some(k as u32),
+                subscribe::subscribe_limit_error(self.max_subs),
+            );
+        }
+        let fail = |e: EngineError| {
+            session.remove_sub();
+            error_line(Some(k as u32), e)
+        };
+        let addr = self.upstreams[k].addr();
+        // Prepared handles live on upstream 0: rewrite to the query text
+        // before routing elsewhere, exactly like `answer`.
+        if let QueryRef::Prepared(id) = query {
+            if k != 0 {
+                match self.resolve_prepared(id) {
+                    Resolved::Text(text) => {
+                        raw.remove("prepared");
+                        raw.set("query", Json::from(text));
+                    }
+                    Resolved::Refused(mut resp) => {
+                        session.remove_sub();
+                        resp.set("shard", Json::from(k as u64));
+                        return resp.to_string();
+                    }
+                    Resolved::Transport(e) => return fail(e),
+                }
+            }
+        }
+        let mut stream = match self.upstreams[k].dial_stream() {
+            Ok(stream) => stream,
+            Err(e) => return fail(e),
+        };
+        let resp = match stream.send(&raw.to_string()).and_then(|()| stream.read()) {
+            Ok(Frame::Line(resp)) => resp,
+            Ok(_) => {
+                return fail(EngineError::Unavailable(format!(
+                    "{addr}: subscribe: no usable response line"
+                )))
+            }
+            Err(e) => return fail(EngineError::Unavailable(format!("{addr}: subscribe: {e}"))),
+        };
+        let mut resp = match crate::json::parse(&resp) {
+            Ok(resp) => resp,
+            Err(e) => {
+                return fail(EngineError::Unavailable(format!(
+                    "{addr}: malformed response: {e}"
+                )))
+            }
+        };
+        if !is_ok(&resp) {
+            // The upstream refused (unknown db, bad ε, …): relay its
+            // structured rejection, shard-tagged like every routed error.
+            session.remove_sub();
+            resp.set("shard", Json::from(k as u64));
+            return resp.to_string();
+        }
+        let Some(sub) = resp.get("sub").and_then(Json::as_u64) else {
+            return fail(EngineError::Unavailable(format!(
+                "{addr}: subscribe response carries no sub id"
+            )));
+        };
+        let Ok(shutdown) = stream.shutdown_handle() else {
+            return fail(EngineError::Unavailable(format!(
+                "{addr}: subscribe: lost the session socket"
+            )));
+        };
+        let key: SubKey = (session.id(), db.to_string(), sub);
+        self.subs.lock().insert(key.clone(), shutdown);
+        {
+            // Client disconnect: shut the dedicated session down, which
+            // unblocks the relay; the removed map entry tells it not to
+            // synthesize a terminal frame.
+            let subs = self.subs.clone();
+            let key = key.clone();
+            session.on_close(move || {
+                if let Some(conn) = subs.lock().remove(&key) {
+                    let _ = conn.shutdown(Shutdown::Both);
+                }
+            });
+        }
+        if spawn_relay(stream, self.subs.clone(), key.clone(), session.clone()).is_err() {
+            if self.subs.lock().remove(&key).is_some() {
+                session.remove_sub();
+            }
+            return error_line(
+                Some(k as u32),
+                EngineError::Unavailable("no thread available for the subscription relay".into()),
+            );
+        }
+        resp.set("shard", Json::from(k as u64));
+        resp.to_string()
+    }
+
+    /// Ends one routed subscription: tear its relay down locally and
+    /// synthesize the same `Unsubscribed` response an in-process shard
+    /// renders. Closing the dedicated session is what unsubscribes
+    /// upstream — its server reaps the subscription with the connection.
+    fn proxy_unsubscribe(&self, db: &str, sub: u64, session: &PushSession) -> String {
+        let k = self.front.shard_of(db);
+        match self
+            .subs
+            .lock()
+            .remove(&(session.id(), db.to_string(), sub))
+        {
+            Some(conn) => {
+                let _ = conn.shutdown(Shutdown::Both);
+                session.remove_sub();
+                let mut json = EngineResponse::Unsubscribed {
+                    db: db.to_string(),
+                    sub,
+                }
+                .to_json();
+                json.set("shard", Json::from(k as u64));
+                json.to_string()
+            }
+            None => error_line(Some(k as u32), subscribe::unknown_subscription(db, sub)),
+        }
+    }
+}
+
+/// Relays one routed subscription's pushed frames from its dedicated
+/// upstream session to the client **verbatim**. An upstream
+/// `"event":"closed"` frame ends the subscription (relayed, then
+/// deregistered); a dead upstream synthesizes one with reason
+/// `"upstream"` — unless the subscription was already torn down locally
+/// (unsubscribe, client disconnect), in which case the client hears
+/// nothing further.
+fn spawn_relay(
+    mut stream: StreamSession,
+    subs: Arc<Mutex<HashMap<SubKey, TcpStream>>>,
+    key: SubKey,
+    session: PushSession,
+) -> std::io::Result<()> {
+    let run = move || loop {
+        match stream.read() {
+            Ok(Frame::Line(frame)) => {
+                let ended = crate::json::parse(&frame)
+                    .ok()
+                    .map(|v| v.get("event").and_then(Json::as_str) == Some("closed"))
+                    .unwrap_or(false);
+                if ended {
+                    // Deregister *before* delivering the terminal frame:
+                    // a subscriber reacting to it with `unsubscribe`
+                    // must get the canonical unknown-subscription error,
+                    // exactly like an in-process session whose shard
+                    // already removed the registration.
+                    if subs.lock().remove(&key).is_some() {
+                        session.remove_sub();
+                    }
+                    session.push(frame);
+                    return;
+                }
+                if session.push(frame) == PushOutcome::Closed {
+                    return; // client gone; on_close owns the teardown
+                }
+            }
+            Ok(Frame::Eof | Frame::TooLong | Frame::NotUtf8) | Err(_) => {
+                // The upstream died (or spoke garbage). If the
+                // subscription is still live locally, tell the client —
+                // a killed upstream must end as a structured close, not
+                // a silent hang.
+                if subs.lock().remove(&key).is_some() {
+                    session.remove_sub();
+                    session.push(subscribe::closed_frame(&key.1, key.2, "upstream"));
+                }
+                return;
+            }
+        }
+    };
+    std::thread::Builder::new()
+        .name("ocqa-relay".into())
+        .spawn(run)
+        .map(|_| ())
 }
 
 impl LineService for RouteProxy {
     fn serve_line(&self, line: &str) -> String {
         self.handle_line(line)
+    }
+
+    fn serve_open_line(&self, line: &str, session: &PushSession) -> String {
+        self.handle_open_line(line, session)
     }
 }
 
@@ -597,6 +855,7 @@ fn parse_stats(v: &Json) -> Result<(String, ShardStats), String> {
         databases: num("databases")? as usize,
         prepared: num("prepared")? as usize,
         workers: num("workers")? as usize,
+        subscriptions: num("subscriptions")? as usize,
         cache: crate::cache::CacheStats {
             hits: num("cache_hits")?,
             misses: num("cache_misses")?,

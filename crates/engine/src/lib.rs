@@ -49,7 +49,13 @@
 //!   per-stage latency histograms reported by the `metrics` protocol op
 //!   (and merged bucket-wise through `ocqa route`), `--slow-ms`
 //!   structured trace events on stderr, and the `--metrics-addr`
-//!   Prometheus exposition listener.
+//!   Prometheus exposition listener;
+//! * [`subscribe`] — streaming CQA: session-scoped continuous queries
+//!   registered by the `subscribe` protocol op; each update diffs the
+//!   maintained violation set and pushes `"event":"estimate"` NDJSON
+//!   frames only to subscribers whose conflict components the delta
+//!   touched, through bounded per-session queues with slow-consumer
+//!   shedding, relayed byte-identically by `ocqa route`.
 //!
 //! ```
 //! use ocqa_engine::{Engine, EngineConfig};
@@ -90,6 +96,7 @@ pub mod server;
 pub mod shard;
 pub mod singleflight;
 pub mod storage;
+pub mod subscribe;
 pub mod upstream;
 
 pub use cache::{AnswerCache, CacheKey, CacheStats};
@@ -119,4 +126,5 @@ pub use storage::{
     FeedbackImage, HotKey, InstallImage, MemoryBackend, PlanFeedback, RecoveredState,
     RestoredDatabase, StorageBackend, UpdateDelta,
 };
+pub use subscribe::{PushOutcome, PushSession, Subscription, SubscriptionRegistry};
 pub use upstream::Upstream;

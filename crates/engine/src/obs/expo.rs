@@ -62,7 +62,14 @@ fn render_stats(out: &mut String, stats: &Json) {
         let _ = writeln!(out, "# TYPE ocqa_build_info gauge");
         let _ = writeln!(out, "ocqa_build_info{{version={build:?}}} 1");
     }
-    let gauges = ["uptime_ms", "workers", "databases", "prepared", "shards"];
+    let gauges = [
+        "uptime_ms",
+        "workers",
+        "databases",
+        "prepared",
+        "shards",
+        "subscriptions",
+    ];
     for key in gauges {
         if let Some(v) = stats.get(key).and_then(Json::as_u64) {
             let _ = writeln!(out, "# TYPE ocqa_{key} gauge");
@@ -118,6 +125,9 @@ fn render_metrics(out: &mut String, metrics: &Json) {
     let _ = writeln!(out, "# TYPE ocqa_op_latency_us histogram");
     let _ = writeln!(out, "# TYPE ocqa_plan_latency_us histogram");
     let _ = writeln!(out, "# TYPE ocqa_stage_latency_us histogram");
+    let _ = writeln!(out, "# TYPE ocqa_push_latency_us histogram");
+    let _ = writeln!(out, "# TYPE ocqa_subs_shed_total counter");
+    let _ = writeln!(out, "# TYPE ocqa_shard_subscriptions gauge");
     for entry in shards {
         let shard = entry.get("shard").and_then(Json::as_u64).unwrap_or(0);
         let Ok(snap) = MetricsSnapshot::from_json(entry) else {
@@ -140,6 +150,24 @@ fn render_metrics(out: &mut String, metrics: &Json) {
                 h,
             );
         }
+        render_hist(
+            out,
+            "ocqa_push_latency_us",
+            "kind",
+            "estimate",
+            shard,
+            &snap.push,
+        );
+        let _ = writeln!(
+            out,
+            "ocqa_subs_shed_total{{shard=\"{shard}\"}} {}",
+            snap.shed
+        );
+        let _ = writeln!(
+            out,
+            "ocqa_shard_subscriptions{{shard=\"{shard}\"}} {}",
+            snap.subscriptions
+        );
     }
 }
 
@@ -283,6 +311,20 @@ mod tests {
         // Cumulative bucket lines end at +Inf with the total count.
         assert!(
             text.contains("ocqa_op_latency_us_bucket{le=\"+Inf\",op=\"answer\",shard=\"0\"} 2"),
+            "{text}"
+        );
+        // Streaming series are present even with no subscribers.
+        assert!(text.contains("ocqa_subscriptions 0"), "{text}");
+        assert!(
+            text.contains("ocqa_push_latency_us_count{kind=\"estimate\",shard=\"0\"} 0"),
+            "{text}"
+        );
+        assert!(
+            text.contains("ocqa_subs_shed_total{shard=\"0\"} 0"),
+            "{text}"
+        );
+        assert!(
+            text.contains("ocqa_shard_subscriptions{shard=\"0\"} 0"),
             "{text}"
         );
     }

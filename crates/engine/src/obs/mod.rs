@@ -37,6 +37,7 @@ pub use trace::SlowLog;
 
 use crate::json::Json;
 use crate::planner::PlanKind;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 /// Protocol operations a shard serves (front-door-only ops like `ping`,
@@ -139,6 +140,11 @@ pub struct ShardMetrics {
     ops: [Histogram; Op::ALL.len()],
     plans: [Histogram; PLANS.len()],
     stages: [Histogram; Stage::ALL.len()],
+    /// Streaming push path: update commit → estimate frame enqueued
+    /// (includes the re-estimate's sampling or cache hit).
+    push: Histogram,
+    /// Estimate frames shed from slow consumers' bounded session queues.
+    shed: AtomicU64,
 }
 
 impl ShardMetrics {
@@ -162,12 +168,29 @@ impl ShardMetrics {
         self.stages[stage as usize].record(elapsed);
     }
 
-    /// A point-in-time snapshot of every histogram.
+    /// Records one subscriber push's latency (update commit → frame
+    /// enqueued).
+    pub fn record_push(&self, elapsed: Duration) {
+        self.push.record(elapsed);
+    }
+
+    /// Counts one estimate frame shed from a slow consumer's queue.
+    pub fn record_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time snapshot of every histogram. The `subscriptions`
+    /// gauge is zero here — the shard stamps its live registry size in
+    /// after snapshotting (the registry belongs to the shard, not the
+    /// metrics recorder).
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
             ops: std::array::from_fn(|i| self.ops[i].snapshot()),
             plans: std::array::from_fn(|i| self.plans[i].snapshot()),
             stages: std::array::from_fn(|i| self.stages[i].snapshot()),
+            push: self.push.snapshot(),
+            shed: self.shed.load(Ordering::Relaxed),
+            subscriptions: 0,
         }
     }
 }
@@ -182,6 +205,13 @@ pub struct MetricsSnapshot {
     pub plans: [HistSnapshot; PLANS.len()],
     /// Per-stage hot-path latency, indexed like [`Stage::ALL`].
     pub stages: [HistSnapshot; Stage::ALL.len()],
+    /// Streaming push latency (update commit → estimate frame enqueued).
+    pub push: HistSnapshot,
+    /// Estimate frames shed from slow consumers' session queues.
+    pub shed: u64,
+    /// Live subscriptions on the shard at snapshot time. Merging sums,
+    /// so a router's `total` counts each shard's gauge exactly once.
+    pub subscriptions: u64,
 }
 
 impl MetricsSnapshot {
@@ -196,6 +226,9 @@ impl MetricsSnapshot {
         for (a, b) in self.stages.iter_mut().zip(&other.stages) {
             a.merge(b);
         }
+        self.push.merge(&other.push);
+        self.shed += other.shed;
+        self.subscriptions += other.subscriptions;
     }
 
     /// Renders the snapshot's three histogram families. Every op, plan
@@ -218,7 +251,10 @@ impl MetricsSnapshot {
         Json::obj([
             ("ops", family(&op_labels, &self.ops)),
             ("plans", family(&plan_labels, &self.plans)),
+            ("push", self.push.to_json()),
+            ("shed", Json::from(self.shed)),
             ("stages", family(&stage_labels, &self.stages)),
+            ("subscriptions", Json::from(self.subscriptions)),
         ])
     }
 
@@ -242,10 +278,22 @@ impl MetricsSnapshot {
             }
             Ok(out)
         }
+        let counter = |key: &str| -> Result<u64, String> {
+            v.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("metrics missing {key:?}"))
+        };
         Ok(MetricsSnapshot {
             ops: parse_family(v, "ops", Op::ALL.map(|o| o.as_str()))?,
             plans: parse_family(v, "plans", PLANS.map(|p| p.as_str()))?,
             stages: parse_family(v, "stages", Stage::ALL.map(|s| s.as_str()))?,
+            push: HistSnapshot::from_json(
+                v.get("push")
+                    .ok_or_else(|| "metrics missing \"push\"".to_string())?,
+            )
+            .map_err(|e| format!("push: {e}"))?,
+            shed: counter("shed")?,
+            subscriptions: counter("subscriptions")?,
         })
     }
 }
@@ -261,8 +309,12 @@ mod tests {
             m.record_op(Op::ALL[(k as usize) % Op::ALL.len()], d);
             m.record_plan(PLANS[(k as usize) % PLANS.len()], d);
             m.record_stage(Stage::ALL[(k as usize) % Stage::ALL.len()], d);
+            m.record_push(d);
         }
-        m.snapshot()
+        m.record_shed();
+        let mut snap = m.snapshot();
+        snap.subscriptions = seed % 3;
+        snap
     }
 
     #[test]
@@ -309,6 +361,9 @@ mod tests {
             "\"install\"",
             "\"key-repair\"",
             "\"wal_append\"",
+            "\"push\"",
+            "\"shed\"",
+            "\"subscriptions\"",
         ] {
             assert!(empty.contains(label), "{label} missing from {empty}");
         }
@@ -317,6 +372,10 @@ mod tests {
         if let Some(ops) = v.get_mut("ops") {
             ops.remove("answer");
         }
+        assert!(MetricsSnapshot::from_json(&v).is_err());
+        // Same for the streaming keys.
+        let mut v = crate::json::parse(&rendered).unwrap();
+        v.remove("shed");
         assert!(MetricsSnapshot::from_json(&v).is_err());
     }
 }

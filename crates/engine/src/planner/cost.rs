@@ -184,9 +184,14 @@ pub const GATE_DENIAL_FRAGMENT: &str = "denial-fragment";
 /// * monolithic walks a `(violations+1)`-step chain cloning the whole
 ///   database per step: `(V+1)·|D|`;
 /// * localized walks each component in its own Σ-sized space
-///   (`Σ V·s²/|conflict|` ≈ per-component chains) plus the overlay
-///   compose over the conflict region, all times a 9/8 bookkeeping
-///   factor — which is what tips a single giant component back to
+///   (`Σ V·s²/|conflict|` ≈ per-component chains) plus a **straggler
+///   term** from the component-size distribution's tail
+///   (`V·max·p95/|conflict|`, halved): per-component walks finish when
+///   the *largest* components do, and the sum-of-squares mass alone
+///   cannot tell a flat distribution from one giant among many small —
+///   plus the overlay compose over the conflict region, all times a 9/8
+///   bookkeeping factor. The tail term is what tips a skewed
+///   distribution (and a fortiori a single giant component) back to
 ///   monolithic even when a clean region keeps the static guard away;
 /// * key-repair draws one outcome per violating group: `V+1`.
 fn analytic_steps(stats: &DbStats) -> [u64; 3] {
@@ -195,7 +200,10 @@ fn analytic_steps(stats: &DbStats) -> [u64; 3] {
     let monolithic = v.saturating_add(1).saturating_mul(stats.facts.max(1));
     let conflict = stats.conflict_facts.max(1);
     let per_component = v.saturating_mul(stats.sum_sq_component) / conflict;
+    let straggler =
+        v.saturating_mul(stats.largest_component.saturating_mul(stats.p95_component)) / conflict;
     let localized = per_component
+        .saturating_add(straggler / 2)
         .saturating_add(stats.conflict_facts)
         .saturating_add(2)
         .saturating_mul(9)
@@ -530,6 +538,35 @@ mod tests {
             PlanKind::Monolithic,
             "cost model flips to monolithic"
         );
+    }
+
+    #[test]
+    fn skewed_component_distribution_shifts_localized_vs_monolithic() {
+        // Two fabricated stats with identical totals and identical
+        // quadratic mass — only the distribution tail (largest / p95)
+        // differs — to isolate the straggler term: the heavy tail must
+        // price localized above monolithic, the flat one below.
+        let flat = DbStats {
+            facts: 18,
+            conflict_facts: 16,
+            clean_facts: 2,
+            components: 2,
+            largest_component: 5,
+            sum_sq_component: 200,
+            p95_component: 5,
+            violations: 24,
+        };
+        let heavy = DbStats {
+            largest_component: 14,
+            p95_component: 14,
+            ..flat
+        };
+        let f = analytic_steps(&flat);
+        let h = analytic_steps(&heavy);
+        assert_eq!(f[2], h[2], "monolithic prior ignores the distribution");
+        assert!(h[1] > f[1], "heavier tail raises the localized prior");
+        assert!(f[1] < f[2], "flat distribution keeps localized cheaper");
+        assert!(h[1] > h[2], "heavy tail prices localized above monolithic");
     }
 
     #[test]

@@ -35,6 +35,14 @@ pub struct DbStats {
     /// `Σ size(c)²` over the components — the quadratic mass the
     /// localized plan's per-component walks scale with.
     pub sum_sq_component: u64,
+    /// Nearest-rank 95th percentile of the component-size distribution
+    /// (0 when there are no components). Together with
+    /// [`largest_component`](Self::largest_component) this exposes the
+    /// distribution's *tail* to the cost model: the localized plan's
+    /// wall-clock is gated by its straggler components, which a
+    /// sum-of-squares aggregate hides when one giant component sits
+    /// among many small ones.
+    pub p95_component: u64,
     /// Number of violations (violating homomorphisms) in `V(D, Σ)`.
     pub violations: u64,
 }
@@ -86,24 +94,33 @@ impl DbStats {
             }
         }
         let conflict_facts = index.len() as u64;
-        let mut components = 0u64;
+        let mut sizes: Vec<u64> = Vec::new();
         let mut largest = 0u64;
         let mut sum_sq = 0u64;
         for x in 0..parent.len() {
             if parent[x] == x {
-                components += 1;
                 largest = largest.max(size[x]);
                 sum_sq = sum_sq.saturating_add(size[x].saturating_mul(size[x]));
+                sizes.push(size[x]);
             }
         }
+        sizes.sort_unstable();
+        // Nearest-rank percentile: the ⌈0.95·n⌉-th smallest size.
+        let p95 = if sizes.is_empty() {
+            0
+        } else {
+            let rank = (sizes.len() * 95).div_ceil(100);
+            sizes[rank - 1]
+        };
         let facts = db.len() as u64;
         DbStats {
             facts,
             conflict_facts,
             clean_facts: facts.saturating_sub(conflict_facts),
-            components,
+            components: sizes.len() as u64,
             largest_component: largest,
             sum_sq_component: sum_sq,
+            p95_component: p95,
             violations: violations.len() as u64,
         }
     }
@@ -145,6 +162,7 @@ mod tests {
         assert_eq!(s.components, 2);
         assert_eq!(s.largest_component, 2);
         assert_eq!(s.sum_sq_component, 8);
+        assert_eq!(s.p95_component, 2);
         assert!(s.violations >= 2);
         assert!(s.localize_worthwhile());
     }
@@ -178,6 +196,7 @@ mod tests {
         assert_eq!(s.conflict_facts, 0);
         assert_eq!(s.clean_facts, 2);
         assert_eq!(s.sum_sq_component, 0);
+        assert_eq!(s.p95_component, 0);
     }
 
     #[test]
@@ -191,7 +210,37 @@ mod tests {
         assert_eq!(s.components, 2);
         assert_eq!(s.largest_component, 3);
         assert_eq!(s.sum_sq_component, 4 + 9);
+        assert_eq!(s.p95_component, 3);
         assert_eq!(s.clean_facts, 1);
+    }
+
+    #[test]
+    fn p95_tracks_the_distribution_tail_not_the_mean() {
+        // A single 6-fact straggler among 2-fact groups: whether p95
+        // sees it depends on how deep into the tail it sits.
+        let mut facts = String::new();
+        for k in 0..19 {
+            facts.push_str(&format!("R({k},1). R({k},2). "));
+        }
+        for v in 0..6 {
+            facts.push_str(&format!("R(99,{v}). "));
+        }
+        let s = stats(&facts, "R(x,y), R(x,z) -> y = z.");
+        assert_eq!(s.components, 20);
+        assert_eq!(s.largest_component, 6);
+        // ⌈0.95·20⌉ = 19 → the 19th smallest of [2×19, 6] is 2.
+        assert_eq!(s.p95_component, 2);
+        // With 10 groups the straggler *is* the p95: ⌈0.95·10⌉ = 10.
+        let mut facts = String::new();
+        for k in 0..9 {
+            facts.push_str(&format!("R({k},1). R({k},2). "));
+        }
+        for v in 0..6 {
+            facts.push_str(&format!("R(99,{v}). "));
+        }
+        let s = stats(&facts, "R(x,y), R(x,z) -> y = z.");
+        assert_eq!(s.components, 10);
+        assert_eq!(s.p95_component, 6);
     }
 
     #[test]

@@ -111,6 +111,100 @@ pub enum EngineRequest {
         /// Generator name (feasibility depends on its capabilities).
         generator: String,
     },
+    /// Register a continuous query on this session: the owning shard
+    /// pushes an `"event":"estimate"` frame whenever an update touches
+    /// the query's conflict components. Only meaningful on a streaming
+    /// (socket) session — subscriptions are session-scoped and dropped
+    /// on disconnect, never journaled.
+    Subscribe {
+        /// Catalog name.
+        db: String,
+        /// The query (inline or prepared).
+        query: QueryRef,
+        /// Generator name (`uniform`, `uniform-deletions`, `preference`).
+        generator: String,
+        /// Additive error bound ε for pushed re-estimates.
+        eps: f64,
+        /// Confidence parameter δ.
+        delta: f64,
+        /// Sampling seed.
+        seed: u64,
+        /// Explicit plan override (`None` = automatic planner routing).
+        plan: Option<PlanKind>,
+        /// Push every `window`-th touching update (1 = every touching
+        /// update) — a thinning window for append-heavy feeds.
+        window: u64,
+    },
+    /// Cancel a subscription registered on this session.
+    Unsubscribe {
+        /// Catalog name.
+        db: String,
+        /// The subscription id returned by `subscribe`.
+        sub: u64,
+    },
+}
+
+/// Parses the answer-shaped parameter block shared by `answer` and
+/// `subscribe`: query reference, generator, ε/δ, seed and plan pin.
+#[allow(clippy::type_complexity)]
+fn query_params(
+    v: &Json,
+    op: &str,
+) -> Result<(QueryRef, String, f64, f64, u64, Option<PlanKind>), EngineError> {
+    let opt_str = |key: &str| v.get(key).and_then(Json::as_str).map(str::to_string);
+    let query = match (opt_str("query"), opt_str("prepared")) {
+        (Some(text), None) => QueryRef::Text(text),
+        (None, Some(id)) => QueryRef::Prepared(id),
+        (Some(_), Some(_)) => {
+            return Err(EngineError::BadRequest(
+                "give either \"query\" or \"prepared\", not both".into(),
+            ))
+        }
+        (None, None) => {
+            return Err(EngineError::BadRequest(format!(
+                "{op} needs \"query\" text or a \"prepared\" handle"
+            )))
+        }
+    };
+    let num = |key: &str, default: f64| -> Result<f64, EngineError> {
+        match v.get(key) {
+            None => Ok(default),
+            Some(j) => j
+                .as_f64()
+                .ok_or_else(|| EngineError::BadRequest(format!("{key:?} must be a number"))),
+        }
+    };
+    let seed = match v.get("seed") {
+        None => 0,
+        Some(j) => j.as_u64().ok_or_else(|| {
+            EngineError::BadRequest("\"seed\" must be a non-negative integer".into())
+        })?,
+    };
+    let plan = match v.get("plan") {
+        None => None,
+        Some(j) => {
+            let name = j
+                .as_str()
+                .ok_or_else(|| EngineError::BadRequest("\"plan\" must be a string".into()))?;
+            match name {
+                "auto" => None,
+                _ => Some(PlanKind::parse(name).ok_or_else(|| {
+                    EngineError::BadRequest(format!(
+                        "unknown plan {name:?} (expected auto, monolithic, \
+                         localized or key-repair)"
+                    ))
+                })?),
+            }
+        }
+    };
+    Ok((
+        query,
+        opt_str("generator").unwrap_or_else(|| "uniform".into()),
+        num("eps", 0.1)?,
+        num("delta", 0.1)?,
+        seed,
+        plan,
+    ))
 }
 
 impl EngineRequest {
@@ -153,61 +247,50 @@ impl EngineRequest {
                 id: str_field("id")?,
             }),
             "answer" => {
-                let query = match (opt_str("query"), opt_str("prepared")) {
-                    (Some(text), None) => QueryRef::Text(text),
-                    (None, Some(id)) => QueryRef::Prepared(id),
-                    (Some(_), Some(_)) => {
-                        return Err(EngineError::BadRequest(
-                            "give either \"query\" or \"prepared\", not both".into(),
-                        ))
-                    }
-                    (None, None) => {
-                        return Err(EngineError::BadRequest(
-                            "answer needs \"query\" text or a \"prepared\" handle".into(),
-                        ))
-                    }
-                };
-                let num = |key: &str, default: f64| -> Result<f64, EngineError> {
-                    match v.get(key) {
-                        None => Ok(default),
-                        Some(j) => j.as_f64().ok_or_else(|| {
-                            EngineError::BadRequest(format!("{key:?} must be a number"))
-                        }),
-                    }
-                };
-                let seed = match v.get("seed") {
-                    None => 0,
-                    Some(j) => j.as_u64().ok_or_else(|| {
-                        EngineError::BadRequest("\"seed\" must be a non-negative integer".into())
-                    })?,
-                };
-                let plan = match v.get("plan") {
-                    None => None,
-                    Some(j) => {
-                        let name = j.as_str().ok_or_else(|| {
-                            EngineError::BadRequest("\"plan\" must be a string".into())
-                        })?;
-                        match name {
-                            "auto" => None,
-                            _ => Some(PlanKind::parse(name).ok_or_else(|| {
-                                EngineError::BadRequest(format!(
-                                    "unknown plan {name:?} (expected auto, monolithic, \
-                                     localized or key-repair)"
-                                ))
-                            })?),
-                        }
-                    }
-                };
+                let (query, generator, eps, delta, seed, plan) = query_params(v, op)?;
                 Ok(EngineRequest::Answer {
                     db: str_field("db")?,
                     query,
-                    generator: opt_str("generator").unwrap_or_else(|| "uniform".into()),
-                    eps: num("eps", 0.1)?,
-                    delta: num("delta", 0.1)?,
+                    generator,
+                    eps,
+                    delta,
                     seed,
                     plan,
                 })
             }
+            "subscribe" => {
+                let (query, generator, eps, delta, seed, plan) = query_params(v, op)?;
+                let window = match v.get("window") {
+                    None => 1,
+                    Some(j) => {
+                        let w = j.as_u64().ok_or_else(|| {
+                            EngineError::BadRequest("\"window\" must be a positive integer".into())
+                        })?;
+                        if w == 0 {
+                            return Err(EngineError::BadRequest(
+                                "\"window\" must be a positive integer".into(),
+                            ));
+                        }
+                        w
+                    }
+                };
+                Ok(EngineRequest::Subscribe {
+                    db: str_field("db")?,
+                    query,
+                    generator,
+                    eps,
+                    delta,
+                    seed,
+                    plan,
+                    window,
+                })
+            }
+            "unsubscribe" => Ok(EngineRequest::Unsubscribe {
+                db: str_field("db")?,
+                sub: v.get("sub").and_then(Json::as_u64).ok_or_else(|| {
+                    EngineError::BadRequest("unsubscribe needs a numeric \"sub\" id".into())
+                })?,
+            }),
             "list" => Ok(EngineRequest::List),
             "stats" => Ok(EngineRequest::Stats),
             "metrics" => Ok(EngineRequest::Metrics),
@@ -234,6 +317,8 @@ impl EngineRequest {
             EngineRequest::Stats => "stats",
             EngineRequest::Metrics => "metrics",
             EngineRequest::Explain { .. } => "explain",
+            EngineRequest::Subscribe { .. } => "subscribe",
+            EngineRequest::Unsubscribe { .. } => "unsubscribe",
         }
     }
 }
@@ -302,6 +387,10 @@ pub struct EngineStatsPayload {
     pub prepared: usize,
     /// Number of shards behind the front door.
     pub shards: usize,
+    /// Live subscriptions registered across all shards. Each shard
+    /// reports its own registry size; the multi-process router sums its
+    /// upstreams' values exactly once and adds nothing of its own.
+    pub subscriptions: u64,
     /// Answer-cache counters, summed across shards.
     pub cache: CacheStats,
     /// Milliseconds since this front door started serving.
@@ -378,6 +467,22 @@ pub enum EngineResponse {
     Metrics(MetricsPayload),
     /// `explain` reply.
     Explain(ExplainPayload),
+    /// `subscribe` reply.
+    Subscribed {
+        /// Catalog name.
+        db: String,
+        /// The subscription id, unique within the owning shard. Pushed
+        /// frames echo it so a session with several subscriptions can
+        /// attribute each estimate.
+        sub: u64,
+    },
+    /// `unsubscribe` reply.
+    Unsubscribed {
+        /// Catalog name.
+        db: String,
+        /// The cancelled subscription id.
+        sub: u64,
+    },
     /// Any failure.
     Error(EngineError),
 }
@@ -388,6 +493,26 @@ fn constant_json(c: &Constant) -> Json {
         Constant::Int(v) => Json::Int(*v),
         Constant::Sym(s) => Json::Str(s.as_str().to_string()),
     }
+}
+
+/// Renders answer rows as the wire-format `"answers"` array. Shared by
+/// the `answer` response and the pushed `"event":"estimate"` frames so
+/// both serialize tuples identically.
+pub(crate) fn answer_rows_json(rows: &[AnswerRow]) -> Json {
+    Json::Arr(
+        rows.iter()
+            .map(|row| {
+                Json::obj([
+                    (
+                        "tuple",
+                        Json::Arr(row.tuple.iter().map(constant_json).collect()),
+                    ),
+                    ("p", Json::Num(row.p)),
+                    ("p_cond", Json::Num(row.p_cond)),
+                ])
+            })
+            .collect(),
+    )
 }
 
 fn info_json(info: &DatabaseInfo) -> Json {
@@ -432,24 +557,7 @@ impl EngineResponse {
             ]),
             EngineResponse::Answer(a) => Json::obj([
                 ("ok", true.into()),
-                (
-                    "answers",
-                    Json::Arr(
-                        a.answers
-                            .iter()
-                            .map(|row| {
-                                Json::obj([
-                                    (
-                                        "tuple",
-                                        Json::Arr(row.tuple.iter().map(constant_json).collect()),
-                                    ),
-                                    ("p", Json::Num(row.p)),
-                                    ("p_cond", Json::Num(row.p_cond)),
-                                ])
-                            })
-                            .collect(),
-                    ),
-                ),
+                ("answers", answer_rows_json(&a.answers)),
                 ("walks", Json::from(a.walks)),
                 ("failed_walks", Json::from(a.failed_walks)),
                 ("cached", Json::from(a.cached)),
@@ -477,6 +585,7 @@ impl EngineResponse {
                 ("databases", Json::from(s.databases as u64)),
                 ("prepared", Json::from(s.prepared as u64)),
                 ("shards", Json::from(s.shards as u64)),
+                ("subscriptions", Json::from(s.subscriptions)),
                 ("cache_hits", Json::from(s.cache.hits)),
                 ("cache_misses", Json::from(s.cache.misses)),
                 ("cache_dominated_hits", Json::from(s.cache.dominated_hits)),
@@ -539,9 +648,21 @@ impl EngineResponse {
                         ("components", Json::from(x.stats.components)),
                         ("largest_component", Json::from(x.stats.largest_component)),
                         ("sum_sq_component", Json::from(x.stats.sum_sq_component)),
+                        ("p95_component", Json::from(x.stats.p95_component)),
                         ("violations", Json::from(x.stats.violations)),
                     ]),
                 ),
+            ]),
+            EngineResponse::Subscribed { db, sub } => Json::obj([
+                ("ok", true.into()),
+                ("db", Json::from(db.clone())),
+                ("sub", Json::from(*sub)),
+            ]),
+            EngineResponse::Unsubscribed { db, sub } => Json::obj([
+                ("ok", true.into()),
+                ("db", Json::from(db.clone())),
+                ("sub", Json::from(*sub)),
+                ("unsubscribed", true.into()),
             ]),
             EngineResponse::Error(e) => {
                 let mut o = Json::obj([("ok", false.into()), ("error", Json::from(e.to_string()))]);
@@ -638,6 +759,55 @@ mod tests {
                 generator: Some("trust".into()),
             }
         );
+    }
+
+    #[test]
+    fn parses_subscribe_with_defaults_and_window() {
+        let v = json::parse(r#"{"op":"subscribe","db":"d","query":"(x) <- R(x)"}"#).unwrap();
+        assert_eq!(
+            EngineRequest::from_json(&v).unwrap(),
+            EngineRequest::Subscribe {
+                db: "d".into(),
+                query: QueryRef::Text("(x) <- R(x)".into()),
+                generator: "uniform".into(),
+                eps: 0.1,
+                delta: 0.1,
+                seed: 0,
+                plan: None,
+                window: 1,
+            }
+        );
+        let v = json::parse(r#"{"op":"subscribe","db":"d","prepared":"q1","window":3}"#).unwrap();
+        let EngineRequest::Subscribe { query, window, .. } = EngineRequest::from_json(&v).unwrap()
+        else {
+            panic!("expected subscribe request");
+        };
+        assert_eq!(query, QueryRef::Prepared("q1".into()));
+        assert_eq!(window, 3);
+        // A zero window would suppress every push; reject it up front.
+        let v =
+            json::parse(r#"{"op":"subscribe","db":"d","query":"(x) <- R(x)","window":0}"#).unwrap();
+        assert!(matches!(
+            EngineRequest::from_json(&v),
+            Err(EngineError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn parses_unsubscribe_and_rejects_missing_sub() {
+        let v = json::parse(r#"{"op":"unsubscribe","db":"d","sub":2}"#).unwrap();
+        assert_eq!(
+            EngineRequest::from_json(&v).unwrap(),
+            EngineRequest::Unsubscribe {
+                db: "d".into(),
+                sub: 2
+            }
+        );
+        let v = json::parse(r#"{"op":"unsubscribe","db":"d"}"#).unwrap();
+        assert!(matches!(
+            EngineRequest::from_json(&v),
+            Err(EngineError::BadRequest(_))
+        ));
     }
 
     #[test]

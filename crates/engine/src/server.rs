@@ -6,9 +6,10 @@
 //! [`RouteProxy`](crate::RouteProxy), so the same session and accept
 //! loops serve both `ocqa serve` and `ocqa route`.
 
+use crate::subscribe::PushSession;
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// Longest request line a session accepts. Reading lines unbounded would
@@ -21,6 +22,16 @@ pub trait LineService: Send + Sync {
     /// Handles one non-empty request line (no trailing newline),
     /// returning the single-line response (no trailing newline).
     fn serve_line(&self, line: &str) -> String;
+
+    /// [`serve_line`](LineService::serve_line) on a *duplex* session —
+    /// one that can receive asynchronous pushed frames through
+    /// `session`, which is what makes `subscribe` servable. The default
+    /// ignores the session and serves statelessly, so transports that
+    /// cannot interleave pushes (stdio) and services without streaming
+    /// support keep their exact historical behavior.
+    fn serve_open_line(&self, line: &str, _session: &PushSession) -> String {
+        self.serve_line(line)
+    }
 }
 
 /// One framed read off an NDJSON stream: the shared line discipline of
@@ -204,13 +215,79 @@ fn accept_loop<S: LineService + 'static>(
     }
 }
 
-/// Serves a single TCP connection.
+/// Serves a single TCP connection as a **duplex** session: request
+/// lines are answered in order, and any subscription registered through
+/// the connection's [`PushSession`] delivers its pushed frames on the
+/// same stream, interleaved between (never inside) response lines. A
+/// dedicated notifier thread drains the session's bounded frame queue;
+/// when the client disconnects the session closes, which runs every
+/// shard-registered cleanup and drops its subscriptions.
 pub fn handle_connection<S: LineService + ?Sized>(
     service: &S,
     stream: TcpStream,
 ) -> io::Result<()> {
+    let session = PushSession::new();
     let reader = BufReader::new(stream.try_clone()?);
-    serve_session(service, reader, stream)
+    let writer = Arc::new(Mutex::new(stream));
+    let notifier = {
+        let writer = writer.clone();
+        let session = session.clone();
+        std::thread::Builder::new()
+            .name("ocqa-push".into())
+            .spawn(move || {
+                while let Some(frame) = session.pop_wait() {
+                    let mut out = writer.lock().unwrap();
+                    if writeln!(out, "{frame}").and_then(|()| out.flush()).is_err() {
+                        // The client is gone; the reader side will see
+                        // EOF and close too, but don't spin until then.
+                        session.close();
+                        return;
+                    }
+                }
+            })
+    };
+    let result = serve_duplex(service, reader, &writer, &session);
+    session.close();
+    if let Ok(handle) = notifier {
+        let _ = handle.join();
+    }
+    result
+}
+
+/// The request half of a duplex session: [`serve_session`]'s line
+/// discipline, writing through the mutex the notifier thread shares.
+fn serve_duplex<S: LineService + ?Sized>(
+    service: &S,
+    mut input: impl BufRead,
+    output: &Mutex<TcpStream>,
+    session: &PushSession,
+) -> io::Result<()> {
+    let send = |line: &str| -> io::Result<()> {
+        let mut out = output.lock().unwrap();
+        writeln!(out, "{line}")?;
+        out.flush()
+    };
+    loop {
+        let line = match read_frame(&mut input)? {
+            Frame::Eof => return Ok(()),
+            Frame::TooLong => {
+                send(&format!(
+                    r#"{{"ok":false,"error":"request line longer than {MAX_LINE_BYTES} bytes"}}"#
+                ))?;
+                return Ok(());
+            }
+            Frame::NotUtf8 => {
+                send(r#"{"ok":false,"error":"request line is not valid UTF-8"}"#)?;
+                continue;
+            }
+            Frame::Line(line) => line,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = service.serve_open_line(line.trim_end(), session);
+        send(&response)?;
+    }
 }
 
 #[cfg(test)]

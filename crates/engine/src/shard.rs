@@ -53,6 +53,7 @@ use crate::prepared::{PreparedQuery, PreparedRegistry};
 use crate::proto::{AnswerPayload, AnswerRow, ExplainPayload, QueryRef};
 use crate::singleflight::{Join, SingleFlight};
 use crate::storage::{FeedbackImage, HotKey, PlanFeedback, StorageBackend};
+use crate::subscribe::{self, PushOutcome, PushSession, Subscription, SubscriptionRegistry};
 use ocqa_core::sample::{sample_size, SampleTally};
 use parking_lot::{Mutex, RwLock};
 use std::cell::Cell;
@@ -82,6 +83,8 @@ pub struct ShardStats {
     pub prepared: usize,
     /// Worker threads in this shard's sampler pool.
     pub workers: usize,
+    /// Live subscriptions in this shard's registry.
+    pub subscriptions: usize,
     /// This shard's answer-cache counters.
     pub cache: CacheStats,
 }
@@ -121,6 +124,10 @@ pub struct ShardEngine {
     coalesced: AtomicU64,
     metrics: ShardMetrics,
     slow: SlowLog,
+    /// Live continuous queries (session-scoped, never journaled).
+    subs: SubscriptionRegistry,
+    /// Per-connection subscription ceiling (`--max-subs-per-conn`).
+    max_subs: usize,
 }
 
 /// Stage timings of one `answer`, carried to the success return for the
@@ -218,6 +225,8 @@ impl ShardEngine {
             coalesced: AtomicU64::new(0),
             metrics: ShardMetrics::new(),
             slow: SlowLog::new(config.slow_ms),
+            subs: SubscriptionRegistry::new(),
+            max_subs: config.max_subs_per_conn,
         }))
     }
 
@@ -283,6 +292,17 @@ impl ShardEngine {
         if self.has_warm.load(Ordering::Relaxed) {
             self.warm.lock().remove(name);
         }
+        // Continuous queries over the dropped database end here: each
+        // subscriber gets a terminal `"event":"closed"` frame (after the
+        // cache floor, so a post-frame `answer` can't see stale state).
+        for sub in self.subs.remove_db(name) {
+            // Slot release *before* the terminal frame: a subscriber
+            // reacting to it with a fresh `subscribe` never bounces off
+            // its own dying registration's limit slot.
+            sub.session.remove_sub();
+            sub.session
+                .push(subscribe::closed_frame(name, sub.id, "dropped"));
+        }
         self.observe_mutation(t0, Op::Drop, name, wal);
         Ok(())
     }
@@ -302,16 +322,16 @@ impl ShardEngine {
         let deletes = ocqa_logic::parser::parse_facts(delete)
             .map_err(|e| EngineError::Parse(e.to_string()))?;
         let wal = Cell::new(Duration::ZERO);
-        let outcome = self
-            .catalog
-            .write()
-            .update_parsed_with(db, &inserts, &deletes, |delta| {
-                let t = Instant::now();
-                let out = self.backend.journal_update(delta);
-                wal.set(t.elapsed());
-                self.metrics.record_stage(Stage::WalAppend, wal.get());
-                out
-            })?;
+        let (outcome, touched) =
+            self.catalog
+                .write()
+                .update_parsed_with(db, &inserts, &deletes, |delta| {
+                    let t = Instant::now();
+                    let out = self.backend.journal_update(delta);
+                    wal.set(t.elapsed());
+                    self.metrics.record_stage(Stage::WalAppend, wal.get());
+                    out
+                })?;
         // An effective update bumps the version; purge dead entries
         // eagerly and floor the database so an in-flight answer that
         // sampled the pre-update snapshot cannot re-insert one. No-op
@@ -319,6 +339,12 @@ impl ShardEngine {
         if outcome.inserted > 0 || outcome.removed > 0 {
             self.cache.lock().invalidate_db(db, outcome.version);
         }
+        // Ordering contract: subscriber pushes happen strictly *after*
+        // the cache floor above, so a subscriber reacting to a pushed
+        // frame with an immediate `answer` can never read a pre-update
+        // tally. Clean-region-only updates have an empty touched set and
+        // push (and resample) nothing.
+        self.notify_update(db, &touched);
         self.observe_mutation(t0, Op::Update, db, wal.get());
         Ok(outcome)
     }
@@ -630,9 +656,12 @@ impl ShardEngine {
     }
 
     /// A snapshot of this shard's latency-metrics registry (the
-    /// `metrics` protocol op's per-shard unit).
+    /// `metrics` protocol op's per-shard unit), stamped with the live
+    /// subscription gauge.
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
-        self.metrics.snapshot()
+        let mut snap = self.metrics.snapshot();
+        snap.subscriptions = self.subs.len() as u64;
+        snap
     }
 
     /// The per-plan latency snapshot in registry order — the cost
@@ -684,6 +713,148 @@ impl ShardEngine {
             candidates: candidates.to_vec(),
             stats,
         })
+    }
+
+    /// Registers a continuous query on a streaming session. Validation
+    /// mirrors [`answer`](Self::answer) — the database must exist, the
+    /// generator and ε/δ must be serveable — and the per-connection
+    /// subscription ceiling is enforced before anything registers. The
+    /// query is resolved to its source text at subscribe time, so later
+    /// prepared-registry churn cannot retarget a live subscription.
+    /// Returns the shard-unique subscription id.
+    #[allow(clippy::too_many_arguments)]
+    pub fn subscribe(
+        &self,
+        session: &PushSession,
+        db: &str,
+        query_ref: &QueryRef,
+        generator: &str,
+        eps: f64,
+        delta: f64,
+        seed: u64,
+        plan: Option<PlanKind>,
+        window: u64,
+    ) -> Result<u64, EngineError> {
+        if eps <= 0.0 || eps >= 1.0 || delta <= 0.0 || delta >= 1.0 {
+            return Err(EngineError::BadRequest(
+                "eps and delta must lie in (0,1)".into(),
+            ));
+        }
+        let walks = sample_size(eps, delta);
+        if walks > self.max_walks {
+            return Err(EngineError::BadRequest(format!(
+                "eps/delta require {walks} walks, above the engine limit of {}",
+                self.max_walks
+            )));
+        }
+        generator_by_name(generator)?;
+        let prepared = match query_ref {
+            QueryRef::Text(text) => {
+                let known = self.prepared.read().lookup_text(text);
+                match known {
+                    Some(p) => p,
+                    None => self.prepare(text)?,
+                }
+            }
+            QueryRef::Prepared(id) => self.prepared.read().get(id)?,
+        };
+        self.catalog.read().info(db)?;
+        if !session.try_add_sub(self.max_subs) {
+            return Err(subscribe::subscribe_limit_error(self.max_subs));
+        }
+        let id = self.subs.next_id();
+        self.subs.insert(Arc::new(Subscription {
+            id,
+            db: db.to_string(),
+            query_text: prepared.text.clone(),
+            relations: subscribe::query_relations(&prepared.query),
+            generator: generator.to_string(),
+            eps,
+            delta,
+            seed,
+            plan,
+            window,
+            pending: AtomicU64::new(0),
+            session: session.clone(),
+        }));
+        // Session teardown (disconnect, or the server loop closing the
+        // channel) reaps the registration; idempotent alongside an
+        // explicit unsubscribe or a database drop.
+        let shard = self.self_ref.clone();
+        session.on_close(move || {
+            if let Some(shard) = shard.upgrade() {
+                shard.subs.remove(id);
+            }
+        });
+        Ok(id)
+    }
+
+    /// Cancels a subscription. The id must name a live subscription on
+    /// `db` owned by `session` — ids are not guessable across sessions.
+    pub fn unsubscribe(
+        &self,
+        session: &PushSession,
+        db: &str,
+        sub: u64,
+    ) -> Result<(), EngineError> {
+        match self
+            .subs
+            .remove_if(sub, |s| s.db == db && s.session.id() == session.id())
+        {
+            Some(_) => {
+                session.remove_sub();
+                Ok(())
+            }
+            None => Err(subscribe::unknown_subscription(db, sub)),
+        }
+    }
+
+    /// Fans one effective update out to its affected subscribers: every
+    /// live subscription on `db` whose relation footprint intersects the
+    /// delta's touched components is re-estimated **at the new version**
+    /// (through the regular answer path, so identical subscriptions
+    /// coalesce on the cache) and pushed an `"event":"estimate"` frame.
+    /// An empty touched set — a clean-region-only update — returns
+    /// before sampling anything: repairs agree on the clean region, so
+    /// no subscriber's tally can have moved.
+    fn notify_update(&self, db: &str, touched: &[String]) {
+        if touched.is_empty() || self.subs.is_empty() {
+            return;
+        }
+        for sub in self.subs.affected(db, touched) {
+            if !sub.window_admits() {
+                continue;
+            }
+            if sub.session.is_closed() {
+                self.subs.remove(sub.id);
+                continue;
+            }
+            let t0 = Instant::now();
+            let payload = match self.answer(
+                db,
+                &QueryRef::Text(sub.query_text.clone()),
+                &sub.generator,
+                sub.eps,
+                sub.delta,
+                sub.seed,
+                sub.plan,
+            ) {
+                Ok(payload) => payload,
+                // Transient (e.g. the shard is at its sampling-admission
+                // ceiling): skip this push rather than wedge the update.
+                Err(_) => continue,
+            };
+            let frame = subscribe::estimate_frame(db, sub.id, &payload);
+            match sub.session.push(frame) {
+                PushOutcome::Delivered => {}
+                PushOutcome::Shed => self.metrics.record_shed(),
+                PushOutcome::Closed => {
+                    self.subs.remove(sub.id);
+                    continue;
+                }
+            }
+            self.metrics.record_push(t0.elapsed());
+        }
     }
 
     /// Journals the current feedback image — learned estimates plus the
@@ -818,6 +989,7 @@ impl ShardEngine {
             databases: self.catalog.read().len(),
             prepared: self.prepared.read().len(),
             workers: self.pool.workers(),
+            subscriptions: self.subs.len(),
             cache: self.cache.lock().stats(),
         }
     }
@@ -1062,6 +1234,107 @@ mod tests {
         let s = e.stats();
         assert_eq!(s.walks, 150, "the re-joined request ran its own walks");
         assert!(e.flights.is_empty());
+    }
+
+    #[test]
+    fn pushes_reestimates_only_for_touching_updates() {
+        let e = shard();
+        e.create("kv", "R(1,10). R(1,20). S(5).", "R(x,y), R(x,z) -> y = z.")
+            .unwrap();
+        let session = PushSession::new();
+        let q = QueryRef::Text("(x) <- exists y: R(x,y)".into());
+        let id = e
+            .subscribe(&session, "kv", &q, "uniform", 0.1, 0.1, 7, None, 1)
+            .unwrap();
+        assert_eq!(e.stats().subscriptions, 1);
+        // Clean-region append: no push, and — pinned via the walk
+        // counter — no resampling either.
+        let walks0 = e.stats().walks;
+        e.update("kv", "S(6).", "").unwrap();
+        assert_eq!(e.stats().walks, walks0, "clean update must not resample");
+        // Touching update: one estimate frame at the new version.
+        let out = e.update("kv", "R(1,30).", "").unwrap();
+        let frame = session.pop_wait().unwrap();
+        assert!(frame.contains(r#""event":"estimate""#), "{frame}");
+        assert!(
+            frame.contains(&format!(r#""db_version":{}"#, out.version)),
+            "{frame}"
+        );
+        assert!(frame.contains(&format!(r#""sub":{id}"#)), "{frame}");
+        // The push populated the cache at the new version: a subscriber
+        // reacting to the frame with an immediate equal `answer` hits
+        // the cache — never a stale tally.
+        let a = e.answer("kv", &q, "uniform", 0.1, 0.1, 7, None).unwrap();
+        assert!(a.cached);
+        assert_eq!(a.db_version, out.version);
+        // After unsubscribe, touching updates push nothing.
+        e.unsubscribe(&session, "kv", id).unwrap();
+        e.update("kv", "R(1,40).", "").unwrap();
+        session.close();
+        assert_eq!(session.pop_wait(), None, "no frame after unsubscribe");
+        assert_eq!(e.stats().subscriptions, 0);
+    }
+
+    #[test]
+    fn per_session_subscription_limit_is_enforced() {
+        let e = ShardEngine::with_backend(
+            EngineConfig {
+                workers: 1,
+                cache_capacity: 8,
+                max_subs_per_conn: 2,
+                ..EngineConfig::default()
+            },
+            Arc::new(MemoryBackend),
+            0,
+        )
+        .unwrap();
+        e.create("kv", "R(1,10). R(1,20).", "R(x,y), R(x,z) -> y = z.")
+            .unwrap();
+        let session = PushSession::new();
+        let q = QueryRef::Text("(x) <- exists y: R(x,y)".into());
+        e.subscribe(&session, "kv", &q, "uniform", 0.1, 0.1, 0, None, 1)
+            .unwrap();
+        e.subscribe(&session, "kv", &q, "uniform", 0.1, 0.1, 1, None, 1)
+            .unwrap();
+        let err = e
+            .subscribe(&session, "kv", &q, "uniform", 0.1, 0.1, 2, None, 1)
+            .unwrap_err();
+        assert!(matches!(err, EngineError::BadRequest(_)), "{err}");
+        assert!(err.to_string().contains("subscription limit"), "{err}");
+        // The rejection must not have leaked a slot.
+        assert_eq!(session.sub_count(), 2);
+        // Dropping the database pushes closed frames and frees slots.
+        e.drop_db("kv").unwrap();
+        assert_eq!(session.sub_count(), 0);
+        assert_eq!(e.stats().subscriptions, 0);
+        let frame = session.pop_wait().unwrap();
+        assert!(
+            frame.contains(r#""event":"closed""#) && frame.contains(r#""reason":"dropped""#),
+            "{frame}"
+        );
+    }
+
+    #[test]
+    fn session_close_reaps_subscriptions() {
+        let e = shard();
+        e.create("kv", "R(1,10). R(1,20).", "R(x,y), R(x,z) -> y = z.")
+            .unwrap();
+        let session = PushSession::new();
+        e.subscribe(
+            &session,
+            "kv",
+            &QueryRef::Text("(x) <- exists y: R(x,y)".into()),
+            "uniform",
+            0.1,
+            0.1,
+            0,
+            None,
+            1,
+        )
+        .unwrap();
+        assert_eq!(e.stats().subscriptions, 1);
+        session.close();
+        assert_eq!(e.stats().subscriptions, 0, "disconnect must reap");
     }
 
     #[test]

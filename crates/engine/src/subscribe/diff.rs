@@ -1,0 +1,158 @@
+//! Dirty-set diffing: which relations did an update's delta touch,
+//! measured against the conflict-component structure?
+//!
+//! The catalog already maintains `V(D, Σ)` incrementally; this module
+//! answers the follow-up question the push path needs: *given the
+//! violation sets before and after an update and the delta facts, which
+//! conflict components changed?* The component structure is the same
+//! union-find over violation body images that [`crate::planner::stats`]
+//! computes — built here over the **union** of the pre- and
+//! post-violation sets, so a delta that dissolves a component still
+//! reports it as touched.
+
+use ocqa_data::Fact;
+use ocqa_logic::{ConstraintSet, ViolationSet};
+use std::collections::{BTreeSet, HashMap};
+
+fn find(parent: &mut [usize], mut x: usize) -> usize {
+    while parent[x] != x {
+        parent[x] = parent[parent[x]]; // path halving
+        x = parent[x];
+    }
+    x
+}
+
+/// The sorted, deduplicated relation names of every fact belonging to a
+/// conflict component the delta touched. Empty means the update was
+/// clean-region-only: every delta fact lies outside `V(D, Σ)` both
+/// before and after, so no subscriber's tally can have moved and no
+/// push (or resampling) is warranted.
+pub fn touched_relations(
+    sigma: &ConstraintSet,
+    pre: &ViolationSet,
+    post: &ViolationSet,
+    added: &[Fact],
+    removed: &[Fact],
+) -> Vec<String> {
+    // Union-find over the facts of pre ∪ post violation body images:
+    // facts in one violation share a component; components chain through
+    // shared facts.
+    let mut index: HashMap<Fact, usize> = HashMap::new();
+    let mut parent: Vec<usize> = Vec::new();
+    for violation in pre.iter().chain(post.iter()) {
+        let mut prev: Option<usize> = None;
+        for fact in violation.body_image(sigma) {
+            let next = parent.len();
+            let id = *index.entry(fact).or_insert_with(|| {
+                parent.push(next);
+                next
+            });
+            let root = find(&mut parent, id);
+            if let Some(p) = prev {
+                let p_root = find(&mut parent, p);
+                if p_root != root {
+                    parent[root] = p_root;
+                    prev = Some(p_root);
+                    continue;
+                }
+            }
+            prev = Some(root);
+        }
+    }
+    // A delta fact touches the component it (ever) belonged to; a delta
+    // fact in no violation on either side touches nothing.
+    let mut touched_roots: BTreeSet<usize> = BTreeSet::new();
+    for fact in added.iter().chain(removed.iter()) {
+        if let Some(&id) = index.get(fact) {
+            touched_roots.insert(find(&mut parent, id));
+        }
+    }
+    if touched_roots.is_empty() {
+        return Vec::new();
+    }
+    let mut relations: BTreeSet<&str> = BTreeSet::new();
+    for (fact, &id) in &index {
+        if touched_roots.contains(&find(&mut parent, id)) {
+            relations.insert(fact.pred().as_str());
+        }
+    }
+    relations.into_iter().map(str::to_string).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocqa_data::Database;
+    use ocqa_logic::parser;
+
+    fn setup(facts: &str, constraints: &str) -> (Database, ConstraintSet, ViolationSet) {
+        let facts = parser::parse_facts(facts).unwrap();
+        let sigma = parser::parse_constraints(constraints).unwrap();
+        let schema = parser::infer_schema(&facts, &sigma).unwrap();
+        let db = Database::from_facts(schema, facts).unwrap();
+        let violations = ViolationSet::compute(&sigma, &db);
+        (db, sigma, violations)
+    }
+
+    #[test]
+    fn clean_region_delta_touches_nothing() {
+        let (mut db, sigma, pre) = setup("R(1,10). R(1,20). S(5).", "R(x,y), R(x,z) -> y = z.");
+        // Appending to the unconstrained relation S changes no violation.
+        let added = parser::parse_facts("S(6).").unwrap();
+        for f in &added {
+            db.insert(f).unwrap();
+        }
+        let post = ViolationSet::compute(&sigma, &db);
+        assert_eq!(pre.len(), post.len());
+        assert!(touched_relations(&sigma, &pre, &post, &added, &[]).is_empty());
+    }
+
+    #[test]
+    fn conflicting_insert_touches_its_component_relations() {
+        let (mut db, sigma, pre) = setup("R(1,10). S(5).", "R(x,y), R(x,z) -> y = z.");
+        assert!(pre.is_empty());
+        let added = parser::parse_facts("R(1,20).").unwrap();
+        for f in &added {
+            db.insert(f).unwrap();
+        }
+        let post = ViolationSet::compute(&sigma, &db);
+        assert_eq!(
+            touched_relations(&sigma, &pre, &post, &added, &[]),
+            vec!["R".to_string()]
+        );
+    }
+
+    #[test]
+    fn delete_that_dissolves_a_component_still_reports_it() {
+        let (mut db, sigma, pre) = setup("R(1,10). R(1,20).", "R(x,y), R(x,z) -> y = z.");
+        assert!(!pre.is_empty());
+        let removed = parser::parse_facts("R(1,20).").unwrap();
+        for f in &removed {
+            db.remove(f);
+        }
+        let post = ViolationSet::compute(&sigma, &db);
+        assert!(post.is_empty());
+        // The post set is empty; the pre-side component must still mark
+        // R as touched so subscribers learn the conflict resolved.
+        assert_eq!(
+            touched_relations(&sigma, &pre, &post, &[], &removed),
+            vec!["R".to_string()]
+        );
+    }
+
+    #[test]
+    fn touch_reports_every_relation_chained_into_the_component() {
+        // A two-relation DC chains P and Q facts into one component;
+        // touching it via a P fact must also report Q, because a query
+        // over Q alone still sees its tally move.
+        let (mut db, sigma, pre) = setup("P(a,b). Q(b,a).", "P(x,y), Q(y,x) -> false.");
+        assert!(!pre.is_empty());
+        let removed = parser::parse_facts("Q(b,a).").unwrap();
+        for f in &removed {
+            db.remove(f);
+        }
+        let post = ViolationSet::compute(&sigma, &db);
+        let touched = touched_relations(&sigma, &pre, &post, &[], &removed);
+        assert_eq!(touched, vec!["P".to_string(), "Q".to_string()]);
+    }
+}

@@ -1,0 +1,115 @@
+//! Continuous queries over fact streams.
+//!
+//! A `subscribe` request registers a query inside the owning
+//! [`crate::shard::ShardEngine`]. On every update the shard diffs the
+//! maintained violation set ([`touched_relations`]) and re-estimates the
+//! query **only when the delta touches a conflict component the query
+//! reads** — a clean-region-only update triggers neither a push nor a
+//! sampling run, mirroring the planner-stats insight that repairs agree
+//! on the clean region. Re-estimates arrive as asynchronous NDJSON
+//! frames on the subscriber's own connection:
+//!
+//! ```json
+//! {"answers":[…],"db":"prefs","db_version":3,"event":"estimate","failed_walks":0,"plan":"localized","sub":1,"walks":150}
+//! {"db":"prefs","event":"closed","reason":"dropped","sub":1}
+//! ```
+//!
+//! Frames deliberately omit per-deployment fields (`shard`, cache
+//! counters), so `ocqa route` relays upstream push lines **verbatim**
+//! and routed subscribers see bytes identical to in-process ones.
+//!
+//! Subscriptions are session-scoped: they die with the connection
+//! ([`PushSession::close`] runs shard-registered cleanup), are never
+//! journaled, and are bounded per session (`--max-subs-per-conn`).
+//! Delivery is best-effort through a bounded per-session queue — a slow
+//! consumer sheds its **oldest** queued frame (newest-estimate-wins),
+//! counted in shard metrics.
+
+mod diff;
+mod notify;
+mod registry;
+
+pub use diff::touched_relations;
+pub use notify::{PushOutcome, PushSession};
+pub use registry::{query_relations, Subscription, SubscriptionRegistry};
+
+use crate::json::Json;
+use crate::proto::{self, AnswerPayload};
+
+/// Renders one pushed re-estimate as an NDJSON line (no trailing
+/// newline). The frame carries the same estimate fields as an `answer`
+/// response minus deployment-specific ones, plus `"event"` and the
+/// subscription id.
+pub fn estimate_frame(db: &str, sub: u64, a: &AnswerPayload) -> String {
+    Json::obj([
+        ("answers", proto::answer_rows_json(&a.answers)),
+        ("db", Json::from(db.to_string())),
+        ("db_version", Json::from(a.db_version)),
+        ("event", Json::from("estimate")),
+        ("failed_walks", Json::from(a.failed_walks)),
+        ("plan", Json::from(a.plan.as_str().to_string())),
+        ("sub", Json::from(sub)),
+        ("walks", Json::from(a.walks)),
+    ])
+    .to_string()
+}
+
+/// The canonical over-limit `subscribe` rejection — shared by shards
+/// and the route proxy (which enforces the same ceiling before dialing
+/// an upstream), so both deployments render identical bytes.
+pub fn subscribe_limit_error(max: usize) -> crate::error::EngineError {
+    crate::error::EngineError::BadRequest(format!("session subscription limit of {max} reached"))
+}
+
+/// The canonical unknown-subscription `unsubscribe` rejection — shared
+/// by shards and the route proxy for byte-identical errors.
+pub fn unknown_subscription(db: &str, sub: u64) -> crate::error::EngineError {
+    crate::error::EngineError::BadRequest(format!(
+        "no subscription {sub} on database {db:?} in this session"
+    ))
+}
+
+/// Renders the terminal frame a subscriber receives when its
+/// subscription ends without an `unsubscribe`: `reason` is `"dropped"`
+/// (the database was dropped) or `"upstream"` (the routed upstream
+/// connection died).
+pub fn closed_frame(db: &str, sub: u64, reason: &str) -> String {
+    Json::obj([
+        ("db", Json::from(db.to_string())),
+        ("event", Json::from("closed")),
+        ("reason", Json::from(reason.to_string())),
+        ("sub", Json::from(sub)),
+    ])
+    .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::PlanKind;
+
+    #[test]
+    fn frames_render_deterministically_without_deployment_fields() {
+        let payload = AnswerPayload {
+            answers: vec![],
+            walks: 150,
+            failed_walks: 0,
+            cached: true,
+            coalesced: false,
+            db_version: 3,
+            plan: PlanKind::Localized,
+            cache: Default::default(),
+        };
+        let frame = estimate_frame("prefs", 1, &payload);
+        assert_eq!(
+            frame,
+            r#"{"answers":[],"db":"prefs","db_version":3,"event":"estimate","failed_walks":0,"plan":"localized","sub":1,"walks":150}"#
+        );
+        assert!(!frame.contains("shard"));
+        assert!(!frame.contains("cached"));
+        assert_eq!(
+            closed_frame("prefs", 2, "dropped"),
+            r#"{"db":"prefs","event":"closed","reason":"dropped","sub":2}"#
+        );
+    }
+}

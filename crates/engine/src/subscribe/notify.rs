@@ -1,0 +1,261 @@
+//! Per-session push channels: bounded queues, slow-consumer shedding,
+//! and close-time cleanup.
+//!
+//! A [`PushSession`] is created per streaming connection by the server
+//! loop and handed to every request the session issues. Shards push
+//! rendered frames into it; a dedicated writer thread drains it onto the
+//! socket. The queue is bounded ([`QUEUE_CAP`]): when a consumer falls
+//! behind, the **oldest** frame is shed — for estimate streams the
+//! newest tally supersedes older ones, so newest-wins is the loss mode
+//! that keeps a late reader most current.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Frames a session will buffer before shedding.
+pub const QUEUE_CAP: usize = 256;
+
+/// What happened to one pushed frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushOutcome {
+    /// Queued for delivery.
+    Delivered,
+    /// Queued, but the oldest buffered frame was shed to make room
+    /// (slow consumer).
+    Shed,
+    /// The session is closed; the frame was discarded.
+    Closed,
+}
+
+struct SessionState {
+    frames: VecDeque<String>,
+    closed: bool,
+    /// Cleanup closures (shard-side subscription removal) run exactly
+    /// once, at close.
+    on_close: Vec<Box<dyn FnOnce() + Send>>,
+}
+
+struct SessionInner {
+    id: u64,
+    state: Mutex<SessionState>,
+    available: Condvar,
+    /// Live subscriptions attached to this session, across all shards
+    /// (and, under `ocqa route`, across all upstreams) — the value the
+    /// per-connection limit is enforced against.
+    subs: AtomicU64,
+}
+
+/// One streaming connection's push channel. Cloneable handle; all
+/// clones share the queue, the close flag and the subscription count.
+#[derive(Clone)]
+pub struct PushSession(Arc<SessionInner>);
+
+impl PushSession {
+    /// Creates a channel for a new connection.
+    pub fn new() -> PushSession {
+        static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+        PushSession(Arc::new(SessionInner {
+            id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+            state: Mutex::new(SessionState {
+                frames: VecDeque::new(),
+                closed: false,
+                on_close: Vec::new(),
+            }),
+            available: Condvar::new(),
+            subs: AtomicU64::new(0),
+        }))
+    }
+
+    /// A process-unique session id (used to key router-side state).
+    pub fn id(&self) -> u64 {
+        self.0.id
+    }
+
+    /// Enqueues one frame for delivery, shedding the oldest buffered
+    /// frame if the consumer is [`QUEUE_CAP`] behind.
+    pub fn push(&self, frame: String) -> PushOutcome {
+        let mut state = self.0.state.lock().unwrap();
+        if state.closed {
+            return PushOutcome::Closed;
+        }
+        let shed = if state.frames.len() >= QUEUE_CAP {
+            state.frames.pop_front();
+            true
+        } else {
+            false
+        };
+        state.frames.push_back(frame);
+        drop(state);
+        self.0.available.notify_one();
+        if shed {
+            PushOutcome::Shed
+        } else {
+            PushOutcome::Delivered
+        }
+    }
+
+    /// Blocks for the next frame; `None` means the session closed and
+    /// the queue drained — the writer thread's exit signal.
+    pub fn pop_wait(&self) -> Option<String> {
+        let mut state = self.0.state.lock().unwrap();
+        loop {
+            if let Some(frame) = state.frames.pop_front() {
+                return Some(frame);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.0.available.wait(state).unwrap();
+        }
+    }
+
+    /// Whether [`close`](Self::close) ran.
+    pub fn is_closed(&self) -> bool {
+        self.0.state.lock().unwrap().closed
+    }
+
+    /// Closes the session: wakes the writer, and runs every registered
+    /// cleanup closure exactly once. Idempotent.
+    pub fn close(&self) {
+        let cleanups = {
+            let mut state = self.0.state.lock().unwrap();
+            if state.closed {
+                return;
+            }
+            state.closed = true;
+            std::mem::take(&mut state.on_close)
+        };
+        self.0.available.notify_all();
+        for f in cleanups {
+            f();
+        }
+    }
+
+    /// Registers cleanup to run at close (immediately if already
+    /// closed). Shards use this to drop a disconnected session's
+    /// subscriptions.
+    pub fn on_close(&self, f: impl FnOnce() + Send + 'static) {
+        {
+            let mut state = self.0.state.lock().unwrap();
+            if !state.closed {
+                state.on_close.push(Box::new(f));
+                return;
+            }
+        }
+        f();
+    }
+
+    /// Claims one subscription slot; `false` when the session already
+    /// holds `max` subscriptions.
+    pub fn try_add_sub(&self, max: usize) -> bool {
+        let mut current = self.0.subs.load(Ordering::Relaxed);
+        loop {
+            if current >= max as u64 {
+                return false;
+            }
+            match self.0.subs.compare_exchange(
+                current,
+                current + 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// Releases one subscription slot.
+    pub fn remove_sub(&self) {
+        let _ = self
+            .0
+            .subs
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1));
+    }
+
+    /// Live subscriptions attached to this session.
+    pub fn sub_count(&self) -> u64 {
+        self.0.subs.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for PushSession {
+    fn default() -> Self {
+        PushSession::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_delivers_in_order_until_close() {
+        let s = PushSession::new();
+        assert_eq!(s.push("a".into()), PushOutcome::Delivered);
+        assert_eq!(s.push("b".into()), PushOutcome::Delivered);
+        assert_eq!(s.pop_wait().as_deref(), Some("a"));
+        assert_eq!(s.pop_wait().as_deref(), Some("b"));
+        s.close();
+        assert_eq!(s.pop_wait(), None);
+        assert_eq!(s.push("c".into()), PushOutcome::Closed);
+    }
+
+    #[test]
+    fn overflow_sheds_the_oldest_frame() {
+        let s = PushSession::new();
+        for i in 0..QUEUE_CAP {
+            assert_eq!(s.push(format!("{i}")), PushOutcome::Delivered);
+        }
+        assert_eq!(s.push("newest".into()), PushOutcome::Shed);
+        // Frame 0 was shed; frame 1 is now the head.
+        assert_eq!(s.pop_wait().as_deref(), Some("1"));
+    }
+
+    #[test]
+    fn close_runs_cleanups_exactly_once_and_late_registration_fires() {
+        let s = PushSession::new();
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = hits.clone();
+        s.on_close(move || {
+            h.fetch_add(1, Ordering::Relaxed);
+        });
+        s.close();
+        s.close();
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+        let h = hits.clone();
+        s.on_close(move || {
+            h.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn subscription_slots_are_bounded() {
+        let s = PushSession::new();
+        assert!(s.try_add_sub(2));
+        assert!(s.try_add_sub(2));
+        assert!(!s.try_add_sub(2));
+        s.remove_sub();
+        assert!(s.try_add_sub(2));
+        assert_eq!(s.sub_count(), 2);
+        // Underflow is clamped.
+        s.remove_sub();
+        s.remove_sub();
+        s.remove_sub();
+        assert_eq!(s.sub_count(), 0);
+    }
+
+    #[test]
+    fn pop_wait_blocks_until_a_push_arrives() {
+        let s = PushSession::new();
+        let t = {
+            let s = s.clone();
+            std::thread::spawn(move || s.pop_wait())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        s.push("late".into());
+        assert_eq!(t.join().unwrap().as_deref(), Some("late"));
+    }
+}

@@ -234,6 +234,57 @@ impl Upstream {
         *self.last_error.lock() = Some(detail.clone());
         EngineError::Unavailable(format!("{}: {detail}", self.addr))
     }
+
+    /// Dials a **dedicated** session for a routed subscription. The
+    /// caller owns the connection for the subscription's lifetime —
+    /// pushed frames arrive on it asynchronously, so it can never serve
+    /// pooled request/response exchanges and is never returned to the
+    /// pool.
+    pub fn dial_stream(&self) -> Result<StreamSession, EngineError> {
+        let t = Instant::now();
+        match Conn::dial(&self.addr) {
+            Ok(conn) => {
+                self.dial.record(t.elapsed());
+                Ok(StreamSession {
+                    reader: conn.reader,
+                    stream: conn.writer,
+                })
+            }
+            Err(e) => Err(self.down(format!("connect: {e}"))),
+        }
+    }
+}
+
+/// A dedicated NDJSON session to an upstream — the transport of one
+/// routed subscription (see [`Upstream::dial_stream`]). The route proxy
+/// sends the `subscribe` line, reads the response, then hands the
+/// session to a relay thread that forwards every further line (the
+/// upstream's pushed frames) to the client **verbatim**.
+pub struct StreamSession {
+    reader: BufReader<TcpStream>,
+    stream: TcpStream,
+}
+
+impl StreamSession {
+    /// Sends one request line.
+    pub fn send(&mut self, line: &str) -> std::io::Result<()> {
+        self.stream.write_all(line.as_bytes())?;
+        self.stream.write_all(b"\n")?;
+        self.stream.flush()
+    }
+
+    /// Reads one line (a response or a pushed frame) under the upstream
+    /// response bound.
+    pub fn read(&mut self) -> std::io::Result<Frame> {
+        read_frame_limit(&mut self.reader, MAX_RESPONSE_BYTES)
+    }
+
+    /// A clone of the underlying socket, so another thread (an
+    /// `unsubscribe`, a disconnecting client) can shut the session down
+    /// and unblock the relay's read.
+    pub fn shutdown_handle(&self) -> std::io::Result<TcpStream> {
+        self.stream.try_clone()
+    }
 }
 
 #[cfg(test)]

@@ -12,7 +12,7 @@
 
 use ocqa_engine::obs::{Op, Stage, PLANS};
 use ocqa_engine::{
-    json, serve_listener, Engine, EngineConfig, MetricsSnapshot, PlanKind, RouteProxy,
+    json, serve_listener, Engine, EngineConfig, MetricsSnapshot, PlanKind, PushSession, RouteProxy,
 };
 
 /// Starts `n` single-shard engines behind TCP listeners, as
@@ -233,6 +233,86 @@ fn metrics_counts_reflect_the_workload() {
     // same invariant the router relies on when it aggregates upstreams.
     let rendered_total = MetricsSnapshot::from_json(v.get("total").unwrap()).unwrap();
     assert_eq!(rendered_total, total, "total is the per-shard merge");
+}
+
+#[test]
+fn subscription_gauges_sum_exactly_once_through_the_router() {
+    let addrs = spawn_upstreams(2, 1, 8);
+    let proxy = RouteProxy::connect_with(addrs, 0, 64).expect("connect router");
+    let reference = Engine::new(EngineConfig {
+        workers: 2,
+        cache_capacity: 16,
+        shards: 2,
+        ..EngineConfig::default()
+    });
+    let setup = [
+        r#"{"op":"create_db","name":"prefs","facts":"R(1,10). R(1,20).","constraints":"R(x,y), R(x,z) -> y = z."}"#,
+        r#"{"op":"create_db","name":"orders","facts":"R(2,30). R(2,40).","constraints":"R(x,y), R(x,z) -> y = z."}"#,
+    ];
+    for line in setup {
+        assert_eq!(
+            proxy.handle_line(line),
+            reference.handle_line(line).to_string()
+        );
+    }
+    let subscribes = [
+        r#"{"op":"subscribe","db":"prefs","query":"(x) <- exists y: R(x,y)","eps":0.1,"delta":0.1,"seed":7}"#,
+        r#"{"op":"subscribe","db":"prefs","query":"(y) <- exists x: R(x,y)","eps":0.1,"delta":0.1,"seed":7}"#,
+        r#"{"op":"subscribe","db":"orders","query":"(x) <- exists y: R(x,y)","eps":0.1,"delta":0.1,"seed":7}"#,
+    ];
+    let routed_session = PushSession::new();
+    let direct_session = PushSession::new();
+    for line in subscribes {
+        assert_eq!(
+            proxy.handle_open_line(line, &routed_session),
+            reference
+                .handle_open_line(line, &direct_session)
+                .to_string()
+        );
+    }
+
+    // The gauge is per-shard; the router's merge must count each
+    // shard's registry exactly once — three live subscriptions total,
+    // however the databases landed.
+    let check = |line: &str| {
+        let shards = parse_metrics(line);
+        let per_shard: u64 = shards.iter().map(|s| s.subscriptions).sum();
+        assert_eq!(per_shard, 3, "{line}");
+        let v = json::parse(line).unwrap();
+        let total = MetricsSnapshot::from_json(v.get("total").unwrap()).unwrap();
+        assert_eq!(total.subscriptions, 3, "double-counted: {line}");
+    };
+    check(&proxy.handle_line(r#"{"op":"metrics"}"#));
+    check(&reference.handle_line(r#"{"op":"metrics"}"#).to_string());
+
+    // The `stats` gauge is the same sum, through both front doors.
+    for line in [
+        proxy.handle_line(r#"{"op":"stats"}"#),
+        reference.handle_line(r#"{"op":"stats"}"#).to_string(),
+    ] {
+        let v = json::parse(&line).unwrap();
+        assert_eq!(
+            v.get("subscriptions").and_then(|j| j.as_u64()),
+            Some(3),
+            "{line}"
+        );
+    }
+
+    // Unsubscribing moves the gauge down identically.
+    let unsub = r#"{"op":"unsubscribe","db":"prefs","sub":1}"#;
+    assert_eq!(
+        proxy.handle_open_line(unsub, &routed_session),
+        reference
+            .handle_open_line(unsub, &direct_session)
+            .to_string()
+    );
+    for line in [
+        proxy.handle_line(r#"{"op":"stats"}"#),
+        reference.handle_line(r#"{"op":"stats"}"#).to_string(),
+    ] {
+        let v = json::parse(&line).unwrap();
+        assert_eq!(v.get("subscriptions").and_then(|j| j.as_u64()), Some(2));
+    }
 }
 
 #[test]

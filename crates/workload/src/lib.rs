@@ -13,8 +13,10 @@ pub mod inclusion;
 pub mod integration;
 pub mod keyconflict;
 pub mod preference;
+pub mod stream;
 
 pub use inclusion::{InclusionSpec, InclusionWorkload};
 pub use integration::{IntegrationSpec, IntegrationWorkload};
 pub use keyconflict::{KeyConflictSpec, KeyConflictWorkload};
 pub use preference::{PreferenceSpec, PreferenceWorkload};
+pub use stream::{StreamSpec, StreamStep, StreamWorkload};

@@ -1,0 +1,237 @@
+//! Fact-stream workloads for the streaming (subscription) subsystem.
+//!
+//! A [`StreamWorkload`] is an initial database plus a seeded sequence of
+//! update steps over two relations: a keyed relation `R` (whose primary
+//! key can be violated, so updates there perturb the violation set) and
+//! an unconstrained relation `S` (whose updates are always clean-region
+//! only). Each step is rendered as fact-list *source text* so drivers
+//! can replay it straight through the NDJSON protocol's `update` op,
+//! and carries a `dirty` flag saying whether the step changes the
+//! violation set — the signal the subscription subsystem keys pushes
+//! on, so tests and benches know exactly which steps must produce a
+//! pushed re-estimate and which must be silent.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for a fact stream over a keyed relation `R(k, v)` and a
+/// clean relation `S(x, y)`.
+#[derive(Clone, Debug)]
+pub struct StreamSpec {
+    /// Number of distinct keys seeded into `R` (each with one clean
+    /// tuple) and rows seeded into `S`.
+    pub keys: usize,
+    /// Number of update steps to generate.
+    pub steps: usize,
+    /// Per-mille chance a step inserts a conflicting tuple into `R`.
+    pub conflict_permille: u32,
+    /// Per-mille chance a step deletes a previously inserted
+    /// conflicting tuple (falls back to a clean step when none exist).
+    pub churn_permille: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for StreamSpec {
+    fn default() -> Self {
+        StreamSpec {
+            keys: 32,
+            steps: 64,
+            conflict_permille: 400,
+            churn_permille: 200,
+            seed: 7,
+        }
+    }
+}
+
+/// One step of the stream: an insert/delete batch in fact-list source
+/// form, ready for the protocol's `update` op.
+#[derive(Clone, Debug)]
+pub struct StreamStep {
+    /// Facts to insert (fact-list source, possibly empty).
+    pub insert: String,
+    /// Facts to delete (fact-list source, possibly empty).
+    pub delete: String,
+    /// Whether the step changes the violation set of the key
+    /// constraint on `R`. Clean (`dirty == false`) steps only touch the
+    /// unconstrained relation `S`, so subscribers on `R` must see no
+    /// push — and no resampling — for them.
+    pub dirty: bool,
+}
+
+/// A generated fact-stream workload.
+pub struct StreamWorkload {
+    /// Initial database contents (fact-list source): one clean tuple
+    /// per key in `R` and one row per key in `S`.
+    pub facts: String,
+    /// The key constraint `R(x,y), R(x,z) → y = z` (constraint source).
+    pub constraints: String,
+    /// Projection query over the keyed relation (`which keys survive`);
+    /// its subscribers are touched by every dirty step.
+    pub query: String,
+    /// Projection query over the clean relation; its subscribers are
+    /// never touched.
+    pub clean_query: String,
+    /// The update steps, in replay order.
+    pub steps: Vec<StreamStep>,
+}
+
+impl StreamWorkload {
+    /// Generates the workload.
+    pub fn generate(spec: &StreamSpec) -> StreamWorkload {
+        assert!(spec.keys >= 1, "stream needs at least one key");
+        assert!(
+            spec.conflict_permille + spec.churn_permille <= 1000,
+            "conflict + churn per-mille must not exceed 1000"
+        );
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let mut facts = String::new();
+        for k in 0..spec.keys {
+            facts.push_str(&format!("R({k}, {}). ", k as i64 * 10));
+        }
+        for i in 0..spec.keys {
+            facts.push_str(&format!("S({i}, {i}). "));
+        }
+        // Conflicting tuples currently present (beyond the seed tuple
+        // for each key), so delete steps always remove a live fact.
+        let mut extras: Vec<(usize, i64)> = Vec::new();
+        // Fresh values start above every seeded value, so an insert
+        // always conflicts with the key's seed tuple and never
+        // duplicates an existing fact.
+        let mut next_val = spec.keys as i64 * 10 + 1;
+        let mut next_s = spec.keys;
+        let mut steps = Vec::with_capacity(spec.steps);
+        for _ in 0..spec.steps {
+            let roll = rng.random_range(0..1000u32);
+            if roll < spec.conflict_permille {
+                let key = rng.random_range(0..spec.keys);
+                extras.push((key, next_val));
+                steps.push(StreamStep {
+                    insert: format!("R({key}, {next_val})."),
+                    delete: String::new(),
+                    dirty: true,
+                });
+                next_val += 1;
+            } else if roll < spec.conflict_permille + spec.churn_permille && !extras.is_empty() {
+                let i = rng.random_range(0..extras.len());
+                let (key, val) = extras.swap_remove(i);
+                steps.push(StreamStep {
+                    insert: String::new(),
+                    delete: format!("R({key}, {val})."),
+                    dirty: true,
+                });
+            } else {
+                steps.push(StreamStep {
+                    insert: format!("S({next_s}, {next_s})."),
+                    delete: String::new(),
+                    dirty: false,
+                });
+                next_s += 1;
+            }
+        }
+        StreamWorkload {
+            facts,
+            constraints: "R(x,y), R(x,z) -> y = z.".into(),
+            query: "(x) <- exists y: R(x, y)".into(),
+            clean_query: "(x) <- exists y: S(x, y)".into(),
+            steps,
+        }
+    }
+
+    /// Number of dirty (violation-set-changing) steps.
+    pub fn dirty_steps(&self) -> usize {
+        self.steps.iter().filter(|s| s.dirty).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ocqa_data::{Database, Schema};
+    use ocqa_logic::{parser, ViolationSet};
+
+    fn replay(w: &StreamWorkload) -> Vec<(bool, usize)> {
+        let schema = Schema::from_relations(&[("R", 2), ("S", 2)]);
+        let mut db = Database::new(schema);
+        for f in parser::parse_facts(&w.facts).unwrap() {
+            db.insert(&f).unwrap();
+        }
+        let sigma = parser::parse_constraints(&w.constraints).unwrap();
+        let mut out = Vec::new();
+        for step in &w.steps {
+            for f in parser::parse_facts(&step.insert).unwrap() {
+                assert!(db.insert(&f).unwrap(), "insert must be a new fact");
+            }
+            for f in parser::parse_facts(&step.delete).unwrap() {
+                assert!(db.remove(&f), "delete must remove a live fact");
+            }
+            out.push((step.dirty, ViolationSet::compute(&sigma, &db).len()));
+        }
+        out
+    }
+
+    #[test]
+    fn dirty_flag_tracks_violation_set_changes() {
+        let w = StreamWorkload::generate(&StreamSpec::default());
+        let sigma = parser::parse_constraints(&w.constraints).unwrap();
+        let schema = Schema::from_relations(&[("R", 2), ("S", 2)]);
+        let mut db = Database::new(schema);
+        for f in parser::parse_facts(&w.facts).unwrap() {
+            db.insert(&f).unwrap();
+        }
+        let mut prev = ViolationSet::compute(&sigma, &db).len();
+        assert_eq!(prev, 0, "seed database is consistent");
+        for (step, (dirty, violations)) in w.steps.iter().zip(replay(&w)) {
+            assert_eq!(step.dirty, dirty);
+            assert_eq!(
+                dirty,
+                violations != prev,
+                "dirty flag must match the violation-set delta"
+            );
+            prev = violations;
+        }
+    }
+
+    #[test]
+    fn clean_steps_never_touch_the_keyed_relation() {
+        let w = StreamWorkload::generate(&StreamSpec::default());
+        for step in w.steps.iter().filter(|s| !s.dirty) {
+            assert!(step.insert.starts_with("S("));
+            assert!(step.delete.is_empty());
+        }
+        assert!(w.dirty_steps() > 0, "default spec produces dirty steps");
+        assert!(
+            w.dirty_steps() < w.steps.len(),
+            "default spec produces clean steps"
+        );
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let spec = StreamSpec::default();
+        let a = StreamWorkload::generate(&spec);
+        let b = StreamWorkload::generate(&spec);
+        assert_eq!(a.facts, b.facts);
+        assert_eq!(a.steps.len(), b.steps.len());
+        for (x, y) in a.steps.iter().zip(&b.steps) {
+            assert_eq!(
+                (&x.insert, &x.delete, x.dirty),
+                (&y.insert, &y.delete, y.dirty)
+            );
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = StreamWorkload::generate(&StreamSpec::default());
+        let b = StreamWorkload::generate(&StreamSpec {
+            seed: 8,
+            ..Default::default()
+        });
+        assert!(a
+            .steps
+            .iter()
+            .zip(&b.steps)
+            .any(|(x, y)| x.insert != y.insert || x.delete != y.delete));
+    }
+}

@@ -1,0 +1,127 @@
+#!/usr/bin/env bash
+# Streaming smoke test: subscribe a continuous query through `ocqa
+# route` and drive fact-stream updates at it, mirroring the two-relation
+# design of the `ocqa-workload` stream generator — a keyed relation R
+# (updates there perturb the violation set) and an unconstrained
+# relation S (updates there are clean-region-only). The subscriber must
+# receive a pushed `"event":"estimate"` frame for every R update and
+# **nothing** for S updates (touched-only pushes, pinned by the
+# db_version skip). Then SIGKILL the upstream: the subscriber must read
+# a structured `"event":"closed"` frame — not hang — and after a
+# restart over the same store and address a fresh subscription must
+# stream again.
+#
+# Usage: scripts/stream_smoke.sh [path-to-ocqa-binary]
+set -euo pipefail
+
+BIN="${1:-target/release/ocqa}"
+if [[ ! -x "$BIN" ]]; then
+    echo "error: ocqa release binary not found at '$BIN'" >&2
+    echo "build it first: cargo build --release -p ocqa-cli" >&2
+    exit 1
+fi
+
+WORK="$(mktemp -d)"
+PIDS=()
+cleanup() {
+    for PID in ${PIDS[@]+"${PIDS[@]}"}; do kill -9 "$PID" 2>/dev/null || true; done
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+wait_listen() {
+    local FILE="$1"
+    for _ in $(seq 1 100); do
+        if grep -q "listening on" "$FILE" 2>/dev/null; then
+            sed -n 's/.*listening on \([0-9.:]*\).*/\1/p' "$FILE" | head -1
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "FAIL: no listening banner in $FILE" >&2
+    return 1
+}
+
+# --- One upstream shard server over a durable store, router in front.
+"$BIN" serve --shards 1 --workers 2 --cache 512 --data-dir "$WORK/shard-0" \
+    --listen 127.0.0.1:0 2> "$WORK/up0.err" &
+UP_PID=$!
+disown "$UP_PID"
+PIDS+=("$UP_PID")
+UP_ADDR="$(wait_listen "$WORK/up0.err")"
+
+"$BIN" route --upstream "$UP_ADDR" --listen 127.0.0.1:0 2> "$WORK/route.err" &
+ROUTE_PID=$!
+disown "$ROUTE_PID"
+PIDS+=("$ROUTE_PID")
+ROUTE_ADDR="$(wait_listen "$WORK/route.err")"
+
+# Two sessions through the router: fd 3 drives updates, fd 4 subscribes
+# and reads pushed frames.
+exec 3<>"/dev/tcp/${ROUTE_ADDR%:*}/${ROUTE_ADDR##*:}"
+exec 4<>"/dev/tcp/${ROUTE_ADDR%:*}/${ROUTE_ADDR##*:}"
+
+req() { # req <fd> <line> — send one request, print the response line
+    printf '%s\n' "$2" >&"$1"
+    local RESP
+    IFS= read -r -t 30 -u "$1" RESP || { echo "FAIL: response timed out on fd $1" >&2; exit 1; }
+    printf '%s' "$RESP"
+}
+frame() { # frame <fd> — read one pushed frame
+    local FRAME
+    IFS= read -r -t 30 -u "$1" FRAME || { echo "FAIL: pushed frame timed out" >&2; exit 1; }
+    printf '%s' "$FRAME"
+}
+field() { sed -n "s/.*\"$2\":\([0-9]*\).*/\1/p" <<< "$1"; }
+
+RESP="$(req 3 '{"op":"create_db","name":"stream","facts":"R(1,10). R(1,20). S(1,1).","constraints":"R(x,y), R(x,z) -> y = z."}')"
+grep -q '"ok":true' <<< "$RESP" || { echo "FAIL: create_db: $RESP"; exit 1; }
+
+RESP="$(req 4 '{"op":"subscribe","db":"stream","query":"(x) <- exists y: R(x, y)","eps":0.1,"delta":0.1,"seed":7}')"
+grep -q '"ok":true' <<< "$RESP" || { echo "FAIL: subscribe: $RESP"; exit 1; }
+SUB="$(field "$RESP" sub)"
+
+# A keyed-relation update touches the subscriber's component: one frame.
+RESP="$(req 3 '{"op":"insert","db":"stream","facts":"R(1,30)."}')"
+grep -q '"ok":true' <<< "$RESP" || { echo "FAIL: dirty insert: $RESP"; exit 1; }
+FRAME="$(frame 4)"
+grep -q '"event":"estimate"' <<< "$FRAME" || { echo "FAIL: no estimate frame: $FRAME"; exit 1; }
+V1="$(field "$FRAME" db_version)"
+
+# A clean-region update (unconstrained S) pushes nothing; the next
+# keyed update's frame skips its version — the touched-only pin.
+req 3 '{"op":"insert","db":"stream","facts":"S(9,9)."}' > /dev/null
+RESP="$(req 3 '{"op":"insert","db":"stream","facts":"R(1,31)."}')"
+grep -q '"ok":true' <<< "$RESP" || { echo "FAIL: dirty insert: $RESP"; exit 1; }
+FRAME="$(frame 4)"
+V2="$(field "$FRAME" db_version)"
+if [[ "$V2" != "$((V1 + 2))" ]]; then
+    echo "FAIL: expected the clean update to push nothing (v$V1 then v$((V1 + 2))), got: $FRAME"
+    exit 1
+fi
+echo "OK: touched-only pushes (estimate at v$V1, silence for S, estimate at v$V2)"
+
+# ============== SIGKILL the upstream: structured close, no hang =======
+kill -9 "$UP_PID"
+wait "$UP_PID" 2>/dev/null || true
+FRAME="$(frame 4)"
+grep -q '"event":"closed"' <<< "$FRAME" || { echo "FAIL: no closed frame: $FRAME"; exit 1; }
+grep -q '"reason":"upstream"' <<< "$FRAME" || { echo "FAIL: wrong close reason: $FRAME"; exit 1; }
+[[ "$(field "$FRAME" sub)" == "$SUB" ]] || { echo "FAIL: closed frame for wrong sub: $FRAME"; exit 1; }
+echo "OK: upstream kill -9 delivered a structured closed frame: $FRAME"
+
+# Restart over the same store and address; a fresh subscription streams.
+"$BIN" serve --shards 1 --workers 2 --cache 512 --data-dir "$WORK/shard-0" \
+    --listen "$UP_ADDR" 2> "$WORK/up0.restart.err" &
+PID=$!
+disown "$PID"
+PIDS+=("$PID")
+wait_listen "$WORK/up0.restart.err" > /dev/null
+
+RESP="$(req 4 '{"op":"subscribe","db":"stream","query":"(x) <- exists y: R(x, y)","eps":0.1,"delta":0.1,"seed":7}')"
+grep -q '"ok":true' <<< "$RESP" || { echo "FAIL: re-subscribe after restart: $RESP"; exit 1; }
+RESP="$(req 3 '{"op":"insert","db":"stream","facts":"R(1,32)."}')"
+grep -q '"ok":true' <<< "$RESP" || { echo "FAIL: post-restart insert: $RESP"; exit 1; }
+FRAME="$(frame 4)"
+grep -q '"event":"estimate"' <<< "$FRAME" || { echo "FAIL: no post-restart frame: $FRAME"; exit 1; }
+echo "OK: router reconnected after restart; subscription streams again"
