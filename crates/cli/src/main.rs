@@ -7,11 +7,13 @@
 //!   ocqa answer   --facts FILE --constraints FILE --query TEXT
 //!                 [--generator NAME] [--exact | --eps E --delta D] [--seed N]
 //!   ocqa trace    --facts FILE --constraints FILE [--generator NAME] [--seed N]
-//!   ocqa serve    [--listen ADDR] [--workers N] [--cache N] [--planner cost|static|off]
-//!                 [--shards N] [--ttl-ms MS] [--max-inflight N] [--max-subs-per-conn N]
-//!                 [--data-dir PATH] [--slow-ms MS] [--metrics-addr ADDR]
+//!   ocqa serve    [--listen ADDR] [--workers N] [--conn-workers N] [--cache N]
+//!                 [--planner cost|static|off] [--shards N] [--ttl-ms MS]
+//!                 [--max-inflight N] [--max-subs-per-conn N] [--data-dir PATH]
+//!                 [--group-commit-us US] [--slow-ms MS] [--metrics-addr ADDR]
 //!   ocqa route    --upstream HOST:PORT [--upstream HOST:PORT ...] [--listen ADDR]
-//!                 [--slow-ms MS] [--max-subs-per-conn N] [--metrics-addr ADDR]
+//!                 [--conn-workers N] [--slow-ms MS] [--max-subs-per-conn N]
+//!                 [--metrics-addr ADDR]
 //!   ocqa snapshot --data-dir PATH [--db NAME]
 //!
 //! GENERATORS: uniform (default) | uniform-deletions | preference
@@ -125,9 +127,11 @@ const COMMANDS: &[CommandSpec] = &[
         options: &[
             "listen",
             "workers",
+            "conn-workers",
             "cache",
             "planner",
             "data-dir",
+            "group-commit-us",
             "shards",
             "ttl-ms",
             "max-inflight",
@@ -140,7 +144,13 @@ const COMMANDS: &[CommandSpec] = &[
     },
     CommandSpec {
         name: "route",
-        options: &["listen", "slow-ms", "max-subs-per-conn", "metrics-addr"],
+        options: &[
+            "listen",
+            "conn-workers",
+            "slow-ms",
+            "max-subs-per-conn",
+            "metrics-addr",
+        ],
         multi: &["upstream"],
         flags: &["help"],
     },
@@ -216,13 +226,13 @@ fn usage() -> String {
      check|repairs|answer|trace: --facts FILE --constraints FILE \
      [--query TEXT] [--generator uniform|uniform-deletions|preference] \
      [--exact | --eps E --delta D] [--seed N] [--max-states N]\n  \
-     serve: [--listen HOST:PORT] [--workers N] [--cache ENTRIES] \
-     [--planner cost|static|off] [--shards N] [--ttl-ms MS] [--max-inflight N] \
-     [--max-subs-per-conn N] [--data-dir PATH] [--slow-ms MS] \
-     [--metrics-addr HOST:PORT]\n  \
+     serve: [--listen HOST:PORT] [--workers N] [--conn-workers N] \
+     [--cache ENTRIES] [--planner cost|static|off] [--shards N] [--ttl-ms MS] \
+     [--max-inflight N] [--max-subs-per-conn N] [--data-dir PATH] \
+     [--group-commit-us US] [--slow-ms MS] [--metrics-addr HOST:PORT]\n  \
      route: --upstream HOST:PORT [--upstream HOST:PORT ...] \
-     [--listen HOST:PORT] [--slow-ms MS] [--max-subs-per-conn N] \
-     [--metrics-addr HOST:PORT]\n  \
+     [--listen HOST:PORT] [--conn-workers N] [--slow-ms MS] \
+     [--max-subs-per-conn N] [--metrics-addr HOST:PORT]\n  \
      snapshot: --data-dir PATH [--db NAME]"
         .to_string()
 }
@@ -342,11 +352,26 @@ fn serve_cmd(args: &Args) -> Result<(), String> {
     }
     config.slow_ms = slow_ms_option(args)?;
     config.max_subs_per_conn = max_subs_option(args)?;
+    let conn_workers = conn_workers_option(args)?;
+    let group_commit_us = match args.options.get("group-commit-us") {
+        // 0 (the default) keeps the one-fsync-per-append behavior.
+        Some(n) => n
+            .parse::<u64>()
+            .map_err(|_| "--group-commit-us expects a number")?,
+        None => 0,
+    };
+    if group_commit_us > 0 && !args.options.contains_key("data-dir") {
+        return Err("--group-commit-us needs --data-dir (nothing to fsync without a store)".into());
+    }
     let engine = match args.options.get("data-dir") {
         Some(dir) => {
             let mut backends: Vec<std::sync::Arc<dyn ocqa_engine::StorageBackend>> = Vec::new();
+            let store_opts = ocqa_store::StoreOptions {
+                group_commit_us,
+                ..ocqa_store::StoreOptions::default()
+            };
             for shard_dir in shard_dirs(std::path::Path::new(dir), config.shards)? {
-                let backend = ocqa_store::DiskBackend::open(&shard_dir)
+                let backend = ocqa_store::DiskBackend::with_options(&shard_dir, store_opts)
                     .map_err(|e| format!("{}: {e}", shard_dir.display()))?;
                 backends.push(std::sync::Arc::new(backend));
             }
@@ -373,7 +398,8 @@ fn serve_cmd(args: &Args) -> Result<(), String> {
                 listener.local_addr().map_err(|e| e.to_string())?,
                 config.workers
             );
-            ocqa_engine::serve_listener(engine, listener).map_err(|e| e.to_string())
+            ocqa_engine::serve_listener_with(engine, listener, conn_workers)
+                .map_err(|e| e.to_string())
         }
         None => {
             eprintln!(
@@ -424,12 +450,24 @@ fn route_cmd(args: &Args) -> Result<(), String> {
                 "ocqa route: listening on {}",
                 listener.local_addr().map_err(|e| e.to_string())?
             );
-            ocqa_engine::serve_listener(proxy, listener).map_err(|e| e.to_string())
+            ocqa_engine::serve_listener_with(proxy, listener, conn_workers_option(args)?)
+                .map_err(|e| e.to_string())
         }
         None => {
             eprintln!("ocqa route: reading newline-delimited JSON from stdin");
             ocqa_engine::serve_stdio(&*proxy).map_err(|e| e.to_string())
         }
+    }
+}
+
+/// Parses `--conn-workers` (0, the default, sizes the connection-worker
+/// pool automatically from the detected core count).
+fn conn_workers_option(args: &Args) -> Result<usize, String> {
+    match args.options.get("conn-workers") {
+        Some(n) => n
+            .parse::<usize>()
+            .map_err(|_| "--conn-workers expects a number".into()),
+        None => Ok(0),
     }
 }
 

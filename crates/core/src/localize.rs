@@ -265,6 +265,11 @@ pub fn localized_distribution(
 pub struct ComponentSampler {
     parent: Arc<RepairContext>,
     subs: Vec<Arc<RepairContext>>,
+    /// Each component's fact list, materialized once at build time: the
+    /// walk loop diffs every sampled repair against its component, and
+    /// re-collecting owned facts per walk dominated its allocation
+    /// profile.
+    sub_facts: Vec<Vec<Fact>>,
 }
 
 impl ComponentSampler {
@@ -276,7 +281,7 @@ impl ComponentSampler {
             return Err(LocalizeError::NotDenialFragment);
         }
         let parts = conflict_components(ctx);
-        let subs = parts
+        let subs: Vec<Arc<RepairContext>> = parts
             .components
             .iter()
             .map(|comp| {
@@ -285,9 +290,11 @@ impl ComponentSampler {
                 RepairContext::new(sub_db, ctx.sigma().clone())
             })
             .collect();
+        let sub_facts = subs.iter().map(|sub| sub.d0().facts().collect()).collect();
         Ok(ComponentSampler {
             parent: ctx.clone(),
             subs,
+            sub_facts,
         })
     }
 
@@ -318,14 +325,21 @@ impl ComponentSampler {
             walks,
             ..SampleTally::default()
         };
+        // Reused across walks: the composed deletion set and the
+        // prebuilt per-component fact lists — the walk loop allocates
+        // only for facts a repair actually deleted.
         let mut deleted: HashSet<Fact> = HashSet::new();
         for _ in 0..walks {
             deleted.clear();
             let mut walk_failed = false;
-            for (sub, rng) in self.subs.iter().zip(&mut rngs) {
+            for ((sub, facts), rng) in self.subs.iter().zip(&self.sub_facts).zip(&mut rngs) {
                 match sample::sample_walk(sub, gen, rng)? {
                     WalkOutcome::Repair(db) => {
-                        deleted.extend(sub.d0().facts().filter(|f| !db.contains(f)));
+                        for fact in facts {
+                            if !db.contains(fact) {
+                                deleted.insert(fact.clone());
+                            }
+                        }
                     }
                     // Unreachable for denial-fragment sets (deletion-only
                     // chains cannot fail), but kept sound: a failing

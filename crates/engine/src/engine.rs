@@ -1307,4 +1307,51 @@ mod tests {
         assert_eq!(s.cache.expired, 1);
         assert_eq!(s.walks, 300, "two computations, one expiry");
     }
+
+    #[test]
+    fn answers_bit_identical_across_worker_counts() {
+        // The scheduling contract end to end: every plan's estimate is a
+        // pure function of (database, query, seed) — pool size, work
+        // stealing and chunk interleaving must never show through.
+        // ε/δ = 0.05 needs several chunks, so with 8 workers the chunks
+        // genuinely race.
+        let answers = |workers: usize| -> Vec<String> {
+            let e = Engine::new(EngineConfig {
+                workers,
+                cache_capacity: 64,
+                ..EngineConfig::default()
+            });
+            create_kv(&e);
+            [
+                PlanKind::KeyRepair,
+                PlanKind::Localized,
+                PlanKind::Monolithic,
+            ]
+            .into_iter()
+            .map(|plan| {
+                let EngineResponse::Answer(a) = e.handle(EngineRequest::Answer {
+                    db: "kv".into(),
+                    query: QueryRef::Text("(x) <- exists y: R(x,y)".into()),
+                    generator: "uniform".into(),
+                    eps: 0.05,
+                    delta: 0.05,
+                    seed: 11,
+                    plan: Some(plan),
+                }) else {
+                    panic!("expected answer under {plan:?}");
+                };
+                assert!(!a.cached);
+                format!("{:?}", a.answers)
+            })
+            .collect()
+        };
+        let reference = answers(1);
+        for workers in [2, 8] {
+            assert_eq!(
+                answers(workers),
+                reference,
+                "answers drifted at {workers} workers"
+            );
+        }
+    }
 }

@@ -117,8 +117,8 @@ pub use proto::{
 };
 pub use router::Router;
 pub use server::{
-    handle_connection, serve_listener, serve_session, serve_stdio, Frame, LineService,
-    MAX_LINE_BYTES,
+    handle_connection, serve_listener, serve_listener_with, serve_session, serve_stdio, Frame,
+    LineService, MAX_LINE_BYTES,
 };
 pub use shard::{ShardEngine, ShardStats};
 pub use singleflight::SingleFlight;

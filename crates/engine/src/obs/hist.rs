@@ -55,10 +55,17 @@ impl Histogram {
 
     /// Records one latency observation.
     pub fn record(&self, elapsed: Duration) {
-        let us = elapsed.as_micros().min(u128::from(u64::MAX)) as u64;
+        self.record_value(elapsed.as_micros().min(u128::from(u64::MAX)) as u64);
+    }
+
+    /// Records one raw observation in the same log2 buckets. For
+    /// unitless series (the WAL's records-per-fsync batch sizes) the
+    /// bucket bounds read as plain powers of two rather than
+    /// microseconds.
+    pub fn record_value(&self, value: u64) {
         self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum_us.fetch_add(us, Ordering::Relaxed);
-        self.buckets[bucket_of(us)].fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(value, Ordering::Relaxed);
+        self.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
     }
 
     /// A point-in-time copy of the counters. Relaxed reads: the snapshot

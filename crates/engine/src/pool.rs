@@ -1,8 +1,10 @@
-//! The sampler pool: a fixed set of worker threads fanning each request's
-//! sample budget out as chunks.
+//! The sampler pool: a fixed set of worker threads executing each
+//! request's sample budget as fixed-size chunks, scheduled by work
+//! stealing.
 //!
 //! **Determinism.** Results must be bit-identical for a fixed seed no
-//! matter how many workers the pool has. Two choices make that hold:
+//! matter how many workers the pool has or which worker runs which
+//! chunk. Two choices make that hold:
 //!
 //! 1. the budget is split into *fixed-size chunks* (`CHUNK_WALKS`),
 //!    independent of the worker count, and chunk `i` always samples with
@@ -12,61 +14,122 @@
 //!    commutative and associative, so the scheduling order in which
 //!    workers finish cannot influence the final tally.
 //!
-//! Workers never touch shared mutable state: they receive a job carrying
-//! `Arc`s of the context/generator/query, sample, and send the tally back
-//! over the job's reply channel.
+//! **Scheduling.** A request submits one [`Batch`] descriptor, not one
+//! message per chunk: workers claim chunk indices from the batch's
+//! atomic cursor, so a 400-chunk monolithic run costs a handful of queue
+//! operations instead of 400 channel sends and `Arc` clones. Handles to
+//! an in-flight batch live in a shared [`Injector`] plus per-worker
+//! [`Worker`] deques; a worker joining a batch re-advertises it on its
+//! own deque, so idle siblings can steal into it mid-run while the
+//! owner never touches the shared injector again. Single-chunk budgets
+//! bypass the pool entirely and sample on the calling thread.
 
 use crate::error::EngineError;
 use crate::planner::SampleTask;
-use crossbeam::channel::{Receiver, Sender};
+use crossbeam::channel::SyncSender;
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 use ocqa_core::sample::{self, SampleTally};
 use ocqa_core::{ChainGenerator, RepairContext};
 use ocqa_logic::Query;
-use parking_lot::Mutex;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 /// Walks per dispatched chunk. Fixed: changing this changes sampled
 /// streams, so it is part of the engine's reproducibility contract.
 pub const CHUNK_WALKS: u64 = 64;
 
-struct Job {
+/// One submitted sampling request. Participating workers claim chunk
+/// indices through `cursor`; each claimed chunk sends exactly one result
+/// on `reply`, which is pre-sized to `chunks` so sends never block.
+struct Batch {
     task: SampleTask,
     query: Arc<Query>,
-    chunk: u64,
     walks: u64,
+    chunks: u64,
     seed: u64,
-    reply: Sender<Result<SampleTally, String>>,
+    cursor: AtomicU64,
+    reply: SyncSender<Result<SampleTally, String>>,
 }
 
-/// A fixed worker-thread pool executing sample-walk chunks.
+impl Batch {
+    /// Claims and runs chunks until the cursor is exhausted.
+    fn work(&self) {
+        loop {
+            let chunk = self.cursor.fetch_add(1, Ordering::Relaxed);
+            if chunk >= self.chunks {
+                return;
+            }
+            let quota = CHUNK_WALKS.min(self.walks - chunk * CHUNK_WALKS);
+            let result = run_chunk_guarded(&self.task, &self.query, quota, self.seed, chunk);
+            // The requester may have bailed (fail-fast on an earlier
+            // chunk error): nothing to do.
+            let _ = self.reply.send(result);
+        }
+    }
+
+    /// Whether unclaimed chunks remain (racy, advisory only).
+    fn has_spare_chunks(&self) -> bool {
+        self.cursor.load(Ordering::Relaxed) < self.chunks
+    }
+}
+
+struct PoolState {
+    shutdown: bool,
+    /// Bumped on every submission; workers re-scan the queues whenever it
+    /// moves, which closes the sleep/submit race without spinning.
+    submissions: u64,
+}
+
+struct PoolShared {
+    injector: Injector<Arc<Batch>>,
+    stealers: Vec<Stealer<Arc<Batch>>>,
+    state: Mutex<PoolState>,
+    wake: Condvar,
+}
+
+/// A fixed worker-thread pool executing sample-walk chunks with work
+/// stealing.
 pub struct SamplerPool {
-    tx: Option<Sender<Job>>,
+    shared: Arc<PoolShared>,
     workers: Vec<JoinHandle<()>>,
 }
 
 impl SamplerPool {
-    /// Spawns `workers` threads (at least 1).
+    /// Spawns `workers` threads; `0` auto-sizes from the detected core
+    /// count (the same default `EngineConfig` applies when `--workers`
+    /// is unset).
     pub fn new(workers: usize) -> SamplerPool {
-        let workers = workers.max(1);
-        let (tx, rx) = crossbeam::channel::unbounded::<Job>();
-        // The vendored `crossbeam` shim re-exports std::sync::mpsc, whose
-        // receiver is single-consumer — share it behind a mutex so any
-        // idle worker can take the next chunk. (Upstream crossbeam's
-        // receiver is Clone; if the shim is ever swapped for the real
-        // crate, clone per worker and drop this mutex.)
-        let rx = Arc::new(Mutex::new(rx));
-        let handles = (0..workers)
-            .map(|i| {
-                let rx = rx.clone();
+        let workers = if workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        } else {
+            workers
+        };
+        let locals: Vec<Worker<Arc<Batch>>> = (0..workers).map(|_| Worker::new_fifo()).collect();
+        let shared = Arc::new(PoolShared {
+            injector: Injector::new(),
+            stealers: locals.iter().map(Worker::stealer).collect(),
+            state: Mutex::new(PoolState {
+                shutdown: false,
+                submissions: 0,
+            }),
+            wake: Condvar::new(),
+        });
+        let handles = locals
+            .into_iter()
+            .enumerate()
+            .map(|(i, local)| {
+                let shared = shared.clone();
                 std::thread::Builder::new()
                     .name(format!("ocqa-sampler-{i}"))
-                    .spawn(move || worker_loop(&rx))
+                    .spawn(move || worker_loop(&shared, &local, i))
                     .expect("spawn sampler worker")
             })
             .collect();
         SamplerPool {
-            tx: Some(tx),
+            shared,
             workers: handles,
         }
     }
@@ -87,30 +150,61 @@ impl SamplerPool {
         walks: u64,
         seed: u64,
     ) -> Result<SampleTally, EngineError> {
-        let (reply_tx, reply_rx) = crossbeam::channel::unbounded();
         let chunks = walks.div_ceil(CHUNK_WALKS);
-        for chunk in 0..chunks {
-            let quota = CHUNK_WALKS.min(walks - chunk * CHUNK_WALKS);
-            let job = Job {
-                task: task.clone(),
-                query: query.clone(),
-                chunk,
-                walks: quota,
-                seed,
-                reply: reply_tx.clone(),
-            };
-            self.tx
-                .as_ref()
-                .expect("pool alive")
-                .send(job)
-                .map_err(|_| EngineError::Sampling("sampler pool shut down".into()))?;
+        if chunks <= 1 {
+            // Single-chunk budgets skip the queues and reply channel
+            // entirely: chunk 0 still seeds from derive_seed(seed, 0), so
+            // the tally is bit-identical to the pooled path.
+            return run_chunk_guarded(task, query, walks, seed, 0).map_err(EngineError::Sampling);
         }
-        drop(reply_tx);
+        self.run_batched(task, query, walks, seed, chunks)
+    }
+
+    /// The pooled path: submits one batch descriptor and drains exactly
+    /// `chunks` replies. Kept separate from [`run`](Self::run) so tests
+    /// can pin the single-chunk bypass against it.
+    fn run_batched(
+        &self,
+        task: &SampleTask,
+        query: &Arc<Query>,
+        walks: u64,
+        seed: u64,
+        chunks: u64,
+    ) -> Result<SampleTally, EngineError> {
+        // Pre-sized to the chunk count: every chunk sends exactly once,
+        // so sends never block and the request never allocates an
+        // unbounded queue.
+        let (reply_tx, reply_rx) = crossbeam::channel::bounded(chunks as usize);
+        let batch = Arc::new(Batch {
+            task: task.clone(),
+            query: query.clone(),
+            walks,
+            chunks,
+            seed,
+            cursor: AtomicU64::new(0),
+            reply: reply_tx,
+        });
+        // One injected handle per worker that could usefully join (capped
+        // by the chunk count): whichever workers are idle right now all
+        // find a handle on wake-up, and leftovers drain as cheap no-ops.
+        let handles = (self.workers.len() as u64).min(chunks);
+        for _ in 0..handles {
+            self.shared.injector.push(batch.clone());
+        }
+        drop(batch);
+        {
+            let mut state = lock(&self.shared.state);
+            state.submissions += 1;
+        }
+        self.shared.wake.notify_all();
         let mut tally = SampleTally::default();
-        for msg in reply_rx {
-            match msg {
-                Ok(chunk_tally) => tally.merge(chunk_tally),
-                Err(e) => return Err(EngineError::Sampling(e)),
+        for _ in 0..chunks {
+            match reply_rx.recv() {
+                Ok(Ok(chunk_tally)) => tally.merge(chunk_tally),
+                // Fail fast: dropping the receiver makes the remaining
+                // chunks' sends no-ops.
+                Ok(Err(e)) => return Err(EngineError::Sampling(e)),
+                Err(_) => break, // every batch handle died before replying
             }
         }
         if tally.walks != walks {
@@ -141,36 +235,94 @@ impl SamplerPool {
 
 impl Drop for SamplerPool {
     fn drop(&mut self) {
-        self.tx.take(); // closes the channel; workers drain and exit
+        {
+            let mut state = lock(&self.shared.state);
+            state.shutdown = true;
+        }
+        self.shared.wake.notify_all();
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
     }
 }
 
-fn worker_loop(rx: &Mutex<Receiver<Job>>) {
-    loop {
-        // The guard is held across the blocking recv (idle waiting) but
-        // released before sampling, so at most one worker is parked in
-        // recv while the rest either sample or wait on the mutex.
-        let job = match rx.lock().recv() {
-            Ok(job) => job,
-            Err(_) => return,
-        };
-        // Panic isolation: a panicking chunk (e.g. a pathological
-        // constraint set tripping an assert deep in the repair machinery)
-        // must fail *that request*, not kill the worker — a dead worker
-        // would eventually brick the pool for every later request.
-        // AssertUnwindSafe is sound here: the closure only touches the
-        // job's Arcs (immutable) and task-local RNG state.
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            job.task
-                .run_chunk(&job.query, job.walks, derive_seed(job.seed, job.chunk))
-        }))
-        .unwrap_or_else(|payload| Err(panic_text(payload.as_ref())));
-        // The requester may have bailed (send error): nothing to do.
-        let _ = job.reply.send(result);
+fn lock(state: &Mutex<PoolState>) -> std::sync::MutexGuard<'_, PoolState> {
+    state
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn worker_loop(shared: &PoolShared, local: &Worker<Arc<Batch>>, me: usize) {
+    while let Some(batch) = next_batch(shared, local, me) {
+        // Re-advertise the batch on the local deque before working it:
+        // the handle stays stealable by idle siblings for the whole run,
+        // and the owner pops it back (and drops it, exhausted) afterward.
+        if batch.has_spare_chunks() {
+            local.push(batch.clone());
+        }
+        batch.work();
     }
+}
+
+/// Blocks until a batch handle is available (local deque first, then the
+/// injector, then sibling deques) or the pool shuts down with every
+/// queue drained.
+fn next_batch(shared: &PoolShared, local: &Worker<Arc<Batch>>, me: usize) -> Option<Arc<Batch>> {
+    loop {
+        if let Some(batch) = local.pop() {
+            if batch.has_spare_chunks() {
+                return Some(batch);
+            }
+            continue; // exhausted advertisement
+        }
+        // Read the submission counter *before* scanning the shared
+        // queues: a submission after this point bumps it, so the wait
+        // below cannot miss it.
+        let (seen, shutdown) = {
+            let state = lock(&shared.state);
+            (state.submissions, state.shutdown)
+        };
+        if let Steal::Success(batch) = shared.injector.steal() {
+            return Some(batch);
+        }
+        for (i, stealer) in shared.stealers.iter().enumerate() {
+            if i == me {
+                continue;
+            }
+            if let Steal::Success(batch) = stealer.steal() {
+                return Some(batch);
+            }
+        }
+        if shutdown {
+            return None; // queues drained after the shutdown flag: done
+        }
+        let mut state = lock(&shared.state);
+        while !state.shutdown && state.submissions == seen {
+            state = shared
+                .wake
+                .wait(state)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+}
+
+/// Runs one chunk with panic isolation: a panicking chunk (e.g. a
+/// pathological constraint set tripping an assert deep in the repair
+/// machinery) must fail *that request*, not kill a worker — a dead
+/// worker would eventually brick the pool for every later request.
+/// `AssertUnwindSafe` is sound here: the closure only touches the
+/// task's `Arc`s (immutable) and chunk-local RNG state.
+fn run_chunk_guarded(
+    task: &SampleTask,
+    query: &Query,
+    quota: u64,
+    seed: u64,
+    chunk: u64,
+) -> Result<SampleTally, String> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        task.run_chunk(query, quota, derive_seed(seed, chunk))
+    }))
+    .unwrap_or_else(|payload| Err(panic_text(payload.as_ref())))
 }
 
 fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
@@ -235,6 +387,57 @@ mod tests {
     }
 
     #[test]
+    fn single_chunk_bypass_matches_pooled_path() {
+        // Budgets that fit in one chunk run on the calling thread; the
+        // tally must be bit-identical to what the queues would produce.
+        let (ctx, gen, query) = setup();
+        let plan = DbPlan::build(&ctx);
+        let pool = SamplerPool::new(3);
+        for route in [
+            crate::planner::PlanKind::Monolithic,
+            crate::planner::PlanKind::Localized,
+            crate::planner::PlanKind::KeyRepair,
+        ] {
+            let task = plan.task(route, gen.clone()).unwrap();
+            for walks in [1, CHUNK_WALKS - 1, CHUNK_WALKS] {
+                let bypass = pool.run(&task, &query, walks, 9).unwrap();
+                let pooled = pool.run_batched(&task, &query, walks, 9, 1).unwrap();
+                assert_eq!(bypass.counts, pooled.counts, "{route}, {walks} walks");
+                assert_eq!(bypass.walks, pooled.walks);
+                assert_eq!(bypass.failed_walks, pooled.failed_walks);
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_batches_steal_without_cross_talk() {
+        // Several requests in flight at once: work stealing may interleave
+        // their chunks arbitrarily across workers, but each request's
+        // tally must equal its single-threaded reference.
+        let (ctx, gen, query) = setup();
+        let pool = Arc::new(SamplerPool::new(4));
+        let reference: Vec<SampleTally> = (0..6)
+            .map(|seed| {
+                SamplerPool::new(1)
+                    .run_monolithic(&ctx, &gen, &query, 260, seed)
+                    .unwrap()
+            })
+            .collect();
+        let handles: Vec<_> = (0..6u64)
+            .map(|seed| {
+                let (pool, ctx, gen, query) =
+                    (pool.clone(), ctx.clone(), gen.clone(), query.clone());
+                std::thread::spawn(move || pool.run_monolithic(&ctx, &gen, &query, 260, seed))
+            })
+            .collect();
+        for (seed, h) in handles.into_iter().enumerate() {
+            let tally = h.join().unwrap().unwrap();
+            assert_eq!(tally.counts, reference[seed].counts, "seed {seed}");
+            assert_eq!(tally.walks, 260);
+        }
+    }
+
+    #[test]
     fn different_seeds_differ() {
         let (ctx, gen, query) = setup();
         let pool = SamplerPool::new(2);
@@ -272,6 +475,20 @@ mod tests {
         // Workers survived the panic; normal requests keep working.
         let tally = pool.run_monolithic(&ctx, &gen, &query, 100, 2).unwrap();
         assert_eq!(tally.walks, 100);
+    }
+
+    #[test]
+    fn panicking_single_chunk_fails_without_poisoning_the_caller() {
+        // The bypass path runs on the calling thread: its panics must be
+        // contained the same way the pooled path contains worker panics.
+        let (ctx, _, query) = setup();
+        let pool = SamplerPool::new(2);
+        let bomb: Arc<dyn ChainGenerator> =
+            Arc::new(ocqa_core::WeightFnGenerator::new("bomb", |_, _| {
+                panic!("boom in generator")
+            }));
+        let err = pool.run_monolithic(&ctx, &bomb, &query, 10, 1).unwrap_err();
+        assert!(err.to_string().contains("panicked"), "{err}");
     }
 
     #[test]

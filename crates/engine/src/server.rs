@@ -7,9 +7,10 @@
 //! loops serve both `ocqa serve` and `ocqa route`.
 
 use crate::subscribe::PushSession;
+use std::collections::VecDeque;
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
 /// Longest request line a session accepts. Reading lines unbounded would
@@ -167,24 +168,138 @@ fn classify_accept_error(e: &io::Error) -> AcceptDisposition {
     }
 }
 
-/// Accept loop: one thread per connection, all sharing the service. Runs
-/// until the listener fails **fatally** — transient per-connection
-/// failures (`ECONNABORTED`-class) and resource exhaustion
-/// (`EMFILE`-class, with a brief back-off) keep the loop alive, so one
-/// misbehaving client or a load spike cannot take the whole server down.
+/// How long a connection worker blocks on an idle session's socket
+/// before parking it back on the queue. This is also the pool's natural
+/// pacing: visiting an idle connection costs one bounded read, so a
+/// worker sweeps at most a few thousand parked sessions per second
+/// instead of spinning.
+const CONN_POLL_TIMEOUT: Duration = Duration::from_micros(500);
+
+fn default_conn_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        * 2
+}
+
+/// One multiplexed TCP session's state between worker visits: the socket
+/// (read side, with [`CONN_POLL_TIMEOUT`] armed), the writer shared with
+/// an optional push-notifier thread, and whatever bytes arrived without
+/// completing a line yet.
+struct Conn {
+    stream: TcpStream,
+    writer: Arc<Mutex<TcpStream>>,
+    session: PushSession,
+    acc: Vec<u8>,
+    notifier: Option<std::thread::JoinHandle<()>>,
+}
+
+/// Parked sessions waiting for a worker visit.
+struct ConnQueue {
+    conns: Mutex<VecDeque<Conn>>,
+    available: Condvar,
+}
+
+impl ConnQueue {
+    fn new() -> ConnQueue {
+        ConnQueue {
+            conns: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+        }
+    }
+
+    fn push(&self, conn: Conn) {
+        self.conns
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .push_back(conn);
+        self.available.notify_one();
+    }
+
+    fn pop(&self) -> Conn {
+        let mut conns = self
+            .conns
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        loop {
+            if let Some(conn) = conns.pop_front() {
+                return conn;
+            }
+            conns = self
+                .available
+                .wait(conns)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+}
+
+/// What a worker visit concluded about a session.
+enum Slice {
+    /// The socket went quiet mid-session: park it for a later visit.
+    Park,
+    /// The session ended (EOF, protocol violation, or I/O error).
+    Closed,
+}
+
+/// Accept loop: a **bounded** pool of connection workers multiplexes
+/// every session, so 10k idle connections hold 10k parked [`Conn`]
+/// records instead of pinning 10k OS threads. Runs until the listener
+/// fails **fatally** — transient per-connection failures
+/// (`ECONNABORTED`-class) and resource exhaustion (`EMFILE`-class, with
+/// a brief back-off) keep the loop alive, so one misbehaving client or
+/// a load spike cannot take the whole server down.
 pub fn serve_listener<S: LineService + 'static>(
     service: Arc<S>,
     listener: TcpListener,
 ) -> io::Result<()> {
-    accept_loop(service, || listener.accept().map(|(stream, _)| stream))
+    serve_listener_with(service, listener, 0)
 }
 
-/// [`serve_listener`] with the accept source abstracted, so tests can
-/// inject failing accepts.
+/// [`serve_listener`] with an explicit connection-worker count
+/// (`--conn-workers`); `0` auto-sizes to detected cores × 2.
+pub fn serve_listener_with<S: LineService + 'static>(
+    service: Arc<S>,
+    listener: TcpListener,
+    conn_workers: usize,
+) -> io::Result<()> {
+    accept_loop(
+        service,
+        || listener.accept().map(|(stream, _)| stream),
+        conn_workers,
+    )
+}
+
+/// [`serve_listener_with`] with the accept source abstracted, so tests
+/// can inject failing accepts.
 fn accept_loop<S: LineService + 'static>(
     service: Arc<S>,
     mut accept: impl FnMut() -> io::Result<TcpStream>,
+    conn_workers: usize,
 ) -> io::Result<()> {
+    let conn_workers = if conn_workers == 0 {
+        default_conn_workers()
+    } else {
+        conn_workers
+    };
+    let queue = Arc::new(ConnQueue::new());
+    let mut spawned = 0;
+    let mut spawn_err = None;
+    for i in 0..conn_workers {
+        let service = service.clone();
+        let queue = queue.clone();
+        match std::thread::Builder::new()
+            .name(format!("ocqa-conn-worker-{i}"))
+            .spawn(move || conn_worker_loop(&*service, &queue))
+        {
+            Ok(_) => spawned += 1, // detached: outlives a fatal accept error,
+            // so in-flight sessions finish exactly as the old
+            // thread-per-connection loop let them
+            Err(e) => spawn_err = Some(e),
+        }
+    }
+    if spawned == 0 {
+        return Err(spawn_err.unwrap_or_else(|| io::Error::other("no connection workers")));
+    }
     loop {
         let stream = match accept() {
             Ok(stream) => stream,
@@ -197,22 +312,156 @@ fn accept_loop<S: LineService + 'static>(
                 AcceptDisposition::Fatal => return Err(e),
             },
         };
-        let service = service.clone();
-        let session = move || {
-            let _ = handle_connection(&*service, stream);
-        };
-        if std::thread::Builder::new()
-            .name("ocqa-session".into())
-            .spawn(session)
-            .is_err()
-        {
-            // Spawn failure is the thread-side analogue of EMFILE:
-            // resource exhaustion, not a broken listener. The dropped
-            // closure closes this connection; back off and keep serving
-            // the sessions that already exist.
-            std::thread::sleep(ACCEPT_THROTTLE);
+        // A connection we cannot arm is dropped (closed), never enqueued:
+        // a worker would otherwise block its full slice on it forever.
+        let armed = stream
+            .set_read_timeout(Some(CONN_POLL_TIMEOUT))
+            .and_then(|()| stream.try_clone());
+        if let Ok(writer) = armed {
+            queue.push(Conn {
+                stream,
+                writer: Arc::new(Mutex::new(writer)),
+                session: PushSession::new(),
+                acc: Vec::new(),
+                notifier: None,
+            });
         }
     }
+}
+
+fn conn_worker_loop<S: LineService + ?Sized>(service: &S, queue: &ConnQueue) {
+    loop {
+        let mut conn = queue.pop();
+        // Panic isolation: a panicking request handler must cost that
+        // session, not permanently shrink the worker pool.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            service_slice(service, &mut conn)
+        }));
+        match outcome {
+            Ok(Slice::Park) => queue.push(conn),
+            Ok(Slice::Closed) | Err(_) => close_conn(conn),
+        }
+    }
+}
+
+fn close_conn(mut conn: Conn) {
+    conn.session.close();
+    if let Some(handle) = conn.notifier.take() {
+        let _ = handle.join();
+    }
+}
+
+/// One worker visit: serve every complete buffered line, then read until
+/// the socket goes quiet ([`CONN_POLL_TIMEOUT`]) or closes. The line
+/// discipline matches [`serve_session`]: bounded length, strict UTF-8,
+/// blank lines skipped.
+fn service_slice<S: LineService + ?Sized>(service: &S, conn: &mut Conn) -> Slice {
+    let mut buf = [0u8; 4096];
+    loop {
+        while let Some(pos) = conn.acc.iter().position(|&b| b == b'\n') {
+            let mut line: Vec<u8> = conn.acc.drain(..=pos).collect();
+            line.pop(); // the newline
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            if serve_conn_line(service, conn, line).is_err() {
+                return Slice::Closed;
+            }
+        }
+        if conn.acc.len() as u64 > MAX_LINE_BYTES {
+            let _ = send_locked(
+                &conn.writer,
+                &format!(
+                    r#"{{"ok":false,"error":"request line longer than {MAX_LINE_BYTES} bytes"}}"#
+                ),
+            );
+            return Slice::Closed;
+        }
+        match conn.stream.read(&mut buf) {
+            Ok(0) => {
+                // A final newline-less line at EOF is still served, the
+                // same acceptance read_frame gives stdio sessions.
+                if !conn.acc.is_empty() {
+                    let line = std::mem::take(&mut conn.acc);
+                    let _ = serve_conn_line(service, conn, line);
+                }
+                return Slice::Closed;
+            }
+            Ok(n) => conn.acc.extend_from_slice(&buf[..n]),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                return Slice::Park;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return Slice::Closed,
+        }
+    }
+}
+
+fn serve_conn_line<S: LineService + ?Sized>(
+    service: &S,
+    conn: &mut Conn,
+    raw: Vec<u8>,
+) -> io::Result<()> {
+    let line = match String::from_utf8(raw) {
+        Ok(line) => line,
+        Err(_) => {
+            return send_locked(
+                &conn.writer,
+                r#"{"ok":false,"error":"request line is not valid UTF-8"}"#,
+            );
+        }
+    };
+    if line.trim().is_empty() {
+        return Ok(());
+    }
+    let response = service.serve_open_line(line.trim_end(), &conn.session);
+    send_locked(&conn.writer, &response)?;
+    ensure_notifier(conn);
+    Ok(())
+}
+
+/// Spawns the session's dedicated push-notifier thread the first time it
+/// actually holds a subscription. Plain request/response sessions never
+/// get one — that laziness is what lets a bounded worker pool carry
+/// thousands of idle connections — while subscribe sessions keep the
+/// dedicated writer that delivers pushes even while the connection is
+/// parked.
+fn ensure_notifier(conn: &mut Conn) {
+    if conn.notifier.is_some() || conn.session.sub_count() == 0 {
+        return;
+    }
+    let writer = conn.writer.clone();
+    let session = conn.session.clone();
+    conn.notifier = std::thread::Builder::new()
+        .name("ocqa-push".into())
+        .spawn(move || push_notifier_loop(&writer, &session))
+        .ok();
+}
+
+/// Drains a session's push queue onto its socket until the session
+/// closes or the client disappears.
+fn push_notifier_loop(writer: &Mutex<TcpStream>, session: &PushSession) {
+    while let Some(frame) = session.pop_wait() {
+        if send_locked(writer, &frame).is_err() {
+            // The client is gone; the reader side will see EOF and close
+            // too, but don't spin until then.
+            session.close();
+            return;
+        }
+    }
+}
+
+fn send_locked(writer: &Mutex<TcpStream>, line: &str) -> io::Result<()> {
+    let mut out = writer
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    writeln!(out, "{line}")?;
+    out.flush()
 }
 
 /// Serves a single TCP connection as a **duplex** session: request
@@ -234,17 +483,7 @@ pub fn handle_connection<S: LineService + ?Sized>(
         let session = session.clone();
         std::thread::Builder::new()
             .name("ocqa-push".into())
-            .spawn(move || {
-                while let Some(frame) = session.pop_wait() {
-                    let mut out = writer.lock().unwrap();
-                    if writeln!(out, "{frame}").and_then(|()| out.flush()).is_err() {
-                        // The client is gone; the reader side will see
-                        // EOF and close too, but don't spin until then.
-                        session.close();
-                        return;
-                    }
-                }
-            })
+            .spawn(move || push_notifier_loop(&writer, &session))
     };
     let result = serve_duplex(service, reader, &writer, &session);
     session.close();
@@ -395,6 +634,115 @@ mod tests {
     }
 
     #[test]
+    fn two_workers_multiplex_more_connections_than_threads() {
+        let engine = engine();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        const CLIENTS: usize = 8;
+
+        // Each client pings, idles long enough to get parked, then pings
+        // again — the worker pool must come back to it.
+        let clients: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    let stream = TcpStream::connect(addr).unwrap();
+                    let mut reader = BufReader::new(stream.try_clone().unwrap());
+                    let mut ask = || {
+                        writeln!(&stream, r#"{{"op":"ping"}}"#).unwrap();
+                        let mut line = String::new();
+                        reader.read_line(&mut line).unwrap();
+                        line
+                    };
+                    let first = ask();
+                    std::thread::sleep(Duration::from_millis(30));
+                    (first, ask())
+                })
+            })
+            .collect();
+
+        let server = std::thread::spawn(move || {
+            let mut accepted = 0;
+            let _ = accept_loop(
+                engine,
+                move || {
+                    if accepted == CLIENTS {
+                        return Err(io::Error::new(io::ErrorKind::InvalidInput, "done"));
+                    }
+                    accepted += 1;
+                    listener.accept().map(|(s, _)| s)
+                },
+                2,
+            );
+        });
+        for client in clients {
+            let (first, second) = client.join().unwrap();
+            assert!(first.contains("pong"), "{first}");
+            assert!(second.contains("pong"), "{second}");
+        }
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn parked_subscriber_receives_pushes_through_lazy_notifier() {
+        // One worker forces true multiplexing: the subscriber's
+        // connection is parked while the mutator's is served, so the
+        // pushed frame can only arrive through the subscription's
+        // dedicated notifier thread (spawned lazily at subscribe time).
+        let engine = engine();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let mut accepted = 0;
+            let _ = accept_loop(
+                engine,
+                move || {
+                    if accepted == 2 {
+                        return Err(io::Error::new(io::ErrorKind::InvalidInput, "done"));
+                    }
+                    accepted += 1;
+                    listener.accept().map(|(s, _)| s)
+                },
+                1,
+            );
+        });
+
+        let mutator = TcpStream::connect(addr).unwrap();
+        let mut mutator_rd = BufReader::new(mutator.try_clone().unwrap());
+        let mut req = |line: &str| {
+            writeln!(&mutator, "{line}").unwrap();
+            let mut resp = String::new();
+            mutator_rd.read_line(&mut resp).unwrap();
+            resp
+        };
+        let resp = req(
+            r#"{"op":"create_db","name":"stream","facts":"R(1,10). R(1,20).","constraints":"R(x,y), R(x,z) -> y = z."}"#,
+        );
+        assert!(resp.contains("\"ok\":true"), "{resp}");
+
+        let subscriber = TcpStream::connect(addr).unwrap();
+        let mut subscriber_rd = BufReader::new(subscriber.try_clone().unwrap());
+        writeln!(
+            &subscriber,
+            r#"{{"op":"subscribe","db":"stream","query":"(x) <- exists y: R(x, y)","eps":0.1,"delta":0.1,"seed":7}}"#
+        )
+        .unwrap();
+        let mut ack = String::new();
+        subscriber_rd.read_line(&mut ack).unwrap();
+        assert!(ack.contains("\"ok\":true"), "{ack}");
+
+        let resp = req(r#"{"op":"insert","db":"stream","facts":"R(1,30)."}"#);
+        assert!(resp.contains("\"ok\":true"), "{resp}");
+        let mut frame = String::new();
+        subscriber_rd.read_line(&mut frame).unwrap();
+        assert!(
+            frame.contains("\"event\":\"estimate\""),
+            "parked subscriber must still get its push: {frame}"
+        );
+        drop((mutator, subscriber));
+        server.join().unwrap();
+    }
+
+    #[test]
     fn accept_loop_survives_transient_errors_and_stops_on_fatal() {
         use io::{Error, ErrorKind};
 
@@ -416,15 +764,19 @@ mod tests {
         // exhaustion, a real connection, then a fatal listener error.
         // The old loop died on the very first event.
         let mut step = 0;
-        let err = accept_loop(engine, move || {
-            step += 1;
-            match step {
-                1 => Err(Error::from(ErrorKind::ConnectionAborted)),
-                2 => Err(Error::from_raw_os_error(24)), // EMFILE
-                3 => listener.accept().map(|(s, _)| s),
-                _ => Err(Error::new(ErrorKind::InvalidInput, "listener torn down")),
-            }
-        })
+        let err = accept_loop(
+            engine,
+            move || {
+                step += 1;
+                match step {
+                    1 => Err(Error::from(ErrorKind::ConnectionAborted)),
+                    2 => Err(Error::from_raw_os_error(24)), // EMFILE
+                    3 => listener.accept().map(|(s, _)| s),
+                    _ => Err(Error::new(ErrorKind::InvalidInput, "listener torn down")),
+                }
+            },
+            2,
+        )
         .unwrap_err();
         assert_eq!(err.kind(), ErrorKind::InvalidInput);
         let response = client.join().unwrap();

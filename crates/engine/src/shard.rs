@@ -657,10 +657,15 @@ impl ShardEngine {
 
     /// A snapshot of this shard's latency-metrics registry (the
     /// `metrics` protocol op's per-shard unit), stamped with the live
-    /// subscription gauge.
+    /// subscription gauge and the backend's WAL group-commit
+    /// histograms.
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
         let mut snap = self.metrics.snapshot();
         snap.subscriptions = self.subs.len() as u64;
+        if let Some((batch, fsync)) = self.backend.wal_commit_stats() {
+            snap.wal_batch = batch;
+            snap.wal_fsync_us = fsync;
+        }
         snap
     }
 

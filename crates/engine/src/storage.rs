@@ -203,6 +203,14 @@ pub trait StorageBackend: Send + Sync {
     fn journal_feedback(&self, _feedback: &FeedbackImage) -> Result<(), EngineError> {
         Ok(())
     }
+
+    /// WAL group-commit observability: `(records-per-fsync, fsync
+    /// latency µs)` histograms, for backends that journal through a
+    /// group-committed log. `None` (the default) for backends without
+    /// one; the shard then reports empty series.
+    fn wal_commit_stats(&self) -> Option<(crate::obs::HistSnapshot, crate::obs::HistSnapshot)> {
+        None
+    }
 }
 
 /// The no-op backend: nothing persists, recovery is empty. Exactly the

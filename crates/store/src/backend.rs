@@ -6,8 +6,8 @@ use crate::store::{Store, StoreOptions};
 use crate::wal::WalRecord;
 use crate::wire::DbImage;
 use ocqa_engine::{
-    EngineError, FeedbackImage, InstallImage, RecoveredState, RestoredDatabase, StorageBackend,
-    UpdateDelta,
+    EngineError, FeedbackImage, HistSnapshot, InstallImage, RecoveredState, RestoredDatabase,
+    StorageBackend, UpdateDelta,
 };
 use parking_lot::Mutex;
 use std::path::Path;
@@ -155,5 +155,9 @@ impl StorageBackend for DiskBackend {
 
     fn journal_feedback(&self, feedback: &FeedbackImage) -> Result<(), EngineError> {
         self.journal(&WalRecord::Feedback(feedback.clone()))
+    }
+
+    fn wal_commit_stats(&self) -> Option<(HistSnapshot, HistSnapshot)> {
+        Some(self.store.commit_stats())
     }
 }

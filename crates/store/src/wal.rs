@@ -213,6 +213,10 @@ pub struct WalWriter {
     path: PathBuf,
     file: File,
     bytes: u64,
+    /// Monotone count of records ever appended through this writer —
+    /// unlike `bytes`, never reset by rotation, which is what makes it a
+    /// safe durability watermark for the group-commit protocol.
+    seq: u64,
 }
 
 impl WalWriter {
@@ -237,6 +241,7 @@ impl WalWriter {
             path: path.to_path_buf(),
             file,
             bytes: valid_len,
+            seq: 0,
         };
         writer.seek_end()?;
         Ok(writer)
@@ -254,6 +259,16 @@ impl WalWriter {
     /// losing every acknowledged record behind the bad frame on the next
     /// recovery.
     pub fn append(&mut self, record: &WalRecord) -> Result<(), StoreError> {
+        self.append_unsynced(record)?;
+        self.sync()
+    }
+
+    /// Appends one record to the OS (write + flush) **without** forcing
+    /// it to stable storage. The group-commit path batches several of
+    /// these under one [`sync`](Self::sync); callers must not
+    /// acknowledge the record until a sync at/after its
+    /// [`seq`](Self::seq) completes.
+    pub fn append_unsynced(&mut self, record: &WalRecord) -> Result<(), StoreError> {
         let payload = record.encode();
         if payload.len() as u64 > MAX_RECORD_PAYLOAD {
             return Err(StoreError::TooLarge(payload.len() as u64));
@@ -264,14 +279,26 @@ impl WalWriter {
         framed.extend_from_slice(&payload);
         self.file.write_all(&framed)?;
         self.file.flush()?;
-        self.file.sync_data()?;
         self.bytes += framed.len() as u64;
+        self.seq += 1;
+        Ok(())
+    }
+
+    /// Forces every appended record to stable storage (`sync_data`).
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        self.file.sync_data()?;
         Ok(())
     }
 
     /// Bytes in the log (header + payload, valid prefix only).
     pub fn bytes(&self) -> u64 {
         self.bytes
+    }
+
+    /// Records ever appended through this writer (monotone across
+    /// rotation).
+    pub fn seq(&self) -> u64 {
+        self.seq
     }
 
     /// Rotates the log: the current file moves to `rotated` and a fresh

@@ -19,6 +19,156 @@ pub mod channel {
     }
 }
 
+/// Work-stealing deques: the subset of the `crossbeam-deque` API the
+/// sampler pool's scheduler relies on. Each pool worker owns a
+/// [`deque::Worker`] queue; idle workers pull from the shared
+/// [`deque::Injector`] first and then try their siblings'
+/// [`deque::Stealer`] handles. Backed by mutex-guarded `VecDeque`s
+/// rather than lock-free ring buffers — the queues here hold batch
+/// descriptors (a handful per in-flight request), not per-item work, so
+/// contention is negligible and the safe implementation keeps the
+/// vendor tree `forbid(unsafe_code)`.
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Outcome of a steal attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The queue was observed empty.
+        Empty,
+        /// One task was stolen.
+        Success(T),
+        /// The attempt lost a race and should be retried.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// The stolen task, if the attempt succeeded.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(task) => Some(task),
+                _ => None,
+            }
+        }
+
+        /// Whether the queue was observed empty.
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+    }
+
+    fn locked<T>(queue: &Mutex<VecDeque<T>>) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        queue
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// A worker-owned FIFO queue; hand out [`Stealer`]s to let other
+    /// workers take from it.
+    pub struct Worker<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        /// Creates an empty FIFO worker queue.
+        pub fn new_fifo() -> Worker<T> {
+            Worker {
+                queue: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        /// Enqueues a task at the back.
+        pub fn push(&self, task: T) {
+            locked(&self.queue).push_back(task);
+        }
+
+        /// Dequeues the owner's next task (front, FIFO order).
+        pub fn pop(&self) -> Option<T> {
+            locked(&self.queue).pop_front()
+        }
+
+        /// Whether the queue was observed empty.
+        pub fn is_empty(&self) -> bool {
+            locked(&self.queue).is_empty()
+        }
+
+        /// A handle other workers can steal through.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    /// A cloneable handle for taking tasks from another worker's queue.
+    pub struct Stealer<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Stealer<T> {
+            Stealer {
+                queue: Arc::clone(&self.queue),
+            }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Takes the oldest task from the sibling's queue.
+        pub fn steal(&self) -> Steal<T> {
+            match locked(&self.queue).pop_front() {
+                Some(task) => Steal::Success(task),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Whether the queue was observed empty.
+        pub fn is_empty(&self) -> bool {
+            locked(&self.queue).is_empty()
+        }
+    }
+
+    /// A shared FIFO injection queue submitters push into; every worker
+    /// steals from it before raiding siblings.
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Injector<T> {
+        /// Creates an empty injector.
+        pub fn new() -> Injector<T> {
+            Injector {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Enqueues a task at the back.
+        pub fn push(&self, task: T) {
+            locked(&self.queue).push_back(task);
+        }
+
+        /// Takes the oldest injected task.
+        pub fn steal(&self) -> Steal<T> {
+            match locked(&self.queue).pop_front() {
+                Some(task) => Steal::Success(task),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Whether the queue was observed empty.
+        pub fn is_empty(&self) -> bool {
+            locked(&self.queue).is_empty()
+        }
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Injector<T> {
+            Injector::new()
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -37,5 +187,48 @@ mod tests {
         let mut got: Vec<i32> = rx.into_iter().collect();
         got.sort_unstable();
         assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn deque_owner_pops_fifo_and_stealers_take_the_front() {
+        let w = super::deque::Worker::new_fifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(s.steal().success(), Some(1));
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), Some(3));
+        assert!(w.pop().is_none());
+        assert!(s.steal().is_empty());
+        assert!(w.is_empty() && s.is_empty());
+    }
+
+    #[test]
+    fn injector_fans_out_every_task_exactly_once() {
+        use std::sync::Arc;
+        let inj = Arc::new(super::deque::Injector::new());
+        for i in 0..100 {
+            inj.push(i);
+        }
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let inj = Arc::clone(&inj);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(task) = inj.steal().success() {
+                        got.push(task);
+                    }
+                    got
+                })
+            })
+            .collect();
+        let mut all: Vec<i32> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<i32>>());
+        assert!(inj.is_empty());
     }
 }
