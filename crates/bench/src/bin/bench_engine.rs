@@ -30,6 +30,11 @@
 //! workers, and write-heavy WAL append rates with group commit off vs
 //! on (see [`saturation`]).
 //!
+//! The `rebalance` section measures the elastic cluster's move cost:
+//! mean wall-clock per database snapshot-shipped to a freshly joined
+//! shard during a live 2→3 grow, at several database sizes (see
+//! [`rebalance`]).
+//!
 //! The optional argument labels the snapshot (default `dev`); the
 //! checked-in `BENCH_engine.json` is a JSON array of such documents,
 //! one per recorded revision — append a run to extend the history:
@@ -365,6 +370,62 @@ fn saturation() -> Json {
     ])
 }
 
+/// Rebalance: the elastic cluster's move cost per database size. A
+/// 2-upstream routed cluster (real TCP upstreams, as `ocqa route` runs)
+/// is grown to 3 live via the admin op; the reported figure is mean
+/// wall-clock milliseconds per moved database — snapshot fetch off the
+/// old shard, ship, install on the new one, epoch commit and source
+/// drop — amortized over however many of the databases the HRW grow
+/// reassigns.
+fn rebalance() -> Json {
+    use ocqa_engine::{serve_listener, RouteProxy};
+    const NAMES: usize = 16;
+    let mut out = std::collections::BTreeMap::new();
+    for facts_n in [100usize, 1_000, 4_000] {
+        let facts: String = (0..facts_n)
+            .map(|i| format!("R({i}, {}). ", i * 10))
+            .collect();
+        let addrs: Vec<String> = (0..3)
+            .map(|_| {
+                let engine = Engine::new(EngineConfig {
+                    workers: 2,
+                    cache_capacity: 64,
+                    ..EngineConfig::default()
+                });
+                let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+                let addr = listener.local_addr().expect("addr").to_string();
+                std::thread::spawn(move || {
+                    let _ = serve_listener(engine, listener);
+                });
+                addr
+            })
+            .collect();
+        let proxy = RouteProxy::connect(addrs[..2].to_vec()).expect("connect proxy");
+        for k in 0..NAMES {
+            let resp = proxy.handle_line(&format!(
+                r#"{{"op":"create_db","name":"mv{k:02}","facts":"{facts}","constraints":"R(x,y), R(x,z) -> y = z."}}"#
+            ));
+            assert!(resp.contains("\"ok\":true"), "create failed: {resp}");
+        }
+        let start = Instant::now();
+        let resp = proxy.handle_line(&format!(r#"{{"op":"rebalance","add":"{}"}}"#, addrs[2]));
+        let elapsed = start.elapsed();
+        assert!(resp.contains("\"ok\":true"), "rebalance failed: {resp}");
+        // The moved databases are the only `mv…` names in the response.
+        let moved = resp.matches("\"mv").count();
+        assert!(moved > 0, "grow moved nothing: {resp}");
+        let per_move_ms = elapsed.as_secs_f64() * 1e3 / moved as f64;
+        out.insert(
+            format!("facts_{facts_n}"),
+            Json::obj([
+                ("moved", Json::from(moved as u64)),
+                ("move_ms", Json::Num((per_move_ms * 100.0).round() / 100.0)),
+            ]),
+        );
+    }
+    Json::Obj(out)
+}
+
 fn main() {
     let rev = std::env::args().nth(1).unwrap_or_else(|| "dev".to_string());
     let mut plans = std::collections::BTreeMap::new();
@@ -407,6 +468,7 @@ fn main() {
         ),
         ("plans", Json::Obj(plans)),
         ("planner_adaptivity", planner_adaptivity()),
+        ("rebalance", rebalance()),
         ("streaming", streaming()),
         ("saturation", saturation()),
     ]);

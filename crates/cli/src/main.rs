@@ -11,7 +11,9 @@
 //!                 [--planner cost|static|off] [--shards N] [--ttl-ms MS]
 //!                 [--max-inflight N] [--max-subs-per-conn N] [--data-dir PATH]
 //!                 [--group-commit-us US] [--slow-ms MS] [--metrics-addr ADDR]
+//!                 [--replicate-to HOST:PORT]
 //!   ocqa route    --upstream HOST:PORT [--upstream HOST:PORT ...] [--listen ADDR]
+//!                 [--standby HOST:PORT|- ...] [--probe-ms MS] [--topology PATH]
 //!                 [--conn-workers N] [--slow-ms MS] [--max-subs-per-conn N]
 //!                 [--metrics-addr ADDR]
 //!   ocqa snapshot --data-dir PATH [--db NAME]
@@ -40,6 +42,17 @@
 //! byte-identical to an in-process `ocqa serve --shards N` — placement
 //! never changes an estimate — and the router reconnects transparently
 //! when an upstream is restarted.
+//!
+//! The route deployment is elastic. Membership is an epoch-versioned
+//! topology: the admin `rebalance` op grows the cluster live (shipping
+//! each reassigned database to the new shard as a snapshot), `--standby
+//! HOST:PORT` pairs an upstream with a WAL-replicated standby (run the
+//! standby as a plain `ocqa serve`; start the primary with
+//! `--replicate-to` pointing at it), and `--probe-ms N` turns on
+//! background health probing so a dead primary fails over to its
+//! standby automatically. `--topology PATH` persists membership across
+//! router restarts — on startup an existing file wins over the
+//! `--upstream`/`--standby` flags.
 //!
 //! Both long-running commands are observable: `--slow-ms N` traces any
 //! request slower than N milliseconds as a structured NDJSON event on
@@ -138,6 +151,7 @@ const COMMANDS: &[CommandSpec] = &[
             "max-subs-per-conn",
             "slow-ms",
             "metrics-addr",
+            "replicate-to",
         ],
         multi: &[],
         flags: &["help"],
@@ -150,8 +164,10 @@ const COMMANDS: &[CommandSpec] = &[
             "slow-ms",
             "max-subs-per-conn",
             "metrics-addr",
+            "probe-ms",
+            "topology",
         ],
-        multi: &["upstream"],
+        multi: &["upstream", "standby"],
         flags: &["help"],
     },
     CommandSpec {
@@ -229,8 +245,10 @@ fn usage() -> String {
      serve: [--listen HOST:PORT] [--workers N] [--conn-workers N] \
      [--cache ENTRIES] [--planner cost|static|off] [--shards N] [--ttl-ms MS] \
      [--max-inflight N] [--max-subs-per-conn N] [--data-dir PATH] \
-     [--group-commit-us US] [--slow-ms MS] [--metrics-addr HOST:PORT]\n  \
+     [--group-commit-us US] [--slow-ms MS] [--metrics-addr HOST:PORT] \
+     [--replicate-to HOST:PORT]\n  \
      route: --upstream HOST:PORT [--upstream HOST:PORT ...] \
+     [--standby HOST:PORT|- ...] [--probe-ms MS] [--topology PATH] \
      [--listen HOST:PORT] [--conn-workers N] [--slow-ms MS] \
      [--max-subs-per-conn N] [--metrics-addr HOST:PORT]\n  \
      snapshot: --data-dir PATH [--db NAME]"
@@ -388,6 +406,15 @@ fn serve_cmd(args: &Args) -> Result<(), String> {
         }
         None => ocqa_engine::Engine::new(config),
     };
+    if let Some(addr) = args.options.get("replicate-to") {
+        // Synchronous WAL-style replication: every acknowledged
+        // mutation is forwarded verbatim to the standby before the
+        // response is written, so an acked write survives a primary
+        // kill -9 (the router fails over to the standby at a new
+        // topology epoch).
+        engine.attach_replica(addr);
+        eprintln!("ocqa serve: replicating mutations to {addr}");
+    }
     spawn_metrics(args, "serve", engine.clone())?;
     match args.options.get("listen") {
         Some(addr) => {
@@ -414,7 +441,8 @@ fn serve_cmd(args: &Args) -> Result<(), String> {
 /// Boots the multi-process shard router: a standalone front door
 /// proxying the NDJSON protocol to the upstream shard servers (one per
 /// `--upstream`, in shard order — the first is shard 0, the
-/// prepared-handle authority). Fails fast if any upstream is
+/// prepared-handle authority). Each `--standby` pairs positionally with
+/// an `--upstream` (`-` = none). Fails fast if any upstream is
 /// unreachable or two upstreams serve the same database name.
 fn route_cmd(args: &Args) -> Result<(), String> {
     let upstreams = args.multi.get("upstream").cloned().unwrap_or_default();
@@ -424,21 +452,42 @@ fn route_cmd(args: &Args) -> Result<(), String> {
             usage()
         ));
     }
-    let proxy = ocqa_engine::RouteProxy::connect_with(
+    let standbys: Vec<Option<String>> = args
+        .multi
+        .get("standby")
+        .cloned()
+        .unwrap_or_default()
+        .into_iter()
+        .map(|s| if s == "-" { None } else { Some(s) })
+        .collect();
+    if standbys.len() > upstreams.len() {
+        return Err(format!(
+            "{} --standby for {} --upstream; each --standby pairs \
+             positionally with an --upstream (use - for none)",
+            standbys.len(),
+            upstreams.len()
+        ));
+    }
+    let probe_ms = match args.options.get("probe-ms") {
+        Some(n) => n
+            .parse::<u64>()
+            .map_err(|_| "--probe-ms expects a number")?,
+        None => 0,
+    };
+    let proxy = ocqa_engine::RouteProxy::connect_cfg(ocqa_engine::RouteConfig {
         upstreams,
-        slow_ms_option(args)?,
-        max_subs_option(args)?,
-    )
+        standbys,
+        slow_ms: slow_ms_option(args)?,
+        max_subs: max_subs_option(args)?,
+        probe_ms,
+        topology_path: args.options.get("topology").map(std::path::PathBuf::from),
+    })
     .map_err(|e| e.to_string())?;
     eprintln!(
-        "ocqa route: {} upstreams ({}), {} databases",
+        "ocqa route: epoch {}, {} upstreams ({}), {} databases",
+        proxy.epoch(),
         proxy.shards(),
-        proxy
-            .upstreams()
-            .iter()
-            .map(|u| u.addr().to_string())
-            .collect::<Vec<_>>()
-            .join(", "),
+        proxy.upstream_addrs().join(", "),
         proxy.databases()
     );
     spawn_metrics(args, "route", proxy.clone())?;

@@ -29,6 +29,10 @@ struct CatalogEntry {
     sigma: ConstraintSet,
     violations: ViolationSet,
     version: u64,
+    /// The original constraint source text, retained verbatim so the
+    /// entry can be exported as a snapshot transfer image (the parsed
+    /// `ConstraintSet` has no guaranteed round-trippable rendering).
+    constraints_src: String,
     /// Structural answer-plan classification — a function of `sigma`
     /// alone, computed once at install time.
     plan_kind: PlanKind,
@@ -187,6 +191,7 @@ impl Catalog {
             sigma: parsed.sigma,
             violations: parsed.violations,
             version,
+            constraints_src: parsed.constraints_src,
             snapshot: Mutex::new(None),
             plan: Mutex::new(None),
         };
@@ -222,6 +227,7 @@ impl Catalog {
             sigma,
             violations: restored.violations,
             version: restored.version,
+            constraints_src: restored.constraints,
             snapshot: Mutex::new(None),
             plan: Mutex::new(None),
         };
@@ -453,6 +459,29 @@ impl Catalog {
             .get(name)
             .map(|e| e.info(name))
             .ok_or_else(|| EngineError::UnknownDatabase(name.to_string()))
+    }
+
+    /// Exports one entry as a snapshot [`TransferImage`]: the database,
+    /// constraint source text, plan classification, maintained violation
+    /// set and — crucially — the exact catalog **version**, so the shard
+    /// that installs the image reports the same `db_version`s and builds
+    /// the same answer-cache keys as the exporting shard (byte-identical
+    /// answers across a rebalance).
+    ///
+    /// [`TransferImage`]: crate::transfer::TransferImage
+    pub fn export(&self, name: &str) -> Result<crate::transfer::TransferImage, EngineError> {
+        let entry = self
+            .entries
+            .get(name)
+            .ok_or_else(|| EngineError::UnknownDatabase(name.to_string()))?;
+        Ok(crate::transfer::TransferImage {
+            name: name.to_string(),
+            version: entry.version,
+            plan: entry.plan_kind,
+            constraints: entry.constraints_src.clone(),
+            db: entry.db.clone(),
+            violations: entry.violations.clone(),
+        })
     }
 
     /// Info for every entry, sorted by name.

@@ -34,7 +34,10 @@ use crate::proto::{EngineRequest, EngineResponse, EngineStatsPayload, QueryRef};
 use crate::server::LineService;
 use crate::shard::ShardEngine;
 use crate::storage::{MemoryBackend, StorageBackend};
+use crate::upstream::Upstream;
 use ocqa_core::{ChainGenerator, PreferenceGenerator, TrustGenerator, UniformGenerator};
+use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Engine tunables. `workers` and `cache_capacity` are **totals**: the
@@ -146,6 +149,76 @@ pub struct Engine {
     /// merging — the transport-agnostic half of the front door, shared
     /// verbatim with the multi-process [`crate::RouteProxy`].
     front: FrontDoor,
+    /// The `--replicate-to` standby, when attached: every acked
+    /// protocol-level mutation is forwarded to it synchronously and in
+    /// commit order (see [`Replicator`]). `None` on non-replicated
+    /// deployments — zero overhead there.
+    replica: RwLock<Option<Arc<Replicator>>>,
+}
+
+/// A synchronous op-stream replica: the standby behind `ocqa serve
+/// --replicate-to ADDR`. The primary forwards every **acked** mutation
+/// line to it verbatim, holding [`Replicator::order`] across
+/// apply-and-forward — shard version counters are allocation-order
+/// sensitive, so the standby must see mutations in exactly the
+/// primary's commit order to stay bit-identical. A standby that refuses
+/// or drops a forward is detached permanently (the primary keeps
+/// serving and acking; `replication_lag` then counts every mutation the
+/// standby missed) — a failover to a detached standby would lose acked
+/// writes, and the router's probe can see the lag.
+struct Replicator {
+    upstream: Upstream,
+    /// Mutations the (detached) standby missed.
+    lag: AtomicU64,
+    /// Set on the first failed forward; never cleared — a standby with a
+    /// hole in its op stream can never be trusted again.
+    detached: AtomicBool,
+    /// Held across apply + forward of each mutation.
+    order: Mutex<()>,
+}
+
+impl Replicator {
+    /// Forwards one acked mutation line; on failure, detaches for good.
+    fn forward(&self, line: &str) {
+        if self.detached.load(Ordering::Relaxed) {
+            self.lag.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let acked = self
+            .upstream
+            .exchange(line)
+            .ok()
+            .and_then(|resp| crate::json::parse(&resp).ok())
+            .map(|v| v.get("ok").and_then(Json::as_bool) == Some(true))
+            .unwrap_or(false);
+        if !acked {
+            self.detached.store(true, Ordering::Relaxed);
+            self.lag.fetch_add(1, Ordering::Relaxed);
+            eprintln!(
+                "{}",
+                Json::obj([
+                    ("addr", Json::from(self.upstream.addr().to_string())),
+                    ("event", Json::from("replica_detached")),
+                ])
+            );
+        }
+    }
+}
+
+/// Ops forwarded to an attached replica: everything that changes the
+/// durable state a standby must mirror to answer bit-identically
+/// (including shard-0 prepared-handle registrations, which are
+/// journaled).
+fn is_replicated(req: &EngineRequest) -> bool {
+    matches!(
+        req,
+        EngineRequest::CreateDb { .. }
+            | EngineRequest::DropDb { .. }
+            | EngineRequest::Insert { .. }
+            | EngineRequest::Delete { .. }
+            | EngineRequest::Prepare { .. }
+            | EngineRequest::InstallSnapshot { .. }
+    )
 }
 
 impl Engine {
@@ -205,12 +278,42 @@ impl Engine {
             let names = shard.list();
             front.seed(k, names.iter().map(|info| info.name.as_str()))?;
         }
-        Ok(Arc::new(Engine { shards, front }))
+        Ok(Arc::new(Engine {
+            shards,
+            front,
+            replica: RwLock::new(None),
+        }))
     }
 
     /// Number of shards behind this front door.
     pub fn shards(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Attaches the `--replicate-to` standby: from now on every acked
+    /// protocol-level mutation is forwarded to `addr` synchronously, in
+    /// commit order. Call before serving — a standby attached mid-stream
+    /// missed earlier mutations and could never converge. Direct
+    /// [`handle`](Engine::handle) calls bypass replication: it is a
+    /// protocol-level feature of the served line paths.
+    pub fn attach_replica(&self, addr: &str) {
+        *self.replica.write() = Some(Arc::new(Replicator {
+            upstream: Upstream::new(addr.to_string()),
+            lag: AtomicU64::new(0),
+            detached: AtomicBool::new(false),
+            order: Mutex::new(()),
+        }));
+    }
+
+    /// Mutations the attached standby has missed (`0` when healthy or
+    /// when no replica is attached) — the `replication_lag` metrics
+    /// field and the `ocqa_replication_lag_records` gauge.
+    pub fn replication_lag(&self) -> u64 {
+        self.replica
+            .read()
+            .as_ref()
+            .map(|r| r.lag.load(Ordering::Relaxed))
+            .unwrap_or(0)
     }
 
     /// The shard serving `name`: its restored/created placement if one
@@ -245,7 +348,13 @@ impl Engine {
     /// field; `list` entries each carry their database's shard.
     pub fn handle_line(&self, line: &str) -> Json {
         match parse_request(line) {
-            Ok((_, req)) => self.render(req),
+            Ok((raw, req)) => {
+                if let Err(e) = self.front.check_epoch(&raw) {
+                    self.front.begin_request();
+                    return EngineResponse::Error(e).to_json();
+                }
+                self.render_replicated(line, req)
+            }
             Err(e) => {
                 self.front.begin_request();
                 EngineResponse::Error(e).to_json()
@@ -258,13 +367,17 @@ impl Engine {
     /// connection's push channel), every other op behaves exactly as on
     /// a plain session.
     pub fn handle_open_line(&self, line: &str, session: &crate::subscribe::PushSession) -> Json {
-        let req = match parse_request(line) {
-            Ok((_, req)) => req,
+        let (raw, req) = match parse_request(line) {
+            Ok(parsed) => parsed,
             Err(e) => {
                 self.front.begin_request();
                 return EngineResponse::Error(e).to_json();
             }
         };
+        if let Err(e) = self.front.check_epoch(&raw) {
+            self.front.begin_request();
+            return EngineResponse::Error(e).to_json();
+        }
         match req {
             EngineRequest::Subscribe {
                 db,
@@ -301,8 +414,31 @@ impl Engine {
                 };
                 self.tag_shard(resp, k)
             }
-            other => self.render(other),
+            other => self.render_replicated(line, other),
         }
+    }
+
+    /// [`render`](Engine::render), forwarding the verbatim line to the
+    /// attached replica when the request is an **acked** mutation. The
+    /// replicator's order lock is held across apply + forward so the
+    /// standby sees mutations in exactly the primary's commit order —
+    /// the invariant that keeps its version counters (and therefore its
+    /// answers) bit-identical.
+    fn render_replicated(&self, line: &str, req: EngineRequest) -> Json {
+        let replica = if is_replicated(&req) {
+            self.replica.read().clone()
+        } else {
+            None
+        };
+        let Some(replica) = replica else {
+            return self.render(req);
+        };
+        let _order = replica.order.lock();
+        let json = self.render(req);
+        if json.get("ok").and_then(Json::as_bool) == Some(true) {
+            replica.forward(line);
+        }
+        json
     }
 
     /// Renders a parsed request: route, handle, tag the serving shard.
@@ -457,7 +593,51 @@ impl Engine {
                 None,
                 Ok(EngineResponse::Metrics(crate::proto::MetricsPayload {
                     per_shard: self.shards.iter().map(|s| s.metrics_snapshot()).collect(),
+                    // The in-process topology never changes (growing
+                    // means restarting with more --shards), so the epoch
+                    // stays at its initial value and no moves happen.
+                    topology_epoch: self.front.epoch(),
+                    rebalance_moves: 0,
+                    replication_lag: self.replication_lag(),
                 })),
+            ),
+            EngineRequest::FetchSnapshot { db } => {
+                let k = routed.expect("fetch_snapshot routes by name");
+                (
+                    Some(k as u32),
+                    self.shards[k].export_snapshot(&db).map(|img| {
+                        let image = crate::transfer::encode_image(&img);
+                        EngineResponse::Snapshot {
+                            db,
+                            version: img.version,
+                            image,
+                        }
+                    }),
+                )
+            }
+            EngineRequest::InstallSnapshot { db, image } => {
+                let k = routed.expect("install_snapshot routes by name");
+                let result = crate::transfer::decode_image(&image).and_then(|img| {
+                    if img.name != db {
+                        return Err(EngineError::BadRequest(format!(
+                            "install_snapshot: image is of database {:?}, not {db:?}",
+                            img.name
+                        )));
+                    }
+                    self.shards[k].install_snapshot(img)
+                });
+                if let Ok(info) = &result {
+                    self.front.record_create(&info.name, k);
+                }
+                (Some(k as u32), result.map(EngineResponse::Created))
+            }
+            EngineRequest::Rebalance { .. } => (
+                None,
+                Err(EngineError::BadRequest(
+                    "rebalance is a router op: an in-process engine grows by restarting \
+                     with more --shards; use ocqa route for live growth"
+                        .into(),
+                )),
             ),
             // Subscriptions need a duplex session to push frames into;
             // on a plain request path (stdio, direct `handle` calls)

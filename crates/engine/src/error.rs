@@ -44,6 +44,16 @@ pub enum EngineError {
     /// A remote upstream shard server could not be reached (or spoke
     /// garbage) — the multi-process router's transport failure.
     Unavailable(String),
+    /// The cluster topology changed under the client (its pinned
+    /// `"epoch"` is stale) or the addressed database is mid-move.
+    /// Rendered with structured `"retry": true` and `"epoch"` fields so
+    /// clients re-resolve and retry instead of treating it as a failure.
+    StaleTopology {
+        /// The router's current topology epoch.
+        epoch: u64,
+        /// The human-readable explanation.
+        message: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -64,6 +74,9 @@ impl fmt::Display for EngineError {
                 "shard {shard} is at its sampling admission limit; retry shortly"
             ),
             EngineError::Unavailable(msg) => write!(f, "upstream unavailable: {msg}"),
+            EngineError::StaleTopology { epoch, message } => {
+                write!(f, "topology changed (epoch {epoch}): {message}")
+            }
         }
     }
 }

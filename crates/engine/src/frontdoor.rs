@@ -51,6 +51,41 @@
 //! so the upstream's own limit never trips), and a dead upstream turns
 //! into a structured `"event":"closed"` frame with reason `"upstream"`
 //! rather than a silent hang.
+//!
+//! # The elastic cluster
+//!
+//! The front door's routing state is an explicit, **epoch-versioned**
+//! [`Topology`]: member count, per-database placement overrides and the
+//! set of in-flight moves, with an epoch bumped by every membership
+//! change, committed move and failover. Requests may pin the epoch they
+//! resolved placement at (`"epoch":N`); a pinned request against a
+//! changed topology — or a mutation addressed to a mid-move database —
+//! gets a structured [`EngineError::StaleTopology`] retry (`"retry":
+//! true` plus the current epoch) instead of a silently wrong shard.
+//!
+//! On top of the topology the route proxy is elastic three ways:
+//!
+//! * **Live rebalance** — the admin `rebalance` op grows the cluster
+//!   n→n+1 under traffic: the new upstream is registered, every
+//!   database whose rendezvous home moves is snapshot-shipped
+//!   (`fetch_snapshot` → `install_snapshot`, versions preserved
+//!   exactly), its placement flipped at a new epoch, and only then
+//!   dropped from the old shard. Move-then-drop means a crash mid-move
+//!   leaves a duplicate that [`FrontDoor::seed`] detects as a hard
+//!   error — never a lost database.
+//! * **Background health probing** — `--probe-ms` probes every upstream
+//!   with a lightweight `stats` exchange, detecting a dead shard (and
+//!   hot re-dialing a recovered one) before the first client request.
+//! * **Standby failover** — a primary that fails [`FAILOVER_AFTER`]
+//!   consecutive probes with a `--standby` configured is replaced by
+//!   its standby at a new epoch. The standby replayed every acked
+//!   mutation (the serve side's synchronous `--replicate-to` op-stream
+//!   replication), so acked writes survive and answers stay
+//!   bit-identical.
+//!
+//! Membership changes persist to `--topology PATH` (`{epoch, upstreams,
+//! standbys}`, tmp+rename): on restart the file wins over the CLI
+//! flags, so a grown or failed-over cluster resumes as it last ran.
 
 use crate::catalog::DatabaseInfo;
 use crate::error::EngineError;
@@ -58,7 +93,7 @@ use crate::json::Json;
 use crate::obs::{MetricsSnapshot, SlowLog};
 use crate::planner::PlanKind;
 use crate::proto::{EngineRequest, EngineResponse, EngineStatsPayload, MetricsPayload, QueryRef};
-use crate::router::Router;
+use crate::router::Topology;
 use crate::server::{Frame, LineService};
 use crate::shard::ShardStats;
 use crate::subscribe::{self, PushOutcome, PushSession};
@@ -66,9 +101,15 @@ use crate::upstream::{StreamSession, Upstream};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::net::{Shutdown, TcpStream};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Consecutive probe failures before a primary with a standby is failed
+/// over. One failure can be a blip; three spaced `--probe-ms` apart is a
+/// dead process.
+pub const FAILOVER_AFTER: u32 = 3;
 
 /// Where the front door sends a request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -99,10 +140,31 @@ pub fn route_of(req: &EngineRequest) -> RouteTarget<'_> {
         | EngineRequest::Answer { db, .. }
         | EngineRequest::Explain { db, .. }
         | EngineRequest::Subscribe { db, .. }
-        | EngineRequest::Unsubscribe { db, .. } => RouteTarget::Database(db),
+        | EngineRequest::Unsubscribe { db, .. }
+        | EngineRequest::FetchSnapshot { db }
+        | EngineRequest::InstallSnapshot { db, .. } => RouteTarget::Database(db),
         EngineRequest::Prepare { .. } | EngineRequest::PreparedGet { .. } => RouteTarget::Authority,
         EngineRequest::List | EngineRequest::Stats | EngineRequest::Metrics => RouteTarget::FanOut,
+        // The rebalance admin op mutates the *topology*, not a shard:
+        // the front door itself serves it (the in-process engine refuses
+        // — growing it means restarting with more `--shards`).
+        EngineRequest::Rebalance { .. } => RouteTarget::Local,
     }
+}
+
+/// Ops that change durable shard state. A mutation addressed to a
+/// mid-move database is refused with a structured retry — the shipped
+/// snapshot must not miss an acked write — while reads keep serving
+/// from the old shard until the move commits.
+fn is_mutation(req: &EngineRequest) -> bool {
+    matches!(
+        req,
+        EngineRequest::CreateDb { .. }
+            | EngineRequest::DropDb { .. }
+            | EngineRequest::Insert { .. }
+            | EngineRequest::Delete { .. }
+            | EngineRequest::InstallSnapshot { .. }
+    )
 }
 
 /// Parses one protocol line into a request (plus the raw JSON value, so
@@ -113,26 +175,24 @@ pub fn parse_request(line: &str) -> Result<(Json, EngineRequest), EngineError> {
     Ok((v, req))
 }
 
-/// Transport-agnostic front-door state: the deterministic router plus
-/// the placement table, request counter and fan-out merge logic.
+/// Transport-agnostic front-door state: the epoch-versioned topology
+/// plus the request counter and fan-out merge logic.
 pub struct FrontDoor {
-    router: Router,
-    /// Actual placements, seeded from recovery: a database restored on a
-    /// shard stays there even if the router would place a *new* database
-    /// of that name elsewhere (e.g. after a shard-count change). New
-    /// names fall through to the router; drops clear their entry.
-    placements: RwLock<HashMap<String, usize>>,
+    /// The serving topology: member count, per-database placement
+    /// overrides (a database restored or created on a shard stays there
+    /// even when rendezvous hashing would place a *new* namesake
+    /// elsewhere), in-flight moves, and the epoch every change bumps.
+    topology: RwLock<Topology>,
     requests: AtomicU64,
     started: Instant,
 }
 
 impl FrontDoor {
     /// A front door over `shards` shards (at least 1), with no seeded
-    /// placements.
+    /// placements, at epoch 1.
     pub fn new(shards: usize) -> FrontDoor {
         FrontDoor {
-            router: Router::new(shards),
-            placements: RwLock::new(HashMap::new()),
+            topology: RwLock::new(Topology::new(shards)),
             requests: AtomicU64::new(0),
             started: Instant::now(),
         }
@@ -140,25 +200,71 @@ impl FrontDoor {
 
     /// Number of shards behind this front door.
     pub fn shards(&self) -> usize {
-        self.router.shards()
+        self.topology.read().shards()
+    }
+
+    /// The topology lock itself — the route proxy's rebalancer and
+    /// failover sequence the epoch-bumping transitions directly.
+    pub fn topology(&self) -> &RwLock<Topology> {
+        &self.topology
+    }
+
+    /// The current topology epoch.
+    pub fn epoch(&self) -> u64 {
+        self.topology.read().epoch()
+    }
+
+    /// Enforces a request's pinned `"epoch"` field, when present: a
+    /// client that resolved placement under an older (or newer) topology
+    /// gets a structured retry carrying the current epoch, never a
+    /// silently wrong shard.
+    pub fn check_epoch(&self, raw: &Json) -> Result<(), EngineError> {
+        let Some(pinned) = raw.get("epoch").and_then(Json::as_u64) else {
+            return Ok(());
+        };
+        let current = self.epoch();
+        if pinned != current {
+            return Err(EngineError::StaleTopology {
+                epoch: current,
+                message: format!("request pinned epoch {pinned}; re-resolve and retry"),
+            });
+        }
+        Ok(())
+    }
+
+    /// Refuses a mutation addressed to a mid-move database with a
+    /// structured retry (reads keep serving from the old shard until
+    /// the move commits).
+    pub fn check_not_moving(&self, name: &str) -> Result<(), EngineError> {
+        let topo = self.topology.read();
+        if topo.is_moving(name) {
+            return Err(EngineError::StaleTopology {
+                epoch: topo.epoch(),
+                message: format!("database {name:?} is mid-move; retry after the move commits"),
+            });
+        }
+        Ok(())
     }
 
     /// Seeds recovered placements for one shard. A name already seeded
-    /// by **another** shard is a hard error (a resharding gone wrong),
-    /// never a silent coin toss.
+    /// by **another** shard is a hard error (a half-finished rebalance
+    /// or a resharding gone wrong), never a silent coin toss.
     pub fn seed<'a>(
         &self,
         shard: usize,
         names: impl IntoIterator<Item = &'a str>,
     ) -> Result<(), EngineError> {
-        let mut placements = self.placements.write();
+        let mut topology = self.topology.write();
         for name in names {
-            if let Some(other) = placements.insert(name.to_string(), shard) {
+            if let Some(other) = topology.placed(name) {
                 return Err(EngineError::Storage(format!(
                     "database {name:?} recovered on shard {other} and shard {shard}; \
-                     rebalance the data directories before serving"
+                     rebalance the data directories before serving (a rebalance that \
+                     died between install and drop leaves the database on both its \
+                     old and new shard — drop it from the old one to resume)"
                 )));
             }
+            topology.place(name, shard);
         }
         Ok(())
     }
@@ -166,20 +272,17 @@ impl FrontDoor {
     /// The shard serving `name`: its restored/created placement if one
     /// exists, the router's deterministic assignment otherwise.
     pub fn shard_of(&self, name: &str) -> usize {
-        if let Some(k) = self.placements.read().get(name) {
-            return *k;
-        }
-        self.router.shard_for(name)
+        self.topology.read().shard_of(name)
     }
 
     /// Records a successful `create_db` placement.
     pub fn record_create(&self, name: &str, shard: usize) {
-        self.placements.write().insert(name.to_string(), shard);
+        self.topology.write().place(name, shard);
     }
 
     /// Clears a dropped database's placement.
     pub fn record_drop(&self, name: &str) {
-        self.placements.write().remove(name);
+        self.topology.write().remove(name);
     }
 
     /// Counts one front-door request. Shards never count requests —
@@ -260,11 +363,51 @@ impl FrontDoor {
 /// A routed subscription's identity: (client session id, db, sub id).
 type SubKey = (u64, String, u64);
 
+/// One router-side upstream slot: the live primary plus the optional
+/// standby it fails over to.
+struct UpstreamSlot {
+    upstream: Arc<Upstream>,
+    /// `--standby` address paired with this slot, if any. Consumed by a
+    /// failover: a standby serves at most one promotion.
+    standby: Option<String>,
+}
+
+/// Everything [`RouteProxy::connect_cfg`] needs to build a router.
+pub struct RouteConfig {
+    /// Upstream addresses in shard order (the first is shard 0, the
+    /// prepared-handle authority).
+    pub upstreams: Vec<String>,
+    /// Standby address per upstream slot, positionally paired
+    /// (`None` = no standby; shorter than `upstreams` is padded).
+    pub standbys: Vec<Option<String>>,
+    /// `--slow-ms` transport trace threshold (`0` disables).
+    pub slow_ms: u64,
+    /// `--max-subs-per-conn` subscription ceiling.
+    pub max_subs: usize,
+    /// `--probe-ms` background health-probe interval (`0` disables
+    /// probing, and with it automatic failover).
+    pub probe_ms: u64,
+    /// `--topology PATH`: where membership changes persist. On startup
+    /// an existing file **wins over** `upstreams`/`standbys`, so a grown
+    /// or failed-over cluster resumes as it last ran.
+    pub topology_path: Option<PathBuf>,
+}
+
+/// The membership record persisted at `--topology PATH`.
+struct PersistedTopology {
+    epoch: u64,
+    upstreams: Vec<String>,
+    standbys: Vec<Option<String>>,
+}
+
 /// The `ocqa route` engine: a standalone front door proxying the NDJSON
 /// protocol to remote shard servers. See the module docs.
 pub struct RouteProxy {
     front: FrontDoor,
-    upstreams: Vec<Upstream>,
+    /// Upstream slots in shard order. Behind a lock because `rebalance`
+    /// appends and failover swaps a primary in place; request paths
+    /// clone the `Arc<Upstream>` out and never hold the lock across IO.
+    slots: RwLock<Vec<UpstreamSlot>>,
     slow: SlowLog,
     /// Per-connection subscription ceiling (`--max-subs-per-conn`),
     /// enforced at the router before an upstream is dialed.
@@ -275,6 +418,14 @@ pub struct RouteProxy {
     /// disconnect, upstream close) owns the teardown, so the relay never
     /// synthesizes a terminal frame for an already-ended subscription.
     subs: Arc<Mutex<HashMap<SubKey, TcpStream>>>,
+    /// Databases moved by completed rebalance steps (the
+    /// `ocqa_rebalance_moves_total` gauge).
+    moves: AtomicU64,
+    /// Where membership persists (see [`RouteConfig::topology_path`]).
+    topology_path: Option<PathBuf>,
+    /// Serializes topology mutations: one rebalance or failover at a
+    /// time, never interleaved.
+    admin: Mutex<()>,
 }
 
 /// Outcome of resolving a prepared handle against upstream 0.
@@ -307,14 +458,52 @@ impl RouteProxy {
         slow_ms: u64,
         max_subs: usize,
     ) -> Result<Arc<RouteProxy>, EngineError> {
+        RouteProxy::connect_cfg(RouteConfig {
+            upstreams: addrs,
+            standbys: Vec::new(),
+            slow_ms,
+            max_subs,
+            probe_ms: 0,
+            topology_path: None,
+        })
+    }
+
+    /// The full-configuration constructor behind `ocqa route`: standbys,
+    /// background probing and topology persistence. An existing
+    /// `--topology` file **overrides** the configured members (the
+    /// cluster resumes as it last ran); a missing one is written fresh.
+    pub fn connect_cfg(cfg: RouteConfig) -> Result<Arc<RouteProxy>, EngineError> {
+        let mut addrs = cfg.upstreams;
+        let mut standbys = cfg.standbys;
+        let mut epoch = None;
+        if let Some(path) = cfg.topology_path.as_deref() {
+            if path.exists() {
+                let persisted = load_topology(path)?;
+                addrs = persisted.upstreams;
+                standbys = persisted.standbys;
+                epoch = Some(persisted.epoch);
+            }
+        }
         if addrs.is_empty() {
             return Err(EngineError::BadRequest(
                 "route needs at least one upstream".into(),
             ));
         }
-        let upstreams: Vec<Upstream> = addrs.into_iter().map(Upstream::new).collect();
-        let front = FrontDoor::new(upstreams.len());
-        for (k, up) in upstreams.iter().enumerate() {
+        standbys.resize(addrs.len(), None);
+        let slots: Vec<UpstreamSlot> = addrs
+            .into_iter()
+            .zip(standbys)
+            .map(|(addr, standby)| UpstreamSlot {
+                upstream: Arc::new(Upstream::new(addr)),
+                standby,
+            })
+            .collect();
+        let front = FrontDoor::new(slots.len());
+        if let Some(epoch) = epoch {
+            front.topology().write().set_epoch(epoch);
+        }
+        for (k, slot) in slots.iter().enumerate() {
+            let up = &slot.upstream;
             let resp = up.exchange(r#"{"op":"list"}"#)?;
             let infos = crate::json::parse(&resp)
                 .map_err(|e| e.to_string())
@@ -324,28 +513,65 @@ impl RouteProxy {
                 })?;
             front.seed(k, infos.iter().map(|i| i.name.as_str()))?;
         }
-        Ok(Arc::new(RouteProxy {
+        let proxy = Arc::new(RouteProxy {
             front,
-            upstreams,
-            slow: SlowLog::new(slow_ms),
-            max_subs,
+            slots: RwLock::new(slots),
+            slow: SlowLog::new(cfg.slow_ms),
+            max_subs: cfg.max_subs,
             subs: Arc::new(Mutex::new(HashMap::new())),
-        }))
+            moves: AtomicU64::new(0),
+            topology_path: cfg.topology_path,
+            admin: Mutex::new(()),
+        });
+        if let Some(path) = proxy.topology_path.as_deref() {
+            if !path.exists() {
+                proxy.persist_topology()?;
+            }
+        }
+        if cfg.probe_ms > 0 {
+            spawn_prober(&proxy, cfg.probe_ms);
+        }
+        Ok(proxy)
     }
 
     /// Number of upstream shard servers.
     pub fn shards(&self) -> usize {
-        self.upstreams.len()
+        self.slots.read().len()
     }
 
     /// Number of databases currently placed across the upstreams.
     pub fn databases(&self) -> usize {
-        self.front.placements.read().len()
+        self.front.topology().read().len()
     }
 
-    /// The upstream handles (address, health, reconnect counters).
-    pub fn upstreams(&self) -> &[Upstream] {
-        &self.upstreams
+    /// The current topology epoch.
+    pub fn epoch(&self) -> u64 {
+        self.front.epoch()
+    }
+
+    /// The current upstream addresses, in shard order.
+    pub fn upstream_addrs(&self) -> Vec<String> {
+        self.slots
+            .read()
+            .iter()
+            .map(|s| s.upstream.addr().to_string())
+            .collect()
+    }
+
+    /// The live upstream handle for shard `k` (cloned out so no request
+    /// ever holds the slot lock across IO). After a failover this is the
+    /// promoted standby.
+    pub fn upstream(&self, k: usize) -> Arc<Upstream> {
+        self.slots.read()[k].upstream.clone()
+    }
+
+    /// A point-in-time snapshot of every upstream handle, for fan-outs.
+    fn upstream_snapshot(&self) -> Vec<Arc<Upstream>> {
+        self.slots
+            .read()
+            .iter()
+            .map(|s| s.upstream.clone())
+            .collect()
     }
 
     /// The shard serving `name` (placement table, else the router).
@@ -365,19 +591,7 @@ impl RouteProxy {
             Err(e) => return error_line(None, e),
         };
         let op = req.op_name();
-        let out = match route_of(&req) {
-            RouteTarget::Local => EngineResponse::Pong.to_json().to_string(),
-            RouteTarget::Authority => self.proxy_authority(line),
-            RouteTarget::Database(name) => {
-                let k = self.front.shard_of(name);
-                self.proxy_database(line, raw, &req, k)
-            }
-            RouteTarget::FanOut => match &req {
-                EngineRequest::List => self.fan_out_list(),
-                EngineRequest::Metrics => self.fan_out_metrics(),
-                _ => self.fan_out_stats(),
-            },
-        };
+        let out = self.route_one(line, raw, &req);
         // Transport-level slow tracing: total proxy time, including the
         // upstream's own service time. The stage breakdown lives in the
         // upstream's log — this event identifies *which* routed request
@@ -396,15 +610,64 @@ impl RouteProxy {
         out
     }
 
+    /// Routes one parsed request: epoch enforcement, mid-move mutation
+    /// gating, then the per-target proxy path.
+    fn route_one(&self, line: &str, mut raw: Json, req: &EngineRequest) -> String {
+        if let Err(e) = self.front.check_epoch(&raw) {
+            return error_line(None, e);
+        }
+        // Strip a *validated* epoch pin before forwarding: each upstream
+        // is its own single-shard engine whose epoch never leaves 1, so
+        // a forwarded pin from a grown router would be refused there.
+        let stripped: String;
+        let line: &str = if raw.get("epoch").is_some() {
+            raw.remove("epoch");
+            stripped = raw.to_string();
+            &stripped
+        } else {
+            line
+        };
+        match route_of(req) {
+            RouteTarget::Local => match req {
+                EngineRequest::Rebalance { add, standby } => {
+                    match self.rebalance(add, standby.as_deref()) {
+                        Ok(resp) => resp.to_json().to_string(),
+                        Err(e) => error_line(None, e),
+                    }
+                }
+                _ => EngineResponse::Pong.to_json().to_string(),
+            },
+            RouteTarget::Authority => self.proxy_authority(line),
+            RouteTarget::Database(name) => {
+                if is_mutation(req) {
+                    if let Err(e) = self.front.check_not_moving(name) {
+                        return error_line(Some(self.front.shard_of(name) as u32), e);
+                    }
+                }
+                let k = self.front.shard_of(name);
+                self.proxy_database(line, raw, req, k)
+            }
+            RouteTarget::FanOut => match req {
+                EngineRequest::List => self.fan_out_list(),
+                EngineRequest::Metrics => self.fan_out_metrics(),
+                _ => self.fan_out_stats(),
+            },
+        }
+    }
+
     /// Forwards a line to upstream `k` and parses the response (every
     /// well-behaved upstream emits one JSON object per line).
     fn forward(&self, k: usize, line: &str) -> Result<Json, EngineError> {
-        let resp = self.upstreams[k].exchange(line)?;
+        RouteProxy::forward_up(&self.upstream(k), line)
+    }
+
+    /// [`forward`](RouteProxy::forward) against an explicit upstream
+    /// handle (the rebalancer talks to shards the topology does not
+    /// route to yet, or no longer routes to).
+    fn forward_up(up: &Upstream, line: &str) -> Result<Json, EngineError> {
+        let resp = up.exchange(line)?;
         crate::json::parse(&resp).map_err(|e| {
-            EngineError::Unavailable(format!(
-                "{}: malformed response: {e}",
-                self.upstreams[k].addr()
-            ))
+            EngineError::Unavailable(format!("{}: malformed response: {e}", up.addr()))
         })
     }
 
@@ -478,7 +741,7 @@ impl RouteProxy {
             Some(text) => Resolved::Text(text.to_string()),
             None => Resolved::Transport(EngineError::Unavailable(format!(
                 "{}: prepared_get returned no query text",
-                self.upstreams[0].addr()
+                self.upstream(0).addr()
             ))),
         }
     }
@@ -487,9 +750,10 @@ impl RouteProxy {
     /// dead upstream fails the whole request — an incomplete catalog
     /// must never be presented as complete.
     fn fan_out_list(&self) -> String {
-        let mut lists = Vec::with_capacity(self.upstreams.len());
-        for (k, up) in self.upstreams.iter().enumerate() {
-            let resp = match self.forward(k, r#"{"op":"list"}"#) {
+        let ups = self.upstream_snapshot();
+        let mut lists = Vec::with_capacity(ups.len());
+        for up in &ups {
+            let resp = match RouteProxy::forward_up(up, r#"{"op":"list"}"#) {
                 Ok(resp) => resp,
                 Err(e) => return error_line(None, e),
             };
@@ -510,10 +774,11 @@ impl RouteProxy {
 
     /// `stats`: fan out and sum per-upstream counters exactly once.
     fn fan_out_stats(&self) -> String {
+        let ups = self.upstream_snapshot();
         let mut backend = String::new();
-        let mut per_shard = Vec::with_capacity(self.upstreams.len());
-        for (k, up) in self.upstreams.iter().enumerate() {
-            let resp = match self.forward(k, r#"{"op":"stats"}"#) {
+        let mut per_shard = Vec::with_capacity(ups.len());
+        for (k, up) in ups.iter().enumerate() {
+            let resp = match RouteProxy::forward_up(up, r#"{"op":"stats"}"#) {
                 Ok(resp) => resp,
                 Err(e) => return error_line(None, e),
             };
@@ -534,6 +799,7 @@ impl RouteProxy {
         }
         let payload = self.front.sum_stats(backend, &per_shard);
         let mut json = EngineResponse::Stats(payload).to_json();
+        json.set("topology", self.topology_json());
         json.set("upstreams", self.upstream_health());
         json.to_string()
     }
@@ -543,14 +809,19 @@ impl RouteProxy {
     /// in-process engine uses — so the two deployments answer
     /// byte-identically, apart from the router-only `upstreams` key.
     fn fan_out_metrics(&self) -> String {
-        let mut per_shard = Vec::with_capacity(self.upstreams.len());
-        for (k, up) in self.upstreams.iter().enumerate() {
-            let resp = match self.forward(k, r#"{"op":"metrics"}"#) {
+        let ups = self.upstream_snapshot();
+        let mut per_shard = Vec::with_capacity(ups.len());
+        let mut lag = 0u64;
+        for up in &ups {
+            let resp = match RouteProxy::forward_up(up, r#"{"op":"metrics"}"#) {
                 Ok(resp) => resp,
                 Err(e) => return error_line(None, e),
             };
             match parse_metrics(&resp) {
-                Ok(snapshot) => per_shard.push(snapshot),
+                Ok((snapshot, shard_lag)) => {
+                    per_shard.push(snapshot);
+                    lag += shard_lag;
+                }
                 Err(e) => {
                     return error_line(
                         None,
@@ -559,15 +830,58 @@ impl RouteProxy {
                 }
             }
         }
-        let mut json = EngineResponse::Metrics(MetricsPayload { per_shard }).to_json();
+        let mut json = EngineResponse::Metrics(MetricsPayload {
+            per_shard,
+            topology_epoch: self.front.epoch(),
+            rebalance_moves: self.moves.load(Ordering::Relaxed),
+            replication_lag: lag,
+        })
+        .to_json();
         json.set("upstreams", self.upstream_health());
         json.to_string()
+    }
+
+    /// The router-only `topology` block appended to `stats` responses:
+    /// epoch, members (with standbys), in-flight moves and placement
+    /// count.
+    fn topology_json(&self) -> Json {
+        let slots = self.slots.read();
+        let topo = self.front.topology().read();
+        let members = slots
+            .iter()
+            .enumerate()
+            .map(|(k, s)| {
+                let mut m = Json::obj([
+                    ("addr", Json::from(s.upstream.addr().to_string())),
+                    ("shard", Json::from(k as u64)),
+                ]);
+                if let Some(standby) = &s.standby {
+                    m.set("standby", Json::from(standby.clone()));
+                }
+                m
+            })
+            .collect();
+        Json::obj([
+            ("epoch", Json::from(topo.epoch())),
+            ("members", Json::Arr(members)),
+            (
+                "moving",
+                Json::Arr(topo.moving().into_iter().map(Json::from).collect()),
+            ),
+            ("placements", Json::from(topo.len() as u64)),
+            ("shards", Json::from(topo.shards() as u64)),
+        ])
     }
 
     /// The per-upstream health array appended (router-only) to `stats`
     /// and `metrics` responses.
     fn upstream_health(&self) -> Json {
-        Json::Arr(self.upstreams.iter().map(Upstream::health_json).collect())
+        Json::Arr(
+            self.upstream_snapshot()
+                .iter()
+                .map(|up| up.health_json())
+                .collect(),
+        )
     }
 
     /// [`handle_line`](RouteProxy::handle_line) on a duplex session:
@@ -575,7 +889,7 @@ impl RouteProxy {
     /// pushed frames to the client verbatim, `unsubscribe` tears the
     /// relay down, every other op behaves exactly as on a plain session.
     pub fn handle_open_line(&self, line: &str, session: &PushSession) -> String {
-        let (raw, req) = match parse_request(line) {
+        let (mut raw, req) = match parse_request(line) {
             Ok(parsed) => parsed,
             Err(e) => {
                 self.front.begin_request();
@@ -585,10 +899,19 @@ impl RouteProxy {
         match req {
             EngineRequest::Subscribe { db, query, .. } => {
                 self.front.begin_request();
+                if let Err(e) = self.front.check_epoch(&raw) {
+                    return error_line(None, e);
+                }
+                if raw.get("epoch").is_some() {
+                    raw.remove("epoch");
+                }
                 self.proxy_subscribe(raw, &db, &query, session)
             }
             EngineRequest::Unsubscribe { db, sub } => {
                 self.front.begin_request();
+                if let Err(e) = self.front.check_epoch(&raw) {
+                    return error_line(None, e);
+                }
                 self.proxy_unsubscribe(&db, sub, session)
             }
             _ => self.handle_line(line),
@@ -621,7 +944,8 @@ impl RouteProxy {
             session.remove_sub();
             error_line(Some(k as u32), e)
         };
-        let addr = self.upstreams[k].addr();
+        let up = self.upstream(k);
+        let addr = up.addr();
         // Prepared handles live on upstream 0: rewrite to the query text
         // before routing elsewhere, exactly like `answer`.
         if let QueryRef::Prepared(id) = query {
@@ -640,7 +964,7 @@ impl RouteProxy {
                 }
             }
         }
-        let mut stream = match self.upstreams[k].dial_stream() {
+        let mut stream = match up.dial_stream() {
             Ok(stream) => stream,
             Err(e) => return fail(e),
         };
@@ -730,6 +1054,325 @@ impl RouteProxy {
             None => error_line(Some(k as u32), subscribe::unknown_subscription(db, sub)),
         }
     }
+
+    /// Grows the cluster from `n` to `n+1` upstreams, live: registers
+    /// (and persists) the new member, snapshot-ships every database
+    /// whose rendezvous home moves to it, flips each placement at a new
+    /// epoch, and only then drops the source copy (move-then-drop — a
+    /// crash mid-move leaves a duplicate [`FrontDoor::seed`] refuses,
+    /// never a lost database). Mutations against a mid-move database are
+    /// refused with a structured retry; reads keep serving from the old
+    /// shard until its move commits. A rebalance that failed partway is
+    /// resumable by re-issuing the op with the same address.
+    pub fn rebalance(
+        &self,
+        add: &str,
+        standby: Option<&str>,
+    ) -> Result<EngineResponse, EngineError> {
+        let _admin = self.admin.lock();
+        // A slot past the routed shard count is a mid-flight grow (a
+        // prior attempt died after registering the member): resume it
+        // rather than registering twice.
+        let pending = {
+            let slots = self.slots.read();
+            if slots.len() > self.front.shards() {
+                let k = slots.len() - 1;
+                Some((k, slots[k].upstream.addr().to_string()))
+            } else {
+                None
+            }
+        };
+        let new_index = match pending {
+            Some((k, ref addr)) if addr == add => k,
+            Some((_, addr)) => {
+                return Err(EngineError::BadRequest(format!(
+                    "rebalance: a grow to {addr:?} is mid-flight; resume it by \
+                     re-issuing rebalance with that address"
+                )));
+            }
+            None => {
+                let up = Upstream::new(add.to_string());
+                let resp = RouteProxy::forward_up(&up, r#"{"op":"list"}"#)?;
+                let infos = parse_list(&resp)
+                    .map_err(|e| EngineError::Unavailable(format!("{add}: malformed list: {e}")))?;
+                if !infos.is_empty() {
+                    return Err(EngineError::BadRequest(format!(
+                        "rebalance: new shard {add:?} is not empty ({} databases); \
+                         point it at a fresh data directory",
+                        infos.len()
+                    )));
+                }
+                let mut slots = self.slots.write();
+                let k = slots.len();
+                slots.push(UpstreamSlot {
+                    upstream: Arc::new(up),
+                    standby: standby.map(str::to_string),
+                });
+                drop(slots);
+                // Persist the grown membership *before* any data moves:
+                // a crash mid-move must restart knowing about the shard
+                // that already holds shipped databases.
+                self.persist_topology()?;
+                k
+            }
+        };
+        let new_up = self.upstream(new_index);
+        let moving = self.front.topology().read().names_moving_to_new_shard();
+        for name in &moving {
+            self.move_database(name, new_index, &new_up)?;
+        }
+        {
+            let mut topo = self.front.topology().write();
+            topo.set_shards(new_index + 1);
+            topo.bump_epoch();
+        }
+        self.persist_topology()?;
+        Ok(EngineResponse::Rebalanced {
+            epoch: self.front.epoch(),
+            shards: new_index + 1,
+            moved: moving,
+        })
+    }
+
+    /// Ships one database to the new shard and commits its placement
+    /// flip. Mutations are blocked (structured retry) from `begin_move`
+    /// to `finish_move`; reads keep hitting the old shard, whose copy is
+    /// frozen by the block, so the shipped snapshot can't miss a write.
+    fn move_database(
+        &self,
+        name: &str,
+        new_index: usize,
+        new_up: &Upstream,
+    ) -> Result<(), EngineError> {
+        let old = self.front.shard_of(name);
+        self.front.topology().write().begin_move(name);
+        if let Err(e) = self.ship_database(name, old, new_up) {
+            self.front.topology().write().abort_move(name);
+            return Err(e);
+        }
+        self.front.topology().write().finish_move(name, new_index);
+        self.moves.fetch_add(1, Ordering::Relaxed);
+        self.persist_topology()?;
+        // Drop the source copy — addressed at the old shard directly,
+        // never routed: the placement already points at the new one.
+        let drop_line = Json::obj([
+            ("name", Json::from(name.to_string())),
+            ("op", Json::from("drop_db")),
+        ])
+        .to_string();
+        let resp = RouteProxy::forward_up(&self.upstream(old), &drop_line)?;
+        if !is_ok(&resp) {
+            return Err(EngineError::Storage(format!(
+                "rebalance: moved {name:?} to shard {new_index} but dropping it from \
+                 shard {old} failed: {resp}; drop it there manually, then re-issue \
+                 the rebalance"
+            )));
+        }
+        Ok(())
+    }
+
+    /// The shipping leg: `fetch_snapshot` from the old shard,
+    /// `install_snapshot` on the new upstream (version, plan and
+    /// violations preserved exactly — answers stay bit-identical).
+    fn ship_database(&self, name: &str, old: usize, new_up: &Upstream) -> Result<(), EngineError> {
+        let fetch = Json::obj([
+            ("db", Json::from(name.to_string())),
+            ("op", Json::from("fetch_snapshot")),
+        ])
+        .to_string();
+        let resp = RouteProxy::forward_up(&self.upstream(old), &fetch)?;
+        if !is_ok(&resp) {
+            return Err(EngineError::Storage(format!(
+                "rebalance: fetch_snapshot of {name:?} from shard {old} refused: {resp}"
+            )));
+        }
+        let Some(image) = resp.get("image").and_then(Json::as_str) else {
+            return Err(EngineError::Storage(format!(
+                "rebalance: fetch_snapshot of {name:?} returned no image"
+            )));
+        };
+        let install = Json::obj([
+            ("db", Json::from(name.to_string())),
+            ("image", Json::from(image.to_string())),
+            ("op", Json::from("install_snapshot")),
+        ])
+        .to_string();
+        let resp = RouteProxy::forward_up(new_up, &install)?;
+        if !is_ok(&resp) {
+            return Err(EngineError::Storage(format!(
+                "rebalance: install_snapshot of {name:?} on {} refused: {resp}",
+                new_up.addr()
+            )));
+        }
+        Ok(())
+    }
+
+    /// One background probe sweep: a lightweight `stats` exchange per
+    /// upstream (hot re-dialing recovered ones), tracking consecutive
+    /// failures in `fails` (resized to the slot count); a primary at
+    /// [`FAILOVER_AFTER`] consecutive failures with a standby configured
+    /// is failed over. Public so tests drive the sweep deterministically
+    /// instead of racing the `--probe-ms` thread.
+    pub fn probe_once(&self, fails: &mut Vec<u32>) {
+        let slots: Vec<(Arc<Upstream>, bool)> = self
+            .slots
+            .read()
+            .iter()
+            .map(|s| (s.upstream.clone(), s.standby.is_some()))
+            .collect();
+        fails.resize(slots.len(), 0);
+        for (k, (up, has_standby)) in slots.into_iter().enumerate() {
+            if up.probe().is_ok() {
+                fails[k] = 0;
+                continue;
+            }
+            fails[k] += 1;
+            if has_standby && fails[k] >= FAILOVER_AFTER && self.fail_over(k).is_ok() {
+                fails[k] = 0;
+            }
+        }
+    }
+
+    /// Fails shard `k` over to its standby: the standby (which replayed
+    /// every acked mutation via the serve side's `--replicate-to`
+    /// synchronous op-stream) replaces the primary at a new epoch.
+    /// Refused if no standby is configured or the standby itself is
+    /// unreachable — a failover must never trade a dead shard for
+    /// another dead shard.
+    pub fn fail_over(&self, k: usize) -> Result<(), EngineError> {
+        let _admin = self.admin.lock();
+        let (dead, standby) = {
+            let slots = self.slots.read();
+            let slot = slots
+                .get(k)
+                .ok_or_else(|| EngineError::BadRequest(format!("fail_over: no shard {k}")))?;
+            let Some(standby) = slot.standby.clone() else {
+                return Err(EngineError::Unavailable(format!(
+                    "shard {k} ({}) has no standby to fail over to",
+                    slot.upstream.addr()
+                )));
+            };
+            (slot.upstream.addr().to_string(), standby)
+        };
+        let up = Upstream::new(standby.clone());
+        up.probe()
+            .map_err(|e| EngineError::Unavailable(format!("shard {k} standby {standby}: {e}")))?;
+        {
+            let mut slots = self.slots.write();
+            slots[k].upstream = Arc::new(up);
+            slots[k].standby = None;
+        }
+        let epoch = self.front.topology().write().bump_epoch();
+        self.persist_topology()?;
+        eprintln!(
+            "{}",
+            Json::obj([
+                ("epoch", Json::from(epoch)),
+                ("event", Json::from("failover")),
+                ("from", Json::from(dead)),
+                ("shard", Json::from(k as u64)),
+                ("to", Json::from(standby)),
+            ])
+        );
+        Ok(())
+    }
+
+    /// Writes the membership record to `--topology PATH` (tmp+rename, so
+    /// a crash never leaves a torn file). A no-op without the flag.
+    fn persist_topology(&self) -> Result<(), EngineError> {
+        let Some(path) = self.topology_path.as_deref() else {
+            return Ok(());
+        };
+        let json = {
+            let slots = self.slots.read();
+            Json::obj([
+                ("epoch", Json::from(self.front.epoch())),
+                (
+                    "standbys",
+                    Json::Arr(
+                        slots
+                            .iter()
+                            .map(|s| Json::from(s.standby.clone().unwrap_or_else(|| "-".into())))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "upstreams",
+                    Json::Arr(
+                        slots
+                            .iter()
+                            .map(|s| Json::from(s.upstream.addr().to_string()))
+                            .collect(),
+                    ),
+                ),
+            ])
+        };
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, format!("{json}\n"))
+            .and_then(|()| std::fs::rename(&tmp, path))
+            .map_err(|e| EngineError::Storage(format!("topology file {}: {e}", path.display())))
+    }
+}
+
+/// Loads a persisted membership record. Malformed content is a hard
+/// [`EngineError::Storage`] — a router must never guess its topology.
+fn load_topology(path: &Path) -> Result<PersistedTopology, EngineError> {
+    let bad = |m: String| EngineError::Storage(format!("topology file {}: {m}", path.display()));
+    let text = std::fs::read_to_string(path).map_err(|e| bad(e.to_string()))?;
+    let v = crate::json::parse(text.trim()).map_err(|e| bad(e.to_string()))?;
+    let epoch = v
+        .get("epoch")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| bad("missing \"epoch\"".into()))?;
+    let Some(Json::Arr(ups)) = v.get("upstreams") else {
+        return Err(bad("missing \"upstreams\" array".into()));
+    };
+    let upstreams = ups
+        .iter()
+        .map(|u| {
+            u.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| bad("non-string upstream entry".into()))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    if upstreams.is_empty() {
+        return Err(bad("no upstreams".into()));
+    }
+    let standbys = match v.get("standbys") {
+        Some(Json::Arr(entries)) => entries
+            .iter()
+            .map(|s| {
+                s.as_str()
+                    .map(|s| (s != "-").then(|| s.to_string()))
+                    .ok_or_else(|| bad("non-string standby entry".into()))
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+        None => Vec::new(),
+        Some(_) => return Err(bad("\"standbys\" is not an array".into())),
+    };
+    Ok(PersistedTopology {
+        epoch,
+        upstreams,
+        standbys,
+    })
+}
+
+/// Spawns the `--probe-ms` background prober: a detached thread holding
+/// only a weak handle (it dies with the router), sweeping every upstream
+/// each interval via [`RouteProxy::probe_once`].
+fn spawn_prober(proxy: &Arc<RouteProxy>, probe_ms: u64) {
+    let weak = Arc::downgrade(proxy);
+    let interval = Duration::from_millis(probe_ms.max(1));
+    let _ = std::thread::Builder::new()
+        .name("ocqa-probe".into())
+        .spawn(move || {
+            let mut fails: Vec<u32> = Vec::new();
+            loop {
+                std::thread::sleep(interval);
+                let Some(proxy) = weak.upgrade() else { return };
+                proxy.probe_once(&mut fails);
+            }
+        });
 }
 
 /// Relays one routed subscription's pushed frames from its dedicated
@@ -877,8 +1520,10 @@ fn parse_stats(v: &Json) -> Result<(String, ShardStats), String> {
 /// Parses an upstream `metrics` response, merging the upstream's shards
 /// (usually just one — each upstream is an `ocqa serve --shards 1`, but
 /// a multi-shard upstream aggregates correctly too, because histogram
-/// merging is associative) into one snapshot for its global shard slot.
-fn parse_metrics(v: &Json) -> Result<MetricsSnapshot, String> {
+/// merging is associative) into one snapshot for its global shard slot,
+/// plus the upstream's replication lag (tolerantly `0` when absent —
+/// the field only exists once `--replicate-to` ships).
+fn parse_metrics(v: &Json) -> Result<(MetricsSnapshot, u64), String> {
     if !is_ok(v) {
         return Err(format!("upstream refused metrics: {v}"));
     }
@@ -889,7 +1534,8 @@ fn parse_metrics(v: &Json) -> Result<MetricsSnapshot, String> {
     for entry in shards {
         merged.merge(&MetricsSnapshot::from_json(entry)?);
     }
-    Ok(merged)
+    let lag = v.get("replication_lag").and_then(Json::as_u64).unwrap_or(0);
+    Ok((merged, lag))
 }
 
 #[cfg(test)]

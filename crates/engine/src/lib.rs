@@ -97,13 +97,16 @@ pub mod shard;
 pub mod singleflight;
 pub mod storage;
 pub mod subscribe;
+pub mod transfer;
 pub mod upstream;
 
 pub use cache::{AnswerCache, CacheKey, CacheStats};
 pub use catalog::{Catalog, DatabaseInfo, ParsedDatabase, UpdateOutcome};
 pub use engine::{generator_by_name, Engine, EngineConfig};
 pub use error::EngineError;
-pub use frontdoor::{parse_request, route_of, FrontDoor, RouteProxy, RouteTarget};
+pub use frontdoor::{
+    parse_request, route_of, FrontDoor, RouteConfig, RouteProxy, RouteTarget, FAILOVER_AFTER,
+};
 pub use obs::expo::{render_prometheus, spawn_exposition_listener};
 pub use obs::{HistSnapshot, Histogram, MetricsSnapshot, ShardMetrics, SlowLog};
 pub use planner::{
@@ -115,7 +118,7 @@ pub use prepared::{PreparedQuery, PreparedRegistry};
 pub use proto::{
     AnswerPayload, AnswerRow, EngineRequest, EngineResponse, ExplainPayload, QueryRef,
 };
-pub use router::Router;
+pub use router::{Router, Topology};
 pub use server::{
     handle_connection, serve_listener, serve_listener_with, serve_session, serve_stdio, Frame,
     LineService, MAX_LINE_BYTES,
@@ -127,4 +130,5 @@ pub use storage::{
     RestoredDatabase, StorageBackend, UpdateDelta,
 };
 pub use subscribe::{PushOutcome, PushSession, Subscription, SubscriptionRegistry};
+pub use transfer::{decode_image, encode_image, TransferImage};
 pub use upstream::Upstream;

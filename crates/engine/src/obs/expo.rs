@@ -116,8 +116,24 @@ fn render_stats(out: &mut String, stats: &Json) {
     }
 }
 
-/// The per-shard latency histograms from a `metrics` response.
+/// The per-shard latency histograms from a `metrics` response, plus the
+/// elastic-cluster gauges carried at the response's top level.
 fn render_metrics(out: &mut String, metrics: &Json) {
+    // Topology epoch and rebalance moves are gauges of the serving
+    // deployment as a whole; replication lag is the count of mutations a
+    // detached standby has missed (summed across upstreams by the
+    // router's fan-out) — nonzero means failover would lose writes.
+    let elastic = [
+        ("topology_epoch", "ocqa_topology_epoch", "gauge"),
+        ("rebalance_moves", "ocqa_rebalance_moves_total", "counter"),
+        ("replication_lag", "ocqa_replication_lag_records", "gauge"),
+    ];
+    for (key, name, kind) in elastic {
+        if let Some(v) = metrics.get(key).and_then(Json::as_u64) {
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+            let _ = writeln!(out, "{name} {v}");
+        }
+    }
     let Some(Json::Arr(shards)) = metrics.get("per_shard") else {
         out.push_str("# metrics malformed: no per_shard\n");
         return;
@@ -334,6 +350,11 @@ mod tests {
             text.contains("ocqa_op_latency_us_bucket{le=\"+Inf\",op=\"answer\",shard=\"0\"} 2"),
             "{text}"
         );
+        // Elastic-cluster gauges: an in-process engine sits at epoch 1
+        // with no moves and no standby to lag.
+        assert!(text.contains("ocqa_topology_epoch 1"), "{text}");
+        assert!(text.contains("ocqa_rebalance_moves_total 0"), "{text}");
+        assert!(text.contains("ocqa_replication_lag_records 0"), "{text}");
         // Streaming series are present even with no subscribers.
         assert!(text.contains("ocqa_subscriptions 0"), "{text}");
         assert!(

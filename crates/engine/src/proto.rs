@@ -142,6 +142,34 @@ pub enum EngineRequest {
         /// The subscription id returned by `subscribe`.
         sub: u64,
     },
+    /// Export one database's full durable image (facts, constraints,
+    /// version, plan, maintained violations) as a checksummed, base64
+    /// transfer image — the rebalancer's snapshot-shipping leg (see
+    /// [`crate::transfer`]).
+    FetchSnapshot {
+        /// Catalog name.
+        db: String,
+    },
+    /// Install a database from a transfer image, journaled like a
+    /// `create_db` but preserving the image's exact version, plan and
+    /// violation set — the receiving leg of a rebalance move. Refused if
+    /// the name already exists (move-then-drop: the target never holds
+    /// the database yet).
+    InstallSnapshot {
+        /// Catalog name (must match the image's).
+        db: String,
+        /// The base64 transfer image from `fetch_snapshot`.
+        image: String,
+    },
+    /// Grow a live router deployment from `n` to `n+1` upstreams,
+    /// shipping each re-homed database's snapshot to the new shard.
+    /// Router-only: an in-process engine refuses it.
+    Rebalance {
+        /// The new upstream's `HOST:PORT`.
+        add: String,
+        /// Optional standby address for the new upstream.
+        standby: Option<String>,
+    },
 }
 
 /// Parses the answer-shaped parameter block shared by `answer` and
@@ -294,6 +322,17 @@ impl EngineRequest {
             "list" => Ok(EngineRequest::List),
             "stats" => Ok(EngineRequest::Stats),
             "metrics" => Ok(EngineRequest::Metrics),
+            "fetch_snapshot" => Ok(EngineRequest::FetchSnapshot {
+                db: str_field("db")?,
+            }),
+            "install_snapshot" => Ok(EngineRequest::InstallSnapshot {
+                db: str_field("db")?,
+                image: str_field("image")?,
+            }),
+            "rebalance" => Ok(EngineRequest::Rebalance {
+                add: str_field("add")?,
+                standby: opt_str("standby"),
+            }),
             "explain" => Ok(EngineRequest::Explain {
                 db: str_field("db")?,
                 generator: opt_str("generator").unwrap_or_else(|| "uniform".into()),
@@ -319,6 +358,9 @@ impl EngineRequest {
             EngineRequest::Explain { .. } => "explain",
             EngineRequest::Subscribe { .. } => "subscribe",
             EngineRequest::Unsubscribe { .. } => "unsubscribe",
+            EngineRequest::FetchSnapshot { .. } => "fetch_snapshot",
+            EngineRequest::InstallSnapshot { .. } => "install_snapshot",
+            EngineRequest::Rebalance { .. } => "rebalance",
         }
     }
 }
@@ -407,6 +449,19 @@ pub struct EngineStatsPayload {
 pub struct MetricsPayload {
     /// Per-shard snapshots, indexed by shard id.
     pub per_shard: Vec<MetricsSnapshot>,
+    /// The serving topology's epoch (`ocqa_topology_epoch`). Both
+    /// deployments start at 1, so a router over fresh upstreams and an
+    /// in-process engine render `metrics` byte-identically until the
+    /// first rebalance or failover bumps it.
+    pub topology_epoch: u64,
+    /// Databases moved by `rebalance` since this router started
+    /// (`ocqa_rebalance_moves_total`; always 0 in-process).
+    pub rebalance_moves: u64,
+    /// Mutations acknowledged but **not** confirmed on a standby —
+    /// non-zero only after a standby detached mid-stream
+    /// (`ocqa_replication_lag_records`; summed across upstreams by the
+    /// router).
+    pub replication_lag: u64,
 }
 
 /// The payload of an `explain` response: the planner's decision for one
@@ -482,6 +537,24 @@ pub enum EngineResponse {
         db: String,
         /// The cancelled subscription id.
         sub: u64,
+    },
+    /// `fetch_snapshot` reply: the database's transfer image.
+    Snapshot {
+        /// Catalog name.
+        db: String,
+        /// The exported version.
+        version: u64,
+        /// The base64 transfer image (see [`crate::transfer`]).
+        image: String,
+    },
+    /// `rebalance` reply.
+    Rebalanced {
+        /// The topology epoch after the grow committed.
+        epoch: u64,
+        /// Member shards after the grow.
+        shards: usize,
+        /// Databases moved to the new shard, sorted.
+        moved: Vec<String>,
     },
     /// Any failure.
     Error(EngineError),
@@ -613,6 +686,9 @@ impl EngineResponse {
                     ("ok", true.into()),
                     ("shards", Json::from(m.per_shard.len() as u64)),
                     ("per_shard", Json::Arr(per_shard)),
+                    ("rebalance_moves", Json::from(m.rebalance_moves)),
+                    ("replication_lag", Json::from(m.replication_lag)),
+                    ("topology_epoch", Json::from(m.topology_epoch)),
                     ("total", total.to_json()),
                 ])
             }
@@ -664,6 +740,25 @@ impl EngineResponse {
                 ("sub", Json::from(*sub)),
                 ("unsubscribed", true.into()),
             ]),
+            EngineResponse::Snapshot { db, version, image } => Json::obj([
+                ("ok", true.into()),
+                ("db", Json::from(db.clone())),
+                ("version", Json::from(*version)),
+                ("image", Json::from(image.clone())),
+            ]),
+            EngineResponse::Rebalanced {
+                epoch,
+                shards,
+                moved,
+            } => Json::obj([
+                ("ok", true.into()),
+                ("epoch", Json::from(*epoch)),
+                ("shards", Json::from(*shards as u64)),
+                (
+                    "moved",
+                    Json::Arr(moved.iter().map(|n| Json::from(n.clone())).collect()),
+                ),
+            ]),
             EngineResponse::Error(e) => {
                 let mut o = Json::obj([("ok", false.into()), ("error", Json::from(e.to_string()))]);
                 // A rejected plan override additionally names the plan
@@ -672,6 +767,13 @@ impl EngineResponse {
                 if let EngineError::PlanRejected { plan, gate, .. } = e {
                     o.set("plan", Json::from(plan.as_str()));
                     o.set("gate", Json::from(*gate));
+                }
+                // A topology change is retryable: the structured fields
+                // carry the current epoch so clients re-resolve without
+                // parsing the message.
+                if let EngineError::StaleTopology { epoch, .. } = e {
+                    o.set("retry", Json::from(true));
+                    o.set("epoch", Json::from(*epoch));
                 }
                 o
             }
@@ -838,5 +940,48 @@ mod tests {
             .to_string();
         assert!(out.contains("\"ok\":false"), "{out}");
         assert!(out.contains("unknown database"), "{out}");
+    }
+
+    #[test]
+    fn parses_snapshot_and_rebalance_ops() {
+        let v = json::parse(r#"{"op":"fetch_snapshot","db":"kv"}"#).unwrap();
+        assert_eq!(
+            EngineRequest::from_json(&v).unwrap(),
+            EngineRequest::FetchSnapshot { db: "kv".into() }
+        );
+        let v = json::parse(r#"{"op":"install_snapshot","db":"kv","image":"QUJD"}"#).unwrap();
+        assert_eq!(
+            EngineRequest::from_json(&v).unwrap(),
+            EngineRequest::InstallSnapshot {
+                db: "kv".into(),
+                image: "QUJD".into(),
+            }
+        );
+        // install_snapshot without an image is rejected up front.
+        let v = json::parse(r#"{"op":"install_snapshot","db":"kv"}"#).unwrap();
+        assert!(EngineRequest::from_json(&v).is_err());
+        let v = json::parse(r#"{"op":"rebalance","add":"127.0.0.1:9","standby":"127.0.0.1:10"}"#)
+            .unwrap();
+        assert_eq!(
+            EngineRequest::from_json(&v).unwrap(),
+            EngineRequest::Rebalance {
+                add: "127.0.0.1:9".into(),
+                standby: Some("127.0.0.1:10".into()),
+            }
+        );
+    }
+
+    #[test]
+    fn stale_topology_renders_structured_retry() {
+        let out = EngineResponse::Error(EngineError::StaleTopology {
+            epoch: 7,
+            message: "database \"kv\" is mid-move".into(),
+        })
+        .to_json()
+        .to_string();
+        assert!(out.contains("\"ok\":false"), "{out}");
+        assert!(out.contains("\"retry\":true"), "{out}");
+        assert!(out.contains("\"epoch\":7"), "{out}");
+        assert!(out.contains("topology changed"), "{out}");
     }
 }

@@ -25,6 +25,17 @@
 //! The router is pure policy: it holds no shard handles and does no I/O,
 //! so the ROADMAP's next step (a router *process* proxying the NDJSON
 //! protocol to remote shards) reuses it unchanged.
+//!
+//! [`Topology`] layers the *mutable* placement state on top of the pure
+//! [`Router`]: an **epoch-versioned** view of the cluster — the HRW
+//! member count, per-database placement overrides (databases that have
+//! been moved off their HRW home by the rebalancer), and the set of
+//! databases currently mid-move. Every placement-affecting change bumps
+//! the epoch, so a client that pins `"epoch": N` on its requests gets a
+//! structured retry instead of a silently re-routed answer when the
+//! cluster changed underneath it.
+
+use std::collections::{HashMap, HashSet};
 
 /// Deterministic name → shard mapping over a fixed shard count.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -83,6 +94,173 @@ impl Router {
             }
         }
         best
+    }
+}
+
+/// The epoch-versioned placement state of a cluster: the pure HRW
+/// [`Router`] plus everything that can *diverge* from it at runtime —
+/// explicit per-database placement overrides (from rebalancer moves and
+/// recovery seeding) and the set of databases currently mid-move.
+///
+/// The **epoch** starts at 1 and is bumped on every placement-affecting
+/// change: a database move committing, a shard joining, a primary
+/// failing over to its standby. Requests may carry an `"epoch"` field;
+/// the front door rejects a mismatch with a structured retry
+/// (`"retry": true` plus the current epoch) so a stale client of a
+/// mid-move database re-asks instead of being answered by the wrong
+/// shard.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    epoch: u64,
+    router: Router,
+    /// Explicit name → shard placements. Seeded with every known
+    /// database at startup and updated on create/drop/move, so lookups
+    /// never depend on whether a name is on its HRW home.
+    placements: HashMap<String, usize>,
+    /// Databases currently being moved between shards: mutations are
+    /// refused with a structured retry until the move commits or aborts
+    /// (reads keep serving from the old placement).
+    moving: HashSet<String>,
+}
+
+impl Topology {
+    /// A fresh topology over `shards` shards at epoch 1.
+    pub fn new(shards: usize) -> Topology {
+        Topology {
+            epoch: 1,
+            router: Router::new(shards),
+            placements: HashMap::new(),
+            moving: HashSet::new(),
+        }
+    }
+
+    /// The current epoch (starts at 1, bumped on every change).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Overrides the epoch (restoring a persisted topology at startup).
+    pub fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch.max(1);
+    }
+
+    /// Bumps the epoch and returns the new value.
+    pub fn bump_epoch(&mut self) -> u64 {
+        self.epoch += 1;
+        self.epoch
+    }
+
+    /// Number of member shards.
+    pub fn shards(&self) -> usize {
+        self.router.shards()
+    }
+
+    /// The pure HRW mapping underneath the overrides.
+    pub fn router(&self) -> Router {
+        self.router
+    }
+
+    /// Grows (or shrinks) the member count **without** touching
+    /// placements or the epoch — the caller sequences the epoch bump
+    /// with whatever membership change it is committing.
+    pub fn set_shards(&mut self, shards: usize) {
+        self.router = Router::new(shards);
+    }
+
+    /// The shard serving `name`: the explicit placement when one exists,
+    /// the HRW winner otherwise.
+    pub fn shard_of(&self, name: &str) -> usize {
+        self.placements
+            .get(name)
+            .copied()
+            .unwrap_or_else(|| self.router.shard_for(name))
+    }
+
+    /// Records `name` as placed on `shard` (create or recovery seeding).
+    pub fn place(&mut self, name: &str, shard: usize) {
+        self.placements.insert(name.to_string(), shard);
+    }
+
+    /// Whether `name` has an explicit placement recorded.
+    pub fn placed(&self, name: &str) -> Option<usize> {
+        self.placements.get(name).copied()
+    }
+
+    /// Forgets `name`'s placement (drop).
+    pub fn remove(&mut self, name: &str) {
+        self.placements.remove(name);
+        self.moving.remove(name);
+    }
+
+    /// Number of placed databases.
+    pub fn len(&self) -> usize {
+        self.placements.len()
+    }
+
+    /// Whether no database is placed.
+    pub fn is_empty(&self) -> bool {
+        self.placements.is_empty()
+    }
+
+    /// Every placed database name, sorted (deterministic iteration for
+    /// rebalance planning and observability).
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.placements.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Marks `name` as mid-move: mutations on it are refused with a
+    /// structured retry until [`finish_move`](Topology::finish_move).
+    pub fn begin_move(&mut self, name: &str) {
+        self.moving.insert(name.to_string());
+    }
+
+    /// Commits a move: `name` now lives on `shard`, is mutable again,
+    /// and the epoch is bumped so stale clients re-resolve.
+    pub fn finish_move(&mut self, name: &str, shard: usize) {
+        self.moving.remove(name);
+        self.placements.insert(name.to_string(), shard);
+        self.epoch += 1;
+    }
+
+    /// Aborts a move (the snapshot never installed): `name` stays where
+    /// it was and becomes mutable again, at the same epoch.
+    pub fn abort_move(&mut self, name: &str) {
+        self.moving.remove(name);
+    }
+
+    /// Whether `name` is currently mid-move (mutations refused).
+    pub fn is_moving(&self, name: &str) -> bool {
+        self.moving.contains(name)
+    }
+
+    /// Databases currently mid-move, sorted.
+    pub fn moving(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.moving.iter().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// The databases (among those currently placed) that HRW over
+    /// `shards + 1` members would re-home — by the minimal-movement
+    /// property, all of them land on the **new** shard. This is the
+    /// rebalancer's move list, sorted for deterministic move order.
+    pub fn names_moving_to_new_shard(&self) -> Vec<String> {
+        let grown = Router::new(self.router.shards() + 1);
+        let new_shard = self.router.shards();
+        let mut names: Vec<String> = self
+            .placements
+            .iter()
+            .filter(|(name, &k)| {
+                // Only names still on their HRW home move: an override
+                // already off its home (a prior manual move) stays put.
+                k == self.router.shard_for(name) && grown.shard_for(name) == new_shard
+            })
+            .map(|(name, _)| name.clone())
+            .collect();
+        names.sort();
+        names
     }
 }
 
@@ -160,5 +338,67 @@ mod tests {
         }
         // Zero is clamped, not panicked.
         assert_eq!(Router::new(0).shards(), 1);
+    }
+
+    #[test]
+    fn topology_overrides_win_over_hrw() {
+        let mut topo = Topology::new(2);
+        assert_eq!(topo.epoch(), 1);
+        for name in names(100) {
+            assert_eq!(topo.shard_of(&name), topo.router().shard_for(&name));
+        }
+        topo.place("db-7", 1 - topo.router().shard_for("db-7"));
+        assert_ne!(topo.shard_of("db-7"), topo.router().shard_for("db-7"));
+        topo.remove("db-7");
+        assert_eq!(topo.shard_of("db-7"), topo.router().shard_for("db-7"));
+    }
+
+    #[test]
+    fn topology_move_lifecycle_bumps_epoch_once() {
+        let mut topo = Topology::new(2);
+        topo.place("kv", 0);
+        let before = topo.epoch();
+        topo.begin_move("kv");
+        assert!(topo.is_moving("kv"));
+        assert_eq!(topo.epoch(), before, "begin_move must not bump yet");
+        topo.finish_move("kv", 2);
+        assert!(!topo.is_moving("kv"));
+        assert_eq!(topo.shard_of("kv"), 2);
+        assert_eq!(topo.epoch(), before + 1);
+        // Aborting never bumps.
+        topo.begin_move("kv");
+        topo.abort_move("kv");
+        assert_eq!(topo.epoch(), before + 1);
+        assert_eq!(topo.shard_of("kv"), 2);
+    }
+
+    #[test]
+    fn move_list_matches_hrw_growth() {
+        // The rebalance move list is exactly the set HRW(n+1) re-homes,
+        // and every entry lands on the new shard.
+        let mut topo = Topology::new(3);
+        let all = names(500);
+        for name in &all {
+            topo.place(name, topo.router().shard_for(name));
+        }
+        let moving = topo.names_moving_to_new_shard();
+        let grown = Router::new(4);
+        for name in &all {
+            let moved = topo.router().shard_for(name) != grown.shard_for(name);
+            assert_eq!(
+                moving.contains(name),
+                moved,
+                "{name}: move list disagrees with HRW"
+            );
+            if moved {
+                assert_eq!(grown.shard_for(name), 3);
+            }
+        }
+        // An override already off its HRW home is never re-moved.
+        let pinned = moving[0].clone();
+        topo.place(&pinned, 0);
+        if topo.router().shard_for(&pinned) != 0 {
+            assert!(!topo.names_moving_to_new_shard().contains(&pinned));
+        }
     }
 }

@@ -15,8 +15,11 @@ use std::time::Duration;
 
 /// Longest request line a session accepts. Reading lines unbounded would
 /// let one client buffer arbitrary memory server-side by never sending a
-/// newline; past this limit the session is told off and closed.
-pub const MAX_LINE_BYTES: u64 = 1 << 20;
+/// newline; past this limit the session is told off and closed. Sized to
+/// admit `install_snapshot` requests — a rebalance ships a database's
+/// whole base64 transfer image as one line — while still bounding what a
+/// misbehaving client can pin.
+pub const MAX_LINE_BYTES: u64 = 64 << 20;
 
 /// Anything that serves the NDJSON protocol one line at a time.
 pub trait LineService: Send + Sync {

@@ -52,8 +52,9 @@ use crate::pool::SamplerPool;
 use crate::prepared::{PreparedQuery, PreparedRegistry};
 use crate::proto::{AnswerPayload, AnswerRow, ExplainPayload, QueryRef};
 use crate::singleflight::{Join, SingleFlight};
-use crate::storage::{FeedbackImage, HotKey, PlanFeedback, StorageBackend};
+use crate::storage::{FeedbackImage, HotKey, InstallImage, PlanFeedback, StorageBackend};
 use crate::subscribe::{self, PushOutcome, PushSession, Subscription, SubscriptionRegistry};
+use crate::transfer::TransferImage;
 use ocqa_core::sample::{sample_size, SampleTally};
 use parking_lot::{Mutex, RwLock};
 use std::cell::Cell;
@@ -264,6 +265,55 @@ impl ShardEngine {
             out
         })?;
         self.observe_mutation(t0, Op::Install, name, wal.get());
+        Ok(info)
+    }
+
+    /// Exports a database as a snapshot [`TransferImage`] (the payload of
+    /// the `fetch_snapshot` protocol op): name, exact catalog version,
+    /// constraint text, plan classification, facts and maintained
+    /// violation set — everything the receiving shard needs to answer
+    /// bit-identically without recomputing anything.
+    pub fn export_snapshot(&self, name: &str) -> Result<TransferImage, EngineError> {
+        self.catalog.read().export(name)
+    }
+
+    /// Installs a snapshot [`TransferImage`] shipped from another shard
+    /// (the `install_snapshot` protocol op). Journal-before-apply like
+    /// every other mutation; the image's version is restored verbatim so
+    /// answer-cache keys and reported `db_version`s match the exporting
+    /// shard exactly. Refused when the name already exists: the
+    /// rebalancer moves **then** drops, so the target legitimately never
+    /// has the database — an existing entry means a half-finished move,
+    /// which must stay a hard error, never a silent overwrite.
+    pub fn install_snapshot(&self, img: TransferImage) -> Result<DatabaseInfo, EngineError> {
+        let t0 = Instant::now();
+        let mut catalog = self.catalog.write();
+        if catalog.info(&img.name).is_ok() {
+            return Err(EngineError::DatabaseExists(img.name));
+        }
+        // Journal-then-mutate: a vetoed install leaves the shard without
+        // the database and the move can be retried from the source.
+        let t = Instant::now();
+        self.backend.journal_install(&InstallImage {
+            name: &img.name,
+            version: img.version,
+            db: &img.db,
+            constraints: &img.constraints,
+            plan: img.plan,
+            violations: &img.violations,
+        })?;
+        let wal = t.elapsed();
+        self.metrics.record_stage(Stage::WalAppend, wal);
+        let info = catalog.restore(crate::storage::RestoredDatabase {
+            name: img.name,
+            version: img.version,
+            db: img.db,
+            constraints: img.constraints,
+            plan: img.plan,
+            violations: img.violations,
+        })?;
+        drop(catalog);
+        self.observe_mutation(t0, Op::Install, &info.name, wal);
         Ok(info)
     }
 

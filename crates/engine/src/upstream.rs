@@ -229,6 +229,18 @@ impl Upstream {
         Err(self.down("reconnect retry exhausted".into()))
     }
 
+    /// One lightweight background health probe: a `stats` exchange over
+    /// the ordinary pool. Because [`exchange`](Upstream::exchange) dials
+    /// fresh connections when the pool is empty and retries a stale
+    /// pooled session once, a probe both *detects* a dead upstream
+    /// (flipping [`healthy`](Upstream::healthy) before any client
+    /// request observes the failure) and *hot re-dials* a recovered one
+    /// — so a long-idle router pays the reconnect on the probe cadence,
+    /// never on a client's request.
+    pub fn probe(&self) -> Result<(), EngineError> {
+        self.exchange(r#"{"op":"stats"}"#).map(drop)
+    }
+
     fn down(&self, detail: String) -> EngineError {
         self.healthy.store(false, Ordering::Relaxed);
         *self.last_error.lock() = Some(detail.clone());

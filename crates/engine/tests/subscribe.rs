@@ -312,6 +312,7 @@ fn streaming_transcript(addr: &str) -> Vec<(&'static str, String)> {
     let mut v = json::parse(&stats).expect("stats parses");
     v.remove("uptime_ms");
     v.remove("upstreams");
+    v.remove("topology");
     log.push(("stats", v.to_string()));
     log.push((
         "sub",

@@ -408,6 +408,31 @@ impl Store {
         Ok(summary)
     }
 
+    /// Exports one live database as a framed, checksummed snapshot blob
+    /// (the same encoding compaction writes to `snapshots/`) — the
+    /// store-level leg of a rebalance move, usable offline against a
+    /// shard's data directory.
+    pub fn snapshot_export(&self, name: &str) -> Result<Vec<u8>, StoreError> {
+        let state = self.read_state()?;
+        let img = state
+            .databases
+            .iter()
+            .find(|img| img.name == name)
+            .ok_or_else(|| StoreError::Corrupt(format!("no database {name:?} in this store")))?;
+        Ok(wire::encode_snapshot(img))
+    }
+
+    /// Imports a [`snapshot_export`](Store::snapshot_export) blob by
+    /// journaling it as an install, preserving its version exactly.
+    /// Refused (at replay, as a hard corruption error) if the name is
+    /// already live at a lower version — a half-finished move must be
+    /// resolved by an explicit drop, never silently merged.
+    pub fn snapshot_import(&self, data: &[u8]) -> Result<(), StoreError> {
+        let img = wire::decode_snapshot(data)?;
+        self.append(&WalRecord::Install(img))?;
+        Ok(())
+    }
+
     /// Runs one full compaction: rotate the active log, fold it into the
     /// snapshots, commit the new manifest, drop the rotated log.
     /// Serialized: concurrent calls (the background compactor racing an

@@ -1,0 +1,222 @@
+#!/usr/bin/env bash
+# Elastic-cluster smoke test. Phase one: start two upstream shard
+# servers behind `ocqa route` (shard 0 with a WAL-replicated standby via
+# `--replicate-to`), put insert traffic through the router, and grow the
+# cluster 2→3 live with the admin `rebalance` op while that traffic
+# runs. Zero acked writes may be lost and every post-grow answer must be
+# byte-identical (modulo shard-local cache/version bookkeeping) to a
+# fresh `ocqa serve --shards 3` given the same creates plus exactly the
+# acked inserts. Phase two: `kill -9` the shard-0 primary and require
+# the router's background prober to fail over to the standby at a new
+# topology epoch, after which every shard-0 database answers
+# byte-identically to its pre-kill response — the replicated standby
+# lost nothing, not even version counters.
+#
+# Usage: scripts/rebalance_smoke.sh [path-to-ocqa-binary]
+set -euo pipefail
+
+BIN="${1:-target/release/ocqa}"
+if [[ ! -x "$BIN" ]]; then
+    echo "error: ocqa release binary not found at '$BIN'" >&2
+    echo "build it first: cargo build --release -p ocqa-cli" >&2
+    exit 1
+fi
+
+WORK="$(mktemp -d)"
+PIDS=()
+cleanup() {
+    for PID in ${PIDS[@]+"${PIDS[@]}"}; do kill -9 "$PID" 2>/dev/null || true; done
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# Polls a server's stderr for the listening banner; prints the address.
+wait_listen() {
+    local FILE="$1"
+    for _ in $(seq 1 100); do
+        if grep -q "listening on" "$FILE" 2>/dev/null; then
+            sed -n 's/.*listening on \([0-9.:]*\).*/\1/p' "$FILE" | head -1
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "FAIL: no listening banner in $FILE" >&2
+    return 1
+}
+
+# Shard-local bookkeeping legitimately diverges between a cluster that
+# grew into a placement and one deployed there fresh; everything that
+# touches the estimate must not.
+normalize_fresh() {
+    sed -e 's/"cache_hits":[0-9]*,"cache_misses":[0-9]*,//' \
+        -e 's/"db_version":[0-9]*,//'
+}
+# Across a failover the standby replayed the primary's exact mutation
+# sequence, so even `db_version` must match — only the cache counters
+# differ (the standby never served the primary's reads).
+normalize_cache() {
+    sed -e 's/"cache_hits":[0-9]*,"cache_misses":[0-9]*,//'
+}
+
+# --- The standby for shard 0: an ordinary serve process.
+"$BIN" serve --shards 1 --workers 2 --cache 512 \
+    --listen 127.0.0.1:0 2> "$WORK/standby.err" &
+PID=$!; disown "$PID"; PIDS+=("$PID")
+STANDBY_ADDR="$(wait_listen "$WORK/standby.err")"
+
+# --- Two upstreams; shard 0 replicates every acked mutation to the
+# standby before responding.
+"$BIN" serve --shards 1 --workers 2 --cache 512 --data-dir "$WORK/shard-0" \
+    --replicate-to "$STANDBY_ADDR" --listen 127.0.0.1:0 2> "$WORK/up0.err" &
+PRIMARY_PID=$!; disown "$PRIMARY_PID"; PIDS+=("$PRIMARY_PID")
+UP0_ADDR="$(wait_listen "$WORK/up0.err")"
+
+"$BIN" serve --shards 1 --workers 2 --cache 512 --data-dir "$WORK/shard-1" \
+    --listen 127.0.0.1:0 2> "$WORK/up1.err" &
+PID=$!; disown "$PID"; PIDS+=("$PID")
+UP1_ADDR="$(wait_listen "$WORK/up1.err")"
+
+# --- The router: slot 0 has the standby, probing every 100ms, and the
+# topology persists so membership changes survive a router restart.
+"$BIN" route --upstream "$UP0_ADDR" --upstream "$UP1_ADDR" \
+    --standby "$STANDBY_ADDR" --probe-ms 100 --topology "$WORK/topology.json" \
+    --listen 127.0.0.1:0 2> "$WORK/route.err" &
+PID=$!; disown "$PID"; PIDS+=("$PID")
+ROUTE_ADDR="$(wait_listen "$WORK/route.err")"
+
+exec 3<>"/dev/tcp/${ROUTE_ADDR%:*}/${ROUTE_ADDR##*:}"
+req() {
+    printf '%s\n' "$1" >&3
+    IFS= read -r -t 30 -u 3 RESP || { echo "FAIL: router timed out on $1" >&2; exit 1; }
+}
+
+NAMES=(orders users events billing audit sessions carts ledger)
+answer_req() {
+    printf '{"op":"answer","db":"%s","query":"(y) <- exists x: R(x,y)","eps":0.1,"delta":0.1,"seed":7777}' "$1"
+}
+
+for NAME in "${NAMES[@]}"; do
+    CREATE="$(printf '{"op":"create_db","name":"%s","facts":"R(1,10). R(1,20). R(2,30). R(2,40). R(3,50).","constraints":"R(x,y), R(x,z) -> y = z."}' "$NAME")"
+    printf '%s\n' "$CREATE" >> "$WORK/creates"
+    req "$CREATE"
+    grep -q '"ok":true' <<< "$RESP" || { echo "FAIL: create $NAME: $RESP"; exit 1; }
+done
+
+# ================= live 2→3 grow under insert traffic =================
+# A background inserter on its own router session: distinct facts, each
+# retried on the structured `"retry":true` rejection (mid-move database
+# or stale epoch) until acked, and every ack recorded — the acked file
+# *is* the ground truth the grown cluster must not lose.
+insert_loop() {
+    exec 4<>"/dev/tcp/${ROUTE_ADDR%:*}/${ROUTE_ADDR##*:}"
+    local I=0
+    while [[ ! -f "$WORK/stop" ]]; do
+        local NAME="${NAMES[$((I % ${#NAMES[@]}))]}"
+        local REQ
+        REQ="$(printf '{"op":"insert","db":"%s","facts":"R(%d, %d)."}' "$NAME" $((5000 + I)) $((5000 + I)))"
+        while :; do
+            printf '%s\n' "$REQ" >&4
+            IFS= read -r -t 30 -u 4 R || { echo "FAIL: inserter timed out" >&2; exit 1; }
+            if [[ "$R" == *'"ok":true'* ]]; then
+                printf '%s\n' "$REQ" >> "$WORK/acked"
+                break
+            fi
+            [[ "$R" == *'"retry":true'* ]] || { echo "FAIL: insert hard-failed: $R" >&2; exit 1; }
+        done
+        I=$((I + 1))
+    done
+}
+insert_loop &
+INSERTER_PID=$!; PIDS+=("$INSERTER_PID")
+
+# The third upstream, empty, and the admin op that grows into it.
+"$BIN" serve --shards 1 --workers 2 --cache 512 --data-dir "$WORK/shard-2" \
+    --listen 127.0.0.1:0 2> "$WORK/up2.err" &
+PID=$!; disown "$PID"; PIDS+=("$PID")
+UP2_ADDR="$(wait_listen "$WORK/up2.err")"
+
+req "$(printf '{"op":"rebalance","add":"%s"}' "$UP2_ADDR")"
+grep -q '"ok":true' <<< "$RESP" || { echo "FAIL: rebalance: $RESP"; exit 1; }
+grep -q '"moved":\[\]' <<< "$RESP" && { echo "FAIL: grow moved nothing: $RESP"; exit 1; }
+EPOCH="$(sed -n 's/.*"epoch":\([0-9]*\).*/\1/p' <<< "$RESP")"
+echo "OK: rebalanced to 3 shards at epoch $EPOCH: $RESP"
+
+touch "$WORK/stop"
+wait "$INSERTER_PID" || { echo "FAIL: inserter died"; exit 1; }
+
+# A client pinning the pre-grow epoch gets the structured retry.
+req '{"op":"ping","epoch":1}'
+grep -q '"retry":true' <<< "$RESP" || { echo "FAIL: stale epoch pin not rejected: $RESP"; exit 1; }
+grep -q "\"epoch\":$EPOCH" <<< "$RESP" || { echo "FAIL: retry lacks current epoch: $RESP"; exit 1; }
+
+# Post-grow answers through the router…
+: > "$WORK/route.answers"
+for NAME in "${NAMES[@]}"; do
+    req "$(answer_req "$NAME")"
+    printf '%s\n' "$RESP" >> "$WORK/route.answers"
+done
+
+# …must match a fresh 3-shard deployment fed the same creates plus
+# exactly the acked inserts. A lost acked write means a missing p=1
+# tuple in the routed answers; the diff catches it.
+touch "$WORK/acked"
+cat "$WORK/creates" "$WORK/acked" > "$WORK/ref.workload"
+for NAME in "${NAMES[@]}"; do
+    answer_req "$NAME" >> "$WORK/ref.workload"
+    printf '\n' >> "$WORK/ref.workload"
+done
+"$BIN" serve --shards 3 --workers 6 --cache 1536 \
+    < "$WORK/ref.workload" > "$WORK/ref.out" 2>/dev/null
+tail -n "${#NAMES[@]}" "$WORK/ref.out" > "$WORK/ref.answers"
+
+if ! diff -q <(normalize_fresh < "$WORK/route.answers") \
+             <(normalize_fresh < "$WORK/ref.answers") > /dev/null; then
+    echo "FAIL: post-grow answers differ from a fresh 3-shard deployment"
+    diff <(normalize_fresh < "$WORK/route.answers") \
+         <(normalize_fresh < "$WORK/ref.answers") || true
+    exit 1
+fi
+echo "OK: $(wc -l < "$WORK/acked") acked inserts all survived the grow;" \
+     "answers byte-identical to a fresh 3-shard deployment"
+
+# ============== kill -9 the primary → standby failover ==============
+kill -9 "$PRIMARY_PID"
+wait "$PRIMARY_PID" 2>/dev/null || true
+
+WANT=$((EPOCH + 1))
+DONE=0
+for _ in $(seq 1 100); do
+    if grep -q "\"epoch\":$WANT" "$WORK/topology.json" 2>/dev/null; then
+        DONE=1
+        break
+    fi
+    sleep 0.1
+done
+[[ "$DONE" == 1 ]] || { echo "FAIL: no failover within 10s"; cat "$WORK/route.err"; exit 1; }
+grep -q "$STANDBY_ADDR" "$WORK/topology.json" \
+    || { echo "FAIL: topology file does not list the standby"; cat "$WORK/topology.json"; exit 1; }
+echo "OK: failed over to standby $STANDBY_ADDR at epoch $WANT"
+
+# Every shard-0 database must answer byte-identically to its pre-kill
+# response: the standby replayed the primary's exact mutation stream,
+# so the answers — and even the version counters — are bit-equal.
+CHECKED=0
+for I in "${!NAMES[@]}"; do
+    BEFORE="$(sed -n "$((I + 1))p" "$WORK/route.answers")"
+    grep -q '"shard":0' <<< "$BEFORE" || continue
+    req "$(answer_req "${NAMES[$I]}")"
+    if [[ "$(normalize_cache <<< "$BEFORE")" != "$(normalize_cache <<< "$RESP")" ]]; then
+        echo "FAIL: ${NAMES[$I]} diverged across the failover"
+        echo "  before: $BEFORE"
+        echo "  after:  $RESP"
+        exit 1
+    fi
+    CHECKED=$((CHECKED + 1))
+done
+[[ "$CHECKED" -gt 0 ]] || { echo "FAIL: no database lived on shard 0"; exit 1; }
+
+# And the promoted standby accepts new writes through the router.
+req '{"op":"insert","db":"'"${NAMES[0]}"'","facts":"R(9000, 9000)."}'
+grep -q '"ok":true' <<< "$RESP" || { echo "FAIL: post-failover insert: $RESP"; exit 1; }
+
+echo "OK: kill -9 primary -> standby failover; $CHECKED shard-0 databases bit-identical"
