@@ -165,7 +165,11 @@ pub struct Engine {
 /// or drops a forward is detached permanently (the primary keeps
 /// serving and acking; `replication_lag` then counts every mutation the
 /// standby missed) — a failover to a detached standby would lose acked
-/// writes, and the router's probe can see the lag.
+/// writes, so the lag rides the `stats` response, the router's probe
+/// records it, and [`RouteProxy::fail_over`] refuses to promote a
+/// standby whose primary last reported a non-zero lag.
+///
+/// [`RouteProxy::fail_over`]: crate::RouteProxy::fail_over
 struct Replicator {
     upstream: Upstream,
     /// Mutations the (detached) standby missed.
@@ -664,8 +668,11 @@ impl Engine {
     /// contributes one `requests` tick per attempt and its walks once.
     fn stats(&self) -> EngineStatsPayload {
         let per_shard: Vec<_> = self.shards.iter().map(|s| s.stats()).collect();
-        self.front
-            .sum_stats(self.shards[0].backend_label().to_string(), &per_shard)
+        let mut payload = self
+            .front
+            .sum_stats(self.shards[0].backend_label().to_string(), &per_shard);
+        payload.replication_lag = self.replication_lag();
+        payload
     }
 }
 

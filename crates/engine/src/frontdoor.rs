@@ -72,7 +72,13 @@
 //!   exactly), its placement flipped at a new epoch, and only then
 //!   dropped from the old shard. Move-then-drop means a crash mid-move
 //!   leaves a duplicate that [`FrontDoor::seed`] detects as a hard
-//!   error — never a lost database.
+//!   error — never a lost database. In-flight mutations are fenced
+//!   (every routed mutation holds a read lock the mover write-acquires
+//!   between marking the move and exporting the snapshot), so a shipped
+//!   snapshot never misses an acked write. Re-issuing `rebalance` with
+//!   an address that is already a member resumes (or no-ops) instead of
+//!   registering a duplicate shard — a grow interrupted by a router
+//!   crash finishes the same way it started.
 //! * **Background health probing** — `--probe-ms` probes every upstream
 //!   with a lightweight `stats` exchange, detecting a dead shard (and
 //!   hot re-dialing a recovered one) before the first client request.
@@ -81,7 +87,11 @@
 //!   its standby at a new epoch. The standby replayed every acked
 //!   mutation (the serve side's synchronous `--replicate-to` op-stream
 //!   replication), so acked writes survive and answers stay
-//!   bit-identical.
+//!   bit-identical. A standby that detached mid-stream is **not**
+//!   promoted: probes record each primary's reported `replication_lag`,
+//!   and [`RouteProxy::fail_over`] refuses while the last observed lag
+//!   is non-zero — promoting a diverged standby would silently lose
+//!   acked writes.
 //!
 //! Membership changes persist to `--topology PATH` (`{epoch, upstreams,
 //! standbys}`, tmp+rename): on restart the file wins over the CLI
@@ -329,6 +339,10 @@ impl FrontDoor {
             cache: Default::default(),
             uptime_ms: self.uptime_ms(),
             build: env!("CARGO_PKG_VERSION").to_string(),
+            // Replication is deployment-level, not per-shard: the
+            // in-process engine and the router each fill this in from
+            // their own replica bookkeeping after summing.
+            replication_lag: 0,
         };
         for s in per_shard {
             out.answers += s.answers;
@@ -426,6 +440,17 @@ pub struct RouteProxy {
     /// Serializes topology mutations: one rebalance or failover at a
     /// time, never interleaved.
     admin: Mutex<()>,
+    /// The mutation fence for snapshot shipping. Every routed mutation
+    /// holds this for **read** across the mid-move check *and* its
+    /// upstream forward; the rebalancer acquires (and immediately
+    /// releases) it for **write** between `begin_move` and
+    /// `fetch_snapshot`. The write acquisition therefore waits out every
+    /// in-flight mutation that passed the check before the move began —
+    /// its write is applied (and acked) by the old shard *before* the
+    /// snapshot is exported, so a shipped snapshot can never miss an
+    /// acked write. Mutations arriving after `begin_move` see the moving
+    /// flag and get the structured retry.
+    move_gate: RwLock<()>,
 }
 
 /// Outcome of resolving a prepared handle against upstream 0.
@@ -522,6 +547,7 @@ impl RouteProxy {
             moves: AtomicU64::new(0),
             topology_path: cfg.topology_path,
             admin: Mutex::new(()),
+            move_gate: RwLock::new(()),
         });
         if let Some(path) = proxy.topology_path.as_deref() {
             if !path.exists() {
@@ -639,7 +665,15 @@ impl RouteProxy {
             },
             RouteTarget::Authority => self.proxy_authority(line),
             RouteTarget::Database(name) => {
-                if is_mutation(req) {
+                // Mutations hold the move gate for read from the
+                // mid-move check through the upstream forward: the
+                // rebalancer fences on it (write-acquire) between
+                // `begin_move` and the snapshot fetch, so a mutation
+                // that passed the check just before a move began is
+                // applied by the old shard before its copy is exported
+                // — never silently destroyed by the post-move drop.
+                let _gate = is_mutation(req).then(|| self.move_gate.read());
+                if _gate.is_some() {
                     if let Err(e) = self.front.check_not_moving(name) {
                         return error_line(Some(self.front.shard_of(name) as u32), e);
                     }
@@ -777,17 +811,19 @@ impl RouteProxy {
         let ups = self.upstream_snapshot();
         let mut backend = String::new();
         let mut per_shard = Vec::with_capacity(ups.len());
+        let mut lag = 0u64;
         for (k, up) in ups.iter().enumerate() {
             let resp = match RouteProxy::forward_up(up, r#"{"op":"stats"}"#) {
                 Ok(resp) => resp,
                 Err(e) => return error_line(None, e),
             };
             match parse_stats(&resp) {
-                Ok((upstream_backend, stats)) => {
+                Ok((upstream_backend, stats, upstream_lag)) => {
                     if k == 0 {
                         backend = upstream_backend;
                     }
                     per_shard.push(stats);
+                    lag += upstream_lag;
                 }
                 Err(e) => {
                     return error_line(
@@ -797,7 +833,8 @@ impl RouteProxy {
                 }
             }
         }
-        let payload = self.front.sum_stats(backend, &per_shard);
+        let mut payload = self.front.sum_stats(backend, &per_shard);
+        payload.replication_lag = lag;
         let mut json = EngineResponse::Stats(payload).to_json();
         json.set("topology", self.topology_json());
         json.set("upstreams", self.upstream_health());
@@ -1062,33 +1099,47 @@ impl RouteProxy {
     /// crash mid-move leaves a duplicate [`FrontDoor::seed`] refuses,
     /// never a lost database). Mutations against a mid-move database are
     /// refused with a structured retry; reads keep serving from the old
-    /// shard until its move commits. A rebalance that failed partway is
-    /// resumable by re-issuing the op with the same address.
+    /// shard until its move commits.
+    ///
+    /// A rebalance that failed partway is resumable by re-issuing the op
+    /// with the same address — in the same router process *or* after a
+    /// router restart: an `add` matching an **existing** member is never
+    /// dialed as a new shard (no duplicate slot can ever be registered);
+    /// instead its unfinished moves are re-driven. A fully-settled
+    /// member re-added this way is a no-op.
     pub fn rebalance(
         &self,
         add: &str,
         standby: Option<&str>,
     ) -> Result<EngineResponse, EngineError> {
         let _admin = self.admin.lock();
-        // A slot past the routed shard count is a mid-flight grow (a
-        // prior attempt died after registering the member): resume it
-        // rather than registering twice.
-        let pending = {
+        // Where does `add` stand relative to the current membership?
+        // - a slot past the routed shard count: a grow this process
+        //   started and lost mid-flight — resume it;
+        // - an already-routed slot: a grow whose grown membership
+        //   persisted but whose router crashed before every database
+        //   shipped — finish the shipping (or no-op when settled);
+        // - unknown while another grow is mid-flight: refused;
+        // - unknown otherwise: a genuinely new member.
+        let routed = self.front.shards();
+        let existing = {
             let slots = self.slots.read();
-            if slots.len() > self.front.shards() {
-                let k = slots.len() - 1;
-                Some((k, slots[k].upstream.addr().to_string()))
-            } else {
-                None
+            match slots.iter().position(|s| s.upstream.addr() == add) {
+                Some(k) => Some((k, k >= routed)),
+                None if slots.len() > routed => {
+                    let addr = slots[routed].upstream.addr().to_string();
+                    return Err(EngineError::BadRequest(format!(
+                        "rebalance: a grow to {addr:?} is mid-flight; resume it by \
+                         re-issuing rebalance with that address"
+                    )));
+                }
+                None => None,
             }
         };
-        let new_index = match pending {
-            Some((k, ref addr)) if addr == add => k,
-            Some((_, addr)) => {
-                return Err(EngineError::BadRequest(format!(
-                    "rebalance: a grow to {addr:?} is mid-flight; resume it by \
-                     re-issuing rebalance with that address"
-                )));
+        let (new_index, grows_membership) = match existing {
+            Some((k, mid_flight)) => {
+                self.reconcile_standby(k, standby)?;
+                (k, mid_flight)
             }
             None => {
                 let up = Upstream::new(add.to_string());
@@ -1113,15 +1164,24 @@ impl RouteProxy {
                 // a crash mid-move must restart knowing about the shard
                 // that already holds shipped databases.
                 self.persist_topology()?;
-                k
+                (k, true)
             }
         };
         let new_up = self.upstream(new_index);
-        let moving = self.front.topology().read().names_moving_to_new_shard();
+        let moving = if grows_membership {
+            self.front.topology().read().names_moving_to_new_shard()
+        } else {
+            // Resuming after a router restart: the persisted membership
+            // already routes over `slots.len()` shards, so the remaining
+            // work is the stranded tail — databases HRW-homed on this
+            // member but still placed where the pre-grow layout left
+            // them (re-seeded from the upstream catalogs at startup).
+            self.front.topology().read().names_stranded_off(new_index)
+        };
         for name in &moving {
             self.move_database(name, new_index, &new_up)?;
         }
-        {
+        if grows_membership {
             let mut topo = self.front.topology().write();
             topo.set_shards(new_index + 1);
             topo.bump_epoch();
@@ -1129,15 +1189,42 @@ impl RouteProxy {
         self.persist_topology()?;
         Ok(EngineResponse::Rebalanced {
             epoch: self.front.epoch(),
-            shards: new_index + 1,
+            shards: self.front.shards(),
             moved: moving,
         })
     }
 
+    /// Applies a resumed rebalance's `standby` argument to the slot it
+    /// resumes: an unset slot adopts (and persists) the provided
+    /// standby, a matching one is a no-op, and a conflicting one is
+    /// refused — never silently ignored.
+    fn reconcile_standby(&self, k: usize, standby: Option<&str>) -> Result<(), EngineError> {
+        let Some(want) = standby else { return Ok(()) };
+        {
+            let mut slots = self.slots.write();
+            match &slots[k].standby {
+                Some(have) if have == want => return Ok(()),
+                Some(have) => {
+                    let have = have.clone();
+                    return Err(EngineError::BadRequest(format!(
+                        "rebalance: shard {k} ({add}) already has standby {have:?}; \
+                         refusing to replace it with {want:?} — edit the topology \
+                         file to change standbys",
+                        add = slots[k].upstream.addr(),
+                    )));
+                }
+                None => slots[k].standby = Some(want.to_string()),
+            }
+        }
+        self.persist_topology()
+    }
+
     /// Ships one database to the new shard and commits its placement
     /// flip. Mutations are blocked (structured retry) from `begin_move`
-    /// to `finish_move`; reads keep hitting the old shard, whose copy is
-    /// frozen by the block, so the shipped snapshot can't miss a write.
+    /// to `finish_move`, and mutations already past the check are fenced
+    /// out via `move_gate` before the snapshot is fetched; reads keep
+    /// hitting the old shard, whose copy is thus frozen, so the shipped
+    /// snapshot can't miss an acked write.
     fn move_database(
         &self,
         name: &str,
@@ -1146,6 +1233,13 @@ impl RouteProxy {
     ) -> Result<(), EngineError> {
         let old = self.front.shard_of(name);
         self.front.topology().write().begin_move(name);
+        // The fence: every mutation that passed the mid-move check
+        // before `begin_move` holds the gate for read across its
+        // forward, so this write acquisition returns only once each of
+        // them has been applied (and acked) by the old shard — the copy
+        // exported below misses none of them. Later mutations see the
+        // moving flag and are refused with the structured retry.
+        drop(self.move_gate.write());
         if let Err(e) = self.ship_database(name, old, new_up) {
             self.front.topology().write().abort_move(name);
             return Err(e);
@@ -1227,8 +1321,23 @@ impl RouteProxy {
                 continue;
             }
             fails[k] += 1;
-            if has_standby && fails[k] >= FAILOVER_AFTER && self.fail_over(k).is_ok() {
-                fails[k] = 0;
+            if has_standby && fails[k] >= FAILOVER_AFTER {
+                match self.fail_over(k) {
+                    Ok(()) => fails[k] = 0,
+                    // Refused (lagging or unreachable standby): log once
+                    // at the threshold, then keep retrying each sweep —
+                    // a lagging standby stays refused, an unreachable
+                    // one may come back.
+                    Err(e) if fails[k] == FAILOVER_AFTER => eprintln!(
+                        "{}",
+                        Json::obj([
+                            ("error", Json::from(e.to_string())),
+                            ("event", Json::from("failover_refused")),
+                            ("shard", Json::from(k as u64)),
+                        ])
+                    ),
+                    Err(_) => {}
+                }
             }
         }
     }
@@ -1236,12 +1345,14 @@ impl RouteProxy {
     /// Fails shard `k` over to its standby: the standby (which replayed
     /// every acked mutation via the serve side's `--replicate-to`
     /// synchronous op-stream) replaces the primary at a new epoch.
-    /// Refused if no standby is configured or the standby itself is
-    /// unreachable — a failover must never trade a dead shard for
-    /// another dead shard.
+    /// Refused if no standby is configured, if the primary last reported
+    /// a non-zero `replication_lag` (a standby that detached mid-stream
+    /// missed acked writes — promoting it would silently lose them), or
+    /// if the standby itself is unreachable — a failover must never
+    /// trade a dead shard for a dead or diverged one.
     pub fn fail_over(&self, k: usize) -> Result<(), EngineError> {
         let _admin = self.admin.lock();
-        let (dead, standby) = {
+        let (dead, standby, lag) = {
             let slots = self.slots.read();
             let slot = slots
                 .get(k)
@@ -1252,8 +1363,20 @@ impl RouteProxy {
                     slot.upstream.addr()
                 )));
             };
-            (slot.upstream.addr().to_string(), standby)
+            (
+                slot.upstream.addr().to_string(),
+                standby,
+                slot.upstream.probed_lag(),
+            )
         };
+        if lag > 0 {
+            return Err(EngineError::Unavailable(format!(
+                "shard {k} standby {standby}: the primary last reported \
+                 replication_lag {lag} — the standby detached mid-stream and \
+                 missed acked writes; refusing to promote it (rebuild the \
+                 standby from the primary's store instead)"
+            )));
+        }
         let up = Upstream::new(standby.clone());
         up.probe()
             .map_err(|e| EngineError::Unavailable(format!("shard {k} standby {standby}: {e}")))?;
@@ -1480,9 +1603,10 @@ fn parse_info(v: &Json) -> Result<DatabaseInfo, String> {
     })
 }
 
-/// Parses an upstream `stats` response into its backend label and the
-/// per-shard counter block the front door sums.
-fn parse_stats(v: &Json) -> Result<(String, ShardStats), String> {
+/// Parses an upstream `stats` response into its backend label, the
+/// per-shard counter block the front door sums, and the upstream's
+/// deployment-level `replication_lag` (tolerantly `0` when absent).
+fn parse_stats(v: &Json) -> Result<(String, ShardStats, u64), String> {
     if !is_ok(v) {
         return Err(format!("upstream refused stats: {v}"));
     }
@@ -1514,7 +1638,8 @@ fn parse_stats(v: &Json) -> Result<(String, ShardStats), String> {
         .and_then(Json::as_str)
         .ok_or("missing \"backend\"")?
         .to_string();
-    Ok((backend, stats))
+    let lag = v.get("replication_lag").and_then(Json::as_u64).unwrap_or(0);
+    Ok((backend, stats, lag))
 }
 
 /// Parses an upstream `metrics` response, merging the upstream's shards

@@ -439,6 +439,12 @@ pub struct EngineStatsPayload {
     pub uptime_ms: u64,
     /// The serving binary's crate version (`CARGO_PKG_VERSION`).
     pub build: String,
+    /// Mutations acknowledged but **not** confirmed on the attached
+    /// standby (`0` when healthy or unreplicated). The router sums its
+    /// upstreams' values; its background probe also records the
+    /// per-upstream value, which gates failover — promoting a standby
+    /// that missed acked writes would lose them.
+    pub replication_lag: u64,
 }
 
 /// The payload of a `metrics` response: every shard's latency-histogram
@@ -668,6 +674,7 @@ impl EngineResponse {
                 ("cache_expired", Json::from(s.cache.expired)),
                 ("uptime_ms", Json::from(s.uptime_ms)),
                 ("build", Json::from(s.build.clone())),
+                ("replication_lag", Json::from(s.replication_lag)),
             ]),
             EngineResponse::Metrics(m) => {
                 let mut total = MetricsSnapshot::default();

@@ -242,6 +242,22 @@ impl Topology {
         names
     }
 
+    /// The databases placed on some *other* shard whose HRW home under
+    /// the **current** member count is `shard` — the unfinished remainder
+    /// of a rebalance that died (or was restarted) after its grown
+    /// membership persisted but before every database shipped. Sorted
+    /// for deterministic move order.
+    pub fn names_stranded_off(&self, shard: usize) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .placements
+            .iter()
+            .filter(|(name, &k)| k != shard && self.router.shard_for(name) == shard)
+            .map(|(name, _)| name.clone())
+            .collect();
+        names.sort();
+        names
+    }
+
     /// The databases (among those currently placed) that HRW over
     /// `shards + 1` members would re-home — by the minimal-movement
     /// property, all of them land on the **new** shard. This is the
@@ -370,6 +386,35 @@ mod tests {
         topo.abort_move("kv");
         assert_eq!(topo.epoch(), before + 1);
         assert_eq!(topo.shard_of("kv"), 2);
+    }
+
+    #[test]
+    fn stranded_names_are_the_unfinished_resume_set() {
+        // A crash-resumed grow: membership already committed at 3
+        // members, but every name still sits where the 2-shard layout
+        // left it — exactly the state a restarted router seeds from its
+        // upstreams' catalogs mid-rebalance.
+        let mut topo = Topology::new(3);
+        let all = names(200);
+        let old = Router::new(2);
+        for name in &all {
+            topo.place(name, old.shard_for(name));
+        }
+        let stranded = topo.names_stranded_off(2);
+        assert!(!stranded.is_empty());
+        for name in &all {
+            // Nothing is placed on shard 2 yet, so the stranded set is
+            // exactly the names HRW over 3 members homes there.
+            assert_eq!(
+                stranded.contains(name),
+                topo.router().shard_for(name) == 2,
+                "{name}"
+            );
+        }
+        // Finishing a move un-strands the name.
+        let first = stranded[0].clone();
+        topo.place(&first, 2);
+        assert!(!topo.names_stranded_off(2).contains(&first));
     }
 
     #[test]

@@ -121,6 +121,11 @@ pub struct Upstream {
     /// Dial latency (successful dials only) — slow dials are the early
     /// signal of a struggling upstream, before exchanges start failing.
     dial: Histogram,
+    /// The `replication_lag` this upstream reported on its most recent
+    /// successful [`probe`](Upstream::probe). Non-zero means its standby
+    /// detached mid-stream and has missed acked writes — the router's
+    /// failover path refuses to promote such a standby.
+    probed_lag: AtomicU64,
 }
 
 impl Upstream {
@@ -134,6 +139,7 @@ impl Upstream {
             reconnects: AtomicU64::new(0),
             last_error: Mutex::new(None),
             dial: Histogram::new(),
+            probed_lag: AtomicU64::new(0),
         }
     }
 
@@ -237,8 +243,26 @@ impl Upstream {
     /// request observes the failure) and *hot re-dials* a recovered one
     /// — so a long-idle router pays the reconnect on the probe cadence,
     /// never on a client's request.
+    ///
+    /// A successful probe also records the upstream's reported
+    /// `replication_lag` (read back via `probed_lag()`): the router's
+    /// failover path checks the last observed value before promoting a
+    /// standby, since a lagging standby missed acked writes.
     pub fn probe(&self) -> Result<(), EngineError> {
-        self.exchange(r#"{"op":"stats"}"#).map(drop)
+        let resp = self.exchange(r#"{"op":"stats"}"#)?;
+        if let Some(lag) = crate::json::parse(&resp)
+            .ok()
+            .and_then(|v| v.get("replication_lag").and_then(Json::as_u64))
+        {
+            self.probed_lag.store(lag, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    /// The `replication_lag` reported by this upstream's most recent
+    /// successful probe (`0` until a probe has seen the field).
+    pub fn probed_lag(&self) -> u64 {
+        self.probed_lag.load(Ordering::Relaxed)
     }
 
     fn down(&self, detail: String) -> EngineError {

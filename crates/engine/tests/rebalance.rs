@@ -254,6 +254,126 @@ fn rebalance_refuses_a_non_empty_upstream() {
 }
 
 #[test]
+fn rebalance_resumes_after_router_restart_without_duplicating_members() {
+    // Simulate a grow that crashed after persisting the grown
+    // membership but before shipping every database: install databases
+    // under a 2-shard layout, then "restart" the router over all three
+    // upstreams (the state a crashed router recovers into — persisted
+    // topology lists the new member, catalogs still hold the pre-grow
+    // placement).
+    let two = spawn_upstreams(2);
+    let (_new_engine, new_addr) = spawn_upstream();
+    let names = [
+        "orders", "users", "events", "billing", "audit", "sessions", "carts", "ledger",
+    ];
+    {
+        let staging = RouteProxy::connect(two.clone()).expect("connect 2-shard router");
+        for name in names {
+            let resp = staging.handle_line(&create_line(name));
+            assert!(resp.contains("\"ok\":true"), "{resp}");
+        }
+    }
+    let mut addrs = two;
+    addrs.push(new_addr.clone());
+    let proxy = RouteProxy::connect(addrs).expect("restart router over grown membership");
+    assert_eq!(proxy.shards(), 3);
+
+    let stranded: HashSet<String> = {
+        let grown = Router::new(3);
+        names
+            .iter()
+            .filter(|n| grown.shard_for(n) == 2)
+            .map(|n| n.to_string())
+            .collect()
+    };
+    assert!(!stranded.is_empty(), "workload must leave stranded names");
+
+    // Re-issuing the grow with the member's address resumes: the
+    // stranded tail ships, and no duplicate slot is registered.
+    let standby_for_new = "127.0.0.1:1"; // recorded only, never dialed
+    let resp = proxy.handle_line(&format!(
+        r#"{{"op":"rebalance","add":"{new_addr}","standby":"{standby_for_new}"}}"#
+    ));
+    assert!(resp.contains("\"ok\":true"), "{resp}");
+    let resumed = ocqa_engine::json::parse(&resp).unwrap();
+    assert_eq!(
+        resumed
+            .get("shards")
+            .and_then(ocqa_engine::json::Json::as_u64),
+        Some(3),
+        "resume must not add a fourth member: {resp}"
+    );
+    let moved: HashSet<String> = match resumed.get("moved") {
+        Some(ocqa_engine::json::Json::Arr(names)) => names
+            .iter()
+            .filter_map(|n| n.as_str().map(str::to_string))
+            .collect(),
+        other => panic!("no moved list in {other:?}"),
+    };
+    assert_eq!(
+        moved, stranded,
+        "resume must ship exactly the stranded tail"
+    );
+    assert_eq!(proxy.shards(), 3);
+    assert_eq!(proxy.upstream_addrs().len(), 3, "no duplicate slot");
+    // The resumed member adopted the provided standby (it was None).
+    let stats = proxy.handle_line(r#"{"op":"stats"}"#);
+    assert!(
+        stats.contains(&format!("\"standby\":\"{standby_for_new}\"")),
+        "{stats}"
+    );
+    // A conflicting standby on a later re-issue is refused, not
+    // silently ignored.
+    let resp = proxy.handle_line(&format!(
+        r#"{{"op":"rebalance","add":"{new_addr}","standby":"127.0.0.1:2"}}"#
+    ));
+    assert!(resp.contains("\"ok\":false"), "{resp}");
+    assert!(resp.contains("standby"), "{resp}");
+
+    // Re-issuing with a fully settled member is a no-op — same epoch,
+    // nothing moved, membership unchanged.
+    let epoch = proxy.epoch();
+    let resp = proxy.handle_line(&format!(r#"{{"op":"rebalance","add":"{new_addr}"}}"#));
+    assert!(resp.contains("\"ok\":true"), "{resp}");
+    assert!(resp.contains("\"moved\":[]"), "{resp}");
+    assert_eq!(
+        proxy.epoch(),
+        epoch,
+        "a no-op resume must not bump the epoch"
+    );
+    assert_eq!(proxy.shards(), 3);
+
+    // The finished placement answers byte-identically to a fresh
+    // 3-shard deployment given the same creates.
+    let reference = reference_engine(3);
+    for name in names {
+        let resp = reference.handle_line(&create_line(name)).to_string();
+        assert!(resp.contains("\"ok\":true"), "{resp}");
+    }
+    // `db_version` is a shard-local allocation counter: it reflects the
+    // order a shard first saw each database, which differs between a
+    // cluster that grew into this placement and one deployed fresh —
+    // the snapshot preserves the *source* shard's numbering. Everything
+    // touching the estimate must match byte-for-byte.
+    let normalize = |line: &str| {
+        let mut v = ocqa_engine::json::parse(line).expect("answer parses");
+        v.remove("db_version");
+        v.to_string()
+    };
+    for (i, name) in names.iter().enumerate() {
+        let line = answer_line(name, 2000 + i as u64);
+        let routed = proxy.handle_line(&line);
+        let direct = reference.handle_line(&line).to_string();
+        assert_eq!(
+            normalize(&routed),
+            normalize(&direct),
+            "post-resume answer diverged for {name}\n  routed: {routed}\n  direct: {direct}"
+        );
+        assert_eq!(proxy.shard_of(name), reference.shard_of(name), "{name}");
+    }
+}
+
+#[test]
 fn in_process_engine_refuses_the_rebalance_op() {
     let engine = Engine::new(EngineConfig::default());
     let resp = engine
@@ -422,4 +542,65 @@ fn killed_primary_fails_over_to_wal_replicated_standby_bit_identically() {
         resumed_answer.contains("\"cached\":true"),
         "{resumed_answer}"
     );
+}
+
+#[test]
+fn failover_is_refused_for_a_standby_that_detached_mid_stream() {
+    // The standby dies mid-stream: the primary detaches it, keeps
+    // acking, and accrues replication_lag. When the primary later dies
+    // too, the router must NOT promote the stale standby — it missed
+    // acked writes.
+    let standby_engine = Engine::new(EngineConfig {
+        workers: WORKERS,
+        cache_capacity: CACHE,
+        ..EngineConfig::default()
+    });
+    let standby = KillableUpstream::spawn(standby_engine);
+    let primary_engine = Engine::new(EngineConfig {
+        workers: WORKERS,
+        cache_capacity: CACHE,
+        ..EngineConfig::default()
+    });
+    primary_engine.attach_replica(&standby.addr);
+    let primary = KillableUpstream::spawn(primary_engine);
+
+    let proxy = RouteProxy::connect_cfg(RouteConfig {
+        upstreams: vec![primary.addr.clone()],
+        standbys: vec![Some(standby.addr.clone())],
+        slow_ms: 0,
+        max_subs: 64,
+        probe_ms: 0, // probing driven by hand, deterministically
+        topology_path: None,
+    })
+    .expect("connect router");
+
+    // Replicated while the standby lives…
+    let resp = proxy.handle_line(&create_line("kv"));
+    assert!(resp.contains("\"ok\":true"), "{resp}");
+    // …then the standby dies and an acked insert goes unreplicated:
+    // the primary detaches the standby and counts the lag.
+    standby.kill();
+    let resp = proxy.handle_line(r#"{"op":"insert","db":"kv","facts":"R(7, 70)."}"#);
+    assert!(resp.contains("\"ok\":true"), "{resp}");
+    let stats = proxy.handle_line(r#"{"op":"stats"}"#);
+    assert!(stats.contains("\"replication_lag\":1"), "{stats}");
+
+    // A probe sweep while the primary still lives records its reported
+    // lag on the router side.
+    let mut fails = Vec::new();
+    proxy.probe_once(&mut fails);
+    assert_eq!(proxy.epoch(), 1);
+
+    // Now the primary dies too. Probe to the failover threshold: the
+    // promotion must be refused — the last observed lag was non-zero.
+    primary.kill();
+    for _ in 0..ocqa_engine::FAILOVER_AFTER + 1 {
+        proxy.probe_once(&mut fails);
+    }
+    assert_eq!(proxy.epoch(), 1, "a diverged standby must not be promoted");
+    assert_eq!(proxy.upstream_addrs(), vec![primary.addr.clone()]);
+    let err = proxy.fail_over(0).expect_err("promotion must be refused");
+    let msg = err.to_string();
+    assert!(msg.contains("replication_lag 1"), "{msg}");
+    assert!(msg.contains("missed acked writes"), "{msg}");
 }
